@@ -1,0 +1,244 @@
+//! Exhaustive verification of the paper's claims on **all** connected
+//! graphs of small order — the strongest empirical analogue of the
+//! theorems' ∀-quantifiers.
+//!
+//! For every connected labelled graph on `n ≤ 6` nodes (26 704 graphs at
+//! `n = 6`) and every source, [`verify_all_connected`] checks:
+//!
+//! 1. **Theorem 3.1** — the flood terminates (within cap `2n + 2`);
+//! 2. **Corollary 2.2 / Theorem 3.3** — termination ≤ `D` (bipartite) or
+//!    `2D + 1` (non-bipartite);
+//! 3. **Lemma 2.1** — bipartite termination equals the source
+//!    eccentricity, with every node receiving exactly once at its BFS
+//!    distance;
+//! 4. the double-cover **oracle** predicts the exact receive schedule;
+//! 5. nodes receive **at most twice**, with opposite parities;
+//! 6. the proof's **`Re` is empty** (no even-duration round-set
+//!    recurrences);
+//! 7. **message complexity** is exactly `m` (bipartite) / `2m` (else).
+
+use af_core::{roundsets, theory, AmnesiacFlooding};
+use af_graph::enumerate::connected_graphs;
+use af_graph::{algo, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an exhaustive verification pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExhaustiveReport {
+    n: usize,
+    graphs_checked: u64,
+    runs_checked: u64,
+    violations: Vec<String>,
+    max_termination_round: u32,
+}
+
+impl ExhaustiveReport {
+    /// Node count of the enumerated graphs.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of connected graphs enumerated.
+    #[must_use]
+    pub fn graphs_checked(&self) -> u64 {
+        self.graphs_checked
+    }
+
+    /// Number of `(graph, source)` floods executed.
+    #[must_use]
+    pub fn runs_checked(&self) -> u64 {
+        self.runs_checked
+    }
+
+    /// Human-readable descriptions of every claim violation (empty when
+    /// the paper survives).
+    #[must_use]
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Returns `true` if every claim held on every run.
+    #[must_use]
+    pub fn all_claims_hold(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The largest termination round observed across all runs.
+    #[must_use]
+    pub fn max_termination_round(&self) -> u32 {
+        self.max_termination_round
+    }
+}
+
+/// Checks one `(graph, source)` flood against every claim; returns a list
+/// of violation descriptions (normally empty).
+#[must_use]
+pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
+    let mut violations = Vec::new();
+    let run = AmnesiacFlooding::single_source(graph, source).run();
+
+    // (1) Theorem 3.1.
+    let Some(t) = run.termination_round() else {
+        violations.push(format!("{graph} from {source}: did not terminate within 2n+2"));
+        return violations;
+    };
+
+    // (2) Corollary 2.2 / Theorem 3.3.
+    let bound = theory::upper_bound(graph).expect("enumerated graphs are connected");
+    if t > bound {
+        violations.push(format!("{graph} from {source}: T = {t} exceeds bound {bound}"));
+    }
+
+    let bipartite = algo::is_bipartite(graph);
+    if bipartite {
+        // (3) Lemma 2.1.
+        let ecc = algo::eccentricity(graph, source).expect("connected");
+        if t != ecc {
+            violations.push(format!("{graph} from {source}: bipartite T = {t} != e = {ecc}"));
+        }
+        let bfs = algo::bfs(graph, source);
+        for v in graph.nodes() {
+            let want: &[u32] = if v == source {
+                &[]
+            } else {
+                core::slice::from_ref(bfs.distances()[v.index()].as_ref().expect("connected"))
+            };
+            if run.receive_rounds(v) != want {
+                violations.push(format!(
+                    "{graph} from {source}: node {v} received at {:?}, BFS says {want:?}",
+                    run.receive_rounds(v)
+                ));
+            }
+        }
+    }
+
+    // (4) Oracle.
+    let pred = theory::predict(graph, [source]);
+    if pred.termination_round() != t {
+        violations.push(format!(
+            "{graph} from {source}: oracle T = {} != measured {t}",
+            pred.termination_round()
+        ));
+    }
+    for v in graph.nodes() {
+        if pred.receive_rounds(v) != run.receive_rounds(v) {
+            violations.push(format!(
+                "{graph} from {source}: node {v} oracle {:?} != measured {:?}",
+                pred.receive_rounds(v),
+                run.receive_rounds(v)
+            ));
+        }
+    }
+
+    // (5) Receive at most twice, opposite parity.
+    for v in graph.nodes() {
+        let rounds = run.receive_rounds(v);
+        if rounds.len() > 2 {
+            violations.push(format!(
+                "{graph} from {source}: node {v} received {} times",
+                rounds.len()
+            ));
+        }
+        if let [a, b] = *rounds {
+            if a % 2 == b % 2 {
+                violations.push(format!(
+                    "{graph} from {source}: node {v} received twice with equal parity ({a}, {b})"
+                ));
+            }
+        }
+    }
+
+    // (6) Re empty.
+    if !roundsets::analyze(&run).even_sequences_empty() {
+        violations.push(format!("{graph} from {source}: Re is non-empty"));
+    }
+
+    // (7) Message complexity.
+    let m = graph.edge_count() as u64;
+    let want = if bipartite { m } else { 2 * m };
+    if run.total_messages() != want {
+        violations.push(format!(
+            "{graph} from {source}: {} messages, expected {want}",
+            run.total_messages()
+        ));
+    }
+
+    violations
+}
+
+/// Verifies every claim on every connected labelled graph with `n` nodes,
+/// from every source.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds the enumeration limit.
+#[must_use]
+pub fn verify_all_connected(n: usize) -> ExhaustiveReport {
+    let mut graphs_checked = 0u64;
+    let mut runs_checked = 0u64;
+    let mut violations = Vec::new();
+    let mut max_t = 0u32;
+
+    for g in connected_graphs(n) {
+        graphs_checked += 1;
+        for source in g.nodes() {
+            runs_checked += 1;
+            let vs = verify_one(&g, source);
+            if !vs.is_empty() {
+                violations.extend(vs);
+            }
+            if let Some(t) = AmnesiacFlooding::single_source(&g, source)
+                .run()
+                .termination_round()
+            {
+                max_t = max_t.max(t);
+            }
+        }
+    }
+
+    ExhaustiveReport {
+        n,
+        graphs_checked,
+        runs_checked,
+        violations,
+        max_termination_round: max_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_graphs_up_to_five_nodes_satisfy_every_claim() {
+        for n in 1..=5 {
+            let report = verify_all_connected(n);
+            assert!(
+                report.all_claims_hold(),
+                "n = {n}: {:?}",
+                &report.violations()[..report.violations().len().min(5)]
+            );
+            assert_eq!(
+                Some(report.graphs_checked()),
+                af_graph::enumerate::connected_graph_count(n)
+            );
+            assert_eq!(report.runs_checked(), report.graphs_checked() * n as u64);
+        }
+    }
+
+    #[test]
+    fn verify_one_flags_nothing_on_good_instances() {
+        let g = af_graph::generators::petersen();
+        for v in g.nodes() {
+            assert!(verify_one(&g, v).is_empty());
+        }
+    }
+
+    #[test]
+    fn max_termination_is_positive_for_n_at_least_two() {
+        let report = verify_all_connected(3);
+        assert!(report.max_termination_round() >= 3); // the triangle needs 3
+        assert_eq!(report.n(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! E12 (extension): how special are the paper's node-initiated floods?
+//!
+//! The synchronous dynamics of amnesiac flooding are defined on *any* set
+//! of in-flight arcs. Theorem 3.1 covers only the configurations produced
+//! by node initiators — and indeed only those are universally terminating:
+//! arbitrary arc configurations can orbit forever (a single message on a
+//! cycle never meets an annihilating counter-wave). This experiment
+//! exhaustively classifies all `2^(2m)` configurations of small graphs and
+//! reports the census.
+
+use crate::table::Table;
+use af_core::arbitrary::classify_all_configurations;
+use af_graph::enumerate::connected_graphs;
+use af_graph::{generators, Graph};
+
+/// The named instances censused exhaustively (all must have ≤ 12 edges).
+#[must_use]
+pub fn instances() -> Vec<(String, Graph)> {
+    vec![
+        ("path(5)".into(), generators::path(5)),
+        ("star(6)".into(), generators::star(6)),
+        ("cycle(3)".into(), generators::cycle(3)),
+        ("cycle(4)".into(), generators::cycle(4)),
+        ("cycle(5)".into(), generators::cycle(5)),
+        ("cycle(6)".into(), generators::cycle(6)),
+        ("complete(4)".into(), generators::complete(4)),
+        ("K(2,3)".into(), generators::complete_bipartite(2, 3)),
+        ("wheel(4)".into(), generators::wheel(4)),
+        ("friendship(2)".into(), generators::friendship(2)),
+        ("binary tree h=2".into(), generators::binary_tree(2)),
+        ("grid(2,3)".into(), generators::grid(2, 3)),
+    ]
+}
+
+/// Runs the E12 census over the named instances.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E12 — (extension) flooding from arbitrary arc configurations",
+        [
+            "graph",
+            "m",
+            "configs (4^m)",
+            "terminating",
+            "cycling",
+            "lone arcs cycling",
+            "max T",
+            "max period",
+            "node-initiated all terminate",
+        ],
+    );
+    for (label, g) in instances() {
+        let census = classify_all_configurations(&g);
+        t.push_row([
+            label,
+            g.edge_count().to_string(),
+            census.configurations().to_string(),
+            census.terminating().to_string(),
+            census.cycling().to_string(),
+            format!("{}/{}", census.single_arc_cycling(), g.arc_count()),
+            census.max_termination_round().to_string(),
+            census.max_period().to_string(),
+            if census.node_initiated_all_terminate() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.push_note(
+        "trees flush every configuration out; any graph with a cycle has \
+         non-terminating arc configurations (e.g. every lone arc on the \
+         cycle) — Theorem 3.1's node-initiated setting is essential, not \
+         an artifact",
+    );
+    t
+}
+
+/// Census aggregated over *all* connected graphs on `n` nodes (small `n`).
+///
+/// # Panics
+///
+/// Panics if some enumerated graph exceeds the 12-edge census cap
+/// (first possible at `n = 6`; callers should stay at `n ≤ 5`).
+#[must_use]
+pub fn run_exhaustive(max_n: usize) -> Table {
+    let mut t = Table::new(
+        "E12b — arbitrary-configuration census over ALL connected graphs",
+        ["n", "graphs", "trees (never cycle)", "cyclic graphs", "cyclic graphs with non-terminating configs"],
+    );
+    for n in 2..=max_n {
+        let mut graphs = 0u64;
+        let mut trees = 0u64;
+        let mut cyclic = 0u64;
+        let mut cyclic_with_nonterm = 0u64;
+        for g in connected_graphs(n) {
+            graphs += 1;
+            let census = classify_all_configurations(&g);
+            let is_tree = g.edge_count() == n - 1;
+            if is_tree {
+                trees += 1;
+                assert_eq!(census.cycling(), 0, "a tree configuration cycled");
+            } else {
+                cyclic += 1;
+                if census.cycling() > 0 {
+                    cyclic_with_nonterm += 1;
+                }
+            }
+            assert!(census.node_initiated_all_terminate(), "Theorem 3.1 violated");
+        }
+        t.push_row([
+            n.to_string(),
+            graphs.to_string(),
+            trees.to_string(),
+            cyclic.to_string(),
+            cyclic_with_nonterm.to_string(),
+        ]);
+    }
+    t.push_note(
+        "measured: every connected graph that contains a cycle admits a \
+         non-terminating arc configuration, and no tree does",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_census_rows_have_consistent_counts() {
+        let t = run();
+        for row in t.rows() {
+            let configs: u64 = row[2].parse().unwrap();
+            let term: u64 = row[3].parse().unwrap();
+            let cyc: u64 = row[4].parse().unwrap();
+            assert_eq!(term + cyc, configs, "{}", row[0]);
+            assert_eq!(row[8], "yes", "{}: Theorem 3.1", row[0]);
+        }
+    }
+
+    #[test]
+    fn trees_never_cycle_and_cycles_always_do() {
+        let t = run();
+        for row in t.rows() {
+            let cyc: u64 = row[4].parse().unwrap();
+            match row[0].as_str() {
+                "path(5)" | "star(6)" | "binary tree h=2" => {
+                    assert_eq!(cyc, 0, "{}", row[0]);
+                }
+                _ => assert!(cyc > 0, "{} contains a cycle", row[0]),
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_census_to_n4() {
+        let t = run_exhaustive(4);
+        // n = 4: 38 connected graphs, 16 of them trees, 22 cyclic.
+        let row = &t.rows()[2];
+        assert_eq!(row[1], "38");
+        assert_eq!(row[2], "16");
+        assert_eq!(row[3], "22");
+        assert_eq!(row[4], "22", "every cyclic 4-node graph has a non-terminating config");
+    }
+}

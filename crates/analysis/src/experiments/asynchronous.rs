@@ -1,0 +1,114 @@
+//! E8: Section 4 / Figure 5 — in the asynchronous variant, a scheduling
+//! adversary forces non-termination; without adversarial delays (or on
+//! trees) the flood still dies.
+//!
+//! Evidence is *certified*: a deterministic adversary over the finite
+//! configuration space either terminates or revisits a configuration, and
+//! the revisit (a lasso) is a finite proof of an infinite run.
+
+use crate::table::Table;
+use af_core::AmnesiacFloodingProtocol;
+use af_engine::adversary::{DeliverAll, OneAtATime, PerHeadThrottle};
+use af_engine::{certify, Certificate};
+use af_graph::{generators, Graph, NodeId};
+
+/// One certification row: graph, adversary name, certificate.
+fn describe(cert: &Certificate) -> String {
+    match cert {
+        Certificate::Terminated { last_active_tick } => {
+            format!("terminates (last activity at tick {last_active_tick})")
+        }
+        Certificate::NonTerminating(lasso) => format!(
+            "NON-TERMINATING: lasso at tick {} with period {}",
+            lasso.first_visit_tick(),
+            lasso.period()
+        ),
+        Certificate::Unresolved { ticks_executed } => {
+            format!("unresolved after {ticks_executed} ticks")
+        }
+    }
+}
+
+/// The E8 instance grid: `(label, graph, source)`.
+#[must_use]
+pub fn instances() -> Vec<(String, Graph, NodeId)> {
+    vec![
+        ("triangle (Figure 5)".into(), generators::cycle(3), NodeId::new(1)),
+        ("C4".into(), generators::cycle(4), NodeId::new(0)),
+        ("C5".into(), generators::cycle(5), NodeId::new(0)),
+        ("C6".into(), generators::cycle(6), NodeId::new(0)),
+        ("C9".into(), generators::cycle(9), NodeId::new(0)),
+        ("K4".into(), generators::complete(4), NodeId::new(0)),
+        ("petersen".into(), generators::petersen(), NodeId::new(0)),
+        ("path(6) — a tree".into(), generators::path(6), NodeId::new(0)),
+        ("star(8) — a tree".into(), generators::star(8), NodeId::new(0)),
+        ("binary tree h=3".into(), generators::binary_tree(3), NodeId::new(0)),
+    ]
+}
+
+/// Runs the E8 certification sweep.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E8 — §4 asynchronous AF: adversary vs no adversary (certified)",
+        ["graph", "deliver-all (sync)", "per-head throttle (Fig. 5 adversary)", "one-at-a-time"],
+    );
+    for (label, g, s) in instances() {
+        let sync = certify(&g, AmnesiacFloodingProtocol, DeliverAll, [s], 100_000)
+            .expect("deterministic adversaries respect the contract");
+        let throttle = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [s], 100_000)
+            .expect("deterministic adversaries respect the contract");
+        let serial = certify(&g, AmnesiacFloodingProtocol, OneAtATime, [s], 100_000)
+            .expect("deterministic adversaries respect the contract");
+        t.push_row([label, describe(&sync), describe(&throttle), describe(&serial)]);
+    }
+    t.push_note(
+        "the paper's claim: cyclic topologies admit non-terminating schedules \
+         (the throttle column), while the synchronous schedule always \
+         terminates (Theorem 3.1) and trees terminate under every schedule",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_column_always_terminates() {
+        let t = run();
+        for row in t.rows() {
+            assert!(row[1].starts_with("terminates"), "{}: {}", row[0], row[1]);
+        }
+    }
+
+    #[test]
+    fn figure5_triangle_row_is_certified_non_terminating() {
+        let t = run();
+        let triangle = &t.rows()[0];
+        assert!(triangle[2].contains("NON-TERMINATING"), "{}", triangle[2]);
+    }
+
+    #[test]
+    fn cycles_are_non_terminating_under_throttle() {
+        let t = run();
+        for row in t.rows().iter().take(5) {
+            assert!(
+                row[2].contains("NON-TERMINATING"),
+                "{} should lasso under the throttle: {}",
+                row[0],
+                row[2]
+            );
+        }
+    }
+
+    #[test]
+    fn trees_terminate_in_every_column() {
+        let t = run();
+        for row in t.rows().iter().filter(|r| r[0].contains("tree") || r[0].contains("path")) {
+            for cell in &row[1..] {
+                assert!(cell.starts_with("terminates"), "{}: {}", row[0], cell);
+            }
+        }
+    }
+}

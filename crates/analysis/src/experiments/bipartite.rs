@@ -1,0 +1,118 @@
+//! E4–E5: Lemma 2.1 and Corollary 2.2 — on connected bipartite graphs the
+//! flood terminates in exactly `e(source)` rounds, hence within `D`.
+//!
+//! Sweep: every bipartite family in the spec zoo, every source (sampled
+//! above 64 nodes), asserting exact equality with the eccentricity and the
+//! diameter bound.
+
+use crate::spec::GraphSpec;
+use crate::stats::{ClaimCheck, Summary};
+use crate::table::Table;
+use af_core::AmnesiacFlooding;
+use af_graph::{algo, NodeId};
+
+/// The bipartite sweep grid.
+#[must_use]
+pub fn specs() -> Vec<GraphSpec> {
+    let mut v = vec![
+        GraphSpec::Path { n: 4 },
+        GraphSpec::Path { n: 33 },
+        GraphSpec::Path { n: 256 },
+        GraphSpec::Cycle { n: 6 },
+        GraphSpec::Cycle { n: 64 },
+        GraphSpec::Cycle { n: 500 },
+        GraphSpec::Star { n: 100 },
+        GraphSpec::BinaryTree { h: 6 },
+        GraphSpec::Grid { rows: 8, cols: 8 },
+        GraphSpec::Grid { rows: 3, cols: 40 },
+        GraphSpec::Torus { rows: 4, cols: 6 },
+        GraphSpec::Hypercube { d: 7 },
+        GraphSpec::CompleteBipartite { a: 7, b: 12 },
+        GraphSpec::Caterpillar { spine: 20, legs: 3 },
+    ];
+    for seed in 0..4 {
+        v.push(GraphSpec::RandomTree { n: 200, seed });
+    }
+    v
+}
+
+/// Runs the E4–E5 sweep.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E4–E5 — Lemma 2.1 / Corollary 2.2: bipartite termination = e(src) ≤ D",
+        ["graph", "n", "m", "D", "sources", "T = e(src)", "T ≤ D", "T (min/mean/max)"],
+    );
+
+    for spec in specs() {
+        let g = spec.build();
+        assert!(algo::is_bipartite(&g), "{spec} must be bipartite");
+        let d = algo::diameter(&g).expect("sweep graphs are connected");
+        let sources: Vec<NodeId> = sample_sources(g.node_count());
+        let mut exact = ClaimCheck::new();
+        let mut bounded = ClaimCheck::new();
+        let mut rounds = Vec::new();
+        for &s in &sources {
+            let run = AmnesiacFlooding::single_source(&g, s).run();
+            let tr = run.termination_round().expect("Theorem 3.1");
+            let ecc = algo::eccentricity(&g, s).expect("connected");
+            exact.record(tr == ecc);
+            bounded.record(tr <= d);
+            rounds.push(u64::from(tr));
+        }
+        let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
+        t.push_row([
+            spec.label(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            d.to_string(),
+            sources.len().to_string(),
+            exact.to_string(),
+            bounded.to_string(),
+            format!("{}/{:.1}/{}", summary.min(), summary.mean(), summary.max()),
+        ]);
+    }
+    t.push_note("the 'T = e(src)' and 'T ≤ D' columns must read k/k ok on every row");
+    t
+}
+
+/// All sources for small graphs; a deterministic stride sample above 64.
+pub(crate) fn sample_sources(n: usize) -> Vec<NodeId> {
+    if n <= 64 {
+        (0..n).map(NodeId::new).collect()
+    } else {
+        let stride = n / 32;
+        (0..32).map(|i| NodeId::new(i * stride)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_passes_both_claims() {
+        let t = run();
+        assert!(!t.rows().is_empty());
+        for row in t.rows() {
+            assert!(row[5].ends_with("ok"), "{}: exactness failed: {}", row[0], row[5]);
+            assert!(row[6].ends_with("ok"), "{}: bound failed: {}", row[0], row[6]);
+        }
+    }
+
+    #[test]
+    fn sources_are_sampled_above_threshold() {
+        assert_eq!(sample_sources(10).len(), 10);
+        assert_eq!(sample_sources(1000).len(), 32);
+        assert!(sample_sources(1000).iter().all(|s| s.index() < 1000));
+    }
+
+    #[test]
+    fn all_specs_are_bipartite_and_connected() {
+        for spec in specs() {
+            let g = spec.build();
+            assert!(algo::is_bipartite(&g), "{spec}");
+            assert!(algo::is_connected(&g), "{spec}");
+        }
+    }
+}

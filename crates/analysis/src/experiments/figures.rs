@@ -1,0 +1,131 @@
+//! E1–E3: the paper's worked examples, regenerated.
+//!
+//! * **E1 / Figure 1** — the 4-node line flooded from `b`: terminates in 2
+//!   rounds (< diameter 3).
+//! * **E2 / Figure 2** — the triangle from `b`: terminates in 3 rounds
+//!   `= 2D + 1`, `D = 1`.
+//! * **E3 / Figure 3** — the even cycle `C6`: terminates in `D = 3` rounds
+//!   from every source.
+
+use crate::table::Table;
+use af_core::{flood, trace};
+use af_graph::algo;
+use af_graph::generators;
+
+/// Expected (figure, termination round) pairs asserted by the integration
+/// tests: Figure 1 → 2, Figure 2 → 3, Figure 3 → 3.
+pub const EXPECTED_ROUNDS: [(&str, u32); 3] =
+    [("figure-1", 2), ("figure-2", 3), ("figure-3", 3)];
+
+/// Runs E1–E3 and returns the summary table.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E1–E3 — Figures 1–3: worked examples",
+        ["figure", "graph", "source", "D", "e(src)", "bound", "T measured", "T paper"],
+    );
+
+    // Figure 1: line a-b-c-d from b.
+    let g = generators::path(4);
+    let r = flood(&g, 1.into());
+    t.push_row([
+        "Figure 1".to_string(),
+        "path(4)".into(),
+        "b".into(),
+        algo::diameter(&g).unwrap().to_string(),
+        algo::eccentricity(&g, 1.into()).unwrap().to_string(),
+        "D = 3".into(),
+        r.termination_round().unwrap().to_string(),
+        "2".into(),
+    ]);
+
+    // Figure 2: triangle from b.
+    let g = generators::cycle(3);
+    let r = flood(&g, 1.into());
+    t.push_row([
+        "Figure 2".to_string(),
+        "cycle(3)".into(),
+        "b".into(),
+        algo::diameter(&g).unwrap().to_string(),
+        algo::eccentricity(&g, 1.into()).unwrap().to_string(),
+        "2D+1 = 3".into(),
+        r.termination_round().unwrap().to_string(),
+        "3".into(),
+    ]);
+
+    // Figure 3: C6 from every source (vertex-transitive; report node a).
+    let g = generators::cycle(6);
+    let r = flood(&g, 0.into());
+    t.push_row([
+        "Figure 3".to_string(),
+        "cycle(6)".into(),
+        "a".into(),
+        algo::diameter(&g).unwrap().to_string(),
+        algo::eccentricity(&g, 0.into()).unwrap().to_string(),
+        "D = 3".into(),
+        r.termination_round().unwrap().to_string(),
+        "3".into(),
+    ]);
+
+    t.push_note(
+        "T measured must equal T paper row-for-row; the traces below each \
+         figure are rendered by examples/replicate_figures.rs",
+    );
+    t
+}
+
+/// The three figure traces as rendered text (what the example binary
+/// prints).
+#[must_use]
+pub fn rendered_traces() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let g = generators::path(4);
+    out.push((
+        "Figure 1 — line a-b-c-d from b".to_string(),
+        trace::render_run(&g, &flood(&g, 1.into())),
+    ));
+    let g = generators::cycle(3);
+    out.push((
+        "Figure 2 — triangle a-b-c from b".to_string(),
+        trace::render_run(&g, &flood(&g, 1.into())),
+    ));
+    let g = generators::cycle(6);
+    out.push((
+        "Figure 3 — even cycle C6 from a".to_string(),
+        trace::render_run(&g, &flood(&g, 0.into())),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_equals_paper_in_every_row() {
+        let t = run();
+        assert_eq!(t.rows().len(), 3);
+        for row in t.rows() {
+            let measured = &row[6];
+            let paper = &row[7];
+            assert_eq!(measured, paper, "figure {} diverges from the paper", row[0]);
+        }
+    }
+
+    #[test]
+    fn traces_render_for_all_three_figures() {
+        let traces = rendered_traces();
+        assert_eq!(traces.len(), 3);
+        assert!(traces[0].1.contains("terminated after round 2"));
+        assert!(traces[1].1.contains("terminated after round 3"));
+        assert!(traces[2].1.contains("terminated after round 3"));
+    }
+
+    #[test]
+    fn expected_rounds_constant_matches_table() {
+        let t = run();
+        for ((_, expected), row) in EXPECTED_ROUNDS.iter().zip(t.rows()) {
+            assert_eq!(expected.to_string(), row[6]);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! E15 (extension): the memory ladder — what does each extra round of
+//! memory buy?
+//!
+//! The paper motivates amnesiac flooding as the zero-memory end of a
+//! spectrum whose other end is the classic 1-bit flag. `KMemoryFlooding`
+//! interpolates: remember the sender sets of the last `k` receive events.
+//! Measured shape:
+//!
+//! * `k = 0` (echo everything back) never terminates — even one edge
+//!   ping-pongs forever;
+//! * `k = 1` **is** amnesiac flooding: terminating, `2m` messages on
+//!   non-bipartite graphs;
+//! * `k ≥ 2` trims the second wave: messages and rounds decrease
+//!   monotonically toward the classic baseline's cost.
+
+use crate::spec::GraphSpec;
+use crate::table::Table;
+use af_core::{ClassicFloodingProtocol, KMemoryFlooding};
+use af_engine::{Outcome, SyncEngine};
+use af_graph::{Graph, NodeId};
+
+/// The memory-ladder grid (non-bipartite graphs — on bipartite ones every
+/// `k ≥ 1` behaves identically, which the tests assert separately).
+#[must_use]
+pub fn specs() -> Vec<GraphSpec> {
+    vec![
+        GraphSpec::Cycle { n: 9 },
+        GraphSpec::Cycle { n: 33 },
+        GraphSpec::Complete { n: 16 },
+        GraphSpec::Petersen,
+        GraphSpec::Wheel { k: 12 },
+        GraphSpec::Barbell { k: 8 },
+        GraphSpec::Torus { rows: 3, cols: 7 },
+        GraphSpec::SparseConnected { n: 80, extra: 60, seed: 9 },
+    ]
+}
+
+/// The window sizes measured (`0` is reported as a non-terminating row).
+pub const WINDOWS: [usize; 5] = [0, 1, 2, 3, 8];
+
+fn measure(g: &Graph, k: usize) -> (Outcome, u64) {
+    let mut e = SyncEngine::new(g, KMemoryFlooding::new(k), [NodeId::new(0)]);
+    e.set_trace_enabled(false);
+    let out = e.run(500);
+    (out, e.total_messages())
+}
+
+/// Runs the E15 ladder.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E15 — (extension) the memory ladder: k-memory flooding",
+        ["graph", "k=0", "k=1 (= AF)", "k=2", "k=3", "k=8", "classic flag"],
+    );
+    for spec in specs() {
+        let g = spec.build();
+        let mut cells = vec![spec.label()];
+        for &k in &WINDOWS {
+            let (out, msgs) = measure(&g, k);
+            cells.push(match out.termination_round() {
+                Some(t) => format!("T={t}, {msgs} msgs"),
+                None => "does not terminate".to_string(),
+            });
+        }
+        let mut classic = SyncEngine::new(&g, ClassicFloodingProtocol, [NodeId::new(0)]);
+        classic.set_trace_enabled(false);
+        let out = classic.run(500);
+        cells.push(format!(
+            "T={}, {} msgs",
+            out.termination_round().expect("classic terminates"),
+            classic.total_messages()
+        ));
+        t.push_row(cells);
+    }
+    t.push_note(
+        "k = 0 must never terminate; k = 1 equals amnesiac flooding (2m \
+         messages on these non-bipartite graphs); costs fall monotonically \
+         in k toward the classic flag's",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_core::AmnesiacFloodingProtocol;
+
+    #[test]
+    fn ladder_shape_holds() {
+        let t = run();
+        for row in t.rows() {
+            assert_eq!(row[1], "does not terminate", "{}: k=0", row[0]);
+            for cell in &row[2..] {
+                assert!(cell.starts_with("T="), "{}: {cell}", row[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn k1_column_matches_af_exactly() {
+        for spec in specs() {
+            let g = spec.build();
+            let (out, msgs) = measure(&g, 1);
+            let mut af = SyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(0)]);
+            af.set_trace_enabled(false);
+            let af_out = af.run(500);
+            assert_eq!(out, af_out, "{spec}");
+            assert_eq!(msgs, af.total_messages(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn messages_fall_monotonically_in_k() {
+        for spec in specs() {
+            let g = spec.build();
+            let mut prev = u64::MAX;
+            for &k in &WINDOWS[1..] {
+                let (out, msgs) = measure(&g, k);
+                assert!(out.is_terminated(), "{spec} k={k}");
+                assert!(msgs <= prev, "{spec}: {msgs} > {prev} at k={k}");
+                prev = msgs;
+            }
+        }
+    }
+
+    #[test]
+    fn on_bipartite_graphs_every_positive_k_is_identical() {
+        let g = af_graph::generators::grid(4, 4);
+        let baseline = measure(&g, 1);
+        for k in [2usize, 3, 8] {
+            assert_eq!(measure(&g, k), baseline, "k={k}");
+        }
+    }
+}

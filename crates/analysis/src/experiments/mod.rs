@@ -1,0 +1,31 @@
+//! The experiment registry: one module per paper artifact (see DESIGN.md's
+//! experiment index). Every function returns [`Table`](crate::Table)s that
+//! the `af-bench` binaries print and EXPERIMENTS.md records.
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | E1–E3 | Figures 1, 2, 3 (worked examples) | [`figures::run`] |
+//! | E4–E5 | Lemma 2.1 / Corollary 2.2 (bipartite exactness) | [`bipartite::run`] |
+//! | E6 | Theorem 3.1 (termination, exhaustive + random) | [`termination::run`] |
+//! | E7 | Theorem 3.3 (non-bipartite ≤ 2D + 1) | [`nonbipartite::run`] |
+//! | E8 | Figure 5 / §4 (asynchronous adversary) | [`asynchronous::run`] |
+//! | E9 | multi-source extension | [`multisource::run`] |
+//! | E10 | topology detection application | [`detection::run`] |
+//! | E11 | AF vs classic flag flooding | [`comparison::run`] |
+//! | E12 | (extension) arbitrary arc configurations | [`arbitrary_config::run`] |
+//! | E13 | (extension) termination-time scaling series | [`scaling::run`] |
+//! | E14 | (extension) robustness under message loss & crashes | [`faults::run`] |
+//! | E15 | (extension) the memory ladder (k-memory flooding) | [`memory::run`] |
+
+pub mod arbitrary_config;
+pub mod asynchronous;
+pub mod bipartite;
+pub mod comparison;
+pub mod detection;
+pub mod faults;
+pub mod figures;
+pub mod memory;
+pub mod multisource;
+pub mod nonbipartite;
+pub mod scaling;
+pub mod termination;

@@ -1,0 +1,129 @@
+//! E7: Theorem 3.3 — on connected non-bipartite graphs the flood
+//! terminates by round `2D + 1`, always strictly after round `e(source)`,
+//! and strictly after `D` from a maximum-eccentricity source.
+
+use crate::spec::GraphSpec;
+use crate::stats::{ClaimCheck, Summary};
+use crate::table::Table;
+use af_core::AmnesiacFlooding;
+use af_graph::{algo, NodeId};
+
+/// The non-bipartite sweep grid.
+#[must_use]
+pub fn specs() -> Vec<GraphSpec> {
+    let mut v = vec![
+        GraphSpec::Cycle { n: 3 },
+        GraphSpec::Cycle { n: 7 },
+        GraphSpec::Cycle { n: 65 },
+        GraphSpec::Cycle { n: 501 },
+        GraphSpec::Complete { n: 4 },
+        GraphSpec::Complete { n: 16 },
+        GraphSpec::Complete { n: 64 },
+        GraphSpec::Wheel { k: 8 },
+        GraphSpec::Wheel { k: 40 },
+        GraphSpec::Petersen,
+        GraphSpec::Barbell { k: 6 },
+        GraphSpec::Barbell { k: 16 },
+        GraphSpec::Lollipop { k: 8, p: 16 },
+        GraphSpec::Torus { rows: 3, cols: 9 },
+    ];
+    for seed in 0..4 {
+        v.push(GraphSpec::SparseConnected { n: 120, extra: 80, seed });
+        v.push(GraphSpec::PreferentialAttachment { n: 150, k: 2, seed });
+    }
+    v
+}
+
+/// Runs the E7 sweep.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E7 — Theorem 3.3: non-bipartite termination in (e(src), 2D + 1]",
+        ["graph", "n", "D", "2D+1", "sources", "e(src) < T ≤ 2D+1", "worst-src T > D", "T (min/mean/max)"],
+    );
+
+    for spec in specs() {
+        let g = spec.build();
+        if algo::is_bipartite(&g) {
+            // Random specs occasionally come out bipartite; skip those
+            // instances (they belong to E4/E5).
+            continue;
+        }
+        let d = algo::diameter(&g).expect("connected");
+        let sources: Vec<NodeId> = super::bipartite::sample_sources(g.node_count());
+        let mut in_range = ClaimCheck::new();
+        let mut rounds = Vec::new();
+        for &s in &sources {
+            let run = AmnesiacFlooding::single_source(&g, s).run();
+            let tr = run.termination_round().expect("Theorem 3.1");
+            let ecc = algo::eccentricity(&g, s).expect("connected");
+            in_range.record(tr > ecc && tr <= 2 * d + 1);
+            rounds.push(u64::from(tr));
+        }
+        // Worst-case source: eccentricity = D forces T > D.
+        let worst = g
+            .nodes()
+            .max_by_key(|&v| algo::eccentricity(&g, v).expect("connected"))
+            .expect("non-empty");
+        let t_worst = AmnesiacFlooding::single_source(&g, worst)
+            .run()
+            .termination_round()
+            .expect("Theorem 3.1");
+        let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
+        t.push_row([
+            spec.label(),
+            g.node_count().to_string(),
+            d.to_string(),
+            (2 * d + 1).to_string(),
+            sources.len().to_string(),
+            in_range.to_string(),
+            if t_worst > d {
+                format!("yes ({t_worst} > {d})")
+            } else {
+                format!("NO ({t_worst} <= {d})")
+            },
+            format!("{}/{:.1}/{}", summary.min(), summary.mean(), summary.max()),
+        ]);
+    }
+    t.push_note(
+        "odd cycles attain the extreme: C_n from any source terminates in \
+         exactly n = 2D + 1 rounds",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_is_in_range() {
+        let t = run();
+        assert!(t.rows().len() >= 14);
+        for row in t.rows() {
+            assert!(row[5].ends_with("ok"), "{}: {}", row[0], row[5]);
+            assert!(row[6].starts_with("yes"), "{}: {}", row[0], row[6]);
+        }
+    }
+
+    #[test]
+    fn odd_cycles_attain_two_d_plus_one() {
+        for n in [3usize, 5, 9, 15] {
+            let g = af_graph::generators::cycle(n);
+            let d = algo::diameter(&g).unwrap();
+            let run = AmnesiacFlooding::single_source(&g, 0.into()).run();
+            assert_eq!(run.termination_round(), Some(2 * d + 1), "C{n}");
+            assert_eq!(run.termination_round(), Some(n as u32), "C{n}");
+        }
+    }
+
+    #[test]
+    fn cliques_terminate_in_three_rounds() {
+        // K_n (n >= 3): D = 1, termination = 3 = 2D + 1.
+        for n in [3usize, 5, 10, 30] {
+            let g = af_graph::generators::complete(n);
+            let run = AmnesiacFlooding::single_source(&g, 0.into()).run();
+            assert_eq!(run.termination_round(), Some(3), "K{n}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! E13 (extension figure): termination time as a function of graph size —
+//! the "O(D)" shape of the paper's bounds drawn as data series.
+//!
+//! For each family, the series reports `n`, `D`, the bound (`D` or
+//! `2D + 1`), and the measured worst-case termination round over sampled
+//! sources. The reproduced shape: bipartite families hug `D` exactly;
+//! non-bipartite families sit strictly above `D` but never above `2D + 1`;
+//! odd cycles attain `2D + 1` exactly.
+
+use crate::stats::Summary;
+use crate::table::Table;
+use af_core::AmnesiacFlooding;
+use af_graph::{algo, Graph};
+
+/// One family's series: `(label, sizes, builder)`.
+type Series = (&'static str, Vec<usize>, fn(usize) -> Graph);
+
+/// The scaling grid.
+#[must_use]
+pub fn series() -> Vec<Series> {
+    vec![
+        ("path", vec![8, 16, 32, 64, 128, 256], |n| af_graph::generators::path(n)),
+        ("even cycle", vec![8, 16, 32, 64, 128, 256], |n| af_graph::generators::cycle(n)),
+        ("odd cycle", vec![9, 17, 33, 65, 129, 257], |n| af_graph::generators::cycle(n)),
+        ("grid k x k", vec![3, 4, 6, 8, 11, 16], |k| af_graph::generators::grid(k, k)),
+        ("hypercube Q_d", vec![3, 4, 5, 6, 7, 8], |d| {
+            af_graph::generators::hypercube(d as u32)
+        }),
+        ("complete K_n", vec![4, 8, 16, 32, 64, 128], |n| af_graph::generators::complete(n)),
+        ("barbell", vec![4, 8, 16, 32, 64, 96], |k| af_graph::generators::barbell(k)),
+        ("wheel", vec![4, 8, 16, 32, 64, 128], |k| af_graph::generators::wheel(k)),
+        ("friendship", vec![2, 4, 8, 16, 32, 64], |k| af_graph::generators::friendship(k)),
+        ("pref. attachment", vec![32, 64, 128, 256, 512, 1024], |n| {
+            af_graph::generators::preferential_attachment(n, 2, 13)
+        }),
+    ]
+}
+
+/// Runs the E13 scaling sweep.
+#[must_use]
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E13 — (extension) termination-time scaling: the O(D) shape",
+        ["family", "param", "n", "bipartite", "D", "bound", "worst T", "T (min/mean/max)"],
+    );
+    for (family, sizes, build) in series() {
+        for param in sizes {
+            let g = build(param);
+            let d = algo::diameter(&g).expect("series graphs are connected");
+            let bip = algo::is_bipartite(&g);
+            let bound = if bip { d } else { 2 * d + 1 };
+            let sources = super::bipartite::sample_sources(g.node_count());
+            let rounds: Vec<u64> = sources
+                .iter()
+                .map(|&s| {
+                    u64::from(
+                        AmnesiacFlooding::single_source(&g, s)
+                            .run()
+                            .termination_round()
+                            .expect("Theorem 3.1"),
+                    )
+                })
+                .collect();
+            let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
+            assert!(summary.max() <= u64::from(bound), "{family}({param}) exceeded bound");
+            t.push_row([
+                family.to_string(),
+                param.to_string(),
+                g.node_count().to_string(),
+                if bip { "yes" } else { "no" }.to_string(),
+                d.to_string(),
+                bound.to_string(),
+                summary.max().to_string(),
+                format!("{}/{:.1}/{}", summary.min(), summary.mean(), summary.max()),
+            ]);
+        }
+    }
+    t.push_note(
+        "shape: bipartite families have worst T = D exactly; odd cycles \
+         attain worst T = 2D + 1 exactly; all other non-bipartite families \
+         fall strictly between",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_hold_per_family() {
+        let t = run();
+        for row in t.rows() {
+            let bip = &row[3];
+            let d: u64 = row[4].parse().unwrap();
+            let bound: u64 = row[5].parse().unwrap();
+            let worst: u64 = row[6].parse().unwrap();
+            assert!(worst <= bound, "{} {}", row[0], row[1]);
+            if bip == "yes" {
+                assert_eq!(worst, d, "bipartite worst T must equal D: {} {}", row[0], row[1]);
+            } else {
+                assert!(worst > d, "non-bipartite worst T must exceed D: {} {}", row[0], row[1]);
+            }
+            if row[0] == "odd cycle" {
+                assert_eq!(worst, 2 * d + 1, "odd cycles attain the bound");
+            }
+        }
+    }
+
+    #[test]
+    fn series_covers_both_classes_at_scale() {
+        let t = run();
+        assert!(t.rows().len() >= 50);
+        assert!(t.rows().iter().any(|r| r[3] == "yes"));
+        assert!(t.rows().iter().any(|r| r[3] == "no"));
+    }
+}

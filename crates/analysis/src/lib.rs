@@ -1,0 +1,41 @@
+//! # af-analysis
+//!
+//! Experiment harness for the reproduction of *"On Termination of a
+//! Flooding Process"* (Hussak & Trehan, PODC 2019).
+//!
+//! * [`GraphSpec`] — serializable `(family, parameters, seed)` instance
+//!   descriptions; every EXPERIMENTS.md row cites one;
+//! * [`experiments`] — one module per paper artifact (E1–E11, see
+//!   DESIGN.md's experiment index), each producing [`Table`]s;
+//! * [`exhaustive`] — verification of *every* paper claim on *every*
+//!   connected graph with up to 6 nodes, from every source;
+//! * [`Table`], [`Summary`], [`ClaimCheck`] — uniform reporting;
+//! * [`sweep`] — a small parallel runner for experiment grids.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_analysis::experiments::figures;
+//!
+//! // Regenerate the paper's three worked examples (Figures 1–3).
+//! let table = figures::run();
+//! println!("{}", table.to_markdown());
+//! assert_eq!(table.rows().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exhaustive;
+pub mod experiments;
+pub mod report;
+pub mod sweep;
+
+mod spec;
+mod stats;
+mod table;
+
+pub use spec::GraphSpec;
+pub use stats::{ClaimCheck, Summary};
+pub use table::Table;

@@ -1,0 +1,105 @@
+//! Aggregated experiment reports: run every experiment, bundle the tables,
+//! and emit Markdown (the body of EXPERIMENTS.md) or JSON (machine-readable
+//! provenance for the measured numbers).
+
+use crate::experiments;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// Everything the regeneration run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullReport {
+    tables: Vec<Table>,
+    figure_traces: Vec<(String, String)>,
+}
+
+impl FullReport {
+    /// The experiment tables, in E-number order.
+    #[must_use]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The rendered Figure 1–3 traces.
+    #[must_use]
+    pub fn figure_traces(&self) -> &[(String, String)] {
+        &self.figure_traces
+    }
+
+    /// Renders the whole report as Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        for (i, table) in self.tables.iter().enumerate() {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+            if i == 0 {
+                for (title, trace) in &self.figure_traces {
+                    out.push_str(&format!("#### {title}\n\n```text\n{trace}```\n\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the report to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the report contains only strings.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Runs every experiment (E1–E15) and bundles the results.
+///
+/// `exhaustive_n` bounds the E6/E12 exhaustive layers (6 and 5 in the
+/// shipping regeneration; tests use smaller values for speed).
+#[must_use]
+pub fn collect_all(exhaustive_n: usize) -> FullReport {
+    let tables = vec![
+        experiments::figures::run(),
+        experiments::bipartite::run(),
+        experiments::termination::run_exhaustive(exhaustive_n.min(6)),
+        experiments::termination::run_random(),
+        experiments::nonbipartite::run(),
+        experiments::asynchronous::run(),
+        experiments::multisource::run(42),
+        experiments::detection::run(),
+        experiments::comparison::run(),
+        experiments::arbitrary_config::run(),
+        experiments::arbitrary_config::run_exhaustive(exhaustive_n.min(5)),
+        experiments::scaling::run(),
+        experiments::faults::run(),
+        experiments::memory::run(),
+    ];
+    FullReport {
+        tables,
+        figure_traces: experiments::figures::rendered_traces(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_report_collects_and_serializes() {
+        // exhaustive_n = 3 keeps this test quick while exercising the
+        // whole pipeline.
+        let report = collect_all(3);
+        assert_eq!(report.tables().len(), 14);
+        assert_eq!(report.figure_traces().len(), 3);
+
+        let md = report.to_markdown();
+        assert!(md.contains("E1–E3"));
+        assert!(md.contains("E15"));
+        assert!(md.contains("#### Figure 1"));
+
+        let json = report.to_json();
+        let back: FullReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, &report);
+    }
+}

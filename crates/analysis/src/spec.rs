@@ -1,0 +1,277 @@
+//! Declarative graph specifications: a serializable `(family, parameters,
+//! seed)` triple that pins an experiment instance down exactly.
+
+use af_graph::{generators, Graph};
+use serde::{Deserialize, Serialize};
+
+/// A buildable, printable, serializable description of a graph instance.
+///
+/// Experiment tables cite specs instead of raw graphs so every row of
+/// EXPERIMENTS.md can be regenerated bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use af_analysis::GraphSpec;
+///
+/// let spec = GraphSpec::Cycle { n: 6 };
+/// let g = spec.build();
+/// assert_eq!(g.node_count(), 6);
+/// assert_eq!(spec.label(), "cycle(6)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GraphSpec {
+    /// Path graph `P_n`.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// Cycle `C_n` (`n >= 3`).
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// Complete bipartite `K_{a,b}`.
+    CompleteBipartite {
+        /// Left part size.
+        a: usize,
+        /// Right part size.
+        b: usize,
+    },
+    /// Star on `n` total nodes.
+    Star {
+        /// Node count (hub + leaves).
+        n: usize,
+    },
+    /// Wheel with rim size `k`.
+    Wheel {
+        /// Rim size (`k >= 3`).
+        k: usize,
+    },
+    /// Complete binary tree of height `h`.
+    BinaryTree {
+        /// Height.
+        h: u32,
+    },
+    /// Grid graph.
+    Grid {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Torus (`rows, cols >= 3`).
+    Torus {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Hypercube `Q_d`.
+    Hypercube {
+        /// Dimension.
+        d: u32,
+    },
+    /// The Petersen graph.
+    Petersen,
+    /// Two `K_k` cliques joined by a bridge.
+    Barbell {
+        /// Clique size (`k >= 2`).
+        k: usize,
+    },
+    /// `K_k` with a path of `p` nodes attached.
+    Lollipop {
+        /// Clique size (`k >= 3`).
+        k: usize,
+        /// Path length.
+        p: usize,
+    },
+    /// Caterpillar tree.
+    Caterpillar {
+        /// Spine length (`>= 1`).
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
+    /// Erdős–Rényi `G(n, p)` conditioned on connectivity.
+    GnpConnected {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Uniform random labelled tree.
+    RandomTree {
+        /// Node count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Random tree plus extra random edges (always connected).
+    SparseConnected {
+        /// Node count.
+        n: usize,
+        /// Extra non-tree edges.
+        extra: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Random `d`-regular graph (configuration model).
+    RandomRegular {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Preferential attachment with `k` links per new node.
+    PreferentialAttachment {
+        /// Node count.
+        n: usize,
+        /// Links per new node.
+        k: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Builds the described graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate the underlying generator's
+    /// requirements (documented on each generator).
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphSpec::Path { n } => generators::path(n),
+            GraphSpec::Cycle { n } => generators::cycle(n),
+            GraphSpec::Complete { n } => generators::complete(n),
+            GraphSpec::CompleteBipartite { a, b } => generators::complete_bipartite(a, b),
+            GraphSpec::Star { n } => generators::star(n),
+            GraphSpec::Wheel { k } => generators::wheel(k),
+            GraphSpec::BinaryTree { h } => generators::binary_tree(h),
+            GraphSpec::Grid { rows, cols } => generators::grid(rows, cols),
+            GraphSpec::Torus { rows, cols } => generators::torus(rows, cols),
+            GraphSpec::Hypercube { d } => generators::hypercube(d),
+            GraphSpec::Petersen => generators::petersen(),
+            GraphSpec::Barbell { k } => generators::barbell(k),
+            GraphSpec::Lollipop { k, p } => generators::lollipop(k, p),
+            GraphSpec::Caterpillar { spine, legs } => generators::caterpillar(spine, legs),
+            GraphSpec::GnpConnected { n, p, seed } => generators::gnp_connected(n, p, seed),
+            GraphSpec::RandomTree { n, seed } => generators::random_tree(n, seed),
+            GraphSpec::SparseConnected { n, extra, seed } => {
+                generators::sparse_connected(n, extra, seed)
+            }
+            GraphSpec::RandomRegular { n, d, seed } => generators::random_regular(n, d, seed),
+            GraphSpec::PreferentialAttachment { n, k, seed } => {
+                generators::preferential_attachment(n, k, seed)
+            }
+        }
+    }
+
+    /// A compact, human-readable label for tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            GraphSpec::Path { n } => format!("path({n})"),
+            GraphSpec::Cycle { n } => format!("cycle({n})"),
+            GraphSpec::Complete { n } => format!("complete({n})"),
+            GraphSpec::CompleteBipartite { a, b } => format!("K({a},{b})"),
+            GraphSpec::Star { n } => format!("star({n})"),
+            GraphSpec::Wheel { k } => format!("wheel({k})"),
+            GraphSpec::BinaryTree { h } => format!("btree(h={h})"),
+            GraphSpec::Grid { rows, cols } => format!("grid({rows}x{cols})"),
+            GraphSpec::Torus { rows, cols } => format!("torus({rows}x{cols})"),
+            GraphSpec::Hypercube { d } => format!("hypercube({d})"),
+            GraphSpec::Petersen => "petersen".into(),
+            GraphSpec::Barbell { k } => format!("barbell({k})"),
+            GraphSpec::Lollipop { k, p } => format!("lollipop({k},{p})"),
+            GraphSpec::Caterpillar { spine, legs } => format!("caterpillar({spine},{legs})"),
+            GraphSpec::GnpConnected { n, p, seed } => format!("gnp({n},{p},s{seed})"),
+            GraphSpec::RandomTree { n, seed } => format!("rtree({n},s{seed})"),
+            GraphSpec::SparseConnected { n, extra, seed } => {
+                format!("sparse({n},+{extra},s{seed})")
+            }
+            GraphSpec::RandomRegular { n, d, seed } => format!("regular({n},d{d},s{seed})"),
+            GraphSpec::PreferentialAttachment { n, k, seed } => format!("pa({n},k{k},s{seed})"),
+        }
+    }
+}
+
+impl core::fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_graph::algo;
+
+    #[test]
+    fn every_variant_builds_and_labels() {
+        let specs = vec![
+            GraphSpec::Path { n: 5 },
+            GraphSpec::Cycle { n: 6 },
+            GraphSpec::Complete { n: 4 },
+            GraphSpec::CompleteBipartite { a: 2, b: 3 },
+            GraphSpec::Star { n: 6 },
+            GraphSpec::Wheel { k: 5 },
+            GraphSpec::BinaryTree { h: 3 },
+            GraphSpec::Grid { rows: 3, cols: 4 },
+            GraphSpec::Torus { rows: 3, cols: 3 },
+            GraphSpec::Hypercube { d: 3 },
+            GraphSpec::Petersen,
+            GraphSpec::Barbell { k: 3 },
+            GraphSpec::Lollipop { k: 3, p: 2 },
+            GraphSpec::Caterpillar { spine: 3, legs: 2 },
+            GraphSpec::GnpConnected { n: 12, p: 0.3, seed: 1 },
+            GraphSpec::RandomTree { n: 9, seed: 2 },
+            GraphSpec::SparseConnected { n: 10, extra: 4, seed: 3 },
+            GraphSpec::RandomRegular { n: 8, d: 3, seed: 4 },
+            GraphSpec::PreferentialAttachment { n: 15, k: 2, seed: 5 },
+        ];
+        for spec in specs {
+            let g = spec.build();
+            assert!(g.node_count() >= 1, "{spec}");
+            assert!(!spec.label().is_empty());
+            assert_eq!(spec.to_string(), spec.label());
+        }
+    }
+
+    #[test]
+    fn specs_build_deterministically() {
+        let spec = GraphSpec::SparseConnected { n: 20, extra: 10, seed: 99 };
+        assert_eq!(spec.build(), spec.build());
+    }
+
+    #[test]
+    fn random_specs_are_connected_where_promised() {
+        for seed in 0..5 {
+            assert!(algo::is_connected(
+                &GraphSpec::GnpConnected { n: 20, p: 0.1, seed }.build()
+            ));
+            assert!(algo::is_connected(&GraphSpec::RandomTree { n: 20, seed }.build()));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = GraphSpec::GnpConnected { n: 10, p: 0.5, seed: 42 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: GraphSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,170 @@
+//! Small statistics helpers for sweep summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `u64` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    min: u64,
+    max: u64,
+    mean: f64,
+}
+
+impl Summary {
+    /// Summarizes an iterator of observations. Returns `None` for an empty
+    /// sample.
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = u64>>(samples: I) -> Option<Self> {
+        let mut count = 0usize;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u128;
+        for s in samples {
+            count += 1;
+            min = min.min(s);
+            max = max.max(s);
+            sum += u128::from(s);
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(Summary { count, min, max, mean: sum as f64 / count as f64 })
+    }
+
+    /// Sample size.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "min {} / mean {:.2} / max {} (n={})",
+            self.min, self.mean, self.max, self.count
+        )
+    }
+}
+
+/// A pass/fail counter for ∀-style empirical claims ("all runs matched the
+/// oracle").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimCheck {
+    passed: u64,
+    failed: u64,
+}
+
+impl ClaimCheck {
+    /// A fresh counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, ok: bool) {
+        if ok {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Observations that satisfied the claim.
+    #[must_use]
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// Observations that violated the claim.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Returns `true` if every observation satisfied the claim (vacuously
+    /// true for zero observations).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.passed + self.failed
+    }
+}
+
+impl core::fmt::Display for ClaimCheck {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.holds() {
+            write!(f, "{}/{} ok", self.passed, self.total())
+        } else {
+            write!(f, "{} VIOLATIONS in {} checks", self.failed, self.total())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of([3u64, 1, 2]).unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert!(s.to_string().contains("mean 2.00"));
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_none() {
+        assert_eq!(Summary::of([]), None);
+    }
+
+    #[test]
+    fn summary_of_single_value() {
+        let s = Summary::of([7u64]).unwrap();
+        assert_eq!((s.min(), s.max(), s.count()), (7, 7, 1));
+    }
+
+    #[test]
+    fn claim_check_counts() {
+        let mut c = ClaimCheck::new();
+        assert!(c.holds());
+        c.record(true);
+        c.record(true);
+        assert!(c.holds());
+        assert_eq!(c.to_string(), "2/2 ok");
+        c.record(false);
+        assert!(!c.holds());
+        assert_eq!(c.passed(), 2);
+        assert_eq!(c.failed(), 1);
+        assert_eq!(c.total(), 3);
+        assert!(c.to_string().contains("VIOLATIONS"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Asynchronous engine cost: ticks under different adversaries, and the
+//! price of non-termination certification (configuration hashing) on the
+//! paper's Figure-5 topologies.
+
+use af_core::AmnesiacFloodingProtocol;
+use af_engine::adversary::{DeliverAll, PerHeadThrottle, RandomDelay};
+use af_engine::{certify, AsyncEngine};
+use af_graph::{generators, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn async_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async-engine");
+
+    // Full terminating runs under benign schedules.
+    for n in [64usize, 256, 1024] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::new("deliver-all/cycle", n), &g, |b, g| {
+            b.iter(|| {
+                let mut e =
+                    AsyncEngine::new(g, AmnesiacFloodingProtocol, DeliverAll, [NodeId::new(0)]);
+                e.run(10 * n as u64).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("random-delay/cycle", n), &g, |b, g| {
+            b.iter(|| {
+                let adv = RandomDelay::new(0.3, 42);
+                let mut e =
+                    AsyncEngine::new(g, AmnesiacFloodingProtocol, adv, [NodeId::new(0)]);
+                e.run(100 * n as u64).unwrap()
+            });
+        });
+    }
+
+    // 1000 adversarial ticks on the never-terminating triangle schedule.
+    for n in [3usize, 9, 33] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::new("throttle-1000-ticks/cycle", n), &g, |b, g| {
+            b.iter(|| {
+                let mut e = AsyncEngine::new(
+                    g,
+                    AmnesiacFloodingProtocol,
+                    PerHeadThrottle,
+                    [NodeId::new(0)],
+                );
+                for _ in 0..1000 {
+                    if e.step().unwrap().is_none() {
+                        break;
+                    }
+                }
+                e.total_messages()
+            });
+        });
+    }
+
+    // Certification cost (hashing every configuration until the lasso).
+    for n in [3usize, 5, 9, 15] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::new("certify-lasso/odd-cycle", n), &g, |b, g| {
+            b.iter(|| {
+                certify(g, AmnesiacFloodingProtocol, PerHeadThrottle, [NodeId::new(0)], 100_000)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = async_benches
+}
+criterion_main!(benches);

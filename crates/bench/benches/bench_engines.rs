@@ -1,0 +1,59 @@
+//! Ablation called out in DESIGN.md: the generic callback engine
+//! ([`af_engine::SyncEngine`]) vs the specialized bitset simulator
+//! ([`af_core::FastFlooding`]) on identical floods, plus the cost of the
+//! classic flag baseline on the same graphs.
+
+use af_core::{AmnesiacFloodingProtocol, ClassicFloodingProtocol, FastFlooding};
+use af_engine::SyncEngine;
+use af_graph::{generators, Graph, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn engine_flood(g: &Graph) -> u64 {
+    let mut e = SyncEngine::new(g, AmnesiacFloodingProtocol, [NodeId::new(0)]);
+    e.set_trace_enabled(false);
+    e.run(4 * g.node_count() as u32 + 4);
+    e.total_messages()
+}
+
+fn fast_flood(g: &Graph) -> u64 {
+    let mut sim = FastFlooding::new(g, [NodeId::new(0)]);
+    sim.set_record_receipts(false);
+    sim.run(4 * g.node_count() as u32 + 4);
+    sim.total_messages()
+}
+
+fn classic_flood(g: &Graph) -> u64 {
+    let mut e = SyncEngine::new(g, ClassicFloodingProtocol, [NodeId::new(0)]);
+    e.set_trace_enabled(false);
+    e.run(4 * g.node_count() as u32 + 4);
+    e.total_messages()
+}
+
+fn engine_ablation(c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("cycle-1024", generators::cycle(1024)),
+        ("grid-32x32", generators::grid(32, 32)),
+        ("petersen-like-regular", generators::random_regular(1024, 3, 7)),
+        ("gnp-512", generators::gnp_connected(512, 0.02, 7)),
+    ];
+    let mut group = c.benchmark_group("engine-ablation");
+    for (label, g) in &instances {
+        group.bench_with_input(BenchmarkId::new("generic-engine", label), g, |b, g| {
+            b.iter(|| engine_flood(g));
+        });
+        group.bench_with_input(BenchmarkId::new("fast-bitset", label), g, |b, g| {
+            b.iter(|| fast_flood(g));
+        });
+        group.bench_with_input(BenchmarkId::new("classic-baseline", label), g, |b, g| {
+            b.iter(|| classic_flood(g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Throughput of the bitset flooding simulator across the paper's
+//! topologies, at increasing scale. One group per family; the measured
+//! quantity is a complete flood (initiation → termination).
+
+use af_core::FastFlooding;
+use af_graph::{generators, Graph, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn full_flood(g: &Graph) -> u64 {
+    let mut sim = FastFlooding::new(g, [NodeId::new(0)]);
+    sim.set_record_receipts(false);
+    sim.run(4 * g.node_count() as u32 + 4);
+    sim.total_messages()
+}
+
+fn bench_family<F: Fn(usize) -> Graph>(c: &mut Criterion, name: &str, make: F, sizes: &[usize]) {
+    let mut group = c.benchmark_group(name);
+    for &n in sizes {
+        let g = make(n);
+        group.throughput(Throughput::Elements(g.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| full_flood(g));
+        });
+    }
+    group.finish();
+}
+
+fn flooding_benches(c: &mut Criterion) {
+    bench_family(c, "flood/cycle-even", |n| generators::cycle(n), &[64, 256, 1024, 4096]);
+    bench_family(c, "flood/cycle-odd", |n| generators::cycle(n + 1), &[64, 256, 1024, 4096]);
+    bench_family(c, "flood/grid", |n| generators::grid(n, n), &[8, 16, 32, 64]);
+    bench_family(c, "flood/hypercube", |d| generators::hypercube(d as u32), &[4, 6, 8, 10]);
+    bench_family(c, "flood/complete", generators::complete, &[16, 64, 128]);
+    bench_family(
+        c,
+        "flood/gnp",
+        |n| generators::gnp_connected(n, 8.0 / n as f64, 42),
+        &[128, 512, 2048],
+    );
+    bench_family(
+        c,
+        "flood/preferential-attachment",
+        |n| generators::preferential_attachment(n, 3, 42),
+        &[128, 512, 2048],
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = flooding_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Substrate costs: the graph operations the experiments lean on — BFS,
+//! diameter, bipartiteness, double-cover construction — at sweep scale.
+
+use af_graph::{algo, generators, Graph, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn graph_op_benches(c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("cycle-4096", generators::cycle(4096)),
+        ("grid-64x64", generators::grid(64, 64)),
+        ("gnp-2048", generators::gnp_connected(2048, 0.005, 9)),
+        ("pa-4096", generators::preferential_attachment(4096, 3, 9)),
+    ];
+    let mut group = c.benchmark_group("graph-ops");
+    for (label, g) in &instances {
+        group.bench_with_input(BenchmarkId::new("bfs", label), g, |b, g| {
+            b.iter(|| algo::bfs(g, NodeId::new(0)).eccentricity());
+        });
+        group.bench_with_input(BenchmarkId::new("bipartiteness", label), g, |b, g| {
+            b.iter(|| algo::is_bipartite(g));
+        });
+        group.bench_with_input(BenchmarkId::new("double-cover", label), g, |b, g| {
+            b.iter(|| algo::double_cover(g).graph().edge_count());
+        });
+    }
+    // Diameter is O(n·m); bench on smaller instances.
+    for (label, g) in [
+        ("cycle-512", generators::cycle(512)),
+        ("grid-24x24", generators::grid(24, 24)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("diameter", label), &g, |b, g| {
+            b.iter(|| algo::diameter(g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = graph_op_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Oracle-vs-simulation cost: the double-cover prediction
+//! ([`af_core::theory::predict`]) against actually running the flood.
+//! Both are near-linear; the oracle pays for the cover construction and a
+//! BFS, the simulation pays per round.
+
+use af_core::{theory, AmnesiacFlooding};
+use af_graph::{generators, Graph, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn oracle_benches(c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("cycle-1025", generators::cycle(1025)),
+        ("grid-24x24", generators::grid(24, 24)),
+        ("barbell-64", generators::barbell(64)),
+        ("pa-1024", generators::preferential_attachment(1024, 3, 11)),
+    ];
+    let mut group = c.benchmark_group("oracle-vs-simulation");
+    for (label, g) in &instances {
+        group.bench_with_input(BenchmarkId::new("oracle-predict", label), g, |b, g| {
+            b.iter(|| theory::predict(g, [NodeId::new(0)]).termination_round());
+        });
+        group.bench_with_input(BenchmarkId::new("simulate", label), g, |b, g| {
+            b.iter(|| {
+                AmnesiacFlooding::single_source(g, NodeId::new(0))
+                    .run()
+                    .termination_round()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = oracle_benches
+}
+criterion_main!(benches);

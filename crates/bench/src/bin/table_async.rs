@@ -1,0 +1,4 @@
+//! E8: §4 — certified async termination/non-termination under adversaries.
+fn main() {
+    println!("{}", af_analysis::experiments::asynchronous::run().to_markdown());
+}

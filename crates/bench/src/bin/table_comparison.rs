@@ -1,0 +1,4 @@
+//! E11: amnesiac flooding vs classic flag flooding.
+fn main() {
+    println!("{}", af_analysis::experiments::comparison::run().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! E10: topology detection (non-bipartiteness) by flooding.
+fn main() {
+    println!("{}", af_analysis::experiments::detection::run().to_markdown());
+}

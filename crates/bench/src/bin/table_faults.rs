@@ -1,0 +1,4 @@
+//! E14: amnesiac flooding under message loss and crash faults.
+fn main() {
+    println!("{}", af_analysis::experiments::faults::run().to_markdown());
+}

@@ -1,0 +1,7 @@
+//! E1–E3: regenerate Figures 1–3 (table + full traces).
+fn main() {
+    println!("{}", af_analysis::experiments::figures::run().to_markdown());
+    for (title, trace) in af_analysis::experiments::figures::rendered_traces() {
+        println!("#### {title}\n\n```text\n{trace}```\n");
+    }
+}

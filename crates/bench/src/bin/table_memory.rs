@@ -1,0 +1,4 @@
+//! E15: the memory ladder (k-memory flooding vs AF vs the classic flag).
+fn main() {
+    println!("{}", af_analysis::experiments::memory::run().to_markdown());
+}

@@ -1,0 +1,4 @@
+//! E13: termination-time scaling series (the O(D) shape).
+fn main() {
+    println!("{}", af_analysis::experiments::scaling::run().to_markdown());
+}

@@ -1,0 +1,20 @@
+//! `af-bench` — regenerate every experiment table in one run.
+//!
+//! ```text
+//! cargo run -p af-bench --release             # Markdown to stdout
+//! cargo run -p af-bench --release -- --json   # JSON provenance to stdout
+//! ```
+//!
+//! Individual tables are also available as dedicated binaries
+//! (`table_figures`, `table_bipartite`, …), which is what DESIGN.md's
+//! experiment index references.
+
+fn main() {
+    let report = af_analysis::report::collect_all(6);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("# Amnesiac Flooding — full experiment regeneration\n");
+        print!("{}", report.to_markdown());
+    }
+}

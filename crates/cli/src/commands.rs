@@ -1,0 +1,535 @@
+//! The `amnesiac` subcommands, implemented as pure functions from parsed
+//! arguments to output text (so they are unit-testable without a process
+//! boundary).
+
+use crate::args::Args;
+use af_core::arbitrary::classify_all_configurations;
+use af_core::detect::TopologyVerdict;
+use af_core::{theory, trace, AmnesiacFlooding, AmnesiacFloodingProtocol};
+use af_engine::adversary::{BoundedDelay, DeliverAll, OneAtATime, PerHeadThrottle};
+use af_engine::{certify, Certificate};
+use af_graph::{algo, generators, io, Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Boxed error for command plumbing.
+pub type CommandError = Box<dyn std::error::Error + Send + Sync + 'static>;
+
+/// Loads a graph from a file: graph6 if the content looks like a graph6
+/// line, the `n <count>` edge-list format otherwise.
+///
+/// # Errors
+///
+/// Returns I/O or parse errors.
+pub fn load_graph(path: &str) -> Result<Graph, CommandError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_graph(&text)?)
+}
+
+/// Parses graph text in either supported format.
+///
+/// # Errors
+///
+/// Returns the parse error of the format that was attempted.
+pub fn parse_graph(text: &str) -> Result<Graph, af_graph::GraphError> {
+    let looks_like_edge_list = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| l.starts_with("n ") || l == "n");
+    if looks_like_edge_list {
+        io::from_edge_list(text)
+    } else {
+        io::from_graph6(text)
+    }
+}
+
+fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
+    if let Some(list) = args.list::<usize>("sources")? {
+        return Ok(list.into_iter().map(NodeId::new).collect());
+    }
+    let s: usize = args.parsed_or("source", 0)?;
+    if s >= graph.node_count() {
+        return Err(format!("source {s} out of range (n = {})", graph.node_count()).into());
+    }
+    Ok(vec![NodeId::new(s)])
+}
+
+/// `amnesiac flood <file> [--source N | --sources a,b,c] [--max-rounds N]
+/// [--trace] [--receipts]`
+///
+/// # Errors
+///
+/// Returns file, parse, or argument errors.
+pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac flood <file> [options]")?;
+    let graph = load_graph(path)?;
+    let sources = source_set(args, &graph)?;
+    let mut builder = AmnesiacFlooding::multi_source(&graph, sources.iter().copied());
+    if let Some(cap) = args.option("max-rounds") {
+        builder = builder.with_max_rounds(cap.parse().map_err(|_| "invalid --max-rounds")?);
+    }
+    let run = builder.run();
+
+    let mut out = String::new();
+    if args.flag("trace") {
+        out.push_str(&trace::render_run(&graph, &run));
+    } else {
+        let _ = writeln!(out, "graph: {graph}");
+        match run.termination_round() {
+            Some(t) => {
+                let _ = writeln!(out, "terminated after round {t}");
+            }
+            None => {
+                let _ = writeln!(out, "round cap reached after {} rounds", run.rounds_executed());
+            }
+        }
+    }
+    let _ = writeln!(out, "messages: {}", run.total_messages());
+    let _ = writeln!(out, "informed nodes: {} / {}", run.informed_count(), graph.node_count());
+    let _ = writeln!(out, "max receipts per node: {}", run.max_receive_count());
+    if args.flag("receipts") {
+        out.push_str("receive schedule:\n");
+        out.push_str(&trace::render_receipts(&graph, &run));
+    }
+    Ok(out)
+}
+
+/// `amnesiac predict <file> [--source N | --sources ...]` — the oracle,
+/// no simulation.
+///
+/// # Errors
+///
+/// Returns file, parse, or argument errors.
+pub fn cmd_predict(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac predict <file> [options]")?;
+    let graph = load_graph(path)?;
+    let sources = source_set(args, &graph)?;
+    let pred = theory::predict(&graph, sources.iter().copied());
+    let mut out = String::new();
+    let _ = writeln!(out, "graph: {graph}");
+    let _ = writeln!(out, "predicted termination round: {}", pred.termination_round());
+    let _ = writeln!(out, "predicted messages: {}", pred.total_messages());
+    if let Some(bound) = theory::upper_bound(&graph) {
+        let _ = writeln!(out, "paper bound: {bound}");
+    }
+    Ok(out)
+}
+
+/// `amnesiac detect <file> [--source N]` — bipartiteness by flooding.
+///
+/// # Errors
+///
+/// Returns file, parse, or argument errors.
+pub fn cmd_detect(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac detect <file> [options]")?;
+    let graph = load_graph(path)?;
+    let sources = source_set(args, &graph)?;
+    let verdict = af_core::detect::detect_bipartiteness(&graph, sources[0]);
+    let mut out = String::new();
+    match verdict {
+        TopologyVerdict::Bipartite => {
+            let _ = writeln!(out, "bipartite (no node received the message twice)");
+        }
+        TopologyVerdict::NonBipartite { witness, rounds } => {
+            let _ = writeln!(
+                out,
+                "non-bipartite: node {witness} received at rounds {} and {} \
+                 (odd closed walk witnessed)",
+                rounds.0, rounds.1
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `amnesiac certify <file> [--adversary throttle|serial|deliver-all|bounded:K]
+/// [--source N] [--max-ticks N]` — asynchronous (non-)termination.
+///
+/// # Errors
+///
+/// Returns file, parse, or argument errors.
+pub fn cmd_certify(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac certify <file> [options]")?;
+    let graph = load_graph(path)?;
+    let sources = source_set(args, &graph)?;
+    let max_ticks: u64 = args.parsed_or("max-ticks", 100_000)?;
+    let adv = args.option("adversary").unwrap_or("throttle");
+    let srcs = sources.iter().copied();
+
+    let cert = match adv {
+        "throttle" => certify(&graph, AmnesiacFloodingProtocol, PerHeadThrottle, srcs, max_ticks)?,
+        "serial" => certify(&graph, AmnesiacFloodingProtocol, OneAtATime, srcs, max_ticks)?,
+        "deliver-all" => certify(&graph, AmnesiacFloodingProtocol, DeliverAll, srcs, max_ticks)?,
+        other => {
+            let Some(k) = other.strip_prefix("bounded:").and_then(|k| k.parse().ok()) else {
+                return Err(format!(
+                    "unknown adversary '{other}' (use throttle, serial, deliver-all, bounded:K)"
+                )
+                .into());
+            };
+            certify(&graph, AmnesiacFloodingProtocol, BoundedDelay::new(k), srcs, max_ticks)?
+        }
+    };
+
+    Ok(match cert {
+        Certificate::Terminated { last_active_tick } => {
+            format!("terminates: last message delivered at tick {last_active_tick}\n")
+        }
+        Certificate::NonTerminating(l) => format!(
+            "NON-TERMINATING (certified): configuration at tick {} recurs at tick {} \
+             (period {})\n",
+            l.first_visit_tick(),
+            l.repeat_tick(),
+            l.period()
+        ),
+        Certificate::Unresolved { ticks_executed } => {
+            format!("unresolved after {ticks_executed} ticks (raise --max-ticks)\n")
+        }
+    })
+}
+
+/// `amnesiac census <file>` — exhaustive arbitrary-configuration census
+/// (graphs with at most 12 edges).
+///
+/// # Errors
+///
+/// Returns file, parse, or size errors.
+pub fn cmd_census(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac census <file>")?;
+    let graph = load_graph(path)?;
+    if graph.edge_count() > 12 {
+        return Err(format!(
+            "census is exhaustive over 4^m configurations; m = {} is too large (max 12)",
+            graph.edge_count()
+        )
+        .into());
+    }
+    let census = classify_all_configurations(&graph);
+    let mut out = String::new();
+    let _ = writeln!(out, "graph: {graph}");
+    let _ = writeln!(out, "configurations: {}", census.configurations());
+    let _ = writeln!(out, "  terminating: {}", census.terminating());
+    let _ = writeln!(out, "  cycling:     {}", census.cycling());
+    let _ = writeln!(out, "max termination round: {}", census.max_termination_round());
+    let _ = writeln!(out, "max limit-cycle period: {}", census.max_period());
+    let _ = writeln!(
+        out,
+        "node-initiated configurations all terminate: {}",
+        census.node_initiated_all_terminate()
+    );
+    Ok(out)
+}
+
+/// `amnesiac tree <file> [--source N]` — extract the first-receipt
+/// spanning tree (the intro's "flooding gives you rooted spanning trees").
+///
+/// # Errors
+///
+/// Returns file, parse, or argument errors.
+pub fn cmd_tree(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac tree <file> [options]")?;
+    let graph = load_graph(path)?;
+    let sources = source_set(args, &graph)?;
+    let tree = af_core::spanning::spanning_tree(&graph, sources[0]);
+    let mut out = String::new();
+    let _ = writeln!(out, "spanning tree rooted at {} ({} nodes)", tree.root(), tree.len());
+    let _ = writeln!(out, "is a BFS tree: {}", tree.is_bfs_tree_of(&graph));
+    for v in graph.nodes() {
+        match (tree.parent(v), tree.depth(v)) {
+            (Some(p), Some(d)) => {
+                let _ = writeln!(out, "  {v}: parent {p}, depth {d}");
+            }
+            (None, Some(0)) => {
+                let _ = writeln!(out, "  {v}: root");
+            }
+            _ => {
+                let _ = writeln!(out, "  {v}: unreached");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `amnesiac info <file>` — structural summary.
+///
+/// # Errors
+///
+/// Returns file or parse errors.
+pub fn cmd_info(args: &Args) -> Result<String, CommandError> {
+    let path = args.positional(0).ok_or("usage: amnesiac info <file>")?;
+    let graph = load_graph(path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes: {}", graph.node_count());
+    let _ = writeln!(out, "edges: {}", graph.edge_count());
+    let _ = writeln!(out, "degree: min {} / avg {:.2} / max {}", graph.min_degree(), graph.average_degree(), graph.max_degree());
+    let _ = writeln!(out, "connected: {}", algo::is_connected(&graph));
+    let _ = writeln!(out, "bipartite: {}", algo::is_bipartite(&graph));
+    match algo::diameter(&graph) {
+        Some(d) => {
+            let _ = writeln!(out, "diameter: {d}");
+            let _ = writeln!(out, "radius: {}", algo::radius(&graph).expect("connected"));
+            if let Some(bound) = theory::upper_bound(&graph) {
+                let _ = writeln!(out, "flooding bound: {bound}");
+            }
+        }
+        None => {
+            let _ = writeln!(out, "diameter: infinite (disconnected)");
+        }
+    }
+    if let Some(girth) = algo::girth(&graph) {
+        let _ = writeln!(out, "girth: {girth}");
+    }
+    if let Some(og) = algo::odd_girth(&graph) {
+        let _ = writeln!(out, "odd girth: {og}");
+    }
+    Ok(out)
+}
+
+/// `amnesiac gen <family> [params...] [--format edgelist|g6|dot]` —
+/// generate a graph to stdout. Families: `path N`, `cycle N`,
+/// `complete N`, `grid R C`, `hypercube D`, `petersen`, `wheel K`,
+/// `barbell K`, `star N`, `friendship K`, `gnp N P SEED`, `tree N SEED`.
+///
+/// # Errors
+///
+/// Returns argument errors for unknown families or bad parameters.
+pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
+    let family = args.positional(0).ok_or("usage: amnesiac gen <family> [params]")?;
+    let p = |i: usize| -> Result<usize, CommandError> {
+        args.positional(i)
+            .ok_or_else(|| format!("{family}: missing parameter {i}").into())
+            .and_then(|v| v.parse().map_err(|_| format!("bad parameter: {v}").into()))
+    };
+    let graph = match family {
+        "path" => generators::path(p(1)?),
+        "cycle" => generators::cycle(p(1)?),
+        "complete" => generators::complete(p(1)?),
+        "grid" => generators::grid(p(1)?, p(2)?),
+        "hypercube" => generators::hypercube(p(1)? as u32),
+        "petersen" => generators::petersen(),
+        "wheel" => generators::wheel(p(1)?),
+        "barbell" => generators::barbell(p(1)?),
+        "star" => generators::star(p(1)?),
+        "friendship" => generators::friendship(p(1)?),
+        "gnp" => {
+            let n = p(1)?;
+            let prob: f64 = args
+                .positional(2)
+                .ok_or("gnp: missing probability")?
+                .parse()
+                .map_err(|_| "gnp: bad probability")?;
+            let seed = p(3)? as u64;
+            generators::gnp_connected(n, prob, seed)
+        }
+        "tree" => generators::random_tree(p(1)?, p(2)? as u64),
+        other => return Err(format!("unknown family '{other}'").into()),
+    };
+    Ok(match args.option("format").unwrap_or("edgelist") {
+        "edgelist" => io::to_edge_list(&graph),
+        "g6" => format!("{}\n", io::to_graph6(&graph)),
+        "dot" => io::to_dot(&graph, family),
+        other => return Err(format!("unknown format '{other}'").into()),
+    })
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "amnesiac — amnesiac flooding (PODC 2019) toolkit
+
+usage: amnesiac <command> [args]
+
+commands:
+  flood <file>    run a flood          [--source N | --sources a,b,c]
+                                       [--max-rounds N] [--trace] [--receipts]
+  predict <file>  oracle, no simulation [--source N | --sources a,b,c]
+  detect <file>   bipartiteness by flooding [--source N]
+  certify <file>  async (non-)termination  [--adversary throttle|serial|
+                                            deliver-all|bounded:K]
+                                           [--max-ticks N] [--source N]
+  census <file>   exhaustive arbitrary-configuration census (m <= 12)
+  tree <file>     extract the first-receipt (BFS) spanning tree [--source N]
+  info <file>     structural summary (n, m, D, bipartite, girth, bound)
+  gen <family>    generate a graph     [--format edgelist|g6|dot]
+                  families: path N | cycle N | complete N | grid R C |
+                  hypercube D | petersen | wheel K | barbell K | star N |
+                  friendship K | gnp N P SEED | tree N SEED
+
+graph files: edge-list format ('n <count>' header + 'u v' lines) or graph6
+"
+    .to_string()
+}
+
+/// Dispatches a subcommand.
+///
+/// # Errors
+///
+/// Propagates the subcommand's error.
+pub fn dispatch(command: &str, args: &Args) -> Result<String, CommandError> {
+    match command {
+        "flood" => cmd_flood(args),
+        "predict" => cmd_predict(args),
+        "detect" => cmd_detect(args),
+        "certify" => cmd_certify(args),
+        "census" => cmd_census(args),
+        "tree" => cmd_tree(args),
+        "info" => cmd_info(args),
+        "gen" => cmd_gen(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage()).into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("af-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn petersen_file() -> String {
+        write_temp("petersen.g6", &io::to_graph6(&generators::petersen()))
+    }
+
+    fn triangle_edge_list_file() -> String {
+        write_temp("triangle.txt", "n 3\n0 1\n1 2\n0 2\n")
+    }
+
+    #[test]
+    fn parse_graph_detects_both_formats() {
+        let g6 = io::to_graph6(&generators::cycle(5));
+        assert_eq!(parse_graph(&g6).unwrap(), generators::cycle(5));
+        let el = io::to_edge_list(&generators::cycle(5));
+        assert_eq!(parse_graph(&el).unwrap(), generators::cycle(5));
+        assert!(parse_graph("").is_err());
+    }
+
+    #[test]
+    fn flood_command_reports_termination() {
+        let path = triangle_edge_list_file();
+        let args = Args::parse([path.as_str(), "--source", "1", "--trace", "--receipts"]).unwrap();
+        let out = cmd_flood(&args).unwrap();
+        assert!(out.contains("terminated after round 3"), "{out}");
+        assert!(out.contains("messages: 6"), "{out}");
+        assert!(out.contains("receive schedule"), "{out}");
+    }
+
+    #[test]
+    fn flood_rejects_bad_source() {
+        let path = triangle_edge_list_file();
+        let args = Args::parse([path.as_str(), "--source", "9"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
+    }
+
+    #[test]
+    fn predict_matches_flood() {
+        let path = petersen_file();
+        let args = Args::parse([path.as_str(), "--source", "0"]).unwrap();
+        let out = cmd_predict(&args).unwrap();
+        assert!(out.contains("predicted termination round: 5"), "{out}");
+        assert!(out.contains("predicted messages: 30"), "{out}");
+        assert!(out.contains("paper bound: 5"), "{out}");
+    }
+
+    #[test]
+    fn detect_commands() {
+        let path = triangle_edge_list_file();
+        let args = Args::parse([path.as_str()]).unwrap();
+        let out = cmd_detect(&args).unwrap();
+        assert!(out.contains("non-bipartite"), "{out}");
+
+        let even = write_temp("c6.txt", &io::to_edge_list(&generators::cycle(6)));
+        let args = Args::parse([even.as_str()]).unwrap();
+        let out = cmd_detect(&args).unwrap();
+        assert!(out.starts_with("bipartite"), "{out}");
+    }
+
+    #[test]
+    fn certify_commands() {
+        let path = triangle_edge_list_file();
+        for (adv, expect) in [
+            ("throttle", "NON-TERMINATING"),
+            ("deliver-all", "terminates"),
+            ("serial", "NON-TERMINATING"),
+            ("bounded:2", "terminates"),
+        ] {
+            let args = Args::parse([path.as_str(), "--adversary", adv]).unwrap();
+            let out = cmd_certify(&args).unwrap();
+            assert!(out.contains(expect), "{adv}: {out}");
+        }
+        let args = Args::parse([path.as_str(), "--adversary", "nonsense"]).unwrap();
+        assert!(cmd_certify(&args).is_err());
+    }
+
+    #[test]
+    fn census_command() {
+        let path = triangle_edge_list_file();
+        let args = Args::parse([path.as_str()]).unwrap();
+        let out = cmd_census(&args).unwrap();
+        assert!(out.contains("configurations: 64"), "{out}");
+        assert!(out.contains("node-initiated configurations all terminate: true"), "{out}");
+        // Too-large graphs are rejected.
+        let big = write_temp("k6.g6", &io::to_graph6(&generators::complete(6)));
+        let args = Args::parse([big.as_str()]).unwrap();
+        assert!(cmd_census(&args).is_err());
+    }
+
+    #[test]
+    fn tree_command() {
+        let path = petersen_file();
+        let args = Args::parse([path.as_str(), "--source", "0"]).unwrap();
+        let out = cmd_tree(&args).unwrap();
+        assert!(out.contains("spanning tree rooted at 0 (10 nodes)"), "{out}");
+        assert!(out.contains("is a BFS tree: true"), "{out}");
+        assert!(out.contains("0: root"), "{out}");
+    }
+
+    #[test]
+    fn info_command() {
+        let path = petersen_file();
+        let args = Args::parse([path.as_str()]).unwrap();
+        let out = cmd_info(&args).unwrap();
+        assert!(out.contains("nodes: 10"));
+        assert!(out.contains("edges: 15"));
+        assert!(out.contains("diameter: 2"));
+        assert!(out.contains("bipartite: false"));
+        assert!(out.contains("girth: 5"));
+        assert!(out.contains("flooding bound: 5"));
+    }
+
+    #[test]
+    fn gen_command_formats() {
+        let args = Args::parse(["cycle", "5"]).unwrap();
+        let out = cmd_gen(&args).unwrap();
+        assert!(out.starts_with("n 5"));
+        let args = Args::parse(["cycle", "5", "--format", "g6"]).unwrap();
+        let out = cmd_gen(&args).unwrap();
+        assert_eq!(parse_graph(&out).unwrap(), generators::cycle(5));
+        let args = Args::parse(["petersen", "--format", "dot"]).unwrap();
+        assert!(cmd_gen(&args).unwrap().starts_with("graph petersen"));
+        let args = Args::parse(["tbd"]).unwrap();
+        assert!(cmd_gen(&args).is_err());
+    }
+
+    #[test]
+    fn gen_roundtrips_through_flood() {
+        // Generate -> parse -> flood: the full pipeline.
+        let args = Args::parse(["gnp", "20", "0.2", "7"]).unwrap();
+        let text = cmd_gen(&args).unwrap();
+        let g = parse_graph(&text).unwrap();
+        let run = af_core::flood(&g, 0.into());
+        assert!(run.terminated());
+    }
+
+    #[test]
+    fn dispatch_routes_and_rejects() {
+        let args = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(dispatch("help", &args).unwrap().contains("amnesiac"));
+        assert!(dispatch("bogus", &args).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # af-cli
+//!
+//! The `amnesiac` command-line tool: flood, predict, detect, certify,
+//! census, inspect and generate graphs from the terminal — a thin shell
+//! over the reproduction's library crates.
+//!
+//! ```text
+//! amnesiac gen petersen --format g6 > petersen.g6
+//! amnesiac info petersen.g6
+//! amnesiac flood petersen.g6 --source 0 --trace
+//! amnesiac certify petersen.g6 --adversary serial
+//! ```
+//!
+//! The command implementations live in [`commands`] as pure
+//! (args → text) functions so they are unit-tested without spawning
+//! processes; `main` only does dispatch and exit codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, usage, CommandError};

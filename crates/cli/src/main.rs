@@ -1,0 +1,26 @@
+//! Binary entry point for the `amnesiac` CLI; all logic lives in
+//! [`af_cli::commands`].
+
+use af_cli::{dispatch, usage, Args};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{}", usage());
+        std::process::exit(2);
+    };
+    let args = match Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&command, &args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Amnesiac flooding from **arbitrary arc configurations** — an extension
+//! experiment beyond the paper.
+//!
+//! Theorem 3.1 proves termination when the flood starts from *node*
+//! initiators (each source sends to all its neighbours). The synchronous
+//! dynamics, however, are defined on any set of in-flight arcs, and the
+//! theorem does **not** extend to that state space: a single message
+//! travelling along a cycle orbits it forever (each node forwards to "the
+//! other side" and the wave never meets an annihilating counter-wave).
+//!
+//! Because the synchronous dynamics are deterministic over the finite
+//! space of arc sets, every configuration either terminates or enters a
+//! limit cycle, and [`classify_configuration`] decides which by hashing
+//! the trajectory. [`classify_all_configurations`] does so exhaustively
+//! for every one of the `2^(2m)` configurations of a small graph —
+//! experiment E12 quantifies how special the node-initiated
+//! configurations of the paper really are.
+
+use crate::fast::FastFlooding;
+use af_graph::{ArcId, Graph, NodeId};
+use std::collections::HashMap;
+
+/// The fate of a synchronous flood from some initial configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncFate {
+    /// The flood died out.
+    Terminates {
+        /// The last round in which any edge carried the message.
+        last_active_round: u32,
+    },
+    /// The flood entered a limit cycle and never terminates.
+    Cycles {
+        /// Rounds before the recurring configuration is first reached.
+        prefix: u32,
+        /// Length of the limit cycle.
+        period: u32,
+    },
+}
+
+impl SyncFate {
+    /// Returns `true` for the terminating fate.
+    #[must_use]
+    pub fn terminates(self) -> bool {
+        matches!(self, SyncFate::Terminates { .. })
+    }
+}
+
+/// Decides the fate of the synchronous flood started from `arcs`.
+///
+/// Deterministic dynamics over a finite state space always resolve; the
+/// function needs no cap.
+///
+/// # Panics
+///
+/// Panics if an arc is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::arbitrary::{classify_configuration, SyncFate};
+/// use af_graph::generators;
+///
+/// let g = generators::cycle(4);
+/// // A single in-flight message orbits the cycle forever.
+/// let lone = g.arc_between(0.into(), 1.into()).unwrap();
+/// assert_eq!(
+///     classify_configuration(&g, [lone]),
+///     SyncFate::Cycles { prefix: 0, period: 4 }
+/// );
+/// ```
+#[must_use]
+pub fn classify_configuration<I>(graph: &Graph, arcs: I) -> SyncFate
+where
+    I: IntoIterator<Item = ArcId>,
+{
+    let mut sim = FastFlooding::new_silent_from(graph, arcs);
+    let mut seen: HashMap<Vec<u64>, u32> = HashMap::new();
+    seen.insert(sim.active_words().to_vec(), 0);
+    loop {
+        match sim.step() {
+            None => {
+                return SyncFate::Terminates { last_active_round: sim.round() };
+            }
+            Some(round) => {
+                let key = sim.active_words().to_vec();
+                if let Some(&first) = seen.get(&key) {
+                    return SyncFate::Cycles { prefix: first, period: round - first };
+                }
+                seen.insert(key, round);
+            }
+        }
+    }
+}
+
+impl<'g> FastFlooding<'g> {
+    /// `from_arcs` with receipt recording disabled (classification does not
+    /// need receipts and cycling runs would accumulate them unboundedly).
+    fn new_silent_from<I>(graph: &'g Graph, arcs: I) -> Self
+    where
+        I: IntoIterator<Item = ArcId>,
+    {
+        let mut sim = FastFlooding::from_arcs(graph, arcs);
+        sim.set_record_receipts(false);
+        sim
+    }
+}
+
+/// Exhaustive classification of **every** arc configuration of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigurationCensus {
+    configurations: u64,
+    terminating: u64,
+    cycling: u64,
+    max_termination_round: u32,
+    max_period: u32,
+    node_initiated_all_terminate: bool,
+    single_arc_cycling: u64,
+}
+
+impl ConfigurationCensus {
+    /// Total configurations classified (`2^(2m)`).
+    #[must_use]
+    pub fn configurations(&self) -> u64 {
+        self.configurations
+    }
+
+    /// Configurations whose flood terminates.
+    #[must_use]
+    pub fn terminating(&self) -> u64 {
+        self.terminating
+    }
+
+    /// Configurations whose flood cycles forever.
+    #[must_use]
+    pub fn cycling(&self) -> u64 {
+        self.cycling
+    }
+
+    /// Largest termination round among terminating configurations.
+    #[must_use]
+    pub fn max_termination_round(&self) -> u32 {
+        self.max_termination_round
+    }
+
+    /// Longest limit-cycle period among cycling configurations.
+    #[must_use]
+    pub fn max_period(&self) -> u32 {
+        self.max_period
+    }
+
+    /// Whether every node-initiated configuration (the paper's setting,
+    /// any non-empty source set) terminated — Theorem 3.1 says it must.
+    #[must_use]
+    pub fn node_initiated_all_terminate(&self) -> bool {
+        self.node_initiated_all_terminate
+    }
+
+    /// How many single-arc configurations cycle (on a cycle graph: all of
+    /// them; on a tree: none).
+    #[must_use]
+    pub fn single_arc_cycling(&self) -> u64 {
+        self.single_arc_cycling
+    }
+}
+
+/// Classifies every one of the `2^(2m)` arc configurations of `graph`,
+/// plus every node-initiated configuration, exhaustively.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 12 edges (`2^24` configurations is
+/// the sanity budget for exhaustive classification).
+#[must_use]
+pub fn classify_all_configurations(graph: &Graph) -> ConfigurationCensus {
+    let m = graph.edge_count();
+    assert!(m <= 12, "exhaustive classification is capped at 12 edges, got {m}");
+    let arc_count = graph.arc_count();
+    let total = 1u64 << arc_count;
+
+    let mut terminating = 0u64;
+    let mut cycling = 0u64;
+    let mut max_t = 0u32;
+    let mut max_period = 0u32;
+    let mut single_arc_cycling = 0u64;
+
+    for mask in 0..total {
+        let arcs = (0..arc_count).filter(|&i| mask >> i & 1 == 1).map(ArcId::from_index);
+        match classify_configuration(graph, arcs) {
+            SyncFate::Terminates { last_active_round } => {
+                terminating += 1;
+                max_t = max_t.max(last_active_round);
+            }
+            SyncFate::Cycles { period, .. } => {
+                cycling += 1;
+                max_period = max_period.max(period);
+                if mask.count_ones() == 1 {
+                    single_arc_cycling += 1;
+                }
+            }
+        }
+    }
+
+    // Node-initiated configurations: every non-empty subset of nodes.
+    let n = graph.node_count();
+    let mut node_ok = true;
+    if n <= 20 {
+        for node_mask in 1u64..(1 << n) {
+            let sources =
+                (0..n).filter(|&i| node_mask >> i & 1 == 1).map(NodeId::new);
+            let mut sim = FastFlooding::new(graph, sources);
+            sim.set_record_receipts(false);
+            if !sim.run(4 * n as u32 + 4).is_terminated() {
+                node_ok = false;
+            }
+        }
+    }
+
+    ConfigurationCensus {
+        configurations: total,
+        terminating,
+        cycling,
+        max_termination_round: max_t,
+        max_period,
+        node_initiated_all_terminate: node_ok,
+        single_arc_cycling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_graph::generators;
+
+    #[test]
+    fn single_arc_on_even_cycle_orbits() {
+        let g = generators::cycle(4);
+        let a = g.arc_between(0.into(), 1.into()).unwrap();
+        assert_eq!(
+            classify_configuration(&g, [a]),
+            SyncFate::Cycles { prefix: 0, period: 4 }
+        );
+    }
+
+    #[test]
+    fn single_arc_on_odd_cycle_orbits_with_period_n() {
+        let g = generators::cycle(5);
+        let a = g.arc_between(2.into(), 3.into()).unwrap();
+        match classify_configuration(&g, [a]) {
+            SyncFate::Cycles { period, .. } => assert_eq!(period, 5),
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_arc_on_a_path_dies_at_the_end() {
+        let g = generators::path(5);
+        let a = g.arc_between(1.into(), 2.into()).unwrap();
+        assert_eq!(
+            classify_configuration(&g, [a]),
+            SyncFate::Terminates { last_active_round: 3 }
+        );
+    }
+
+    #[test]
+    fn node_initiated_configurations_match_the_simulator() {
+        // classify(configuration of v's sends) == flood(v).
+        let g = generators::petersen();
+        for v in g.nodes() {
+            let arcs: Vec<_> = g
+                .neighbors(v)
+                .iter()
+                .map(|&w| g.arc_between(v, w).unwrap())
+                .collect();
+            let fate = classify_configuration(&g, arcs);
+            let run = crate::run::flood(&g, v);
+            assert_eq!(
+                fate,
+                SyncFate::Terminates {
+                    last_active_round: run.termination_round().unwrap()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn empty_configuration_terminates_at_round_zero() {
+        let g = generators::cycle(6);
+        assert_eq!(
+            classify_configuration(&g, []),
+            SyncFate::Terminates { last_active_round: 0 }
+        );
+    }
+
+    #[test]
+    fn census_on_the_triangle() {
+        let g = generators::cycle(3);
+        let census = classify_all_configurations(&g);
+        assert_eq!(census.configurations(), 64);
+        assert_eq!(census.terminating() + census.cycling(), 64);
+        assert!(census.cycling() > 0, "lone arcs orbit the triangle");
+        assert_eq!(census.single_arc_cycling(), 6, "every lone arc orbits");
+        assert!(census.node_initiated_all_terminate(), "Theorem 3.1");
+    }
+
+    #[test]
+    fn census_on_a_tree_has_no_cycling_configs() {
+        let g = generators::path(5);
+        let census = classify_all_configurations(&g);
+        assert_eq!(census.configurations(), 256);
+        assert_eq!(census.cycling(), 0, "trees always flush the flood out");
+        assert_eq!(census.terminating(), 256);
+        assert!(census.node_initiated_all_terminate());
+    }
+
+    #[test]
+    fn census_on_c4() {
+        let g = generators::cycle(4);
+        let census = classify_all_configurations(&g);
+        assert_eq!(census.configurations(), 256);
+        assert!(census.cycling() >= 8, "all 8 lone arcs orbit");
+        assert_eq!(census.single_arc_cycling(), 8);
+        assert!(census.node_initiated_all_terminate());
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 12 edges")]
+    fn census_rejects_large_graphs() {
+        let _ = classify_all_configurations(&generators::complete(7));
+    }
+}

@@ -1,0 +1,417 @@
+//! A direct bitset simulator of amnesiac flooding.
+//!
+//! Amnesiac flooding has a purely local arc-level transition rule that needs
+//! no per-node callback machinery:
+//!
+//! > arc `v → w` carries the message in round `r + 1`  ⇔
+//! > `v` received something in round `r` **and** arc `w → v` did **not**
+//! > carry the message in round `r`.
+//!
+//! (`v` forwards to the complement of its senders; `w` is a sender exactly
+//! when `w → v` was active.) [`FastFlooding`] iterates this rule over a
+//! bitset of active arcs — the engine of the exhaustive theorem checker and
+//! the benchmark harness, and an independent second implementation that the
+//! test suite cross-checks against the generic [`af_engine::SyncEngine`].
+
+use af_engine::Outcome;
+use af_graph::{ArcId, Graph, NodeId};
+
+/// Fixed-size bitset over arc ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArcSet {
+    words: Vec<u64>,
+}
+
+impl ArcSet {
+    fn new(arc_count: usize) -> Self {
+        ArcSet { words: vec![0; arc_count.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn insert(&mut self, a: ArcId) {
+        self.words[a.index() / 64] |= 1 << (a.index() % 64);
+    }
+
+    #[inline]
+    fn contains(&self, a: ArcId) -> bool {
+        self.words[a.index() / 64] >> (a.index() % 64) & 1 == 1
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the set arc ids in increasing order.
+    fn iter(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(ArcId::from_index(wi * 64 + b))
+            })
+        })
+    }
+}
+
+/// Bitset-based amnesiac-flooding simulator.
+///
+/// Tracks, optionally, the rounds at which each node received the message
+/// (needed by the theory cross-checks; disable with
+/// [`FastFlooding::set_record_receipts`] for raw benchmark speed).
+///
+/// # Examples
+///
+/// ```
+/// use af_core::FastFlooding;
+/// use af_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(3); // Figure 2
+/// let mut sim = FastFlooding::new(&g, [NodeId::new(1)]);
+/// let outcome = sim.run(100);
+/// assert_eq!(outcome.termination_round(), Some(3));
+/// assert_eq!(sim.total_messages(), 6); // = 2m on a non-bipartite graph
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastFlooding<'g> {
+    graph: &'g Graph,
+    active: ArcSet,
+    next: ArcSet,
+    received: Vec<bool>,
+    receivers: Vec<NodeId>,
+    round: u32,
+    total_messages: u64,
+    messages_per_round: Vec<u64>,
+    record_receipts: bool,
+    receipts: Vec<Vec<u32>>,
+}
+
+impl<'g> FastFlooding<'g> {
+    /// Creates a simulator with the given initiator set; the initiators'
+    /// sends are the round-1 traffic. Duplicate initiators are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initiator is out of range.
+    pub fn new<I>(graph: &'g Graph, sources: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = graph.node_count();
+        let mut active = ArcSet::new(graph.arc_count());
+        let mut srcs: Vec<NodeId> = sources.into_iter().collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        for &v in &srcs {
+            assert!(v.index() < n, "source {v} out of range");
+            for &w in graph.neighbors(v) {
+                let arc = graph.arc_between(v, w).expect("neighbour edge exists");
+                active.insert(arc);
+            }
+        }
+        Self::with_active_set(graph, active)
+    }
+
+    /// Creates a simulator from an **arbitrary arc configuration**: the
+    /// given arcs carry the message in round 1, regardless of whether any
+    /// node "initiated" them. This is the state space the paper's
+    /// Theorem 3.1 proof walks through — and, unlike node-initiated
+    /// floods, arbitrary configurations can cycle forever even
+    /// synchronously (a single arc on a cycle orbits indefinitely); see
+    /// [`crate::arbitrary`].
+    ///
+    /// Duplicate arcs are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arc index is out of range for the graph.
+    pub fn from_arcs<I>(graph: &'g Graph, arcs: I) -> Self
+    where
+        I: IntoIterator<Item = af_graph::ArcId>,
+    {
+        let mut active = ArcSet::new(graph.arc_count());
+        for a in arcs {
+            assert!(a.index() < graph.arc_count(), "arc {a} out of range");
+            active.insert(a);
+        }
+        Self::with_active_set(graph, active)
+    }
+
+    fn with_active_set(graph: &'g Graph, active: ArcSet) -> Self {
+        let n = graph.node_count();
+        FastFlooding {
+            graph,
+            active,
+            next: ArcSet::new(graph.arc_count()),
+            received: vec![false; n],
+            receivers: Vec::new(),
+            round: 0,
+            total_messages: 0,
+            messages_per_round: Vec::new(),
+            record_receipts: true,
+            receipts: vec![Vec::new(); n],
+        }
+    }
+
+    /// The raw bitset words of the active arc set — a compact
+    /// configuration key for cycle detection over the synchronous
+    /// dynamics.
+    #[must_use]
+    pub fn active_words(&self) -> &[u64] {
+        &self.active.words
+    }
+
+    /// Enables or disables per-node receipt recording (enabled by default).
+    pub fn set_record_receipts(&mut self, record: bool) {
+        self.record_receipts = record;
+    }
+
+    /// The graph being simulated.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Returns `true` if no arc carries the message.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Total messages delivered so far.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Messages delivered in each executed round (index 0 = round 1).
+    #[must_use]
+    pub fn messages_per_round(&self) -> &[u64] {
+        &self.messages_per_round
+    }
+
+    /// The arcs that will carry the message in the next round, in
+    /// increasing arc order.
+    #[must_use]
+    pub fn in_flight(&self) -> Vec<ArcId> {
+        self.active.iter().collect()
+    }
+
+    /// Rounds at which `v` received the message (empty if receipts are not
+    /// recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn receipts(&self, v: NodeId) -> &[u32] {
+        &self.receipts[v.index()]
+    }
+
+    /// Executes one round; returns the round number, or `None` if already
+    /// terminated.
+    pub fn step(&mut self) -> Option<u32> {
+        if self.active.is_empty() {
+            return None;
+        }
+        self.round += 1;
+        let round = self.round;
+        let delivered = self.active.count() as u64;
+        self.total_messages += delivered;
+        self.messages_per_round.push(delivered);
+
+        // Mark receivers.
+        self.receivers.clear();
+        for arc in self.active.iter() {
+            let head = self.graph.arc_head(arc);
+            if !self.received[head.index()] {
+                self.received[head.index()] = true;
+                self.receivers.push(head);
+            }
+        }
+
+        // Local rule: v→w active next iff v received and w→v not active.
+        self.next.clear();
+        for &v in &self.receivers {
+            if self.record_receipts {
+                self.receipts[v.index()].push(round);
+            }
+            for &w in self.graph.neighbors(v) {
+                let out = self.graph.arc_between(v, w).expect("neighbour edge exists");
+                if !self.active.contains(out.reversed()) {
+                    self.next.insert(out);
+                }
+            }
+        }
+
+        core::mem::swap(&mut self.active, &mut self.next);
+        for &v in &self.receivers {
+            self.received[v.index()] = false;
+        }
+        Some(round)
+    }
+
+    /// Runs until termination or `max_rounds`.
+    pub fn run(&mut self, max_rounds: u32) -> Outcome {
+        while self.round < max_rounds {
+            if self.step().is_none() {
+                return Outcome::Terminated { last_active_round: self.round };
+            }
+        }
+        if self.active.is_empty() {
+            Outcome::Terminated { last_active_round: self.round }
+        } else {
+            Outcome::CapReached { rounds_executed: self.round }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::AmnesiacFloodingProtocol;
+    use af_engine::SyncEngine;
+    use af_graph::generators;
+
+    fn cross_check(g: &Graph, sources: &[NodeId]) {
+        let mut fast = FastFlooding::new(g, sources.iter().copied());
+        let mut engine = SyncEngine::new(g, AmnesiacFloodingProtocol, sources.iter().copied());
+        loop {
+            let in_flight_fast = fast.in_flight();
+            assert_eq!(in_flight_fast.as_slice(), engine.in_flight(), "round {}", fast.round());
+            let a = fast.step();
+            let b = engine.step();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+            assert!(fast.round() < 1000, "runaway");
+        }
+        assert_eq!(fast.total_messages(), engine.total_messages());
+        for v in g.nodes() {
+            assert_eq!(fast.receipts(v), engine.receipts(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn matches_generic_engine_on_named_topologies() {
+        for (g, s) in [
+            (generators::path(7), 0usize),
+            (generators::path(7), 3),
+            (generators::cycle(3), 0),
+            (generators::cycle(6), 2),
+            (generators::cycle(9), 4),
+            (generators::complete(6), 1),
+            (generators::petersen(), 0),
+            (generators::wheel(5), 2),
+            (generators::barbell(4), 0),
+            (generators::grid(3, 4), 5),
+            (generators::hypercube(4), 9),
+        ] {
+            cross_check(&g, &[NodeId::new(s)]);
+        }
+    }
+
+    #[test]
+    fn matches_generic_engine_multi_source() {
+        let g = generators::cycle(8);
+        cross_check(&g, &[NodeId::new(0), NodeId::new(3)]);
+        let g = generators::petersen();
+        cross_check(&g, &[NodeId::new(0), NodeId::new(7), NodeId::new(9)]);
+        let g = generators::path(4);
+        cross_check(&g, &[NodeId::new(0), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn figure_round_counts() {
+        let g = generators::path(4);
+        assert_eq!(
+            FastFlooding::new(&g, [NodeId::new(1)]).run(100).termination_round(),
+            Some(2)
+        );
+        let g = generators::cycle(3);
+        assert_eq!(
+            FastFlooding::new(&g, [NodeId::new(0)]).run(100).termination_round(),
+            Some(3)
+        );
+        let g = generators::cycle(6);
+        assert_eq!(
+            FastFlooding::new(&g, [NodeId::new(0)]).run(100).termination_round(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn message_complexity_is_m_on_bipartite_and_2m_otherwise() {
+        // Exact message counts follow from the double-cover argument.
+        for (g, bip) in [
+            (generators::path(9), true),
+            (generators::cycle(8), true),
+            (generators::grid(4, 5), true),
+            (generators::cycle(7), false),
+            (generators::complete(5), false),
+            (generators::petersen(), false),
+        ] {
+            let mut f = FastFlooding::new(&g, [NodeId::new(0)]);
+            f.run(1000);
+            let m = g.edge_count() as u64;
+            let expect = if bip { m } else { 2 * m };
+            assert_eq!(f.total_messages(), expect, "{g}");
+        }
+    }
+
+    #[test]
+    fn receipts_can_be_disabled() {
+        let g = generators::cycle(6);
+        let mut f = FastFlooding::new(&g, [NodeId::new(0)]);
+        f.set_record_receipts(false);
+        f.run(100);
+        assert!(f.receipts(NodeId::new(1)).is_empty());
+        assert!(f.total_messages() > 0);
+    }
+
+    #[test]
+    fn cap_behaviour() {
+        let g = generators::cycle(3);
+        let mut f = FastFlooding::new(&g, [NodeId::new(0)]);
+        assert_eq!(f.run(1), Outcome::CapReached { rounds_executed: 1 });
+        assert_eq!(f.run(100), Outcome::Terminated { last_active_round: 3 });
+        // Stepping a terminated simulator returns None.
+        assert_eq!(f.step(), None);
+    }
+
+    #[test]
+    fn empty_source_set_is_terminated() {
+        let g = generators::cycle(4);
+        let mut f = FastFlooding::new(&g, []);
+        assert!(f.is_terminated());
+        assert_eq!(f.run(10), Outcome::Terminated { last_active_round: 0 });
+    }
+
+    #[test]
+    fn messages_per_round_sums_to_total() {
+        let g = generators::petersen();
+        let mut f = FastFlooding::new(&g, [NodeId::new(0)]);
+        f.run(100);
+        let sum: u64 = f.messages_per_round().iter().sum();
+        assert_eq!(sum, f.total_messages());
+        assert_eq!(f.total_messages(), 30); // 2m, Petersen has m = 15
+    }
+}

@@ -1,0 +1,65 @@
+//! # af-core
+//!
+//! The primary contribution of *"On Termination of a Flooding Process"*
+//! (Hussak & Trehan, PODC 2019), reproduced as a library: **Amnesiac
+//! Flooding** — flooding without a "seen" flag, where each node forwards
+//! the message to exactly the neighbours it did not just receive it from.
+//!
+//! What lives here:
+//!
+//! * [`AmnesiacFloodingProtocol`] / [`ClassicFloodingProtocol`] — the
+//!   paper's protocol (Definition 1.1) and the flag-based baseline, as
+//!   [`af_engine::Protocol`] implementations for both the synchronous and
+//!   the adversarial asynchronous engine;
+//! * [`FastFlooding`] — an independent bitset simulator built on the local
+//!   arc rule (`v→w` fires iff `v` received and `w→v` did not fire);
+//! * [`AmnesiacFlooding`] / [`flood`] — high-level drivers producing a
+//!   [`FloodingRun`] with the paper's round-sets `R_i`, per-node receive
+//!   rounds, termination round and message counts;
+//! * [`theory`] — the exact-time oracle via the bipartite double cover,
+//!   plus the paper's bounds (`e(v)`, `D`, `2D + 1`);
+//! * [`roundsets`] — the Theorem 3.1 proof machinery (`R`, `Re`) checked
+//!   on concrete runs;
+//! * [`detect`] — the suggested application: bipartiteness testing by
+//!   flooding;
+//! * [`arbitrary`] — the extension experiment: flooding from arbitrary
+//!   *arc* configurations, where (unlike the paper's node-initiated
+//!   setting) synchronous non-termination is possible and exhaustively
+//!   classified;
+//! * [`spanning`] — first-receipt spanning trees (provably BFS trees);
+//! * [`trace`] — textual renderings of the paper's figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use af_core::{flood, theory};
+//! use af_graph::generators;
+//!
+//! // Figure 3: an even cycle C6 floods for exactly D = 3 rounds.
+//! let g = generators::cycle(6);
+//! let run = flood(&g, 0.into());
+//! assert_eq!(run.termination_round(), Some(3));
+//!
+//! // The double-cover oracle predicts the same thing without simulating.
+//! assert_eq!(theory::predict(&g, [0.into()]).termination_round(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arbitrary;
+pub mod detect;
+pub mod roundsets;
+pub mod theory;
+pub mod trace;
+
+pub mod spanning;
+
+mod fast;
+mod protocol;
+mod run;
+
+pub use fast::FastFlooding;
+pub use protocol::{AmnesiacFloodingProtocol, ClassicFloodingProtocol, KMemoryFlooding};
+pub use run::{flood, AmnesiacFlooding, FloodingRun};

@@ -1,0 +1,303 @@
+//! The paper's protocol (Definition 1.1) and the classic baseline it is
+//! contrasted with, as [`af_engine::Protocol`] implementations.
+
+use af_engine::Protocol;
+use af_graph::{Graph, NodeId};
+
+/// **Amnesiac Flooding** (Definition 1.1 of the paper).
+///
+/// The initiator sends the message to all its neighbours in round 1. In
+/// every later round, a node that received the message forwards a copy to
+/// exactly those neighbours it did *not* receive it from in that round —
+/// and remembers nothing (`State = ()`).
+///
+/// # Examples
+///
+/// ```
+/// use af_core::AmnesiacFloodingProtocol;
+/// use af_engine::SyncEngine;
+/// use af_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(6); // Figure 3
+/// let mut e = SyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(0)]);
+/// assert_eq!(e.run(100).termination_round(), Some(3)); // = D
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AmnesiacFloodingProtocol;
+
+impl Protocol for AmnesiacFloodingProtocol {
+    type State = ();
+
+    fn initiate(&self, node: NodeId, _state: &mut (), graph: &Graph) -> Vec<NodeId> {
+        graph.neighbors(node).to_vec()
+    }
+
+    fn on_receive(
+        &self,
+        node: NodeId,
+        from: &[NodeId],
+        _state: &mut (),
+        graph: &Graph,
+    ) -> Vec<NodeId> {
+        // `from` is sorted (engine contract), as is the neighbour list.
+        graph
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|w| from.binary_search(w).is_err())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "amnesiac-flooding"
+    }
+}
+
+/// **Classic flag flooding** (the baseline the paper's introduction quotes
+/// from Aspnes): on first contact a node forwards to everyone it did not
+/// receive from, sets a "seen" flag, and never forwards again.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::ClassicFloodingProtocol;
+/// use af_engine::SyncEngine;
+/// use af_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(6);
+/// let mut e = SyncEngine::new(&g, ClassicFloodingProtocol, [NodeId::new(0)]);
+/// assert!(e.run(100).is_terminated());
+/// // The flag is what guarantees termination — and what AF does without.
+/// assert!(g.nodes().all(|v| *e.state(v)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassicFloodingProtocol;
+
+impl Protocol for ClassicFloodingProtocol {
+    type State = bool;
+
+    fn initiate(&self, node: NodeId, state: &mut bool, graph: &Graph) -> Vec<NodeId> {
+        *state = true;
+        graph.neighbors(node).to_vec()
+    }
+
+    fn on_receive(
+        &self,
+        node: NodeId,
+        from: &[NodeId],
+        state: &mut bool,
+        graph: &Graph,
+    ) -> Vec<NodeId> {
+        if *state {
+            return Vec::new();
+        }
+        *state = true;
+        graph
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|w| from.binary_search(w).is_err())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "classic-flooding"
+    }
+}
+
+/// **k-memory flooding** — the design-space ladder between amnesiac
+/// flooding and the classic flag that the paper's "designing amnesiac /
+/// low-memory algorithms" application points at.
+///
+/// A node remembers the sender sets of its last `k` *receive events* and
+/// forwards to the neighbours not among any of them:
+///
+/// * `k = 1` is exactly [`AmnesiacFloodingProtocol`] (remember only the
+///   current round's senders);
+/// * larger `k` suppresses more re-sends: on the triangle, `k = 2` already
+///   terminates in 2 rounds instead of `2D + 1 = 3`;
+/// * `k = 0` remembers nothing at all — it even echoes back to the sender,
+///   and provably never terminates on any graph with an edge (the message
+///   ping-pongs forever). Experiment E15 measures the whole ladder.
+///
+/// Per-node state is `O(k · Δ)` sender ids, compared to AF's zero and the
+/// classic flag's one bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMemoryFlooding {
+    k: usize,
+}
+
+impl KMemoryFlooding {
+    /// Creates the protocol remembering the last `k` receive events.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        KMemoryFlooding { k }
+    }
+
+    /// The memory window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Protocol for KMemoryFlooding {
+    /// Sender sets of the most recent `k` receive events, newest last.
+    type State = std::collections::VecDeque<Vec<NodeId>>;
+
+    fn initiate(&self, node: NodeId, _state: &mut Self::State, graph: &Graph) -> Vec<NodeId> {
+        graph.neighbors(node).to_vec()
+    }
+
+    fn on_receive(
+        &self,
+        node: NodeId,
+        from: &[NodeId],
+        state: &mut Self::State,
+        graph: &Graph,
+    ) -> Vec<NodeId> {
+        state.push_back(from.to_vec());
+        while state.len() > self.k {
+            state.pop_front();
+        }
+        graph
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|w| !state.iter().any(|senders| senders.binary_search(w).is_ok()))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "k-memory-flooding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_engine::SyncEngine;
+    use af_graph::generators;
+
+    #[test]
+    fn af_on_figures() {
+        // Figure 1: line from b, 2 rounds.
+        let g = generators::path(4);
+        let mut e = SyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(1)]);
+        assert_eq!(e.run(100).termination_round(), Some(2));
+
+        // Figure 2: triangle, 3 rounds = 2D + 1.
+        let g = generators::cycle(3);
+        let mut e = SyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(1)]);
+        assert_eq!(e.run(100).termination_round(), Some(3));
+
+        // Figure 3: C6, D = 3 rounds.
+        let g = generators::cycle(6);
+        let mut e = SyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(2)]);
+        assert_eq!(e.run(100).termination_round(), Some(3));
+    }
+
+    #[test]
+    fn af_sends_complement_of_senders() {
+        let g = generators::star(5);
+        let p = AmnesiacFloodingProtocol;
+        // hub receives from leaves 1 and 3 -> forwards to 2 and 4.
+        let targets = p.on_receive(
+            NodeId::new(0),
+            &[NodeId::new(1), NodeId::new(3)],
+            &mut (),
+            &g,
+        );
+        assert_eq!(targets, vec![NodeId::new(2), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn classic_stops_after_first_forward() {
+        let g = generators::star(4);
+        let p = ClassicFloodingProtocol;
+        let mut st = false;
+        let t1 = p.on_receive(NodeId::new(0), &[NodeId::new(1)], &mut st, &g);
+        assert_eq!(t1, vec![NodeId::new(2), NodeId::new(3)]);
+        assert!(st);
+        let t2 = p.on_receive(NodeId::new(0), &[NodeId::new(2)], &mut st, &g);
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn initiation_reaches_all_neighbors() {
+        let g = generators::complete(5);
+        let p = AmnesiacFloodingProtocol;
+        assert_eq!(p.initiate(NodeId::new(2), &mut (), &g).len(), 4);
+        let c = ClassicFloodingProtocol;
+        let mut st = false;
+        assert_eq!(c.initiate(NodeId::new(2), &mut st, &g).len(), 4);
+        assert!(st);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AmnesiacFloodingProtocol.name(), "amnesiac-flooding");
+        assert_eq!(ClassicFloodingProtocol.name(), "classic-flooding");
+        assert_eq!(KMemoryFlooding::new(2).name(), "k-memory-flooding");
+        assert_eq!(KMemoryFlooding::new(2).window(), 2);
+    }
+
+    #[test]
+    fn k1_memory_equals_amnesiac_flooding() {
+        for g in [
+            generators::cycle(7),
+            generators::petersen(),
+            generators::grid(3, 4),
+            generators::barbell(4),
+        ] {
+            let mut af = SyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(0)]);
+            let mut k1 = SyncEngine::new(&g, KMemoryFlooding::new(1), [NodeId::new(0)]);
+            loop {
+                assert_eq!(af.in_flight(), k1.in_flight(), "{g} round {}", af.round());
+                let (a, b) = (af.step(), k1.step());
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(af.total_messages(), k1.total_messages());
+        }
+    }
+
+    #[test]
+    fn k2_terminates_faster_on_the_triangle() {
+        let g = generators::cycle(3);
+        let mut e = SyncEngine::new(&g, KMemoryFlooding::new(2), [NodeId::new(1)]);
+        // Round 1: b -> {a, c}; round 2: a <-> c; round 3: both remember
+        // {b} and the other, so they send nothing back to b.
+        assert_eq!(e.run(100).termination_round(), Some(2));
+    }
+
+    #[test]
+    fn k0_never_terminates_even_on_an_edge() {
+        let g = generators::path(2);
+        let mut e = SyncEngine::new(&g, KMemoryFlooding::new(0), [NodeId::new(0)]);
+        assert_eq!(
+            e.run(100),
+            af_engine::Outcome::CapReached { rounds_executed: 100 }
+        );
+    }
+
+    #[test]
+    fn more_memory_never_increases_messages() {
+        for g in [generators::petersen(), generators::complete(6), generators::cycle(9)] {
+            let mut prev = u64::MAX;
+            for k in 1..=4 {
+                let mut e = SyncEngine::new(&g, KMemoryFlooding::new(k), [NodeId::new(0)]);
+                let out = e.run(10_000);
+                assert!(out.is_terminated(), "{g} k={k}");
+                assert!(
+                    e.total_messages() <= prev,
+                    "{g}: messages grew from {prev} to {} at k={k}",
+                    e.total_messages()
+                );
+                prev = e.total_messages();
+            }
+        }
+    }
+}

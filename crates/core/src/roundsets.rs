@@ -1,0 +1,192 @@
+//! Round-set analysis: the combinatorial machinery of the Theorem 3.1
+//! termination proof, checked on concrete runs.
+//!
+//! The proof defines round-sets `R_0, R_1, …` (`R_0` = the source set,
+//! `R_i` = nodes receiving at round `i`) and studies the family `R` of
+//! sequences `R_s, …, R_{s+d}` whose two end sets intersect (`d > 0`). It
+//! shows the even-duration subfamily `Re` must be empty — that is the whole
+//! theorem, because a non-terminating flood would pin some node into
+//! infinitely many round-sets and any three occurrences contain an even gap
+//! (Lemma 3.2).
+//!
+//! [`analyze`] extracts every "same node at rounds `s` and `s + d`" pair
+//! from a finished run and partitions them by parity, so tests can assert
+//! `Re = ∅` empirically on millions of runs.
+
+use crate::run::FloodingRun;
+use af_graph::NodeId;
+
+/// A witness that some node appears in two round-sets: `node ∈ R_start ∩
+/// R_{start + duration}`. The Theorem 3.1 proof calls the sequence between
+/// them an element of `R` with start-point `start` and duration `duration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecurrencePair {
+    /// The recurring node.
+    pub node: NodeId,
+    /// The earlier round (the sequence's start-point `s`).
+    pub start: u32,
+    /// The gap `d > 0` to the later round.
+    pub duration: u32,
+}
+
+impl RecurrencePair {
+    /// Returns `true` if this pair belongs to the proof's `Re` (even
+    /// duration) — Theorem 3.1 says this never happens.
+    #[must_use]
+    pub fn is_even_duration(&self) -> bool {
+        self.duration % 2 == 0
+    }
+}
+
+/// The result of analysing a run's round-sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSetAnalysis {
+    pairs: Vec<RecurrencePair>,
+    max_occurrences: usize,
+}
+
+impl RoundSetAnalysis {
+    /// Every recurrence pair (element of the proof's `R`, reported once per
+    /// node and round pair).
+    #[must_use]
+    pub fn pairs(&self) -> &[RecurrencePair] {
+        &self.pairs
+    }
+
+    /// The pairs with even duration — the proof's `Re`. Non-empty `Re`
+    /// would contradict Theorem 3.1.
+    #[must_use]
+    pub fn even_duration_pairs(&self) -> Vec<RecurrencePair> {
+        self.pairs.iter().copied().filter(RecurrencePair::is_even_duration).collect()
+    }
+
+    /// Returns `true` iff the proof's `Re` is empty for this run.
+    #[must_use]
+    pub fn even_sequences_empty(&self) -> bool {
+        self.pairs.iter().all(|p| !p.is_even_duration())
+    }
+
+    /// The largest number of round-sets any single node belongs to
+    /// (including `R_0` membership for sources). The double-cover theory
+    /// bounds this by 2 for non-source nodes and 2 overall.
+    #[must_use]
+    pub fn max_occurrences(&self) -> usize {
+        self.max_occurrences
+    }
+}
+
+/// Extracts all round-set recurrence pairs from a run.
+///
+/// Sources count as members of `R_0`, matching the paper's convention.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::{flood, roundsets};
+/// use af_graph::generators;
+///
+/// // The triangle: a and c belong to R_1 and R_2 (duration 1, odd), and
+/// // the source belongs to R_0 and R_3 (duration 3, odd). Re is empty.
+/// let run = flood(&generators::cycle(3), 1.into());
+/// let analysis = roundsets::analyze(&run);
+/// assert!(analysis.even_sequences_empty());
+/// assert_eq!(analysis.pairs().len(), 3);
+/// ```
+#[must_use]
+pub fn analyze(run: &FloodingRun) -> RoundSetAnalysis {
+    let mut pairs = Vec::new();
+    let mut max_occurrences = 0usize;
+
+    // Occurrence rounds per node: receive rounds, plus round 0 for sources.
+    let sets = run.round_sets();
+    let mut occurrences: std::collections::HashMap<NodeId, Vec<u32>> =
+        std::collections::HashMap::new();
+    for (r, set) in sets.iter().enumerate() {
+        for &v in set {
+            occurrences.entry(v).or_default().push(r as u32);
+        }
+    }
+
+    for (&node, rounds) in &occurrences {
+        max_occurrences = max_occurrences.max(rounds.len());
+        for i in 0..rounds.len() {
+            for j in (i + 1)..rounds.len() {
+                pairs.push(RecurrencePair {
+                    node,
+                    start: rounds[i],
+                    duration: rounds[j] - rounds[i],
+                });
+            }
+        }
+    }
+    pairs.sort_unstable_by_key(|p| (p.start, p.duration, p.node));
+    RoundSetAnalysis { pairs, max_occurrences }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{flood, AmnesiacFlooding};
+    use af_graph::generators;
+
+    #[test]
+    fn bipartite_runs_have_no_recurrences_at_all() {
+        for g in [generators::path(7), generators::cycle(8), generators::grid(3, 4)] {
+            for v in g.nodes() {
+                let run = flood(&g, v);
+                let a = analyze(&run);
+                assert!(a.pairs().is_empty(), "{g} from {v}");
+                assert_eq!(a.max_occurrences(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn non_bipartite_recurrences_are_all_odd() {
+        for g in [
+            generators::cycle(3),
+            generators::cycle(7),
+            generators::complete(6),
+            generators::petersen(),
+            generators::wheel(5),
+        ] {
+            for v in g.nodes() {
+                let run = flood(&g, v);
+                let a = analyze(&run);
+                assert!(!a.pairs().is_empty(), "{g}: odd cycles force recurrences");
+                assert!(a.even_sequences_empty(), "{g}: Theorem 3.1's Re must be empty");
+                assert!(a.max_occurrences() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_pairs_match_hand_computation() {
+        let run = flood(&generators::cycle(3), 1.into());
+        let a = analyze(&run);
+        // R0 = {1}, R1 = {0, 2}, R2 = {0, 2}, R3 = {1}
+        let pairs = a.pairs();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&RecurrencePair { node: 1.into(), start: 0, duration: 3 }));
+        assert!(pairs.contains(&RecurrencePair { node: 0.into(), start: 1, duration: 1 }));
+        assert!(pairs.contains(&RecurrencePair { node: 2.into(), start: 1, duration: 1 }));
+        assert_eq!(a.even_duration_pairs().len(), 0);
+    }
+
+    #[test]
+    fn multi_source_runs_also_have_empty_re() {
+        let g = generators::petersen();
+        let run = AmnesiacFlooding::multi_source(&g, [0.into(), 5.into()]).run();
+        assert!(run.terminated());
+        let a = analyze(&run);
+        assert!(a.even_sequences_empty());
+    }
+
+    #[test]
+    fn recurrence_pair_parity_helper() {
+        let even = RecurrencePair { node: 0.into(), start: 1, duration: 2 };
+        let odd = RecurrencePair { node: 0.into(), start: 1, duration: 3 };
+        assert!(even.is_even_duration());
+        assert!(!odd.is_even_duration());
+    }
+}

@@ -1,0 +1,375 @@
+//! High-level drivers: configure a flood, run it, inspect everything the
+//! paper talks about (round-sets `R_i`, receive rounds, termination round,
+//! message complexity).
+
+use crate::fast::FastFlooding;
+use af_engine::Outcome;
+use af_graph::{Graph, NodeId};
+
+/// Builder for an amnesiac-flooding execution ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```
+/// use af_core::AmnesiacFlooding;
+/// use af_graph::generators;
+///
+/// // Figure 1: flood the line 0-1-2-3 from node 1.
+/// let g = generators::path(4);
+/// let run = AmnesiacFlooding::single_source(&g, 1.into()).run();
+/// assert_eq!(run.termination_round(), Some(2));
+/// assert_eq!(run.round_set(2), &[3.into()]); // R2 = {d}
+/// ```
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone)]
+pub struct AmnesiacFlooding<'g> {
+    graph: &'g Graph,
+    sources: Vec<NodeId>,
+    max_rounds: Option<u32>,
+}
+
+impl<'g> AmnesiacFlooding<'g> {
+    /// A flood started by the single distinguished node `source` (the
+    /// paper's main setting).
+    #[must_use]
+    pub fn single_source(graph: &'g Graph, source: NodeId) -> Self {
+        AmnesiacFlooding { graph, sources: vec![source], max_rounds: None }
+    }
+
+    /// A flood started simultaneously by every node in `sources` (the full
+    /// paper's multi-source extension).
+    #[must_use]
+    pub fn multi_source<I>(graph: &'g Graph, sources: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        AmnesiacFlooding {
+            graph,
+            sources: sources.into_iter().collect(),
+            max_rounds: None,
+        }
+    }
+
+    /// Overrides the round cap. The default is `2n + 2` rounds — strictly
+    /// above the paper's `2D + 1` upper bound, so a capped run is a
+    /// counterexample to Theorem 3.1/3.3 rather than an artefact.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// The sources this flood will start from.
+    #[must_use]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Executes the flood and collects the full run record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    #[must_use]
+    pub fn run(&self) -> FloodingRun {
+        let cap = self
+            .max_rounds
+            .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
+        let mut sim = FastFlooding::new(self.graph, self.sources.iter().copied());
+        let outcome = sim.run(cap);
+
+        let n = self.graph.node_count();
+        let mut receive_rounds = Vec::with_capacity(n);
+        for v in self.graph.nodes() {
+            receive_rounds.push(sim.receipts(v).to_vec());
+        }
+        let rounds_executed = sim.round();
+        let mut round_sets: Vec<Vec<NodeId>> =
+            vec![Vec::new(); rounds_executed as usize + 1];
+        let mut sorted_sources = self.sources.clone();
+        sorted_sources.sort_unstable();
+        sorted_sources.dedup();
+        round_sets[0] = sorted_sources.clone();
+        for v in self.graph.nodes() {
+            for &r in sim.receipts(v) {
+                round_sets[r as usize].push(v);
+            }
+        }
+
+        FloodingRun::new_internal(
+            outcome,
+            sorted_sources,
+            receive_rounds,
+            round_sets,
+            sim.messages_per_round().to_vec(),
+            sim.total_messages(),
+        )
+    }
+}
+
+/// The complete record of one flooding execution.
+///
+/// All the objects the paper reasons about are exposed directly: the
+/// round-sets `R_0, R_1, …` from the Theorem 3.1 proof, per-node receive
+/// rounds, the termination round, and message counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FloodingRun {
+    outcome_terminated: bool,
+    outcome_round: u32,
+    sources: Vec<NodeId>,
+    receive_rounds: Vec<Vec<u32>>,
+    round_sets: Vec<Vec<NodeId>>,
+    messages_per_round: Vec<u64>,
+    total_messages: u64,
+}
+
+// Manual field pair instead of storing `Outcome` keeps the serde derive
+// simple; reconstruct on demand.
+impl FloodingRun {
+    #[allow(clippy::too_many_arguments)]
+    fn new_internal(
+        outcome: Outcome,
+        sources: Vec<NodeId>,
+        receive_rounds: Vec<Vec<u32>>,
+        round_sets: Vec<Vec<NodeId>>,
+        messages_per_round: Vec<u64>,
+        total_messages: u64,
+    ) -> Self {
+        let (outcome_terminated, outcome_round) = match outcome {
+            Outcome::Terminated { last_active_round } => (true, last_active_round),
+            Outcome::CapReached { rounds_executed } => (false, rounds_executed),
+        };
+        FloodingRun {
+            outcome_terminated,
+            outcome_round,
+            sources,
+            receive_rounds,
+            round_sets,
+            messages_per_round,
+            total_messages,
+        }
+    }
+
+    /// Returns `true` if the flood terminated within the round cap.
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.outcome_terminated
+    }
+
+    /// The paper's termination time: the last round in which any edge
+    /// carried the message. `None` if the cap was reached first.
+    #[must_use]
+    pub fn termination_round(&self) -> Option<u32> {
+        self.outcome_terminated.then_some(self.outcome_round)
+    }
+
+    /// Number of rounds executed (equals the termination round for
+    /// terminated runs).
+    #[must_use]
+    pub fn rounds_executed(&self) -> u32 {
+        self.outcome_round
+    }
+
+    /// The engine-level outcome.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        if self.outcome_terminated {
+            Outcome::Terminated { last_active_round: self.outcome_round }
+        } else {
+            Outcome::CapReached { rounds_executed: self.outcome_round }
+        }
+    }
+
+    /// The (sorted, deduplicated) source set.
+    #[must_use]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The round-set `R_i`: nodes receiving the message at round `i`
+    /// (`R_0` is the source set, by the paper's convention), sorted by node
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the number of executed rounds.
+    #[must_use]
+    pub fn round_set(&self, i: u32) -> &[NodeId] {
+        &self.round_sets[i as usize]
+    }
+
+    /// All round-sets `R_0 ..= R_T`.
+    #[must_use]
+    pub fn round_sets(&self) -> &[Vec<NodeId>] {
+        &self.round_sets
+    }
+
+    /// Number of nodes of the flooded graph.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.receive_rounds.len()
+    }
+
+    /// The rounds at which `v` received the message, in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn receive_rounds(&self, v: NodeId) -> &[u32] {
+        &self.receive_rounds[v.index()]
+    }
+
+    /// How many times `v` received the message over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn receive_count(&self, v: NodeId) -> usize {
+        self.receive_rounds[v.index()].len()
+    }
+
+    /// The maximum receive count over all nodes (the paper's theory bounds
+    /// this by 2).
+    #[must_use]
+    pub fn max_receive_count(&self) -> usize {
+        self.receive_rounds.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of nodes that received the message at least once.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.receive_rounds.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Total point-to-point messages delivered.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Messages delivered per executed round (index 0 = round 1).
+    #[must_use]
+    pub fn messages_per_round(&self) -> &[u64] {
+        &self.messages_per_round
+    }
+}
+
+/// Convenience free function: single-source AF with default cap.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::flood;
+/// use af_graph::generators;
+///
+/// let run = flood(&generators::cycle(3), 0.into());
+/// assert_eq!(run.termination_round(), Some(3)); // Figure 2: 2D + 1
+/// ```
+#[must_use]
+pub fn flood(graph: &Graph, source: NodeId) -> FloodingRun {
+    AmnesiacFlooding::single_source(graph, source).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_graph::generators;
+
+    #[test]
+    fn figure1_complete_record() {
+        let g = generators::path(4);
+        let run = AmnesiacFlooding::single_source(&g, 1.into()).run();
+        assert!(run.terminated());
+        assert_eq!(run.termination_round(), Some(2));
+        assert_eq!(run.rounds_executed(), 2);
+        assert_eq!(run.sources(), &[1.into()]);
+        assert_eq!(run.round_set(0), &[1.into()]);
+        assert_eq!(run.round_set(1), &[0.into(), 2.into()]);
+        assert_eq!(run.round_set(2), &[3.into()]);
+        assert_eq!(run.receive_rounds(0.into()), &[1]);
+        assert_eq!(run.receive_rounds(1.into()), &[] as &[u32]);
+        assert_eq!(run.receive_rounds(3.into()), &[2]);
+        assert_eq!(run.total_messages(), 3); // = m on a bipartite graph
+        assert_eq!(run.messages_per_round(), &[2, 1]);
+        assert_eq!(run.informed_count(), 3);
+        assert_eq!(run.max_receive_count(), 1);
+    }
+
+    #[test]
+    fn triangle_nodes_receive_at_most_twice() {
+        let g = generators::cycle(3);
+        let run = flood(&g, 1.into());
+        assert_eq!(run.termination_round(), Some(3));
+        // a and c receive in rounds 1 and 2; b receives in round 3.
+        assert_eq!(run.receive_rounds(0.into()), &[1, 2]);
+        assert_eq!(run.receive_rounds(2.into()), &[1, 2]);
+        assert_eq!(run.receive_rounds(1.into()), &[3]);
+        assert_eq!(run.max_receive_count(), 2);
+        assert_eq!(run.total_messages(), 6);
+    }
+
+    #[test]
+    fn default_cap_is_generous_enough_for_theory() {
+        // 2n + 2 > 2D + 1 always, so terminating graphs always terminate.
+        for g in [
+            generators::cycle(9),
+            generators::barbell(5),
+            generators::lollipop(4, 6),
+        ] {
+            let run = flood(&g, 0.into());
+            assert!(run.terminated(), "{g}");
+        }
+    }
+
+    #[test]
+    fn explicit_cap_is_respected() {
+        let g = generators::cycle(3);
+        let run = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_max_rounds(2)
+            .run();
+        assert!(!run.terminated());
+        assert_eq!(run.termination_round(), None);
+        assert_eq!(run.rounds_executed(), 2);
+    }
+
+    #[test]
+    fn multi_source_round_zero_is_source_set() {
+        let g = generators::cycle(8);
+        let run =
+            AmnesiacFlooding::multi_source(&g, [4.into(), 0.into(), 4.into()]).run();
+        assert_eq!(run.round_set(0), &[0.into(), 4.into()]);
+        assert!(run.terminated());
+    }
+
+    #[test]
+    fn round_sets_union_covers_connected_graph() {
+        let g = generators::petersen();
+        let run = flood(&g, 0.into());
+        assert_eq!(run.informed_count(), 10);
+        let mut all: Vec<NodeId> = run.round_sets().iter().skip(1).flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 10, "every node appears in some R_i, i >= 1");
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let g = generators::path(3);
+        let run = flood(&g, 0.into());
+        assert_eq!(run.outcome(), Outcome::Terminated { last_active_round: 2 });
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn run_serializes() {
+        let g = generators::cycle(5);
+        let run = flood(&g, 0.into());
+        let json = serde_json::to_string(&run).unwrap();
+        let back: FloodingRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(run, back);
+    }
+}

@@ -1,0 +1,218 @@
+//! Spanning-tree extraction from flooding runs.
+//!
+//! The paper's introduction quotes Aspnes: flooding "gives you both a
+//! broadcast mechanism and a way to build rooted spanning trees". The
+//! classic construction sets each node's parent to the neighbour it first
+//! received the message from; because amnesiac flooding delivers first
+//! receipts in BFS order (per the double-cover correspondence, first
+//! receipt of `u` happens at round `d(source, u)`), the extracted tree is
+//! a *BFS tree* — shortest-path routes back to the source — even though
+//! the protocol itself keeps no state. (Extracting the tree of course
+//! requires each node to remember its parent; the point is that the
+//! *flooding* needs no memory, the *application* pays only one pointer.)
+
+use crate::fast::FastFlooding;
+use af_graph::{algo, Graph, NodeId};
+
+/// A rooted spanning tree of the flooded component: parent pointers toward
+/// the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    depth: Vec<Option<u32>>,
+}
+
+impl SpanningTree {
+    /// The root (the flood's source).
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The parent of `v` (`None` for the root and for unreached nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The depth of `v` below the root, or `None` if unreached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn depth(&self, v: NodeId) -> Option<u32> {
+        self.depth[v.index()]
+    }
+
+    /// Number of nodes in the tree (root included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.depth.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Returns `true` if only the root is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// The root-ward path from `v`, ending at the root. `None` if `v` is
+    /// unreached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn path_to_root(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.depth[v.index()]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        Some(path)
+    }
+
+    /// Validates that this is a BFS tree of `graph` rooted at the source:
+    /// every tree edge is a graph edge and every depth equals the BFS
+    /// distance.
+    #[must_use]
+    pub fn is_bfs_tree_of(&self, graph: &Graph) -> bool {
+        let bfs = algo::bfs(graph, self.root);
+        for v in graph.nodes() {
+            if self.depth(v) != bfs.distance(v) {
+                return false;
+            }
+            if let Some(p) = self.parent(v) {
+                if !graph.contains_edge(v, p) {
+                    return false;
+                }
+                if self.depth(p).map(|d| d + 1) != self.depth(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Runs an amnesiac flood from `source` and extracts the first-receipt
+/// spanning tree.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::spanning::spanning_tree;
+/// use af_graph::generators;
+///
+/// let g = generators::petersen();
+/// let tree = spanning_tree(&g, 0.into());
+/// assert_eq!(tree.len(), 10);
+/// assert!(tree.is_bfs_tree_of(&g));
+/// ```
+#[must_use]
+pub fn spanning_tree(graph: &Graph, source: NodeId) -> SpanningTree {
+    let n = graph.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    depth[source.index()] = Some(0);
+
+    let mut sim = FastFlooding::new(graph, [source]);
+    sim.set_record_receipts(false);
+    // Track first receipts by replaying rounds and looking at the arcs.
+    loop {
+        let arcs = sim.in_flight();
+        if arcs.is_empty() {
+            break;
+        }
+        let round = sim.round() + 1;
+        for arc in arcs {
+            let (tail, head) = graph.arc_endpoints(arc);
+            if depth[head.index()].is_none() {
+                depth[head.index()] = Some(round);
+                parent[head.index()] = Some(tail);
+            }
+        }
+        sim.step();
+    }
+
+    SpanningTree { root: source, parent, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_graph::generators;
+
+    #[test]
+    fn tree_is_bfs_on_assorted_graphs() {
+        for g in [
+            generators::path(8),
+            generators::cycle(9),
+            generators::petersen(),
+            generators::grid(4, 5),
+            generators::complete(7),
+            generators::barbell(4),
+            generators::sparse_connected(40, 30, 5),
+        ] {
+            for v in g.nodes().step_by(3) {
+                let tree = spanning_tree(&g, v);
+                assert!(tree.is_bfs_tree_of(&g), "{g} from {v}");
+                assert_eq!(tree.len(), g.node_count());
+                assert_eq!(tree.root(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_go_rootward_with_decreasing_depth() {
+        let g = generators::grid(5, 5);
+        let tree = spanning_tree(&g, 0.into());
+        for v in g.nodes() {
+            let path = tree.path_to_root(v).unwrap();
+            assert_eq!(path.first(), Some(&v));
+            assert_eq!(path.last(), Some(&NodeId::new(0)));
+            assert_eq!(path.len() as u32, tree.depth(v).unwrap() + 1);
+            for w in path.windows(2) {
+                assert_eq!(tree.parent(w[0]), Some(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn root_has_no_parent_and_depth_zero() {
+        let g = generators::cycle(6);
+        let tree = spanning_tree(&g, 2.into());
+        assert_eq!(tree.parent(2.into()), None);
+        assert_eq!(tree.depth(2.into()), Some(0));
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn disconnected_parts_stay_out_of_the_tree() {
+        let g = af_graph::Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let tree = spanning_tree(&g, 0.into());
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.depth(3.into()), None);
+        assert_eq!(tree.path_to_root(4.into()), None);
+    }
+
+    #[test]
+    fn single_node_tree_is_empty() {
+        let g = af_graph::Graph::empty(1);
+        let tree = spanning_tree(&g, 0.into());
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 1);
+    }
+}

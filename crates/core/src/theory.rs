@@ -1,0 +1,393 @@
+//! The exact-time oracle and the paper's bounds.
+//!
+//! # The double-cover correspondence
+//!
+//! Amnesiac flooding on `G` from a source set `I` is *exactly* multi-source
+//! BFS on the bipartite double cover `B(G)` started from the even lifts
+//! `I' = {(v, Even) : v ∈ I}`:
+//!
+//! * a message sent on arc `u → w` in round `r` lifts to the cover arc
+//!   `(u, (r−1) mod 2) → (w, r mod 2)`, so at any fixed round each base arc
+//!   has at most one active lift and the projection is a per-round
+//!   bijection on message sets;
+//! * all lifted sources live in the Even part, which is an independent set
+//!   of the (bipartite) cover, and a same-colour multi-source amnesiac
+//!   flood on a bipartite graph is a plain parallel BFS (the Lemma 2.1
+//!   argument verbatim).
+//!
+//! Consequently node `u` receives the message in round `r` **iff**
+//! `dist_B(I', (u, r mod 2)) = r`, and the flood terminates at the largest
+//! finite such distance. Everything the paper proves falls out:
+//!
+//! * each node receives at most twice (once per parity lift) — the engine
+//!   behind Theorem 3.1's round-set argument;
+//! * connected bipartite `G`, single source `v`: the odd copy is a separate
+//!   component, every node receives exactly once at round `d(v, u)`, and
+//!   termination is at `e(v) ≤ D` (Lemma 2.1 / Corollary 2.2);
+//! * connected non-bipartite `G`: the cover is connected, termination is
+//!   `ecc_B((v, Even)) ≤ 2D + 1` (Theorem 3.3);
+//! * message complexity is exactly `m` (bipartite) / `2m` (non-bipartite)
+//!   for a single source, because every edge of the flooded cover
+//!   component(s) is used exactly once.
+//!
+//! [`predict`] computes the full receive schedule this way — an
+//! implementation of the *theory* that shares no code with the two
+//! simulators, so the test suites can confront them.
+
+use af_graph::algo::{self, double_cover, Parity};
+use af_graph::{Graph, NodeId};
+
+/// The oracle's prediction of a flood's complete receive schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    receive_rounds: Vec<Vec<u32>>,
+    termination_round: u32,
+    messages: u64,
+}
+
+impl Prediction {
+    /// Predicted rounds (sorted) at which `v` receives the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn receive_rounds(&self, v: NodeId) -> &[u32] {
+        &self.receive_rounds[v.index()]
+    }
+
+    /// Predicted termination round (0 when nothing is ever sent).
+    #[must_use]
+    pub fn termination_round(&self) -> u32 {
+        self.termination_round
+    }
+
+    /// Predicted total message count.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Predicted number of distinct informed nodes (excluding sources that
+    /// never hear the message back).
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.receive_rounds.iter().filter(|r| !r.is_empty()).count()
+    }
+}
+
+/// Predicts the complete receive schedule of an amnesiac flood on `graph`
+/// from `sources`, via multi-source BFS on the bipartite double cover.
+///
+/// Duplicate sources are collapsed.
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::theory;
+/// use af_graph::generators;
+///
+/// // Figure 2: the triangle from b terminates in 2D + 1 = 3 rounds and
+/// // the two non-sources receive twice.
+/// let g = generators::cycle(3);
+/// let p = theory::predict(&g, [1.into()]);
+/// assert_eq!(p.termination_round(), 3);
+/// assert_eq!(p.receive_rounds(0.into()), &[1, 2]);
+/// assert_eq!(p.receive_rounds(1.into()), &[3]);
+/// ```
+#[must_use]
+pub fn predict<I>(graph: &Graph, sources: I) -> Prediction
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let dc = double_cover(graph);
+    let lifted = sources
+        .into_iter()
+        .map(|v| dc.lift(v, Parity::Even));
+    let bfs = algo::multi_bfs(dc.graph(), lifted);
+
+    let n = graph.node_count();
+    let mut receive_rounds = vec![Vec::new(); n];
+    let mut termination = 0u32;
+    for u in graph.nodes() {
+        let mut rounds = Vec::new();
+        for p in [Parity::Even, Parity::Odd] {
+            if let Some(d) = bfs.distance(dc.lift(u, p)) {
+                if d > 0 {
+                    rounds.push(d);
+                }
+            }
+        }
+        rounds.sort_unstable();
+        termination = termination.max(rounds.last().copied().unwrap_or(0));
+        receive_rounds[u.index()] = rounds;
+    }
+
+    // Every edge of the cover that joins two reached nodes is used exactly
+    // once (BFS on a bipartite graph uses every intra-component edge), so
+    // the message count is the number of cover edges with both endpoints
+    // reached.
+    let messages = dc
+        .graph()
+        .edge_list()
+        .filter(|&(a, b)| bfs.is_reachable(a) && bfs.is_reachable(b))
+        .count() as u64;
+
+    Prediction { receive_rounds, termination_round: termination, messages }
+}
+
+/// The same prediction as [`predict`], computed by parity-constrained BFS
+/// on the base graph instead of materializing the double cover.
+///
+/// The two implementations share no code below the `Graph` API; the test
+/// suites require them to agree exactly, which guards both against
+/// construction bugs in the cover and traversal bugs in the parity BFS.
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+#[must_use]
+pub fn predict_via_parity<I>(graph: &Graph, sources: I) -> Prediction
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let pd = algo::parity_distances(graph, sources);
+    let n = graph.node_count();
+    let mut receive_rounds = vec![Vec::new(); n];
+    let mut termination = 0u32;
+    let mut reached_even = vec![false; n];
+    let mut reached_odd = vec![false; n];
+    for u in graph.nodes() {
+        let mut rounds = Vec::new();
+        let (e, o) = pd.both(u);
+        reached_even[u.index()] = e.is_some();
+        reached_odd[u.index()] = o.is_some();
+        for d in [e, o].into_iter().flatten() {
+            if d > 0 {
+                rounds.push(d);
+            }
+        }
+        rounds.sort_unstable();
+        termination = termination.max(rounds.last().copied().unwrap_or(0));
+        receive_rounds[u.index()] = rounds;
+    }
+    // Message count: one per reached double-cover edge; a base edge {u, w}
+    // contributes its (u-even, w-odd) lift when both those states are
+    // reached, and its (u-odd, w-even) lift likewise.
+    let mut messages = 0u64;
+    for (u, w) in graph.edge_list() {
+        if reached_even[u.index()] && reached_odd[w.index()] {
+            messages += 1;
+        }
+        if reached_odd[u.index()] && reached_even[w.index()] {
+            messages += 1;
+        }
+    }
+    Prediction { receive_rounds, termination_round: termination, messages }
+}
+
+/// The paper's termination-time upper bound for `graph`: `D` if bipartite
+/// (Corollary 2.2), `2D + 1` otherwise (Theorem 3.3). `None` for
+/// disconnected or empty graphs, where no single bound applies.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::theory::upper_bound;
+/// use af_graph::generators;
+///
+/// assert_eq!(upper_bound(&generators::cycle(6)), Some(3));     // D
+/// assert_eq!(upper_bound(&generators::cycle(3)), Some(3));     // 2D + 1
+/// assert_eq!(upper_bound(&generators::petersen()), Some(5));   // 2·2 + 1
+/// ```
+#[must_use]
+pub fn upper_bound(graph: &Graph) -> Option<u32> {
+    let d = algo::diameter(graph)?;
+    Some(if algo::is_bipartite(graph) { d } else { 2 * d + 1 })
+}
+
+/// Lemma 2.1's exact termination time for a connected bipartite graph:
+/// the eccentricity of the source. `None` if the graph is disconnected or
+/// not bipartite.
+#[must_use]
+pub fn bipartite_exact(graph: &Graph, source: NodeId) -> Option<u32> {
+    if !algo::is_bipartite(graph) {
+        return None;
+    }
+    algo::eccentricity(graph, source)
+}
+
+/// The exact termination time for any graph and source: the largest finite
+/// distance from the source's even lift in the double cover.
+///
+/// Equals [`bipartite_exact`] (`= e(v) ≤ D`) on connected bipartite graphs.
+/// On connected non-bipartite graphs it lies in `[e(v) + 1, 2D + 1]`:
+/// strictly above the *source eccentricity* (the second parity of every
+/// node still has to be reached), and therefore strictly above `D` when
+/// flooding from a maximum-eccentricity source — the sense in which the
+/// paper calls non-bipartite termination "strictly larger than D"
+/// (Theorem 3.3).
+#[must_use]
+pub fn exact_termination(graph: &Graph, source: NodeId) -> u32 {
+    predict(graph, [source]).termination_round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::flood;
+    use af_graph::generators;
+
+    #[test]
+    fn oracle_matches_simulation_on_figures() {
+        for (g, s) in [
+            (generators::path(4), 1usize),  // Figure 1
+            (generators::cycle(3), 1),      // Figure 2
+            (generators::cycle(6), 0),      // Figure 3
+        ] {
+            let p = predict(&g, [NodeId::new(s)]);
+            let r = flood(&g, NodeId::new(s));
+            assert_eq!(Some(p.termination_round()), r.termination_round(), "{g}");
+            for v in g.nodes() {
+                assert_eq!(p.receive_rounds(v), r.receive_rounds(v), "{g} node {v}");
+            }
+            assert_eq!(p.total_messages(), r.total_messages(), "{g}");
+        }
+    }
+
+    #[test]
+    fn oracle_matches_simulation_on_zoo() {
+        let zoo: Vec<(Graph, Vec<usize>)> = vec![
+            (generators::petersen(), vec![0]),
+            (generators::wheel(7), vec![3]),
+            (generators::barbell(4), vec![0]),
+            (generators::grid(4, 5), vec![7]),
+            (generators::hypercube(4), vec![0]),
+            (generators::complete(7), vec![2]),
+            (generators::cycle(9), vec![0, 4]),
+            (generators::lollipop(4, 5), vec![8]),
+            (generators::path(6), vec![0, 5]),
+        ];
+        for (g, sources) in zoo {
+            let srcs: Vec<NodeId> = sources.iter().map(|&s| NodeId::new(s)).collect();
+            let p = predict(&g, srcs.iter().copied());
+            let r = crate::run::AmnesiacFlooding::multi_source(&g, srcs.iter().copied()).run();
+            assert!(r.terminated());
+            assert_eq!(Some(p.termination_round()), r.termination_round(), "{g}");
+            for v in g.nodes() {
+                assert_eq!(p.receive_rounds(v), r.receive_rounds(v), "{g} node {v}");
+            }
+            assert_eq!(p.total_messages(), r.total_messages(), "{g}");
+            assert_eq!(p.informed_count(), r.informed_count(), "{g}");
+        }
+    }
+
+    #[test]
+    fn both_oracle_implementations_agree() {
+        let zoo: Vec<(Graph, Vec<usize>)> = vec![
+            (generators::petersen(), vec![0]),
+            (generators::cycle(7), vec![2]),
+            (generators::cycle(8), vec![2]),
+            (generators::grid(4, 5), vec![0, 19]),
+            (generators::complete(6), vec![1, 2, 3]),
+            (generators::barbell(4), vec![0]),
+            (generators::friendship(3), vec![0]),
+            (generators::friendship(3), vec![1, 4]),
+            (generators::path(9), vec![0, 8]),
+        ];
+        for (g, sources) in zoo {
+            let srcs: Vec<NodeId> = sources.iter().map(|&s| NodeId::new(s)).collect();
+            let a = predict(&g, srcs.iter().copied());
+            let b = predict_via_parity(&g, srcs.iter().copied());
+            assert_eq!(a, b, "{g} from {sources:?}");
+        }
+    }
+
+    #[test]
+    fn bipartite_exact_is_source_eccentricity() {
+        let g = generators::grid(3, 5);
+        for v in g.nodes() {
+            let exact = bipartite_exact(&g, v).unwrap();
+            assert_eq!(exact, af_graph::algo::eccentricity(&g, v).unwrap());
+            let run = flood(&g, v);
+            assert_eq!(run.termination_round(), Some(exact));
+        }
+    }
+
+    #[test]
+    fn bipartite_exact_rejects_non_bipartite() {
+        assert_eq!(bipartite_exact(&generators::cycle(5), 0.into()), None);
+        let disconnected = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(bipartite_exact(&disconnected, 0.into()), None);
+    }
+
+    #[test]
+    fn upper_bounds_match_paper() {
+        assert_eq!(upper_bound(&generators::path(5)), Some(4));
+        assert_eq!(upper_bound(&generators::complete(6)), Some(3)); // 2·1+1
+        assert_eq!(upper_bound(&generators::cycle(10)), Some(5));
+        assert_eq!(upper_bound(&generators::cycle(11)), Some(11)); // 2·5+1
+        assert_eq!(upper_bound(&Graph::empty(3)), None);
+    }
+
+    #[test]
+    fn exact_termination_within_bounds_on_zoo() {
+        for g in [
+            generators::cycle(7),
+            generators::petersen(),
+            generators::wheel(6),
+            generators::barbell(5),
+            generators::complete(4),
+            generators::torus(3, 5),
+        ] {
+            let bound = upper_bound(&g).unwrap();
+            let d = af_graph::algo::diameter(&g).unwrap();
+            for v in g.nodes() {
+                let t = exact_termination(&g, v);
+                assert!(t <= bound, "{g}: T = {t} > bound {bound}");
+                assert!(t > d, "{g}: non-bipartite termination exceeds D");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_receive_at_most_twice() {
+        for g in [
+            generators::petersen(),
+            generators::complete(6),
+            generators::cycle(9),
+            generators::grid(4, 4),
+        ] {
+            let p = predict(&g, [0.into()]);
+            for v in g.nodes() {
+                assert!(p.receive_rounds(v).len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_receive_parities_differ() {
+        let g = generators::petersen();
+        let p = predict(&g, [0.into()]);
+        for v in g.nodes() {
+            if let [a, b] = *p.receive_rounds(v) {
+                assert_ne!(a % 2, b % 2, "two receipts always have opposite parity");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = Graph::empty(1);
+        let p = predict(&g, [0.into()]);
+        assert_eq!(p.termination_round(), 0);
+        assert_eq!(p.total_messages(), 0);
+        assert_eq!(p.informed_count(), 0);
+    }
+
+    use af_graph::Graph;
+}

@@ -1,0 +1,246 @@
+//! Human-readable round-by-round rendering of flooding executions — the
+//! textual analogue of the paper's Figures 1, 2, 3 and 5.
+//!
+//! Nodes of small graphs are labelled `a, b, c, …` to mirror the figures;
+//! larger graphs fall back to numeric labels.
+
+use crate::run::FloodingRun;
+use af_engine::InFlightMessage;
+use af_graph::{ArcId, Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders a node label: letters for graphs with at most 26 nodes, the
+/// numeric id otherwise.
+#[must_use]
+pub fn node_label(v: NodeId, n: usize) -> String {
+    if n <= 26 {
+        char::from(b'a' + v.index() as u8).to_string()
+    } else {
+        v.index().to_string()
+    }
+}
+
+/// Renders one arc as `tail->head` with node labels.
+#[must_use]
+pub fn arc_label(graph: &Graph, arc: ArcId) -> String {
+    let (t, h) = graph.arc_endpoints(arc);
+    let n = graph.node_count();
+    format!("{}->{}", node_label(t, n), node_label(h, n))
+}
+
+/// Renders a complete synchronous run in the style of the paper's figures:
+/// one line per round listing the senders (the figures circle sending
+/// nodes) and the messages on the wire.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::{trace, AmnesiacFlooding};
+/// use af_graph::generators;
+///
+/// // Figure 1: the line a-b-c-d flooded from b.
+/// let g = generators::path(4);
+/// let run = AmnesiacFlooding::single_source(&g, 1.into()).run();
+/// let text = trace::render_run(&g, &run);
+/// assert!(text.contains("round 1"));
+/// assert!(text.contains("b->a"));
+/// assert!(text.contains("terminated after round 2"));
+/// ```
+#[must_use]
+pub fn render_run(graph: &Graph, run: &FloodingRun) -> String {
+    let n = graph.node_count();
+    let mut out = String::new();
+    let sources: Vec<String> = run.sources().iter().map(|&v| node_label(v, n)).collect();
+    let _ = writeln!(
+        out,
+        "amnesiac flooding on {graph} from {{{}}}",
+        sources.join(", ")
+    );
+
+    // Reconstruct per-round arc traffic by replaying (cheap, and keeps the
+    // run record compact). The replay is exact because AF is deterministic.
+    let mut sim = crate::fast::FastFlooding::new(graph, run.sources().iter().copied());
+    let mut round = 0u32;
+    while !sim.is_terminated() && round < run.rounds_executed() {
+        let arcs = sim.in_flight();
+        round += 1;
+        let senders: Vec<String> = {
+            let mut s: Vec<NodeId> = arcs.iter().map(|&a| graph.arc_tail(a)).collect();
+            s.sort_unstable();
+            s.dedup();
+            s.into_iter().map(|v| node_label(v, n)).collect()
+        };
+        let msgs: Vec<String> = arcs.iter().map(|&a| arc_label(graph, a)).collect();
+        let _ = writeln!(
+            out,
+            "round {round}: sending {{{}}}  messages [{}]",
+            senders.join(", "),
+            msgs.join(", ")
+        );
+        sim.step();
+    }
+    match run.termination_round() {
+        Some(t) => {
+            let _ = writeln!(out, "terminated after round {t}: no edge carries the message");
+        }
+        None => {
+            let _ = writeln!(out, "round cap reached after {} rounds", run.rounds_executed());
+        }
+    }
+    out
+}
+
+/// Renders an asynchronous configuration (in-flight messages with ages),
+/// used by the Figure-5 example.
+#[must_use]
+pub fn render_configuration(graph: &Graph, msgs: &[InFlightMessage]) -> String {
+    if msgs.is_empty() {
+        return "(no messages in flight)".into();
+    }
+    msgs.iter()
+        .map(|m| {
+            if m.age == 0 {
+                arc_label(graph, m.arc)
+            } else {
+                format!("{} (held {})", arc_label(graph, m.arc), m.age)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders the per-node receive schedule as a table fragment.
+#[must_use]
+pub fn render_receipts(graph: &Graph, run: &FloodingRun) -> String {
+    let n = graph.node_count();
+    let mut out = String::new();
+    for v in graph.nodes() {
+        let rounds = run.receive_rounds(v);
+        let rendered = if rounds.is_empty() {
+            "-".to_string()
+        } else {
+            rounds.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+        };
+        let _ = writeln!(out, "  {}: receives at rounds [{}]", node_label(v, n), rendered);
+    }
+    out
+}
+
+/// Renders the per-round message counts as a horizontal ASCII bar chart —
+/// the "activity envelope" of a flood. Bars are scaled so the busiest
+/// round fills `width` characters.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::{flood, trace};
+/// use af_graph::generators;
+///
+/// let run = flood(&generators::grid(4, 4), 0.into());
+/// let chart = trace::render_activity_chart(&run, 30);
+/// assert!(chart.lines().count() >= 6); // one line per round
+/// ```
+#[must_use]
+pub fn render_activity_chart(run: &FloodingRun, width: usize) -> String {
+    let counts = run.messages_per_round();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "(no messages were ever sent)\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let bar_len = ((c as usize) * width).div_ceil(max as usize);
+        let bar: String = core::iter::repeat_n('#', bar_len).collect();
+        let _ = writeln!(out, "round {:>3} | {:<width$} {}", i + 1, bar, c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{flood, AmnesiacFlooding};
+    use af_graph::generators;
+
+    #[test]
+    fn figure1_text_matches_paper_narrative() {
+        let g = generators::path(4);
+        let run = AmnesiacFlooding::single_source(&g, 1.into()).run();
+        let text = render_run(&g, &run);
+        // Round 1: b sends to both neighbours.
+        assert!(text.contains("round 1: sending {b}"), "{text}");
+        assert!(text.contains("b->a"), "{text}");
+        assert!(text.contains("b->c"), "{text}");
+        // Round 2: a and c send outward; the flood dies at the ends.
+        assert!(text.contains("round 2: sending {c}"), "{text}");
+        assert!(text.contains("c->d"), "{text}");
+        assert!(text.contains("terminated after round 2"), "{text}");
+    }
+
+    #[test]
+    fn figure2_triangle_text() {
+        let g = generators::cycle(3);
+        let run = flood(&g, 1.into());
+        let text = render_run(&g, &run);
+        assert!(text.contains("round 2: sending {a, c}"), "{text}");
+        assert!(text.contains("round 3"), "{text}");
+        assert!(text.contains("terminated after round 3"), "{text}");
+    }
+
+    #[test]
+    fn large_graphs_use_numeric_labels() {
+        let g = generators::cycle(30);
+        let run = flood(&g, 0.into());
+        let text = render_run(&g, &run);
+        assert!(text.contains("0->1"), "{text}");
+        assert!(text.contains("0->29"), "{text}");
+    }
+
+    #[test]
+    fn receipts_table_lists_every_node() {
+        let g = generators::path(3);
+        let run = flood(&g, 0.into());
+        let table = render_receipts(&g, &run);
+        assert!(table.contains("a: receives at rounds [-]"));
+        assert!(table.contains("b: receives at rounds [1]"));
+        assert!(table.contains("c: receives at rounds [2]"));
+    }
+
+    #[test]
+    fn configuration_rendering() {
+        let g = generators::cycle(3);
+        let a = g.arc_between(0.into(), 1.into()).unwrap();
+        let b = g.arc_between(2.into(), 1.into()).unwrap();
+        let msgs = vec![
+            InFlightMessage { arc: a, age: 0 },
+            InFlightMessage { arc: b, age: 2 },
+        ];
+        let s = render_configuration(&g, &msgs);
+        assert!(s.contains("a->b"));
+        assert!(s.contains("c->b (held 2)"));
+        assert_eq!(render_configuration(&g, &[]), "(no messages in flight)");
+    }
+
+    #[test]
+    fn activity_chart_shapes() {
+        let run = flood(&generators::cycle(8), 0.into());
+        let chart = render_activity_chart(&run, 20);
+        assert_eq!(chart.lines().count(), 4, "C8 floods for D = 4 rounds");
+        assert!(chart.contains("round   1 |"), "{chart}");
+        // Every line ends with its count.
+        assert!(chart.lines().next().unwrap().trim_end().ends_with('2'));
+
+        let empty = AmnesiacFlooding::multi_source(&generators::cycle(4), []).run();
+        assert!(render_activity_chart(&empty, 10).contains("no messages"));
+    }
+
+    #[test]
+    fn capped_runs_say_so() {
+        let g = generators::cycle(3);
+        let run = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_max_rounds(1)
+            .run();
+        let text = render_run(&g, &run);
+        assert!(text.contains("round cap reached"), "{text}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Built-in scheduling adversaries for the asynchronous engine.
+//!
+//! * [`DeliverAll`] — no delays; reduces the asynchronous engine to the
+//!   synchronous one (used to cross-check the two engines).
+//! * [`PerHeadThrottle`] — the paper's Figure-5 scheduler, generalized:
+//!   whenever several messages converge on the same node, all but one are
+//!   held back. Convergence at a node is exactly what kills an amnesiac
+//!   flood (the receiver's complement shrinks), so preventing it keeps the
+//!   flood alive on any graph with a cycle.
+//! * [`OneAtATime`] — fully sequential asynchrony (deliver the single
+//!   oldest message).
+//! * [`BoundedDelay`] — every message is delayed exactly `k` ticks; a
+//!   "slow but fair" network.
+//! * [`RandomDelay`] — each message is held with probability `p` (seeded,
+//!   reproducible), subject to the non-starvation minimum.
+
+use crate::asynchronous::{Adversary, DeterministicAdversary, InFlightMessage};
+use af_graph::{ArcId, Graph};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Delivers every in-flight message each tick: synchronous behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeliverAll;
+
+impl Adversary for DeliverAll {
+    fn select(&mut self, _tick: u64, in_flight: &[InFlightMessage], _graph: &Graph) -> Vec<ArcId> {
+        in_flight.iter().map(|m| m.arc).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "deliver-all"
+    }
+}
+
+impl DeterministicAdversary for DeliverAll {}
+
+/// Delivers at most one message per head node per tick (the lowest arc id
+/// among those aimed at the node); holds the rest.
+///
+/// On the triangle with amnesiac flooding this reproduces the paper's
+/// Figure 5 schedule: two messages converging on a node would annihilate
+/// the flood, so the throttle holds one of them, and the wave circulates
+/// forever. Termination-killing collisions are avoided on *any* cyclic
+/// topology the same way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerHeadThrottle;
+
+impl Adversary for PerHeadThrottle {
+    fn select(&mut self, _tick: u64, in_flight: &[InFlightMessage], graph: &Graph) -> Vec<ArcId> {
+        let mut chosen_heads: Vec<af_graph::NodeId> = Vec::new();
+        let mut out = Vec::new();
+        // in_flight is sorted by arc id; first arc per head wins.
+        for m in in_flight {
+            let head = graph.arc_head(m.arc);
+            if !chosen_heads.contains(&head) {
+                chosen_heads.push(head);
+                out.push(m.arc);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "per-head-throttle"
+    }
+}
+
+impl DeterministicAdversary for PerHeadThrottle {}
+
+/// Delivers exactly one message per tick: the oldest, breaking ties by arc
+/// id. Models a fully sequential network.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneAtATime;
+
+impl Adversary for OneAtATime {
+    fn select(&mut self, _tick: u64, in_flight: &[InFlightMessage], _graph: &Graph) -> Vec<ArcId> {
+        in_flight
+            .iter()
+            .max_by_key(|m| (m.age, core::cmp::Reverse(m.arc)))
+            .map(|m| vec![m.arc])
+            .unwrap_or_default()
+    }
+
+    fn name(&self) -> &'static str {
+        "one-at-a-time"
+    }
+}
+
+impl DeterministicAdversary for OneAtATime {}
+
+/// Holds every message for exactly `k` ticks, then delivers it: a uniformly
+/// slow network. `BoundedDelay::new(0)` behaves like [`DeliverAll`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedDelay {
+    k: u32,
+}
+
+impl BoundedDelay {
+    /// Creates an adversary that delays every message exactly `k` ticks.
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        BoundedDelay { k }
+    }
+
+    /// The configured delay.
+    #[must_use]
+    pub fn delay(&self) -> u32 {
+        self.k
+    }
+}
+
+impl Adversary for BoundedDelay {
+    fn select(&mut self, _tick: u64, in_flight: &[InFlightMessage], _graph: &Graph) -> Vec<ArcId> {
+        // Deliver exactly the ripe messages; ticks where nothing is ripe
+        // are pure-delay ticks.
+        in_flight
+            .iter()
+            .filter(|m| m.age >= self.k)
+            .map(|m| m.arc)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-delay"
+    }
+}
+
+impl DeterministicAdversary for BoundedDelay {}
+
+/// Holds each message with probability `p` each tick (independently),
+/// delivering the rest. If the coin flips would hold everything, the oldest
+/// message is delivered instead (non-starvation).
+///
+/// Seeded and therefore reproducible, but **not** a
+/// [`DeterministicAdversary`]: its decisions depend on internal RNG state,
+/// so configuration-repeat certification does not apply.
+#[derive(Debug, Clone)]
+pub struct RandomDelay {
+    p_hold: f64,
+    rng: ChaCha8Rng,
+}
+
+impl RandomDelay {
+    /// Creates a random-delay adversary holding each message with
+    /// probability `p_hold`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_hold` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn new(p_hold: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_hold), "probability must be in [0, 1], got {p_hold}");
+        RandomDelay { p_hold, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Adversary for RandomDelay {
+    fn select(&mut self, _tick: u64, in_flight: &[InFlightMessage], _graph: &Graph) -> Vec<ArcId> {
+        let mut out: Vec<ArcId> = in_flight
+            .iter()
+            .filter(|_| !self.rng.gen_bool(self.p_hold))
+            .map(|m| m.arc)
+            .collect();
+        if out.is_empty() {
+            if let Some(m) = in_flight.iter().max_by_key(|m| m.age) {
+                out.push(m.arc);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "random-delay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asynchronous::{AsyncEngine, AsyncOutcome};
+    use crate::protocol::test_protocols::TestAmnesiacFlooding;
+    use af_graph::{generators, NodeId};
+
+    #[test]
+    fn deliver_all_selects_everything() {
+        let g = generators::cycle(4);
+        let msgs = vec![
+            InFlightMessage { arc: g.arcs().next().unwrap(), age: 0 },
+            InFlightMessage { arc: g.arcs().nth(3).unwrap(), age: 2 },
+        ];
+        let sel = DeliverAll.select(1, &msgs, &g);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn per_head_throttle_holds_collisions() {
+        // Path 0-1-2, messages 0->1 and 2->1 converge on node 1.
+        let g = generators::path(3);
+        let msgs = vec![
+            InFlightMessage { arc: g.arc_between(0.into(), 1.into()).unwrap(), age: 0 },
+            InFlightMessage { arc: g.arc_between(2.into(), 1.into()).unwrap(), age: 0 },
+        ];
+        let sel = PerHeadThrottle.select(1, &msgs, &g);
+        assert_eq!(sel.len(), 1, "one of the two colliding messages is held");
+    }
+
+    #[test]
+    fn per_head_throttle_passes_distinct_heads() {
+        let g = generators::path(3);
+        let msgs = vec![
+            InFlightMessage { arc: g.arc_between(1.into(), 0.into()).unwrap(), age: 0 },
+            InFlightMessage { arc: g.arc_between(1.into(), 2.into()).unwrap(), age: 0 },
+        ];
+        let sel = PerHeadThrottle.select(1, &msgs, &g);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn one_at_a_time_prefers_oldest() {
+        let g = generators::path(3);
+        let a01 = g.arc_between(0.into(), 1.into()).unwrap();
+        let a21 = g.arc_between(2.into(), 1.into()).unwrap();
+        let msgs = vec![
+            InFlightMessage { arc: a01.min(a21), age: 0 },
+            InFlightMessage { arc: a01.max(a21), age: 3 },
+        ];
+        let sel = OneAtATime.select(1, &msgs, &g);
+        assert_eq!(sel, vec![a01.max(a21)]);
+    }
+
+    #[test]
+    fn bounded_delay_zero_equals_deliver_all() {
+        let g = generators::cycle(6);
+        let mut a = AsyncEngine::new(
+            &g,
+            TestAmnesiacFlooding,
+            BoundedDelay::new(0),
+            [NodeId::new(0)],
+        );
+        let out = a.run(100).unwrap();
+        assert_eq!(out, AsyncOutcome::Terminated { last_active_tick: 3 });
+    }
+
+    #[test]
+    fn bounded_delay_slows_by_factor_k_plus_one() {
+        let g = generators::path(4); // sync termination from 0: 3 rounds
+        let mut a = AsyncEngine::new(
+            &g,
+            TestAmnesiacFlooding,
+            BoundedDelay::new(2),
+            [NodeId::new(0)],
+        );
+        let out = a.run(1000).unwrap();
+        // Every hop now costs 3 ticks (held twice, delivered on the third).
+        assert_eq!(out, AsyncOutcome::Terminated { last_active_tick: 9 });
+    }
+
+    #[test]
+    fn random_delay_is_reproducible_and_terminates_on_trees() {
+        let g = generators::binary_tree(3);
+        let run = |seed: u64| {
+            let mut e = AsyncEngine::new(
+                &g,
+                TestAmnesiacFlooding,
+                RandomDelay::new(0.5, seed),
+                [NodeId::new(0)],
+            );
+            (e.run(100_000).unwrap(), e.total_messages())
+        };
+        let (o1, m1) = run(7);
+        let (o2, m2) = run(7);
+        assert_eq!(o1, o2);
+        assert_eq!(m1, m2);
+        assert!(o1.is_terminated(), "floods on trees die under any schedule");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn random_delay_rejects_bad_probability() {
+        let _ = RandomDelay::new(1.5, 0);
+    }
+}

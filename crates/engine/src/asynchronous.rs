@@ -1,0 +1,474 @@
+//! The asynchronous engine: message delivery is controlled by a scheduling
+//! [`Adversary`](crate::Adversary), as in Section 4 of the paper.
+//!
+//! Time proceeds in *ticks*. At each tick the adversary picks a non-empty
+//! subset of the in-flight messages to deliver; the rest stay in flight and
+//! age by one. Receiving nodes react exactly as in the synchronous model.
+//!
+//! Two modelling choices, both documented in DESIGN.md:
+//!
+//! * **Messages coalesce per arc.** The flooded message is a single
+//!   identical `M`, so two copies in flight on the same directed edge are
+//!   indistinguishable; the engine keeps one (retaining the older age).
+//!   This keeps the configuration space finite, which is what makes
+//!   non-termination *certifiable* (see [`crate::certify`]).
+//! * **Pure-delay ticks are legal, but freezing is self-defeating.** The
+//!   adversary may deliver nothing at a tick (that *is* a delay). Freezing
+//!   messages forever would make "non-termination" trivial, which is why
+//!   the certifier ([`crate::certify`]) only accepts *configuration
+//!   lassos* as evidence: held messages age every tick, so a frozen run
+//!   never revisits a configuration, while a genuine lasso necessarily
+//!   delivers messages infinitely often.
+
+use crate::protocol::Protocol;
+use af_graph::{ArcId, Graph, NodeId};
+use core::fmt;
+
+/// A message in flight: the directed edge it travels on and how many ticks
+/// it has already been held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InFlightMessage {
+    /// The directed edge the message travels on.
+    pub arc: ArcId,
+    /// Ticks the message has spent in flight beyond the first opportunity
+    /// to deliver it (0 = fresh).
+    pub age: u32,
+}
+
+/// A scheduling adversary: decides which in-flight messages are delivered
+/// at each tick.
+pub trait Adversary {
+    /// Returns the arcs to deliver this tick. Must be a subset of
+    /// `in_flight` (by arc); an empty selection is a pure-delay tick.
+    fn select(&mut self, tick: u64, in_flight: &[InFlightMessage], graph: &Graph) -> Vec<ArcId>;
+
+    /// Human-readable adversary name for traces and tables.
+    fn name(&self) -> &'static str {
+        "unnamed-adversary"
+    }
+}
+
+/// Marker trait: the adversary's [`Adversary::select`] is a pure function
+/// of `(in_flight, graph)` — no internal state, no dependence on `tick`.
+///
+/// Configuration-repeat certification ([`crate::certify`]) is only sound
+/// for deterministic adversaries: a repeated configuration then implies the
+/// *identical* infinite continuation.
+pub trait DeterministicAdversary: Adversary {}
+
+impl<A: Adversary> Adversary for &mut A {
+    fn select(&mut self, tick: u64, in_flight: &[InFlightMessage], graph: &Graph) -> Vec<ArcId> {
+        (**self).select(tick, in_flight, graph)
+    }
+
+    fn name(&self) -> &'static str {
+        "borrowed-adversary"
+    }
+}
+
+/// Error returned when an adversary violates the scheduling contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsyncError {
+    /// The adversary selected an arc that is not in flight.
+    NotInFlight {
+        /// The offending arc.
+        arc: ArcId,
+        /// Tick at which the violation occurred.
+        tick: u64,
+    },
+}
+
+impl fmt::Display for AsyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncError::NotInFlight { arc, tick } => {
+                write!(f, "adversary selected arc {arc} at tick {tick} which is not in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsyncError {}
+
+/// Result of driving an asynchronous run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncOutcome {
+    /// No message in flight: the flood died out.
+    Terminated {
+        /// Last tick at which a message was delivered.
+        last_active_tick: u64,
+    },
+    /// The tick cap was reached with messages still in flight.
+    CapReached {
+        /// Ticks executed.
+        ticks_executed: u64,
+    },
+}
+
+impl AsyncOutcome {
+    /// Returns `true` if the flood terminated within the cap.
+    #[must_use]
+    pub fn is_terminated(self) -> bool {
+        matches!(self, AsyncOutcome::Terminated { .. })
+    }
+}
+
+/// A snapshot of everything that determines the future of a run under a
+/// deterministic adversary: the in-flight messages (with ages) and all node
+/// states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Configuration<S> {
+    messages: Vec<InFlightMessage>,
+    states: Vec<S>,
+}
+
+impl<S> Configuration<S> {
+    /// The in-flight messages, sorted by arc.
+    #[must_use]
+    pub fn messages(&self) -> &[InFlightMessage] {
+        &self.messages
+    }
+
+    /// Per-node protocol states.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+}
+
+/// Asynchronous simulator: a [`Protocol`] driven by an [`Adversary`].
+///
+/// # Examples
+///
+/// Delivering everything every tick reduces to the synchronous engine:
+///
+/// ```
+/// use af_engine::{adversary::DeliverAll, AsyncEngine, AsyncOutcome, Protocol};
+/// use af_graph::{generators, Graph, NodeId};
+///
+/// #[derive(Debug)]
+/// struct Af;
+/// impl Protocol for Af {
+///     type State = ();
+///     fn initiate(&self, v: NodeId, _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).to_vec()
+///     }
+///     fn on_receive(&self, v: NodeId, from: &[NodeId], _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).iter().copied().filter(|w| !from.contains(w)).collect()
+///     }
+/// }
+///
+/// let g = generators::cycle(6);
+/// let mut e = AsyncEngine::new(&g, Af, DeliverAll, [NodeId::new(0)]);
+/// let outcome = e.run(100)?;
+/// assert_eq!(outcome, AsyncOutcome::Terminated { last_active_tick: 3 });
+/// # Ok::<(), af_engine::AsyncError>(())
+/// ```
+#[derive(Debug)]
+pub struct AsyncEngine<'g, P: Protocol, A: Adversary> {
+    graph: &'g Graph,
+    protocol: P,
+    adversary: A,
+    states: Vec<P::State>,
+    in_flight: Vec<InFlightMessage>,
+    tick: u64,
+    last_active_tick: u64,
+    total_messages: u64,
+    inbox: Vec<Vec<NodeId>>,
+}
+
+impl<'g, P: Protocol, A: Adversary> AsyncEngine<'g, P, A> {
+    /// Creates an engine and performs initiation (the initiators' sends are
+    /// in flight at tick 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initiator is out of range or the protocol targets a
+    /// non-neighbour.
+    pub fn new<I>(graph: &'g Graph, protocol: P, adversary: A, initiators: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = graph.node_count();
+        let mut states = vec![P::State::default(); n];
+        let mut inits: Vec<NodeId> = initiators.into_iter().collect();
+        inits.sort_unstable();
+        inits.dedup();
+        let mut msgs: Vec<InFlightMessage> = Vec::new();
+        for v in inits {
+            assert!(v.index() < n, "initiator {v} out of range");
+            for t in protocol.initiate(v, &mut states[v.index()], graph) {
+                let arc = graph
+                    .arc_between(v, t)
+                    .unwrap_or_else(|| panic!("protocol sent {v} -> {t} on a non-edge"));
+                msgs.push(InFlightMessage { arc, age: 0 });
+            }
+        }
+        msgs.sort_unstable();
+        msgs.dedup_by_key(|m| m.arc);
+        AsyncEngine {
+            graph,
+            protocol,
+            adversary,
+            states,
+            in_flight: msgs,
+            tick: 0,
+            last_active_tick: 0,
+            total_messages: 0,
+            inbox: vec![Vec::new(); n],
+        }
+    }
+
+    /// The messages currently in flight, sorted by arc.
+    #[must_use]
+    pub fn in_flight(&self) -> &[InFlightMessage] {
+        &self.in_flight
+    }
+
+    /// Returns `true` if no message is in flight.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Ticks executed so far.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Total messages delivered so far.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// The protocol state of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn state(&self, v: NodeId) -> &P::State {
+        &self.states[v.index()]
+    }
+
+    /// Snapshots the current configuration (messages + states). Under a
+    /// [`DeterministicAdversary`], equal configurations have equal futures.
+    #[must_use]
+    pub fn configuration(&self) -> Configuration<P::State> {
+        Configuration { messages: self.in_flight.clone(), states: self.states.clone() }
+    }
+
+    /// Executes one tick. Returns `Ok(None)` if already terminated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsyncError`] if the adversary breaks its contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol targets a non-neighbour.
+    pub fn step(&mut self) -> Result<Option<u64>, AsyncError> {
+        if self.in_flight.is_empty() {
+            return Ok(None);
+        }
+        let tick = self.tick + 1;
+        let mut selected = self.adversary.select(tick, &self.in_flight, self.graph);
+        selected.sort_unstable();
+        selected.dedup();
+        for &arc in &selected {
+            if self.in_flight.binary_search_by_key(&arc, |m| m.arc).is_err() {
+                return Err(AsyncError::NotInFlight { arc, tick });
+            }
+        }
+        self.tick = tick;
+        if !selected.is_empty() {
+            self.last_active_tick = tick;
+        }
+        self.total_messages += selected.len() as u64;
+
+        // Split in-flight into delivered and held (ages bump on held).
+        let mut held: Vec<InFlightMessage> = Vec::with_capacity(self.in_flight.len());
+        let mut receivers: Vec<NodeId> = Vec::new();
+        for m in core::mem::take(&mut self.in_flight) {
+            if selected.binary_search(&m.arc).is_ok() {
+                let (tail, head) = self.graph.arc_endpoints(m.arc);
+                let inbox = &mut self.inbox[head.index()];
+                if inbox.is_empty() {
+                    receivers.push(head);
+                }
+                inbox.push(tail);
+            } else {
+                held.push(InFlightMessage { arc: m.arc, age: m.age + 1 });
+            }
+        }
+        receivers.sort_unstable();
+
+        let mut new_msgs: Vec<InFlightMessage> = Vec::new();
+        for &v in &receivers {
+            let mut from = core::mem::take(&mut self.inbox[v.index()]);
+            from.sort_unstable();
+            let targets = self
+                .protocol
+                .on_receive(v, &from, &mut self.states[v.index()], self.graph);
+            for t in targets {
+                let arc = self
+                    .graph
+                    .arc_between(v, t)
+                    .unwrap_or_else(|| panic!("protocol sent {v} -> {t} on a non-edge"));
+                new_msgs.push(InFlightMessage { arc, age: 0 });
+            }
+            from.clear();
+            self.inbox[v.index()] = from;
+        }
+
+        // Merge held + new, coalescing per arc and keeping the older copy.
+        held.extend(new_msgs);
+        held.sort_unstable_by_key(|m| (m.arc, core::cmp::Reverse(m.age)));
+        held.dedup_by_key(|m| m.arc);
+        self.in_flight = held;
+        Ok(Some(tick))
+    }
+
+    /// Runs until termination or `max_ticks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsyncError`] if the adversary breaks its contract.
+    pub fn run(&mut self, max_ticks: u64) -> Result<AsyncOutcome, AsyncError> {
+        while self.tick < max_ticks {
+            if self.step()?.is_none() {
+                return Ok(AsyncOutcome::Terminated { last_active_tick: self.last_active_tick });
+            }
+        }
+        if self.in_flight.is_empty() {
+            Ok(AsyncOutcome::Terminated { last_active_tick: self.last_active_tick })
+        } else {
+            Ok(AsyncOutcome::CapReached { ticks_executed: self.tick })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{DeliverAll, OneAtATime, PerHeadThrottle};
+    use crate::protocol::test_protocols::TestAmnesiacFlooding;
+    use crate::sync::SyncEngine;
+    use af_graph::generators;
+
+    #[test]
+    fn deliver_all_matches_sync_engine() {
+        for (g, s) in [
+            (generators::path(6), 2usize),
+            (generators::cycle(5), 0),
+            (generators::petersen(), 3),
+            (generators::complete(5), 1),
+        ] {
+            let mut sync = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(s)]);
+            let sync_out = sync.run(1000);
+            let mut asy =
+                AsyncEngine::new(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(s)]);
+            let asy_out = asy.run(1000).unwrap();
+            assert_eq!(
+                sync_out.termination_round().map(u64::from),
+                match asy_out {
+                    AsyncOutcome::Terminated { last_active_tick } => Some(last_active_tick),
+                    AsyncOutcome::CapReached { .. } => None,
+                }
+            );
+            assert_eq!(sync.total_messages(), asy.total_messages());
+        }
+    }
+
+    #[test]
+    fn per_head_throttle_keeps_triangle_alive() {
+        // The paper's Figure 5: the adversary prevents termination on C3.
+        let g = generators::cycle(3);
+        let mut e =
+            AsyncEngine::new(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)]);
+        let out = e.run(10_000).unwrap();
+        assert_eq!(out, AsyncOutcome::CapReached { ticks_executed: 10_000 });
+    }
+
+    #[test]
+    fn one_at_a_time_on_a_path_terminates() {
+        // Trees cannot sustain the flood: messages only move away from the
+        // source region, under any schedule.
+        let g = generators::path(6);
+        let mut e = AsyncEngine::new(&g, TestAmnesiacFlooding, OneAtATime, [NodeId::new(0)]);
+        let out = e.run(10_000).unwrap();
+        assert!(out.is_terminated());
+    }
+
+    #[test]
+    fn freezing_adversary_stalls_but_ages_grow() {
+        #[derive(Debug)]
+        struct Freezer;
+        impl Adversary for Freezer {
+            fn select(&mut self, _: u64, _: &[InFlightMessage], _: &Graph) -> Vec<ArcId> {
+                Vec::new()
+            }
+        }
+        let g = generators::path(3);
+        let mut e = AsyncEngine::new(&g, TestAmnesiacFlooding, Freezer, [NodeId::new(0)]);
+        let out = e.run(10).unwrap();
+        assert_eq!(out, AsyncOutcome::CapReached { ticks_executed: 10 });
+        assert_eq!(e.total_messages(), 0);
+        assert!(e.in_flight().iter().all(|m| m.age == 10), "frozen messages keep aging");
+    }
+
+    #[test]
+    fn selecting_a_phantom_arc_is_an_error() {
+        #[derive(Debug)]
+        struct Liar;
+        impl Adversary for Liar {
+            fn select(&mut self, _: u64, _: &[InFlightMessage], g: &Graph) -> Vec<ArcId> {
+                vec![g.arcs().last().expect("graph has arcs")]
+            }
+        }
+        let g = generators::path(4);
+        // source 0: only arc 0->1 in flight; the last arc (2-3 reversed) is not.
+        let mut e = AsyncEngine::new(&g, TestAmnesiacFlooding, Liar, [NodeId::new(0)]);
+        assert!(matches!(e.step(), Err(AsyncError::NotInFlight { .. })));
+    }
+
+    #[test]
+    fn terminated_engine_steps_to_none() {
+        let g = generators::path(2);
+        let mut e = AsyncEngine::new(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)]);
+        e.run(100).unwrap();
+        assert!(e.is_terminated());
+        assert_eq!(e.step(), Ok(None));
+    }
+
+    #[test]
+    fn ages_grow_on_held_messages() {
+        let g = generators::cycle(3);
+        let mut e =
+            AsyncEngine::new(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)]);
+        let mut saw_aged = false;
+        for _ in 0..50 {
+            if e.step().unwrap().is_none() {
+                break;
+            }
+            if e.in_flight().iter().any(|m| m.age > 0) {
+                saw_aged = true;
+            }
+        }
+        assert!(saw_aged, "throttle should hold at least one message");
+    }
+
+    #[test]
+    fn configuration_snapshot_is_stable() {
+        let g = generators::cycle(4);
+        let e = AsyncEngine::new(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)]);
+        let c1 = e.configuration();
+        let c2 = e.configuration();
+        assert_eq!(c1, c2);
+        assert_eq!(c1.messages().len(), 2);
+        assert_eq!(c1.states().len(), 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! Machine-checkable non-termination certificates for asynchronous runs.
+//!
+//! Section 4 of the paper argues (by example) that a scheduling adversary
+//! can keep an amnesiac flood alive forever. An empirical reproduction
+//! cannot run forever, but it can do the next best thing: under a
+//! **deterministic** adversary the whole run is a function of the current
+//! configuration (in-flight messages with ages + node states), and the
+//! configuration space of a coalescing engine is finite. Therefore the run
+//! either terminates or eventually *revisits* a configuration — a lasso —
+//! and a lasso is a finite, checkable proof of an infinite execution.
+//!
+//! [`certify`] drives an [`AsyncEngine`] while hashing configurations and
+//! reports which of the three cases occurred.
+
+use crate::asynchronous::{AsyncEngine, AsyncError, Configuration, DeterministicAdversary};
+use crate::protocol::Protocol;
+use af_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// The verdict of [`certify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// The flood died: no message in flight after `last_active_tick`.
+    Terminated {
+        /// Last tick at which a message was delivered.
+        last_active_tick: u64,
+    },
+    /// The run revisited a configuration: it provably never terminates.
+    NonTerminating(Lasso),
+    /// The tick cap was reached without termination or a repeat. (With a
+    /// deterministic adversary this can only happen if the cap is smaller
+    /// than the configuration space actually visited, e.g. when held
+    /// message ages grow without bound.)
+    Unresolved {
+        /// Ticks executed before giving up.
+        ticks_executed: u64,
+    },
+}
+
+impl Certificate {
+    /// Returns `true` for [`Certificate::NonTerminating`].
+    #[must_use]
+    pub fn is_non_terminating(&self) -> bool {
+        matches!(self, Certificate::NonTerminating(_))
+    }
+
+    /// Returns the lasso if the run was certified non-terminating.
+    #[must_use]
+    pub fn lasso(&self) -> Option<&Lasso> {
+        match self {
+            Certificate::NonTerminating(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// A lasso: the run reaches `first_visit_tick`'s configuration again at
+/// `repeat_tick`, so the segment between them repeats forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso {
+    first_visit_tick: u64,
+    repeat_tick: u64,
+}
+
+impl Lasso {
+    /// Tick at which the recurring configuration was first seen.
+    #[must_use]
+    pub fn first_visit_tick(&self) -> u64 {
+        self.first_visit_tick
+    }
+
+    /// Tick at which it was seen again.
+    #[must_use]
+    pub fn repeat_tick(&self) -> u64 {
+        self.repeat_tick
+    }
+
+    /// Length of the repeating segment.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.repeat_tick - self.first_visit_tick
+    }
+}
+
+/// Runs `protocol` from `initiators` under a deterministic `adversary`,
+/// looking for termination or a configuration repeat, up to `max_ticks`.
+///
+/// The [`DeterministicAdversary`] bound is what makes a repeat a genuine
+/// non-termination proof; see the module docs.
+///
+/// # Errors
+///
+/// Propagates [`AsyncError`] if the adversary selects messages that are not
+/// in flight.
+///
+/// # Panics
+///
+/// Panics if an initiator is out of range or the protocol targets a
+/// non-neighbour.
+///
+/// # Examples
+///
+/// ```
+/// use af_engine::adversary::PerHeadThrottle;
+/// use af_engine::certify::{certify, Certificate};
+/// use af_engine::Protocol;
+/// use af_graph::{generators, Graph, NodeId};
+///
+/// #[derive(Debug)]
+/// struct Af;
+/// impl Protocol for Af {
+///     type State = ();
+///     fn initiate(&self, v: NodeId, _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).to_vec()
+///     }
+///     fn on_receive(&self, v: NodeId, from: &[NodeId], _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).iter().copied().filter(|w| !from.contains(w)).collect()
+///     }
+/// }
+///
+/// // Figure 5: the triangle never terminates under the throttling adversary.
+/// let g = generators::cycle(3);
+/// let cert = certify(&g, Af, PerHeadThrottle, [NodeId::new(1)], 10_000)?;
+/// assert!(cert.is_non_terminating());
+/// # Ok::<(), af_engine::AsyncError>(())
+/// ```
+pub fn certify<P, A, I>(
+    graph: &Graph,
+    protocol: P,
+    adversary: A,
+    initiators: I,
+    max_ticks: u64,
+) -> Result<Certificate, AsyncError>
+where
+    P: Protocol,
+    A: DeterministicAdversary,
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut engine = AsyncEngine::new(graph, protocol, adversary, initiators);
+    let mut seen: HashMap<Configuration<P::State>, u64> = HashMap::new();
+    seen.insert(engine.configuration(), 0);
+
+    loop {
+        match engine.step()? {
+            None => {
+                return Ok(Certificate::Terminated {
+                    last_active_tick: engine.tick(),
+                });
+            }
+            Some(tick) => {
+                let config = engine.configuration();
+                if let Some(&first) = seen.get(&config) {
+                    return Ok(Certificate::NonTerminating(Lasso {
+                        first_visit_tick: first,
+                        repeat_tick: tick,
+                    }));
+                }
+                if tick >= max_ticks {
+                    return Ok(Certificate::Unresolved { ticks_executed: tick });
+                }
+                seen.insert(config, tick);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BoundedDelay, DeliverAll, OneAtATime, PerHeadThrottle};
+    use crate::protocol::test_protocols::{TestAmnesiacFlooding, TestClassicFlooding};
+    use af_graph::generators;
+
+    #[test]
+    fn triangle_under_throttle_is_certified_non_terminating() {
+        let g = generators::cycle(3);
+        let cert = certify(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)], 10_000)
+            .unwrap();
+        let lasso = cert.lasso().expect("figure 5 says non-terminating");
+        assert!(lasso.period() > 0);
+        assert!(lasso.repeat_tick() <= 20, "the triangle lasso is tiny");
+    }
+
+    #[test]
+    fn odd_cycles_under_throttle_never_terminate() {
+        for n in [3usize, 5, 7] {
+            let g = generators::cycle(n);
+            let cert =
+                certify(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(0)], 100_000)
+                    .unwrap();
+            assert!(cert.is_non_terminating(), "C{n}");
+        }
+    }
+
+    #[test]
+    fn triangle_under_deliver_all_terminates() {
+        let g = generators::cycle(3);
+        let cert =
+            certify(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)], 1000).unwrap();
+        assert_eq!(cert, Certificate::Terminated { last_active_tick: 3 });
+    }
+
+    #[test]
+    fn trees_terminate_under_every_builtin_deterministic_adversary() {
+        let g = generators::binary_tree(3);
+        let c1 = certify(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)], 100_000)
+            .unwrap();
+        let c2 = certify(&g, TestAmnesiacFlooding, OneAtATime, [NodeId::new(0)], 100_000)
+            .unwrap();
+        let c3 = certify(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(0)], 100_000)
+            .unwrap();
+        let c4 =
+            certify(&g, TestAmnesiacFlooding, BoundedDelay::new(3), [NodeId::new(0)], 100_000)
+                .unwrap();
+        for c in [c1, c2, c3, c4] {
+            assert!(matches!(c, Certificate::Terminated { .. }), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn classic_flooding_terminates_even_under_throttle() {
+        // The flag baseline is immune to the adversary: every node forwards
+        // at most once, so the message supply is finite.
+        for g in [generators::cycle(3), generators::cycle(5), generators::complete(4)] {
+            let cert = certify(&g, TestClassicFlooding, PerHeadThrottle, [NodeId::new(0)], 100_000)
+                .unwrap();
+            assert!(matches!(cert, Certificate::Terminated { .. }), "{g}");
+        }
+    }
+
+    #[test]
+    fn lasso_accessors() {
+        let l = Lasso { first_visit_tick: 4, repeat_tick: 9 };
+        assert_eq!(l.first_visit_tick(), 4);
+        assert_eq!(l.repeat_tick(), 9);
+        assert_eq!(l.period(), 5);
+    }
+}

@@ -1,0 +1,400 @@
+//! Fault injection for synchronous floods — a robustness extension beyond
+//! the paper's fault-free model ("no messages are lost in transit").
+//!
+//! [`FaultySyncEngine`] wraps the synchronous semantics with two seeded
+//! fault classes:
+//!
+//! * **message loss** — each in-flight message is independently dropped
+//!   with probability `loss_rate` before delivery;
+//! * **crash faults** — a node listed in the crash schedule stops at its
+//!   crash round: it never receives nor sends afterwards.
+//!
+//! A finding the test suite pins down (experiment E14): **message loss can
+//! break the termination theorem.** Dropping one of two messages that
+//! would have collided at a node acts exactly like the Section-4
+//! adversary's delay — the surviving wave keeps circulating. On cyclic
+//! topologies a lossy flood can therefore outlive the `2D + 1` bound by
+//! orders of magnitude or never die at all; on **trees** termination
+//! survives any loss pattern (a wave can never turn back without a
+//! cycle). Coverage (informed nodes) degrades with the loss rate either
+//! way. Theorem 3.1 genuinely needs the paper's "no messages are lost"
+//! assumption.
+
+use crate::protocol::Protocol;
+use af_graph::{ArcId, Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A crash schedule entry: `node` stops participating at the *start* of
+/// `round` (it neither receives nor sends from then on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// The first round the node is dead in.
+    pub round: u32,
+}
+
+/// Synchronous engine with seeded message loss and crash faults.
+///
+/// # Examples
+///
+/// ```
+/// use af_engine::faults::FaultySyncEngine;
+/// use af_engine::Protocol;
+/// use af_graph::{generators, Graph, NodeId};
+///
+/// #[derive(Debug)]
+/// struct Af;
+/// impl Protocol for Af {
+///     type State = ();
+///     fn initiate(&self, v: NodeId, _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).to_vec()
+///     }
+///     fn on_receive(&self, v: NodeId, from: &[NodeId], _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).iter().copied().filter(|w| !from.contains(w)).collect()
+///     }
+/// }
+///
+/// // Trees keep the termination guarantee under any loss rate...
+/// let g = generators::binary_tree(4);
+/// let mut e = FaultySyncEngine::new(&g, Af, [NodeId::new(0)], 0.2, 7);
+/// assert!(e.run(1000).is_terminated());
+/// // ...while cyclic graphs may not (see the module docs).
+/// ```
+#[derive(Debug)]
+pub struct FaultySyncEngine<'g, P: Protocol> {
+    graph: &'g Graph,
+    protocol: P,
+    states: Vec<P::State>,
+    pending: Vec<ArcId>,
+    round: u32,
+    delivered_messages: u64,
+    dropped_messages: u64,
+    loss_rate: f64,
+    rng: ChaCha8Rng,
+    crashed_at: Vec<Option<u32>>,
+    informed: Vec<bool>,
+    inbox: Vec<Vec<NodeId>>,
+}
+
+impl<'g, P: Protocol> FaultySyncEngine<'g, P> {
+    /// Creates a faulty engine with the given per-message loss probability
+    /// and RNG seed. Crashes are added with
+    /// [`FaultySyncEngine::schedule_crash`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_rate` is outside `0.0..=1.0`, an initiator is out
+    /// of range, or the protocol targets a non-neighbour.
+    pub fn new<I>(graph: &'g Graph, protocol: P, initiators: I, loss_rate: f64, seed: u64) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate must be in [0, 1], got {loss_rate}"
+        );
+        let n = graph.node_count();
+        let mut states = vec![P::State::default(); n];
+        let mut inits: Vec<NodeId> = initiators.into_iter().collect();
+        inits.sort_unstable();
+        inits.dedup();
+        let mut pending = Vec::new();
+        let mut informed = vec![false; n];
+        for &v in &inits {
+            assert!(v.index() < n, "initiator {v} out of range");
+            informed[v.index()] = true;
+            for t in protocol.initiate(v, &mut states[v.index()], graph) {
+                let arc = graph
+                    .arc_between(v, t)
+                    .unwrap_or_else(|| panic!("protocol sent {v} -> {t} on a non-edge"));
+                pending.push(arc);
+            }
+        }
+        pending.sort_unstable();
+        pending.dedup();
+        FaultySyncEngine {
+            graph,
+            protocol,
+            states,
+            pending,
+            round: 0,
+            delivered_messages: 0,
+            dropped_messages: 0,
+            loss_rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            crashed_at: vec![None; n],
+            informed,
+            inbox: vec![Vec::new(); n],
+        }
+    }
+
+    /// Schedules a crash: `node` is dead from the start of `crash.round`.
+    /// Scheduling a node twice keeps the earlier round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn schedule_crash(&mut self, crash: Crash) {
+        let slot = &mut self.crashed_at[crash.node.index()];
+        *slot = Some(slot.map_or(crash.round, |r| r.min(crash.round)));
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Messages actually delivered (loss and crashes excluded).
+    #[must_use]
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered_messages
+    }
+
+    /// Messages dropped by loss or crashed receivers.
+    #[must_use]
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Returns `true` if no message is in flight.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of nodes that have received the message at least once
+    /// (initiators count as informed).
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed.iter().filter(|&&b| b).count()
+    }
+
+    fn is_dead(&self, v: NodeId, round: u32) -> bool {
+        self.crashed_at[v.index()].is_some_and(|r| round >= r)
+    }
+
+    /// Executes one round; returns the round number, or `None` if already
+    /// terminated.
+    pub fn step(&mut self) -> Option<u32> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.round += 1;
+        let round = self.round;
+        let delivered = core::mem::take(&mut self.pending);
+
+        let mut receivers: Vec<NodeId> = Vec::new();
+        for arc in delivered {
+            let (tail, head) = self.graph.arc_endpoints(arc);
+            // A node dead in the sending round never actually sends; a
+            // message to a dead node is lost; and the channel itself may
+            // drop it.
+            if self.is_dead(tail, round) {
+                self.dropped_messages += 1;
+                continue;
+            }
+            if self.is_dead(head, round) || self.rng.gen_bool(self.loss_rate) {
+                self.dropped_messages += 1;
+                continue;
+            }
+            self.delivered_messages += 1;
+            let inbox = &mut self.inbox[head.index()];
+            if inbox.is_empty() {
+                receivers.push(head);
+            }
+            inbox.push(tail);
+        }
+        receivers.sort_unstable();
+
+        let mut sends: Vec<ArcId> = Vec::new();
+        for &v in &receivers {
+            let mut from = core::mem::take(&mut self.inbox[v.index()]);
+            from.sort_unstable();
+            self.informed[v.index()] = true;
+            let targets = self
+                .protocol
+                .on_receive(v, &from, &mut self.states[v.index()], self.graph);
+            for t in targets {
+                let arc = self
+                    .graph
+                    .arc_between(v, t)
+                    .unwrap_or_else(|| panic!("protocol sent {v} -> {t} on a non-edge"));
+                sends.push(arc);
+            }
+            from.clear();
+            self.inbox[v.index()] = from;
+        }
+        sends.sort_unstable();
+        sends.dedup();
+        self.pending = sends;
+        Some(round)
+    }
+
+    /// Runs until termination or `max_rounds`.
+    pub fn run(&mut self, max_rounds: u32) -> crate::sync::Outcome {
+        use crate::sync::Outcome;
+        while self.round < max_rounds {
+            if self.step().is_none() {
+                return Outcome::Terminated { last_active_round: self.round };
+            }
+        }
+        if self.pending.is_empty() {
+            Outcome::Terminated { last_active_round: self.round }
+        } else {
+            Outcome::CapReached { rounds_executed: self.round }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::test_protocols::TestAmnesiacFlooding;
+    use af_graph::generators;
+
+    #[test]
+    fn zero_loss_matches_fault_free_run() {
+        let g = generators::petersen();
+        let mut faulty =
+            FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
+        let out = faulty.run(1000);
+        let mut clean = crate::sync::SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)]);
+        let clean_out = clean.run(1000);
+        assert_eq!(out, clean_out);
+        assert_eq!(faulty.delivered_messages(), clean.total_messages());
+        assert_eq!(faulty.dropped_messages(), 0);
+        // Non-bipartite: even the source receives the message back.
+        assert_eq!(faulty.informed_count(), 10);
+    }
+
+    #[test]
+    fn total_loss_kills_the_flood_in_one_round() {
+        let g = generators::complete(6);
+        let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 1.0, 1);
+        let out = e.run(100);
+        assert!(out.is_terminated());
+        assert_eq!(e.delivered_messages(), 0);
+        assert_eq!(e.dropped_messages(), 5);
+        assert_eq!(e.informed_count(), 1, "only the source itself");
+    }
+
+    #[test]
+    fn trees_terminate_under_any_loss_pattern() {
+        // Without a cycle no wave can turn back, so loss cannot sustain
+        // the flood: termination survives every loss rate and seed.
+        for seed in 0..10 {
+            for g in [
+                generators::path(20),
+                generators::binary_tree(4),
+                generators::star(15),
+                generators::caterpillar(6, 2),
+            ] {
+                for rate in [0.1, 0.3, 0.6] {
+                    let mut e = FaultySyncEngine::new(
+                        &g,
+                        TestAmnesiacFlooding,
+                        [NodeId::new(0)],
+                        rate,
+                        seed,
+                    );
+                    let out = e.run(10_000);
+                    assert!(out.is_terminated(), "{g} seed {seed} rate {rate}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_can_break_the_termination_bound_on_cyclic_graphs() {
+        // The headline finding: a dropped message splits colliding waves
+        // like the Section-4 adversary's delay, and the flood outlives the
+        // fault-free 2D + 1 bound. Search a few seeds for a witness — the
+        // effect is common, not a corner case.
+        let g = generators::grid(8, 8); // D = 14, bound = 29 (non-bip? grid IS bipartite: bound = D = 14)
+        let bound = 2 * 14 + 1;
+        let mut witnessed = false;
+        for seed in 0..20 {
+            let mut e =
+                FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.1, seed);
+            match e.run(5_000) {
+                crate::sync::Outcome::Terminated { last_active_round } => {
+                    if last_active_round > bound {
+                        witnessed = true;
+                        break;
+                    }
+                }
+                crate::sync::Outcome::CapReached { .. } => {
+                    witnessed = true;
+                    break;
+                }
+            }
+        }
+        assert!(witnessed, "10% loss should sustain a wave past 2D+1 for some seed");
+    }
+
+    #[test]
+    fn lossy_runs_are_seed_deterministic() {
+        let g = generators::grid(5, 5);
+        let run = |seed| {
+            let mut e =
+                FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.25, seed);
+            let out = e.run(10_000);
+            (out, e.delivered_messages(), e.informed_count())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn crashed_node_blocks_the_only_route() {
+        // Path 0-1-2-3: crashing node 1 at round 1 stops everything past it.
+        let g = generators::path(4);
+        let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
+        e.schedule_crash(Crash { node: NodeId::new(1), round: 1 });
+        let out = e.run(100);
+        assert!(out.is_terminated());
+        assert_eq!(e.informed_count(), 1, "only the source; the dead node blocks all receipt");
+    }
+
+    #[test]
+    fn crash_after_forwarding_still_informs_downstream() {
+        let g = generators::path(4);
+        let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
+        // Node 1 receives in round 1 and sends in round 2; crashing it at
+        // round 3 changes nothing for 2 and 3.
+        e.schedule_crash(Crash { node: NodeId::new(1), round: 3 });
+        e.run(100);
+        assert_eq!(e.informed_count(), 4, "source plus nodes 1, 2, 3");
+    }
+
+    #[test]
+    fn redundant_topology_survives_a_crash() {
+        // On a cycle, one crash leaves the other direction intact.
+        let g = generators::cycle(8);
+        let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
+        e.schedule_crash(Crash { node: NodeId::new(1), round: 1 });
+        e.run(100);
+        // Everyone except the dead node hears the message the long way
+        // (the source is informed by construction).
+        assert_eq!(e.informed_count(), 7);
+    }
+
+    #[test]
+    fn earlier_crash_round_wins() {
+        let g = generators::path(3);
+        let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
+        e.schedule_crash(Crash { node: NodeId::new(1), round: 5 });
+        e.schedule_crash(Crash { node: NodeId::new(1), round: 1 });
+        e.run(100);
+        assert_eq!(e.informed_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in [0, 1]")]
+    fn bad_loss_rate_panics() {
+        let g = generators::path(2);
+        let _ = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 1.5, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # af-engine
+//!
+//! Message-passing simulators for the reproduction of *"On Termination of a
+//! Flooding Process"* (Hussak & Trehan, PODC 2019).
+//!
+//! Two engines share one [`Protocol`] abstraction:
+//!
+//! * [`SyncEngine`] — the paper's synchronous round model: every in-flight
+//!   message is delivered each round, receipts trigger the next round's
+//!   sends, and termination is "no edge carries the message".
+//! * [`AsyncEngine`] — the Section-4 asynchronous variant: an
+//!   [`Adversary`] decides which in-flight messages are delivered at each
+//!   tick. Deterministic adversaries compose with [`certify`], which turns
+//!   a revisited configuration into a machine-checkable **non-termination
+//!   certificate** (a lasso).
+//!
+//! Built-in adversaries live in [`adversary`]; the paper's Figure-5
+//! schedule is generalized by [`adversary::PerHeadThrottle`].
+//!
+//! # Examples
+//!
+//! ```
+//! use af_engine::{Protocol, SyncEngine};
+//! use af_graph::{generators, Graph, NodeId};
+//!
+//! /// Memoryless flooding (Definition 1.1 of the paper).
+//! #[derive(Debug)]
+//! struct Af;
+//! impl Protocol for Af {
+//!     type State = ();
+//!     fn initiate(&self, v: NodeId, _: &mut (), g: &Graph) -> Vec<NodeId> {
+//!         g.neighbors(v).to_vec()
+//!     }
+//!     fn on_receive(&self, v: NodeId, from: &[NodeId], _: &mut (), g: &Graph) -> Vec<NodeId> {
+//!         g.neighbors(v).iter().copied().filter(|w| !from.contains(w)).collect()
+//!     }
+//! }
+//!
+//! // Figure 2: the triangle floods for 2D + 1 = 3 rounds.
+//! let g = generators::cycle(3);
+//! let mut engine = SyncEngine::new(&g, Af, [NodeId::new(1)]);
+//! assert_eq!(engine.run(100).termination_round(), Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adversary;
+pub mod certify;
+pub mod faults;
+
+mod asynchronous;
+mod protocol;
+mod sync;
+
+pub use asynchronous::{
+    Adversary, AsyncEngine, AsyncError, AsyncOutcome, Configuration, DeterministicAdversary,
+    InFlightMessage,
+};
+pub use certify::{certify, Certificate, Lasso};
+pub use protocol::Protocol;
+pub use sync::{Outcome, RoundTrace, SyncEngine};

@@ -1,0 +1,158 @@
+//! The [`Protocol`] trait: how a node reacts to receiving the flooded
+//! message.
+//!
+//! The engines in this crate simulate *single-message* broadcast protocols
+//! in the paper's model: every message is an identical copy of `M`, so the
+//! only information a protocol can react to is *which neighbours the copy
+//! arrived from* plus whatever per-node state the protocol keeps. Amnesiac
+//! flooding keeps none (`State = ()`); the classic flag-based baseline keeps
+//! one bit.
+
+use af_graph::{Graph, NodeId};
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// Node behaviour for a single-message broadcast protocol.
+///
+/// Implementations decide, for each node and round, the set of neighbours to
+/// forward the message to. The engine owns the per-node state (`State`) and
+/// hands it to the callbacks; `State` must be `Eq + Hash` so that
+/// asynchronous runs can be certified by configuration hashing (see
+/// [`crate::certify`]).
+///
+/// # Examples
+///
+/// Amnesiac flooding in five lines (the real implementation lives in
+/// `af-core`):
+///
+/// ```
+/// use af_engine::Protocol;
+/// use af_graph::{Graph, NodeId};
+///
+/// #[derive(Debug, Clone, Copy)]
+/// struct Af;
+///
+/// impl Protocol for Af {
+///     type State = ();
+///     fn initiate(&self, node: NodeId, _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(node).to_vec()
+///     }
+///     fn on_receive(&self, node: NodeId, from: &[NodeId], _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(node).iter().copied().filter(|w| !from.contains(w)).collect()
+///     }
+/// }
+/// ```
+pub trait Protocol {
+    /// Per-node persistent state. Use `()` for amnesiac (memoryless)
+    /// protocols.
+    type State: Clone + Default + Eq + Hash + Debug;
+
+    /// Called once, before round 1, on each initiator node. The returned
+    /// neighbours receive the message in round 1.
+    ///
+    /// Every returned node must be a neighbour of `node`.
+    fn initiate(&self, node: NodeId, state: &mut Self::State, graph: &Graph) -> Vec<NodeId>;
+
+    /// Called when `node` receives the message from the (sorted, non-empty)
+    /// set `from` of neighbours in some round; returns the neighbours to
+    /// forward to in the next round.
+    ///
+    /// Every returned node must be a neighbour of `node`.
+    fn on_receive(
+        &self,
+        node: NodeId,
+        from: &[NodeId],
+        state: &mut Self::State,
+        graph: &Graph,
+    ) -> Vec<NodeId>;
+
+    /// Human-readable protocol name, used in traces and experiment tables.
+    fn name(&self) -> &'static str {
+        "unnamed-protocol"
+    }
+}
+
+/// Blanket impl so engines can borrow protocols.
+impl<P: Protocol> Protocol for &P {
+    type State = P::State;
+
+    fn initiate(&self, node: NodeId, state: &mut Self::State, graph: &Graph) -> Vec<NodeId> {
+        (**self).initiate(node, state, graph)
+    }
+
+    fn on_receive(
+        &self,
+        node: NodeId,
+        from: &[NodeId],
+        state: &mut Self::State,
+        graph: &Graph,
+    ) -> Vec<NodeId> {
+        (**self).on_receive(node, from, state, graph)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_protocols {
+    use super::*;
+
+    /// Memoryless flooding (the paper's Definition 1.1), duplicated here so
+    /// the engine crate can test itself without depending on `af-core`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct TestAmnesiacFlooding;
+
+    impl Protocol for TestAmnesiacFlooding {
+        type State = ();
+
+        fn initiate(&self, node: NodeId, _: &mut (), graph: &Graph) -> Vec<NodeId> {
+            graph.neighbors(node).to_vec()
+        }
+
+        fn on_receive(&self, node: NodeId, from: &[NodeId], _: &mut (), graph: &Graph) -> Vec<NodeId> {
+            graph
+                .neighbors(node)
+                .iter()
+                .copied()
+                .filter(|w| from.binary_search(w).is_err())
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "test-amnesiac-flooding"
+        }
+    }
+
+    /// Classic flag flooding: forward once to everyone except the senders,
+    /// then fall silent forever.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct TestClassicFlooding;
+
+    impl Protocol for TestClassicFlooding {
+        type State = bool; // "have I already forwarded?"
+
+        fn initiate(&self, node: NodeId, state: &mut bool, graph: &Graph) -> Vec<NodeId> {
+            *state = true;
+            graph.neighbors(node).to_vec()
+        }
+
+        fn on_receive(&self, node: NodeId, from: &[NodeId], state: &mut bool, graph: &Graph) -> Vec<NodeId> {
+            if *state {
+                return Vec::new();
+            }
+            *state = true;
+            graph
+                .neighbors(node)
+                .iter()
+                .copied()
+                .filter(|w| from.binary_search(w).is_err())
+                .collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "test-classic-flooding"
+        }
+    }
+}

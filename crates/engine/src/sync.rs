@@ -1,0 +1,452 @@
+//! The synchronous round engine: the paper's execution model.
+//!
+//! Time proceeds in rounds `1, 2, 3, …`. Messages sent "in round `r`" are
+//! received by their head nodes within the same round `r` (this matches the
+//! paper's counting: the origin sends in round 1, its neighbours are the
+//! round-1 receivers `R₁`, and a bipartite flood from `v` is over after
+//! round `e(v)`). The process has *terminated* once no message is in
+//! flight; [`SyncEngine::run`] reports the last round that carried traffic.
+
+use crate::protocol::Protocol;
+use af_graph::{ArcId, Graph, NodeId};
+
+/// Result of driving a synchronous run to completion (or to the cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No message is in flight any more. `last_active_round` is the largest
+    /// round in which some edge carried the message (0 when the initiator
+    /// set was empty or had no neighbours to send to).
+    Terminated {
+        /// The paper's termination time.
+        last_active_round: u32,
+    },
+    /// The round cap was hit with messages still in flight.
+    CapReached {
+        /// Number of rounds that were executed.
+        rounds_executed: u32,
+    },
+}
+
+impl Outcome {
+    /// The termination round, or `None` if the run was capped.
+    #[must_use]
+    pub fn termination_round(self) -> Option<u32> {
+        match self {
+            Outcome::Terminated { last_active_round } => Some(last_active_round),
+            Outcome::CapReached { .. } => None,
+        }
+    }
+
+    /// Returns `true` if the run terminated within the cap.
+    #[must_use]
+    pub fn is_terminated(self) -> bool {
+        matches!(self, Outcome::Terminated { .. })
+    }
+}
+
+/// What happened in one synchronous round: the messages delivered (as arcs,
+/// sorted by arc id) and therefore who received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTrace {
+    round: u32,
+    delivered: Vec<ArcId>,
+    receivers: Vec<NodeId>,
+}
+
+impl RoundTrace {
+    /// The 1-based round number.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The arcs that carried the message this round, sorted by arc id.
+    #[must_use]
+    pub fn delivered(&self) -> &[ArcId] {
+        &self.delivered
+    }
+
+    /// The distinct nodes that received this round (the paper's round-set
+    /// `R_round`), sorted by node id.
+    #[must_use]
+    pub fn receivers(&self) -> &[NodeId] {
+        &self.receivers
+    }
+}
+
+/// Synchronous message-passing simulator for a [`Protocol`] on a graph.
+///
+/// # Examples
+///
+/// ```
+/// use af_engine::{SyncEngine, Protocol};
+/// use af_graph::{generators, Graph, NodeId};
+///
+/// #[derive(Debug)]
+/// struct Af;
+/// impl Protocol for Af {
+///     type State = ();
+///     fn initiate(&self, v: NodeId, _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).to_vec()
+///     }
+///     fn on_receive(&self, v: NodeId, from: &[NodeId], _: &mut (), g: &Graph) -> Vec<NodeId> {
+///         g.neighbors(v).iter().copied().filter(|w| !from.contains(w)).collect()
+///     }
+/// }
+///
+/// // Figure 1: flooding the line 0-1-2-3 from node 1 ends after round 2.
+/// let g = generators::path(4);
+/// let mut engine = SyncEngine::new(&g, Af, [NodeId::new(1)]);
+/// let outcome = engine.run(100);
+/// assert_eq!(outcome.termination_round(), Some(2));
+/// ```
+#[derive(Debug)]
+pub struct SyncEngine<'g, P: Protocol> {
+    graph: &'g Graph,
+    protocol: P,
+    states: Vec<P::State>,
+    /// Messages to be delivered in round `round + 1`, sorted by arc id.
+    pending: Vec<ArcId>,
+    round: u32,
+    total_messages: u64,
+    trace_enabled: bool,
+    trace: Vec<RoundTrace>,
+    receipts: Vec<Vec<u32>>,
+    /// Scratch: per-node sender lists, reused across rounds.
+    inbox: Vec<Vec<NodeId>>,
+}
+
+impl<'g, P: Protocol> SyncEngine<'g, P> {
+    /// Creates an engine and performs the initiation step: every node in
+    /// `initiators` runs [`Protocol::initiate`]; the resulting messages are
+    /// the round-1 traffic.
+    ///
+    /// Duplicate initiators are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initiator is out of range or the protocol returns a
+    /// non-neighbour target.
+    pub fn new<I>(graph: &'g Graph, protocol: P, initiators: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = graph.node_count();
+        let mut engine = SyncEngine {
+            graph,
+            protocol,
+            states: vec![P::State::default(); n],
+            pending: Vec::new(),
+            round: 0,
+            total_messages: 0,
+            trace_enabled: true,
+            trace: Vec::new(),
+            receipts: vec![Vec::new(); n],
+            inbox: vec![Vec::new(); n],
+        };
+        let mut inits: Vec<NodeId> = initiators.into_iter().collect();
+        inits.sort_unstable();
+        inits.dedup();
+        let mut sends = Vec::new();
+        for v in inits {
+            assert!(v.index() < n, "initiator {v} out of range");
+            let targets = engine
+                .protocol
+                .initiate(v, &mut engine.states[v.index()], graph);
+            for t in targets {
+                let arc = graph
+                    .arc_between(v, t)
+                    .unwrap_or_else(|| panic!("protocol sent {v} -> {t} on a non-edge"));
+                sends.push(arc);
+            }
+        }
+        sends.sort_unstable();
+        sends.dedup();
+        engine.pending = sends;
+        engine
+    }
+
+    /// Enables or disables per-round trace recording (enabled by default).
+    /// Disable for large benchmark runs to avoid the allocation cost.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// The graph being simulated.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Number of rounds executed so far.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The messages that will be delivered in the next round, sorted by arc
+    /// id.
+    #[must_use]
+    pub fn in_flight(&self) -> &[ArcId] {
+        &self.pending
+    }
+
+    /// Returns `true` if no message is in flight (the paper's termination
+    /// condition).
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total number of point-to-point messages delivered so far.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// The per-round trace (empty if tracing was disabled).
+    #[must_use]
+    pub fn trace(&self) -> &[RoundTrace] {
+        &self.trace
+    }
+
+    /// The rounds in which `v` received at least one copy of the message,
+    /// in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn receipts(&self, v: NodeId) -> &[u32] {
+        &self.receipts[v.index()]
+    }
+
+    /// The protocol state of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn state(&self, v: NodeId) -> &P::State {
+        &self.states[v.index()]
+    }
+
+    /// Executes one round: delivers all pending messages and collects the
+    /// sends they trigger. Returns the round number executed, or `None` if
+    /// the process had already terminated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol returns a non-neighbour target.
+    pub fn step(&mut self) -> Option<u32> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.round += 1;
+        let round = self.round;
+        let delivered = core::mem::take(&mut self.pending);
+        self.total_messages += delivered.len() as u64;
+
+        // Group senders by receiver. Arcs are sorted by arc id, which is not
+        // sorted by head; collect then sort each inbox.
+        let mut receivers: Vec<NodeId> = Vec::new();
+        for &arc in &delivered {
+            let (tail, head) = self.graph.arc_endpoints(arc);
+            let inbox = &mut self.inbox[head.index()];
+            if inbox.is_empty() {
+                receivers.push(head);
+            }
+            inbox.push(tail);
+        }
+        receivers.sort_unstable();
+
+        let mut sends: Vec<ArcId> = Vec::new();
+        for &v in &receivers {
+            let from = core::mem::take(&mut self.inbox[v.index()]);
+            let mut from = from;
+            from.sort_unstable();
+            self.receipts[v.index()].push(round);
+            let targets = self
+                .protocol
+                .on_receive(v, &from, &mut self.states[v.index()], self.graph);
+            for t in targets {
+                let arc = self
+                    .graph
+                    .arc_between(v, t)
+                    .unwrap_or_else(|| panic!("protocol sent {v} -> {t} on a non-edge"));
+                sends.push(arc);
+            }
+            // Return the (now empty) buffer for reuse.
+            self.inbox[v.index()] = from;
+            self.inbox[v.index()].clear();
+        }
+        sends.sort_unstable();
+        sends.dedup();
+        self.pending = sends;
+
+        if self.trace_enabled {
+            self.trace.push(RoundTrace { round, delivered, receivers });
+        }
+        Some(round)
+    }
+
+    /// Runs until termination or until `max_rounds` rounds have executed.
+    pub fn run(&mut self, max_rounds: u32) -> Outcome {
+        while self.round < max_rounds {
+            if self.step().is_none() {
+                return Outcome::Terminated { last_active_round: self.round };
+            }
+        }
+        if self.pending.is_empty() {
+            Outcome::Terminated { last_active_round: self.round }
+        } else {
+            Outcome::CapReached { rounds_executed: self.round }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::test_protocols::{TestAmnesiacFlooding, TestClassicFlooding};
+    use af_graph::generators;
+
+    fn run_af(g: &Graph, source: usize, cap: u32) -> (Outcome, u64) {
+        let mut e = SyncEngine::new(g, TestAmnesiacFlooding, [NodeId::new(source)]);
+        let o = e.run(cap);
+        (o, e.total_messages())
+    }
+
+    #[test]
+    fn figure1_line_from_b_terminates_in_two_rounds() {
+        let g = generators::path(4);
+        let (o, _) = run_af(&g, 1, 100);
+        assert_eq!(o, Outcome::Terminated { last_active_round: 2 });
+    }
+
+    #[test]
+    fn figure2_triangle_terminates_in_three_rounds() {
+        let g = generators::cycle(3);
+        let (o, msgs) = run_af(&g, 1, 100);
+        assert_eq!(o.termination_round(), Some(3));
+        // round 1: 2 msgs, round 2: 2 msgs (a<->c), round 3: 2 msgs into b
+        assert_eq!(msgs, 6);
+    }
+
+    #[test]
+    fn figure3_even_cycle_terminates_in_diameter_rounds() {
+        let g = generators::cycle(6);
+        for s in 0..6 {
+            let (o, _) = run_af(&g, s, 100);
+            assert_eq!(o.termination_round(), Some(3), "source {s}");
+        }
+    }
+
+    #[test]
+    fn round_sets_match_figure1() {
+        let g = generators::path(4);
+        let mut e = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(1)]);
+        e.run(10);
+        let trace = e.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].round(), 1);
+        assert_eq!(trace[0].receivers(), &[NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(trace[1].receivers(), &[NodeId::new(3)]);
+        assert_eq!(e.receipts(NodeId::new(3)), &[2]);
+        assert_eq!(e.receipts(NodeId::new(1)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn single_node_terminates_immediately() {
+        let g = Graph::empty(1);
+        let (o, msgs) = run_af(&g, 0, 10);
+        assert_eq!(o, Outcome::Terminated { last_active_round: 0 });
+        assert_eq!(msgs, 0);
+    }
+
+    #[test]
+    fn empty_initiator_set_terminates_immediately() {
+        let g = generators::cycle(5);
+        let mut e = SyncEngine::new(&g, TestAmnesiacFlooding, []);
+        assert!(e.is_terminated());
+        assert_eq!(e.run(10), Outcome::Terminated { last_active_round: 0 });
+    }
+
+    #[test]
+    fn cap_is_reported() {
+        // A triangle needs 3 rounds; cap at 2.
+        let g = generators::cycle(3);
+        let mut e = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)]);
+        assert_eq!(e.run(2), Outcome::CapReached { rounds_executed: 2 });
+        assert!(!e.is_terminated());
+        // Continuing finishes the job.
+        assert_eq!(e.run(10), Outcome::Terminated { last_active_round: 3 });
+    }
+
+    #[test]
+    fn classic_flooding_informs_everyone_and_goes_quiet() {
+        // C5 from node 0: everyone is informed by round e(v) = 2, and the
+        // last messages (the already-informed pair 2 <-> 3 exchanging
+        // copies that get dropped) travel in round e(v) + 1 = 3.
+        let g = generators::cycle(5);
+        let mut e = SyncEngine::new(&g, TestClassicFlooding, [NodeId::new(0)]);
+        let o = e.run(100);
+        assert_eq!(o.termination_round(), Some(3));
+        for v in g.nodes() {
+            assert!(*e.state(v), "node {v} must hold the flag");
+        }
+        // On a path (no cross edges) classic flooding goes quiet at exactly
+        // the source eccentricity.
+        let p = generators::path(5);
+        let mut e = SyncEngine::new(&p, TestClassicFlooding, [NodeId::new(0)]);
+        assert_eq!(e.run(100).termination_round(), Some(4));
+    }
+
+    #[test]
+    fn duplicate_initiators_collapse() {
+        let g = generators::path(3);
+        let mut a = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(1), NodeId::new(1)]);
+        let mut b = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(1)]);
+        assert_eq!(a.run(10), b.run(10));
+        assert_eq!(a.total_messages(), b.total_messages());
+    }
+
+    #[test]
+    fn multi_source_adjacent_pair_on_edge_terminates_in_one_round() {
+        // Both endpoints of a single edge start: they exchange M, then both
+        // send to the complement of {other} = nothing.
+        let g = generators::path(2);
+        let mut e = SyncEngine::new(
+            &g,
+            TestAmnesiacFlooding,
+            [NodeId::new(0), NodeId::new(1)],
+        );
+        assert_eq!(e.run(10).termination_round(), Some(1));
+        assert_eq!(e.total_messages(), 2);
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let g = generators::cycle(6);
+        let mut e = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)]);
+        e.set_trace_enabled(false);
+        e.run(100);
+        assert!(e.trace().is_empty());
+        assert!(e.total_messages() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_initiator_panics() {
+        let g = generators::path(2);
+        let _ = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(7)]);
+    }
+
+    #[test]
+    fn borrowed_protocol_works() {
+        let g = generators::cycle(4);
+        let p = TestAmnesiacFlooding;
+        let mut e = SyncEngine::new(&g, &p, [NodeId::new(0)]);
+        assert_eq!(e.run(10).termination_round(), Some(2));
+    }
+}

@@ -1,0 +1,254 @@
+//! Breadth-first search from one source or a set of sources.
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+use std::collections::VecDeque;
+
+/// The result of a (multi-source) breadth-first search: hop distances and a
+/// BFS forest.
+///
+/// Amnesiac flooding on a bipartite graph *is* a parallel BFS (Lemma 2.1 of
+/// the paper), so this structure doubles as the exact prediction of the
+/// flooding schedule there.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, generators};
+///
+/// let g = generators::path(4);           // 0 - 1 - 2 - 3
+/// let t = algo::bfs(&g, 1.into());
+/// assert_eq!(t.distance(3.into()), Some(2));
+/// assert_eq!(t.eccentricity(), Some(2)); // max distance from node 1
+/// assert_eq!(t.parent(2.into()), Some(1.into()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsTree {
+    sources: Vec<NodeId>,
+    dist: Vec<Option<u32>>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl BfsTree {
+    /// The sources the search started from.
+    #[must_use]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Hop distance from the nearest source to `v`, or `None` if `v` is
+    /// unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        self.dist[v.index()]
+    }
+
+    /// The BFS-forest parent of `v` (`None` for sources and unreachable
+    /// nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Returns `true` if `v` was reached by the search.
+    #[inline]
+    #[must_use]
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_some()
+    }
+
+    /// Number of reachable nodes (including the sources).
+    #[must_use]
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The largest finite distance, i.e. the eccentricity of the source set
+    /// *within its reachable region*. `None` when there are no sources.
+    #[must_use]
+    pub fn eccentricity(&self) -> Option<u32> {
+        self.dist.iter().flatten().copied().max()
+    }
+
+    /// Iterates over all nodes at exactly `d` hops from the source set.
+    pub fn layer(&self, d: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(move |(_, &dd)| dd == Some(d))
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// The path from a source to `v` along BFS-forest parents, or `None` if
+    /// `v` is unreachable. The path starts at a source and ends at `v`.
+    #[must_use]
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[v.index()]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The raw distance vector, indexed by node.
+    #[must_use]
+    pub fn distances(&self) -> &[Option<u32>] {
+        &self.dist
+    }
+}
+
+/// Runs a breadth-first search from a single `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn bfs(graph: &Graph, source: NodeId) -> BfsTree {
+    multi_bfs(graph, [source])
+}
+
+/// Runs a breadth-first search from every node in `sources` simultaneously
+/// (all sources are at distance 0).
+///
+/// Duplicate sources are tolerated.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+#[must_use]
+pub fn multi_bfs<I>(graph: &Graph, sources: I) -> BfsTree
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let n = graph.node_count();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    let mut srcs = Vec::new();
+
+    for s in sources {
+        assert!(s.index() < n, "source {s} out of range for graph with {n} nodes");
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+            srcs.push(s);
+        }
+    }
+
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &w in graph.neighbors(u) {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(du + 1);
+                parent[w.index()] = Some(u);
+                queue.push_back(w);
+            }
+        }
+    }
+
+    BfsTree { sources: srcs, dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(5);
+        let t = bfs(&g, 0.into());
+        for v in 0..5 {
+            assert_eq!(t.distance(v.into()), Some(v as u32));
+        }
+        assert_eq!(t.eccentricity(), Some(4));
+        assert_eq!(t.sources(), &[0.into()]);
+        assert_eq!(t.reachable_count(), 5);
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let g = generators::cycle(6);
+        let t = bfs(&g, 0.into());
+        let want = [0, 1, 2, 3, 2, 1];
+        for (v, &d) in want.iter().enumerate() {
+            assert_eq!(t.distance(v.into()), Some(d));
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = crate::Graph::from_edges(4, [(0, 1)]).unwrap();
+        let t = bfs(&g, 0.into());
+        assert!(t.is_reachable(1.into()));
+        assert!(!t.is_reachable(2.into()));
+        assert_eq!(t.distance(3.into()), None);
+        assert_eq!(t.path_to(2.into()), None);
+        assert_eq!(t.reachable_count(), 2);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = generators::path(7);
+        let t = multi_bfs(&g, [0.into(), 6.into()]);
+        assert_eq!(t.distance(3.into()), Some(3));
+        assert_eq!(t.distance(1.into()), Some(1));
+        assert_eq!(t.distance(5.into()), Some(1));
+        assert_eq!(t.eccentricity(), Some(3));
+        assert_eq!(t.sources().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_sources_are_collapsed() {
+        let g = generators::path(3);
+        let t = multi_bfs(&g, [1.into(), 1.into()]);
+        assert_eq!(t.sources(), &[1.into()]);
+    }
+
+    #[test]
+    fn parents_form_valid_tree_paths() {
+        let g = generators::grid(3, 3);
+        let t = bfs(&g, 0.into());
+        for v in g.nodes() {
+            let path = t.path_to(v).unwrap();
+            assert_eq!(path.first(), Some(&0.into()));
+            assert_eq!(path.last(), Some(&v));
+            assert_eq!(path.len() as u32 - 1, t.distance(v).unwrap());
+            for w in path.windows(2) {
+                assert!(g.contains_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn layers_partition_reachable_nodes() {
+        let g = generators::cycle(8);
+        let t = bfs(&g, 0.into());
+        let mut seen = 0;
+        for d in 0..=4 {
+            seen += t.layer(d).count();
+        }
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let g = generators::path(2);
+        let _ = bfs(&g, 5.into());
+    }
+}

@@ -1,0 +1,318 @@
+//! Bipartiteness testing with certificates.
+//!
+//! The flooding theory forks on bipartiteness: termination is `e(v)` on
+//! bipartite graphs (Lemma 2.1) and ≤ `2D + 1` otherwise (Theorem 3.3).
+//! [`bipartiteness`] returns either a proper 2-colouring or an explicit odd
+//! cycle, so callers can *verify* whichever branch they rely on.
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+use std::collections::VecDeque;
+
+/// One side of a bipartition.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Side {
+    /// The side containing each component's smallest node.
+    Left,
+    /// The other side.
+    Right,
+}
+
+impl Side {
+    /// Returns the opposite side.
+    #[inline]
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// A proper 2-colouring: adjacent nodes always get different sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    side: Vec<Side>,
+}
+
+impl Coloring {
+    /// The side of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn side(&self, v: NodeId) -> Side {
+        self.side[v.index()]
+    }
+
+    /// All nodes on `side`, in increasing order.
+    #[must_use]
+    pub fn nodes_on(&self, side: Side) -> Vec<NodeId> {
+        self.side
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == side)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Checks that the colouring is proper for `graph` (used in tests and
+    /// by paranoid callers).
+    #[must_use]
+    pub fn is_proper(&self, graph: &Graph) -> bool {
+        graph
+            .edge_list()
+            .all(|(u, v)| self.side[u.index()] != self.side[v.index()])
+    }
+}
+
+/// The verdict of [`bipartiteness`]: a 2-colouring or an odd-cycle witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bipartiteness {
+    /// The graph is bipartite; here is a proper 2-colouring.
+    Bipartite(Coloring),
+    /// The graph contains this odd cycle (a closed walk of odd length given
+    /// as the sequence of distinct nodes around the cycle).
+    OddCycle(Vec<NodeId>),
+}
+
+impl Bipartiteness {
+    /// Returns `true` for the [`Bipartiteness::Bipartite`] variant.
+    #[must_use]
+    pub fn is_bipartite(&self) -> bool {
+        matches!(self, Bipartiteness::Bipartite(_))
+    }
+
+    /// Returns the colouring if bipartite.
+    #[must_use]
+    pub fn coloring(&self) -> Option<&Coloring> {
+        match self {
+            Bipartiteness::Bipartite(c) => Some(c),
+            Bipartiteness::OddCycle(_) => None,
+        }
+    }
+
+    /// Returns the odd-cycle witness if non-bipartite.
+    #[must_use]
+    pub fn odd_cycle(&self) -> Option<&[NodeId]> {
+        match self {
+            Bipartiteness::Bipartite(_) => None,
+            Bipartiteness::OddCycle(c) => Some(c),
+        }
+    }
+}
+
+/// Tests bipartiteness, returning a 2-colouring or an odd-cycle witness.
+///
+/// Disconnected graphs are handled component-wise; the graph is bipartite
+/// iff every component is. Runs in `O(n + m)`.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, generators};
+///
+/// let even = algo::bipartiteness(&generators::cycle(6));
+/// assert!(even.is_bipartite());
+///
+/// let odd = algo::bipartiteness(&generators::cycle(5));
+/// let cycle = odd.odd_cycle().expect("C5 is not bipartite");
+/// assert_eq!(cycle.len() % 2, 1);
+/// ```
+#[must_use]
+pub fn bipartiteness(graph: &Graph) -> Bipartiteness {
+    let n = graph.node_count();
+    let mut side: Vec<Option<Side>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut depth: Vec<u32> = vec![0; n];
+    let mut queue = VecDeque::new();
+
+    for s in 0..n {
+        if side[s].is_some() {
+            continue;
+        }
+        side[s] = Some(Side::Left);
+        queue.push_back(NodeId::new(s));
+        while let Some(u) = queue.pop_front() {
+            let su = side[u.index()].expect("queued nodes are coloured");
+            for &w in graph.neighbors(u) {
+                match side[w.index()] {
+                    None => {
+                        side[w.index()] = Some(su.flipped());
+                        parent[w.index()] = Some(u);
+                        depth[w.index()] = depth[u.index()] + 1;
+                        queue.push_back(w);
+                    }
+                    Some(sw) if sw == su => {
+                        // Same-side edge: lift the u..w tree paths to their
+                        // lowest common ancestor; path(u) + edge + path(w)
+                        // closes an odd cycle.
+                        return Bipartiteness::OddCycle(odd_cycle_witness(
+                            u, w, &parent, &depth,
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    let side = side
+        .into_iter()
+        .map(|s| s.unwrap_or(Side::Left))
+        .collect();
+    Bipartiteness::Bipartite(Coloring { side })
+}
+
+fn odd_cycle_witness(
+    u: NodeId,
+    w: NodeId,
+    parent: &[Option<NodeId>],
+    depth: &[u32],
+) -> Vec<NodeId> {
+    let mut a = u;
+    let mut b = w;
+    let mut left = vec![a];
+    let mut right = vec![b];
+    while depth[a.index()] > depth[b.index()] {
+        a = parent[a.index()].expect("deeper node has parent");
+        left.push(a);
+    }
+    while depth[b.index()] > depth[a.index()] {
+        b = parent[b.index()].expect("deeper node has parent");
+        right.push(b);
+    }
+    while a != b {
+        a = parent[a.index()].expect("nodes in same tree");
+        b = parent[b.index()].expect("nodes in same tree");
+        left.push(a);
+        right.push(b);
+    }
+    // `left` ends at the LCA, as does `right`; drop the duplicate LCA from
+    // `right` and splice: u .. lca .. w (reversed), a simple odd cycle.
+    right.pop();
+    right.reverse();
+    left.extend(right);
+    left
+}
+
+/// Convenience wrapper: `true` iff the graph has no odd cycle.
+#[must_use]
+pub fn is_bipartite(graph: &Graph) -> bool {
+    bipartiteness(graph).is_bipartite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_odd_cycle(graph: &Graph, cycle: &[NodeId]) {
+        assert!(cycle.len() >= 3, "odd cycle has at least 3 nodes");
+        assert_eq!(cycle.len() % 2, 1, "cycle length must be odd");
+        let mut sorted: Vec<_> = cycle.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cycle.len(), "cycle nodes must be distinct");
+        for i in 0..cycle.len() {
+            let a = cycle[i];
+            let b = cycle[(i + 1) % cycle.len()];
+            assert!(graph.contains_edge(a, b), "cycle edge {a}-{b} missing");
+        }
+    }
+
+    #[test]
+    fn even_cycles_are_bipartite() {
+        for n in [4usize, 6, 8, 10] {
+            let g = generators::cycle(n);
+            let b = bipartiteness(&g);
+            let c = b.coloring().expect("even cycle is bipartite");
+            assert!(c.is_proper(&g));
+            assert_eq!(c.nodes_on(Side::Left).len(), n / 2);
+        }
+    }
+
+    #[test]
+    fn odd_cycles_are_not() {
+        for n in [3usize, 5, 7, 9] {
+            let g = generators::cycle(n);
+            let b = bipartiteness(&g);
+            assert!(!b.is_bipartite());
+            check_odd_cycle(&g, b.odd_cycle().unwrap());
+        }
+    }
+
+    #[test]
+    fn trees_are_bipartite() {
+        let g = generators::binary_tree(4);
+        assert!(is_bipartite(&g));
+        let g = generators::star(17);
+        assert!(is_bipartite(&g));
+        let g = generators::path(23);
+        assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn cliques_beyond_k2_are_not() {
+        assert!(is_bipartite(&generators::complete(2)));
+        for n in 3..8 {
+            let g = generators::complete(n);
+            let b = bipartiteness(&g);
+            assert!(!b.is_bipartite());
+            check_odd_cycle(&g, b.odd_cycle().unwrap());
+        }
+    }
+
+    #[test]
+    fn petersen_graph_is_not_bipartite() {
+        let g = generators::petersen();
+        let b = bipartiteness(&g);
+        assert!(!b.is_bipartite());
+        check_odd_cycle(&g, b.odd_cycle().unwrap());
+        assert_eq!(b.odd_cycle().unwrap().len(), 5, "petersen girth is 5");
+    }
+
+    #[test]
+    fn disconnected_mixed_components() {
+        // bipartite component {0,1} plus a triangle {2,3,4}
+        let g = crate::Graph::from_edges(5, [(0, 1), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let b = bipartiteness(&g);
+        assert!(!b.is_bipartite());
+        check_odd_cycle(&g, b.odd_cycle().unwrap());
+    }
+
+    #[test]
+    fn empty_and_edgeless_are_bipartite() {
+        assert!(is_bipartite(&crate::Graph::empty(0)));
+        assert!(is_bipartite(&crate::Graph::empty(5)));
+    }
+
+    #[test]
+    fn complete_bipartite_is_proper() {
+        let g = generators::complete_bipartite(3, 4);
+        let b = bipartiteness(&g);
+        let c = b.coloring().unwrap();
+        assert!(c.is_proper(&g));
+        // sides must be exactly the construction's parts
+        assert_eq!(c.nodes_on(Side::Left).len(), 3);
+        assert_eq!(c.nodes_on(Side::Right).len(), 4);
+    }
+
+    #[test]
+    fn odd_cycle_in_dense_nonbipartite_graph() {
+        let g = generators::wheel(8);
+        let b = bipartiteness(&g);
+        assert!(!b.is_bipartite());
+        check_odd_cycle(&g, b.odd_cycle().unwrap());
+    }
+
+    #[test]
+    fn side_flipped_is_involution() {
+        assert_eq!(Side::Left.flipped(), Side::Right);
+        assert_eq!(Side::Right.flipped().flipped(), Side::Right);
+    }
+}

@@ -1,0 +1,154 @@
+//! Connected components.
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+use std::collections::VecDeque;
+
+/// The partition of a graph's nodes into connected components.
+///
+/// Components are numbered `0..count` in order of their smallest node.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, Graph};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (3, 4)])?;
+/// let c = algo::connected_components(&g);
+/// assert_eq!(c.count(), 3);
+/// assert_eq!(c.component(0.into()), c.component(1.into()));
+/// assert_ne!(c.component(1.into()), c.component(2.into()));
+/// # Ok::<(), af_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    comp: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of connected components (0 for the empty graph).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The component index of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn component(&self, v: NodeId) -> usize {
+        self.comp[v.index()] as usize
+    }
+
+    /// Returns `true` if `u` and `v` lie in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[must_use]
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.comp[u.index()] == self.comp[v.index()]
+    }
+
+    /// The nodes of component `c`, in increasing order.
+    #[must_use]
+    pub fn members(&self, c: usize) -> Vec<NodeId> {
+        self.comp
+            .iter()
+            .enumerate()
+            .filter(|(_, &cc)| cc as usize == c)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Sizes of all components, indexed by component id.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.comp {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Computes the connected components of `graph`.
+#[must_use]
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = count as u32;
+        queue.push_back(NodeId::new(s));
+        while let Some(u) = queue.pop_front() {
+            for &w in graph.neighbors(u) {
+                if comp[w.index()] == u32::MAX {
+                    comp[w.index()] = count as u32;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { comp, count }
+}
+
+/// Returns `true` if the graph is connected.
+///
+/// The empty graph and single-node graphs count as connected.
+#[must_use]
+pub fn is_connected(graph: &Graph) -> bool {
+    connected_components(graph).count() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn connected_families() {
+        assert!(is_connected(&generators::path(10)));
+        assert!(is_connected(&generators::cycle(5)));
+        assert!(is_connected(&generators::complete(7)));
+        assert!(is_connected(&generators::star(9)));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected(&crate::Graph::empty(0)));
+        assert!(is_connected(&crate::Graph::empty(1)));
+        assert_eq!(connected_components(&crate::Graph::empty(0)).count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = crate::Graph::from_edges(4, [(1, 2)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.same_component(1.into(), 2.into()));
+        assert!(!c.same_component(0.into(), 1.into()));
+        assert_eq!(c.members(c.component(1.into())), vec![1.into(), 2.into()]);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn component_ids_are_ordered_by_smallest_member() {
+        let g = crate::Graph::from_edges(6, [(4, 5), (0, 2)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.component(0.into()), 0);
+        assert_eq!(c.component(1.into()), 1);
+        assert_eq!(c.component(4.into()), 3);
+    }
+}

@@ -1,0 +1,203 @@
+//! Eccentricity, diameter, radius and all-pairs distances.
+//!
+//! The paper's bounds are stated in terms of the source eccentricity `e(v)`
+//! and the diameter `D`; these functions compute them exactly by running one
+//! BFS per node (`O(n·m)`), which is ample for simulation-scale graphs.
+
+use crate::algo::bfs::bfs;
+use crate::graph::Graph;
+use crate::id::NodeId;
+
+/// Eccentricity of `v`: the maximum hop distance from `v` to any node.
+///
+/// Returns `None` if some node is unreachable from `v` (infinite
+/// eccentricity) or if the graph is empty.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, generators};
+///
+/// let g = generators::path(4);
+/// assert_eq!(algo::eccentricity(&g, 0.into()), Some(3));
+/// assert_eq!(algo::eccentricity(&g, 1.into()), Some(2));
+/// ```
+#[must_use]
+pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<u32> {
+    let t = bfs(graph, v);
+    if t.reachable_count() != graph.node_count() {
+        return None;
+    }
+    t.eccentricity()
+}
+
+/// The eccentricity of every node, indexed by node id.
+///
+/// Entries are `None` exactly when the graph is disconnected (then *every*
+/// entry is `None`) or empty.
+#[must_use]
+pub fn all_eccentricities(graph: &Graph) -> Vec<Option<u32>> {
+    graph.nodes().map(|v| eccentricity(graph, v)).collect()
+}
+
+/// Diameter: the maximum eccentricity over all nodes.
+///
+/// Returns `None` for disconnected or empty graphs. A single-node graph has
+/// diameter 0.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, generators};
+///
+/// assert_eq!(algo::diameter(&generators::cycle(6)), Some(3));
+/// assert_eq!(algo::diameter(&generators::complete(5)), Some(1));
+/// ```
+#[must_use]
+pub fn diameter(graph: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for v in graph.nodes() {
+        let e = eccentricity(graph, v)?;
+        best = Some(best.map_or(e, |b| b.max(e)));
+    }
+    best
+}
+
+/// Radius: the minimum eccentricity over all nodes.
+///
+/// Returns `None` for disconnected or empty graphs.
+#[must_use]
+pub fn radius(graph: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for v in graph.nodes() {
+        let e = eccentricity(graph, v)?;
+        best = Some(best.map_or(e, |b| b.min(e)));
+    }
+    best
+}
+
+/// All-pairs hop distances, stored densely (`n × n`).
+///
+/// Intended for small graphs (oracle cross-checks, exhaustive enumeration);
+/// memory is `O(n²)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<Option<u32>>,
+}
+
+impl DistanceMatrix {
+    /// Hop distance between `u` and `v`, `None` if disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Number of nodes the matrix covers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Computes all-pairs distances with one BFS per node.
+#[must_use]
+pub fn distance_matrix(graph: &Graph) -> DistanceMatrix {
+    let n = graph.node_count();
+    let mut dist = vec![None; n * n];
+    for v in graph.nodes() {
+        let t = bfs(graph, v);
+        for u in graph.nodes() {
+            dist[v.index() * n + u.index()] = t.distance(u);
+        }
+    }
+    DistanceMatrix { n, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_eccentricities() {
+        let g = generators::path(5);
+        assert_eq!(
+            all_eccentricities(&g),
+            vec![Some(4), Some(3), Some(2), Some(3), Some(4)]
+        );
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_graph_has_diameter_one() {
+        let g = generators::complete(6);
+        assert_eq!(diameter(&g), Some(1));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn singleton_has_zero_diameter() {
+        let g = crate::Graph::empty(1);
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(radius(&g), Some(0));
+        assert_eq!(eccentricity(&g, 0.into()), Some(0));
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let g = crate::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(eccentricity(&g, 0.into()), None);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert!(all_eccentricities(&g).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn empty_graph_is_none() {
+        let g = crate::Graph::empty(0);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+    }
+
+    #[test]
+    fn matrix_matches_bfs_and_is_symmetric() {
+        let g = generators::grid(3, 4);
+        let m = distance_matrix(&g);
+        assert_eq!(m.node_count(), 12);
+        for u in g.nodes() {
+            let t = crate::algo::bfs(&g, u);
+            for v in g.nodes() {
+                assert_eq!(m.get(u, v), t.distance(v));
+                assert_eq!(m.get(u, v), m.get(v, u));
+            }
+            assert_eq!(m.get(u, u), Some(0));
+        }
+    }
+
+    #[test]
+    fn torus_diameter() {
+        // 4x4 torus: diameter = 2 + 2 = 4.
+        let g = generators::torus(4, 4);
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        for d in 1..=5 {
+            let g = generators::hypercube(d);
+            assert_eq!(diameter(&g), Some(d as u32));
+        }
+    }
+}

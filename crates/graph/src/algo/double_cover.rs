@@ -1,0 +1,222 @@
+//! The bipartite double cover `B(G) = G × K₂`.
+//!
+//! The double cover is the exact-time oracle's engine room: amnesiac
+//! flooding on `G` started from source set `I` behaves precisely like
+//! multi-source BFS on `B(G)` started from the even lifts of `I`. A node
+//! `u` of `G` receives the message in round `r` iff the lift `(u, r mod 2)`
+//! is at distance exactly `r` from the lifted sources (see
+//! `af-core::theory`).
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::id::NodeId;
+
+/// Parity class of a lifted node: which of the two copies it lives in.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Parity {
+    /// The copy reached by even-length walks from an even-lifted source.
+    Even,
+    /// The copy reached by odd-length walks.
+    Odd,
+}
+
+impl Parity {
+    /// The opposite parity.
+    #[inline]
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+
+    /// The parity of an integer round/walk length.
+    #[inline]
+    #[must_use]
+    pub fn of(value: u32) -> Self {
+        if value % 2 == 0 {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+}
+
+/// The bipartite double cover of a base graph, with lift/projection maps.
+///
+/// Node `(v, Even)` is numbered `v` and `(v, Odd)` is numbered `v + n`,
+/// where `n` is the base node count. For every base edge `{u, w}` the cover
+/// has the two edges `{(u,Even),(w,Odd)}` and `{(u,Odd),(w,Even)}`.
+///
+/// Key structural facts (tested below):
+/// * the cover is always bipartite;
+/// * the cover of a connected graph is connected iff the base graph is
+///   non-bipartite — otherwise it is two disjoint copies of the base.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, generators};
+///
+/// let g = generators::cycle(3);
+/// let dc = algo::double_cover(&g);
+/// assert_eq!(dc.graph().node_count(), 6); // C3's double cover is C6
+/// assert!(algo::is_bipartite(dc.graph()));
+/// assert!(algo::is_connected(dc.graph()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleCover {
+    graph: Graph,
+    base_n: usize,
+}
+
+impl DoubleCover {
+    /// The cover graph itself (`2n` nodes, `2m` edges).
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes of the base graph.
+    #[must_use]
+    pub fn base_node_count(&self) -> usize {
+        self.base_n
+    }
+
+    /// Lifts a base node to the copy of the given parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the base graph.
+    #[inline]
+    #[must_use]
+    pub fn lift(&self, v: NodeId, parity: Parity) -> NodeId {
+        assert!(v.index() < self.base_n, "base node {v} out of range");
+        match parity {
+            Parity::Even => v,
+            Parity::Odd => NodeId::new(v.index() + self.base_n),
+        }
+    }
+
+    /// Projects a cover node back to `(base node, parity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range for the cover graph.
+    #[inline]
+    #[must_use]
+    pub fn project(&self, x: NodeId) -> (NodeId, Parity) {
+        assert!(x.index() < 2 * self.base_n, "cover node {x} out of range");
+        if x.index() < self.base_n {
+            (x, Parity::Even)
+        } else {
+            (NodeId::new(x.index() - self.base_n), Parity::Odd)
+        }
+    }
+}
+
+/// Constructs the bipartite double cover of `graph`.
+#[must_use]
+pub fn double_cover(graph: &Graph) -> DoubleCover {
+    let n = graph.node_count();
+    let mut builder = GraphBuilder::new(2 * n);
+    for (u, w) in graph.edge_list() {
+        builder
+            .add_edge(u.index(), w.index() + n)
+            .expect("lifted endpoints are in range");
+        builder
+            .add_edge(u.index() + n, w.index())
+            .expect("lifted endpoints are in range");
+    }
+    DoubleCover { graph: builder.build(), base_n: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{connected_components, is_bipartite, is_connected};
+    use crate::generators;
+
+    #[test]
+    fn cover_is_always_bipartite() {
+        for g in [
+            generators::cycle(3),
+            generators::cycle(6),
+            generators::complete(5),
+            generators::petersen(),
+            generators::path(7),
+        ] {
+            assert!(is_bipartite(double_cover(&g).graph()));
+        }
+    }
+
+    #[test]
+    fn cover_of_connected_bipartite_graph_is_two_copies() {
+        for g in [generators::path(5), generators::cycle(8), generators::grid(3, 3)] {
+            let dc = double_cover(&g);
+            let comps = connected_components(dc.graph());
+            assert_eq!(comps.count(), 2);
+            assert_eq!(dc.graph().edge_count(), 2 * g.edge_count());
+        }
+    }
+
+    #[test]
+    fn cover_of_connected_nonbipartite_graph_is_connected() {
+        for g in [generators::cycle(5), generators::complete(4), generators::petersen()] {
+            assert!(is_connected(double_cover(&g).graph()));
+        }
+    }
+
+    #[test]
+    fn triangle_cover_is_c6() {
+        let dc = double_cover(&generators::cycle(3));
+        let g = dc.graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(is_connected(g));
+    }
+
+    #[test]
+    fn degrees_are_preserved() {
+        let g = generators::wheel(6);
+        let dc = double_cover(&g);
+        for v in g.nodes() {
+            assert_eq!(dc.graph().degree(dc.lift(v, Parity::Even)), g.degree(v));
+            assert_eq!(dc.graph().degree(dc.lift(v, Parity::Odd)), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn lift_project_roundtrip() {
+        let g = generators::cycle(5);
+        let dc = double_cover(&g);
+        for v in g.nodes() {
+            for p in [Parity::Even, Parity::Odd] {
+                let x = dc.lift(v, p);
+                assert_eq!(dc.project(x), (v, p));
+            }
+        }
+        assert_eq!(dc.base_node_count(), 5);
+    }
+
+    #[test]
+    fn cover_edges_connect_opposite_parities() {
+        let g = generators::complete(4);
+        let dc = double_cover(&g);
+        for (a, b) in dc.graph().edge_list() {
+            let (_, pa) = dc.project(a);
+            let (_, pb) = dc.project(b);
+            assert_ne!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn parity_helpers() {
+        assert_eq!(Parity::of(0), Parity::Even);
+        assert_eq!(Parity::of(7), Parity::Odd);
+        assert_eq!(Parity::Even.flipped(), Parity::Odd);
+        assert_eq!(Parity::Odd.flipped().flipped(), Parity::Odd);
+    }
+}

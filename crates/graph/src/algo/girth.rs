@@ -1,0 +1,112 @@
+//! Girth (length of the shortest cycle).
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+use std::collections::VecDeque;
+
+/// Computes the girth of the graph: the length of its shortest cycle, or
+/// `None` if the graph is a forest.
+///
+/// Runs one truncated BFS per node (`O(n·m)`): every non-tree edge `(u, w)`
+/// discovered during a BFS from `v` closes a walk of length
+/// `dist(u) + dist(w) + 1` through `v`, which upper-bounds the girth, and the
+/// bound is attained when `v` lies on a shortest cycle.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{algo, generators};
+///
+/// assert_eq!(algo::girth(&generators::cycle(7)), Some(7));
+/// assert_eq!(algo::girth(&generators::petersen()), Some(5));
+/// assert_eq!(algo::girth(&generators::path(9)), None);
+/// ```
+#[must_use]
+pub fn girth(graph: &Graph) -> Option<u32> {
+    let n = graph.node_count();
+    let mut best: Option<u32> = None;
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+
+    for s in 0..n {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        parent.iter_mut().for_each(|p| *p = None);
+        let source = NodeId::new(s);
+        dist[s] = 0;
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            // Cycles through `s` longer than the current best can't improve it.
+            if let Some(b) = best {
+                if 2 * dist[u.index()] >= b {
+                    break;
+                }
+            }
+            for &w in graph.neighbors(u) {
+                if dist[w.index()] == u32::MAX {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    parent[w.index()] = Some(u);
+                    queue.push_back(w);
+                } else if parent[u.index()] != Some(w) {
+                    let cand = dist[u.index()] + dist[w.index()] + 1;
+                    best = Some(best.map_or(cand, |b| b.min(cand)));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycles_have_their_length_as_girth() {
+        for n in 3..=10 {
+            assert_eq!(girth(&generators::cycle(n)), Some(n as u32), "C{n}");
+        }
+    }
+
+    #[test]
+    fn forests_have_no_girth() {
+        assert_eq!(girth(&generators::path(6)), None);
+        assert_eq!(girth(&generators::star(8)), None);
+        assert_eq!(girth(&generators::binary_tree(4)), None);
+        assert_eq!(girth(&crate::Graph::empty(5)), None);
+    }
+
+    #[test]
+    fn cliques_have_girth_three() {
+        for n in 3..7 {
+            assert_eq!(girth(&generators::complete(n)), Some(3));
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_has_girth_four() {
+        assert_eq!(girth(&generators::complete_bipartite(2, 2)), Some(4));
+        assert_eq!(girth(&generators::complete_bipartite(3, 5)), Some(4));
+    }
+
+    #[test]
+    fn grid_girth_four() {
+        assert_eq!(girth(&generators::grid(3, 3)), Some(4));
+    }
+
+    #[test]
+    fn petersen_girth_five() {
+        assert_eq!(girth(&generators::petersen()), Some(5));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_path() {
+        // triangle 0-1-2 plus pending 5-cycle 2-3-4-5-6
+        let g = crate::Graph::from_edges(
+            7,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 2)],
+        )
+        .unwrap();
+        assert_eq!(girth(&g), Some(3));
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph algorithms the flooding theory needs: BFS and distances,
+//! eccentricity/diameter/radius, connectivity, bipartiteness with witnesses,
+//! girth, and the bipartite double cover.
+
+mod bfs;
+mod bipartite;
+mod components;
+mod distance;
+mod double_cover;
+mod girth;
+mod parity;
+
+pub use bfs::{bfs, multi_bfs, BfsTree};
+pub use parity::{odd_girth, parity_distances, ParityDistances};
+pub use bipartite::{bipartiteness, is_bipartite, Bipartiteness, Coloring, Side};
+pub use components::{connected_components, is_connected, Components};
+pub use distance::{
+    all_eccentricities, diameter, distance_matrix, eccentricity, radius, DistanceMatrix,
+};
+pub use double_cover::{double_cover, DoubleCover, Parity};
+pub use girth::girth;

@@ -1,0 +1,184 @@
+//! Exhaustive enumeration of labelled connected graphs.
+//!
+//! Theorem 3.1 of the paper is a ∀-statement over all finite graphs; the
+//! empirical analogue is to check it on *every* connected graph of small
+//! order. [`connected_graphs`] streams all labelled connected simple graphs
+//! on `n` nodes by iterating bitmasks over the `C(n, 2)` possible edges
+//! (`2^15 = 32768` masks at `n = 6`, of which 26704 are connected).
+
+use crate::graph::Graph;
+
+/// Maximum node count accepted by [`connected_graphs`]; `C(9,2) = 36` edge
+/// slots is the largest mask that enumerates in reasonable time, and callers
+/// are expected to stay well below that in tests.
+pub const MAX_ENUMERATION_NODES: usize = 9;
+
+/// Iterator over all labelled connected simple graphs on `n` nodes.
+///
+/// Graphs are produced in increasing order of their edge bitmask, where bit
+/// `k` corresponds to the `k`-th pair in lexicographic order
+/// `(0,1), (0,2), …, (n-2, n-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::enumerate::connected_graphs;
+///
+/// // There are 4 labelled connected graphs on 3 nodes:
+/// // three paths and the triangle.
+/// assert_eq!(connected_graphs(3).count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectedGraphs {
+    n: usize,
+    pairs: Vec<(usize, usize)>,
+    next_mask: u64,
+    end_mask: u64,
+}
+
+/// Creates an iterator over all labelled connected simple graphs on `n`
+/// nodes. See [`ConnectedGraphs`].
+///
+/// # Panics
+///
+/// Panics if `n > MAX_ENUMERATION_NODES` (the mask space would be
+/// astronomically large) or `n == 0`.
+#[must_use]
+pub fn connected_graphs(n: usize) -> ConnectedGraphs {
+    assert!(n >= 1, "enumeration needs at least one node");
+    assert!(
+        n <= MAX_ENUMERATION_NODES,
+        "enumeration beyond n = {MAX_ENUMERATION_NODES} is intractable (asked for {n})"
+    );
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            pairs.push((u, v));
+        }
+    }
+    let bits = pairs.len();
+    ConnectedGraphs {
+        n,
+        pairs,
+        next_mask: 0,
+        end_mask: 1u64 << bits,
+    }
+}
+
+impl ConnectedGraphs {
+    /// Decodes a specific edge bitmask into a graph (connected or not).
+    fn decode(&self, mask: u64) -> Graph {
+        let edges = self
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| mask >> k & 1 == 1)
+            .map(|(_, &p)| p);
+        Graph::from_edges(self.n, edges).expect("enumerated edges are valid")
+    }
+
+    /// Connectivity check on the bitmask itself (cheaper than building the
+    /// graph first and discarding it).
+    fn mask_is_connected(&self, mask: u64) -> bool {
+        let n = self.n;
+        if n == 1 {
+            return true;
+        }
+        let mut adj = vec![0u16; n];
+        for (k, &(u, v)) in self.pairs.iter().enumerate() {
+            if mask >> k & 1 == 1 {
+                adj[u] |= 1 << v;
+                adj[v] |= 1 << u;
+            }
+        }
+        let mut seen: u16 = 1;
+        let mut frontier: u16 = 1;
+        while frontier != 0 {
+            let mut next: u16 = 0;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= adj[v];
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as usize == n
+    }
+}
+
+impl Iterator for ConnectedGraphs {
+    type Item = Graph;
+
+    fn next(&mut self) -> Option<Graph> {
+        while self.next_mask < self.end_mask {
+            let mask = self.next_mask;
+            self.next_mask += 1;
+            if self.mask_is_connected(mask) {
+                return Some(self.decode(mask));
+            }
+        }
+        None
+    }
+}
+
+/// The number of labelled connected graphs on `n` nodes, for cross-checking
+/// enumeration completeness (OEIS A001187).
+#[must_use]
+pub fn connected_graph_count(n: usize) -> Option<u64> {
+    // 1, 1, 1, 4, 38, 728, 26704, 1866256, 251548592
+    [1, 1, 1, 4, 38, 728, 26_704, 1_866_256, 251_548_592]
+        .get(n)
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn counts_match_oeis() {
+        for n in 1..=5 {
+            let count = connected_graphs(n).count() as u64;
+            assert_eq!(Some(count), connected_graph_count(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn six_node_count_matches_oeis() {
+        assert_eq!(connected_graphs(6).count() as u64, 26_704);
+    }
+
+    #[test]
+    fn every_enumerated_graph_is_connected() {
+        for g in connected_graphs(4) {
+            assert!(algo::is_connected(&g));
+            assert_eq!(g.node_count(), 4);
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let graphs: Vec<_> = connected_graphs(4).collect();
+        for (i, a) in graphs.iter().enumerate() {
+            for b in &graphs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intractable")]
+    fn oversize_enumeration_panics() {
+        let _ = connected_graphs(10);
+    }
+
+    #[test]
+    fn single_node_enumeration() {
+        let graphs: Vec<_> = connected_graphs(1).collect();
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].node_count(), 1);
+    }
+}

@@ -1,0 +1,527 @@
+//! Deterministic graph families.
+//!
+//! These include every topology the paper discusses by name: the line
+//! (Figure 1), the triangle (Figure 2/5), even cycles (Figure 3), cliques,
+//! and bipartite families, plus standard shapes used by the experiment
+//! sweeps.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// The path (line) graph `P_n`: nodes `0..n`, edges `i — i+1`.
+///
+/// `path(0)` is the empty graph; `path(1)` a single node. Bipartite, with
+/// diameter `n - 1`. Figure 1 of the paper floods `path(4)` from node 1.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::generators::path;
+/// let g = path(4);
+/// assert_eq!((g.node_count(), g.edge_count()), (4, 3));
+/// ```
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i).expect("path endpoints in range");
+    }
+    b.build()
+}
+
+/// The cycle graph `C_n` (requires `n >= 3`).
+///
+/// Bipartite iff `n` is even. `cycle(3)` is the paper's triangle (Figures 2
+/// and 5); `cycle(6)` is Figure 3's even cycle.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles are not simple graphs).
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3, got {n}");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n).expect("cycle endpoints in range");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+///
+/// Non-bipartite for `n >= 3`, diameter 1 for `n >= 2`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("complete endpoints in range");
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`: left part `0..a`, right part
+/// `a..a+b`.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(u, a + v).expect("bipartite endpoints in range");
+        }
+    }
+    builder.build()
+}
+
+/// The star `S_n` on `n` total nodes: hub 0 adjacent to every leaf `1..n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires at least the hub node");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).expect("star endpoints in range");
+    }
+    b.build()
+}
+
+/// The wheel `W_k`: a hub (node 0) joined to every node of a rim cycle
+/// `1..=k`. Total `k + 1` nodes; non-bipartite for every `k >= 3`.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+#[must_use]
+pub fn wheel(k: usize) -> Graph {
+    assert!(k >= 3, "wheel requires a rim of at least 3 nodes, got {k}");
+    let mut b = GraphBuilder::new(k + 1);
+    for i in 0..k {
+        b.add_edge(0, 1 + i).expect("wheel endpoints in range");
+        b.add_edge(1 + i, 1 + (i + 1) % k).expect("wheel endpoints in range");
+    }
+    b.build()
+}
+
+/// The complete binary tree of height `h` (`2^(h+1) - 1` nodes, root 0,
+/// children of `i` at `2i + 1` and `2i + 2`).
+#[must_use]
+pub fn binary_tree(h: u32) -> Graph {
+    let n = (1usize << (h + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.add_edge(i, c).expect("tree endpoints in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid graph; node `(r, c)` is numbered `r * cols + c`.
+///
+/// Bipartite, diameter `(rows - 1) + (cols - 1)`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1).expect("grid endpoints in range");
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols).expect("grid endpoints in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus (grid with wraparound).
+///
+/// Bipartite iff both `rows` and `cols` are even.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3` (wraparound would create parallel
+/// edges or self-loops).
+#[must_use]
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            b.add_edge(v, right).expect("torus endpoints in range");
+            b.add_edge(v, down).expect("torus endpoints in range");
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes (bit-flip adjacency).
+///
+/// Bipartite, diameter `d`.
+#[must_use]
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if w > v {
+                b.add_edge(v, w).expect("hypercube endpoints in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Petersen graph: 10 nodes, 15 edges, girth 5, diameter 2,
+/// non-bipartite, vertex-transitive — a classic stress test.
+#[must_use]
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for i in 0..5 {
+        b.add_edge(i, (i + 1) % 5).expect("outer cycle");
+        b.add_edge(5 + i, 5 + (i + 2) % 5).expect("inner pentagram");
+        b.add_edge(i, 5 + i).expect("spokes");
+    }
+    b.build()
+}
+
+/// The barbell graph: two disjoint copies of `K_k` joined by a single
+/// bridge edge. `2k` nodes; non-bipartite for `k >= 3`, with large diameter
+/// relative to its density — a worst case for flooding round counts.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+#[must_use]
+pub fn barbell(k: usize) -> Graph {
+    assert!(k >= 2, "barbell requires cliques of size >= 2");
+    let mut b = GraphBuilder::new(2 * k);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v).expect("left clique");
+            b.add_edge(k + u, k + v).expect("right clique");
+        }
+    }
+    b.add_edge(k - 1, k).expect("bridge");
+    b.build()
+}
+
+/// The lollipop graph: `K_k` with a path of `p` extra nodes attached.
+/// `k + p` nodes total.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+#[must_use]
+pub fn lollipop(k: usize, p: usize) -> Graph {
+    assert!(k >= 3, "lollipop requires a clique of size >= 3");
+    let mut b = GraphBuilder::new(k + p);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v).expect("clique");
+        }
+    }
+    for i in 0..p {
+        b.add_edge(k + i - 1, k + i).expect("stick");
+    }
+    b.build()
+}
+
+/// The circulant graph `C_n(offsets)`: node `i` is adjacent to
+/// `i ± o (mod n)` for every offset `o`. Generalizes cycles
+/// (`offsets = [1]`), complete graphs, and Möbius–Kantor-style families.
+///
+/// Offsets are taken modulo `n`; an offset of `0` (mod `n`) is ignored, as
+/// it would be a self-loop.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    assert!(n >= 1, "circulant requires at least one node");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for &o in offsets {
+            let o = o % n;
+            if o == 0 {
+                continue;
+            }
+            b.add_edge(v, (v + o) % n).expect("circulant endpoints in range");
+        }
+    }
+    b.build()
+}
+
+/// The friendship (windmill) graph `F_k`: `k` triangles sharing a single
+/// hub node. `2k + 1` nodes; non-bipartite, diameter 2 (for `k >= 1`),
+/// odd girth 3 everywhere — the densest odd-cycle stress test with a cut
+/// vertex.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn friendship(k: usize) -> Graph {
+    assert!(k >= 1, "friendship graph requires at least one triangle");
+    let mut b = GraphBuilder::new(2 * k + 1);
+    for i in 0..k {
+        let (u, v) = (1 + 2 * i, 2 + 2 * i);
+        b.add_edge(0, u).expect("spoke");
+        b.add_edge(0, v).expect("spoke");
+        b.add_edge(u, v).expect("blade");
+    }
+    b.build()
+}
+
+/// The complete multipartite graph with the given part sizes: nodes in
+/// different parts are adjacent, nodes within a part are not. Parts of
+/// size zero are allowed and ignored.
+///
+/// `complete_multipartite(&[a, b])` equals `complete_bipartite(a, b)`;
+/// `complete_multipartite(&[1; n])` equals `complete(n)`.
+#[must_use]
+pub fn complete_multipartite(parts: &[usize]) -> Graph {
+    let n: usize = parts.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    let mut starts = Vec::with_capacity(parts.len());
+    let mut acc = 0usize;
+    for &p in parts {
+        starts.push(acc);
+        acc += p;
+    }
+    for (i, &pi) in parts.iter().enumerate() {
+        for (j, &pj) in parts.iter().enumerate().skip(i + 1) {
+            for u in starts[i]..starts[i] + pi {
+                for v in starts[j]..starts[j] + pj {
+                    b.add_edge(u, v).expect("multipartite endpoints in range");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar tree: a spine path of `spine` nodes, each with `legs`
+/// pendant leaves. `spine * (1 + legs)` nodes.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+#[must_use]
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar requires a non-empty spine");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge(i - 1, i).expect("spine");
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            b.add_edge(i, spine + i * legs + l).expect("leg");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0.into()), 1);
+        assert_eq!(g.degree(2.into()), 2);
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(!algo::is_bipartite(&g));
+        assert!(algo::is_bipartite(&cycle(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle requires n >= 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(algo::diameter(&g), Some(1));
+        assert_eq!(complete(1).edge_count(), 0);
+        assert_eq!(complete(0).node_count(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(algo::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(8);
+        assert_eq!(g.degree(0.into()), 7);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 1));
+        assert_eq!(star(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(5);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.degree(0.into()), 5);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 3));
+        assert!(!algo::is_bipartite(&g));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(algo::is_connected(&g));
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(binary_tree(0).node_count(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(algo::diameter(&g), Some(5));
+        assert!(algo::is_bipartite(&g));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(3, 5);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 30);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(!algo::is_bipartite(&g)); // odd dimension
+        assert!(algo::is_bipartite(&torus(4, 6)));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(hypercube(0).node_count(), 1);
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert_eq!(algo::diameter(&g), Some(2));
+        assert_eq!(algo::girth(&g), Some(5));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 2 * 6 + 1);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6 + 3);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn circulant_shape() {
+        // C_8(1) is the plain cycle.
+        assert_eq!(circulant(8, &[1]), cycle(8));
+        // C_8(1,2): 4-regular.
+        let g = circulant(8, &[1, 2]);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.edge_count(), 16);
+        // Offsets >= n wrap; offset 0 and multiples of n are ignored.
+        assert_eq!(circulant(5, &[6]), circulant(5, &[1]));
+        assert_eq!(circulant(5, &[0, 5]).edge_count(), 0);
+        // C_n(1..n/2) is complete.
+        assert_eq!(circulant(6, &[1, 2, 3]), complete(6));
+        // Even n with only even offsets stays bipartite? No: offset 2 on
+        // C8 creates odd cycles within a parity class? 0-2-4-6-0 is a C4.
+        assert!(!algo::is_bipartite(&circulant(8, &[1, 2])));
+        assert!(algo::is_bipartite(&circulant(8, &[1, 3])));
+    }
+
+    #[test]
+    fn friendship_shape() {
+        let g = friendship(4);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.degree(0.into()), 8);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 2));
+        assert!(!algo::is_bipartite(&g));
+        assert_eq!(algo::diameter(&g), Some(2));
+        assert_eq!(algo::girth(&g), Some(3));
+        assert_eq!(friendship(1), cycle(3));
+    }
+
+    #[test]
+    fn complete_multipartite_shape() {
+        assert_eq!(complete_multipartite(&[3, 4]), complete_bipartite(3, 4));
+        assert_eq!(complete_multipartite(&[1, 1, 1, 1]), complete(4));
+        let g = complete_multipartite(&[2, 2, 3]);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 2 * 2 + 2 * 3 + 2 * 3);
+        assert!(!algo::is_bipartite(&g));
+        // Zero-size parts are ignored.
+        assert_eq!(complete_multipartite(&[0, 3, 0, 4]), complete_bipartite(3, 4));
+        assert_eq!(complete_multipartite(&[]).node_count(), 0);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 11);
+        assert!(algo::is_connected(&g));
+        assert!(algo::is_bipartite(&g));
+        assert_eq!(caterpillar(1, 0).node_count(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph generators: the deterministic families the paper's figures use and
+//! seeded random families for sweeps and property tests.
+//!
+//! Every generator is deterministic: the deterministic families by
+//! construction, the random families as a function of their `seed`
+//! parameter (they draw from a [`rand_chacha::ChaCha8Rng`], whose stream is
+//! stable across platforms and releases — a requirement for reproducible
+//! experiments).
+
+mod deterministic;
+mod random;
+
+pub use deterministic::{
+    barbell, binary_tree, caterpillar, circulant, complete, complete_bipartite,
+    complete_multipartite, cycle, friendship, grid, hypercube, lollipop, path, petersen, star,
+    torus, wheel,
+};
+pub use random::{
+    gnp, gnp_connected, preferential_attachment, random_bipartite, random_regular, random_tree,
+    sparse_connected,
+};

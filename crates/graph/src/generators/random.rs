@@ -1,0 +1,391 @@
+//! Seeded random graph families.
+//!
+//! Each generator takes an explicit `seed` and derives all randomness from a
+//! [`ChaCha8Rng`], so a `(family, parameters, seed)` triple pins down the
+//! graph exactly — experiment tables in the reproduction cite these triples.
+
+use crate::algo::{connected_components, is_connected};
+use crate::graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Erdős–Rényi `G(n, p)`: every pair becomes an edge independently with
+/// probability `p`. May be disconnected; see [`gnp_connected`].
+///
+/// # Panics
+///
+/// Panics if `p` is not within `0.0..=1.0` or is NaN.
+#[must_use]
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v).expect("endpoints in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned on connectivity: draws `G(n, p)`
+/// samples (varying the stream, same seed) and returns the first connected
+/// one; after 64 failures, patches the last sample by linking its components
+/// with uniformly random inter-component edges (preserving sparsity better
+/// than resampling at higher `p`).
+///
+/// # Panics
+///
+/// Panics if `p` is out of `[0, 1]` or `n == 0`.
+#[must_use]
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "connected graph needs at least one node");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut last = None;
+    for _ in 0..64 {
+        let g = gnp(n, p, rng.gen());
+        if is_connected(&g) {
+            return g;
+        }
+        last = Some(g);
+    }
+    let g = last.expect("at least one sample was drawn");
+    let comps = connected_components(&g);
+    let mut b = GraphBuilder::new(n);
+    b.add_edges(g.edge_list().map(|(u, v)| (u.index(), v.index())))
+        .expect("existing edges are valid");
+    // Chain a random representative of each component to one of the
+    // previous components, yielding a connected supergraph.
+    let mut reps: Vec<Vec<usize>> = vec![Vec::new(); comps.count()];
+    for v in g.nodes() {
+        reps[comps.component(v)].push(v.index());
+    }
+    for c in 1..reps.len() {
+        let u = *reps[c].choose(&mut rng).expect("components are non-empty");
+        let prev = rng.gen_range(0..c);
+        let w = *reps[prev].choose(&mut rng).expect("components are non-empty");
+        b.add_edge(u, w).expect("endpoints in range");
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer sequence).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "tree needs at least one node");
+    if n == 1 {
+        return Graph::empty(1);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("valid edge");
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+
+    let mut degree = vec![1usize; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Standard Prüfer decoding with a pointer + leaf variable instead of a
+    // heap: O(n) and deterministic.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in &prufer {
+        b.add_edge(leaf, x).expect("endpoints in range");
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // After consuming the Prüfer sequence exactly two nodes of degree 1
+    // remain: `leaf` and node n-1 (the largest label is never removed).
+    b.add_edge(leaf, n - 1).expect("endpoints in range");
+    b.build()
+}
+
+/// A sparse connected graph: a uniform random tree plus `extra_edges`
+/// additional distinct uniform random non-tree edges (or as many as fit).
+///
+/// This is the workhorse of the property-based test suites: connectivity is
+/// guaranteed by construction and the cycle structure is controlled by
+/// `extra_edges` (0 = tree/bipartite-ish, larger = denser, usually
+/// non-bipartite).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn sparse_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tree = random_tree(n, rng.gen());
+    let mut b = GraphBuilder::new(n);
+    b.add_edges(tree.edge_list().map(|(u, v)| (u.index(), v.index())))
+        .expect("tree edges are valid");
+    let max_m = n * (n - 1) / 2;
+    let target = (tree.edge_count() + extra_edges).min(max_m);
+    let mut guard = 0usize;
+    while b.edge_count() < target && guard < 64 * (extra_edges + 1) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            let _ = b.add_edge(u, v).expect("endpoints in range");
+        }
+        guard += 1;
+    }
+    b.build()
+}
+
+/// A random bipartite graph: parts `0..a` and `a..a+b`, each cross pair an
+/// edge independently with probability `p`. Not necessarily connected; pass
+/// the result through your own check, or use moderate `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is out of `[0, 1]`.
+#[must_use]
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            if rng.gen_bool(p) {
+                builder.add_edge(u, a + v).expect("endpoints in range");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A random `d`-regular graph via the configuration (pairing) model,
+/// retrying until the pairing is simple (no loops/doubles). Requires
+/// `n * d` even and `d < n`.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd, `d >= n`, or no simple pairing is found in
+/// 1000 attempts (vanishingly unlikely for sane parameters).
+#[must_use]
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n * d must be even for a d-regular graph");
+    assert!(d < n, "degree must be below n");
+    if d == 0 {
+        return Graph::empty(n);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<usize> = (0..n * d).map(|i| i / d).collect();
+        stubs.shuffle(&mut rng);
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            match b.add_edge(u, v) {
+                Ok(true) => {}
+                Ok(false) => continue 'attempt, // parallel edge
+                Err(_) => unreachable!("stub labels are in range"),
+            }
+        }
+        return b.build();
+    }
+    panic!("no simple {d}-regular pairing found for n = {n} after 1000 attempts");
+}
+
+/// Preferential attachment (Barabási–Albert flavour): starts from a clique
+/// on `k + 1` nodes, then each new node attaches to `k` distinct existing
+/// nodes chosen with probability proportional to degree.
+///
+/// Connected by construction; almost always non-bipartite.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n < k + 1`.
+#[must_use]
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1, "attachment count must be positive");
+    assert!(n >= k + 1, "need at least k + 1 = {} nodes, got {n}", k + 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for u in 0..=k {
+        for v in (u + 1)..=k {
+            b.add_edge(u, v).expect("seed clique");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (k + 1)..n {
+        let mut targets = Vec::with_capacity(k);
+        let mut guard = 0;
+        while targets.len() < k && guard < 10_000 {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+        }
+        // Fallback (degenerate degree distributions): fill with smallest ids.
+        let mut next = 0;
+        while targets.len() < k {
+            if next != v && !targets.contains(&next) {
+                targets.push(next);
+            }
+            next += 1;
+        }
+        for &t in &targets {
+            b.add_edge(v, t).expect("endpoints in range");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn gnp_is_seed_deterministic() {
+        let a = gnp(30, 0.2, 7);
+        let b = gnp(30, 0.2, 7);
+        let c = gnp(30, 0.2, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (here) give different graphs");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let g = gnp(10, 0.0, 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = gnp(10, 1.0, 1);
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn gnp_rejects_bad_probability() {
+        let _ = gnp(5, 1.5, 0);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        for seed in 0..20 {
+            let g = gnp_connected(40, 0.05, seed);
+            assert!(algo::is_connected(&g), "seed {seed}");
+            assert_eq!(g.node_count(), 40);
+        }
+    }
+
+    #[test]
+    fn gnp_connected_patches_hopeless_density() {
+        // p = 0 forces the patching path: result is a spanning chain of
+        // components (here: of singletons) — still connected.
+        let g = gnp_connected(12, 0.0, 3);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.edge_count(), 11);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..20 {
+            for n in [1usize, 2, 3, 5, 17, 64] {
+                let g = random_tree(n, seed);
+                assert_eq!(g.node_count(), n);
+                assert_eq!(g.edge_count(), n.saturating_sub(1), "n={n} seed={seed}");
+                assert!(algo::is_connected(&g), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_is_seed_deterministic() {
+        assert_eq!(random_tree(25, 99), random_tree(25, 99));
+    }
+
+    #[test]
+    fn sparse_connected_has_requested_density() {
+        for seed in 0..10 {
+            let g = sparse_connected(30, 12, seed);
+            assert!(algo::is_connected(&g));
+            assert!(g.edge_count() >= 29);
+            assert!(g.edge_count() <= 29 + 12);
+        }
+        // extra_edges larger than the complete graph saturates gracefully
+        let g = sparse_connected(5, 100, 0);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn random_bipartite_is_bipartite() {
+        for seed in 0..10 {
+            let g = random_bipartite(8, 11, 0.4, seed);
+            assert!(algo::is_bipartite(&g));
+            assert_eq!(g.node_count(), 19);
+        }
+    }
+
+    #[test]
+    fn random_regular_has_uniform_degree() {
+        for seed in 0..5 {
+            for (n, d) in [(10, 3), (12, 4), (8, 2), (6, 3)] {
+                let g = random_regular(n, d, seed);
+                assert!(g.nodes().all(|v| g.degree(v) == d), "n={n} d={d} seed={seed}");
+                assert_eq!(g.edge_count(), n * d / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_degree_zero() {
+        let g = random_regular(5, 0, 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_rejects_odd_total() {
+        let _ = random_regular(5, 3, 1);
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        for seed in 0..5 {
+            let g = preferential_attachment(50, 2, seed);
+            assert_eq!(g.node_count(), 50);
+            assert!(algo::is_connected(&g));
+            // seed clique has 3 edges; each of the other 47 nodes adds 2
+            assert_eq!(g.edge_count(), 3 + 47 * 2);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_hub_bias() {
+        let g = preferential_attachment(200, 1, 42);
+        // With k = 1 the graph is a tree; the max degree should far exceed
+        // the average for a scale-free-ish process.
+        assert!(g.max_degree() >= 6, "expected a hub, got {}", g.max_degree());
+        assert_eq!(g.edge_count(), 199);
+    }
+}

@@ -1,0 +1,313 @@
+//! Strongly-typed identifiers for nodes, undirected edges, and directed arcs.
+//!
+//! Identifiers are thin `u32` newtypes ([C-NEWTYPE]): they are `Copy`, cheap
+//! to hash, and statically distinguish the three index spaces a flooding
+//! simulator juggles (node indices, undirected edge indices, and
+//! per-direction arc indices).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+
+/// Identifier of a node (vertex) in a [`Graph`](crate::Graph).
+///
+/// Nodes of a graph with `n` vertices are indexed `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v, 3.into());
+/// assert_eq!(v.to_string(), "3");
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the index as a `usize`, suitable for indexing slices.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of an undirected edge in a [`Graph`](crate::Graph).
+///
+/// Edges of a graph with `m` edges are indexed `0..m` in lexicographic order
+/// of their canonical `(min, max)` endpoint pair.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{generators, EdgeId};
+///
+/// let g = generators::path(3); // edges 0-1 and 1-2
+/// let e = EdgeId::new(1);
+/// assert_eq!(g.endpoints(e), (1.into(), 2.into()));
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+    }
+
+    /// Returns the index as a `usize`, suitable for indexing slices.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        EdgeId::new(index)
+    }
+}
+
+impl From<EdgeId> for usize {
+    #[inline]
+    fn from(id: EdgeId) -> usize {
+        id.index()
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Orientation of an arc relative to its undirected edge's canonical
+/// `(min, max)` endpoint order.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Direction {
+    /// From the smaller-indexed endpoint to the larger-indexed endpoint.
+    Forward,
+    /// From the larger-indexed endpoint to the smaller-indexed endpoint.
+    Reverse,
+}
+
+impl Direction {
+    /// Returns the opposite direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use af_graph::Direction;
+    /// assert_eq!(Direction::Forward.reversed(), Direction::Reverse);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// Identifier of a *directed arc*: an undirected edge together with a
+/// traversal direction.
+///
+/// A graph with `m` edges has exactly `2m` arcs, indexed `0..2m`; the arc
+/// with index `2 * e` traverses edge `e` in [`Direction::Forward`] and
+/// `2 * e + 1` traverses it in [`Direction::Reverse`]. Flooding simulators
+/// use arcs as the unit of "message in flight on an edge, in a direction".
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{ArcId, Direction, EdgeId};
+///
+/// let a = ArcId::new(EdgeId::new(2), Direction::Reverse);
+/// assert_eq!(a.index(), 5);
+/// assert_eq!(a.edge(), EdgeId::new(2));
+/// assert_eq!(a.direction(), Direction::Reverse);
+/// assert_eq!(a.reversed().index(), 4);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct ArcId(u32);
+
+impl ArcId {
+    /// Creates the arc traversing `edge` in `direction`.
+    #[inline]
+    #[must_use]
+    pub fn new(edge: EdgeId, direction: Direction) -> Self {
+        let bit = match direction {
+            Direction::Forward => 0,
+            Direction::Reverse => 1,
+        };
+        ArcId((edge.index() as u32) * 2 + bit)
+    }
+
+    /// Creates an arc identifier directly from a raw `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ArcId(u32::try_from(index).expect("arc index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw index in `0..2m`.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the undirected edge this arc traverses.
+    #[inline]
+    #[must_use]
+    pub fn edge(self) -> EdgeId {
+        EdgeId::new((self.0 / 2) as usize)
+    }
+
+    /// Returns the traversal direction relative to the edge's canonical
+    /// endpoint order.
+    #[inline]
+    #[must_use]
+    pub fn direction(self) -> Direction {
+        if self.0 % 2 == 0 {
+            Direction::Forward
+        } else {
+            Direction::Reverse
+        }
+    }
+
+    /// Returns the arc traversing the same edge in the opposite direction.
+    #[inline]
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        ArcId(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.direction() {
+            Direction::Forward => '+',
+            Direction::Reverse => '-',
+        };
+        write!(f, "a{}{}", self.edge().index(), dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(NodeId::from(42usize), v);
+        assert_eq!(v.to_string(), "42");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default().index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e.to_string(), "e7");
+        assert_eq!(usize::from(e), 7);
+    }
+
+    #[test]
+    fn arc_id_encoding() {
+        let e = EdgeId::new(3);
+        let f = ArcId::new(e, Direction::Forward);
+        let r = ArcId::new(e, Direction::Reverse);
+        assert_eq!(f.index(), 6);
+        assert_eq!(r.index(), 7);
+        assert_eq!(f.edge(), e);
+        assert_eq!(r.edge(), e);
+        assert_eq!(f.direction(), Direction::Forward);
+        assert_eq!(r.direction(), Direction::Reverse);
+        assert_eq!(f.reversed(), r);
+        assert_eq!(r.reversed(), f);
+        assert_eq!(f.to_string(), "a3+");
+        assert_eq!(r.to_string(), "a3-");
+    }
+
+    #[test]
+    fn arc_from_index_roundtrip() {
+        for i in 0..10 {
+            assert_eq!(ArcId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn direction_reversed_is_involution() {
+        assert_eq!(Direction::Forward.reversed().reversed(), Direction::Forward);
+        assert_eq!(Direction::Reverse.reversed().reversed(), Direction::Reverse);
+    }
+}

@@ -1,0 +1,50 @@
+//! # af-graph
+//!
+//! Graph substrate for the reproduction of *"On Termination of a Flooding
+//! Process"* (Hussak & Trehan, PODC 2019).
+//!
+//! The crate provides exactly what the flooding theory consumes:
+//!
+//! * [`Graph`] — a compact, immutable, undirected simple graph with stable
+//!   node/edge/arc identifiers ([`NodeId`], [`EdgeId`], [`ArcId`]), built
+//!   through [`GraphBuilder`];
+//! * [`generators`] — the topologies the paper names (lines, cycles,
+//!   triangles, cliques, bipartite families) plus seeded random families;
+//! * [`algo`] — BFS, eccentricity/diameter/radius, connectivity,
+//!   bipartiteness with 2-colouring or odd-cycle certificates, girth, and
+//!   the bipartite double cover that powers the exact-time oracle;
+//! * [`io`] — edge-list text and DOT output;
+//! * [`enumerate`] — exhaustive enumeration of small connected graphs for
+//!   theorem checking.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_graph::{algo, generators};
+//!
+//! // The paper's Figure 3 topology: the even cycle C6.
+//! let g = generators::cycle(6);
+//! assert!(algo::is_bipartite(&g));
+//! assert_eq!(algo::diameter(&g), Some(3));
+//!
+//! // Its double cover is two disjoint copies (bipartite base).
+//! let dc = algo::double_cover(&g);
+//! assert_eq!(algo::connected_components(dc.graph()).count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algo;
+pub mod enumerate;
+pub mod generators;
+pub mod io;
+
+mod error;
+mod graph;
+mod id;
+
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder};
+pub use id::{ArcId, Direction, EdgeId, NodeId};

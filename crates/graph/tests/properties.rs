@@ -1,0 +1,201 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Random graphs are drawn through the crate's own seeded generators
+//! (proptest supplies the parameters and the seed), so every failure is
+//! reproducible from the printed shrink values.
+
+use af_graph::algo::{
+    self, bipartiteness, connected_components, diameter, double_cover, is_bipartite,
+    is_connected, radius, Bipartiteness,
+};
+use af_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+prop_compose! {
+    /// A connected graph with n in [1, 40] and controllable extra edges.
+    fn sparse_graph()(
+        (n, extra, seed) in (1usize..40, 0usize..60, any::<u64>())
+    ) -> Graph {
+        generators::sparse_connected(n, extra, seed)
+    }
+}
+
+prop_compose! {
+    /// An arbitrary (possibly disconnected) G(n, p).
+    fn any_gnp()((n, seed) in (0usize..30, any::<u64>()), p in 0.0f64..=1.0) -> Graph {
+        generators::gnp(n, p, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn construction_is_insertion_order_independent(g in any_gnp(), perm_seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut edges: Vec<(usize, usize)> =
+            g.edge_list().map(|(u, v)| (v.index(), u.index())).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(perm_seed);
+        edges.shuffle(&mut rng);
+        let rebuilt = Graph::from_edges(g.node_count(), edges).unwrap();
+        prop_assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn handshake_lemma(g in any_gnp()) {
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric(g in any_gnp()) {
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            for &w in nb {
+                prop_assert!(g.contains_edge(w, v), "symmetry");
+                prop_assert_ne!(w, v, "no self-loops");
+            }
+        }
+    }
+
+    #[test]
+    fn arc_structure_is_consistent(g in sparse_graph()) {
+        for a in g.arcs() {
+            let (tail, head) = g.arc_endpoints(a);
+            prop_assert_eq!(g.arc_between(tail, head), Some(a));
+            let r = a.reversed();
+            prop_assert_eq!(g.arc_endpoints(r), (head, tail));
+            prop_assert_eq!(r.reversed(), a);
+            prop_assert_eq!(a.edge(), r.edge());
+        }
+    }
+
+    #[test]
+    fn bfs_levels_differ_by_at_most_one_across_edges(g in sparse_graph(), s in any::<u32>()) {
+        let source = NodeId::new(s as usize % g.node_count());
+        let t = algo::bfs(&g, source);
+        for (u, v) in g.edge_list() {
+            let du = t.distance(u).unwrap();
+            let dv = t.distance(v).unwrap();
+            prop_assert!(du.abs_diff(dv) <= 1, "edge {u}-{v}: {du} vs {dv}");
+        }
+    }
+
+    #[test]
+    fn bfs_distance_is_a_metric_on_connected_graphs(g in sparse_graph()) {
+        // d(u,w) <= d(u,v) + d(v,w) spot-checked via the distance matrix.
+        let m = algo::distance_matrix(&g);
+        let n = g.node_count();
+        for u in 0..n.min(8) {
+            for v in 0..n.min(8) {
+                for w in 0..n.min(8) {
+                    let (u, v, w) = (NodeId::new(u), NodeId::new(v), NodeId::new(w));
+                    let duv = m.get(u, v).unwrap();
+                    let dvw = m.get(v, w).unwrap();
+                    let duw = m.get(u, w).unwrap();
+                    prop_assert!(duw <= duv + dvw);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radius_diameter_inequalities(g in sparse_graph()) {
+        let d = diameter(&g).unwrap();
+        let r = radius(&g).unwrap();
+        prop_assert!(r <= d);
+        prop_assert!(d <= 2 * r, "D <= 2R for connected graphs");
+    }
+
+    #[test]
+    fn bipartiteness_certificates_are_valid(g in any_gnp()) {
+        match bipartiteness(&g) {
+            Bipartiteness::Bipartite(c) => prop_assert!(c.is_proper(&g)),
+            Bipartiteness::OddCycle(cycle) => {
+                prop_assert_eq!(cycle.len() % 2, 1);
+                prop_assert!(cycle.len() >= 3);
+                for i in 0..cycle.len() {
+                    let a = cycle[i];
+                    let b = cycle[(i + 1) % cycle.len()];
+                    prop_assert!(g.contains_edge(a, b));
+                }
+                let mut uniq = cycle.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                prop_assert_eq!(uniq.len(), cycle.len());
+            }
+        }
+    }
+
+    #[test]
+    fn double_cover_structure(g in sparse_graph()) {
+        let dc = double_cover(&g);
+        prop_assert!(is_bipartite(dc.graph()));
+        prop_assert_eq!(dc.graph().node_count(), 2 * g.node_count());
+        prop_assert_eq!(dc.graph().edge_count(), 2 * g.edge_count());
+        let comps = connected_components(dc.graph()).count();
+        if is_bipartite(&g) {
+            prop_assert_eq!(comps, if g.node_count() == 0 { 0 } else { 2 });
+        } else {
+            prop_assert_eq!(comps, 1);
+        }
+    }
+
+    #[test]
+    fn girth_is_none_iff_forest(g in any_gnp()) {
+        let c = connected_components(&g).count();
+        let is_forest = g.edge_count() + c == g.node_count();
+        prop_assert_eq!(algo::girth(&g).is_none(), is_forest);
+        if let Some(girth) = algo::girth(&g) {
+            prop_assert!(girth >= 3);
+            // Bipartite graphs have even girth.
+            if is_bipartite(&g) {
+                prop_assert_eq!(girth % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip(g in any_gnp()) {
+        let text = af_graph::io::to_edge_list(&g);
+        prop_assert_eq!(af_graph::io::from_edge_list(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn serde_roundtrip(g in any_gnp()) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn random_trees_are_trees(n in 1usize..80, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert!(is_connected(&g));
+        prop_assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn random_regular_is_regular(seed in any::<u64>(), n in 4usize..20, d in 2usize..4) {
+        prop_assume!(n * d % 2 == 0);
+        let g = generators::random_regular(n, d, seed);
+        prop_assert!(g.nodes().all(|v| g.degree(v) == d));
+    }
+
+    #[test]
+    fn multi_bfs_is_min_of_single_bfs(g in sparse_graph(), raw in proptest::collection::vec(any::<u32>(), 1..4)) {
+        let sources: Vec<NodeId> = raw
+            .iter()
+            .map(|&r| NodeId::new(r as usize % g.node_count()))
+            .collect();
+        let multi = algo::multi_bfs(&g, sources.iter().copied());
+        let singles: Vec<_> = sources.iter().map(|&s| algo::bfs(&g, s)).collect();
+        for v in g.nodes() {
+            let want = singles.iter().filter_map(|t| t.distance(v)).min();
+            prop_assert_eq!(multi.distance(v), want);
+        }
+    }
+}

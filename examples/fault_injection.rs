@@ -1,0 +1,71 @@
+//! Fault injection: why the paper's "no messages are lost in transit"
+//! assumption is load-bearing.
+//!
+//! Amnesiac flooding dies when waves collide (a node that receives from
+//! all directions has nothing left to forward to). Dropping one of the
+//! colliding messages revives the survivor — exactly what the Section-4
+//! adversary achieves with delays — so message loss can push a flood far
+//! past the fault-free `2D + 1` bound on any cyclic topology. Trees are
+//! immune: a wave can never turn back without a cycle.
+//!
+//! ```text
+//! cargo run --example fault_injection
+//! ```
+
+use amnesiac_flooding::core::{theory, AmnesiacFloodingProtocol};
+use amnesiac_flooding::engine::faults::{Crash, FaultySyncEngine};
+use amnesiac_flooding::graph::generators;
+
+fn main() {
+    // --- Loss on a cyclic graph: the bound breaks. -----------------------
+    let g = generators::grid(8, 8);
+    let bound = theory::upper_bound(&g).expect("connected");
+    println!("8x8 grid: fault-free flooding bound = {bound} rounds");
+    println!("with 10% message loss (20 seeds):");
+    let mut beyond = 0;
+    let mut capped = 0;
+    for seed in 0..20 {
+        let mut e = FaultySyncEngine::new(&g, AmnesiacFloodingProtocol, [0.into()], 0.1, seed);
+        match e.run(2000).termination_round() {
+            Some(t) if t > bound => {
+                beyond += 1;
+                if beyond == 1 {
+                    println!("  seed {seed}: terminated at round {t} — {}x the bound", t / bound);
+                }
+            }
+            Some(_) => {}
+            None => capped += 1,
+        }
+    }
+    println!("  {beyond} seeds exceeded the fault-free bound; {capped} hit the 2000-round cap");
+    println!("  (a dropped message splits colliding waves, like the §4 adversary)");
+
+    // --- Trees shrug loss off. -------------------------------------------
+    let tree = generators::binary_tree(5);
+    println!("\ncomplete binary tree (63 nodes) under 30% loss (20 seeds):");
+    let mut all_terminated = true;
+    let mut worst = 0;
+    for seed in 0..20 {
+        let mut e =
+            FaultySyncEngine::new(&tree, AmnesiacFloodingProtocol, [0.into()], 0.3, seed);
+        match e.run(10_000).termination_round() {
+            Some(t) => worst = worst.max(t),
+            None => all_terminated = false,
+        }
+    }
+    println!("  all terminated: {all_terminated}; worst round: {worst} (no cycle, no escape)");
+
+    // --- Crash faults: coverage, not termination. -------------------------
+    let g = generators::cycle(12);
+    println!("\nC12 with node 1 crashed from round 1:");
+    let mut e = FaultySyncEngine::new(&g, AmnesiacFloodingProtocol, [0.into()], 0.0, 0);
+    e.schedule_crash(Crash { node: 1.into(), round: 1 });
+    let out = e.run(1000);
+    println!(
+        "  terminated: {} after {:?} rounds; informed {} / 12 \
+         (the message detours the long way around)",
+        out.is_terminated(),
+        out.termination_round(),
+        e.informed_count()
+    );
+}

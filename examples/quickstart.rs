@@ -1,0 +1,51 @@
+//! Quickstart: flood a few graphs, read off everything the paper talks
+//! about.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use amnesiac_flooding::core::{flood, theory, AmnesiacFlooding};
+use amnesiac_flooding::graph::{algo, generators};
+
+fn main() {
+    // --- 1. The paper's headline: amnesiac flooding terminates. ---------
+    let g = generators::petersen();
+    let run = flood(&g, 0.into());
+    println!("Petersen graph, flood from node 0:");
+    println!("  terminated: {}", run.terminated());
+    println!("  termination round: {:?}", run.termination_round());
+    println!("  messages delivered: {}", run.total_messages());
+
+    // --- 2. Bipartite graphs finish in e(source) <= D rounds. -----------
+    let g = generators::grid(4, 6);
+    let source = 0.into();
+    let run = flood(&g, source);
+    let ecc = algo::eccentricity(&g, source).expect("grid is connected");
+    println!("\n4x6 grid (bipartite), flood from a corner:");
+    println!("  termination round: {:?} (source eccentricity: {ecc})", run.termination_round());
+    println!("  diameter bound:    {:?}", algo::diameter(&g));
+
+    // --- 3. Non-bipartite graphs pay more, but never beyond 2D + 1. -----
+    let g = generators::cycle(9);
+    let run = flood(&g, 0.into());
+    let d = algo::diameter(&g).expect("cycle is connected");
+    println!("\nodd cycle C9 (non-bipartite):");
+    println!("  termination round: {:?} = 2D + 1 with D = {d}", run.termination_round());
+    println!("  every node heard the message {} time(s) at most", run.max_receive_count());
+
+    // --- 4. The theory oracle predicts runs without simulating. ---------
+    let g = generators::barbell(6);
+    let pred = theory::predict(&g, [0.into()]);
+    let run = flood(&g, 0.into());
+    println!("\nbarbell(6): oracle vs simulation:");
+    println!("  oracle says round {}, simulation says {:?}", pred.termination_round(), run.termination_round());
+    assert_eq!(Some(pred.termination_round()), run.termination_round());
+
+    // --- 5. Multi-source floods work the same way. ----------------------
+    let g = generators::cycle(12);
+    let run = AmnesiacFlooding::multi_source(&g, [0.into(), 3.into()]).run();
+    println!("\nC12 flooded from {{0, 3}} simultaneously:");
+    println!("  termination round: {:?}", run.termination_round());
+    println!("  round sets: {:?}", run.round_sets().len());
+}

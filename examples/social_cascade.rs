@@ -1,0 +1,61 @@
+//! The introduction's motivating story: "the node behaves like an
+//! aggressive social media (say, WhatsApp) user that has a compulsion to
+//! forward every message but does not want to annoy those who have just
+//! sent it the message it's forwarding."
+//!
+//! This example floods a synthetic social network (preferential
+//! attachment — hubs and long tails) and reports what the theory promises
+//! about such cascades: they die out on their own, nobody sees the message
+//! more than twice, and the total traffic is bounded by twice the number
+//! of relationships.
+//!
+//! ```text
+//! cargo run --example social_cascade
+//! ```
+
+use amnesiac_flooding::analysis::Summary;
+use amnesiac_flooding::core::{flood, theory};
+use amnesiac_flooding::graph::{algo, generators};
+
+fn main() {
+    let n = 2_000;
+    let g = generators::preferential_attachment(n, 3, 2026);
+    println!("synthetic social network: {} users, {} relationships", g.node_count(), g.edge_count());
+    println!("max degree (biggest hub): {}", g.max_degree());
+    println!("bipartite: {}", algo::is_bipartite(&g));
+
+    // The rumour starts at the biggest hub.
+    let hub = g
+        .nodes()
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty network");
+    let run = flood(&g, hub);
+
+    println!("\nrumour started by the biggest hub (node {hub}):");
+    println!("  cascade died after round {:?}", run.termination_round().expect("Theorem 3.1"));
+    println!(
+        "  bound from the paper: 2D + 1 = {}",
+        theory::upper_bound(&g).expect("connected")
+    );
+    println!("  users reached: {} / {}", run.informed_count(), n);
+    println!("  total forwards: {} (2m = {})", run.total_messages(), 2 * g.edge_count());
+    println!("  max times any user saw the rumour: {}", run.max_receive_count());
+
+    let per_round = Summary::of(run.messages_per_round().iter().copied()).expect("non-empty");
+    println!("  per-round traffic: {per_round}");
+
+    // Everyone hears it, nobody is spammed: the amnesiac rule caps
+    // per-user deliveries at 2 without any user remembering anything.
+    assert!(run.max_receive_count() <= 2);
+    assert_eq!(run.informed_count(), n);
+
+    // Start it instead from a peripheral user: slower, same guarantees.
+    let peripheral = g
+        .nodes()
+        .max_by_key(|&v| algo::bfs(&g, hub).distance(v).unwrap_or(0))
+        .expect("non-empty network");
+    let run2 = flood(&g, peripheral);
+    println!("\nsame rumour from a peripheral user (node {peripheral}):");
+    println!("  cascade died after round {:?}", run2.termination_round().expect("Theorem 3.1"));
+    println!("  users reached: {} / {}", run2.informed_count(), n);
+}

@@ -1,0 +1,59 @@
+//! The application the paper suggests: using the flood itself to *detect*
+//! whether the network is bipartite.
+//!
+//! A node that hears the message twice has witnessed an odd closed walk —
+//! flooding doubles as a distributed non-bipartiteness test with zero
+//! extra protocol state. This example runs both detectors (the local
+//! double-receipt rule and the global timing rule) across a zoo of
+//! topologies and checks them against the graph-algorithmic ground truth.
+//!
+//! ```text
+//! cargo run --example topology_detection
+//! ```
+
+use amnesiac_flooding::core::detect::{detect_bipartiteness, detect_by_timing, TopologyVerdict};
+use amnesiac_flooding::graph::{algo, generators, Graph};
+
+fn main() {
+    let zoo: Vec<(&str, Graph)> = vec![
+        ("path(10)", generators::path(10)),
+        ("cycle(12)", generators::cycle(12)),
+        ("cycle(13)", generators::cycle(13)),
+        ("complete(8)", generators::complete(8)),
+        ("K(3,5)", generators::complete_bipartite(3, 5)),
+        ("petersen", generators::petersen()),
+        ("wheel(9)", generators::wheel(9)),
+        ("grid(4,7)", generators::grid(4, 7)),
+        ("hypercube(5)", generators::hypercube(5)),
+        ("barbell(6)", generators::barbell(6)),
+        ("random tree", generators::random_tree(40, 7)),
+        ("sparse+cycles", generators::sparse_connected(40, 30, 7)),
+    ];
+
+    println!("{:<16} {:>14} {:>16} {:>14}", "graph", "ground truth", "double-receipt", "timing rule");
+    let mut all_agree = true;
+    for (name, g) in &zoo {
+        let truth = algo::is_bipartite(g);
+        let by_receipt = detect_bipartiteness(g, 0.into());
+        let by_timing = detect_by_timing(g, 0.into()).expect("zoo graphs are connected");
+        let fmt = |b: bool| if b { "bipartite" } else { "NON-bipartite" };
+        println!(
+            "{:<16} {:>14} {:>16} {:>14}",
+            name,
+            fmt(truth),
+            fmt(by_receipt.is_bipartite()),
+            fmt(by_timing.is_bipartite())
+        );
+        if let TopologyVerdict::NonBipartite { witness, rounds } = &by_receipt {
+            println!(
+                "  -> witness: node {witness} heard the message at rounds {} and {} \
+                 (opposite parities = odd closed walk)",
+                rounds.0, rounds.1
+            );
+        }
+        all_agree &=
+            truth == by_receipt.is_bipartite() && truth == by_timing.is_bipartite();
+    }
+    assert!(all_agree, "both detectors are exact on connected graphs");
+    println!("\nboth flooding-based detectors agreed with the ground truth on all {} graphs", zoo.len());
+}

@@ -1,0 +1,40 @@
+//! # amnesiac-flooding
+//!
+//! Facade crate for the reproduction of *"On Termination of a Flooding
+//! Process"* (Hussak & Trehan, PODC 2019).
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`graph`] — the graph substrate ([`af_graph`]): compact undirected
+//!   graphs, generators, BFS/eccentricity/bipartiteness/double-cover.
+//! * [`engine`] — synchronous and adversarial-asynchronous message-passing
+//!   simulators ([`af_engine`]), plus fault injection and non-termination
+//!   certification.
+//! * [`core`] — the paper's contribution ([`af_core`]): Amnesiac Flooding,
+//!   the exact-time theory oracle, the k-memory ladder, spanning-tree
+//!   extraction, arbitrary-configuration analysis, baselines and topology
+//!   detection.
+//! * [`analysis`] — the experiment harness ([`af_analysis`]), experiments
+//!   E1–E15.
+//!
+//! The `amnesiac` command-line tool (crate `af-cli`) exposes the same
+//! functionality over edge-list and graph6 files.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amnesiac_flooding::core::AmnesiacFlooding;
+//! use amnesiac_flooding::graph::generators;
+//!
+//! // Figure 3 of the paper: an even cycle C6 terminates in D = 3 rounds.
+//! let g = generators::cycle(6);
+//! let run = AmnesiacFlooding::single_source(&g, 0.into()).run();
+//! assert!(run.terminated());
+//! assert_eq!(run.termination_round(), Some(3));
+//! ```
+
+pub use af_analysis as analysis;
+pub use af_core as core;
+pub use af_engine as engine;
+pub use af_graph as graph;

@@ -1,0 +1,183 @@
+//! Property tests for the extension modules: arbitrary configurations,
+//! spanning trees, the k-memory ladder, fault injection, and the
+//! asynchronous adversaries.
+
+use amnesiac_flooding::core::arbitrary::{classify_configuration, SyncFate};
+use amnesiac_flooding::core::spanning::spanning_tree;
+use amnesiac_flooding::core::{AmnesiacFloodingProtocol, KMemoryFlooding};
+use amnesiac_flooding::engine::adversary::PerHeadThrottle;
+use amnesiac_flooding::engine::faults::FaultySyncEngine;
+use amnesiac_flooding::engine::{certify, Certificate, SyncEngine};
+use amnesiac_flooding::graph::{algo, generators, ArcId, Graph, NodeId};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn connected_graph()(
+        (n, extra, seed) in (2usize..32, 0usize..40, any::<u64>())
+    ) -> Graph {
+        generators::sparse_connected(n, extra, seed)
+    }
+}
+
+prop_compose! {
+    fn tree_graph()((n, seed) in (2usize..40, any::<u64>())) -> Graph {
+        generators::random_tree(n, seed)
+    }
+}
+
+prop_compose! {
+    fn graph_and_source()(g in connected_graph(), raw in any::<u32>()) -> (Graph, NodeId) {
+        let s = NodeId::new(raw as usize % g.node_count());
+        (g, s)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary-configuration classification always resolves, and the
+    /// node-initiated configurations always land in the terminating class
+    /// (Theorem 3.1 restated through the classifier).
+    #[test]
+    fn node_initiated_configurations_always_terminate((g, s) in graph_and_source()) {
+        let arcs: Vec<ArcId> = g
+            .neighbors(s)
+            .iter()
+            .map(|&w| g.arc_between(s, w).expect("neighbour"))
+            .collect();
+        let fate = classify_configuration(&g, arcs);
+        prop_assert!(fate.terminates(), "{g} from {s}: {fate:?}");
+    }
+
+    /// On trees, EVERY random arc configuration terminates.
+    #[test]
+    fn tree_configurations_always_terminate(g in tree_graph(), mask in any::<u64>()) {
+        let arcs = g.arcs().filter(|a| mask >> (a.index() % 64) & 1 == 1);
+        let fate = classify_configuration(&g, arcs);
+        prop_assert!(fate.terminates(), "{g}: {fate:?}");
+    }
+
+    /// A lone arc on any cycle graph orbits forever with period n.
+    #[test]
+    fn lone_arc_on_cycle_orbits(n in 3usize..40, start in any::<u32>()) {
+        let g = generators::cycle(n);
+        let u = NodeId::new(start as usize % n);
+        let v = NodeId::new((start as usize + 1) % n);
+        let arc = g.arc_between(u, v).expect("cycle edge");
+        match classify_configuration(&g, [arc]) {
+            SyncFate::Cycles { period, .. } => prop_assert_eq!(period as usize, n),
+            other => return Err(TestCaseError::fail(format!("expected orbit, got {other:?}"))),
+        }
+    }
+
+    /// The flooding-extracted spanning tree is a BFS tree on every
+    /// connected instance.
+    #[test]
+    fn spanning_tree_is_always_bfs((g, s) in graph_and_source()) {
+        let tree = spanning_tree(&g, s);
+        prop_assert!(tree.is_bfs_tree_of(&g));
+        prop_assert_eq!(tree.len(), g.node_count());
+        // Path lengths equal BFS distances.
+        let bfs = algo::bfs(&g, s);
+        for v in g.nodes() {
+            let path = tree.path_to_root(v).expect("connected");
+            prop_assert_eq!(path.len() as u32 - 1, bfs.distance(v).expect("connected"));
+        }
+    }
+
+    /// k = 1 memory flooding is amnesiac flooding, run for run.
+    #[test]
+    fn k1_is_af((g, s) in graph_and_source()) {
+        let mut af = SyncEngine::new(&g, AmnesiacFloodingProtocol, [s]);
+        let mut k1 = SyncEngine::new(&g, KMemoryFlooding::new(1), [s]);
+        let (a, b) = (af.run(10_000), k1.run(10_000));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(af.total_messages(), k1.total_messages());
+    }
+
+    /// Memory is monotone: messages never increase with k (on terminating
+    /// windows k >= 1).
+    #[test]
+    fn memory_ladder_is_monotone((g, s) in graph_and_source()) {
+        let mut prev = u64::MAX;
+        for k in 1..=4usize {
+            let mut e = SyncEngine::new(&g, KMemoryFlooding::new(k), [s]);
+            e.set_trace_enabled(false);
+            let out = e.run(10_000);
+            prop_assert!(out.is_terminated(), "{g} k={k}");
+            prop_assert!(e.total_messages() <= prev, "{g} k={k}");
+            prev = e.total_messages();
+        }
+    }
+
+    /// Lossy floods on trees terminate for every rate and seed, and inform
+    /// no more nodes than the lossless run.
+    #[test]
+    fn lossy_tree_floods_terminate(
+        g in tree_graph(),
+        rate in 0.0f64..=1.0,
+        seed in any::<u64>()
+    ) {
+        let mut e = FaultySyncEngine::new(&g, AmnesiacFloodingProtocol, [NodeId::new(0)], rate, seed);
+        let out = e.run(100_000);
+        prop_assert!(out.is_terminated());
+        prop_assert!(e.informed_count() <= g.node_count());
+        if rate == 0.0 {
+            prop_assert_eq!(e.informed_count(), g.node_count());
+        }
+    }
+
+    /// Crashing every node at round 1 silences the network after the first
+    /// exchange, whatever the topology.
+    #[test]
+    fn total_crash_silences_everything((g, s) in graph_and_source()) {
+        use amnesiac_flooding::engine::faults::Crash;
+        let mut e = FaultySyncEngine::new(&g, AmnesiacFloodingProtocol, [s], 0.0, 0);
+        for v in g.nodes() {
+            e.schedule_crash(Crash { node: v, round: 1 });
+        }
+        let out = e.run(1000);
+        prop_assert!(out.is_terminated());
+        prop_assert_eq!(e.delivered_messages(), 0);
+    }
+
+    /// The throttle adversary certifies non-termination on every cycle
+    /// C_n — the generalized Figure 5.
+    #[test]
+    fn throttle_lassoes_every_cycle(n in 3usize..24, start in any::<u32>()) {
+        let g = generators::cycle(n);
+        let s = NodeId::new(start as usize % n);
+        let cert = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [s], 1_000_000)
+            .expect("deterministic adversary");
+        prop_assert!(cert.is_non_terminating(), "C{n} from {s}: {cert:?}");
+    }
+
+    /// The same adversary cannot keep a random tree alive.
+    #[test]
+    fn throttle_cannot_sustain_trees(g in tree_graph(), raw in any::<u32>()) {
+        let s = NodeId::new(raw as usize % g.node_count());
+        let cert = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [s], 1_000_000)
+            .expect("deterministic adversary");
+        prop_assert!(matches!(cert, Certificate::Terminated { .. }), "{g}: {cert:?}");
+    }
+}
+
+#[test]
+fn classification_is_deterministic() {
+    let g = generators::petersen();
+    let arcs: Vec<ArcId> = g.arcs().step_by(3).collect();
+    let a = classify_configuration(&g, arcs.iter().copied());
+    let b = classify_configuration(&g, arcs.iter().copied());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn spanning_tree_via_cli_formats_roundtrip() {
+    // The tree survives a graph6 round-trip of its host graph.
+    let g = generators::grid(4, 4);
+    let text = amnesiac_flooding::graph::io::to_graph6(&g);
+    let back = amnesiac_flooding::graph::io::from_graph6(&text).unwrap();
+    let t1 = spanning_tree(&g, 0.into());
+    let t2 = spanning_tree(&back, 0.into());
+    assert_eq!(t1, t2);
+}

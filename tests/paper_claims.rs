@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: every headline claim of the paper,
+//! asserted end-to-end through the facade crate.
+
+use amnesiac_flooding::analysis::experiments;
+use amnesiac_flooding::core::{flood, theory, AmnesiacFlooding, AmnesiacFloodingProtocol};
+use amnesiac_flooding::engine::adversary::{DeliverAll, PerHeadThrottle};
+use amnesiac_flooding::engine::{certify, Certificate, SyncEngine};
+use amnesiac_flooding::graph::{algo, generators};
+
+// ---------------------------------------------------------------- figures
+
+#[test]
+fn figure1_line_from_b_two_rounds() {
+    let g = generators::path(4);
+    let run = flood(&g, 1.into());
+    assert_eq!(run.termination_round(), Some(2));
+    // "terminates at the ends of the graph": the last receivers are leaves.
+    assert_eq!(run.round_set(2), &[3.into()]);
+    // "takes only 2 rounds, which is less than the diameter" (3).
+    assert!(2 < algo::diameter(&g).unwrap());
+}
+
+#[test]
+fn figure2_triangle_three_rounds() {
+    let g = generators::cycle(3);
+    let run = flood(&g, 1.into());
+    // "termination takes 2D + 1 time (D = diameter = 1)".
+    assert_eq!(run.termination_round(), Some(3));
+    // "Both node a and c send M to each other in round 2 and to b in round 3."
+    assert_eq!(run.round_set(2), &[0.into(), 2.into()]);
+    assert_eq!(run.round_set(3), &[1.into()]);
+}
+
+#[test]
+fn figure3_even_cycle_diameter_rounds() {
+    let g = generators::cycle(6);
+    for v in g.nodes() {
+        let run = flood(&g, v);
+        assert_eq!(run.termination_round(), Some(3), "from {v}");
+    }
+}
+
+// ---------------------------------------------------------- lemma 2.1 etc
+
+#[test]
+fn lemma_2_1_bipartite_termination_equals_eccentricity() {
+    for g in [
+        generators::path(9),
+        generators::cycle(10),
+        generators::grid(4, 7),
+        generators::hypercube(5),
+        generators::complete_bipartite(4, 9),
+        generators::binary_tree(4),
+        generators::random_tree(60, 5),
+    ] {
+        for v in g.nodes() {
+            let run = flood(&g, v);
+            assert_eq!(
+                run.termination_round(),
+                algo::eccentricity(&g, v),
+                "{g} from {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary_2_2_bipartite_within_diameter() {
+    let g = generators::grid(5, 5);
+    let d = algo::diameter(&g).unwrap();
+    for v in g.nodes() {
+        assert!(flood(&g, v).termination_round().unwrap() <= d);
+    }
+}
+
+#[test]
+fn lemma_2_1_flood_is_parallel_bfs() {
+    // "Nodes at a distance i from a receive the message at the same time in
+    // round i."
+    let g = generators::hypercube(4);
+    let source = 3.into();
+    let run = flood(&g, source);
+    let bfs = algo::bfs(&g, source);
+    for v in g.nodes() {
+        if v == source {
+            assert!(run.receive_rounds(v).is_empty());
+        } else {
+            assert_eq!(run.receive_rounds(v), &[bfs.distance(v).unwrap()][..]);
+        }
+    }
+}
+
+// --------------------------------------------------------- theorem 3.1/3.3
+
+#[test]
+fn theorem_3_1_termination_on_assorted_graphs() {
+    for g in [
+        generators::petersen(),
+        generators::wheel(11),
+        generators::barbell(7),
+        generators::lollipop(5, 9),
+        generators::torus(3, 7),
+        generators::complete(20),
+        generators::sparse_connected(200, 150, 3),
+        generators::preferential_attachment(300, 2, 3),
+    ] {
+        let run = flood(&g, 0.into());
+        assert!(run.terminated(), "{g}");
+    }
+}
+
+#[test]
+fn theorem_3_3_non_bipartite_bound_two_d_plus_one() {
+    for g in [
+        generators::cycle(11),
+        generators::petersen(),
+        generators::wheel(8),
+        generators::complete(9),
+        generators::barbell(5),
+    ] {
+        let d = algo::diameter(&g).unwrap();
+        for v in g.nodes() {
+            let t = flood(&g, v).termination_round().unwrap();
+            assert!(t <= 2 * d + 1, "{g} from {v}: {t} > {}", 2 * d + 1);
+            assert!(t > algo::eccentricity(&g, v).unwrap(), "{g} from {v}");
+        }
+    }
+}
+
+#[test]
+fn theorem_3_1_proof_invariant_re_is_empty() {
+    use amnesiac_flooding::core::roundsets;
+    for g in [
+        generators::petersen(),
+        generators::complete(8),
+        generators::cycle(9),
+        generators::sparse_connected(50, 40, 11),
+    ] {
+        for v in g.nodes().take(10) {
+            let run = flood(&g, v);
+            let analysis = roundsets::analyze(&run);
+            assert!(analysis.even_sequences_empty(), "{g} from {v}");
+            assert!(analysis.max_occurrences() <= 2, "{g} from {v}");
+        }
+    }
+}
+
+// ------------------------------------------------------------- section 4
+
+#[test]
+fn section_4_adversary_forces_non_termination_on_triangle() {
+    let g = generators::cycle(3);
+    let cert = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [1.into()], 10_000)
+        .expect("deterministic adversary");
+    let lasso = cert.lasso().expect("Figure 5: non-terminating");
+    assert!(lasso.period() > 0);
+}
+
+#[test]
+fn section_4_without_delays_everything_terminates() {
+    for g in [generators::cycle(3), generators::petersen(), generators::complete(6)] {
+        let cert = certify(&g, AmnesiacFloodingProtocol, DeliverAll, [0.into()], 10_000)
+            .expect("deterministic adversary");
+        assert!(matches!(cert, Certificate::Terminated { .. }), "{g}");
+    }
+}
+
+// ----------------------------------------------------- engine equivalence
+
+#[test]
+fn generic_engine_and_facade_agree() {
+    let g = generators::petersen();
+    let mut engine = SyncEngine::new(&g, AmnesiacFloodingProtocol, [0.into()]);
+    let outcome = engine.run(1000);
+    let run = flood(&g, 0.into());
+    assert_eq!(outcome.termination_round(), run.termination_round());
+    assert_eq!(engine.total_messages(), run.total_messages());
+    for v in g.nodes() {
+        assert_eq!(engine.receipts(v), run.receive_rounds(v));
+    }
+}
+
+// ------------------------------------------------------------ experiments
+
+#[test]
+fn experiment_tables_regenerate_with_correct_shapes() {
+    // E1-E3: measured == paper.
+    let figures = experiments::figures::run();
+    for row in figures.rows() {
+        assert_eq!(row[6], row[7]);
+    }
+    // E8: triangle row certified non-terminating under the throttle.
+    let async_table = experiments::asynchronous::run();
+    assert!(async_table.rows()[0][2].contains("NON-TERMINATING"));
+    // E10: detection exact.
+    let detection = experiments::detection::run();
+    for row in detection.rows() {
+        assert_eq!(row[1], row[2]);
+    }
+}
+
+#[test]
+fn oracle_predicts_multi_source_runs() {
+    let g = generators::torus(4, 6);
+    let sources = [0.into(), 7.into(), 13.into()];
+    let run = AmnesiacFlooding::multi_source(&g, sources).run();
+    let pred = theory::predict(&g, sources);
+    assert_eq!(run.termination_round(), Some(pred.termination_round()));
+    for v in g.nodes() {
+        assert_eq!(run.receive_rounds(v), pred.receive_rounds(v));
+    }
+}
