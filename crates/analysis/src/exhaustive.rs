@@ -80,14 +80,18 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
 
     // (1) Theorem 3.1.
     let Some(t) = run.termination_round() else {
-        violations.push(format!("{graph} from {source}: did not terminate within 2n+2"));
+        violations.push(format!(
+            "{graph} from {source}: did not terminate within 2n+2"
+        ));
         return violations;
     };
 
     // (2) Corollary 2.2 / Theorem 3.3.
     let bound = theory::upper_bound(graph).expect("enumerated graphs are connected");
     if t > bound {
-        violations.push(format!("{graph} from {source}: T = {t} exceeds bound {bound}"));
+        violations.push(format!(
+            "{graph} from {source}: T = {t} exceeds bound {bound}"
+        ));
     }
 
     let bipartite = algo::is_bipartite(graph);
@@ -95,7 +99,9 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
         // (3) Lemma 2.1.
         let ecc = algo::eccentricity(graph, source).expect("connected");
         if t != ecc {
-            violations.push(format!("{graph} from {source}: bipartite T = {t} != e = {ecc}"));
+            violations.push(format!(
+                "{graph} from {source}: bipartite T = {t} != e = {ecc}"
+            ));
         }
         let bfs = algo::bfs(graph, source);
         for v in graph.nodes() {

@@ -60,7 +60,12 @@ pub fn run() -> Table {
             format!("{}/{}", census.single_arc_cycling(), g.arc_count()),
             census.max_termination_round().to_string(),
             census.max_period().to_string(),
-            if census.node_initiated_all_terminate() { "yes" } else { "NO" }.to_string(),
+            if census.node_initiated_all_terminate() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     t.push_note(
@@ -82,7 +87,13 @@ pub fn run() -> Table {
 pub fn run_exhaustive(max_n: usize) -> Table {
     let mut t = Table::new(
         "E12b — arbitrary-configuration census over ALL connected graphs",
-        ["n", "graphs", "trees (never cycle)", "cyclic graphs", "cyclic graphs with non-terminating configs"],
+        [
+            "n",
+            "graphs",
+            "trees (never cycle)",
+            "cyclic graphs",
+            "cyclic graphs with non-terminating configs",
+        ],
     );
     for n in 2..=max_n {
         let mut graphs = 0u64;
@@ -102,7 +113,10 @@ pub fn run_exhaustive(max_n: usize) -> Table {
                     cyclic_with_nonterm += 1;
                 }
             }
-            assert!(census.node_initiated_all_terminate(), "Theorem 3.1 violated");
+            assert!(
+                census.node_initiated_all_terminate(),
+                "Theorem 3.1 violated"
+            );
         }
         t.push_row([
             n.to_string(),
@@ -157,6 +171,9 @@ mod tests {
         assert_eq!(row[1], "38");
         assert_eq!(row[2], "16");
         assert_eq!(row[3], "22");
-        assert_eq!(row[4], "22", "every cyclic 4-node graph has a non-terminating config");
+        assert_eq!(
+            row[4], "22",
+            "every cyclic 4-node graph has a non-terminating config"
+        );
     }
 }

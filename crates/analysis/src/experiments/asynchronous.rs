@@ -33,16 +33,32 @@ fn describe(cert: &Certificate) -> String {
 #[must_use]
 pub fn instances() -> Vec<(String, Graph, NodeId)> {
     vec![
-        ("triangle (Figure 5)".into(), generators::cycle(3), NodeId::new(1)),
+        (
+            "triangle (Figure 5)".into(),
+            generators::cycle(3),
+            NodeId::new(1),
+        ),
         ("C4".into(), generators::cycle(4), NodeId::new(0)),
         ("C5".into(), generators::cycle(5), NodeId::new(0)),
         ("C6".into(), generators::cycle(6), NodeId::new(0)),
         ("C9".into(), generators::cycle(9), NodeId::new(0)),
         ("K4".into(), generators::complete(4), NodeId::new(0)),
         ("petersen".into(), generators::petersen(), NodeId::new(0)),
-        ("path(6) — a tree".into(), generators::path(6), NodeId::new(0)),
-        ("star(8) — a tree".into(), generators::star(8), NodeId::new(0)),
-        ("binary tree h=3".into(), generators::binary_tree(3), NodeId::new(0)),
+        (
+            "path(6) — a tree".into(),
+            generators::path(6),
+            NodeId::new(0),
+        ),
+        (
+            "star(8) — a tree".into(),
+            generators::star(8),
+            NodeId::new(0),
+        ),
+        (
+            "binary tree h=3".into(),
+            generators::binary_tree(3),
+            NodeId::new(0),
+        ),
     ]
 }
 
@@ -51,7 +67,12 @@ pub fn instances() -> Vec<(String, Graph, NodeId)> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E8 — §4 asynchronous AF: adversary vs no adversary (certified)",
-        ["graph", "deliver-all (sync)", "per-head throttle (Fig. 5 adversary)", "one-at-a-time"],
+        [
+            "graph",
+            "deliver-all (sync)",
+            "per-head throttle (Fig. 5 adversary)",
+            "one-at-a-time",
+        ],
     );
     for (label, g, s) in instances() {
         let sync = certify(&g, AmnesiacFloodingProtocol, DeliverAll, [s], 100_000)
@@ -60,7 +81,12 @@ pub fn run() -> Table {
             .expect("deterministic adversaries respect the contract");
         let serial = certify(&g, AmnesiacFloodingProtocol, OneAtATime, [s], 100_000)
             .expect("deterministic adversaries respect the contract");
-        t.push_row([label, describe(&sync), describe(&throttle), describe(&serial)]);
+        t.push_row([
+            label,
+            describe(&sync),
+            describe(&throttle),
+            describe(&serial),
+        ]);
     }
     t.push_note(
         "the paper's claim: cyclic topologies admit non-terminating schedules \
@@ -105,7 +131,11 @@ mod tests {
     #[test]
     fn trees_terminate_in_every_column() {
         let t = run();
-        for row in t.rows().iter().filter(|r| r[0].contains("tree") || r[0].contains("path")) {
+        for row in t
+            .rows()
+            .iter()
+            .filter(|r| r[0].contains("tree") || r[0].contains("path"))
+        {
             for cell in &row[1..] {
                 assert!(cell.starts_with("terminates"), "{}: {}", row[0], cell);
             }

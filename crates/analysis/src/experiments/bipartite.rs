@@ -41,7 +41,16 @@ pub fn specs() -> Vec<GraphSpec> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E4–E5 — Lemma 2.1 / Corollary 2.2: bipartite termination = e(src) ≤ D",
-        ["graph", "n", "m", "D", "sources", "T = e(src)", "T ≤ D", "T (min/mean/max)"],
+        [
+            "graph",
+            "n",
+            "m",
+            "D",
+            "sources",
+            "T = e(src)",
+            "T ≤ D",
+            "T (min/mean/max)",
+        ],
     );
 
     for spec in specs() {
@@ -95,8 +104,18 @@ mod tests {
         let t = run();
         assert!(!t.rows().is_empty());
         for row in t.rows() {
-            assert!(row[5].ends_with("ok"), "{}: exactness failed: {}", row[0], row[5]);
-            assert!(row[6].ends_with("ok"), "{}: bound failed: {}", row[0], row[6]);
+            assert!(
+                row[5].ends_with("ok"),
+                "{}: exactness failed: {}",
+                row[0],
+                row[5]
+            );
+            assert!(
+                row[6].ends_with("ok"),
+                "{}: bound failed: {}",
+                row[0],
+                row[6]
+            );
         }
     }
 

@@ -31,8 +31,16 @@ pub fn specs() -> Vec<GraphSpec> {
         GraphSpec::Petersen,
         GraphSpec::Wheel { k: 16 },
         GraphSpec::Barbell { k: 8 },
-        GraphSpec::PreferentialAttachment { n: 256, k: 2, seed: 3 },
-        GraphSpec::GnpConnected { n: 128, p: 0.05, seed: 3 },
+        GraphSpec::PreferentialAttachment {
+            n: 256,
+            k: 2,
+            seed: 3,
+        },
+        GraphSpec::GnpConnected {
+            n: 128,
+            p: 0.05,
+            seed: 3,
+        },
         GraphSpec::RandomTree { n: 128, seed: 3 },
     ]
 }
@@ -43,7 +51,9 @@ fn run_classic(g: &Graph, s: NodeId) -> (u32, u64) {
     e.set_trace_enabled(false);
     let outcome = e.run(10_000);
     (
-        outcome.termination_round().expect("classic flooding always terminates"),
+        outcome
+            .termination_round()
+            .expect("classic flooding always terminates"),
         e.total_messages(),
     )
 }
@@ -81,7 +91,12 @@ pub fn run() -> Table {
             cl_rounds.to_string(),
             af.total_messages().to_string(),
             cl_msgs.to_string(),
-            if af.total_messages() == expected { "yes" } else { "NO" }.to_string(),
+            if af.total_messages() == expected {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             "AF: 0 bits, classic: 1 bit".to_string(),
         ]);
     }
@@ -140,7 +155,11 @@ mod tests {
             let af: u64 = row[5].parse().unwrap();
             let cl: u64 = row[6].parse().unwrap();
             assert_eq!(af, 2 * m, "{}", row[0]);
-            assert!(cl <= af, "{}: classic {cl} should not exceed AF {af}", row[0]);
+            assert!(
+                cl <= af,
+                "{}: classic {cl} should not exceed AF {af}",
+                row[0]
+            );
             assert!(af <= 2 * cl, "{}: AF {af} > 2x classic {cl}", row[0]);
         }
         assert!(non_bipartite_rows >= 4);

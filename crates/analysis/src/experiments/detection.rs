@@ -31,7 +31,11 @@ pub fn specs() -> Vec<GraphSpec> {
         GraphSpec::BinaryTree { h: 5 },
     ];
     for seed in 0..6 {
-        v.push(GraphSpec::SparseConnected { n: 60, extra: (seed as usize % 3) * 20, seed });
+        v.push(GraphSpec::SparseConnected {
+            n: 60,
+            extra: (seed as usize % 3) * 20,
+            seed,
+        });
         v.push(GraphSpec::RandomTree { n: 50, seed });
     }
     v
@@ -42,7 +46,13 @@ pub fn specs() -> Vec<GraphSpec> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E10 — topology detection by flooding (paper §1.1 application)",
-        ["graph", "ground truth", "double-receipt rule", "timing rule", "agree (all sources)"],
+        [
+            "graph",
+            "ground truth",
+            "double-receipt rule",
+            "timing rule",
+            "agree (all sources)",
+        ],
     );
     for spec in specs() {
         let g = spec.build();

@@ -33,8 +33,16 @@ pub fn specs() -> Vec<GraphSpec> {
         GraphSpec::Hypercube { d: 6 },
         GraphSpec::Complete { n: 32 },
         GraphSpec::Petersen,
-        GraphSpec::GnpConnected { n: 100, p: 0.06, seed: 5 },
-        GraphSpec::PreferentialAttachment { n: 100, k: 2, seed: 5 },
+        GraphSpec::GnpConnected {
+            n: 100,
+            p: 0.06,
+            seed: 5,
+        },
+        GraphSpec::PreferentialAttachment {
+            n: 100,
+            k: 2,
+            seed: 5,
+        },
     ]
 }
 
@@ -91,10 +99,9 @@ pub fn run() -> Table {
                 informed.push((e.informed_count() as u64 * 100) / n as u64);
             }
             let inf = Summary::of(informed.iter().copied()).expect("non-empty");
-            let rounds_cell = Summary::of(rounds.iter().copied())
-                .map_or("-".to_string(), |s| {
-                    format!("{}/{:.0}/{}", s.min(), s.mean(), s.max())
-                });
+            let rounds_cell = Summary::of(rounds.iter().copied()).map_or("-".to_string(), |s| {
+                format!("{}/{:.0}/{}", s.min(), s.mean(), s.max())
+            });
             t.push_row([
                 spec.label(),
                 if is_tree { "yes" } else { "no" }.to_string(),
@@ -141,7 +148,13 @@ mod tests {
     fn tree_rows_always_terminate() {
         let t = table();
         for row in t.rows().iter().filter(|r| r[1] == "yes") {
-            assert_eq!(row[3], format!("{TRIALS}/{TRIALS}"), "{} rate {}", row[0], row[2]);
+            assert_eq!(
+                row[3],
+                format!("{TRIALS}/{TRIALS}"),
+                "{} rate {}",
+                row[0],
+                row[2]
+            );
         }
     }
 

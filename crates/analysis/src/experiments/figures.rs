@@ -14,15 +14,23 @@ use af_graph::generators;
 
 /// Expected (figure, termination round) pairs asserted by the integration
 /// tests: Figure 1 → 2, Figure 2 → 3, Figure 3 → 3.
-pub const EXPECTED_ROUNDS: [(&str, u32); 3] =
-    [("figure-1", 2), ("figure-2", 3), ("figure-3", 3)];
+pub const EXPECTED_ROUNDS: [(&str, u32); 3] = [("figure-1", 2), ("figure-2", 3), ("figure-3", 3)];
 
 /// Runs E1–E3 and returns the summary table.
 #[must_use]
 pub fn run() -> Table {
     let mut t = Table::new(
         "E1–E3 — Figures 1–3: worked examples",
-        ["figure", "graph", "source", "D", "e(src)", "bound", "T measured", "T paper"],
+        [
+            "figure",
+            "graph",
+            "source",
+            "D",
+            "e(src)",
+            "bound",
+            "T measured",
+            "T paper",
+        ],
     );
 
     // Figure 1: line a-b-c-d from b.

@@ -31,7 +31,11 @@ pub fn specs() -> Vec<GraphSpec> {
         GraphSpec::Wheel { k: 12 },
         GraphSpec::Barbell { k: 8 },
         GraphSpec::Torus { rows: 3, cols: 7 },
-        GraphSpec::SparseConnected { n: 80, extra: 60, seed: 9 },
+        GraphSpec::SparseConnected {
+            n: 80,
+            extra: 60,
+            seed: 9,
+        },
     ]
 }
 
@@ -50,7 +54,15 @@ fn measure(g: &Graph, k: usize) -> (Outcome, u64) {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E15 — (extension) the memory ladder: k-memory flooding",
-        ["graph", "k=0", "k=1 (= AF)", "k=2", "k=3", "k=8", "classic flag"],
+        [
+            "graph",
+            "k=0",
+            "k=1 (= AF)",
+            "k=2",
+            "k=3",
+            "k=8",
+            "classic flag",
+        ],
     );
     for spec in specs() {
         let g = spec.build();

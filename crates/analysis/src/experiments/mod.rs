@@ -6,7 +6,7 @@
 //! |----|----------------|----------|
 //! | E1–E3 | Figures 1, 2, 3 (worked examples) | [`figures::run`] |
 //! | E4–E5 | Lemma 2.1 / Corollary 2.2 (bipartite exactness) | [`bipartite::run`] |
-//! | E6 | Theorem 3.1 (termination, exhaustive + random) | [`termination::run`] |
+//! | E6 | Theorem 3.1 (termination, exhaustive + random) | [`termination::run_exhaustive`], [`termination::run_random`] |
 //! | E7 | Theorem 3.3 (non-bipartite ≤ 2D + 1) | [`nonbipartite::run`] |
 //! | E8 | Figure 5 / §4 (asynchronous adversary) | [`asynchronous::run`] |
 //! | E9 | multi-source extension | [`multisource::run`] |

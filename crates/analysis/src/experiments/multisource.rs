@@ -25,7 +25,14 @@ pub fn grid() -> Vec<(GraphSpec, usize)> {
         (GraphSpec::Complete { n: 12 }, 3),
         (GraphSpec::Barbell { k: 6 }, 2),
         (GraphSpec::Hypercube { d: 5 }, 4),
-        (GraphSpec::SparseConnected { n: 100, extra: 50, seed: 1 }, 5),
+        (
+            GraphSpec::SparseConnected {
+                n: 100,
+                extra: 50,
+                seed: 1,
+            },
+            5,
+        ),
         (GraphSpec::RandomTree { n: 80, seed: 2 }, 6),
     ]
 }
@@ -36,7 +43,15 @@ pub fn grid() -> Vec<(GraphSpec, usize)> {
 pub fn run(seed: u64) -> Table {
     let mut t = Table::new(
         "E9 — multi-source amnesiac flooding (full-paper extension)",
-        ["graph", "|I|", "terminates", "T", "oracle exact", "≤2 receipts", "Re empty"],
+        [
+            "graph",
+            "|I|",
+            "terminates",
+            "T",
+            "oracle exact",
+            "≤2 receipts",
+            "Re empty",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for (spec, k) in grid() {
@@ -84,7 +99,12 @@ mod tests {
         assert_eq!(t.rows().len(), grid().len());
         for row in t.rows() {
             assert_eq!(row[2], "yes", "{} did not terminate", row[0]);
-            assert!(row[4].ends_with("ok"), "{}: oracle mismatch {}", row[0], row[4]);
+            assert!(
+                row[4].ends_with("ok"),
+                "{}: oracle mismatch {}",
+                row[0],
+                row[4]
+            );
             assert_eq!(row[5], "yes", "{}", row[0]);
             assert_eq!(row[6], "yes", "{}", row[0]);
         }

@@ -28,7 +28,11 @@ pub fn specs() -> Vec<GraphSpec> {
         GraphSpec::Torus { rows: 3, cols: 9 },
     ];
     for seed in 0..4 {
-        v.push(GraphSpec::SparseConnected { n: 120, extra: 80, seed });
+        v.push(GraphSpec::SparseConnected {
+            n: 120,
+            extra: 80,
+            seed,
+        });
         v.push(GraphSpec::PreferentialAttachment { n: 150, k: 2, seed });
     }
     v
@@ -39,7 +43,16 @@ pub fn specs() -> Vec<GraphSpec> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E7 — Theorem 3.3: non-bipartite termination in (e(src), 2D + 1]",
-        ["graph", "n", "D", "2D+1", "sources", "e(src) < T ≤ 2D+1", "worst-src T > D", "T (min/mean/max)"],
+        [
+            "graph",
+            "n",
+            "D",
+            "2D+1",
+            "sources",
+            "e(src) < T ≤ 2D+1",
+            "worst-src T > D",
+            "T (min/mean/max)",
+        ],
     );
 
     for spec in specs() {

@@ -19,17 +19,33 @@ type Series = (&'static str, Vec<usize>, fn(usize) -> Graph);
 #[must_use]
 pub fn series() -> Vec<Series> {
     vec![
-        ("path", vec![8, 16, 32, 64, 128, 256], |n| af_graph::generators::path(n)),
-        ("even cycle", vec![8, 16, 32, 64, 128, 256], |n| af_graph::generators::cycle(n)),
-        ("odd cycle", vec![9, 17, 33, 65, 129, 257], |n| af_graph::generators::cycle(n)),
-        ("grid k x k", vec![3, 4, 6, 8, 11, 16], |k| af_graph::generators::grid(k, k)),
+        ("path", vec![8, 16, 32, 64, 128, 256], |n| {
+            af_graph::generators::path(n)
+        }),
+        ("even cycle", vec![8, 16, 32, 64, 128, 256], |n| {
+            af_graph::generators::cycle(n)
+        }),
+        ("odd cycle", vec![9, 17, 33, 65, 129, 257], |n| {
+            af_graph::generators::cycle(n)
+        }),
+        ("grid k x k", vec![3, 4, 6, 8, 11, 16], |k| {
+            af_graph::generators::grid(k, k)
+        }),
         ("hypercube Q_d", vec![3, 4, 5, 6, 7, 8], |d| {
             af_graph::generators::hypercube(d as u32)
         }),
-        ("complete K_n", vec![4, 8, 16, 32, 64, 128], |n| af_graph::generators::complete(n)),
-        ("barbell", vec![4, 8, 16, 32, 64, 96], |k| af_graph::generators::barbell(k)),
-        ("wheel", vec![4, 8, 16, 32, 64, 128], |k| af_graph::generators::wheel(k)),
-        ("friendship", vec![2, 4, 8, 16, 32, 64], |k| af_graph::generators::friendship(k)),
+        ("complete K_n", vec![4, 8, 16, 32, 64, 128], |n| {
+            af_graph::generators::complete(n)
+        }),
+        ("barbell", vec![4, 8, 16, 32, 64, 96], |k| {
+            af_graph::generators::barbell(k)
+        }),
+        ("wheel", vec![4, 8, 16, 32, 64, 128], |k| {
+            af_graph::generators::wheel(k)
+        }),
+        ("friendship", vec![2, 4, 8, 16, 32, 64], |k| {
+            af_graph::generators::friendship(k)
+        }),
         ("pref. attachment", vec![32, 64, 128, 256, 512, 1024], |n| {
             af_graph::generators::preferential_attachment(n, 2, 13)
         }),
@@ -41,7 +57,16 @@ pub fn series() -> Vec<Series> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E13 — (extension) termination-time scaling: the O(D) shape",
-        ["family", "param", "n", "bipartite", "D", "bound", "worst T", "T (min/mean/max)"],
+        [
+            "family",
+            "param",
+            "n",
+            "bipartite",
+            "D",
+            "bound",
+            "worst T",
+            "T (min/mean/max)",
+        ],
     );
     for (family, sizes, build) in series() {
         for param in sizes {
@@ -49,7 +74,17 @@ pub fn run() -> Table {
             let d = algo::diameter(&g).expect("series graphs are connected");
             let bip = algo::is_bipartite(&g);
             let bound = if bip { d } else { 2 * d + 1 };
-            let sources = super::bipartite::sample_sources(g.node_count());
+            let mut sources = super::bipartite::sample_sources(g.node_count());
+            // The worst case over all sources is attained at a
+            // maximum-eccentricity node (bipartite worst T = D needs
+            // e(s) = D, and Theorem 3.3's strictness is only guaranteed
+            // from such a source); a stride sample can miss every one of
+            // them on irregular families, so add one explicitly.
+            let peripheral = g
+                .nodes()
+                .max_by_key(|&v| algo::eccentricity(&g, v).expect("connected"))
+                .expect("series graphs are non-empty");
+            sources.push(peripheral);
             let rounds: Vec<u64> = sources
                 .iter()
                 .map(|&s| {
@@ -62,7 +97,10 @@ pub fn run() -> Table {
                 })
                 .collect();
             let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
-            assert!(summary.max() <= u64::from(bound), "{family}({param}) exceeded bound");
+            assert!(
+                summary.max() <= u64::from(bound),
+                "{family}({param}) exceeded bound"
+            );
             t.push_row([
                 family.to_string(),
                 param.to_string(),
@@ -97,9 +135,18 @@ mod tests {
             let worst: u64 = row[6].parse().unwrap();
             assert!(worst <= bound, "{} {}", row[0], row[1]);
             if bip == "yes" {
-                assert_eq!(worst, d, "bipartite worst T must equal D: {} {}", row[0], row[1]);
+                assert_eq!(
+                    worst, d,
+                    "bipartite worst T must equal D: {} {}",
+                    row[0], row[1]
+                );
             } else {
-                assert!(worst > d, "non-bipartite worst T must exceed D: {} {}", row[0], row[1]);
+                assert!(
+                    worst > d,
+                    "non-bipartite worst T must exceed D: {} {}",
+                    row[0],
+                    row[1]
+                );
             }
             if row[0] == "odd cycle" {
                 assert_eq!(worst, 2 * d + 1, "odd cycles attain the bound");

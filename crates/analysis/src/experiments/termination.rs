@@ -21,14 +21,38 @@ use af_core::{theory, AmnesiacFlooding};
 pub fn specs() -> Vec<GraphSpec> {
     let mut v = Vec::new();
     for seed in 0..3 {
-        v.push(GraphSpec::GnpConnected { n: 128, p: 0.05, seed });
-        v.push(GraphSpec::GnpConnected { n: 512, p: 0.02, seed });
-        v.push(GraphSpec::SparseConnected { n: 1024, extra: 512, seed });
+        v.push(GraphSpec::GnpConnected {
+            n: 128,
+            p: 0.05,
+            seed,
+        });
+        v.push(GraphSpec::GnpConnected {
+            n: 512,
+            p: 0.02,
+            seed,
+        });
+        v.push(GraphSpec::SparseConnected {
+            n: 1024,
+            extra: 512,
+            seed,
+        });
         v.push(GraphSpec::RandomRegular { n: 256, d: 4, seed });
-        v.push(GraphSpec::PreferentialAttachment { n: 1024, k: 3, seed });
+        v.push(GraphSpec::PreferentialAttachment {
+            n: 1024,
+            k: 3,
+            seed,
+        });
     }
-    v.push(GraphSpec::GnpConnected { n: 2048, p: 0.01, seed: 0 });
-    v.push(GraphSpec::SparseConnected { n: 4096, extra: 2048, seed: 0 });
+    v.push(GraphSpec::GnpConnected {
+        n: 2048,
+        p: 0.01,
+        seed: 0,
+    });
+    v.push(GraphSpec::SparseConnected {
+        n: 4096,
+        extra: 2048,
+        seed: 0,
+    });
     v
 }
 
@@ -40,7 +64,13 @@ pub fn specs() -> Vec<GraphSpec> {
 pub fn run_exhaustive(max_n: usize) -> Table {
     let mut t = Table::new(
         "E6a — Theorem 3.1 exhaustively: ALL connected graphs, ALL sources",
-        ["n", "graphs", "runs (graph x source)", "all claims hold", "max T observed"],
+        [
+            "n",
+            "graphs",
+            "runs (graph x source)",
+            "all claims hold",
+            "max T observed",
+        ],
     );
     for n in 1..=max_n {
         let report = verify_all_connected(n);
@@ -68,7 +98,15 @@ pub fn run_exhaustive(max_n: usize) -> Table {
 pub fn run_random() -> Table {
     let mut t = Table::new(
         "E6b — Theorem 3.1 at scale: random families",
-        ["graph", "n", "m", "bipartite", "bound", "T", "terminates ≤ bound"],
+        [
+            "graph",
+            "n",
+            "m",
+            "bipartite",
+            "bound",
+            "T",
+            "terminates ≤ bound",
+        ],
     );
     let results = run_parallel(specs(), default_threads(), |spec| {
         let g = spec.build();
@@ -119,7 +157,11 @@ mod tests {
     #[test]
     fn random_layer_smoke() {
         // Full grid is exercised by the bench binary; verify a small slice.
-        let spec = GraphSpec::SparseConnected { n: 128, extra: 64, seed: 7 };
+        let spec = GraphSpec::SparseConnected {
+            n: 128,
+            extra: 64,
+            seed: 7,
+        };
         let g = spec.build();
         let bound = theory::upper_bound(&g).unwrap();
         let run = AmnesiacFlooding::single_source(&g, 0.into()).run();
@@ -131,7 +173,12 @@ mod tests {
         let specs = specs();
         assert!(specs.len() >= 15);
         // Building one large spec exercises the generators at sweep scale.
-        let g = GraphSpec::PreferentialAttachment { n: 1024, k: 3, seed: 0 }.build();
+        let g = GraphSpec::PreferentialAttachment {
+            n: 1024,
+            k: 3,
+            seed: 0,
+        }
+        .build();
         assert_eq!(g.node_count(), 1024);
     }
 }

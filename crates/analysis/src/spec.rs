@@ -237,11 +237,27 @@ mod tests {
             GraphSpec::Barbell { k: 3 },
             GraphSpec::Lollipop { k: 3, p: 2 },
             GraphSpec::Caterpillar { spine: 3, legs: 2 },
-            GraphSpec::GnpConnected { n: 12, p: 0.3, seed: 1 },
+            GraphSpec::GnpConnected {
+                n: 12,
+                p: 0.3,
+                seed: 1,
+            },
             GraphSpec::RandomTree { n: 9, seed: 2 },
-            GraphSpec::SparseConnected { n: 10, extra: 4, seed: 3 },
-            GraphSpec::RandomRegular { n: 8, d: 3, seed: 4 },
-            GraphSpec::PreferentialAttachment { n: 15, k: 2, seed: 5 },
+            GraphSpec::SparseConnected {
+                n: 10,
+                extra: 4,
+                seed: 3,
+            },
+            GraphSpec::RandomRegular {
+                n: 8,
+                d: 3,
+                seed: 4,
+            },
+            GraphSpec::PreferentialAttachment {
+                n: 15,
+                k: 2,
+                seed: 5,
+            },
         ];
         for spec in specs {
             let g = spec.build();
@@ -253,7 +269,11 @@ mod tests {
 
     #[test]
     fn specs_build_deterministically() {
-        let spec = GraphSpec::SparseConnected { n: 20, extra: 10, seed: 99 };
+        let spec = GraphSpec::SparseConnected {
+            n: 20,
+            extra: 10,
+            seed: 99,
+        };
         assert_eq!(spec.build(), spec.build());
     }
 
@@ -261,15 +281,26 @@ mod tests {
     fn random_specs_are_connected_where_promised() {
         for seed in 0..5 {
             assert!(algo::is_connected(
-                &GraphSpec::GnpConnected { n: 20, p: 0.1, seed }.build()
+                &GraphSpec::GnpConnected {
+                    n: 20,
+                    p: 0.1,
+                    seed
+                }
+                .build()
             ));
-            assert!(algo::is_connected(&GraphSpec::RandomTree { n: 20, seed }.build()));
+            assert!(algo::is_connected(
+                &GraphSpec::RandomTree { n: 20, seed }.build()
+            ));
         }
     }
 
     #[test]
     fn serde_roundtrip() {
-        let spec = GraphSpec::GnpConnected { n: 10, p: 0.5, seed: 42 };
+        let spec = GraphSpec::GnpConnected {
+            n: 10,
+            p: 0.5,
+            seed: 42,
+        };
         let json = serde_json::to_string(&spec).unwrap();
         let back: GraphSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);

@@ -29,7 +29,12 @@ impl Summary {
         if count == 0 {
             return None;
         }
-        Some(Summary { count, min, max, mean: sum as f64 / count as f64 })
+        Some(Summary {
+            count,
+            min,
+            max,
+            mean: sum as f64 / count as f64,
+        })
     }
 
     /// Sample size.

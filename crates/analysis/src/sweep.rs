@@ -24,7 +24,7 @@ where
 {
     let n = items.len();
     if threads <= 1 || n <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let threads = threads.min(n);
     let next = AtomicUsize::new(0);

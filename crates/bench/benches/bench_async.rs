@@ -24,8 +24,7 @@ fn async_benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("random-delay/cycle", n), &g, |b, g| {
             b.iter(|| {
                 let adv = RandomDelay::new(0.3, 42);
-                let mut e =
-                    AsyncEngine::new(g, AmnesiacFloodingProtocol, adv, [NodeId::new(0)]);
+                let mut e = AsyncEngine::new(g, AmnesiacFloodingProtocol, adv, [NodeId::new(0)]);
                 e.run(100 * n as u64).unwrap()
             });
         });
@@ -34,33 +33,47 @@ fn async_benches(c: &mut Criterion) {
     // 1000 adversarial ticks on the never-terminating triangle schedule.
     for n in [3usize, 9, 33] {
         let g = generators::cycle(n);
-        group.bench_with_input(BenchmarkId::new("throttle-1000-ticks/cycle", n), &g, |b, g| {
-            b.iter(|| {
-                let mut e = AsyncEngine::new(
-                    g,
-                    AmnesiacFloodingProtocol,
-                    PerHeadThrottle,
-                    [NodeId::new(0)],
-                );
-                for _ in 0..1000 {
-                    if e.step().unwrap().is_none() {
-                        break;
+        group.bench_with_input(
+            BenchmarkId::new("throttle-1000-ticks/cycle", n),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut e = AsyncEngine::new(
+                        g,
+                        AmnesiacFloodingProtocol,
+                        PerHeadThrottle,
+                        [NodeId::new(0)],
+                    );
+                    for _ in 0..1000 {
+                        if e.step().unwrap().is_none() {
+                            break;
+                        }
                     }
-                }
-                e.total_messages()
-            });
-        });
+                    e.total_messages()
+                });
+            },
+        );
     }
 
     // Certification cost (hashing every configuration until the lasso).
     for n in [3usize, 5, 9, 15] {
         let g = generators::cycle(n);
-        group.bench_with_input(BenchmarkId::new("certify-lasso/odd-cycle", n), &g, |b, g| {
-            b.iter(|| {
-                certify(g, AmnesiacFloodingProtocol, PerHeadThrottle, [NodeId::new(0)], 100_000)
+        group.bench_with_input(
+            BenchmarkId::new("certify-lasso/odd-cycle", n),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    certify(
+                        g,
+                        AmnesiacFloodingProtocol,
+                        PerHeadThrottle,
+                        [NodeId::new(0)],
+                        100_000,
+                    )
                     .unwrap()
-            });
-        });
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -33,7 +33,10 @@ fn engine_ablation(c: &mut Criterion) {
     let instances: Vec<(&str, Graph)> = vec![
         ("cycle-1024", generators::cycle(1024)),
         ("grid-32x32", generators::grid(32, 32)),
-        ("petersen-like-regular", generators::random_regular(1024, 3, 7)),
+        (
+            "petersen-like-regular",
+            generators::random_regular(1024, 3, 7),
+        ),
         ("gnp-512", generators::gnp_connected(512, 0.02, 7)),
     ];
     let mut group = c.benchmark_group("engine-ablation");

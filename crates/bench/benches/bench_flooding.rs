@@ -26,10 +26,30 @@ fn bench_family<F: Fn(usize) -> Graph>(c: &mut Criterion, name: &str, make: F, s
 }
 
 fn flooding_benches(c: &mut Criterion) {
-    bench_family(c, "flood/cycle-even", |n| generators::cycle(n), &[64, 256, 1024, 4096]);
-    bench_family(c, "flood/cycle-odd", |n| generators::cycle(n + 1), &[64, 256, 1024, 4096]);
-    bench_family(c, "flood/grid", |n| generators::grid(n, n), &[8, 16, 32, 64]);
-    bench_family(c, "flood/hypercube", |d| generators::hypercube(d as u32), &[4, 6, 8, 10]);
+    bench_family(
+        c,
+        "flood/cycle-even",
+        generators::cycle,
+        &[64, 256, 1024, 4096],
+    );
+    bench_family(
+        c,
+        "flood/cycle-odd",
+        |n| generators::cycle(n + 1),
+        &[64, 256, 1024, 4096],
+    );
+    bench_family(
+        c,
+        "flood/grid",
+        |n| generators::grid(n, n),
+        &[8, 16, 32, 64],
+    );
+    bench_family(
+        c,
+        "flood/hypercube",
+        |d| generators::hypercube(d as u32),
+        &[4, 6, 8, 10],
+    );
     bench_family(c, "flood/complete", generators::complete, &[16, 64, 128]);
     bench_family(
         c,

@@ -1,5 +1,11 @@
 //! E12: exhaustive census of arbitrary arc configurations.
 fn main() {
-    println!("{}", af_analysis::experiments::arbitrary_config::run().to_markdown());
-    println!("{}", af_analysis::experiments::arbitrary_config::run_exhaustive(5).to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::arbitrary_config::run().to_markdown()
+    );
+    println!(
+        "{}",
+        af_analysis::experiments::arbitrary_config::run_exhaustive(5).to_markdown()
+    );
 }

@@ -1,4 +1,7 @@
 //! E8: §4 — certified async termination/non-termination under adversaries.
 fn main() {
-    println!("{}", af_analysis::experiments::asynchronous::run().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::asynchronous::run().to_markdown()
+    );
 }

@@ -1,4 +1,7 @@
 //! E4–E5: Lemma 2.1 / Corollary 2.2 sweep over bipartite families.
 fn main() {
-    println!("{}", af_analysis::experiments::bipartite::run().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::bipartite::run().to_markdown()
+    );
 }

@@ -1,4 +1,7 @@
 //! E11: amnesiac flooding vs classic flag flooding.
 fn main() {
-    println!("{}", af_analysis::experiments::comparison::run().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::comparison::run().to_markdown()
+    );
 }

@@ -1,4 +1,7 @@
 //! E10: topology detection (non-bipartiteness) by flooding.
 fn main() {
-    println!("{}", af_analysis::experiments::detection::run().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::detection::run().to_markdown()
+    );
 }

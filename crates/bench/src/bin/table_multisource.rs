@@ -1,4 +1,7 @@
 //! E9: multi-source amnesiac flooding vs the double-cover oracle.
 fn main() {
-    println!("{}", af_analysis::experiments::multisource::run(42).to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::multisource::run(42).to_markdown()
+    );
 }

@@ -1,4 +1,7 @@
 //! E7: Theorem 3.3 — non-bipartite termination in (e(src), 2D + 1].
 fn main() {
-    println!("{}", af_analysis::experiments::nonbipartite::run().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::nonbipartite::run().to_markdown()
+    );
 }

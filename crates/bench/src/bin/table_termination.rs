@@ -1,5 +1,11 @@
 //! E6: Theorem 3.1 — exhaustive small-n verification + random families.
 fn main() {
-    println!("{}", af_analysis::experiments::termination::run_exhaustive(6).to_markdown());
-    println!("{}", af_analysis::experiments::termination::run_random().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::termination::run_exhaustive(6).to_markdown()
+    );
+    println!(
+        "{}",
+        af_analysis::experiments::termination::run_random().to_markdown()
+    );
 }

@@ -61,7 +61,9 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 ///
 /// Returns file, parse, or argument errors.
 pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
-    let path = args.positional(0).ok_or("usage: amnesiac flood <file> [options]")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: amnesiac flood <file> [options]")?;
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
     let mut builder = AmnesiacFlooding::multi_source(&graph, sources.iter().copied());
@@ -80,12 +82,21 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
                 let _ = writeln!(out, "terminated after round {t}");
             }
             None => {
-                let _ = writeln!(out, "round cap reached after {} rounds", run.rounds_executed());
+                let _ = writeln!(
+                    out,
+                    "round cap reached after {} rounds",
+                    run.rounds_executed()
+                );
             }
         }
     }
     let _ = writeln!(out, "messages: {}", run.total_messages());
-    let _ = writeln!(out, "informed nodes: {} / {}", run.informed_count(), graph.node_count());
+    let _ = writeln!(
+        out,
+        "informed nodes: {} / {}",
+        run.informed_count(),
+        graph.node_count()
+    );
     let _ = writeln!(out, "max receipts per node: {}", run.max_receive_count());
     if args.flag("receipts") {
         out.push_str("receive schedule:\n");
@@ -101,13 +112,19 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
 ///
 /// Returns file, parse, or argument errors.
 pub fn cmd_predict(args: &Args) -> Result<String, CommandError> {
-    let path = args.positional(0).ok_or("usage: amnesiac predict <file> [options]")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: amnesiac predict <file> [options]")?;
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
     let pred = theory::predict(&graph, sources.iter().copied());
     let mut out = String::new();
     let _ = writeln!(out, "graph: {graph}");
-    let _ = writeln!(out, "predicted termination round: {}", pred.termination_round());
+    let _ = writeln!(
+        out,
+        "predicted termination round: {}",
+        pred.termination_round()
+    );
     let _ = writeln!(out, "predicted messages: {}", pred.total_messages());
     if let Some(bound) = theory::upper_bound(&graph) {
         let _ = writeln!(out, "paper bound: {bound}");
@@ -121,7 +138,9 @@ pub fn cmd_predict(args: &Args) -> Result<String, CommandError> {
 ///
 /// Returns file, parse, or argument errors.
 pub fn cmd_detect(args: &Args) -> Result<String, CommandError> {
-    let path = args.positional(0).ok_or("usage: amnesiac detect <file> [options]")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: amnesiac detect <file> [options]")?;
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
     let verdict = af_core::detect::detect_bipartiteness(&graph, sources[0]);
@@ -149,7 +168,9 @@ pub fn cmd_detect(args: &Args) -> Result<String, CommandError> {
 ///
 /// Returns file, parse, or argument errors.
 pub fn cmd_certify(args: &Args) -> Result<String, CommandError> {
-    let path = args.positional(0).ok_or("usage: amnesiac certify <file> [options]")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: amnesiac certify <file> [options]")?;
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
     let max_ticks: u64 = args.parsed_or("max-ticks", 100_000)?;
@@ -157,9 +178,27 @@ pub fn cmd_certify(args: &Args) -> Result<String, CommandError> {
     let srcs = sources.iter().copied();
 
     let cert = match adv {
-        "throttle" => certify(&graph, AmnesiacFloodingProtocol, PerHeadThrottle, srcs, max_ticks)?,
-        "serial" => certify(&graph, AmnesiacFloodingProtocol, OneAtATime, srcs, max_ticks)?,
-        "deliver-all" => certify(&graph, AmnesiacFloodingProtocol, DeliverAll, srcs, max_ticks)?,
+        "throttle" => certify(
+            &graph,
+            AmnesiacFloodingProtocol,
+            PerHeadThrottle,
+            srcs,
+            max_ticks,
+        )?,
+        "serial" => certify(
+            &graph,
+            AmnesiacFloodingProtocol,
+            OneAtATime,
+            srcs,
+            max_ticks,
+        )?,
+        "deliver-all" => certify(
+            &graph,
+            AmnesiacFloodingProtocol,
+            DeliverAll,
+            srcs,
+            max_ticks,
+        )?,
         other => {
             let Some(k) = other.strip_prefix("bounded:").and_then(|k| k.parse().ok()) else {
                 return Err(format!(
@@ -167,7 +206,13 @@ pub fn cmd_certify(args: &Args) -> Result<String, CommandError> {
                 )
                 .into());
             };
-            certify(&graph, AmnesiacFloodingProtocol, BoundedDelay::new(k), srcs, max_ticks)?
+            certify(
+                &graph,
+                AmnesiacFloodingProtocol,
+                BoundedDelay::new(k),
+                srcs,
+                max_ticks,
+            )?
         }
     };
 
@@ -210,7 +255,11 @@ pub fn cmd_census(args: &Args) -> Result<String, CommandError> {
     let _ = writeln!(out, "configurations: {}", census.configurations());
     let _ = writeln!(out, "  terminating: {}", census.terminating());
     let _ = writeln!(out, "  cycling:     {}", census.cycling());
-    let _ = writeln!(out, "max termination round: {}", census.max_termination_round());
+    let _ = writeln!(
+        out,
+        "max termination round: {}",
+        census.max_termination_round()
+    );
     let _ = writeln!(out, "max limit-cycle period: {}", census.max_period());
     let _ = writeln!(
         out,
@@ -227,12 +276,19 @@ pub fn cmd_census(args: &Args) -> Result<String, CommandError> {
 ///
 /// Returns file, parse, or argument errors.
 pub fn cmd_tree(args: &Args) -> Result<String, CommandError> {
-    let path = args.positional(0).ok_or("usage: amnesiac tree <file> [options]")?;
+    let path = args
+        .positional(0)
+        .ok_or("usage: amnesiac tree <file> [options]")?;
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
     let tree = af_core::spanning::spanning_tree(&graph, sources[0]);
     let mut out = String::new();
-    let _ = writeln!(out, "spanning tree rooted at {} ({} nodes)", tree.root(), tree.len());
+    let _ = writeln!(
+        out,
+        "spanning tree rooted at {} ({} nodes)",
+        tree.root(),
+        tree.len()
+    );
     let _ = writeln!(out, "is a BFS tree: {}", tree.is_bfs_tree_of(&graph));
     for v in graph.nodes() {
         match (tree.parent(v), tree.depth(v)) {
@@ -261,7 +317,13 @@ pub fn cmd_info(args: &Args) -> Result<String, CommandError> {
     let mut out = String::new();
     let _ = writeln!(out, "nodes: {}", graph.node_count());
     let _ = writeln!(out, "edges: {}", graph.edge_count());
-    let _ = writeln!(out, "degree: min {} / avg {:.2} / max {}", graph.min_degree(), graph.average_degree(), graph.max_degree());
+    let _ = writeln!(
+        out,
+        "degree: min {} / avg {:.2} / max {}",
+        graph.min_degree(),
+        graph.average_degree(),
+        graph.max_degree()
+    );
     let _ = writeln!(out, "connected: {}", algo::is_connected(&graph));
     let _ = writeln!(out, "bipartite: {}", algo::is_bipartite(&graph));
     match algo::diameter(&graph) {
@@ -294,7 +356,9 @@ pub fn cmd_info(args: &Args) -> Result<String, CommandError> {
 ///
 /// Returns argument errors for unknown families or bad parameters.
 pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
-    let family = args.positional(0).ok_or("usage: amnesiac gen <family> [params]")?;
+    let family = args
+        .positional(0)
+        .ok_or("usage: amnesiac gen <family> [params]")?;
     let p = |i: usize| -> Result<usize, CommandError> {
         args.positional(i)
             .ok_or_else(|| format!("{family}: missing parameter {i}").into())
@@ -472,7 +536,10 @@ mod tests {
         let args = Args::parse([path.as_str()]).unwrap();
         let out = cmd_census(&args).unwrap();
         assert!(out.contains("configurations: 64"), "{out}");
-        assert!(out.contains("node-initiated configurations all terminate: true"), "{out}");
+        assert!(
+            out.contains("node-initiated configurations all terminate: true"),
+            "{out}"
+        );
         // Too-large graphs are rejected.
         let big = write_temp("k6.g6", &io::to_graph6(&generators::complete(6)));
         let args = Args::parse([big.as_str()]).unwrap();
@@ -484,7 +551,10 @@ mod tests {
         let path = petersen_file();
         let args = Args::parse([path.as_str(), "--source", "0"]).unwrap();
         let out = cmd_tree(&args).unwrap();
-        assert!(out.contains("spanning tree rooted at 0 (10 nodes)"), "{out}");
+        assert!(
+            out.contains("spanning tree rooted at 0 (10 nodes)"),
+            "{out}"
+        );
         assert!(out.contains("is a BFS tree: true"), "{out}");
         assert!(out.contains("0: root"), "{out}");
     }

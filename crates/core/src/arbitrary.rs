@@ -79,12 +79,17 @@ where
     loop {
         match sim.step() {
             None => {
-                return SyncFate::Terminates { last_active_round: sim.round() };
+                return SyncFate::Terminates {
+                    last_active_round: sim.round(),
+                };
             }
             Some(round) => {
                 let key = sim.active_words().to_vec();
                 if let Some(&first) = seen.get(&key) {
-                    return SyncFate::Cycles { prefix: first, period: round - first };
+                    return SyncFate::Cycles {
+                        prefix: first,
+                        period: round - first,
+                    };
                 }
                 seen.insert(key, round);
             }
@@ -173,7 +178,10 @@ impl ConfigurationCensus {
 #[must_use]
 pub fn classify_all_configurations(graph: &Graph) -> ConfigurationCensus {
     let m = graph.edge_count();
-    assert!(m <= 12, "exhaustive classification is capped at 12 edges, got {m}");
+    assert!(
+        m <= 12,
+        "exhaustive classification is capped at 12 edges, got {m}"
+    );
     let arc_count = graph.arc_count();
     let total = 1u64 << arc_count;
 
@@ -184,7 +192,9 @@ pub fn classify_all_configurations(graph: &Graph) -> ConfigurationCensus {
     let mut single_arc_cycling = 0u64;
 
     for mask in 0..total {
-        let arcs = (0..arc_count).filter(|&i| mask >> i & 1 == 1).map(ArcId::from_index);
+        let arcs = (0..arc_count)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(ArcId::from_index);
         match classify_configuration(graph, arcs) {
             SyncFate::Terminates { last_active_round } => {
                 terminating += 1;
@@ -205,8 +215,7 @@ pub fn classify_all_configurations(graph: &Graph) -> ConfigurationCensus {
     let mut node_ok = true;
     if n <= 20 {
         for node_mask in 1u64..(1 << n) {
-            let sources =
-                (0..n).filter(|&i| node_mask >> i & 1 == 1).map(NodeId::new);
+            let sources = (0..n).filter(|&i| node_mask >> i & 1 == 1).map(NodeId::new);
             let mut sim = FastFlooding::new(graph, sources);
             sim.set_record_receipts(false);
             if !sim.run(4 * n as u32 + 4).is_terminated() {
@@ -237,7 +246,10 @@ mod tests {
         let a = g.arc_between(0.into(), 1.into()).unwrap();
         assert_eq!(
             classify_configuration(&g, [a]),
-            SyncFate::Cycles { prefix: 0, period: 4 }
+            SyncFate::Cycles {
+                prefix: 0,
+                period: 4
+            }
         );
     }
 
@@ -257,7 +269,9 @@ mod tests {
         let a = g.arc_between(1.into(), 2.into()).unwrap();
         assert_eq!(
             classify_configuration(&g, [a]),
-            SyncFate::Terminates { last_active_round: 3 }
+            SyncFate::Terminates {
+                last_active_round: 3
+            }
         );
     }
 
@@ -287,7 +301,9 @@ mod tests {
         let g = generators::cycle(6);
         assert_eq!(
             classify_configuration(&g, []),
-            SyncFate::Terminates { last_active_round: 0 }
+            SyncFate::Terminates {
+                last_active_round: 0
+            }
         );
     }
 

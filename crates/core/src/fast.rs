@@ -24,7 +24,9 @@ struct ArcSet {
 
 impl ArcSet {
     fn new(arc_count: usize) -> Self {
-        ArcSet { words: vec![0; arc_count.div_ceil(64)] }
+        ArcSet {
+            words: vec![0; arc_count.div_ceil(64)],
+        }
     }
 
     #[inline]
@@ -272,13 +274,19 @@ impl<'g> FastFlooding<'g> {
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
         while self.round < max_rounds {
             if self.step().is_none() {
-                return Outcome::Terminated { last_active_round: self.round };
+                return Outcome::Terminated {
+                    last_active_round: self.round,
+                };
             }
         }
         if self.active.is_empty() {
-            Outcome::Terminated { last_active_round: self.round }
+            Outcome::Terminated {
+                last_active_round: self.round,
+            }
         } else {
-            Outcome::CapReached { rounds_executed: self.round }
+            Outcome::CapReached {
+                rounds_executed: self.round,
+            }
         }
     }
 }
@@ -295,7 +303,12 @@ mod tests {
         let mut engine = SyncEngine::new(g, AmnesiacFloodingProtocol, sources.iter().copied());
         loop {
             let in_flight_fast = fast.in_flight();
-            assert_eq!(in_flight_fast.as_slice(), engine.in_flight(), "round {}", fast.round());
+            assert_eq!(
+                in_flight_fast.as_slice(),
+                engine.in_flight(),
+                "round {}",
+                fast.round()
+            );
             let a = fast.step();
             let b = engine.step();
             assert_eq!(a, b);
@@ -343,17 +356,23 @@ mod tests {
     fn figure_round_counts() {
         let g = generators::path(4);
         assert_eq!(
-            FastFlooding::new(&g, [NodeId::new(1)]).run(100).termination_round(),
+            FastFlooding::new(&g, [NodeId::new(1)])
+                .run(100)
+                .termination_round(),
             Some(2)
         );
         let g = generators::cycle(3);
         assert_eq!(
-            FastFlooding::new(&g, [NodeId::new(0)]).run(100).termination_round(),
+            FastFlooding::new(&g, [NodeId::new(0)])
+                .run(100)
+                .termination_round(),
             Some(3)
         );
         let g = generators::cycle(6);
         assert_eq!(
-            FastFlooding::new(&g, [NodeId::new(0)]).run(100).termination_round(),
+            FastFlooding::new(&g, [NodeId::new(0)])
+                .run(100)
+                .termination_round(),
             Some(3)
         );
     }
@@ -392,7 +411,12 @@ mod tests {
         let g = generators::cycle(3);
         let mut f = FastFlooding::new(&g, [NodeId::new(0)]);
         assert_eq!(f.run(1), Outcome::CapReached { rounds_executed: 1 });
-        assert_eq!(f.run(100), Outcome::Terminated { last_active_round: 3 });
+        assert_eq!(
+            f.run(100),
+            Outcome::Terminated {
+                last_active_round: 3
+            }
+        );
         // Stepping a terminated simulator returns None.
         assert_eq!(f.step(), None);
     }
@@ -402,7 +426,12 @@ mod tests {
         let g = generators::cycle(4);
         let mut f = FastFlooding::new(&g, []);
         assert!(f.is_terminated());
-        assert_eq!(f.run(10), Outcome::Terminated { last_active_round: 0 });
+        assert_eq!(
+            f.run(10),
+            Outcome::Terminated {
+                last_active_round: 0
+            }
+        );
     }
 
     #[test]

@@ -279,13 +279,19 @@ mod tests {
         let mut e = SyncEngine::new(&g, KMemoryFlooding::new(0), [NodeId::new(0)]);
         assert_eq!(
             e.run(100),
-            af_engine::Outcome::CapReached { rounds_executed: 100 }
+            af_engine::Outcome::CapReached {
+                rounds_executed: 100
+            }
         );
     }
 
     #[test]
     fn more_memory_never_increases_messages() {
-        for g in [generators::petersen(), generators::complete(6), generators::cycle(9)] {
+        for g in [
+            generators::petersen(),
+            generators::complete(6),
+            generators::cycle(9),
+        ] {
             let mut prev = u64::MAX;
             for k in 1..=4 {
                 let mut e = SyncEngine::new(&g, KMemoryFlooding::new(k), [NodeId::new(0)]);

@@ -34,7 +34,7 @@ impl RecurrencePair {
     /// duration) — Theorem 3.1 says this never happens.
     #[must_use]
     pub fn is_even_duration(&self) -> bool {
-        self.duration % 2 == 0
+        self.duration.is_multiple_of(2)
     }
 }
 
@@ -57,7 +57,11 @@ impl RoundSetAnalysis {
     /// would contradict Theorem 3.1.
     #[must_use]
     pub fn even_duration_pairs(&self) -> Vec<RecurrencePair> {
-        self.pairs.iter().copied().filter(RecurrencePair::is_even_duration).collect()
+        self.pairs
+            .iter()
+            .copied()
+            .filter(RecurrencePair::is_even_duration)
+            .collect()
     }
 
     /// Returns `true` iff the proof's `Re` is empty for this run.
@@ -120,7 +124,10 @@ pub fn analyze(run: &FloodingRun) -> RoundSetAnalysis {
         }
     }
     pairs.sort_unstable_by_key(|p| (p.start, p.duration, p.node));
-    RoundSetAnalysis { pairs, max_occurrences }
+    RoundSetAnalysis {
+        pairs,
+        max_occurrences,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +138,11 @@ mod tests {
 
     #[test]
     fn bipartite_runs_have_no_recurrences_at_all() {
-        for g in [generators::path(7), generators::cycle(8), generators::grid(3, 4)] {
+        for g in [
+            generators::path(7),
+            generators::cycle(8),
+            generators::grid(3, 4),
+        ] {
             for v in g.nodes() {
                 let run = flood(&g, v);
                 let a = analyze(&run);
@@ -154,7 +165,10 @@ mod tests {
                 let run = flood(&g, v);
                 let a = analyze(&run);
                 assert!(!a.pairs().is_empty(), "{g}: odd cycles force recurrences");
-                assert!(a.even_sequences_empty(), "{g}: Theorem 3.1's Re must be empty");
+                assert!(
+                    a.even_sequences_empty(),
+                    "{g}: Theorem 3.1's Re must be empty"
+                );
                 assert!(a.max_occurrences() <= 2);
             }
         }
@@ -167,9 +181,21 @@ mod tests {
         // R0 = {1}, R1 = {0, 2}, R2 = {0, 2}, R3 = {1}
         let pairs = a.pairs();
         assert_eq!(pairs.len(), 3);
-        assert!(pairs.contains(&RecurrencePair { node: 1.into(), start: 0, duration: 3 }));
-        assert!(pairs.contains(&RecurrencePair { node: 0.into(), start: 1, duration: 1 }));
-        assert!(pairs.contains(&RecurrencePair { node: 2.into(), start: 1, duration: 1 }));
+        assert!(pairs.contains(&RecurrencePair {
+            node: 1.into(),
+            start: 0,
+            duration: 3
+        }));
+        assert!(pairs.contains(&RecurrencePair {
+            node: 0.into(),
+            start: 1,
+            duration: 1
+        }));
+        assert!(pairs.contains(&RecurrencePair {
+            node: 2.into(),
+            start: 1,
+            duration: 1
+        }));
         assert_eq!(a.even_duration_pairs().len(), 0);
     }
 
@@ -184,8 +210,16 @@ mod tests {
 
     #[test]
     fn recurrence_pair_parity_helper() {
-        let even = RecurrencePair { node: 0.into(), start: 1, duration: 2 };
-        let odd = RecurrencePair { node: 0.into(), start: 1, duration: 3 };
+        let even = RecurrencePair {
+            node: 0.into(),
+            start: 1,
+            duration: 2,
+        };
+        let odd = RecurrencePair {
+            node: 0.into(),
+            start: 1,
+            duration: 3,
+        };
         assert!(even.is_even_duration());
         assert!(!odd.is_even_duration());
     }

@@ -34,7 +34,11 @@ impl<'g> AmnesiacFlooding<'g> {
     /// paper's main setting).
     #[must_use]
     pub fn single_source(graph: &'g Graph, source: NodeId) -> Self {
-        AmnesiacFlooding { graph, sources: vec![source], max_rounds: None }
+        AmnesiacFlooding {
+            graph,
+            sources: vec![source],
+            max_rounds: None,
+        }
     }
 
     /// A flood started simultaneously by every node in `sources` (the full
@@ -85,8 +89,7 @@ impl<'g> AmnesiacFlooding<'g> {
             receive_rounds.push(sim.receipts(v).to_vec());
         }
         let rounds_executed = sim.round();
-        let mut round_sets: Vec<Vec<NodeId>> =
-            vec![Vec::new(); rounds_executed as usize + 1];
+        let mut round_sets: Vec<Vec<NodeId>> = vec![Vec::new(); rounds_executed as usize + 1];
         let mut sorted_sources = self.sources.clone();
         sorted_sources.sort_unstable();
         sorted_sources.dedup();
@@ -176,9 +179,13 @@ impl FloodingRun {
     #[must_use]
     pub fn outcome(&self) -> Outcome {
         if self.outcome_terminated {
-            Outcome::Terminated { last_active_round: self.outcome_round }
+            Outcome::Terminated {
+                last_active_round: self.outcome_round,
+            }
         } else {
-            Outcome::CapReached { rounds_executed: self.outcome_round }
+            Outcome::CapReached {
+                rounds_executed: self.outcome_round,
+            }
         }
     }
 
@@ -339,8 +346,7 @@ mod tests {
     #[test]
     fn multi_source_round_zero_is_source_set() {
         let g = generators::cycle(8);
-        let run =
-            AmnesiacFlooding::multi_source(&g, [4.into(), 0.into(), 4.into()]).run();
+        let run = AmnesiacFlooding::multi_source(&g, [4.into(), 0.into(), 4.into()]).run();
         assert_eq!(run.round_set(0), &[0.into(), 4.into()]);
         assert!(run.terminated());
     }
@@ -360,7 +366,12 @@ mod tests {
     fn outcome_roundtrip() {
         let g = generators::path(3);
         let run = flood(&g, 0.into());
-        assert_eq!(run.outcome(), Outcome::Terminated { last_active_round: 2 });
+        assert_eq!(
+            run.outcome(),
+            Outcome::Terminated {
+                last_active_round: 2
+            }
+        );
     }
 
     #[cfg(feature = "serde")]

@@ -147,7 +147,11 @@ pub fn spanning_tree(graph: &Graph, source: NodeId) -> SpanningTree {
         sim.step();
     }
 
-    SpanningTree { root: source, parent, depth }
+    SpanningTree {
+        root: source,
+        parent,
+        depth,
+    }
 }
 
 #[cfg(test)]

@@ -105,9 +105,7 @@ where
     I: IntoIterator<Item = NodeId>,
 {
     let dc = double_cover(graph);
-    let lifted = sources
-        .into_iter()
-        .map(|v| dc.lift(v, Parity::Even));
+    let lifted = sources.into_iter().map(|v| dc.lift(v, Parity::Even));
     let bfs = algo::multi_bfs(dc.graph(), lifted);
 
     let n = graph.node_count();
@@ -137,7 +135,11 @@ where
         .filter(|&(a, b)| bfs.is_reachable(a) && bfs.is_reachable(b))
         .count() as u64;
 
-    Prediction { receive_rounds, termination_round: termination, messages }
+    Prediction {
+        receive_rounds,
+        termination_round: termination,
+        messages,
+    }
 }
 
 /// The same prediction as [`predict`], computed by parity-constrained BFS
@@ -187,7 +189,11 @@ where
             messages += 1;
         }
     }
-    Prediction { receive_rounds, termination_round: termination, messages }
+    Prediction {
+        receive_rounds,
+        termination_round: termination,
+        messages,
+    }
 }
 
 /// The paper's termination-time upper bound for `graph`: `D` if bipartite
@@ -207,7 +213,11 @@ where
 #[must_use]
 pub fn upper_bound(graph: &Graph) -> Option<u32> {
     let d = algo::diameter(graph)?;
-    Some(if algo::is_bipartite(graph) { d } else { 2 * d + 1 })
+    Some(if algo::is_bipartite(graph) {
+        d
+    } else {
+        2 * d + 1
+    })
 }
 
 /// Lemma 2.1's exact termination time for a connected bipartite graph:
@@ -245,9 +255,9 @@ mod tests {
     #[test]
     fn oracle_matches_simulation_on_figures() {
         for (g, s) in [
-            (generators::path(4), 1usize),  // Figure 1
-            (generators::cycle(3), 1),      // Figure 2
-            (generators::cycle(6), 0),      // Figure 3
+            (generators::path(4), 1usize), // Figure 1
+            (generators::cycle(3), 1),     // Figure 2
+            (generators::cycle(6), 0),     // Figure 3
         ] {
             let p = predict(&g, [NodeId::new(s)]);
             let r = flood(&g, NodeId::new(s));

@@ -81,10 +81,17 @@ pub fn render_run(graph: &Graph, run: &FloodingRun) -> String {
     }
     match run.termination_round() {
         Some(t) => {
-            let _ = writeln!(out, "terminated after round {t}: no edge carries the message");
+            let _ = writeln!(
+                out,
+                "terminated after round {t}: no edge carries the message"
+            );
         }
         None => {
-            let _ = writeln!(out, "round cap reached after {} rounds", run.rounds_executed());
+            let _ = writeln!(
+                out,
+                "round cap reached after {} rounds",
+                run.rounds_executed()
+            );
         }
     }
     out
@@ -119,9 +126,18 @@ pub fn render_receipts(graph: &Graph, run: &FloodingRun) -> String {
         let rendered = if rounds.is_empty() {
             "-".to_string()
         } else {
-            rounds.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+            rounds
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         };
-        let _ = writeln!(out, "  {}: receives at rounds [{}]", node_label(v, n), rendered);
+        let _ = writeln!(
+            out,
+            "  {}: receives at rounds [{}]",
+            node_label(v, n),
+            rendered
+        );
     }
     out
 }

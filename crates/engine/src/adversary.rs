@@ -150,8 +150,14 @@ impl RandomDelay {
     /// Panics if `p_hold` is not within `0.0..=1.0`.
     #[must_use]
     pub fn new(p_hold: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p_hold), "probability must be in [0, 1], got {p_hold}");
-        RandomDelay { p_hold, rng: ChaCha8Rng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&p_hold),
+            "probability must be in [0, 1], got {p_hold}"
+        );
+        RandomDelay {
+            p_hold,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -186,8 +192,14 @@ mod tests {
     fn deliver_all_selects_everything() {
         let g = generators::cycle(4);
         let msgs = vec![
-            InFlightMessage { arc: g.arcs().next().unwrap(), age: 0 },
-            InFlightMessage { arc: g.arcs().nth(3).unwrap(), age: 2 },
+            InFlightMessage {
+                arc: g.arcs().next().unwrap(),
+                age: 0,
+            },
+            InFlightMessage {
+                arc: g.arcs().nth(3).unwrap(),
+                age: 2,
+            },
         ];
         let sel = DeliverAll.select(1, &msgs, &g);
         assert_eq!(sel.len(), 2);
@@ -198,8 +210,14 @@ mod tests {
         // Path 0-1-2, messages 0->1 and 2->1 converge on node 1.
         let g = generators::path(3);
         let msgs = vec![
-            InFlightMessage { arc: g.arc_between(0.into(), 1.into()).unwrap(), age: 0 },
-            InFlightMessage { arc: g.arc_between(2.into(), 1.into()).unwrap(), age: 0 },
+            InFlightMessage {
+                arc: g.arc_between(0.into(), 1.into()).unwrap(),
+                age: 0,
+            },
+            InFlightMessage {
+                arc: g.arc_between(2.into(), 1.into()).unwrap(),
+                age: 0,
+            },
         ];
         let sel = PerHeadThrottle.select(1, &msgs, &g);
         assert_eq!(sel.len(), 1, "one of the two colliding messages is held");
@@ -209,8 +227,14 @@ mod tests {
     fn per_head_throttle_passes_distinct_heads() {
         let g = generators::path(3);
         let msgs = vec![
-            InFlightMessage { arc: g.arc_between(1.into(), 0.into()).unwrap(), age: 0 },
-            InFlightMessage { arc: g.arc_between(1.into(), 2.into()).unwrap(), age: 0 },
+            InFlightMessage {
+                arc: g.arc_between(1.into(), 0.into()).unwrap(),
+                age: 0,
+            },
+            InFlightMessage {
+                arc: g.arc_between(1.into(), 2.into()).unwrap(),
+                age: 0,
+            },
         ];
         let sel = PerHeadThrottle.select(1, &msgs, &g);
         assert_eq!(sel.len(), 2);
@@ -222,8 +246,14 @@ mod tests {
         let a01 = g.arc_between(0.into(), 1.into()).unwrap();
         let a21 = g.arc_between(2.into(), 1.into()).unwrap();
         let msgs = vec![
-            InFlightMessage { arc: a01.min(a21), age: 0 },
-            InFlightMessage { arc: a01.max(a21), age: 3 },
+            InFlightMessage {
+                arc: a01.min(a21),
+                age: 0,
+            },
+            InFlightMessage {
+                arc: a01.max(a21),
+                age: 3,
+            },
         ];
         let sel = OneAtATime.select(1, &msgs, &g);
         assert_eq!(sel, vec![a01.max(a21)]);
@@ -239,7 +269,12 @@ mod tests {
             [NodeId::new(0)],
         );
         let out = a.run(100).unwrap();
-        assert_eq!(out, AsyncOutcome::Terminated { last_active_tick: 3 });
+        assert_eq!(
+            out,
+            AsyncOutcome::Terminated {
+                last_active_tick: 3
+            }
+        );
     }
 
     #[test]
@@ -253,7 +288,12 @@ mod tests {
         );
         let out = a.run(1000).unwrap();
         // Every hop now costs 3 ticks (held twice, delivered on the third).
-        assert_eq!(out, AsyncOutcome::Terminated { last_active_tick: 9 });
+        assert_eq!(
+            out,
+            AsyncOutcome::Terminated {
+                last_active_tick: 9
+            }
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub trait Adversary {
 /// Marker trait: the adversary's [`Adversary::select`] is a pure function
 /// of `(in_flight, graph)` — no internal state, no dependence on `tick`.
 ///
-/// Configuration-repeat certification ([`crate::certify`]) is only sound
+/// Configuration-repeat certification ([`crate::certify()`]) is only sound
 /// for deterministic adversaries: a repeated configuration then implies the
 /// *identical* infinite continuation.
 pub trait DeterministicAdversary: Adversary {}
@@ -83,7 +83,10 @@ impl fmt::Display for AsyncError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsyncError::NotInFlight { arc, tick } => {
-                write!(f, "adversary selected arc {arc} at tick {tick} which is not in flight")
+                write!(
+                    f,
+                    "adversary selected arc {arc} at tick {tick} which is not in flight"
+                )
             }
         }
     }
@@ -258,7 +261,10 @@ impl<'g, P: Protocol, A: Adversary> AsyncEngine<'g, P, A> {
     /// [`DeterministicAdversary`], equal configurations have equal futures.
     #[must_use]
     pub fn configuration(&self) -> Configuration<P::State> {
-        Configuration { messages: self.in_flight.clone(), states: self.states.clone() }
+        Configuration {
+            messages: self.in_flight.clone(),
+            states: self.states.clone(),
+        }
     }
 
     /// Executes one tick. Returns `Ok(None)` if already terminated.
@@ -279,7 +285,11 @@ impl<'g, P: Protocol, A: Adversary> AsyncEngine<'g, P, A> {
         selected.sort_unstable();
         selected.dedup();
         for &arc in &selected {
-            if self.in_flight.binary_search_by_key(&arc, |m| m.arc).is_err() {
+            if self
+                .in_flight
+                .binary_search_by_key(&arc, |m| m.arc)
+                .is_err()
+            {
                 return Err(AsyncError::NotInFlight { arc, tick });
             }
         }
@@ -301,7 +311,10 @@ impl<'g, P: Protocol, A: Adversary> AsyncEngine<'g, P, A> {
                 }
                 inbox.push(tail);
             } else {
-                held.push(InFlightMessage { arc: m.arc, age: m.age + 1 });
+                held.push(InFlightMessage {
+                    arc: m.arc,
+                    age: m.age + 1,
+                });
             }
         }
         receivers.sort_unstable();
@@ -310,9 +323,9 @@ impl<'g, P: Protocol, A: Adversary> AsyncEngine<'g, P, A> {
         for &v in &receivers {
             let mut from = core::mem::take(&mut self.inbox[v.index()]);
             from.sort_unstable();
-            let targets = self
-                .protocol
-                .on_receive(v, &from, &mut self.states[v.index()], self.graph);
+            let targets =
+                self.protocol
+                    .on_receive(v, &from, &mut self.states[v.index()], self.graph);
             for t in targets {
                 let arc = self
                     .graph
@@ -340,13 +353,19 @@ impl<'g, P: Protocol, A: Adversary> AsyncEngine<'g, P, A> {
     pub fn run(&mut self, max_ticks: u64) -> Result<AsyncOutcome, AsyncError> {
         while self.tick < max_ticks {
             if self.step()?.is_none() {
-                return Ok(AsyncOutcome::Terminated { last_active_tick: self.last_active_tick });
+                return Ok(AsyncOutcome::Terminated {
+                    last_active_tick: self.last_active_tick,
+                });
             }
         }
         if self.in_flight.is_empty() {
-            Ok(AsyncOutcome::Terminated { last_active_tick: self.last_active_tick })
+            Ok(AsyncOutcome::Terminated {
+                last_active_tick: self.last_active_tick,
+            })
         } else {
-            Ok(AsyncOutcome::CapReached { ticks_executed: self.tick })
+            Ok(AsyncOutcome::CapReached {
+                ticks_executed: self.tick,
+            })
         }
     }
 }
@@ -369,8 +388,7 @@ mod tests {
         ] {
             let mut sync = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(s)]);
             let sync_out = sync.run(1000);
-            let mut asy =
-                AsyncEngine::new(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(s)]);
+            let mut asy = AsyncEngine::new(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(s)]);
             let asy_out = asy.run(1000).unwrap();
             assert_eq!(
                 sync_out.termination_round().map(u64::from),
@@ -387,10 +405,14 @@ mod tests {
     fn per_head_throttle_keeps_triangle_alive() {
         // The paper's Figure 5: the adversary prevents termination on C3.
         let g = generators::cycle(3);
-        let mut e =
-            AsyncEngine::new(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)]);
+        let mut e = AsyncEngine::new(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)]);
         let out = e.run(10_000).unwrap();
-        assert_eq!(out, AsyncOutcome::CapReached { ticks_executed: 10_000 });
+        assert_eq!(
+            out,
+            AsyncOutcome::CapReached {
+                ticks_executed: 10_000
+            }
+        );
     }
 
     #[test]
@@ -417,7 +439,10 @@ mod tests {
         let out = e.run(10).unwrap();
         assert_eq!(out, AsyncOutcome::CapReached { ticks_executed: 10 });
         assert_eq!(e.total_messages(), 0);
-        assert!(e.in_flight().iter().all(|m| m.age == 10), "frozen messages keep aging");
+        assert!(
+            e.in_flight().iter().all(|m| m.age == 10),
+            "frozen messages keep aging"
+        );
     }
 
     #[test]
@@ -447,8 +472,7 @@ mod tests {
     #[test]
     fn ages_grow_on_held_messages() {
         let g = generators::cycle(3);
-        let mut e =
-            AsyncEngine::new(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)]);
+        let mut e = AsyncEngine::new(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)]);
         let mut saw_aged = false;
         for _ in 0..50 {
             if e.step().unwrap().is_none() {

@@ -156,7 +156,9 @@ where
                     }));
                 }
                 if tick >= max_ticks {
-                    return Ok(Certificate::Unresolved { ticks_executed: tick });
+                    return Ok(Certificate::Unresolved {
+                        ticks_executed: tick,
+                    });
                 }
                 seen.insert(config, tick);
             }
@@ -174,8 +176,14 @@ mod tests {
     #[test]
     fn triangle_under_throttle_is_certified_non_terminating() {
         let g = generators::cycle(3);
-        let cert = certify(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(1)], 10_000)
-            .unwrap();
+        let cert = certify(
+            &g,
+            TestAmnesiacFlooding,
+            PerHeadThrottle,
+            [NodeId::new(1)],
+            10_000,
+        )
+        .unwrap();
         let lasso = cert.lasso().expect("figure 5 says non-terminating");
         assert!(lasso.period() > 0);
         assert!(lasso.repeat_tick() <= 20, "the triangle lasso is tiny");
@@ -185,9 +193,14 @@ mod tests {
     fn odd_cycles_under_throttle_never_terminate() {
         for n in [3usize, 5, 7] {
             let g = generators::cycle(n);
-            let cert =
-                certify(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(0)], 100_000)
-                    .unwrap();
+            let cert = certify(
+                &g,
+                TestAmnesiacFlooding,
+                PerHeadThrottle,
+                [NodeId::new(0)],
+                100_000,
+            )
+            .unwrap();
             assert!(cert.is_non_terminating(), "C{n}");
         }
     }
@@ -195,23 +208,50 @@ mod tests {
     #[test]
     fn triangle_under_deliver_all_terminates() {
         let g = generators::cycle(3);
-        let cert =
-            certify(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)], 1000).unwrap();
-        assert_eq!(cert, Certificate::Terminated { last_active_tick: 3 });
+        let cert = certify(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)], 1000).unwrap();
+        assert_eq!(
+            cert,
+            Certificate::Terminated {
+                last_active_tick: 3
+            }
+        );
     }
 
     #[test]
     fn trees_terminate_under_every_builtin_deterministic_adversary() {
         let g = generators::binary_tree(3);
-        let c1 = certify(&g, TestAmnesiacFlooding, DeliverAll, [NodeId::new(0)], 100_000)
-            .unwrap();
-        let c2 = certify(&g, TestAmnesiacFlooding, OneAtATime, [NodeId::new(0)], 100_000)
-            .unwrap();
-        let c3 = certify(&g, TestAmnesiacFlooding, PerHeadThrottle, [NodeId::new(0)], 100_000)
-            .unwrap();
-        let c4 =
-            certify(&g, TestAmnesiacFlooding, BoundedDelay::new(3), [NodeId::new(0)], 100_000)
-                .unwrap();
+        let c1 = certify(
+            &g,
+            TestAmnesiacFlooding,
+            DeliverAll,
+            [NodeId::new(0)],
+            100_000,
+        )
+        .unwrap();
+        let c2 = certify(
+            &g,
+            TestAmnesiacFlooding,
+            OneAtATime,
+            [NodeId::new(0)],
+            100_000,
+        )
+        .unwrap();
+        let c3 = certify(
+            &g,
+            TestAmnesiacFlooding,
+            PerHeadThrottle,
+            [NodeId::new(0)],
+            100_000,
+        )
+        .unwrap();
+        let c4 = certify(
+            &g,
+            TestAmnesiacFlooding,
+            BoundedDelay::new(3),
+            [NodeId::new(0)],
+            100_000,
+        )
+        .unwrap();
         for c in [c1, c2, c3, c4] {
             assert!(matches!(c, Certificate::Terminated { .. }), "{c:?}");
         }
@@ -221,16 +261,29 @@ mod tests {
     fn classic_flooding_terminates_even_under_throttle() {
         // The flag baseline is immune to the adversary: every node forwards
         // at most once, so the message supply is finite.
-        for g in [generators::cycle(3), generators::cycle(5), generators::complete(4)] {
-            let cert = certify(&g, TestClassicFlooding, PerHeadThrottle, [NodeId::new(0)], 100_000)
-                .unwrap();
+        for g in [
+            generators::cycle(3),
+            generators::cycle(5),
+            generators::complete(4),
+        ] {
+            let cert = certify(
+                &g,
+                TestClassicFlooding,
+                PerHeadThrottle,
+                [NodeId::new(0)],
+                100_000,
+            )
+            .unwrap();
             assert!(matches!(cert, Certificate::Terminated { .. }), "{g}");
         }
     }
 
     #[test]
     fn lasso_accessors() {
-        let l = Lasso { first_visit_tick: 4, repeat_tick: 9 };
+        let l = Lasso {
+            first_visit_tick: 4,
+            repeat_tick: 9,
+        };
         assert_eq!(l.first_visit_tick(), 4);
         assert_eq!(l.repeat_tick(), 9);
         assert_eq!(l.period(), 5);

@@ -214,9 +214,9 @@ impl<'g, P: Protocol> FaultySyncEngine<'g, P> {
             let mut from = core::mem::take(&mut self.inbox[v.index()]);
             from.sort_unstable();
             self.informed[v.index()] = true;
-            let targets = self
-                .protocol
-                .on_receive(v, &from, &mut self.states[v.index()], self.graph);
+            let targets =
+                self.protocol
+                    .on_receive(v, &from, &mut self.states[v.index()], self.graph);
             for t in targets {
                 let arc = self
                     .graph
@@ -238,13 +238,19 @@ impl<'g, P: Protocol> FaultySyncEngine<'g, P> {
         use crate::sync::Outcome;
         while self.round < max_rounds {
             if self.step().is_none() {
-                return Outcome::Terminated { last_active_round: self.round };
+                return Outcome::Terminated {
+                    last_active_round: self.round,
+                };
             }
         }
         if self.pending.is_empty() {
-            Outcome::Terminated { last_active_round: self.round }
+            Outcome::Terminated {
+                last_active_round: self.round,
+            }
         } else {
-            Outcome::CapReached { rounds_executed: self.round }
+            Outcome::CapReached {
+                rounds_executed: self.round,
+            }
         }
     }
 }
@@ -258,8 +264,7 @@ mod tests {
     #[test]
     fn zero_loss_matches_fault_free_run() {
         let g = generators::petersen();
-        let mut faulty =
-            FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
+        let mut faulty = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
         let out = faulty.run(1000);
         let mut clean = crate::sync::SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)]);
         let clean_out = clean.run(1000);
@@ -332,7 +337,10 @@ mod tests {
                 }
             }
         }
-        assert!(witnessed, "10% loss should sustain a wave past 2D+1 for some seed");
+        assert!(
+            witnessed,
+            "10% loss should sustain a wave past 2D+1 for some seed"
+        );
     }
 
     #[test]
@@ -352,10 +360,17 @@ mod tests {
         // Path 0-1-2-3: crashing node 1 at round 1 stops everything past it.
         let g = generators::path(4);
         let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
-        e.schedule_crash(Crash { node: NodeId::new(1), round: 1 });
+        e.schedule_crash(Crash {
+            node: NodeId::new(1),
+            round: 1,
+        });
         let out = e.run(100);
         assert!(out.is_terminated());
-        assert_eq!(e.informed_count(), 1, "only the source; the dead node blocks all receipt");
+        assert_eq!(
+            e.informed_count(),
+            1,
+            "only the source; the dead node blocks all receipt"
+        );
     }
 
     #[test]
@@ -364,7 +379,10 @@ mod tests {
         let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
         // Node 1 receives in round 1 and sends in round 2; crashing it at
         // round 3 changes nothing for 2 and 3.
-        e.schedule_crash(Crash { node: NodeId::new(1), round: 3 });
+        e.schedule_crash(Crash {
+            node: NodeId::new(1),
+            round: 3,
+        });
         e.run(100);
         assert_eq!(e.informed_count(), 4, "source plus nodes 1, 2, 3");
     }
@@ -374,7 +392,10 @@ mod tests {
         // On a cycle, one crash leaves the other direction intact.
         let g = generators::cycle(8);
         let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
-        e.schedule_crash(Crash { node: NodeId::new(1), round: 1 });
+        e.schedule_crash(Crash {
+            node: NodeId::new(1),
+            round: 1,
+        });
         e.run(100);
         // Everyone except the dead node hears the message the long way
         // (the source is informed by construction).
@@ -385,8 +406,14 @@ mod tests {
     fn earlier_crash_round_wins() {
         let g = generators::path(3);
         let mut e = FaultySyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0)], 0.0, 1);
-        e.schedule_crash(Crash { node: NodeId::new(1), round: 5 });
-        e.schedule_crash(Crash { node: NodeId::new(1), round: 1 });
+        e.schedule_crash(Crash {
+            node: NodeId::new(1),
+            round: 5,
+        });
+        e.schedule_crash(Crash {
+            node: NodeId::new(1),
+            round: 1,
+        });
         e.run(100);
         assert_eq!(e.informed_count(), 1);
     }

@@ -10,7 +10,7 @@
 //!   sends, and termination is "no edge carries the message".
 //! * [`AsyncEngine`] — the Section-4 asynchronous variant: an
 //!   [`Adversary`] decides which in-flight messages are delivered at each
-//!   tick. Deterministic adversaries compose with [`certify`], which turns
+//!   tick. Deterministic adversaries compose with [`certify()`], which turns
 //!   a revisited configuration into a machine-checkable **non-termination
 //!   certificate** (a lasso).
 //!

@@ -18,7 +18,7 @@ use core::hash::Hash;
 /// forward the message to. The engine owns the per-node state (`State`) and
 /// hands it to the callbacks; `State` must be `Eq + Hash` so that
 /// asynchronous runs can be certified by configuration hashing (see
-/// [`crate::certify`]).
+/// [`crate::certify()`]).
 ///
 /// # Examples
 ///
@@ -111,7 +111,13 @@ pub(crate) mod test_protocols {
             graph.neighbors(node).to_vec()
         }
 
-        fn on_receive(&self, node: NodeId, from: &[NodeId], _: &mut (), graph: &Graph) -> Vec<NodeId> {
+        fn on_receive(
+            &self,
+            node: NodeId,
+            from: &[NodeId],
+            _: &mut (),
+            graph: &Graph,
+        ) -> Vec<NodeId> {
             graph
                 .neighbors(node)
                 .iter()
@@ -138,7 +144,13 @@ pub(crate) mod test_protocols {
             graph.neighbors(node).to_vec()
         }
 
-        fn on_receive(&self, node: NodeId, from: &[NodeId], state: &mut bool, graph: &Graph) -> Vec<NodeId> {
+        fn on_receive(
+            &self,
+            node: NodeId,
+            from: &[NodeId],
+            state: &mut bool,
+            graph: &Graph,
+        ) -> Vec<NodeId> {
             if *state {
                 return Vec::new();
             }

@@ -266,9 +266,9 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
             let mut from = from;
             from.sort_unstable();
             self.receipts[v.index()].push(round);
-            let targets = self
-                .protocol
-                .on_receive(v, &from, &mut self.states[v.index()], self.graph);
+            let targets =
+                self.protocol
+                    .on_receive(v, &from, &mut self.states[v.index()], self.graph);
             for t in targets {
                 let arc = self
                     .graph
@@ -285,7 +285,11 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
         self.pending = sends;
 
         if self.trace_enabled {
-            self.trace.push(RoundTrace { round, delivered, receivers });
+            self.trace.push(RoundTrace {
+                round,
+                delivered,
+                receivers,
+            });
         }
         Some(round)
     }
@@ -294,13 +298,19 @@ impl<'g, P: Protocol> SyncEngine<'g, P> {
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
         while self.round < max_rounds {
             if self.step().is_none() {
-                return Outcome::Terminated { last_active_round: self.round };
+                return Outcome::Terminated {
+                    last_active_round: self.round,
+                };
             }
         }
         if self.pending.is_empty() {
-            Outcome::Terminated { last_active_round: self.round }
+            Outcome::Terminated {
+                last_active_round: self.round,
+            }
         } else {
-            Outcome::CapReached { rounds_executed: self.round }
+            Outcome::CapReached {
+                rounds_executed: self.round,
+            }
         }
     }
 }
@@ -321,7 +331,12 @@ mod tests {
     fn figure1_line_from_b_terminates_in_two_rounds() {
         let g = generators::path(4);
         let (o, _) = run_af(&g, 1, 100);
-        assert_eq!(o, Outcome::Terminated { last_active_round: 2 });
+        assert_eq!(
+            o,
+            Outcome::Terminated {
+                last_active_round: 2
+            }
+        );
     }
 
     #[test]
@@ -360,7 +375,12 @@ mod tests {
     fn single_node_terminates_immediately() {
         let g = Graph::empty(1);
         let (o, msgs) = run_af(&g, 0, 10);
-        assert_eq!(o, Outcome::Terminated { last_active_round: 0 });
+        assert_eq!(
+            o,
+            Outcome::Terminated {
+                last_active_round: 0
+            }
+        );
         assert_eq!(msgs, 0);
     }
 
@@ -369,7 +389,12 @@ mod tests {
         let g = generators::cycle(5);
         let mut e = SyncEngine::new(&g, TestAmnesiacFlooding, []);
         assert!(e.is_terminated());
-        assert_eq!(e.run(10), Outcome::Terminated { last_active_round: 0 });
+        assert_eq!(
+            e.run(10),
+            Outcome::Terminated {
+                last_active_round: 0
+            }
+        );
     }
 
     #[test]
@@ -380,7 +405,12 @@ mod tests {
         assert_eq!(e.run(2), Outcome::CapReached { rounds_executed: 2 });
         assert!(!e.is_terminated());
         // Continuing finishes the job.
-        assert_eq!(e.run(10), Outcome::Terminated { last_active_round: 3 });
+        assert_eq!(
+            e.run(10),
+            Outcome::Terminated {
+                last_active_round: 3
+            }
+        );
     }
 
     #[test]
@@ -416,11 +446,7 @@ mod tests {
         // Both endpoints of a single edge start: they exchange M, then both
         // send to the complement of {other} = nothing.
         let g = generators::path(2);
-        let mut e = SyncEngine::new(
-            &g,
-            TestAmnesiacFlooding,
-            [NodeId::new(0), NodeId::new(1)],
-        );
+        let mut e = SyncEngine::new(&g, TestAmnesiacFlooding, [NodeId::new(0), NodeId::new(1)]);
         assert_eq!(e.run(10).termination_round(), Some(1));
         assert_eq!(e.total_messages(), 2);
     }

@@ -141,7 +141,10 @@ where
     let mut srcs = Vec::new();
 
     for s in sources {
-        assert!(s.index() < n, "source {s} out of range for graph with {n} nodes");
+        assert!(
+            s.index() < n,
+            "source {s} out of range for graph with {n} nodes"
+        );
         if dist[s.index()].is_none() {
             dist[s.index()] = Some(0);
             queue.push_back(s);
@@ -160,7 +163,11 @@ where
         }
     }
 
-    BfsTree { sources: srcs, dist, parent }
+    BfsTree {
+        sources: srcs,
+        dist,
+        parent,
+    }
 }
 
 #[cfg(test)]

@@ -151,9 +151,7 @@ pub fn bipartiteness(graph: &Graph) -> Bipartiteness {
                         // Same-side edge: lift the u..w tree paths to their
                         // lowest common ancestor; path(u) + edge + path(w)
                         // closes an odd cycle.
-                        return Bipartiteness::OddCycle(odd_cycle_witness(
-                            u, w, &parent, &depth,
-                        ));
+                        return Bipartiteness::OddCycle(odd_cycle_witness(u, w, &parent, &depth));
                     }
                     Some(_) => {}
                 }
@@ -161,10 +159,7 @@ pub fn bipartiteness(graph: &Graph) -> Bipartiteness {
         }
     }
 
-    let side = side
-        .into_iter()
-        .map(|s| s.unwrap_or(Side::Left))
-        .collect();
+    let side = side.into_iter().map(|s| s.unwrap_or(Side::Left)).collect();
     Bipartiteness::Bipartite(Coloring { side })
 }
 

@@ -99,7 +99,10 @@ impl DistanceMatrix {
     #[inline]
     #[must_use]
     pub fn get(&self, u: NodeId, v: NodeId) -> Option<u32> {
-        assert!(u.index() < self.n && v.index() < self.n, "node out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "node out of range"
+        );
         self.dist[u.index() * self.n + v.index()]
     }
 
@@ -197,7 +200,7 @@ mod tests {
     fn hypercube_diameter_is_dimension() {
         for d in 1..=5 {
             let g = generators::hypercube(d);
-            assert_eq!(diameter(&g), Some(d as u32));
+            assert_eq!(diameter(&g), Some(d));
         }
     }
 }

@@ -35,7 +35,7 @@ impl Parity {
     #[inline]
     #[must_use]
     pub fn of(value: u32) -> Self {
-        if value % 2 == 0 {
+        if value.is_multiple_of(2) {
             Parity::Even
         } else {
             Parity::Odd
@@ -129,7 +129,10 @@ pub fn double_cover(graph: &Graph) -> DoubleCover {
             .add_edge(u.index() + n, w.index())
             .expect("lifted endpoints are in range");
     }
-    DoubleCover { graph: builder.build(), base_n: n }
+    DoubleCover {
+        graph: builder.build(),
+        base_n: n,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +156,11 @@ mod tests {
 
     #[test]
     fn cover_of_connected_bipartite_graph_is_two_copies() {
-        for g in [generators::path(5), generators::cycle(8), generators::grid(3, 3)] {
+        for g in [
+            generators::path(5),
+            generators::cycle(8),
+            generators::grid(3, 3),
+        ] {
             let dc = double_cover(&g);
             let comps = connected_components(dc.graph());
             assert_eq!(comps.count(), 2);
@@ -163,7 +170,11 @@ mod tests {
 
     #[test]
     fn cover_of_connected_nonbipartite_graph_is_connected() {
-        for g in [generators::cycle(5), generators::complete(4), generators::petersen()] {
+        for g in [
+            generators::cycle(5),
+            generators::complete(4),
+            generators::petersen(),
+        ] {
             assert!(is_connected(double_cover(&g).graph()));
         }
     }

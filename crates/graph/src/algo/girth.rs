@@ -104,7 +104,16 @@ mod tests {
         // triangle 0-1-2 plus pending 5-cycle 2-3-4-5-6
         let g = crate::Graph::from_edges(
             7,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 2)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+            ],
         )
         .unwrap();
         assert_eq!(girth(&g), Some(3));

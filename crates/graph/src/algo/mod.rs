@@ -11,7 +11,6 @@ mod girth;
 mod parity;
 
 pub use bfs::{bfs, multi_bfs, BfsTree};
-pub use parity::{odd_girth, parity_distances, ParityDistances};
 pub use bipartite::{bipartiteness, is_bipartite, Bipartiteness, Coloring, Side};
 pub use components::{connected_components, is_connected, Components};
 pub use distance::{
@@ -19,3 +18,4 @@ pub use distance::{
 };
 pub use double_cover::{double_cover, DoubleCover, Parity};
 pub use girth::girth;
+pub use parity::{odd_girth, parity_distances, ParityDistances};

@@ -61,7 +61,12 @@ impl ParityDistances {
     /// flooding termination round from these sources.
     #[must_use]
     pub fn max_finite(&self) -> Option<u32> {
-        self.even.iter().chain(self.odd.iter()).flatten().copied().max()
+        self.even
+            .iter()
+            .chain(self.odd.iter())
+            .flatten()
+            .copied()
+            .max()
     }
 }
 
@@ -104,10 +109,18 @@ where
     }
 
     while let Some((u, is_odd)) = queue.pop_front() {
-        let du = if is_odd { odd[u.index()] } else { even[u.index()] }
-            .expect("queued states have distances");
+        let du = if is_odd {
+            odd[u.index()]
+        } else {
+            even[u.index()]
+        }
+        .expect("queued states have distances");
         for &w in graph.neighbors(u) {
-            let slot = if is_odd { &mut even[w.index()] } else { &mut odd[w.index()] };
+            let slot = if is_odd {
+                &mut even[w.index()]
+            } else {
+                &mut odd[w.index()]
+            };
             if slot.is_none() {
                 *slot = Some(du + 1);
                 queue.push_back((w, !is_odd));
@@ -192,7 +205,7 @@ mod tests {
         for v in g.nodes() {
             let d = bfs.distance(v).unwrap();
             let (e, o) = pd.both(v);
-            if d % 2 == 0 {
+            if d.is_multiple_of(2) {
                 assert_eq!(e, Some(d));
                 assert_eq!(o, None);
             } else {

@@ -34,7 +34,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node index {node} out of range for graph with {n} nodes")
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -52,10 +55,16 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
-        assert_eq!(e.to_string(), "node index 9 out of range for graph with 4 nodes");
+        assert_eq!(
+            e.to_string(),
+            "node index 9 out of range for graph with 4 nodes"
+        );
         let e = GraphError::SelfLoop { node: 2 };
         assert!(e.to_string().contains("self-loop at node 2"));
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -41,7 +41,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3, got {n}");
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
-        b.add_edge(i, (i + 1) % n).expect("cycle endpoints in range");
+        b.add_edge(i, (i + 1) % n)
+            .expect("cycle endpoints in range");
     }
     b.build()
 }
@@ -67,7 +68,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let mut builder = GraphBuilder::new(a + b);
     for u in 0..a {
         for v in 0..b {
-            builder.add_edge(u, a + v).expect("bipartite endpoints in range");
+            builder
+                .add_edge(u, a + v)
+                .expect("bipartite endpoints in range");
         }
     }
     builder.build()
@@ -100,7 +103,8 @@ pub fn wheel(k: usize) -> Graph {
     let mut b = GraphBuilder::new(k + 1);
     for i in 0..k {
         b.add_edge(0, 1 + i).expect("wheel endpoints in range");
-        b.add_edge(1 + i, 1 + (i + 1) % k).expect("wheel endpoints in range");
+        b.add_edge(1 + i, 1 + (i + 1) % k)
+            .expect("wheel endpoints in range");
     }
     b.build()
 }
@@ -258,7 +262,8 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
             if o == 0 {
                 continue;
             }
-            b.add_edge(v, (v + o) % n).expect("circulant endpoints in range");
+            b.add_edge(v, (v + o) % n)
+                .expect("circulant endpoints in range");
         }
     }
     b.build()
@@ -511,7 +516,10 @@ mod tests {
         assert_eq!(g.edge_count(), 2 * 2 + 2 * 3 + 2 * 3);
         assert!(!algo::is_bipartite(&g));
         // Zero-size parts are ignored.
-        assert_eq!(complete_multipartite(&[0, 3, 0, 4]), complete_bipartite(3, 4));
+        assert_eq!(
+            complete_multipartite(&[0, 3, 0, 4]),
+            complete_bipartite(3, 4)
+        );
         assert_eq!(complete_multipartite(&[]).node_count(), 0);
     }
 

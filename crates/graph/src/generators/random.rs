@@ -18,7 +18,10 @@ use rand_chacha::ChaCha8Rng;
 /// Panics if `p` is not within `0.0..=1.0` or is NaN.
 #[must_use]
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -66,7 +69,9 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
     for c in 1..reps.len() {
         let u = *reps[c].choose(&mut rng).expect("components are non-empty");
         let prev = rng.gen_range(0..c);
-        let w = *reps[prev].choose(&mut rng).expect("components are non-empty");
+        let w = *reps[prev]
+            .choose(&mut rng)
+            .expect("components are non-empty");
         b.add_edge(u, w).expect("endpoints in range");
     }
     b.build()
@@ -161,7 +166,10 @@ pub fn sparse_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
 /// Panics if `p` is out of `[0, 1]`.
 #[must_use]
 pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(a + b);
     for u in 0..a {
@@ -184,7 +192,10 @@ pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
 /// 1000 attempts (vanishingly unlikely for sane parameters).
 #[must_use]
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n * d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n * d must be even for a d-regular graph"
+    );
     assert!(d < n, "degree must be below n");
     if d == 0 {
         return Graph::empty(n);
@@ -222,7 +233,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 #[must_use]
 pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
     assert!(k >= 1, "attachment count must be positive");
-    assert!(n >= k + 1, "need at least k + 1 = {} nodes, got {n}", k + 1);
+    assert!(n > k, "need at least k + 1 = {} nodes, got {n}", k + 1);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Degree-proportional sampling via the repeated-endpoints trick.
@@ -351,7 +362,10 @@ mod tests {
         for seed in 0..5 {
             for (n, d) in [(10, 3), (12, 4), (8, 2), (6, 3)] {
                 let g = random_regular(n, d, seed);
-                assert!(g.nodes().all(|v| g.degree(v) == d), "n={n} d={d} seed={seed}");
+                assert!(
+                    g.nodes().all(|v| g.degree(v) == d),
+                    "n={n} d={d} seed={seed}"
+                );
                 assert_eq!(g.edge_count(), n * d / 2);
             }
         }
@@ -385,7 +399,11 @@ mod tests {
         let g = preferential_attachment(200, 1, 42);
         // With k = 1 the graph is a tree; the max degree should far exceed
         // the average for a scale-free-ish process.
-        assert!(g.max_degree() >= 6, "expected a hub, got {}", g.max_degree());
+        assert!(
+            g.max_degree() >= 6,
+            "expected a hub, got {}",
+            g.max_degree()
+        );
         assert_eq!(g.edge_count(), 199);
     }
 }

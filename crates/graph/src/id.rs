@@ -223,7 +223,7 @@ impl ArcId {
     #[inline]
     #[must_use]
     pub fn direction(self) -> Direction {
-        if self.0 % 2 == 0 {
+        if self.0.is_multiple_of(2) {
             Direction::Forward
         } else {
             Direction::Reverse

@@ -162,7 +162,10 @@ pub fn to_dot(graph: &Graph, name: &str) -> String {
 #[must_use]
 pub fn to_graph6(graph: &Graph) -> String {
     let n = graph.node_count();
-    assert!(n <= 258_047, "graph6 supports at most 258047 nodes, got {n}");
+    assert!(
+        n <= 258_047,
+        "graph6 supports at most 258047 nodes, got {n}"
+    );
     let mut bytes: Vec<u8> = Vec::new();
     if n <= 62 {
         bytes.push(63 + n as u8);
@@ -201,14 +204,19 @@ pub fn to_graph6(graph: &Graph) -> String {
 /// Returns [`GraphError::Parse`] for empty input, characters outside the
 /// printable graph6 range, or truncated adjacency data.
 pub fn from_graph6(text: &str) -> Result<Graph, GraphError> {
-    let parse_err = |message: &str| GraphError::Parse { line: 1, message: message.into() };
+    let parse_err = |message: &str| GraphError::Parse {
+        line: 1,
+        message: message.into(),
+    };
     let bytes = text.trim_end().as_bytes();
     if bytes.is_empty() {
         return Err(parse_err("empty graph6 input"));
     }
     for &b in bytes {
         if !(63..=126).contains(&b) {
-            return Err(parse_err(&format!("byte {b} outside graph6 range 63..=126")));
+            return Err(parse_err(&format!(
+                "byte {b} outside graph6 range 63..=126"
+            )));
         }
     }
     let (n, mut pos) = if bytes[0] == 126 {
@@ -228,7 +236,7 @@ pub fn from_graph6(text: &str) -> Result<Graph, GraphError> {
     let mut current: u8 = 0;
     for v in 1..n {
         for u in 0..v {
-            if bit_index % 6 == 0 {
+            if bit_index.is_multiple_of(6) {
                 if pos >= bytes.len() {
                     return Err(parse_err("truncated graph6 adjacency data"));
                 }

@@ -5,8 +5,8 @@
 //! reproducible from the printed shrink values.
 
 use af_graph::algo::{
-    self, bipartiteness, connected_components, diameter, double_cover, is_bipartite,
-    is_connected, radius, Bipartiteness,
+    self, bipartiteness, connected_components, diameter, double_cover, is_bipartite, is_connected,
+    radius, Bipartiteness,
 };
 use af_graph::{generators, Graph, NodeId};
 use proptest::prelude::*;

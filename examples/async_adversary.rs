@@ -26,7 +26,10 @@ fn main() {
         [1.into()], // the paper floods from b
     );
     println!("=== Figure 5: asynchronous AF on the triangle, source b ===");
-    println!("tick 0: {}", trace::render_configuration(&g, engine.in_flight()));
+    println!(
+        "tick 0: {}",
+        trace::render_configuration(&g, engine.in_flight())
+    );
     for _ in 0..8 {
         engine.step().expect("deterministic adversary");
         println!(
@@ -38,8 +41,14 @@ fn main() {
     println!("(the flood never dies; configurations repeat)");
 
     // --- Certify it. -----------------------------------------------------
-    let cert = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [1.into()], 10_000)
-        .expect("deterministic adversary");
+    let cert = certify(
+        &g,
+        AmnesiacFloodingProtocol,
+        PerHeadThrottle,
+        [1.into()],
+        10_000,
+    )
+    .expect("deterministic adversary");
     match &cert {
         Certificate::NonTerminating(lasso) => println!(
             "\ncertificate: configuration at tick {} recurs at tick {} \
@@ -58,8 +67,14 @@ fn main() {
 
     // --- Trees terminate under ANY schedule. ------------------------------
     let tree = generators::binary_tree(3);
-    let cert = certify(&tree, AmnesiacFloodingProtocol, PerHeadThrottle, [0.into()], 100_000)
-        .expect("deterministic adversary");
+    let cert = certify(
+        &tree,
+        AmnesiacFloodingProtocol,
+        PerHeadThrottle,
+        [0.into()],
+        100_000,
+    )
+    .expect("deterministic adversary");
     println!("\nbinary tree under the same adversary: {cert:?}");
     assert!(matches!(cert, Certificate::Terminated { .. }));
 
@@ -67,11 +82,21 @@ fn main() {
     println!("\nlassos across cycle sizes:");
     for n in [3usize, 4, 5, 6, 9, 12] {
         let g = generators::cycle(n);
-        let cert = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [0.into()], 100_000)
-            .expect("deterministic adversary");
+        let cert = certify(
+            &g,
+            AmnesiacFloodingProtocol,
+            PerHeadThrottle,
+            [0.into()],
+            100_000,
+        )
+        .expect("deterministic adversary");
         match cert {
             Certificate::NonTerminating(l) => {
-                println!("  C{n}: lasso (prefix {}, period {})", l.first_visit_tick(), l.period());
+                println!(
+                    "  C{n}: lasso (prefix {}, period {})",
+                    l.first_visit_tick(),
+                    l.period()
+                );
             }
             Certificate::Terminated { last_active_tick } => {
                 println!("  C{n}: terminated at tick {last_active_tick}");

@@ -30,7 +30,10 @@ fn main() {
             Some(t) if t > bound => {
                 beyond += 1;
                 if beyond == 1 {
-                    println!("  seed {seed}: terminated at round {t} — {}x the bound", t / bound);
+                    println!(
+                        "  seed {seed}: terminated at round {t} — {}x the bound",
+                        t / bound
+                    );
                 }
             }
             Some(_) => {}
@@ -46,8 +49,7 @@ fn main() {
     let mut all_terminated = true;
     let mut worst = 0;
     for seed in 0..20 {
-        let mut e =
-            FaultySyncEngine::new(&tree, AmnesiacFloodingProtocol, [0.into()], 0.3, seed);
+        let mut e = FaultySyncEngine::new(&tree, AmnesiacFloodingProtocol, [0.into()], 0.3, seed);
         match e.run(10_000).termination_round() {
             Some(t) => worst = worst.max(t),
             None => all_terminated = false,
@@ -59,7 +61,10 @@ fn main() {
     let g = generators::cycle(12);
     println!("\nC12 with node 1 crashed from round 1:");
     let mut e = FaultySyncEngine::new(&g, AmnesiacFloodingProtocol, [0.into()], 0.0, 0);
-    e.schedule_crash(Crash { node: 1.into(), round: 1 });
+    e.schedule_crash(Crash {
+        node: 1.into(),
+        round: 1,
+    });
     let out = e.run(1000);
     println!(
         "  terminated: {} after {:?} rounds; informed {} / 12 \

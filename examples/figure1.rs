@@ -1,0 +1,31 @@
+//! Figure 1 of the paper: amnesiac flooding on the line graph a–b–c–d,
+//! initiated at b, terminates in 2 rounds — *before* reaching-everything
+//! time-bounds would suggest (the diameter is 3).
+
+use amnesiac_flooding::core::AmnesiacFlooding;
+use amnesiac_flooding::graph::generators;
+
+fn main() {
+    // Nodes 0..4 are the paper's a, b, c, d.
+    let g = generators::path(4);
+    let run = AmnesiacFlooding::single_source(&g, 1.into()).run();
+
+    println!("Figure 1: flooding P4 = a-b-c-d from b");
+    for round in 1..=run.termination_round().unwrap_or(0) {
+        let receivers: Vec<String> = run
+            .round_set(round)
+            .iter()
+            .map(|v| ((b'a' + v.index() as u8) as char).to_string())
+            .collect();
+        println!(
+            "  round {round}: {} receive the message",
+            receivers.join(", ")
+        );
+    }
+    println!(
+        "  terminated after {} rounds (diameter is {})",
+        run.termination_round().unwrap(),
+        3
+    );
+    assert_eq!(run.termination_round(), Some(2));
+}

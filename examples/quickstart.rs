@@ -23,7 +23,10 @@ fn main() {
     let run = flood(&g, source);
     let ecc = algo::eccentricity(&g, source).expect("grid is connected");
     println!("\n4x6 grid (bipartite), flood from a corner:");
-    println!("  termination round: {:?} (source eccentricity: {ecc})", run.termination_round());
+    println!(
+        "  termination round: {:?} (source eccentricity: {ecc})",
+        run.termination_round()
+    );
     println!("  diameter bound:    {:?}", algo::diameter(&g));
 
     // --- 3. Non-bipartite graphs pay more, but never beyond 2D + 1. -----
@@ -31,15 +34,25 @@ fn main() {
     let run = flood(&g, 0.into());
     let d = algo::diameter(&g).expect("cycle is connected");
     println!("\nodd cycle C9 (non-bipartite):");
-    println!("  termination round: {:?} = 2D + 1 with D = {d}", run.termination_round());
-    println!("  every node heard the message {} time(s) at most", run.max_receive_count());
+    println!(
+        "  termination round: {:?} = 2D + 1 with D = {d}",
+        run.termination_round()
+    );
+    println!(
+        "  every node heard the message {} time(s) at most",
+        run.max_receive_count()
+    );
 
     // --- 4. The theory oracle predicts runs without simulating. ---------
     let g = generators::barbell(6);
     let pred = theory::predict(&g, [0.into()]);
     let run = flood(&g, 0.into());
     println!("\nbarbell(6): oracle vs simulation:");
-    println!("  oracle says round {}, simulation says {:?}", pred.termination_round(), run.termination_round());
+    println!(
+        "  oracle says round {}, simulation says {:?}",
+        pred.termination_round(),
+        run.termination_round()
+    );
     assert_eq!(Some(pred.termination_round()), run.termination_round());
 
     // --- 5. Multi-source floods work the same way. ----------------------

@@ -32,7 +32,11 @@ fn main() {
     print!("{}", trace::render_run(&g, &run));
     println!("receive schedule:");
     print!("{}", trace::render_receipts(&g, &run));
-    assert_eq!(run.termination_round(), Some(3), "Figure 2 shows 2D+1 = 3 rounds");
+    assert_eq!(
+        run.termination_round(),
+        Some(3),
+        "Figure 2 shows 2D+1 = 3 rounds"
+    );
 
     // Figure 3: even cycle C6.
     let g = generators::cycle(6);
@@ -41,7 +45,11 @@ fn main() {
     print!("{}", trace::render_run(&g, &run));
     println!("receive schedule:");
     print!("{}", trace::render_receipts(&g, &run));
-    assert_eq!(run.termination_round(), Some(3), "Figure 3 shows D = 3 rounds");
+    assert_eq!(
+        run.termination_round(),
+        Some(3),
+        "Figure 3 shows D = 3 rounds"
+    );
 
     println!("\nall three figures reproduced exactly");
 }

@@ -20,7 +20,11 @@ use amnesiac_flooding::graph::{algo, generators};
 fn main() {
     let n = 2_000;
     let g = generators::preferential_attachment(n, 3, 2026);
-    println!("synthetic social network: {} users, {} relationships", g.node_count(), g.edge_count());
+    println!(
+        "synthetic social network: {} users, {} relationships",
+        g.node_count(),
+        g.edge_count()
+    );
     println!("max degree (biggest hub): {}", g.max_degree());
     println!("bipartite: {}", algo::is_bipartite(&g));
 
@@ -32,14 +36,24 @@ fn main() {
     let run = flood(&g, hub);
 
     println!("\nrumour started by the biggest hub (node {hub}):");
-    println!("  cascade died after round {:?}", run.termination_round().expect("Theorem 3.1"));
+    println!(
+        "  cascade died after round {:?}",
+        run.termination_round().expect("Theorem 3.1")
+    );
     println!(
         "  bound from the paper: 2D + 1 = {}",
         theory::upper_bound(&g).expect("connected")
     );
     println!("  users reached: {} / {}", run.informed_count(), n);
-    println!("  total forwards: {} (2m = {})", run.total_messages(), 2 * g.edge_count());
-    println!("  max times any user saw the rumour: {}", run.max_receive_count());
+    println!(
+        "  total forwards: {} (2m = {})",
+        run.total_messages(),
+        2 * g.edge_count()
+    );
+    println!(
+        "  max times any user saw the rumour: {}",
+        run.max_receive_count()
+    );
 
     let per_round = Summary::of(run.messages_per_round().iter().copied()).expect("non-empty");
     println!("  per-round traffic: {per_round}");
@@ -56,6 +70,9 @@ fn main() {
         .expect("non-empty network");
     let run2 = flood(&g, peripheral);
     println!("\nsame rumour from a peripheral user (node {peripheral}):");
-    println!("  cascade died after round {:?}", run2.termination_round().expect("Theorem 3.1"));
+    println!(
+        "  cascade died after round {:?}",
+        run2.termination_round().expect("Theorem 3.1")
+    );
     println!("  users reached: {} / {}", run2.informed_count(), n);
 }

@@ -30,7 +30,10 @@ fn main() {
         ("sparse+cycles", generators::sparse_connected(40, 30, 7)),
     ];
 
-    println!("{:<16} {:>14} {:>16} {:>14}", "graph", "ground truth", "double-receipt", "timing rule");
+    println!(
+        "{:<16} {:>14} {:>16} {:>14}",
+        "graph", "ground truth", "double-receipt", "timing rule"
+    );
     let mut all_agree = true;
     for (name, g) in &zoo {
         let truth = algo::is_bipartite(g);
@@ -51,9 +54,11 @@ fn main() {
                 rounds.0, rounds.1
             );
         }
-        all_agree &=
-            truth == by_receipt.is_bipartite() && truth == by_timing.is_bipartite();
+        all_agree &= truth == by_receipt.is_bipartite() && truth == by_timing.is_bipartite();
     }
     assert!(all_agree, "both detectors are exact on connected graphs");
-    println!("\nboth flooding-based detectors agreed with the ground truth on all {} graphs", zoo.len());
+    println!(
+        "\nboth flooding-based detectors agreed with the ground truth on all {} graphs",
+        zoo.len()
+    );
 }

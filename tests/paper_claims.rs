@@ -150,15 +150,25 @@ fn theorem_3_1_proof_invariant_re_is_empty() {
 #[test]
 fn section_4_adversary_forces_non_termination_on_triangle() {
     let g = generators::cycle(3);
-    let cert = certify(&g, AmnesiacFloodingProtocol, PerHeadThrottle, [1.into()], 10_000)
-        .expect("deterministic adversary");
+    let cert = certify(
+        &g,
+        AmnesiacFloodingProtocol,
+        PerHeadThrottle,
+        [1.into()],
+        10_000,
+    )
+    .expect("deterministic adversary");
     let lasso = cert.lasso().expect("Figure 5: non-terminating");
     assert!(lasso.period() > 0);
 }
 
 #[test]
 fn section_4_without_delays_everything_terminates() {
-    for g in [generators::cycle(3), generators::petersen(), generators::complete(6)] {
+    for g in [
+        generators::cycle(3),
+        generators::petersen(),
+        generators::complete(6),
+    ] {
         let cert = certify(&g, AmnesiacFloodingProtocol, DeliverAll, [0.into()], 10_000)
             .expect("deterministic adversary");
         assert!(matches!(cert, Certificate::Terminated { .. }), "{g}");

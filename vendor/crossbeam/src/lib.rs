@@ -1,0 +1,79 @@
+//! Offline shim for the `crossbeam` crate: scoped threads over
+//! `std::thread::scope`. See `vendor/README.md`.
+//!
+//! Behavioral note: the real `crossbeam::scope` returns `Err` when a child
+//! thread panicked; `std::thread::scope` resumes the child's panic on the
+//! parent instead, so here a child panic propagates directly (callers that
+//! `.expect(..)` the result observe a panic either way).
+
+use std::thread;
+
+/// A scope handle: spawn threads that may borrow from the enclosing stack
+/// frame. Mirror of `crossbeam_utils::thread::Scope`.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (so it can
+    /// spawn siblings), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// joins them all before returning. Mirror of `crossbeam::scope`.
+///
+/// # Errors
+///
+/// Never returns `Err` (see the module-level behavioral note).
+#[allow(clippy::missing_panics_doc)] // child panics propagate by design
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let hits = AtomicUsize::new(0);
+        let data = vec![1, 2, 3, 4];
+        let out = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    hits.fetch_add(data.len(), Ordering::Relaxed);
+                });
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

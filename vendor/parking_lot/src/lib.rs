@@ -1,0 +1,42 @@
+//! Offline shim for the `parking_lot` crate: a `Mutex` with the
+//! poison-free API, backed by `std::sync::Mutex`. See `vendor/README.md`.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock` does not return a poison `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (parking_lot is poison-free;
+    /// the std backing makes poisoning observable only as this panic).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

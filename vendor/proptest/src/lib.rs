@@ -1,0 +1,607 @@
+//! Offline shim for the `proptest` crate. See `vendor/README.md`.
+//!
+//! Provides the macro surface (`proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert*!`, `prop_assume!`) and a [`Strategy`]
+//! algebra (ranges, tuples, `any`, `prop_map`, `boxed`, `collection::vec`)
+//! over a deterministic ChaCha RNG. Seeds derive from the test path and
+//! case index (override the base with `PROPTEST_SEED=<u64>`), so every
+//! failure is reproducible. The shim does **not** shrink counterexamples:
+//! a failure reports the seed instead of a minimized input.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `func`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, func: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map::new(self, func)
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe core used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter (also the engine behind
+    /// `prop_compose!`).
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        func: F,
+    }
+
+    impl<S, F> Map<S, F> {
+        /// Wraps `strategy`, passing its values through `func`.
+        ///
+        /// The bounds mirror the `Strategy` impl so that closure parameter
+        /// types are inferred right here at the call site.
+        pub fn new<O>(strategy: S, func: F) -> Self
+        where
+            S: Strategy,
+            F: Fn(S::Value) -> O,
+        {
+            Map { strategy, func }
+        }
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.func)(self.strategy.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (the engine behind
+    /// `prop_oneof!`).
+    #[derive(Debug)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Wraps the alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].new_value(rng)
+        }
+    }
+
+    impl<T> Strategy for core::ops::Range<T>
+    where
+        core::ops::Range<T>: rand::SampleRange<Output = T> + Clone,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for core::ops::RangeInclusive<T>
+    where
+        core::ops::RangeInclusive<T>: rand::SampleRange<Output = T> + Clone,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy, for [`any`].
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Unit interval rather than raw bit patterns: no NaN/inf noise.
+            (rand::RngCore::next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An unconstrained strategy for `T`'s whole domain.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case loop.
+
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+
+    /// The RNG handed to strategies.
+    pub type TestRng = rand_chacha::ChaCha8Rng;
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not succeed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; draw again.
+        Reject,
+        /// `prop_assert*!` failed; abort the test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        #[must_use]
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection (the case's inputs don't apply).
+        #[must_use]
+        pub fn reject(_reason: impl Into<String>) -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// The result type of one property-test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn base_seed(test_path: &str) -> u64 {
+        if let Ok(fixed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = fixed.parse::<u64>() {
+                return seed;
+            }
+        }
+        // DefaultHasher::new() uses fixed keys, so this is stable across
+        // processes of the same toolchain.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_path.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Runs `case` until `config.cases` successes, panicking on the first
+    /// failure with the seed that reproduces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails, or when `prop_assume!` rejects too many
+    /// draws in a row for the config to be satisfiable.
+    pub fn run_cases<F>(config: Config, test_path: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = base_seed(test_path);
+        let max_rejects = (config.cases as u64).saturating_mul(64).max(4096);
+        let mut successes = 0u32;
+        let mut rejects = 0u64;
+        let mut draw = 0u64;
+        while successes < config.cases {
+            let seed = base.wrapping_add(draw.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            draw += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "{test_path}: too many prop_assume! rejects \
+                         ({rejects} while seeking {} cases)",
+                        config.cases
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "{test_path}: case #{successes} failed \
+                     (reproduce with PROPTEST_SEED={base}): {msg}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface test files use.
+
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Declares a block of property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(
+                    __proptest_config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        let ($($pat,)*) = $crate::strategy::Strategy::new_value(
+                            &($($strat,)*),
+                            __proptest_rng,
+                        );
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Declares a function returning a composed [`strategy::Strategy`].
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident ($($args:tt)*)
+     ( $($pat:pat in $strat:expr),* $(,)? ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Map::new(($($strat,)*), move |($($pat,)*)| $body)
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`",
+                    __l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+                    __l,
+                    ::std::format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (drawing fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        /// Pairs whose first element bounds the second.
+        fn bounded_pair()((hi, seed) in (1usize..50, any::<u64>())) -> (usize, usize) {
+            (hi, seed as usize % hi)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_in_bounds(n in 3usize..17, p in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn composed_strategies_hold_their_invariant((hi, lo) in bounded_pair()) {
+            prop_assert!(lo < hi, "lo = {lo}, hi = {hi}");
+        }
+
+        #[test]
+        fn oneof_and_map_produce_all_shapes(v in prop_oneof![
+            (1usize..4).prop_map(|n| vec![0u32; n]),
+            (4usize..8).prop_map(|n| vec![1u32; n]),
+        ]) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 8);
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(raw in crate::collection::vec(any::<u32>(), 1..4)) {
+            prop_assert!((1..4).contains(&raw.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                ProptestConfig::with_cases(4),
+                "shim::always_fails",
+                |_rng| Err(crate::test_runner::TestCaseError::Fail("boom".into())),
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("PROPTEST_SEED="), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for sink in [&mut first, &mut second] {
+            crate::test_runner::run_cases(
+                ProptestConfig::with_cases(16),
+                "shim::determinism",
+                |rng| {
+                    sink.push(rand::RngCore::next_u64(rng));
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline shim for the `serde` crate. See `vendor/README.md`.
+//!
+//! The shim keeps serde's public shape — `Serialize`/`Deserialize` traits
+//! that are generic over `Serializer`/`Deserializer`, plus the derive
+//! macros — but routes everything through a single self-describing
+//! [`Value`] model, which is all a JSON-only workspace needs.
+//!
+//! Both traits have *two* methods with mutually-recursive defaults, so an
+//! implementor must override at least one of them:
+//!
+//! * derived impls override the `Value` side (`to_value` / `from_value`);
+//! * hand-written impls (such as `af_graph::Graph`'s) override the
+//!   serde-shaped side (`serialize` / `deserialize`) and typically delegate
+//!   to a derived representation type, exactly as they would with real
+//!   serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every (de)serialization passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Value>),
+    /// Objects, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a struct field in a deserialized map (derive-macro support).
+#[doc(hidden)]
+pub fn get_field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+/// The error type of the shim's [`Value`]-level conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Wraps an arbitrary message (inherent mirror of the trait method, so
+    /// call sites need no trait import).
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub mod ser {
+    //! Serialization half of the data model.
+
+    use super::Value;
+
+    /// Error raised while serializing (mirror of `serde::ser::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Wraps an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A sink for one [`Value`] (mirror of `serde::Serializer`, collapsed
+    /// to the single method this workspace needs).
+    pub trait Serializer: Sized {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes the serializer with the complete value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization half of the data model.
+
+    use super::Value;
+
+    /// Error raised while deserializing (mirror of `serde::de::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Wraps an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A source of one [`Value`] (mirror of `serde::Deserializer`,
+    /// collapsed to the single method this workspace needs).
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Consumes the deserializer, yielding the complete value.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+
+impl ser::Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl de::Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A [`Serializer`] that materializes the [`Value`] itself.
+#[derive(Debug, Default)]
+pub struct ValueSerializer;
+
+impl ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = DeError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, DeError> {
+        Ok(value)
+    }
+}
+
+/// A [`Deserializer`] reading from an owned [`Value`].
+#[derive(Debug)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// A type that can be serialized (mirror of `serde::Serialize`).
+///
+/// Override [`Serialize::to_value`] (derives do) or [`Serialize::serialize`]
+/// (hand-written impls do) — never neither, as the defaults call each other.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value {
+        self.serialize(ValueSerializer)
+            .expect("Serialize impl overrides neither method or failed")
+    }
+
+    /// Serde-shaped entry point.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can be deserialized (mirror of `serde::Deserialize`).
+///
+/// Override [`Deserialize::from_value`] (derives do) or
+/// [`Deserialize::deserialize`] (hand-written impls do) — never neither, as
+/// the defaults call each other.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Self::deserialize(ValueDeserializer(value.clone()))
+    }
+
+    /// Serde-shaped entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error on malformed input.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+// ----------------------------------------------------------------- impls
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match *value {
+                    Value::U64(raw) => raw,
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match *value {
+                    Value::U64(raw) => raw as i128,
+                    Value::I64(raw) => raw as i128,
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        // Integral floats print without a fraction part and parse back as
+        // integers, so accept those too.
+        match *value {
+            Value::F64(x) => Ok(x),
+            Value::U64(raw) => Ok(raw as f64),
+            Value::I64(raw) => Ok(raw as f64),
+            _ => Err(DeError::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom("expected tuple array"))?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected {expected}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(usize::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&Value::U64(7)).unwrap(), 7.0);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn compounds_roundtrip() {
+        let v = vec![(1usize, 2usize), (3, 4)];
+        let back: Vec<(usize, usize)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        let back: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn get_field_reports_missing() {
+        let entries = vec![("a".to_string(), Value::U64(1))];
+        assert!(get_field(&entries, "a").is_ok());
+        assert!(get_field(&entries, "b").is_err());
+    }
+}

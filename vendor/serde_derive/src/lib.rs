@@ -1,0 +1,479 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the item shapes this workspace uses —
+//! non-generic structs (named, tuple/newtype, optionally
+//! `#[serde(transparent)]`) and enums with unit, newtype/tuple, and
+//! struct variants, in serde's externally-tagged representation.
+//!
+//! The macro parses the raw token stream directly (no `syn`/`quote`) and
+//! emits impls of the shim traits in the sibling `serde` crate, relying on
+//! type inference instead of parsed field types: `from_value` calls are
+//! constrained by the field they initialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct NamedField {
+    name: String,
+}
+
+enum Body {
+    NamedStruct { fields: Vec<NamedField> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<NamedField>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+/// Returns true if this attribute group is `serde(transparent)`.
+fn attr_is_transparent(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Skips `#[...]` attributes starting at `i`; returns the new index and
+/// whether a `#[serde(transparent)]` was among them.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut transparent = false;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        transparent |= attr_is_transparent(g);
+        i += 2;
+    }
+    (i, transparent)
+}
+
+/// Skips `pub`, `pub(crate)`, etc. starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses `name: Type, name: Type, ...` field lists (types are skipped
+/// with angle-bracket depth tracking, so `Map<K, V>` commas don't split).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<NamedField> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde shim derive: expected field name, found {:?}",
+                tokens[i]
+            );
+        };
+        fields.push(NamedField {
+            name: name.to_string(),
+        });
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde shim derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type until a comma at angle depth 0.
+        let mut depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts tuple-struct / tuple-variant fields (top-level commas at angle
+/// depth 0, tolerating a trailing comma).
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth: i32 = 0;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde shim derive: expected variant name, found {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    VariantKind::Named(parse_named_fields(g))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    VariantKind::Tuple(tuple_arity(g))
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        variants.push(Variant { name, kind });
+        if i < tokens.len() {
+            assert!(
+                matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ','),
+                "serde shim derive: expected `,` after variant (discriminants unsupported)"
+            );
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, transparent) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("serde shim derive: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde shim derive: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (needed for `{name}`)");
+    }
+    let body = match (kw.as_str(), &tokens[i]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::NamedStruct {
+            fields: parse_named_fields(g),
+        },
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct {
+                arity: tuple_arity(g),
+            }
+        }
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::Enum {
+            variants: parse_variants(g),
+        },
+        _ => panic!("serde shim derive: unsupported item shape for `{name}`"),
+    };
+    Item {
+        name,
+        transparent,
+        body,
+    }
+}
+
+// ------------------------------------------------------------- Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct { arity } => {
+            if item.transparent || *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Body::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), \
+                                         ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                binders = binders.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|idx| format!("__f{idx}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binders}) => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {inner})]),",
+                                binders = binders.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ----------------------------------------------------------- Deserialize
+
+fn named_struct_ctor(path: &str, fields: &[NamedField], entries_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: ::serde::Deserialize::from_value(\
+                 ::serde::get_field({entries_var}, \"{0}\")?)?",
+                f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct { fields } => {
+            format!(
+                "let __entries = __value.as_map().ok_or_else(|| \
+                 ::serde::DeError(::std::format!(\"expected map for struct {name}\")))?;\n\
+                 ::std::result::Result::Ok({})",
+                named_struct_ctor(name, fields, "__entries")
+            )
+        }
+        Body::TupleStruct { arity } => {
+            if item.transparent || *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|idx| format!("::serde::Deserialize::from_value(&__items[{idx}])?"))
+                    .collect();
+                format!(
+                    "let __items = __value.as_seq().ok_or_else(|| \
+                     ::serde::DeError(::std::format!(\"expected array for {name}\")))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected {arity} elements for {name}\")));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+        }
+        Body::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let build = match &v.kind {
+                        VariantKind::Unit => return None,
+                        VariantKind::Named(fields) => format!(
+                            "let __fields = __inner.as_map().ok_or_else(|| \
+                             ::serde::DeError(::std::format!(\
+                             \"expected map for variant {vname}\")))?;\n\
+                             ::std::result::Result::Ok({})",
+                            named_struct_ctor(&format!("{name}::{vname}"), fields, "__fields")
+                        ),
+                        VariantKind::Tuple(arity) if *arity == 1 => format!(
+                            "::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|idx| {
+                                    format!("::serde::Deserialize::from_value(&__items[{idx}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let __items = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError(::std::format!(\
+                                 \"expected array for variant {vname}\")))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"wrong arity for variant {vname}\")));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))",
+                                inits.join(", ")
+                            )
+                        }
+                    };
+                    Some(format!("\"{vname}\" => {{ {build} }}"))
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError(\
+                     ::std::format!(\"expected externally tagged enum {name}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derives the shim `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives the shim `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,435 @@
+//! Offline shim for the `serde_json` crate: `to_string`,
+//! `to_string_pretty`, and `from_str` over the `serde` shim's `Value`
+//! model. See `vendor/README.md`.
+
+use serde::{Deserialize, Serialize, Value, ValueDeserializer, ValueSerializer};
+
+/// Error produced by JSON conversion in either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+// ------------------------------------------------------------- printing
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_json(x: f64) -> Result<String, Error> {
+    if !x.is_finite() {
+        return Err(Error(format!("JSON cannot represent {x}")));
+    }
+    // Rust's shortest-roundtrip Display; integral values print without a
+    // fraction and parse back as integers, which the shim's `f64`
+    // deserialization accepts.
+    Ok(format!("{x}"))
+}
+
+fn write_value(value: &Value, indent: Option<usize>, out: &mut String) -> Result<(), Error> {
+    let (open_sep, item_sep, pad) = match indent {
+        Some(level) => {
+            let inner = "  ".repeat(level + 1);
+            (
+                format!("\n{inner}"),
+                format!(",\n{inner}"),
+                format!("\n{}", "  ".repeat(level)),
+            )
+        }
+        None => (String::new(), ",".to_string(), String::new()),
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => out.push_str(&number_to_json(*x)?),
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                out.push_str(&open_sep);
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(&item_sep);
+                    }
+                    write_value(item, indent.map(|l| l + 1), out)?;
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                out.push_str(&open_sep);
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(&item_sep);
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(item, indent.map(|l| l + 1), out)?;
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Returns an error for non-finite floats (JSON cannot represent them).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let model = value.serialize(ValueSerializer).map_err(Error::from)?;
+    let mut out = String::new();
+    write_value(&model, None, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Returns an error for non-finite floats (JSON cannot represent them).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let model = value.serialize(ValueSerializer).map_err(Error::from)?;
+    let mut out = String::new();
+    write_value(&model, Some(0), &mut out)?;
+    Ok(out)
+}
+
+// -------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self
+            .peek()
+            .ok_or_else(|| self.error("unexpected end of input"))?
+        {
+            b'n' => {
+                if self.consume_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            b't' => {
+                if self.consume_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.consume_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.error("expected `,` or `}`")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(self.error(&format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && self.bytes[self.pos] != b'"'
+                && self.bytes[self.pos] != b'\\'
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this shim's
+                            // printer; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("unsupported \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.error("invalid number"))
+        } else if let Ok(x) = text.parse::<u64>() {
+            Ok(Value::U64(x))
+        } else if let Ok(x) = text.parse::<i64>() {
+            Ok(Value::I64(x))
+        } else {
+            // Integer literal beyond 64 bits: fall back to float.
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.error("invalid number"))
+        }
+    }
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or on a shape mismatch with `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    T::deserialize(ValueDeserializer(value)).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&5u32).unwrap(), "5");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+        assert_eq!(from_str::<u32>("5").unwrap(), 5);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("0.5").unwrap(), 0.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<String>(r#""a\"b\\c\nd""#).unwrap(), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn vectors_and_tuples_roundtrip() {
+        let v = vec![(0usize, 1usize), (2, 3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[0,1],[2,3]]");
+        assert_eq!(from_str::<Vec<(usize, usize)>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1u32, 2], vec![], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn whitespace_and_errors() {
+        assert_eq!(from_str::<Vec<u32>>(" [ 1 , 2 ] ").unwrap(), vec![1, 2]);
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<Vec<u32>>("[1] junk").is_err());
+        assert!(from_str::<u32>("\"no\"").is_err());
+        assert!(from_str::<f64>("1e999").unwrap().is_infinite());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let s = "héllo ☃ \u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""☃""#).unwrap(), "☃");
+    }
+}
