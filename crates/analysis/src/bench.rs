@@ -1,0 +1,441 @@
+//! The flooding throughput benchmark: the measured numbers behind
+//! `BENCH_flooding.json`, the repository's recorded perf trajectory.
+//!
+//! The paper's bounds make one flood's intrinsic work `O(m)` (each arc
+//! activates at most twice), so sustained throughput — delivered messages
+//! (edge crossings) per second — is the honest scalar to track. The
+//! benchmark floods a grid of graph families from roughly `1e4` up to
+//! `1e6` edges with two engines:
+//!
+//! * `frontier` — [`af_core::FrontierFlooding`] via the batched
+//!   [`af_core::FloodBatch`] runner (allocation reuse across sources);
+//! * `fast` — the scan-all-arcs [`af_core::FastFlooding`] baseline.
+//!
+//! Both engines flood the same deterministic source sample of every graph
+//! and must agree flood-for-flood on termination rounds and message counts
+//! (recorded as `engines_agree` / `all_engines_agree`; in smoke mode the
+//! [`af_core::theory`] oracle is checked too). CI runs the smoke
+//! configuration on every push and fails if the engines disagree or the
+//! JSON stops parsing.
+//!
+//! # `BENCH_flooding.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "benchmark": "flooding_throughput",
+//!   "mode": "full" | "smoke",
+//!   "all_engines_agree": true,
+//!   "cases": [
+//!     {
+//!       "family": "grid",
+//!       "spec": { "Grid": { "rows": 708, "cols": 708 } },
+//!       "nodes": 501264, "edges": 1001112,
+//!       "sources": [0, 250632, 501263],
+//!       "engines_agree": true,
+//!       "engines": [
+//!         { "engine": "frontier", "rounds_per_source": [1414, ...],
+//!           "total_messages": 3003336, "wall_ms": 123.4,
+//!           "edges_per_sec": 24340000.0 },
+//!         { "engine": "fast", ... }
+//!       ]
+//!     }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! Field names and nesting are stable; extending the file means adding
+//! fields (or bumping `schema_version`), never renaming.
+
+use crate::spec::GraphSpec;
+use af_core::{theory, FastFlooding, FloodBatch};
+use af_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version stamp written into every report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One engine's aggregate measurement over a case's source sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Engine name: `"frontier"` or `"fast"`.
+    pub engine: String,
+    /// Termination round of each measured flood, in source order.
+    pub rounds_per_source: Vec<u32>,
+    /// Messages delivered over all measured floods.
+    pub total_messages: u64,
+    /// Wall-clock time for all measured floods, in milliseconds.
+    pub wall_ms: f64,
+    /// Throughput: delivered messages (= edge crossings) per second.
+    pub edges_per_sec: f64,
+}
+
+/// One `(family, size)` case: the graph, its source sample, and every
+/// engine's measurement on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Family label (shared across the family's sizes).
+    pub family: String,
+    /// The exact generator instance, rebuildable bit-for-bit.
+    pub spec: GraphSpec,
+    /// Node count of the built graph.
+    pub nodes: usize,
+    /// Edge count of the built graph.
+    pub edges: usize,
+    /// The measured source sample (node indices).
+    pub sources: Vec<usize>,
+    /// Whether all engines agreed flood-for-flood on rounds and messages.
+    pub engines_agree: bool,
+    /// Per-engine measurements, `frontier` first.
+    pub engines: Vec<EngineStats>,
+}
+
+/// A full benchmark run, serialized as `BENCH_flooding.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Schema version of this file ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Always `"flooding_throughput"`.
+    pub benchmark: String,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Conjunction of every case's `engines_agree`.
+    pub all_engines_agree: bool,
+    /// All measured cases.
+    pub cases: Vec<CaseResult>,
+}
+
+impl ThroughputReport {
+    /// Serializes the report to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the report is plain data.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// A one-line-per-case human summary (for terminals and CI logs).
+    #[must_use]
+    pub fn to_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flooding throughput ({} mode) — {} cases, engines agree: {}",
+            self.mode,
+            self.cases.len(),
+            self.all_engines_agree
+        );
+        for case in &self.cases {
+            let _ = write!(
+                out,
+                "  {:<28} n={:<8} m={:<8}",
+                case.spec.label(),
+                case.nodes,
+                case.edges
+            );
+            for e in &case.engines {
+                let _ = write!(
+                    out,
+                    "  {}: {:>8.1}ms {:>12.0} edges/s",
+                    e.engine, e.wall_ms, e.edges_per_sec
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// The benchmark grid: `(family, specs in increasing size)`.
+///
+/// Full mode targets ~1e4, ~1e5 and ~1e6 edges per family; smoke mode is a
+/// single ~2e3-edge instance per family, small enough for CI.
+#[must_use]
+pub fn cases(smoke: bool) -> Vec<(&'static str, Vec<GraphSpec>)> {
+    // Radius giving expected average degree ~10 in the unit square:
+    // deg ≈ n·π·r², so r = sqrt(10 / (π n)).
+    let rgg_radius = |n: usize| (10.0 / (core::f64::consts::PI * n as f64)).sqrt();
+    if smoke {
+        return vec![
+            (
+                "sparse-random",
+                vec![GraphSpec::SparseConnected {
+                    n: 1_000,
+                    extra: 1_000,
+                    seed: 1,
+                }],
+            ),
+            (
+                "pref-attach",
+                vec![GraphSpec::PreferentialAttachment {
+                    n: 500,
+                    k: 4,
+                    seed: 2,
+                }],
+            ),
+            (
+                "geometric",
+                vec![GraphSpec::RandomGeometric {
+                    n: 400,
+                    radius: rgg_radius(400),
+                    seed: 3,
+                }],
+            ),
+            (
+                "small-world",
+                vec![GraphSpec::WattsStrogatz {
+                    n: 400,
+                    k: 10,
+                    beta: 0.05,
+                    seed: 4,
+                }],
+            ),
+            ("grid", vec![GraphSpec::Grid { rows: 32, cols: 32 }]),
+        ];
+    }
+    vec![
+        (
+            "sparse-random",
+            [5_000usize, 50_000, 500_000]
+                .iter()
+                .map(|&n| GraphSpec::SparseConnected {
+                    n,
+                    extra: n,
+                    seed: 1,
+                })
+                .collect(),
+        ),
+        (
+            "pref-attach",
+            [2_500usize, 25_000, 250_000]
+                .iter()
+                .map(|&n| GraphSpec::PreferentialAttachment { n, k: 4, seed: 2 })
+                .collect(),
+        ),
+        (
+            "geometric",
+            [2_000usize, 20_000, 200_000]
+                .iter()
+                .map(|&n| GraphSpec::RandomGeometric {
+                    n,
+                    radius: rgg_radius(n),
+                    seed: 3,
+                })
+                .collect(),
+        ),
+        (
+            "small-world",
+            [2_000usize, 20_000, 200_000]
+                .iter()
+                .map(|&n| GraphSpec::WattsStrogatz {
+                    n,
+                    k: 10,
+                    beta: 0.05,
+                    seed: 4,
+                })
+                .collect(),
+        ),
+        (
+            "grid",
+            [71usize, 224, 708]
+                .iter()
+                .map(|&k| GraphSpec::Grid { rows: k, cols: k })
+                .collect(),
+        ),
+    ]
+}
+
+/// A deterministic source sample for a graph with `n` nodes: `count`
+/// well-spread node indices (first, stride steps, last).
+fn source_sample(n: usize, count: usize) -> Vec<usize> {
+    let count = count.min(n).max(1);
+    if count == 1 {
+        return vec![0];
+    }
+    let mut sources: Vec<usize> = (0..count - 1).map(|i| i * (n - 1) / (count - 1)).collect();
+    sources.push(n - 1);
+    sources.dedup();
+    sources
+}
+
+// Both measurements time the engine's complete multi-source workflow,
+// setup included: the batch runner allocates once and reuses state across
+// sources (that amortization is part of what is being measured), while the
+// scan engine has no reset and must construct per source.
+
+fn measure_frontier(g: &Graph, sources: &[usize]) -> EngineStats {
+    let start = Instant::now();
+    let mut batch = FloodBatch::new(g);
+    let stats: Vec<af_core::FloodStats> = sources
+        .iter()
+        .map(|&s| batch.run_from([NodeId::new(s)]))
+        .collect();
+    let wall = start.elapsed();
+    let rounds = stats
+        .iter()
+        .map(|s| {
+            s.termination_round()
+                .expect("Theorem 3.1: floods terminate")
+        })
+        .collect();
+    let messages = stats.iter().map(af_core::FloodStats::total_messages).sum();
+    finish_stats("frontier", rounds, messages, wall.as_secs_f64())
+}
+
+fn measure_fast(g: &Graph, sources: &[usize]) -> EngineStats {
+    let cap = 2 * g.node_count() as u32 + 2;
+    let start = Instant::now();
+    let per_source: Vec<(u32, u64)> = sources
+        .iter()
+        .map(|&s| {
+            let mut sim = FastFlooding::new(g, [NodeId::new(s)]);
+            sim.set_record_receipts(false);
+            let outcome = sim.run(cap);
+            (
+                outcome
+                    .termination_round()
+                    .expect("Theorem 3.1: floods terminate"),
+                sim.total_messages(),
+            )
+        })
+        .collect();
+    let wall = start.elapsed();
+    let rounds = per_source.iter().map(|&(r, _)| r).collect();
+    let messages = per_source.iter().map(|&(_, m)| m).sum();
+    finish_stats("fast", rounds, messages, wall.as_secs_f64())
+}
+
+fn finish_stats(engine: &str, rounds: Vec<u32>, messages: u64, secs: f64) -> EngineStats {
+    EngineStats {
+        engine: engine.to_string(),
+        rounds_per_source: rounds,
+        total_messages: messages,
+        wall_ms: secs * 1e3,
+        // 0.0 for an unmeasurably fast run: JSON has no Infinity, and the
+        // vendored serializer rejects non-finite floats.
+        edges_per_sec: if secs > 0.0 {
+            messages as f64 / secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs one case: build the graph, sample sources, measure every engine,
+/// and cross-check agreement (plus the oracle when `check_oracle`).
+#[must_use]
+pub fn run_case(
+    family: &str,
+    spec: &GraphSpec,
+    sources_per_graph: usize,
+    check_oracle: bool,
+) -> CaseResult {
+    let g = spec.build();
+    let sources = source_sample(g.node_count(), sources_per_graph);
+    let frontier = measure_frontier(&g, &sources);
+    let fast = measure_fast(&g, &sources);
+
+    let mut agree = frontier.rounds_per_source == fast.rounds_per_source
+        && frontier.total_messages == fast.total_messages;
+    if check_oracle {
+        for (&s, &r) in sources.iter().zip(&frontier.rounds_per_source) {
+            agree &= theory::predict(&g, [NodeId::new(s)]).termination_round() == r;
+        }
+    }
+
+    CaseResult {
+        family: family.to_string(),
+        spec: spec.clone(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        sources,
+        engines_agree: agree,
+        engines: vec![frontier, fast],
+    }
+}
+
+/// Runs the whole benchmark grid.
+///
+/// `smoke` selects the small CI-friendly grid and additionally checks every
+/// measured flood against the exact-time oracle. Progress (one line per
+/// case) goes to stderr so stdout can stay machine-readable.
+#[must_use]
+pub fn run(smoke: bool) -> ThroughputReport {
+    let sources_per_graph = if smoke { 2 } else { 3 };
+    let mut results = Vec::new();
+    for (family, specs) in cases(smoke) {
+        for spec in &specs {
+            eprintln!("bench: {} {} ...", family, spec.label());
+            results.push(run_case(family, spec, sources_per_graph, smoke));
+        }
+    }
+    ThroughputReport {
+        schema_version: SCHEMA_VERSION,
+        benchmark: "flooding_throughput".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        all_engines_agree: results.iter().all(|c| c.engines_agree),
+        cases: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_sample_is_spread_and_deduped() {
+        assert_eq!(source_sample(1, 3), vec![0]);
+        assert_eq!(source_sample(2, 3), vec![0, 1]);
+        assert_eq!(source_sample(100, 3), vec![0, 49, 99]);
+        let s = source_sample(5, 10);
+        assert!(s.len() <= 5);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn smoke_grid_engines_agree_and_roundtrip() {
+        let report = run(true);
+        assert!(report.all_engines_agree, "{}", report.to_summary());
+        assert!(report.cases.len() >= 3, "at least three families");
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.mode, "smoke");
+        for case in &report.cases {
+            assert_eq!(case.engines.len(), 2);
+            assert_eq!(case.engines[0].engine, "frontier");
+            assert_eq!(case.engines[1].engine, "fast");
+            assert!(case.engines[0].total_messages > 0);
+            // Rebuilding from the recorded spec gives the recorded size.
+            let g = case.spec.build();
+            assert_eq!(g.node_count(), case.nodes);
+            assert_eq!(g.edge_count(), case.edges);
+        }
+        let json = report.to_json();
+        let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(!report.to_summary().is_empty());
+    }
+
+    #[test]
+    fn single_case_oracle_check_catches_agreement() {
+        let case = run_case("grid", &GraphSpec::Grid { rows: 9, cols: 7 }, 3, true);
+        assert!(case.engines_agree);
+        // Bipartite grid: every flood delivers exactly m messages.
+        let floods = case.sources.len() as u64;
+        assert_eq!(case.engines[0].total_messages, floods * case.edges as u64);
+    }
+
+    #[test]
+    fn full_grid_is_well_formed() {
+        // Don't *run* the full grid in tests — just check its shape.
+        let grid = cases(false);
+        assert!(grid.len() >= 3, "at least three families");
+        for (family, specs) in &grid {
+            assert!(!family.is_empty());
+            assert!(specs.len() >= 3, "{family}: sizes from ~1e4 to ~1e6");
+        }
+    }
+}

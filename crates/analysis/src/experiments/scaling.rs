@@ -9,7 +9,7 @@
 
 use crate::stats::Summary;
 use crate::table::Table;
-use af_core::AmnesiacFlooding;
+use af_core::FloodBatch;
 use af_graph::{algo, Graph};
 
 /// One family's series: `(label, sizes, builder)`.
@@ -85,12 +85,15 @@ pub fn run() -> Table {
                 .max_by_key(|&v| algo::eccentricity(&g, v).expect("connected"))
                 .expect("series graphs are non-empty");
             sources.push(peripheral);
+            // One batched simulator floods every sampled source, reusing
+            // its allocations across the whole series entry.
+            let mut batch = FloodBatch::new(&g);
             let rounds: Vec<u64> = sources
                 .iter()
                 .map(|&s| {
                     u64::from(
-                        AmnesiacFlooding::single_source(&g, s)
-                            .run()
+                        batch
+                            .run_from([s])
                             .termination_round()
                             .expect("Theorem 3.1"),
                     )

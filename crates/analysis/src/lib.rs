@@ -10,7 +10,10 @@
 //! * [`exhaustive`] — verification of *every* paper claim on *every*
 //!   connected graph with up to 6 nodes, from every source;
 //! * [`Table`], [`Summary`], [`ClaimCheck`] — uniform reporting;
-//! * [`sweep`] — a small parallel runner for experiment grids.
+//! * [`sweep`] — a small parallel runner for experiment grids;
+//! * [`mod@bench`] — the flooding throughput benchmark behind
+//!   `BENCH_flooding.json` (frontier engine vs the scan baseline over
+//!   graph families up to ~1e6 edges).
 //!
 //! # Examples
 //!
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bench;
 pub mod exhaustive;
 pub mod experiments;
 pub mod report;

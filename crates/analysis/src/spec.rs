@@ -142,6 +142,28 @@ pub enum GraphSpec {
         /// RNG seed.
         seed: u64,
     },
+    /// Random geometric graph: `n` uniform points in the unit square,
+    /// edges within Euclidean distance `radius`.
+    RandomGeometric {
+        /// Node count.
+        n: usize,
+        /// Connection radius.
+        radius: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Watts–Strogatz small world: ring lattice of degree `k`, each edge
+    /// rewired with probability `beta`.
+    WattsStrogatz {
+        /// Node count.
+        n: usize,
+        /// Lattice degree (even).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+        /// RNG seed.
+        seed: u64,
+    },
 }
 
 impl GraphSpec {
@@ -177,6 +199,12 @@ impl GraphSpec {
             GraphSpec::PreferentialAttachment { n, k, seed } => {
                 generators::preferential_attachment(n, k, seed)
             }
+            GraphSpec::RandomGeometric { n, radius, seed } => {
+                generators::random_geometric(n, radius, seed)
+            }
+            GraphSpec::WattsStrogatz { n, k, beta, seed } => {
+                generators::watts_strogatz(n, k, beta, seed)
+            }
         }
     }
 
@@ -205,6 +233,12 @@ impl GraphSpec {
             }
             GraphSpec::RandomRegular { n, d, seed } => format!("regular({n},d{d},s{seed})"),
             GraphSpec::PreferentialAttachment { n, k, seed } => format!("pa({n},k{k},s{seed})"),
+            GraphSpec::RandomGeometric { n, radius, seed } => {
+                format!("rgg({n},r{radius:.4},s{seed})")
+            }
+            GraphSpec::WattsStrogatz { n, k, beta, seed } => {
+                format!("ws({n},k{k},b{beta},s{seed})")
+            }
         }
     }
 }
@@ -257,6 +291,17 @@ mod tests {
                 n: 15,
                 k: 2,
                 seed: 5,
+            },
+            GraphSpec::RandomGeometric {
+                n: 30,
+                radius: 0.3,
+                seed: 6,
+            },
+            GraphSpec::WattsStrogatz {
+                n: 16,
+                k: 4,
+                beta: 0.1,
+                seed: 7,
             },
         ];
         for spec in specs {

@@ -101,6 +101,32 @@ mod tests {
     }
 
     #[test]
+    fn eight_threads_is_bit_identical_to_sequential() {
+        // Determinism contract: for a pure per-item function, the parallel
+        // sweep must return *exactly* what a sequential pass returns — same
+        // values, same order — regardless of thread interleaving. Use a
+        // real experiment grid: full flood records over (graph, source)
+        // pairs from three random families.
+        let mut items: Vec<(af_graph::Graph, af_graph::NodeId)> = Vec::new();
+        for seed in 0..4 {
+            for g in [
+                af_graph::generators::sparse_connected(24, 10, seed),
+                af_graph::generators::preferential_attachment(20, 2, seed),
+                af_graph::generators::random_geometric(18, 0.35, seed),
+            ] {
+                for s in g.nodes() {
+                    items.push((g.clone(), s));
+                }
+            }
+        }
+        assert!(items.len() > 200, "a real grid, not a toy");
+        let flood = |(g, s): &(af_graph::Graph, af_graph::NodeId)| af_core::flood(g, *s);
+        let sequential = run_parallel(items.clone(), 1, flood);
+        let parallel = run_parallel(items, 8, flood);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
     fn parallel_flooding_sweep_smoke() {
         // Realistic use: termination rounds across sources, in parallel.
         let g = af_graph::generators::cycle(9);

@@ -1,0 +1,75 @@
+//! `bench_throughput` — the flooding throughput benchmark.
+//!
+//! Floods a grid of graph families (sparse random, preferential
+//! attachment, random geometric, small world, grid) from ~1e4 up to ~1e6
+//! edges with the frontier-sparse engine and the scan-all-arcs baseline,
+//! then writes the schema-stable `BENCH_flooding.json` (see
+//! [`af_analysis::bench`] for the schema).
+//!
+//! ```text
+//! cargo run -p af-bench --release --bin bench_throughput             # full grid
+//! cargo run -p af-bench --release --bin bench_throughput -- --smoke # CI grid
+//! ```
+//!
+//! Options:
+//!
+//! * `--smoke` — the small CI grid (~2e3 edges per family) with an extra
+//!   cross-check of every flood against the exact-time oracle;
+//! * `--out <path>` — where to write the JSON. The default is
+//!   `BENCH_flooding.json` in the current directory for the full grid, and
+//!   `target/BENCH_flooding_smoke.json` for `--smoke`, so a casual smoke
+//!   run never clobbers the checked-in full-grid perf record (CI passes
+//!   `--out` explicitly);
+//! * `--stdout` — also print the JSON to stdout.
+//!
+//! Exits non-zero if any engine pair (or the oracle, in smoke mode)
+//! disagrees — the CI perf-smoke job relies on this.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: bench_throughput [--smoke] [--out <path>] [--stdout]\n\
+             writes the flooding-throughput report to BENCH_flooding.json"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let to_stdout = args.iter().any(|a| a == "--stdout");
+    let default_out = if smoke {
+        "target/BENCH_flooding_smoke.json"
+    } else {
+        "BENCH_flooding.json"
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or(default_out, String::as_str);
+
+    let report = af_analysis::bench::run(smoke);
+    eprint!("{}", report.to_summary());
+
+    let json = report.to_json();
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    if to_stdout {
+        println!("{json}");
+    }
+
+    if !report.all_engines_agree {
+        eprintln!("error: engines disagree — see {out_path}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

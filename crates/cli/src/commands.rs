@@ -386,6 +386,25 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
             generators::gnp_connected(n, prob, seed)
         }
         "tree" => generators::random_tree(p(1)?, p(2)? as u64),
+        "pa" => generators::preferential_attachment(p(1)?, p(2)?, p(3)? as u64),
+        "rgg" => {
+            let n = p(1)?;
+            let radius: f64 = args
+                .positional(2)
+                .ok_or("rgg: missing radius")?
+                .parse()
+                .map_err(|_| "rgg: bad radius")?;
+            generators::random_geometric(n, radius, p(3)? as u64)
+        }
+        "ws" => {
+            let (n, k) = (p(1)?, p(2)?);
+            let beta: f64 = args
+                .positional(3)
+                .ok_or("ws: missing beta")?
+                .parse()
+                .map_err(|_| "ws: bad beta")?;
+            generators::watts_strogatz(n, k, beta, p(4)? as u64)
+        }
         other => return Err(format!("unknown family '{other}'").into()),
     };
     Ok(match args.option("format").unwrap_or("edgelist") {
@@ -394,6 +413,26 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
         "dot" => io::to_dot(&graph, family),
         other => return Err(format!("unknown format '{other}'").into()),
     })
+}
+
+/// `amnesiac bench [--full] [--out <path>]` — the flooding throughput
+/// benchmark (frontier engine vs scan baseline). The default is the smoke
+/// grid; `--full` runs the ~1e4..1e6-edge grid that produces the
+/// repository's `BENCH_flooding.json`.
+///
+/// # Errors
+///
+/// Returns I/O errors from `--out`, or an error if the engines disagree.
+pub fn cmd_bench(args: &Args) -> Result<String, CommandError> {
+    let smoke = !args.flag("full");
+    let report = af_analysis::bench::run(smoke);
+    if let Some(path) = args.option("out") {
+        std::fs::write(path, format!("{}\n", report.to_json()))?;
+    }
+    if !report.all_engines_agree {
+        return Err("benchmark engines disagree — this is a bug".into());
+    }
+    Ok(report.to_summary())
 }
 
 /// The top-level usage text.
@@ -417,7 +456,11 @@ commands:
   gen <family>    generate a graph     [--format edgelist|g6|dot]
                   families: path N | cycle N | complete N | grid R C |
                   hypercube D | petersen | wheel K | barbell K | star N |
-                  friendship K | gnp N P SEED | tree N SEED
+                  friendship K | gnp N P SEED | tree N SEED |
+                  pa N K SEED | rgg N R SEED | ws N K BETA SEED
+  bench           flooding throughput benchmark [--full] [--out <path>]
+                  (frontier engine vs scan baseline; --full is the
+                  BENCH_flooding.json grid, ~1e4..1e6 edges per family)
 
 graph files: edge-list format ('n <count>' header + 'u v' lines) or graph6
 "
@@ -439,6 +482,7 @@ pub fn dispatch(command: &str, args: &Args) -> Result<String, CommandError> {
         "tree" => cmd_tree(args),
         "info" => cmd_info(args),
         "gen" => cmd_gen(args),
+        "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage()).into()),
     }
@@ -584,6 +628,34 @@ mod tests {
         assert!(cmd_gen(&args).unwrap().starts_with("graph petersen"));
         let args = Args::parse(["tbd"]).unwrap();
         assert!(cmd_gen(&args).is_err());
+    }
+
+    #[test]
+    fn gen_new_families() {
+        let args = Args::parse(["pa", "30", "2", "5"]).unwrap();
+        let g = parse_graph(&cmd_gen(&args).unwrap()).unwrap();
+        assert_eq!(g.node_count(), 30);
+        let args = Args::parse(["rgg", "25", "0.3", "5"]).unwrap();
+        let g = parse_graph(&cmd_gen(&args).unwrap()).unwrap();
+        assert_eq!(g.node_count(), 25);
+        let args = Args::parse(["ws", "20", "4", "0.1", "5"]).unwrap();
+        let g = parse_graph(&cmd_gen(&args).unwrap()).unwrap();
+        assert_eq!(g.node_count(), 20);
+        let args = Args::parse(["ws", "20", "4"]).unwrap();
+        assert!(cmd_gen(&args).is_err());
+    }
+
+    #[test]
+    fn bench_smoke_writes_json_and_summarizes() {
+        let dir = std::env::temp_dir().join("af-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json");
+        let args = Args::parse(["--out", out.to_str().unwrap()]).unwrap();
+        let text = cmd_bench(&args).unwrap();
+        assert!(text.contains("engines agree: true"), "{text}");
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert!(written.contains("\"flooding_throughput\""));
+        assert!(written.contains("\"schema_version\""));
     }
 
     #[test]

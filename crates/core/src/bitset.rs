@@ -1,0 +1,89 @@
+//! A fixed-size bitset over [`ArcId`]s, shared by the two bitset-backed
+//! simulators ([`crate::FastFlooding`] and [`crate::FrontierFlooding`]).
+
+use af_graph::ArcId;
+
+/// Fixed-size bitset over arc ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ArcSet {
+    words: Vec<u64>,
+}
+
+impl ArcSet {
+    pub(crate) fn new(arc_count: usize) -> Self {
+        ArcSet {
+            words: vec![0; arc_count.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, a: ArcId) {
+        self.words[a.index() / 64] |= 1 << (a.index() % 64);
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, a: ArcId) {
+        self.words[a.index() / 64] &= !(1 << (a.index() % 64));
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, a: ArcId) -> bool {
+        self.words[a.index() / 64] >> (a.index() % 64) & 1 == 1
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    pub(crate) fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The raw bitset words (compact configuration key).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over the set arc ids in increasing order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(ArcId::from_index(wi * 64 + b))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ArcSet::new(130);
+        assert!(s.is_empty());
+        for i in [0usize, 63, 64, 129] {
+            s.insert(ArcId::from_index(i));
+        }
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(ArcId::from_index(63)));
+        assert!(!s.contains(ArcId::from_index(62)));
+        s.remove(ArcId::from_index(63));
+        assert!(!s.contains(ArcId::from_index(63)));
+        assert_eq!(s.count(), 3);
+        let ids: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        assert_eq!(ids, vec![0, 64, 129]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -9,63 +9,16 @@
 //!
 //! (`v` forwards to the complement of its senders; `w` is a sender exactly
 //! when `w → v` was active.) [`FastFlooding`] iterates this rule over a
-//! bitset of active arcs — the engine of the exhaustive theorem checker and
-//! the benchmark harness, and an independent second implementation that the
-//! test suite cross-checks against the generic [`af_engine::SyncEngine`].
+//! bitset of active arcs by scanning the whole bitset each round — simple,
+//! branch-light, and an independent second implementation that the test
+//! suite cross-checks against the generic [`af_engine::SyncEngine`] and the
+//! frontier-sparse [`crate::FrontierFlooding`] (which does `O(active arcs)`
+//! work per round instead of `O(m)` and is the hot-path engine; this
+//! scan-based simulator is the benchmark baseline it is measured against).
 
+use crate::bitset::ArcSet;
 use af_engine::Outcome;
 use af_graph::{ArcId, Graph, NodeId};
-
-/// Fixed-size bitset over arc ids.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct ArcSet {
-    words: Vec<u64>,
-}
-
-impl ArcSet {
-    fn new(arc_count: usize) -> Self {
-        ArcSet {
-            words: vec![0; arc_count.div_ceil(64)],
-        }
-    }
-
-    #[inline]
-    fn insert(&mut self, a: ArcId) {
-        self.words[a.index() / 64] |= 1 << (a.index() % 64);
-    }
-
-    #[inline]
-    fn contains(&self, a: ArcId) -> bool {
-        self.words[a.index() / 64] >> (a.index() % 64) & 1 == 1
-    }
-
-    fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
-    }
-
-    fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-
-    fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Iterates over the set arc ids in increasing order.
-    fn iter(&self) -> impl Iterator<Item = ArcId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut bits = w;
-            core::iter::from_fn(move || {
-                if bits == 0 {
-                    return None;
-                }
-                let b = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                Some(ArcId::from_index(wi * 64 + b))
-            })
-        })
-    }
-}
 
 /// Bitset-based amnesiac-flooding simulator.
 ///
@@ -171,7 +124,7 @@ impl<'g> FastFlooding<'g> {
     /// dynamics.
     #[must_use]
     pub fn active_words(&self) -> &[u64] {
-        &self.active.words
+        self.active.words()
     }
 
     /// Enables or disables per-node receipt recording (enabled by default).

@@ -11,11 +11,16 @@
 //!   paper's protocol (Definition 1.1) and the flag-based baseline, as
 //!   [`af_engine::Protocol`] implementations for both the synchronous and
 //!   the adversarial asynchronous engine;
-//! * [`FastFlooding`] — an independent bitset simulator built on the local
-//!   arc rule (`v→w` fires iff `v` received and `w→v` did not fire);
+//! * [`FrontierFlooding`] — the frontier-sparse bitset simulator built on
+//!   the local arc rule (`v→w` fires iff `v` received and `w→v` did not
+//!   fire), doing `O(active arcs)` work per round — the hot-path engine;
+//! * [`FastFlooding`] — the scan-all-arcs bitset simulator, an independent
+//!   implementation kept as the cross-check and benchmark baseline;
 //! * [`AmnesiacFlooding`] / [`flood`] — high-level drivers producing a
 //!   [`FloodingRun`] with the paper's round-sets `R_i`, per-node receive
 //!   rounds, termination round and message counts;
+//! * [`FloodBatch`] — the batched multi-source runner: floods a graph from
+//!   many sources while reusing one simulator's allocations;
 //! * [`theory`] — the exact-time oracle via the bipartite double cover,
 //!   plus the paper's bounds (`e(v)`, `D`, `2D + 1`);
 //! * [`roundsets`] — the Theorem 3.1 proof machinery (`R`, `Re`) checked
@@ -56,10 +61,13 @@ pub mod trace;
 
 pub mod spanning;
 
+mod bitset;
 mod fast;
+mod frontier;
 mod protocol;
 mod run;
 
 pub use fast::FastFlooding;
+pub use frontier::FrontierFlooding;
 pub use protocol::{AmnesiacFloodingProtocol, ClassicFloodingProtocol, KMemoryFlooding};
-pub use run::{flood, AmnesiacFlooding, FloodingRun};
+pub use run::{flood, AmnesiacFlooding, FloodBatch, FloodStats, FloodingRun};

@@ -1,8 +1,12 @@
 //! High-level drivers: configure a flood, run it, inspect everything the
 //! paper talks about (round-sets `R_i`, receive rounds, termination round,
-//! message complexity).
+//! message complexity) — plus [`FloodBatch`], the batched multi-source
+//! runner that floods one graph from many sources while reusing a single
+//! simulator's allocations.
+//!
+//! Both drivers run on the frontier-sparse [`FrontierFlooding`] engine.
 
-use crate::fast::FastFlooding;
+use crate::frontier::FrontierFlooding;
 use af_engine::Outcome;
 use af_graph::{Graph, NodeId};
 
@@ -80,7 +84,7 @@ impl<'g> AmnesiacFlooding<'g> {
         let cap = self
             .max_rounds
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
-        let mut sim = FastFlooding::new(self.graph, self.sources.iter().copied());
+        let mut sim = FrontierFlooding::new(self.graph, self.sources.iter().copied());
         let outcome = sim.run(cap);
 
         let n = self.graph.node_count();
@@ -119,8 +123,7 @@ impl<'g> AmnesiacFlooding<'g> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FloodingRun {
-    outcome_terminated: bool,
-    outcome_round: u32,
+    outcome: Outcome,
     sources: Vec<NodeId>,
     receive_rounds: Vec<Vec<u32>>,
     round_sets: Vec<Vec<NodeId>>,
@@ -128,10 +131,7 @@ pub struct FloodingRun {
     total_messages: u64,
 }
 
-// Manual field pair instead of storing `Outcome` keeps the serde derive
-// simple; reconstruct on demand.
 impl FloodingRun {
-    #[allow(clippy::too_many_arguments)]
     fn new_internal(
         outcome: Outcome,
         sources: Vec<NodeId>,
@@ -140,13 +140,8 @@ impl FloodingRun {
         messages_per_round: Vec<u64>,
         total_messages: u64,
     ) -> Self {
-        let (outcome_terminated, outcome_round) = match outcome {
-            Outcome::Terminated { last_active_round } => (true, last_active_round),
-            Outcome::CapReached { rounds_executed } => (false, rounds_executed),
-        };
         FloodingRun {
-            outcome_terminated,
-            outcome_round,
+            outcome,
             sources,
             receive_rounds,
             round_sets,
@@ -158,35 +153,27 @@ impl FloodingRun {
     /// Returns `true` if the flood terminated within the round cap.
     #[must_use]
     pub fn terminated(&self) -> bool {
-        self.outcome_terminated
+        self.outcome.is_terminated()
     }
 
     /// The paper's termination time: the last round in which any edge
     /// carried the message. `None` if the cap was reached first.
     #[must_use]
     pub fn termination_round(&self) -> Option<u32> {
-        self.outcome_terminated.then_some(self.outcome_round)
+        self.outcome.termination_round()
     }
 
     /// Number of rounds executed (equals the termination round for
     /// terminated runs).
     #[must_use]
     pub fn rounds_executed(&self) -> u32 {
-        self.outcome_round
+        self.outcome.rounds_executed()
     }
 
     /// The engine-level outcome.
     #[must_use]
     pub fn outcome(&self) -> Outcome {
-        if self.outcome_terminated {
-            Outcome::Terminated {
-                last_active_round: self.outcome_round,
-            }
-        } else {
-            Outcome::CapReached {
-                rounds_executed: self.outcome_round,
-            }
-        }
+        self.outcome
     }
 
     /// The (sorted, deduplicated) source set.
@@ -262,6 +249,126 @@ impl FloodingRun {
     #[must_use]
     pub fn messages_per_round(&self) -> &[u64] {
         &self.messages_per_round
+    }
+}
+
+/// Summary statistics of one flood executed by a [`FloodBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodStats {
+    outcome: Outcome,
+    total_messages: u64,
+}
+
+impl FloodStats {
+    /// The engine-level outcome.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        self.outcome
+    }
+
+    /// The termination round, or `None` if the round cap was reached.
+    #[must_use]
+    pub fn termination_round(&self) -> Option<u32> {
+        self.outcome.termination_round()
+    }
+
+    /// Returns `true` if the flood terminated within the cap.
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.outcome.is_terminated()
+    }
+
+    /// Total point-to-point messages delivered.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+}
+
+/// Batched multi-source flood runner: executes many floods on one graph
+/// through a single [`FrontierFlooding`] simulator, so per-flood cost is
+/// the intrinsic `O(messages)` work with **no per-source allocation**.
+///
+/// Receipt recording is off (the batch reports [`FloodStats`], not full
+/// schedules), which is what makes [`FrontierFlooding::reset`] constant
+/// amortized overhead. This is the engine under the throughput benchmark
+/// and the E13 scaling experiment.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::FloodBatch;
+/// use af_graph::generators;
+///
+/// let g = generators::cycle(9);
+/// let mut batch = FloodBatch::new(&g);
+/// // C9 is vertex-transitive: every source gives 2D + 1 = 9 rounds.
+/// for stats in batch.run_all_single_sources() {
+///     assert_eq!(stats.termination_round(), Some(9));
+///     assert_eq!(stats.total_messages(), 18); // 2m
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FloodBatch<'g> {
+    sim: FrontierFlooding<'g>,
+    max_rounds: Option<u32>,
+}
+
+impl<'g> FloodBatch<'g> {
+    /// Creates a batch runner for `graph`.
+    #[must_use]
+    pub fn new(graph: &'g Graph) -> Self {
+        let mut sim = FrontierFlooding::new(graph, []);
+        sim.set_record_receipts(false);
+        FloodBatch {
+            sim,
+            max_rounds: None,
+        }
+    }
+
+    /// Overrides the per-flood round cap (default `2n + 2`, strictly above
+    /// the paper's `2D + 1` bound).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// The graph this batch floods.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.sim.graph()
+    }
+
+    /// Runs one flood from `sources`, reusing the simulator's allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn run_from<I>(&mut self, sources: I) -> FloodStats
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let cap = self
+            .max_rounds
+            .unwrap_or_else(|| 2 * self.graph().node_count() as u32 + 2);
+        self.sim.reset(sources);
+        let outcome = self.sim.run(cap);
+        FloodStats {
+            outcome,
+            total_messages: self.sim.total_messages(),
+        }
+    }
+
+    /// Runs one single-source flood from every node of the graph, in node
+    /// order — `n` floods, one simulator, zero reallocations.
+    pub fn run_all_single_sources(&mut self) -> Vec<FloodStats> {
+        self.graph()
+            .nodes()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|s| self.run_from([s]))
+            .collect()
     }
 }
 
@@ -372,6 +479,51 @@ mod tests {
                 last_active_round: 2
             }
         );
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let g = generators::petersen();
+        let mut batch = FloodBatch::new(&g);
+        for v in g.nodes() {
+            let stats = batch.run_from([v]);
+            let run = flood(&g, v);
+            assert_eq!(stats.termination_round(), run.termination_round(), "{v}");
+            assert_eq!(stats.total_messages(), run.total_messages(), "{v}");
+            assert!(stats.terminated());
+            assert_eq!(stats.outcome(), run.outcome());
+        }
+    }
+
+    #[test]
+    fn batch_all_sources_covers_every_node() {
+        let g = generators::lollipop(4, 5);
+        let mut batch = FloodBatch::new(&g);
+        let all = batch.run_all_single_sources();
+        assert_eq!(all.len(), g.node_count());
+        for (v, stats) in g.nodes().zip(&all) {
+            assert_eq!(
+                stats.termination_round(),
+                flood(&g, v).termination_round(),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_multi_source_and_cap() {
+        let g = generators::cycle(3);
+        let mut batch = FloodBatch::new(&g).with_max_rounds(2);
+        let stats = batch.run_from([0.into()]);
+        assert!(!stats.terminated());
+        assert_eq!(stats.termination_round(), None);
+
+        let g = generators::cycle(8);
+        let mut batch = FloodBatch::new(&g);
+        let stats = batch.run_from([0.into(), 4.into()]);
+        let run = AmnesiacFlooding::multi_source(&g, [0.into(), 4.into()]).run();
+        assert_eq!(stats.termination_round(), run.termination_round());
+        assert_eq!(stats.total_messages(), run.total_messages());
     }
 
     #[cfg(feature = "serde")]

@@ -96,6 +96,7 @@ impl std::error::Error for AsyncError {}
 
 /// Result of driving an asynchronous run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AsyncOutcome {
     /// No message in flight: the flood died out.
     Terminated {

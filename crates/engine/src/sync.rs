@@ -12,6 +12,7 @@ use af_graph::{ArcId, Graph, NodeId};
 
 /// Result of driving a synchronous run to completion (or to the cap).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Outcome {
     /// No message is in flight any more. `last_active_round` is the largest
     /// round in which some edge carried the message (0 when the initiator
@@ -41,6 +42,16 @@ impl Outcome {
     #[must_use]
     pub fn is_terminated(self) -> bool {
         matches!(self, Outcome::Terminated { .. })
+    }
+
+    /// Rounds executed either way: the termination round for terminated
+    /// runs, the cap for capped runs.
+    #[must_use]
+    pub fn rounds_executed(self) -> u32 {
+        match self {
+            Outcome::Terminated { last_active_round } => last_active_round,
+            Outcome::CapReached { rounds_executed } => rounds_executed,
+        }
     }
 }
 
@@ -474,5 +485,35 @@ mod tests {
         let p = TestAmnesiacFlooding;
         let mut e = SyncEngine::new(&g, &p, [NodeId::new(0)]);
         assert_eq!(e.run(10).termination_round(), Some(2));
+    }
+
+    #[test]
+    fn outcome_rounds_executed_covers_both_variants() {
+        assert_eq!(
+            Outcome::Terminated {
+                last_active_round: 4
+            }
+            .rounds_executed(),
+            4
+        );
+        assert_eq!(
+            Outcome::CapReached { rounds_executed: 9 }.rounds_executed(),
+            9
+        );
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn outcome_serde_roundtrip() {
+        for o in [
+            Outcome::Terminated {
+                last_active_round: 3,
+            },
+            Outcome::CapReached { rounds_executed: 7 },
+        ] {
+            let json = serde_json::to_string(&o).unwrap();
+            let back: Outcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(o, back);
+        }
     }
 }

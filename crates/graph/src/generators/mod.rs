@@ -16,6 +16,6 @@ pub use deterministic::{
     torus, wheel,
 };
 pub use random::{
-    gnp, gnp_connected, preferential_attachment, random_bipartite, random_regular, random_tree,
-    sparse_connected,
+    gnp, gnp_connected, preferential_attachment, random_bipartite, random_geometric,
+    random_regular, random_tree, sparse_connected, watts_strogatz,
 };

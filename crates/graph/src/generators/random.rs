@@ -272,6 +272,128 @@ pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// A random geometric graph: `n` points uniform in the unit square, an edge
+/// whenever two points are within Euclidean distance `radius`.
+///
+/// Candidate pairs are found through a cell grid with side length `>= radius`
+/// (every close pair lives in the same or an adjacent cell), so generation is
+/// `O(n + candidate pairs)` and scales to millions of edges — the benchmark
+/// harness's spatially-clustered, high-diameter family.
+///
+/// Connectivity is *not* guaranteed; above the connectivity threshold
+/// (`radius²` around `ln n / (π n)`) samples are connected with high
+/// probability.
+///
+/// # Panics
+///
+/// Panics if `radius` is not a positive finite number.
+#[must_use]
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "radius must be positive and finite, got {radius}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+
+    let cells = ((1.0 / radius).floor().max(1.0) as usize).min(n.max(1));
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+
+    let r2 = radius * radius;
+    let close = |i: u32, j: u32| {
+        let (xi, yi) = pts[i as usize];
+        let (xj, yj) = pts[j as usize];
+        (xi - xj) * (xi - xj) + (yi - yj) * (yi - yj) <= r2
+    };
+    let mut b = GraphBuilder::new(n);
+    // Half stencil: each unordered cell pair is visited exactly once.
+    const FORWARD: [(isize, isize); 4] = [(1, 0), (-1, 1), (0, 1), (1, 1)];
+    for cy in 0..cells {
+        for cx in 0..cells {
+            let here = &buckets[cy * cells + cx];
+            for (a, &i) in here.iter().enumerate() {
+                for &j in &here[a + 1..] {
+                    if close(i, j) {
+                        b.add_edge(i as usize, j as usize).expect("in range");
+                    }
+                }
+            }
+            for (dx, dy) in FORWARD {
+                let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                if nx < 0 || ny < 0 || nx >= cells as isize || ny >= cells as isize {
+                    continue;
+                }
+                let there = &buckets[ny as usize * cells + nx as usize];
+                for &i in here {
+                    for &j in there {
+                        if close(i, j) {
+                            b.add_edge(i as usize, j as usize).expect("in range");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A Watts–Strogatz small-world graph: a ring lattice where every node is
+/// joined to its `k / 2` nearest neighbours on each side, with each lattice
+/// edge rewired to a uniform random endpoint with probability `beta`.
+///
+/// `beta = 0` is the pure lattice (high diameter), `beta = 1` approaches a
+/// random graph (low diameter); small `beta` gives the small-world regime.
+/// The edge count is `n * k / 2` minus rare collisions: rewiring skips
+/// self-loops and duplicate edges, and a kept lattice edge can coincide
+/// with an earlier rewired edge (duplicates collapse). Connectivity is not
+/// strictly guaranteed but holds in practice for `beta < 1`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or odd, `n <= k`, or `beta` is outside `[0, 1]`.
+#[must_use]
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(n > k, "need n > k, got n = {n}, k = {k}");
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "beta must be in [0, 1], got {beta}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let lattice = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint; a handful of retries suffices
+                // away from the complete-graph regime, after which the
+                // lattice edge is kept.
+                let mut rewired = false;
+                for _ in 0..32 {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !b.contains_edge(u, w) {
+                        b.add_edge(u, w).expect("in range");
+                        rewired = true;
+                        break;
+                    }
+                }
+                if !rewired {
+                    let _ = b.add_edge(u, lattice).expect("in range");
+                }
+            } else {
+                let _ = b.add_edge(u, lattice).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +503,68 @@ mod tests {
     #[should_panic(expected = "must be even")]
     fn random_regular_rejects_odd_total() {
         let _ = random_regular(5, 3, 1);
+    }
+
+    #[test]
+    fn random_geometric_matches_naive_pair_scan() {
+        // The bucketed generator must produce exactly the brute-force edge
+        // set: every pair within `radius`, no others.
+        for (n, radius, seed) in [
+            (60usize, 0.18, 1u64),
+            (120, 0.09, 2),
+            (40, 0.5, 3),
+            (25, 1.5, 4),
+        ] {
+            let g = random_geometric(n, radius, seed);
+            // Re-derive the points from the same seeded stream.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect();
+            let mut expect = GraphBuilder::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                    if dx * dx + dy * dy <= radius * radius {
+                        expect.add_edge(i, j).unwrap();
+                    }
+                }
+            }
+            assert_eq!(g, expect.build(), "n={n} radius={radius} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn random_geometric_is_seed_deterministic() {
+        assert_eq!(random_geometric(80, 0.12, 5), random_geometric(80, 0.12, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn random_geometric_rejects_bad_radius() {
+        let _ = random_geometric(5, 0.0, 0);
+    }
+
+    #[test]
+    fn watts_strogatz_lattice_and_rewired() {
+        // beta = 0 is exactly the circulant lattice.
+        let g = watts_strogatz(20, 4, 0.0, 7);
+        assert_eq!(g, crate::generators::circulant(20, &[1, 2]));
+        assert_eq!(g.edge_count(), 40);
+        // Rewired graphs keep (almost) the same edge budget and stay
+        // deterministic per seed.
+        let h = watts_strogatz(200, 6, 0.2, 11);
+        assert_eq!(h, watts_strogatz(200, 6, 0.2, 11));
+        assert!(h.edge_count() <= 600);
+        assert!(h.edge_count() >= 580, "got {}", h.edge_count());
+        assert_ne!(h, watts_strogatz(200, 6, 0.2, 12));
+        assert!(algo::is_connected(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn watts_strogatz_rejects_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
     }
 
     #[test]

@@ -155,6 +155,46 @@ impl Graph {
             .zip(self.incident_edges[lo..hi].iter().copied())
     }
 
+    /// Iterates over `(neighbor, arc)` pairs for `v`, in neighbour order,
+    /// where the arc points *from* `v` *to* the neighbour.
+    ///
+    /// Arc identifiers are derived directly from the CSR layout, so hot
+    /// loops over a node's out-arcs need no per-neighbour binary search
+    /// (unlike repeated [`Graph::arc_between`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use af_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+    /// for (w, a) in g.incident_arcs(1.into()) {
+    ///     assert_eq!(g.arc_tail(a), 1.into());
+    ///     assert_eq!(g.arc_head(a), w);
+    /// }
+    /// # Ok::<(), af_graph::GraphError>(())
+    /// ```
+    pub fn incident_arcs(&self, v: NodeId) -> impl ExactSizeIterator<Item = (NodeId, ArcId)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.neighbors[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.incident_edges[lo..hi].iter().copied())
+            .map(move |(w, e)| {
+                let dir = if v < w {
+                    Direction::Forward
+                } else {
+                    Direction::Reverse
+                };
+                (w, ArcId::new(e, dir))
+            })
+    }
+
     /// Degree of `v`.
     ///
     /// # Panics
@@ -574,6 +614,20 @@ mod tests {
         assert_eq!(g.arc_tail(b), 1.into());
         assert_eq!(g.arc_head(b), 3.into());
         assert_eq!(g.arc_between(1.into(), 3.into()), Some(b));
+    }
+
+    #[test]
+    fn incident_arcs_agree_with_arc_between() {
+        let g = sample();
+        for v in g.nodes() {
+            let pairs: Vec<(NodeId, ArcId)> = g.incident_arcs(v).collect();
+            assert_eq!(pairs.len(), g.degree(v));
+            for (w, a) in pairs {
+                assert_eq!(Some(a), g.arc_between(v, w));
+                assert_eq!(g.arc_tail(a), v);
+                assert_eq!(g.arc_head(a), w);
+            }
+        }
     }
 
     #[test]

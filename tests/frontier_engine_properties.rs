@@ -1,0 +1,121 @@
+//! Property tests pinning the frontier-sparse engine to the theory oracle:
+//! on random bipartite and non-bipartite graphs up to n = 512, the
+//! per-round received-sets produced by [`FrontierFlooding`] must equal the
+//! round-sets predicted by `theory::predict` via the bipartite double
+//! cover — two implementations that share no flooding code.
+
+use amnesiac_flooding::core::{theory, FloodBatch, FrontierFlooding};
+use amnesiac_flooding::graph::{algo, generators, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Runs the frontier engine to termination and returns its round-sets
+/// `R_1..=R_T` as sorted node lists (index 0 = round 1).
+fn frontier_round_sets(g: &Graph, sources: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut sim = FrontierFlooding::new(g, sources.iter().copied());
+    let outcome = sim.run(2 * g.node_count() as u32 + 2);
+    assert!(outcome.is_terminated(), "Theorem 3.1: floods terminate");
+    let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); outcome.rounds_executed() as usize];
+    for v in g.nodes() {
+        for &r in sim.receipts(v) {
+            sets[r as usize - 1].push(v);
+        }
+    }
+    // Node-order iteration already yields each set sorted.
+    sets
+}
+
+/// The oracle's round-sets over the same convention.
+fn predicted_round_sets(g: &Graph, sources: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let pred = theory::predict(g, sources.iter().copied());
+    let t = pred.termination_round();
+    let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); t as usize];
+    for v in g.nodes() {
+        for &r in pred.receive_rounds(v) {
+            sets[r as usize - 1].push(v);
+        }
+    }
+    sets
+}
+
+fn check_round_sets(g: &Graph, sources: &[NodeId]) -> Result<(), TestCaseError> {
+    let simulated = frontier_round_sets(g, sources);
+    let predicted = predicted_round_sets(g, sources);
+    prop_assert_eq!(simulated, predicted, "{} from {:?}", g, sources);
+    Ok(())
+}
+
+prop_compose! {
+    /// Random non-bipartite-leaning connected graphs up to n = 512.
+    fn connected_graph_and_source()(
+        (n, extra_frac, seed) in (2usize..=512, 0usize..200, any::<u64>()),
+        raw in any::<u32>()
+    ) -> (Graph, NodeId) {
+        let extra = n * extra_frac / 100;
+        let g = generators::sparse_connected(n, extra, seed);
+        let s = NodeId::new(raw as usize % g.node_count());
+        (g, s)
+    }
+}
+
+prop_compose! {
+    /// Random bipartite graphs up to n = 512 (not necessarily connected;
+    /// the correspondence must hold regardless).
+    fn bipartite_graph_and_source()(
+        (a, b, seed) in (1usize..=256, 1usize..=256, any::<u64>()),
+        p in 0.002f64..0.2,
+        raw in any::<u32>()
+    ) -> (Graph, NodeId) {
+        let g = generators::random_bipartite(a, b, p, seed);
+        let s = NodeId::new(raw as usize % g.node_count());
+        (g, s)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frontier round-sets == oracle round-sets on (mostly non-bipartite)
+    /// connected graphs.
+    #[test]
+    fn frontier_matches_oracle_on_random_graphs((g, s) in connected_graph_and_source()) {
+        check_round_sets(&g, &[s])?;
+    }
+
+    /// The same on genuinely bipartite graphs, where Lemma 2.1 additionally
+    /// forces every reached node to receive exactly once.
+    #[test]
+    fn frontier_matches_oracle_on_bipartite_graphs((g, s) in bipartite_graph_and_source()) {
+        prop_assume!(algo::is_bipartite(&g));
+        check_round_sets(&g, &[s])?;
+        let mut sim = FrontierFlooding::new(&g, [s]);
+        sim.run(2 * g.node_count() as u32 + 2);
+        for v in g.nodes() {
+            prop_assert!(sim.receipts(v).len() <= 1, "bipartite receive-once at {v}");
+        }
+    }
+
+    /// Multi-source floods agree too (the oracle generalizes per-source).
+    #[test]
+    fn frontier_matches_oracle_multi_source(
+        (g, s) in connected_graph_and_source(),
+        raw2 in any::<u32>()
+    ) {
+        let s2 = NodeId::new(raw2 as usize % g.node_count());
+        check_round_sets(&g, &[s, s2])?;
+    }
+
+    /// The batched runner reports exactly what the oracle predicts, source
+    /// after source — allocation reuse must never leak state between
+    /// floods.
+    #[test]
+    fn flood_batch_matches_oracle_across_sources((g, _) in connected_graph_and_source()) {
+        let mut batch = FloodBatch::new(&g);
+        let step = (g.node_count() / 8).max(1);
+        for s in g.nodes().step_by(step) {
+            let stats = batch.run_from([s]);
+            let pred = theory::predict(&g, [s]);
+            prop_assert_eq!(stats.termination_round(), Some(pred.termination_round()));
+            prop_assert_eq!(stats.total_messages(), pred.total_messages());
+        }
+    }
+}
