@@ -5,24 +5,28 @@
 //! activates at most twice), so sustained throughput — delivered messages
 //! (edge crossings) per second — is the honest scalar to track. The
 //! benchmark floods a grid of graph families from roughly `1e4` up to
-//! `1e6` edges with two engines:
+//! `1e6` edges with three engines:
 //!
 //! * `frontier` — [`af_core::FrontierFlooding`] via the batched
 //!   [`af_core::FloodBatch`] runner (allocation reuse across sources);
-//! * `fast` — the scan-all-arcs [`af_core::FastFlooding`] baseline.
+//! * `fast` — the scan-all-arcs [`af_core::FastFlooding`] baseline;
+//! * `sharded` — [`af_core::ShardedFlooding`]: the same floods split
+//!   across `threads` partition shards (the `threads` and `partitioner`
+//!   columns record the concurrency axis; the serial engines carry
+//!   `threads = 1`, `partitioner = "none"`).
 //!
-//! Both engines flood the same deterministic source sample of every graph
+//! All engines flood the same deterministic source sample of every graph
 //! and must agree flood-for-flood on termination rounds and message counts
 //! (recorded as `engines_agree` / `all_engines_agree`; in smoke mode the
 //! [`af_core::theory`] oracle is checked too). CI runs the smoke
 //! configuration on every push and fails if the engines disagree or the
 //! JSON stops parsing.
 //!
-//! # `BENCH_flooding.json` schema (version 1)
+//! # `BENCH_flooding.json` schema (version 2)
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "benchmark": "flooding_throughput",
 //!   "mode": "full" | "smoke",
 //!   "all_engines_agree": true,
@@ -34,10 +38,12 @@
 //!       "sources": [0, 250632, 501263],
 //!       "engines_agree": true,
 //!       "engines": [
-//!         { "engine": "frontier", "rounds_per_source": [1414, ...],
+//!         { "engine": "frontier", "threads": 1, "partitioner": "none",
+//!           "rounds_per_source": [1414, ...],
 //!           "total_messages": 3003336, "wall_ms": 123.4,
 //!           "edges_per_sec": 24340000.0 },
-//!         { "engine": "fast", ... }
+//!         { "engine": "fast", ... },
+//!         { "engine": "sharded", "threads": 4, "partitioner": "bfs", ... }
 //!       ]
 //!     }, ...
 //!   ]
@@ -45,22 +51,34 @@
 //! ```
 //!
 //! Field names and nesting are stable; extending the file means adding
-//! fields (or bumping `schema_version`), never renaming.
+//! fields (or bumping `schema_version`), never renaming. Version 2 added
+//! the required `threads` and `partitioner` fields to every engine row
+//! together with the sharded engine — version-1 files (which lack them)
+//! do not deserialize as [`EngineStats`], hence the bump rather than a
+//! silent same-version shape change.
 
 use crate::spec::GraphSpec;
-use af_core::{theory, FastFlooding, FloodBatch};
-use af_graph::{Graph, NodeId};
+use af_core::{theory, FastFlooding, FloodBatch, FloodEngine};
+use af_graph::{Graph, NodeId, PartitionStrategy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Version stamp written into every report.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version stamp written into every report. Version 2 = version 1 plus
+/// the required per-engine `threads` / `partitioner` fields.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The `partitioner` value recorded for engines that do not partition.
+pub const NO_PARTITIONER: &str = "none";
 
 /// One engine's aggregate measurement over a case's source sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
-    /// Engine name: `"frontier"` or `"fast"`.
+    /// Engine name: `"frontier"`, `"fast"`, or `"sharded"`.
     pub engine: String,
+    /// Worker threads the engine used (1 for the serial engines).
+    pub threads: usize,
+    /// Partition strategy name, or `"none"` for unpartitioned engines.
+    pub partitioner: String,
     /// Termination round of each measured flood, in source order.
     pub rounds_per_source: Vec<u32>,
     /// Messages delivered over all measured floods.
@@ -69,6 +87,19 @@ pub struct EngineStats {
     pub wall_ms: f64,
     /// Throughput: delivered messages (= edge crossings) per second.
     pub edges_per_sec: f64,
+}
+
+impl EngineStats {
+    /// A short human label: the engine name, annotated with the thread
+    /// count and partitioner when concurrency is in play.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.threads > 1 {
+            format!("{}x{}({})", self.engine, self.threads, self.partitioner)
+        } else {
+            self.engine.clone()
+        }
+    }
 }
 
 /// One `(family, size)` case: the graph, its source sample, and every
@@ -141,7 +172,9 @@ impl ThroughputReport {
                 let _ = write!(
                     out,
                     "  {}: {:>8.1}ms {:>12.0} edges/s",
-                    e.engine, e.wall_ms, e.edges_per_sec
+                    e.label(),
+                    e.wall_ms,
+                    e.edges_per_sec
                 );
             }
             let _ = writeln!(out);
@@ -262,14 +295,25 @@ fn source_sample(n: usize, count: usize) -> Vec<usize> {
     sources
 }
 
-// Both measurements time the engine's complete multi-source workflow,
-// setup included: the batch runner allocates once and reuses state across
-// sources (that amortization is part of what is being measured), while the
-// scan engine has no reset and must construct per source.
+// All measurements time the engine's complete multi-source workflow,
+// setup included: the batch runners allocate once (for the sharded engine
+// that includes partitioning the graph) and reuse state across sources —
+// that amortization is part of what is being measured — while the scan
+// engine has no reset and must construct per source.
 
-fn measure_frontier(g: &Graph, sources: &[usize]) -> EngineStats {
+fn measure_batch(g: &Graph, sources: &[usize], engine: FloodEngine) -> EngineStats {
+    let (name, threads, partitioner) = match engine {
+        FloodEngine::Frontier => ("frontier", 1, NO_PARTITIONER.to_string()),
+        FloodEngine::Sharded { threads, strategy } => (
+            "sharded",
+            // Record the shard count that actually runs, not the request
+            // (Partition::new clamps into 1 ..= min(n, MAX_SHARDS)).
+            af_graph::partition::clamp_shard_count(g.node_count(), threads),
+            strategy.name().to_string(),
+        ),
+    };
     let start = Instant::now();
-    let mut batch = FloodBatch::new(g);
+    let mut batch = FloodBatch::with_engine(g, engine);
     let stats: Vec<af_core::FloodStats> = sources
         .iter()
         .map(|&s| batch.run_from([NodeId::new(s)]))
@@ -283,7 +327,14 @@ fn measure_frontier(g: &Graph, sources: &[usize]) -> EngineStats {
         })
         .collect();
     let messages = stats.iter().map(af_core::FloodStats::total_messages).sum();
-    finish_stats("frontier", rounds, messages, wall.as_secs_f64())
+    finish_stats(
+        name,
+        threads,
+        partitioner,
+        rounds,
+        messages,
+        wall.as_secs_f64(),
+    )
 }
 
 fn measure_fast(g: &Graph, sources: &[usize]) -> EngineStats {
@@ -306,12 +357,28 @@ fn measure_fast(g: &Graph, sources: &[usize]) -> EngineStats {
     let wall = start.elapsed();
     let rounds = per_source.iter().map(|&(r, _)| r).collect();
     let messages = per_source.iter().map(|&(_, m)| m).sum();
-    finish_stats("fast", rounds, messages, wall.as_secs_f64())
+    finish_stats(
+        "fast",
+        1,
+        NO_PARTITIONER.to_string(),
+        rounds,
+        messages,
+        wall.as_secs_f64(),
+    )
 }
 
-fn finish_stats(engine: &str, rounds: Vec<u32>, messages: u64, secs: f64) -> EngineStats {
+fn finish_stats(
+    engine: &str,
+    threads: usize,
+    partitioner: String,
+    rounds: Vec<u32>,
+    messages: u64,
+    secs: f64,
+) -> EngineStats {
     EngineStats {
         engine: engine.to_string(),
+        threads,
+        partitioner,
         rounds_per_source: rounds,
         total_messages: messages,
         wall_ms: secs * 1e3,
@@ -325,22 +392,28 @@ fn finish_stats(engine: &str, rounds: Vec<u32>, messages: u64, secs: f64) -> Eng
     }
 }
 
-/// Runs one case: build the graph, sample sources, measure every engine,
-/// and cross-check agreement (plus the oracle when `check_oracle`).
+/// Runs one case: build the graph, sample sources, measure every engine
+/// (`frontier`, `fast`, and `sharded` with the given concurrency), and
+/// cross-check agreement (plus the oracle when `check_oracle`).
 #[must_use]
 pub fn run_case(
     family: &str,
     spec: &GraphSpec,
     sources_per_graph: usize,
     check_oracle: bool,
+    threads: usize,
+    strategy: PartitionStrategy,
 ) -> CaseResult {
     let g = spec.build();
     let sources = source_sample(g.node_count(), sources_per_graph);
-    let frontier = measure_frontier(&g, &sources);
+    let frontier = measure_batch(&g, &sources, FloodEngine::Frontier);
     let fast = measure_fast(&g, &sources);
+    let sharded = measure_batch(&g, &sources, FloodEngine::Sharded { threads, strategy });
 
-    let mut agree = frontier.rounds_per_source == fast.rounds_per_source
-        && frontier.total_messages == fast.total_messages;
+    let mut agree = [&fast, &sharded].iter().all(|e| {
+        e.rounds_per_source == frontier.rounds_per_source
+            && e.total_messages == frontier.total_messages
+    });
     if check_oracle {
         for (&s, &r) in sources.iter().zip(&frontier.rounds_per_source) {
             agree &= theory::predict(&g, [NodeId::new(s)]).termination_round() == r;
@@ -354,23 +427,38 @@ pub fn run_case(
         edges: g.edge_count(),
         sources,
         engines_agree: agree,
-        engines: vec![frontier, fast],
+        engines: vec![frontier, fast, sharded],
     }
 }
 
-/// Runs the whole benchmark grid.
+/// Runs the whole benchmark grid with the default concurrency axis
+/// (`threads = 4`, BFS partitioner — what CI's perf-smoke job pins).
 ///
 /// `smoke` selects the small CI-friendly grid and additionally checks every
 /// measured flood against the exact-time oracle. Progress (one line per
 /// case) goes to stderr so stdout can stay machine-readable.
 #[must_use]
 pub fn run(smoke: bool) -> ThroughputReport {
+    run_with(smoke, 4, PartitionStrategy::Bfs)
+}
+
+/// [`run`] with an explicit sharded-engine configuration (the CLI's
+/// `--threads` / `--partitioner` flags end up here).
+#[must_use]
+pub fn run_with(smoke: bool, threads: usize, strategy: PartitionStrategy) -> ThroughputReport {
     let sources_per_graph = if smoke { 2 } else { 3 };
     let mut results = Vec::new();
     for (family, specs) in cases(smoke) {
         for spec in &specs {
             eprintln!("bench: {} {} ...", family, spec.label());
-            results.push(run_case(family, spec, sources_per_graph, smoke));
+            results.push(run_case(
+                family,
+                spec,
+                sources_per_graph,
+                smoke,
+                threads,
+                strategy,
+            ));
         }
     }
     ThroughputReport {
@@ -404,10 +492,21 @@ mod tests {
         assert_eq!(report.schema_version, SCHEMA_VERSION);
         assert_eq!(report.mode, "smoke");
         for case in &report.cases {
-            assert_eq!(case.engines.len(), 2);
+            assert_eq!(case.engines.len(), 3);
             assert_eq!(case.engines[0].engine, "frontier");
             assert_eq!(case.engines[1].engine, "fast");
+            assert_eq!(case.engines[2].engine, "sharded");
             assert!(case.engines[0].total_messages > 0);
+            // The concurrency axis is recorded in every row: serial
+            // engines carry threads = 1 / "none", the sharded engine the
+            // configured shard count and partitioner.
+            for serial in &case.engines[..2] {
+                assert_eq!(serial.threads, 1);
+                assert_eq!(serial.partitioner, NO_PARTITIONER);
+            }
+            assert_eq!(case.engines[2].threads, 4);
+            assert_eq!(case.engines[2].partitioner, "bfs");
+            assert_eq!(case.engines[2].label(), "shardedx4(bfs)");
             // Rebuilding from the recorded spec gives the recorded size.
             let g = case.spec.build();
             assert_eq!(g.node_count(), case.nodes);
@@ -421,11 +520,22 @@ mod tests {
 
     #[test]
     fn single_case_oracle_check_catches_agreement() {
-        let case = run_case("grid", &GraphSpec::Grid { rows: 9, cols: 7 }, 3, true);
+        let case = run_case(
+            "grid",
+            &GraphSpec::Grid { rows: 9, cols: 7 },
+            3,
+            true,
+            3,
+            PartitionStrategy::RoundRobin,
+        );
         assert!(case.engines_agree);
-        // Bipartite grid: every flood delivers exactly m messages.
+        // Bipartite grid: every flood delivers exactly m messages, on
+        // every engine.
         let floods = case.sources.len() as u64;
-        assert_eq!(case.engines[0].total_messages, floods * case.edges as u64);
+        for e in &case.engines {
+            assert_eq!(e.total_messages, floods * case.edges as u64, "{}", e.engine);
+        }
+        assert_eq!(case.engines[2].partitioner, "round-robin");
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! E13 (extension figure): termination time as a function of graph size —
-//! the "O(D)" shape of the paper's bounds drawn as data series.
+//! the "O(D)" shape of the paper's bounds drawn as data series — plus the
+//! [`strong_scaling`] companion: the same floods executed by the sharded
+//! multicore engine at increasing thread counts, recording wall time,
+//! speedup over one shard, and (always) exact agreement with the serial
+//! frontier engine.
 //!
-//! For each family, the series reports `n`, `D`, the bound (`D` or
+//! For each family, the main series reports `n`, `D`, the bound (`D` or
 //! `2D + 1`), and the measured worst-case termination round over sampled
 //! sources. The reproduced shape: bipartite families hug `D` exactly;
 //! non-bipartite families sit strictly above `D` but never above `2D + 1`;
@@ -9,8 +13,9 @@
 
 use crate::stats::Summary;
 use crate::table::Table;
-use af_core::FloodBatch;
-use af_graph::{algo, Graph};
+use af_core::{FloodBatch, FloodEngine};
+use af_graph::{algo, Graph, NodeId, PartitionStrategy};
+use std::time::Instant;
 
 /// One family's series: `(label, sizes, builder)`.
 type Series = (&'static str, Vec<usize>, fn(usize) -> Graph);
@@ -124,6 +129,93 @@ pub fn run() -> Table {
     t
 }
 
+/// The strong-scaling grid: `(label, graph, sources)` triples large enough
+/// that a single flood has real per-round work, yet small enough for CI.
+fn strong_scaling_workloads() -> Vec<(&'static str, Graph, Vec<NodeId>)> {
+    let specs: Vec<(&'static str, Graph)> = vec![
+        (
+            "sparse-random n=4096",
+            af_graph::generators::sparse_connected(4096, 4096, 17),
+        ),
+        (
+            "small-world n=2048 k=10",
+            af_graph::generators::watts_strogatz(2048, 10, 0.05, 18),
+        ),
+        ("grid 64 x 64", af_graph::generators::grid(64, 64)),
+    ];
+    specs
+        .into_iter()
+        .map(|(label, g)| {
+            let sources = super::bipartite::sample_sources(g.node_count());
+            (label, g, sources)
+        })
+        .collect()
+}
+
+/// The thread counts the strong-scaling column sweeps.
+pub const STRONG_SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the E13 strong-scaling sweep: every workload flooded by the
+/// sharded engine at 1, 2, 4 and 8 shards (BFS partitioner), with wall
+/// time, speedup over the 1-shard run, and a correctness column asserting
+/// the engine matched the serial frontier baseline flood-for-flood.
+///
+/// Timing columns are measurements of *this* host (CI machines and laptops
+/// differ); the `agree` column is a hard invariant and panics on mismatch.
+#[must_use]
+pub fn strong_scaling() -> Table {
+    let mut t = Table::new(
+        "E13b — (extension) sharded-engine strong scaling on a single flood workload",
+        [
+            "workload",
+            "n",
+            "m",
+            "threads",
+            "partitioner",
+            "wall ms",
+            "speedup",
+            "agree",
+        ],
+    );
+    for (label, g, sources) in strong_scaling_workloads() {
+        // Serial reference record: termination rounds and message counts.
+        let mut reference = FloodBatch::new(&g);
+        let expected: Vec<_> = sources.iter().map(|&s| reference.run_from([s])).collect();
+
+        let mut base_ms = None;
+        for threads in STRONG_SCALING_THREADS {
+            let strategy = PartitionStrategy::Bfs;
+            let start = Instant::now();
+            let mut batch = FloodBatch::with_engine(&g, FloodEngine::Sharded { threads, strategy });
+            let got: Vec<_> = sources.iter().map(|&s| batch.run_from([s])).collect();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let agree = got == expected;
+            assert!(agree, "{label} x{threads}: sharded run diverged");
+            let base = *base_ms.get_or_insert(wall_ms);
+            let speedup = if wall_ms > 0.0 { base / wall_ms } else { 1.0 };
+            t.push_row([
+                label.to_string(),
+                g.node_count().to_string(),
+                g.edge_count().to_string(),
+                threads.to_string(),
+                strategy.name().to_string(),
+                format!("{wall_ms:.2}"),
+                format!("{speedup:.2}x"),
+                "yes".to_string(),
+            ]);
+        }
+    }
+    t.push_note(
+        "speedup is relative to the same engine at 1 shard on this host; \
+         the agree column is checked against the serial frontier engine \
+         flood-for-flood (hard invariant). Wall times include graph \
+         partitioning and the per-flood worker-thread spawns (k - 1 \
+         spawns per run), so short floods understate the per-round \
+         scaling.",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +255,24 @@ mod tests {
         assert!(t.rows().len() >= 50);
         assert!(t.rows().iter().any(|r| r[3] == "yes"));
         assert!(t.rows().iter().any(|r| r[3] == "no"));
+    }
+
+    #[test]
+    fn strong_scaling_rows_agree_and_cover_the_thread_sweep() {
+        let t = strong_scaling();
+        assert_eq!(
+            t.rows().len(),
+            strong_scaling_workloads().len() * STRONG_SCALING_THREADS.len()
+        );
+        for row in t.rows() {
+            assert_eq!(row[7], "yes", "{} x{}", row[0], row[3]);
+            assert_eq!(row[4], "bfs");
+            let speedup = row[6].trim_end_matches('x');
+            assert!(speedup.parse::<f64>().unwrap() > 0.0);
+        }
+        // The sweep includes the serial anchor and the multicore points.
+        for threads in STRONG_SCALING_THREADS {
+            assert!(t.rows().iter().any(|r| r[3] == threads.to_string()));
+        }
     }
 }

@@ -2,9 +2,9 @@
 //!
 //! Floods a grid of graph families (sparse random, preferential
 //! attachment, random geometric, small world, grid) from ~1e4 up to ~1e6
-//! edges with the frontier-sparse engine and the scan-all-arcs baseline,
-//! then writes the schema-stable `BENCH_flooding.json` (see
-//! [`af_analysis::bench`] for the schema).
+//! edges with the frontier-sparse engine, the scan-all-arcs baseline, and
+//! the sharded multicore engine, then writes the schema-stable
+//! `BENCH_flooding.json` (see [`af_analysis::bench`] for the schema).
 //!
 //! ```text
 //! cargo run -p af-bench --release --bin bench_throughput             # full grid
@@ -15,6 +15,10 @@
 //!
 //! * `--smoke` — the small CI grid (~2e3 edges per family) with an extra
 //!   cross-check of every flood against the exact-time oracle;
+//! * `--threads <N>` — shard/worker count for the sharded engine
+//!   (default 4);
+//! * `--partitioner <contiguous|round-robin|bfs>` — how the sharded
+//!   engine splits the graph (default bfs);
 //! * `--out <path>` — where to write the JSON. The default is
 //!   `BENCH_flooding.json` in the current directory for the full grid, and
 //!   `target/BENCH_flooding_smoke.json` for `--smoke`, so a casual smoke
@@ -25,31 +29,50 @@
 //! Exits non-zero if any engine pair (or the oracle, in smoke mode)
 //! disagrees — the CI perf-smoke job relies on this.
 
+use af_graph::PartitionStrategy;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: bench_throughput [--smoke] [--out <path>] [--stdout]\n\
+            "usage: bench_throughput [--smoke] [--threads N] \
+             [--partitioner contiguous|round-robin|bfs] [--out <path>] [--stdout]\n\
              writes the flooding-throughput report to BENCH_flooding.json"
         );
         return ExitCode::SUCCESS;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
     let to_stdout = args.iter().any(|a| a == "--stdout");
+    let option = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let threads: usize = match option("--threads").map(|v| v.parse()) {
+        None => 4,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("error: invalid --threads value");
+            return ExitCode::FAILURE;
+        }
+    };
+    let strategy: PartitionStrategy = match option("--partitioner").map(|v| v.parse()) {
+        None => PartitionStrategy::Bfs,
+        Some(Ok(s)) => s,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let default_out = if smoke {
         "target/BENCH_flooding_smoke.json"
     } else {
         "BENCH_flooding.json"
     };
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or(default_out, String::as_str);
+    let out_path = option("--out").map_or(default_out, String::as_str);
 
-    let report = af_analysis::bench::run(smoke);
+    let report = af_analysis::bench::run_with(smoke, threads, strategy);
     eprint!("{}", report.to_summary());
 
     let json = report.to_json();

@@ -1,4 +1,9 @@
-//! E13: termination-time scaling series (the O(D) shape).
+//! E13: termination-time scaling series (the O(D) shape), plus the E13b
+//! sharded-engine strong-scaling sweep.
 fn main() {
     println!("{}", af_analysis::experiments::scaling::run().to_markdown());
+    println!(
+        "{}",
+        af_analysis::experiments::scaling::strong_scaling().to_markdown()
+    );
 }

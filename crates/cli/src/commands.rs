@@ -5,10 +5,10 @@
 use crate::args::Args;
 use af_core::arbitrary::classify_all_configurations;
 use af_core::detect::TopologyVerdict;
-use af_core::{theory, trace, AmnesiacFlooding, AmnesiacFloodingProtocol};
+use af_core::{theory, trace, AmnesiacFlooding, AmnesiacFloodingProtocol, FloodEngine};
 use af_engine::adversary::{BoundedDelay, DeliverAll, OneAtATime, PerHeadThrottle};
 use af_engine::{certify, Certificate};
-use af_graph::{algo, generators, io, Graph, NodeId};
+use af_graph::{algo, generators, io, Graph, NodeId, PartitionStrategy};
 use std::fmt::Write as _;
 
 /// Boxed error for command plumbing.
@@ -43,6 +43,28 @@ pub fn parse_graph(text: &str) -> Result<Graph, af_graph::GraphError> {
     }
 }
 
+/// Parses the shared engine-selection options: `--engine frontier|sharded`,
+/// `--threads N`, `--partitioner contiguous|round-robin|bfs`. The default
+/// engine is `frontier`; `--threads`/`--partitioner` imply `sharded`, and
+/// combining them with an explicit `--engine frontier` is rejected rather
+/// than silently ignored.
+fn engine_choice(args: &Args) -> Result<FloodEngine, CommandError> {
+    let threads: usize = args.parsed_or::<usize>("threads", 4)?.max(1);
+    let strategy: PartitionStrategy = args.parsed_or("partitioner", PartitionStrategy::Bfs)?;
+    let implied = args.option("threads").is_some() || args.option("partitioner").is_some();
+    match args.option("engine") {
+        Some("frontier") if implied => Err(
+            "--threads/--partitioner only apply to --engine sharded (drop --engine frontier)"
+                .into(),
+        ),
+        Some("frontier") => Ok(FloodEngine::Frontier),
+        Some("sharded") => Ok(FloodEngine::Sharded { threads, strategy }),
+        Some(other) => Err(format!("unknown engine '{other}' (use frontier or sharded)").into()),
+        None if implied => Ok(FloodEngine::Sharded { threads, strategy }),
+        None => Ok(FloodEngine::Frontier),
+    }
+}
+
 fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
     if let Some(list) = args.list::<usize>("sources")? {
         return Ok(list.into_iter().map(NodeId::new).collect());
@@ -55,7 +77,8 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 }
 
 /// `amnesiac flood <file> [--source N | --sources a,b,c] [--max-rounds N]
-/// [--trace] [--receipts]`
+/// [--engine frontier|sharded] [--threads N]
+/// [--partitioner contiguous|round-robin|bfs] [--trace] [--receipts]`
 ///
 /// # Errors
 ///
@@ -66,7 +89,9 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         .ok_or("usage: amnesiac flood <file> [options]")?;
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
-    let mut builder = AmnesiacFlooding::multi_source(&graph, sources.iter().copied());
+    let engine = engine_choice(args)?;
+    let mut builder =
+        AmnesiacFlooding::multi_source(&graph, sources.iter().copied()).with_engine(engine);
     if let Some(cap) = args.option("max-rounds") {
         builder = builder.with_max_rounds(cap.parse().map_err(|_| "invalid --max-rounds")?);
     }
@@ -77,6 +102,10 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         out.push_str(&trace::render_run(&graph, &run));
     } else {
         let _ = writeln!(out, "graph: {graph}");
+        if let FloodEngine::Sharded { threads, strategy } = engine {
+            let effective = af_graph::partition::clamp_shard_count(graph.node_count(), threads);
+            let _ = writeln!(out, "engine: sharded x{effective} ({strategy} partitioner)");
+        }
         match run.termination_round() {
             Some(t) => {
                 let _ = writeln!(out, "terminated after round {t}");
@@ -415,17 +444,22 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
     })
 }
 
-/// `amnesiac bench [--full] [--out <path>]` — the flooding throughput
-/// benchmark (frontier engine vs scan baseline). The default is the smoke
-/// grid; `--full` runs the ~1e4..1e6-edge grid that produces the
-/// repository's `BENCH_flooding.json`.
+/// `amnesiac bench [--full] [--threads N]
+/// [--partitioner contiguous|round-robin|bfs] [--out <path>]` — the
+/// flooding throughput benchmark (frontier engine vs scan baseline vs the
+/// sharded multicore engine). The default is the smoke grid; `--full` runs
+/// the ~1e4..1e6-edge grid that produces the repository's
+/// `BENCH_flooding.json`. `--threads` (default 4) and `--partitioner`
+/// (default bfs) configure the sharded engine's concurrency axis.
 ///
 /// # Errors
 ///
 /// Returns I/O errors from `--out`, or an error if the engines disagree.
 pub fn cmd_bench(args: &Args) -> Result<String, CommandError> {
     let smoke = !args.flag("full");
-    let report = af_analysis::bench::run(smoke);
+    let threads: usize = args.parsed_or("threads", 4)?;
+    let strategy: PartitionStrategy = args.parsed_or("partitioner", PartitionStrategy::Bfs)?;
+    let report = af_analysis::bench::run_with(smoke, threads, strategy);
     if let Some(path) = args.option("out") {
         std::fs::write(path, format!("{}\n", report.to_json()))?;
     }
@@ -445,6 +479,8 @@ usage: amnesiac <command> [args]
 commands:
   flood <file>    run a flood          [--source N | --sources a,b,c]
                                        [--max-rounds N] [--trace] [--receipts]
+                                       [--engine frontier|sharded] [--threads N]
+                                       [--partitioner contiguous|round-robin|bfs]
   predict <file>  oracle, no simulation [--source N | --sources a,b,c]
   detect <file>   bipartiteness by flooding [--source N]
   certify <file>  async (non-)termination  [--adversary throttle|serial|
@@ -459,8 +495,10 @@ commands:
                   friendship K | gnp N P SEED | tree N SEED |
                   pa N K SEED | rgg N R SEED | ws N K BETA SEED
   bench           flooding throughput benchmark [--full] [--out <path>]
-                  (frontier engine vs scan baseline; --full is the
-                  BENCH_flooding.json grid, ~1e4..1e6 edges per family)
+                  [--threads N] [--partitioner contiguous|round-robin|bfs]
+                  (frontier engine vs scan baseline vs sharded multicore
+                  engine; --full is the BENCH_flooding.json grid,
+                  ~1e4..1e6 edges per family)
 
 graph files: edge-list format ('n <count>' header + 'u v' lines) or graph6
 "
@@ -525,6 +563,48 @@ mod tests {
         assert!(out.contains("terminated after round 3"), "{out}");
         assert!(out.contains("messages: 6"), "{out}");
         assert!(out.contains("receive schedule"), "{out}");
+    }
+
+    #[test]
+    fn flood_sharded_engine_matches_frontier() {
+        let path = petersen_file();
+        let base = cmd_flood(&Args::parse([path.as_str(), "--source", "0"]).unwrap()).unwrap();
+        for strategy in ["contiguous", "round-robin", "bfs"] {
+            let args = Args::parse([
+                path.as_str(),
+                "--source",
+                "0",
+                "--engine",
+                "sharded",
+                "--threads",
+                "3",
+                "--partitioner",
+                strategy,
+            ])
+            .unwrap();
+            let out = cmd_flood(&args).unwrap();
+            assert!(out.contains("engine: sharded x3"), "{out}");
+            assert!(out.contains(strategy), "{out}");
+            // Identical termination and message counts, line for line
+            // after the engine banner.
+            for line in base.lines() {
+                assert!(out.contains(line), "missing '{line}' in {out}");
+            }
+        }
+        // --threads alone implies the sharded engine.
+        let args = Args::parse([path.as_str(), "--threads", "2"]).unwrap();
+        assert!(cmd_flood(&args).unwrap().contains("engine: sharded x2"));
+        // --threads 0 is clamped, not displayed as a phantom shard count.
+        let args = Args::parse([path.as_str(), "--threads", "0"]).unwrap();
+        assert!(cmd_flood(&args).unwrap().contains("engine: sharded x1"));
+        // Contradictory options are rejected, not silently ignored.
+        let args = Args::parse([path.as_str(), "--engine", "frontier", "--threads", "4"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
+        // Unknown engines are rejected.
+        let args = Args::parse([path.as_str(), "--engine", "warp"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
+        let args = Args::parse([path.as_str(), "--partitioner", "metis"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
     }
 
     #[test]
@@ -650,12 +730,15 @@ mod tests {
         let dir = std::env::temp_dir().join("af-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("bench.json");
-        let args = Args::parse(["--out", out.to_str().unwrap()]).unwrap();
+        let args = Args::parse(["--out", out.to_str().unwrap(), "--threads", "2"]).unwrap();
         let text = cmd_bench(&args).unwrap();
         assert!(text.contains("engines agree: true"), "{text}");
+        assert!(text.contains("shardedx2(bfs)"), "{text}");
         let written = std::fs::read_to_string(&out).unwrap();
         assert!(written.contains("\"flooding_throughput\""));
         assert!(written.contains("\"schema_version\""));
+        assert!(written.contains("\"sharded\""));
+        assert!(written.contains("\"partitioner\": \"bfs\""));
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! * [`FrontierFlooding`] — the frontier-sparse bitset simulator built on
 //!   the local arc rule (`v→w` fires iff `v` received and `w→v` did not
 //!   fire), doing `O(active arcs)` work per round — the hot-path engine;
+//! * [`ShardedFlooding`] (module [`sharded`]) — the same rounds executed
+//!   across the shards of an [`af_graph::Partition`] by one worker thread
+//!   per shard, exchanging boundary activations through channels at a
+//!   per-round barrier — the first intra-flood concurrency in the tree,
+//!   bit-identical to the frontier engine for any shard count;
 //! * [`FastFlooding`] — the scan-all-arcs bitset simulator, an independent
 //!   implementation kept as the cross-check and benchmark baseline;
 //! * [`AmnesiacFlooding`] / [`flood`] — high-level drivers producing a
@@ -56,6 +61,7 @@
 pub mod arbitrary;
 pub mod detect;
 pub mod roundsets;
+pub mod sharded;
 pub mod theory;
 pub mod trace;
 
@@ -70,4 +76,5 @@ mod run;
 pub use fast::FastFlooding;
 pub use frontier::FrontierFlooding;
 pub use protocol::{AmnesiacFloodingProtocol, ClassicFloodingProtocol, KMemoryFlooding};
-pub use run::{flood, AmnesiacFlooding, FloodBatch, FloodStats, FloodingRun};
+pub use run::{flood, AmnesiacFlooding, FloodBatch, FloodEngine, FloodStats, FloodingRun};
+pub use sharded::ShardedFlooding;

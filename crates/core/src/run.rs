@@ -4,11 +4,37 @@
 //! runner that floods one graph from many sources while reusing a single
 //! simulator's allocations.
 //!
-//! Both drivers run on the frontier-sparse [`FrontierFlooding`] engine.
+//! Both drivers default to the frontier-sparse [`FrontierFlooding`] engine
+//! and can be switched to the multicore [`crate::ShardedFlooding`] backend
+//! through [`FloodEngine`] — the two produce bit-identical records.
 
 use crate::frontier::FrontierFlooding;
+use crate::sharded::ShardedFlooding;
 use af_engine::Outcome;
-use af_graph::{Graph, NodeId};
+use af_graph::{Graph, NodeId, Partition, PartitionStrategy};
+
+/// Which simulator a driver executes floods with.
+///
+/// Every engine produces the same [`FloodingRun`] / [`FloodStats`] for the
+/// same inputs (the property suites enforce this); the choice is purely a
+/// performance matter. [`FloodEngine::Frontier`] is the single-threaded
+/// hot path; [`FloodEngine::Sharded`] splits each flood's rounds over
+/// worker threads and wins once per-round frontiers are large enough to
+/// amortize the round barrier (see the README's benchmarking notes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FloodEngine {
+    /// Single-threaded frontier-sparse engine ([`FrontierFlooding`]).
+    #[default]
+    Frontier,
+    /// Sharded multicore engine ([`crate::ShardedFlooding`]): one flood
+    /// across `threads` worker shards.
+    Sharded {
+        /// Worker thread (= shard) count; `0` and `1` both mean one shard.
+        threads: usize,
+        /// How nodes are assigned to shards.
+        strategy: PartitionStrategy,
+    },
+}
 
 /// Builder for an amnesiac-flooding execution ([C-BUILDER]).
 ///
@@ -31,6 +57,7 @@ pub struct AmnesiacFlooding<'g> {
     graph: &'g Graph,
     sources: Vec<NodeId>,
     max_rounds: Option<u32>,
+    engine: FloodEngine,
 }
 
 impl<'g> AmnesiacFlooding<'g> {
@@ -42,6 +69,7 @@ impl<'g> AmnesiacFlooding<'g> {
             graph,
             sources: vec![source],
             max_rounds: None,
+            engine: FloodEngine::Frontier,
         }
     }
 
@@ -56,6 +84,7 @@ impl<'g> AmnesiacFlooding<'g> {
             graph,
             sources: sources.into_iter().collect(),
             max_rounds: None,
+            engine: FloodEngine::Frontier,
         }
     }
 
@@ -65,6 +94,15 @@ impl<'g> AmnesiacFlooding<'g> {
     #[must_use]
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Selects the simulator backend (the default is
+    /// [`FloodEngine::Frontier`]). The produced [`FloodingRun`] is
+    /// engine-independent.
+    #[must_use]
+    pub fn with_engine(mut self, engine: FloodEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -84,22 +122,60 @@ impl<'g> AmnesiacFlooding<'g> {
         let cap = self
             .max_rounds
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
-        let mut sim = FrontierFlooding::new(self.graph, self.sources.iter().copied());
-        let outcome = sim.run(cap);
+        match self.engine {
+            FloodEngine::Frontier => {
+                let mut sim = FrontierFlooding::new(self.graph, self.sources.iter().copied());
+                let outcome = sim.run(cap);
+                self.collect(
+                    outcome,
+                    |v| sim.receipts(v),
+                    sim.messages_per_round(),
+                    sim.total_messages(),
+                )
+            }
+            FloodEngine::Sharded { threads, strategy } => {
+                let mut sim = ShardedFlooding::with_strategy(
+                    self.graph,
+                    strategy,
+                    threads,
+                    self.sources.iter().copied(),
+                );
+                let outcome = sim.run(cap);
+                self.collect(
+                    outcome,
+                    |v| sim.receipts(v),
+                    sim.messages_per_round(),
+                    sim.total_messages(),
+                )
+            }
+        }
+    }
 
+    /// Assembles the engine-independent run record from a finished
+    /// simulator's receipts and counters.
+    fn collect<'a, F>(
+        &self,
+        outcome: Outcome,
+        receipts: F,
+        messages_per_round: &[u64],
+        total_messages: u64,
+    ) -> FloodingRun
+    where
+        F: Fn(NodeId) -> &'a [u32],
+    {
         let n = self.graph.node_count();
         let mut receive_rounds = Vec::with_capacity(n);
         for v in self.graph.nodes() {
-            receive_rounds.push(sim.receipts(v).to_vec());
+            receive_rounds.push(receipts(v).to_vec());
         }
-        let rounds_executed = sim.round();
+        let rounds_executed = outcome.rounds_executed();
         let mut round_sets: Vec<Vec<NodeId>> = vec![Vec::new(); rounds_executed as usize + 1];
         let mut sorted_sources = self.sources.clone();
         sorted_sources.sort_unstable();
         sorted_sources.dedup();
         round_sets[0] = sorted_sources.clone();
         for v in self.graph.nodes() {
-            for &r in sim.receipts(v) {
+            for &r in receipts(v) {
                 round_sets[r as usize].push(v);
             }
         }
@@ -109,8 +185,8 @@ impl<'g> AmnesiacFlooding<'g> {
             sorted_sources,
             receive_rounds,
             round_sets,
-            sim.messages_per_round().to_vec(),
-            sim.total_messages(),
+            messages_per_round.to_vec(),
+            total_messages,
         )
     }
 }
@@ -286,8 +362,10 @@ impl FloodStats {
 }
 
 /// Batched multi-source flood runner: executes many floods on one graph
-/// through a single [`FrontierFlooding`] simulator, so per-flood cost is
-/// the intrinsic `O(messages)` work with **no per-source allocation**.
+/// through a single reusable simulator ([`FrontierFlooding`] by default,
+/// [`crate::ShardedFlooding`] via [`FloodBatch::with_engine`]), so
+/// per-flood cost is the intrinsic `O(messages)` work with **no per-source
+/// allocation**.
 ///
 /// Receipt recording is off (the batch reports [`FloodStats`], not full
 /// schedules), which is what makes [`FrontierFlooding::reset`] constant
@@ -310,16 +388,47 @@ impl FloodStats {
 /// ```
 #[derive(Debug)]
 pub struct FloodBatch<'g> {
-    sim: FrontierFlooding<'g>,
+    sim: BatchSim<'g>,
     max_rounds: Option<u32>,
 }
 
+/// The reusable simulator inside a [`FloodBatch`].
+#[derive(Debug)]
+enum BatchSim<'g> {
+    Frontier(FrontierFlooding<'g>),
+    Sharded(ShardedFlooding<'g>),
+}
+
 impl<'g> FloodBatch<'g> {
-    /// Creates a batch runner for `graph`.
+    /// Creates a batch runner for `graph` on the default
+    /// ([`FloodEngine::Frontier`]) engine.
     #[must_use]
     pub fn new(graph: &'g Graph) -> Self {
-        let mut sim = FrontierFlooding::new(graph, []);
-        sim.set_record_receipts(false);
+        FloodBatch::with_engine(graph, FloodEngine::Frontier)
+    }
+
+    /// Creates a batch runner on an explicit engine. The sharded backend
+    /// partitions the graph once and reuses the shards (and every worker
+    /// allocation) across all floods of the batch — but each
+    /// [`run_from`](FloodBatch::run_from) call spawns its worker threads
+    /// afresh (see [`crate::ShardedFlooding::run`]), so on very short
+    /// floods the spawn cost can dominate; the sharded backend earns its
+    /// keep on floods whose rounds carry real work.
+    #[must_use]
+    pub fn with_engine(graph: &'g Graph, engine: FloodEngine) -> Self {
+        let sim = match engine {
+            FloodEngine::Frontier => {
+                let mut sim = FrontierFlooding::new(graph, []);
+                sim.set_record_receipts(false);
+                BatchSim::Frontier(sim)
+            }
+            FloodEngine::Sharded { threads, strategy } => {
+                let mut sim =
+                    ShardedFlooding::new(graph, Partition::new(graph, strategy, threads), []);
+                sim.set_record_receipts(false);
+                BatchSim::Sharded(sim)
+            }
+        };
         FloodBatch {
             sim,
             max_rounds: None,
@@ -337,7 +446,10 @@ impl<'g> FloodBatch<'g> {
     /// The graph this batch floods.
     #[must_use]
     pub fn graph(&self) -> &Graph {
-        self.sim.graph()
+        match &self.sim {
+            BatchSim::Frontier(sim) => sim.graph(),
+            BatchSim::Sharded(sim) => sim.graph(),
+        }
     }
 
     /// Runs one flood from `sources`, reusing the simulator's allocations.
@@ -352,11 +464,21 @@ impl<'g> FloodBatch<'g> {
         let cap = self
             .max_rounds
             .unwrap_or_else(|| 2 * self.graph().node_count() as u32 + 2);
-        self.sim.reset(sources);
-        let outcome = self.sim.run(cap);
-        FloodStats {
-            outcome,
-            total_messages: self.sim.total_messages(),
+        match &mut self.sim {
+            BatchSim::Frontier(sim) => {
+                sim.reset(sources);
+                FloodStats {
+                    outcome: sim.run(cap),
+                    total_messages: sim.total_messages(),
+                }
+            }
+            BatchSim::Sharded(sim) => {
+                sim.reset(sources);
+                FloodStats {
+                    outcome: sim.run(cap),
+                    total_messages: sim.total_messages(),
+                }
+            }
         }
     }
 
@@ -524,6 +646,56 @@ mod tests {
         let run = AmnesiacFlooding::multi_source(&g, [0.into(), 4.into()]).run();
         assert_eq!(stats.termination_round(), run.termination_round());
         assert_eq!(stats.total_messages(), run.total_messages());
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_the_record() {
+        use af_graph::PartitionStrategy;
+        let g = generators::petersen();
+        let base = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()]).run();
+        for strategy in PartitionStrategy::all() {
+            for threads in [1, 2, 4] {
+                let sharded = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()])
+                    .with_engine(FloodEngine::Sharded { threads, strategy })
+                    .run();
+                assert_eq!(base, sharded, "{strategy} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_matches_frontier_batch() {
+        use af_graph::PartitionStrategy;
+        let g = generators::lollipop(4, 5);
+        let mut frontier = FloodBatch::new(&g);
+        let mut sharded = FloodBatch::with_engine(
+            &g,
+            FloodEngine::Sharded {
+                threads: 3,
+                strategy: PartitionStrategy::Bfs,
+            },
+        );
+        for v in g.nodes() {
+            assert_eq!(frontier.run_from([v]), sharded.run_from([v]), "{v}");
+        }
+        assert_eq!(sharded.graph().node_count(), g.node_count());
+
+        // Cap behaviour is engine-independent too.
+        let g = generators::cycle(3);
+        let mut capped = FloodBatch::with_engine(
+            &g,
+            FloodEngine::Sharded {
+                threads: 2,
+                strategy: PartitionStrategy::Contiguous,
+            },
+        )
+        .with_max_rounds(2);
+        assert!(!capped.run_from([0.into()]).terminated());
+    }
+
+    #[test]
+    fn default_engine_is_frontier() {
+        assert_eq!(FloodEngine::default(), FloodEngine::Frontier);
     }
 
     #[cfg(feature = "serde")]

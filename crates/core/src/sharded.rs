@@ -1,0 +1,859 @@
+//! The sharded flooding engine: one flood, `k` worker threads.
+//!
+//! [`crate::FrontierFlooding`] made a round cost `O(active arcs)` — but on
+//! one core. [`ShardedFlooding`] runs the *same* synchronous rounds across
+//! the shards of an [`af_graph::Partition`]: each worker owns a shard's
+//! nodes and advances their frontier with the frontier engine's sparse
+//! bitset kernel, and workers exchange only the cross-shard activations in
+//! batches at a per-round barrier built from `crossbeam` channels.
+//!
+//! # Why sharding preserves the semantics exactly
+//!
+//! The amnesiac rule is *receiver-local*: arc `v → w` carries the message
+//! in round `r + 1` iff `v` received in round `r` and `w → v` did **not**
+//! carry it in round `r` (Definition 1.1). Both conditions are functions of
+//! the messages *delivered to `v`* in round `r`. So if every arc is owned
+//! by the shard of its **head** — a message lives where it is received —
+//! each worker can execute its nodes' rounds exactly, consulting only its
+//! own inbox; the produced arcs are then routed to the shard owning each
+//! head (same-shard arcs stay local, the rest cross the barrier). No global
+//! arc state is ever needed.
+//!
+//! # The channel barrier
+//!
+//! Per round, every worker sends exactly one message to every other worker:
+//! its batch of boundary activations for that peer plus the worker's total
+//! production count. A worker finishes its round after receiving all
+//! `k − 1` peer messages — the channels *are* the barrier. Because each
+//! message is tagged with its round, a fast worker racing one round ahead
+//! cannot corrupt a slow one: out-of-round messages are stashed and
+//! replayed. Summing the `k` production counts gives every worker the same
+//! global active-arc count, so all workers take the same
+//! terminate/continue/cap decision in lockstep with no shared state —
+//! every [`Outcome`], round-set, receive round, and message count is
+//! bit-identical to [`crate::FrontierFlooding`]'s, for **any** shard count
+//! and any [`PartitionStrategy`] (the property suites enforce this).
+//!
+//! # Examples
+//!
+//! ```
+//! use af_core::{FrontierFlooding, ShardedFlooding};
+//! use af_graph::{generators, NodeId, Partition, PartitionStrategy};
+//!
+//! let g = generators::grid(8, 8);
+//! let p = Partition::new(&g, PartitionStrategy::Bfs, 4);
+//! let mut sharded = ShardedFlooding::new(&g, p, [NodeId::new(0)]);
+//! let mut frontier = FrontierFlooding::new(&g, [NodeId::new(0)]);
+//! assert_eq!(sharded.run(1000), frontier.run(1000));
+//! assert_eq!(sharded.total_messages(), frontier.total_messages());
+//! ```
+
+use crate::bitset::ArcSet;
+use af_engine::Outcome;
+use af_graph::{ArcId, Graph, NodeId, Partition, PartitionStrategy};
+use crossbeam::channel::{Receiver, Sender};
+
+/// One round's traffic from one worker to one peer: the batch of arcs whose
+/// heads the peer owns, plus the sender's total production count for the
+/// global active-arc sum.
+#[derive(Debug)]
+struct RoundMsg {
+    round: u32,
+    produced: u64,
+    batch: Vec<ArcId>,
+}
+
+/// Sentinel round number broadcast by a panicking worker so its peers fail
+/// fast instead of blocking forever on a round message that will never
+/// come. Unreachable as a real round: floods cap at `2n + 2` by default
+/// and a `u32::MAX`-round run is physically impossible.
+const POISON_ROUND: u32 = u32::MAX;
+
+/// Per-shard mutable flooding state, owned by exactly one worker during a
+/// run.
+///
+/// `received` is sized to the shard's *local* node count (indexed through
+/// [`Partition::local_index`]), so total scratch memory across shards is
+/// `O(n)`, not `O(k · n)`. The `active` bitset does span the global arc
+/// space — inter-shard messages carry global [`ArcId`]s — costing
+/// `k · 2m` bits total; with the [`af_graph::partition::MAX_SHARDS`]
+/// clamp that stays in the hundreds of megabytes even for the most
+/// pathological `--threads` request on a 1e6-edge graph, and under a
+/// megabyte per shard at realistic core counts.
+#[derive(Debug, Clone)]
+struct ShardState {
+    /// Arcs delivered to this shard's nodes in the round about to execute.
+    inbox: Vec<ArcId>,
+    /// Sparse membership bitset over the *global* arc space, holding
+    /// exactly `inbox` while a round executes (cleared sparsely after).
+    active: ArcSet,
+    /// Per-owned-node scratch flag (all-false between rounds), for
+    /// receiver deduplication; indexed by `Partition::local_index`.
+    received: Vec<bool>,
+    /// Scratch: the owned nodes that received this round.
+    receivers: Vec<NodeId>,
+    /// Scratch: next round's same-shard arcs.
+    next_local: Vec<ArcId>,
+    /// Scratch: next round's cross-shard arcs, per destination shard.
+    outbound: Vec<Vec<ArcId>>,
+    /// Receipt log: `(node, round)` per receipt, in chronological order.
+    log: Vec<(NodeId, u32)>,
+}
+
+impl ShardState {
+    fn new(local_nodes: usize, arc_count: usize, k: usize) -> Self {
+        ShardState {
+            inbox: Vec::new(),
+            active: ArcSet::new(arc_count),
+            received: vec![false; local_nodes],
+            receivers: Vec::new(),
+            next_local: Vec::new(),
+            outbound: vec![Vec::new(); k],
+            log: Vec::new(),
+        }
+    }
+}
+
+/// What a worker hands back after a run: enough to reconstruct the global
+/// per-round message counts (identical across workers; worker 0's copy is
+/// kept) and the final loop state.
+struct WorkerResult {
+    outcome: Outcome,
+    /// Global messages delivered in each executed round of *this* run.
+    per_round: Vec<u64>,
+    final_round: u32,
+    final_active: u64,
+}
+
+/// Sharded amnesiac-flooding simulator: one flood across `k` worker
+/// threads, one per shard of an [`af_graph::Partition`].
+///
+/// Semantically identical to [`crate::FrontierFlooding`] — same
+/// [`Outcome`]s, receive rounds, and message counts for any partition and
+/// shard count — but a single flood's per-round work is split across
+/// shards. With `k = 1` no threads are spawned and the engine degrades to
+/// the plain frontier kernel.
+///
+/// Like the frontier engine, a finished simulator can be
+/// [`reset`](ShardedFlooding::reset) to a fresh flood while reusing every
+/// allocation, which is what the batched [`crate::FloodBatch`] backend
+/// does.
+#[derive(Debug, Clone)]
+pub struct ShardedFlooding<'g> {
+    graph: &'g Graph,
+    partition: Partition,
+    shards: Vec<ShardState>,
+    record_receipts: bool,
+    round: u32,
+    /// Global number of arcs in flight for the next round (sum of inbox
+    /// lengths), maintained across `run` calls.
+    pending_active: u64,
+    total_messages: u64,
+    messages_per_round: Vec<u64>,
+    receipts: Vec<Vec<u32>>,
+    /// Nodes with non-empty `receipts`, so reset avoids an `O(n)` sweep.
+    informed: Vec<NodeId>,
+}
+
+impl<'g> ShardedFlooding<'g> {
+    /// Creates a sharded simulator over `partition` with the given
+    /// initiator set; the initiators' sends are the round-1 traffic.
+    /// Duplicate initiators are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition was built for a different node count or if
+    /// an initiator is out of range.
+    pub fn new<I>(graph: &'g Graph, partition: Partition, sources: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        assert_eq!(
+            partition.node_count(),
+            graph.node_count(),
+            "partition node count must match the graph"
+        );
+        let n = graph.node_count();
+        let k = partition.shard_count();
+        let mut sim = ShardedFlooding {
+            graph,
+            shards: (0..k)
+                .map(|s| ShardState::new(partition.nodes_of(s).len(), graph.arc_count(), k))
+                .collect(),
+            partition,
+            record_receipts: true,
+            round: 0,
+            pending_active: 0,
+            total_messages: 0,
+            messages_per_round: Vec::new(),
+            receipts: vec![Vec::new(); n],
+            informed: Vec::new(),
+        };
+        sim.seed_sources(sources);
+        sim
+    }
+
+    /// Convenience constructor: partitions `graph` into `threads` shards
+    /// with `strategy` and floods from `sources`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initiator is out of range.
+    pub fn with_strategy<I>(
+        graph: &'g Graph,
+        strategy: PartitionStrategy,
+        threads: usize,
+        sources: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        ShardedFlooding::new(graph, Partition::new(graph, strategy, threads), sources)
+    }
+
+    /// Restores the simulator to round 0 with a fresh initiator set,
+    /// reusing every allocation (including each shard's bitset and
+    /// scratch vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initiator is out of range.
+    pub fn reset<I>(&mut self, sources: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        for shard in &mut self.shards {
+            // `active`, `received`, `receivers`, `next_local` and
+            // `outbound` are invariantly clean between rounds; only the
+            // inbox and the receipt log persist.
+            shard.inbox.clear();
+            shard.log.clear();
+        }
+        self.round = 0;
+        self.pending_active = 0;
+        self.total_messages = 0;
+        self.messages_per_round.clear();
+        for &v in &self.informed {
+            self.receipts[v.index()].clear();
+        }
+        self.informed.clear();
+        self.seed_sources(sources);
+    }
+
+    /// Routes the round-1 arcs of `sources` into per-shard inboxes (an arc
+    /// is owned by the shard of its head), deduplicating sources.
+    fn seed_sources<I>(&mut self, sources: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = self.graph.node_count();
+        let mut seen_sources: Vec<NodeId> = sources.into_iter().collect();
+        for &v in &seen_sources {
+            assert!(v.index() < n, "source {v} out of range");
+        }
+        seen_sources.sort_unstable();
+        seen_sources.dedup();
+        let mut total = 0u64;
+        for &v in &seen_sources {
+            for (w, out) in self.graph.incident_arcs(v) {
+                let dest = self.partition.shard_of(w);
+                self.shards[dest].inbox.push(out);
+                total += 1;
+            }
+        }
+        self.pending_active = total;
+    }
+
+    /// Enables or disables per-node receipt recording (enabled by
+    /// default). Disable for raw speed; the batched backend does.
+    pub fn set_record_receipts(&mut self, record: bool) {
+        self.record_receipts = record;
+    }
+
+    /// The graph being simulated.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The partition this simulator runs over.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of worker threads a run uses (the partition's shard count).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.partition.shard_count()
+    }
+
+    /// Rounds executed so far (since construction or the last reset).
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Returns `true` if no arc carries the message.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.pending_active == 0
+    }
+
+    /// Total messages delivered so far.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// Messages delivered in each executed round (index 0 = round 1).
+    #[must_use]
+    pub fn messages_per_round(&self) -> &[u64] {
+        &self.messages_per_round
+    }
+
+    /// The arcs that will carry the message in the next round, in
+    /// increasing arc order (collected across all shard inboxes).
+    #[must_use]
+    pub fn in_flight(&self) -> Vec<ArcId> {
+        let mut arcs: Vec<ArcId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.inbox.iter().copied())
+            .collect();
+        arcs.sort_unstable();
+        arcs
+    }
+
+    /// Rounds at which `v` received the message (empty if receipts are not
+    /// recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn receipts(&self, v: NodeId) -> &[u32] {
+        &self.receipts[v.index()]
+    }
+
+    /// Number of nodes that have received the message at least once, when
+    /// receipts are recorded (always 0 otherwise).
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed.len()
+    }
+
+    /// Runs until termination or `max_rounds` total executed rounds,
+    /// spawning one worker thread per shard (none when `k = 1`). The
+    /// threads live for this call only — shard state survives across
+    /// calls, but every `run` pays `k − 1` thread spawns plus `k` channel
+    /// constructions up front, which is the fixed cost the per-round
+    /// parallelism has to amortize.
+    pub fn run(&mut self, max_rounds: u32) -> Outcome {
+        let k = self.partition.shard_count();
+        let record = self.record_receipts;
+        let start_round = self.round;
+        let start_active = self.pending_active;
+
+        let result = if k == 1 {
+            run_worker(
+                &mut self.shards[0],
+                0,
+                self.graph,
+                &self.partition,
+                record,
+                max_rounds,
+                start_round,
+                start_active,
+                &[],
+                None,
+            )
+        } else {
+            let graph = self.graph;
+            let partition = &self.partition;
+            let shards = &mut self.shards;
+            // One channel per worker; worker `i` keeps receiver `i` and a
+            // sender to every peer.
+            let (txs, rxs): (Vec<Sender<RoundMsg>>, Vec<Receiver<RoundMsg>>) =
+                (0..k).map(|_| crossbeam::channel::unbounded()).unzip();
+            let mut results = crossbeam::scope(move |scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(rxs)
+                    .enumerate()
+                    .map(|(me, (state, rx))| {
+                        let peers: Vec<(usize, Sender<RoundMsg>)> = txs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(dest, _)| dest != me)
+                            .map(|(dest, tx)| (dest, Sender::clone(tx)))
+                            .collect();
+                        scope.spawn(move |_| {
+                            let run = std::panic::AssertUnwindSafe(|| {
+                                run_worker(
+                                    state,
+                                    me,
+                                    graph,
+                                    partition,
+                                    record,
+                                    max_rounds,
+                                    start_round,
+                                    start_active,
+                                    &peers,
+                                    Some(&rx),
+                                )
+                            });
+                            match std::panic::catch_unwind(run) {
+                                Ok(result) => result,
+                                Err(payload) => {
+                                    // Poison every peer: a blocked peer
+                                    // still holds live senders from other
+                                    // blocked peers, so dropping our
+                                    // clones alone would leave them
+                                    // waiting forever.
+                                    for (_, tx) in &peers {
+                                        let _ = tx.send(RoundMsg {
+                                            round: POISON_ROUND,
+                                            produced: 0,
+                                            batch: Vec::new(),
+                                        });
+                                    }
+                                    std::panic::resume_unwind(payload)
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                // Drop the original senders: the only live senders to any
+                // worker are now its peers' clones, so if a worker dies
+                // its peers observe channel disconnection (a RecvError →
+                // panic) instead of blocking forever on a channel this
+                // stack frame keeps alive.
+                drop(txs);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sharded worker panicked"))
+                    .collect::<Vec<WorkerResult>>()
+            })
+            .expect("sharded scope");
+            let first = results.remove(0);
+            // Lockstep invariant: every worker took identical decisions.
+            debug_assert!(results.iter().all(|r| r.outcome == first.outcome));
+            first
+        };
+
+        self.round = result.final_round;
+        self.pending_active = result.final_active;
+        self.total_messages += result.per_round.iter().sum::<u64>();
+        self.messages_per_round.extend_from_slice(&result.per_round);
+        if record {
+            self.merge_logs();
+        }
+        result.outcome
+    }
+
+    /// Folds every shard's receipt log into the per-node receive-round
+    /// lists. Each node lives in exactly one shard and logs are
+    /// chronological, so the per-node lists stay sorted.
+    fn merge_logs(&mut self) {
+        for shard in &mut self.shards {
+            for &(v, round) in &shard.log {
+                if self.receipts[v.index()].is_empty() {
+                    self.informed.push(v);
+                }
+                self.receipts[v.index()].push(round);
+            }
+            shard.log.clear();
+        }
+    }
+}
+
+/// The per-worker round loop. With `rx = None` (single shard) the exchange
+/// phase is skipped entirely.
+///
+/// All workers observe the same `global_active` sequence, so they take the
+/// same branch at every decision point — the returned [`WorkerResult`]s
+/// are identical except for the shard-local receipt logs.
+#[allow(clippy::too_many_arguments)] // internal; mirrors the worker's full context
+fn run_worker(
+    state: &mut ShardState,
+    me: usize,
+    graph: &Graph,
+    partition: &Partition,
+    record: bool,
+    max_rounds: u32,
+    start_round: u32,
+    start_active: u64,
+    peers: &[(usize, Sender<RoundMsg>)],
+    rx: Option<&Receiver<RoundMsg>>,
+) -> WorkerResult {
+    let mut global_active = start_active;
+    let mut round = start_round;
+    let mut per_round = Vec::new();
+    let mut stash: Vec<RoundMsg> = Vec::new();
+    // Emptied batch Vecs from absorbed peer messages, recycled as next
+    // round's outbound buffers so the exchange phase stops allocating
+    // once the flood reaches a steady state (each round hands out at most
+    // k − 1 batches and takes k − 1 back in).
+    let mut spare_batches: Vec<Vec<ArcId>> = Vec::new();
+
+    let outcome = loop {
+        if global_active == 0 {
+            break Outcome::Terminated {
+                last_active_round: round,
+            };
+        }
+        if round >= max_rounds {
+            break Outcome::CapReached {
+                rounds_executed: round,
+            };
+        }
+        round += 1;
+        per_round.push(global_active);
+
+        let ShardState {
+            inbox,
+            active,
+            received,
+            receivers,
+            next_local,
+            outbound,
+            log,
+        } = state;
+
+        // Mark this round's deliveries and collect the shard's frontier:
+        // each delivered arc's head, once.
+        for &a in inbox.iter() {
+            active.insert(a);
+        }
+        receivers.clear();
+        for &a in inbox.iter() {
+            let head = graph.arc_head(a);
+            let li = partition.local_index(head);
+            if !received[li] {
+                received[li] = true;
+                receivers.push(head);
+            }
+        }
+
+        // Local rule, shard-locally decidable: v → w fires next iff v
+        // received and w → v was not delivered (w → v's head is v, owned
+        // here, so `active` knows). Route each fired arc by the
+        // precomputed destination shard of its head.
+        let mut produced = 0u64;
+        next_local.clear();
+        for buf in outbound.iter_mut() {
+            if buf.capacity() == 0 {
+                if let Some(spare) = spare_batches.pop() {
+                    *buf = spare;
+                }
+            }
+        }
+        for &v in receivers.iter() {
+            if record {
+                log.push((v, round));
+            }
+            for &(out, dest) in partition.out_arcs(v) {
+                if !active.contains(out.reversed()) {
+                    produced += 1;
+                    if dest as usize == me {
+                        next_local.push(out);
+                    } else {
+                        outbound[dest as usize].push(out);
+                    }
+                }
+            }
+        }
+
+        // Sparse cleanup: clear exactly the bits and flags that were set.
+        for &a in inbox.iter() {
+            active.remove(a);
+        }
+        for &v in receivers.iter() {
+            received[partition.local_index(v)] = false;
+        }
+        inbox.clear();
+        core::mem::swap(inbox, next_local);
+
+        // Exchange phase: one message to every peer (empty batches
+        // included — the counts double as the termination consensus),
+        // then absorb the k − 1 peer messages for this round. Messages
+        // from workers racing one round ahead are stashed for their turn.
+        let mut total_next = produced;
+        for &(dest, ref tx) in peers {
+            let msg = RoundMsg {
+                round,
+                produced,
+                batch: core::mem::take(&mut outbound[dest]),
+            };
+            tx.send(msg).expect("peer worker alive");
+        }
+        if let Some(rx) = rx {
+            let mut absorbed = 0usize;
+            let mut i = 0;
+            while i < stash.len() {
+                if stash[i].round == round {
+                    let msg = stash.swap_remove(i);
+                    total_next += msg.produced;
+                    inbox.extend_from_slice(&msg.batch);
+                    recycle_batch(&mut spare_batches, msg.batch);
+                    absorbed += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            while absorbed < peers.len() {
+                let msg = rx.recv().expect("peer worker alive");
+                assert_ne!(msg.round, POISON_ROUND, "sharded peer worker failed");
+                if msg.round == round {
+                    total_next += msg.produced;
+                    inbox.extend_from_slice(&msg.batch);
+                    recycle_batch(&mut spare_batches, msg.batch);
+                    absorbed += 1;
+                } else {
+                    debug_assert_eq!(msg.round, round + 1, "peers race at most one round ahead");
+                    stash.push(msg);
+                }
+            }
+        }
+        global_active = total_next;
+    };
+
+    WorkerResult {
+        outcome,
+        per_round,
+        final_round: round,
+        final_active: global_active,
+    }
+}
+
+/// Clears an absorbed peer batch and keeps its allocation for reuse as a
+/// future outbound buffer (non-empty capacities only — empty batches carry
+/// nothing worth keeping).
+fn recycle_batch(spares: &mut Vec<Vec<ArcId>>, mut batch: Vec<ArcId>) {
+    if batch.capacity() > 0 {
+        batch.clear();
+        spares.push(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::FrontierFlooding;
+    use af_graph::generators;
+
+    /// Full-record equivalence against the frontier engine.
+    fn assert_matches_frontier(
+        g: &Graph,
+        sources: &[NodeId],
+        strategy: PartitionStrategy,
+        k: usize,
+    ) {
+        let mut frontier = FrontierFlooding::new(g, sources.iter().copied());
+        let mut sharded = ShardedFlooding::with_strategy(g, strategy, k, sources.iter().copied());
+        assert_eq!(sharded.in_flight(), frontier.in_flight(), "seed arcs");
+        let cap = 2 * g.node_count() as u32 + 2;
+        let a = frontier.run(cap);
+        let b = sharded.run(cap);
+        assert_eq!(a, b, "{g} {strategy} k={k}");
+        assert_eq!(frontier.total_messages(), sharded.total_messages());
+        assert_eq!(frontier.messages_per_round(), sharded.messages_per_round());
+        assert_eq!(frontier.informed_count(), sharded.informed_count());
+        assert_eq!(frontier.round(), sharded.round());
+        assert_eq!(frontier.is_terminated(), sharded.is_terminated());
+        for v in g.nodes() {
+            assert_eq!(frontier.receipts(v), sharded.receipts(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn matches_frontier_on_named_topologies() {
+        for (g, s) in [
+            (generators::path(7), 0usize),
+            (generators::cycle(3), 0),
+            (generators::cycle(6), 2),
+            (generators::cycle(9), 4),
+            (generators::complete(6), 1),
+            (generators::petersen(), 0),
+            (generators::wheel(5), 2),
+            (generators::barbell(4), 0),
+            (generators::grid(3, 4), 5),
+            (generators::hypercube(4), 9),
+            (generators::star(6), 3),
+        ] {
+            for strategy in PartitionStrategy::all() {
+                for k in [1, 2, 3, 8] {
+                    assert_matches_frontier(&g, &[NodeId::new(s)], strategy, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_frontier_multi_source() {
+        let g = generators::cycle(8);
+        assert_matches_frontier(
+            &g,
+            &[NodeId::new(0), NodeId::new(3)],
+            PartitionStrategy::Bfs,
+            3,
+        );
+        let g = generators::petersen();
+        for strategy in PartitionStrategy::all() {
+            assert_matches_frontier(
+                &g,
+                &[NodeId::new(0), NodeId::new(7), NodeId::new(9)],
+                strategy,
+                4,
+            );
+        }
+    }
+
+    #[test]
+    fn matches_frontier_on_random_families() {
+        for seed in 0..6 {
+            let g = generators::sparse_connected(60, (seed as usize) * 9, seed);
+            let s = NodeId::new(seed as usize % g.node_count());
+            for strategy in PartitionStrategy::all() {
+                assert_matches_frontier(&g, &[s], strategy, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_match_frontier() {
+        // n = 1: a flood from the only node terminates immediately (no
+        // arcs); k far above n clamps to one shard (see Partition::new).
+        let single = af_graph::Graph::empty(1);
+        for k in [1, 2, 8] {
+            assert_matches_frontier(&single, &[NodeId::new(0)], PartitionStrategy::RoundRobin, k);
+        }
+
+        // n = 0 with no sources.
+        let empty = af_graph::Graph::empty(0);
+        for strategy in PartitionStrategy::all() {
+            let mut sim = ShardedFlooding::with_strategy(&empty, strategy, 4, []);
+            assert!(sim.is_terminated());
+            assert_eq!(
+                sim.run(10),
+                Outcome::Terminated {
+                    last_active_round: 0
+                }
+            );
+        }
+
+        // Disconnected graph: shards holding unreached components stay
+        // idle for the whole run.
+        let disc = af_graph::Graph::from_edges(8, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        for strategy in PartitionStrategy::all() {
+            for k in [1, 3, 8, 16] {
+                assert_matches_frontier(&disc, &[NodeId::new(0)], strategy, k);
+            }
+        }
+
+        // k > n on a real topology.
+        let g = generators::cycle(5);
+        assert_matches_frontier(&g, &[NodeId::new(2)], PartitionStrategy::Contiguous, 16);
+    }
+
+    #[test]
+    fn out_of_range_source_panics() {
+        let g = generators::cycle(4);
+        let result = std::panic::catch_unwind(|| {
+            ShardedFlooding::with_strategy(&g, PartitionStrategy::Bfs, 2, [NodeId::new(9)])
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cap_then_resume_matches_frontier() {
+        let g = generators::cycle(3);
+        let mut frontier = FrontierFlooding::new(&g, [NodeId::new(0)]);
+        let mut sharded =
+            ShardedFlooding::with_strategy(&g, PartitionStrategy::Bfs, 2, [NodeId::new(0)]);
+        assert_eq!(sharded.run(1), Outcome::CapReached { rounds_executed: 1 });
+        assert_eq!(frontier.run(1), Outcome::CapReached { rounds_executed: 1 });
+        assert_eq!(sharded.in_flight(), frontier.in_flight());
+        // Resume past the cap: both finish identically.
+        assert_eq!(sharded.run(100), frontier.run(100));
+        assert_eq!(sharded.total_messages(), frontier.total_messages());
+        for v in g.nodes() {
+            assert_eq!(sharded.receipts(v), frontier.receipts(v));
+        }
+        // Running a terminated simulator is a no-op.
+        assert_eq!(
+            sharded.run(200),
+            Outcome::Terminated {
+                last_active_round: 3
+            }
+        );
+    }
+
+    #[test]
+    fn reset_reuses_allocations_correctly() {
+        let g = generators::petersen();
+        let mut sim =
+            ShardedFlooding::with_strategy(&g, PartitionStrategy::Bfs, 3, [NodeId::new(0)]);
+        assert_eq!(sim.run(100).termination_round(), Some(5));
+        assert_eq!(sim.informed_count(), 10);
+
+        sim.reset([NodeId::new(7)]);
+        assert_eq!(sim.round(), 0);
+        assert_eq!(sim.total_messages(), 0);
+        assert!(sim.messages_per_round().is_empty());
+        let outcome = sim.run(100);
+        let mut fresh = FrontierFlooding::new(&g, [NodeId::new(7)]);
+        assert_eq!(outcome, fresh.run(100));
+        assert_eq!(sim.total_messages(), fresh.total_messages());
+        for v in g.nodes() {
+            assert_eq!(sim.receipts(v), fresh.receipts(v), "node {v}");
+        }
+
+        // Reset mid-run (messages still in flight) is also clean.
+        sim.reset([NodeId::new(1)]);
+        sim.run(1);
+        sim.reset([NodeId::new(2)]);
+        let mut fresh = FrontierFlooding::new(&g, [NodeId::new(2)]);
+        assert_eq!(sim.run(100), fresh.run(100));
+        assert_eq!(sim.total_messages(), fresh.total_messages());
+    }
+
+    #[test]
+    fn receipts_can_be_disabled() {
+        let g = generators::cycle(6);
+        let mut sim =
+            ShardedFlooding::with_strategy(&g, PartitionStrategy::Contiguous, 2, [NodeId::new(0)]);
+        sim.set_record_receipts(false);
+        sim.run(100);
+        assert!(sim.receipts(NodeId::new(1)).is_empty());
+        assert_eq!(sim.informed_count(), 0);
+        assert!(sim.total_messages() > 0);
+    }
+
+    #[test]
+    fn duplicate_sources_are_collapsed() {
+        let g = generators::cycle(6);
+        let mut dup = ShardedFlooding::with_strategy(
+            &g,
+            PartitionStrategy::Bfs,
+            3,
+            [NodeId::new(2), NodeId::new(2)],
+        );
+        let mut single =
+            ShardedFlooding::with_strategy(&g, PartitionStrategy::Bfs, 3, [NodeId::new(2)]);
+        assert_eq!(dup.in_flight(), single.in_flight());
+        assert_eq!(dup.run(100), single.run(100));
+        assert_eq!(dup.total_messages(), single.total_messages());
+    }
+
+    #[test]
+    fn accessors_expose_partition() {
+        let g = generators::grid(4, 4);
+        let sim = ShardedFlooding::with_strategy(&g, PartitionStrategy::Bfs, 4, [NodeId::new(0)]);
+        assert_eq!(sim.threads(), 4);
+        assert_eq!(sim.partition().shard_count(), 4);
+        assert_eq!(sim.graph().node_count(), 16);
+    }
+}

@@ -15,7 +15,10 @@
 //!   the bipartite double cover that powers the exact-time oracle;
 //! * [`io`] — edge-list text and DOT output;
 //! * [`enumerate`] — exhaustive enumeration of small connected graphs for
-//!   theorem checking.
+//!   theorem checking;
+//! * [`partition`] — `k`-way node partitioning ([`Partition`],
+//!   [`PartitionStrategy`]) with per-shard local arc CSRs and cross-shard
+//!   boundary maps, the substrate of the sharded flooding engine.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub mod algo;
 pub mod enumerate;
 pub mod generators;
 pub mod io;
+pub mod partition;
 
 mod error;
 mod graph;
@@ -48,3 +52,4 @@ mod id;
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder};
 pub use id::{ArcId, Direction, EdgeId, NodeId};
+pub use partition::{Partition, PartitionStrategy};

@@ -1,0 +1,554 @@
+//! Graph partitioning for sharded flooding: split the node set into `k`
+//! shards and precompute everything a per-shard flooding worker needs to
+//! run without touching another shard's state.
+//!
+//! A [`Partition`] assigns every node to exactly one shard and materializes,
+//! per shard, a **local out-arc CSR**: for each owned node, its out-arcs
+//! (in neighbour order, exactly as [`Graph::incident_arcs`] yields them)
+//! annotated with the *destination shard* — the shard owning the arc's
+//! head. A sharded simulator routes each produced arc by that annotation:
+//! same-shard arcs stay local, cross-shard arcs are batched for the round
+//! barrier exchange. The **boundary map** (a `k × k` arc-count matrix)
+//! records how many arcs cross each ordered shard pair, which is both the
+//! communication cost model and a partition-quality metric
+//! ([`Partition::cut_arc_count`]).
+//!
+//! Three [`PartitionStrategy`] flavours are provided:
+//!
+//! * [`Contiguous`](PartitionStrategy::Contiguous) — node-id ranges of
+//!   near-equal size. Zero-cost to compute; locality is whatever the node
+//!   numbering happens to encode (good for grids, poor for shuffled ids).
+//! * [`RoundRobin`](PartitionStrategy::RoundRobin) — node `v` to shard
+//!   `v mod k`. The adversarial baseline: perfectly balanced, maximal
+//!   boundary. Useful for stress-testing the exchange path.
+//! * [`Bfs`](PartitionStrategy::Bfs) — contiguous chunks of a BFS order
+//!   (restarted per component), so each shard is a union of BFS-contiguous
+//!   regions. Locality-aware without external dependencies; on bounded-
+//!   degree graphs the cut is near the frontier width.
+//!
+//! Every strategy is deterministic, handles `n = 0`, `n = 1` and `k > n`,
+//! and never fails: the requested `k` is clamped into
+//! `1 ..= min(n, MAX_SHARDS)`, so zero means one and oversharding requests
+//! degrade to one node per shard instead of allocating for empty shards.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_graph::{generators, Partition, PartitionStrategy};
+//!
+//! let g = generators::grid(8, 8);
+//! let p = Partition::new(&g, PartitionStrategy::Bfs, 4);
+//! assert_eq!(p.shard_count(), 4);
+//! // Every node is owned by exactly one shard ...
+//! let total: usize = (0..4).map(|s| p.nodes_of(s).len()).sum();
+//! assert_eq!(total, g.node_count());
+//! // ... and every arc appears in exactly one shard's local CSR.
+//! let arcs: usize = (0..4).map(|s| p.arc_count_of(s)).sum();
+//! assert_eq!(arcs, g.arc_count());
+//! ```
+
+use crate::graph::Graph;
+use crate::id::{ArcId, NodeId};
+use std::collections::VecDeque;
+
+/// How [`Partition::new`] assigns nodes to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PartitionStrategy {
+    /// Near-equal contiguous node-id ranges.
+    Contiguous,
+    /// Node `v` to shard `v mod k` (balanced, maximal boundary).
+    RoundRobin,
+    /// Contiguous chunks of a per-component BFS order (locality-aware).
+    Bfs,
+}
+
+impl PartitionStrategy {
+    /// All strategies, for exhaustive cross-checking in tests and benches.
+    #[must_use]
+    pub fn all() -> [PartitionStrategy; 3] {
+        [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Bfs,
+        ]
+    }
+
+    /// The stable lowercase name used in CLIs and JSON reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::RoundRobin => "round-robin",
+            PartitionStrategy::Bfs => "bfs",
+        }
+    }
+}
+
+impl core::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl core::str::FromStr for PartitionStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "contiguous" => Ok(PartitionStrategy::Contiguous),
+            "round-robin" | "roundrobin" => Ok(PartitionStrategy::RoundRobin),
+            "bfs" => Ok(PartitionStrategy::Bfs),
+            other => Err(format!(
+                "unknown partition strategy '{other}' (use contiguous, round-robin, or bfs)"
+            )),
+        }
+    }
+}
+
+/// One shard's precomputed topology: its nodes and their out-arcs in CSR
+/// form, each arc annotated with its destination shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardCsr {
+    /// The owned nodes, in increasing id order.
+    nodes: Vec<NodeId>,
+    /// CSR offsets into `arcs`: local node `i` owns
+    /// `arcs[offsets[i] .. offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// `(out-arc, destination shard)` pairs, grouped per owned node in
+    /// neighbour order.
+    arcs: Vec<(ArcId, u32)>,
+}
+
+/// Hard ceiling on the shard count, far above any real machine's core
+/// count. Together with the node-count clamp in [`Partition::new`] this
+/// bounds the `k × k` boundary matrix and the per-shard scratch state, so
+/// a wild `--threads` request cannot ask the allocator for gigabytes.
+pub const MAX_SHARDS: usize = 1024;
+
+/// A `k`-way node partition of a [`Graph`] with per-shard local arc CSRs
+/// and the cross-shard boundary map. See the [module docs](self) for the
+/// design and [`PartitionStrategy`] for the available assignment flavours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    strategy: PartitionStrategy,
+    node_count: usize,
+    /// Node → owning shard.
+    shard_of: Vec<u32>,
+    /// Node → index into its shard's `nodes`/`offsets` arrays.
+    local_index: Vec<u32>,
+    shards: Vec<ShardCsr>,
+    /// `boundary[s * k + t]` = number of arcs with tail in shard `s` and
+    /// head in shard `t` (the diagonal counts intra-shard arcs).
+    boundary: Vec<u64>,
+}
+
+impl Partition {
+    /// Partitions `graph` into `k` shards with the given strategy.
+    ///
+    /// `k` is clamped into `1 ..= min(n, MAX_SHARDS)` (with a floor of one
+    /// shard for the empty graph): zero means one, and a request beyond
+    /// the node count or [`MAX_SHARDS`] is reduced — shards beyond `n`
+    /// could only ever be empty, while their boundary-matrix and scratch
+    /// memory would still be paid. Check [`Partition::shard_count`] for
+    /// the effective `k`.
+    #[must_use]
+    pub fn new(graph: &Graph, strategy: PartitionStrategy, k: usize) -> Self {
+        let n = graph.node_count();
+        let k = clamp_shard_count(n, k);
+        let shard_of = match strategy {
+            PartitionStrategy::Contiguous => assign_chunked(&(0..n).collect::<Vec<_>>(), k),
+            PartitionStrategy::RoundRobin => (0..n).map(|v| (v % k) as u32).collect(),
+            PartitionStrategy::Bfs => assign_chunked(&bfs_order(graph), k),
+        };
+        Self::from_assignment(graph, strategy, k, shard_of)
+    }
+
+    /// Builds the per-shard CSRs and the boundary map from a node → shard
+    /// assignment (every entry must be `< k`).
+    fn from_assignment(
+        graph: &Graph,
+        strategy: PartitionStrategy,
+        k: usize,
+        shard_of: Vec<u32>,
+    ) -> Self {
+        let n = graph.node_count();
+        debug_assert_eq!(shard_of.len(), n);
+
+        let mut shards: Vec<ShardCsr> = (0..k)
+            .map(|_| ShardCsr {
+                nodes: Vec::new(),
+                offsets: vec![0],
+                arcs: Vec::new(),
+            })
+            .collect();
+        let mut local_index = vec![0u32; n];
+        let mut boundary = vec![0u64; k * k];
+
+        for v in graph.nodes() {
+            let s = shard_of[v.index()] as usize;
+            let shard = &mut shards[s];
+            local_index[v.index()] = u32::try_from(shard.nodes.len()).expect("node count fits u32");
+            shard.nodes.push(v);
+            for (w, out) in graph.incident_arcs(v) {
+                let t = shard_of[w.index()];
+                shard.arcs.push((out, t));
+                boundary[s * k + t as usize] += 1;
+            }
+            let end = u32::try_from(shard.arcs.len()).expect("arc count fits u32");
+            shard.offsets.push(end);
+        }
+
+        Partition {
+            strategy,
+            node_count: n,
+            shard_of,
+            local_index,
+            shards,
+            boundary,
+        }
+    }
+
+    /// The strategy this partition was built with.
+    #[must_use]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Number of shards `k` (always at least one).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of nodes of the partitioned graph.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The shard owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.shard_of[v.index()] as usize
+    }
+
+    /// The nodes owned by shard `s`, in increasing id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k`.
+    #[must_use]
+    pub fn nodes_of(&self, s: usize) -> &[NodeId] {
+        &self.shards[s].nodes
+    }
+
+    /// The index of `v` within its owning shard's node list
+    /// (`nodes_of(shard_of(v))[local_index(v)] == v`). Lets per-shard
+    /// simulator state be sized to the shard instead of the whole graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn local_index(&self, v: NodeId) -> usize {
+        self.local_index[v.index()] as usize
+    }
+
+    /// Number of out-arcs whose tail is owned by shard `s` (the size of its
+    /// local CSR). Summed over all shards this is exactly `2m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k`.
+    #[must_use]
+    pub fn arc_count_of(&self, s: usize) -> usize {
+        self.shards[s].arcs.len()
+    }
+
+    /// The out-arcs of node `v` from its shard's local CSR, in neighbour
+    /// order: `(arc, destination shard)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn out_arcs(&self, v: NodeId) -> &[(ArcId, u32)] {
+        let shard = &self.shards[self.shard_of[v.index()] as usize];
+        let li = self.local_index[v.index()] as usize;
+        let lo = shard.offsets[li] as usize;
+        let hi = shard.offsets[li + 1] as usize;
+        &shard.arcs[lo..hi]
+    }
+
+    /// Boundary map entry: the number of arcs with tail in shard `s` and
+    /// head in shard `t`. For `s == t` this counts intra-shard arcs; for
+    /// `s != t` the map is symmetric (each cut edge contributes one arc in
+    /// each direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k` or `t >= k`.
+    #[must_use]
+    pub fn boundary_arcs(&self, s: usize, t: usize) -> u64 {
+        assert!(s < self.shard_count() && t < self.shard_count());
+        self.boundary[s * self.shard_count() + t]
+    }
+
+    /// Total number of cross-shard arcs (the off-diagonal mass of the
+    /// boundary map) — the per-round worst-case exchange volume.
+    #[must_use]
+    pub fn cut_arc_count(&self) -> u64 {
+        let k = self.shard_count();
+        let mut cut = 0;
+        for s in 0..k {
+            for t in 0..k {
+                if s != t {
+                    cut += self.boundary[s * k + t];
+                }
+            }
+        }
+        cut
+    }
+
+    /// The fraction of arcs that cross shards, in `0.0 ..= 1.0` (`0.0` for
+    /// an edgeless graph) — the headline partition-quality number.
+    #[must_use]
+    pub fn cut_fraction(&self) -> f64 {
+        let total: u64 = self.boundary.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.cut_arc_count() as f64 / total as f64
+        }
+    }
+}
+
+/// The effective shard count [`Partition::new`] uses for a graph with `n`
+/// nodes when `k` shards are requested: `1 ..= min(n, MAX_SHARDS)`, with a
+/// floor of one shard for the empty graph. Exposed so callers (CLIs,
+/// reports) can echo the count that will actually run.
+#[must_use]
+pub fn clamp_shard_count(n: usize, k: usize) -> usize {
+    k.clamp(1, n.clamp(1, MAX_SHARDS))
+}
+
+/// Splits `order` (a permutation of `0..n`) into `k` near-equal contiguous
+/// chunks and returns the node → shard assignment.
+fn assign_chunked(order: &[usize], k: usize) -> Vec<u32> {
+    let n = order.len();
+    let mut shard_of = vec![0u32; n];
+    for (pos, &v) in order.iter().enumerate() {
+        // Chunk boundaries at floor(i * n / k): sizes differ by at most one.
+        shard_of[v] = u32::try_from(pos * k / n.max(1)).expect("shard fits u32");
+    }
+    shard_of
+}
+
+/// A BFS visit order covering every node: BFS from the lowest-id unvisited
+/// node, restarted per component.
+fn bfs_order(graph: &Graph) -> Vec<usize> {
+    let n = graph.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        queue.push_back(NodeId::new(root));
+        while let Some(u) = queue.pop_front() {
+            order.push(u.index());
+            for &w in graph.neighbors(u) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_invariants(g: &Graph, p: &Partition) {
+        let k = p.shard_count();
+        // Every node in exactly one shard, and shard node lists agree with
+        // the shard_of map.
+        let mut owned = vec![0usize; g.node_count()];
+        for s in 0..k {
+            for &v in p.nodes_of(s) {
+                owned[v.index()] += 1;
+                assert_eq!(p.shard_of(v), s);
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1), "every node in one shard");
+        // Per-shard out-arc counts sum to 2m.
+        let arcs: usize = (0..k).map(|s| p.arc_count_of(s)).sum();
+        assert_eq!(arcs, g.arc_count());
+        // Boundary map row sums match per-shard arc counts; off-diagonal
+        // symmetric.
+        for s in 0..k {
+            let row: u64 = (0..k).map(|t| p.boundary_arcs(s, t)).sum();
+            assert_eq!(row, p.arc_count_of(s) as u64);
+            for t in 0..k {
+                if s != t {
+                    assert_eq!(p.boundary_arcs(s, t), p.boundary_arcs(t, s));
+                }
+            }
+        }
+        // Local CSR rows are exactly incident_arcs with correct dest shards.
+        for v in g.nodes() {
+            let row = p.out_arcs(v);
+            let want: Vec<(ArcId, u32)> = g
+                .incident_arcs(v)
+                .map(|(w, a)| (a, p.shard_of(w) as u32))
+                .collect();
+            assert_eq!(row, want.as_slice(), "CSR row of {v}");
+        }
+    }
+
+    #[test]
+    fn invariants_hold_for_all_strategies_and_k() {
+        for g in [
+            generators::petersen(),
+            generators::grid(5, 7),
+            generators::cycle(9),
+            generators::star(6),
+            generators::sparse_connected(40, 30, 7),
+        ] {
+            for strategy in PartitionStrategy::all() {
+                for k in [1, 2, 3, 8, 64] {
+                    let p = Partition::new(&g, strategy, k);
+                    assert_eq!(p.shard_count(), k.min(g.node_count()));
+                    assert_eq!(p.strategy(), strategy);
+                    check_invariants(&g, &p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        for strategy in PartitionStrategy::all() {
+            for n in [0usize, 1, 2] {
+                let g = Graph::empty(n);
+                for k in [1, 2, 5] {
+                    let p = Partition::new(&g, strategy, k);
+                    assert_eq!(p.node_count(), n);
+                    assert_eq!(p.shard_count(), k.clamp(1, n.max(1)));
+                    check_invariants(&g, &p);
+                    assert_eq!(p.cut_arc_count(), 0);
+                    assert_eq!(p.cut_fraction(), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_at_both_ends() {
+        let g = generators::cycle(5);
+        // Zero means one.
+        let p = Partition::new(&g, PartitionStrategy::Contiguous, 0);
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(p.nodes_of(0).len(), 5);
+        assert_eq!(p.cut_arc_count(), 0);
+        // Oversharding clamps to the node count (one node per shard), so
+        // wild thread requests cannot allocate k x k boundary matrices.
+        let p = Partition::new(&g, PartitionStrategy::Bfs, 1_000_000);
+        assert_eq!(p.shard_count(), 5);
+        check_invariants(&g, &p);
+        // MAX_SHARDS caps even node-rich graphs.
+        let big = Graph::empty(MAX_SHARDS * 2);
+        let p = Partition::new(&big, PartitionStrategy::RoundRobin, MAX_SHARDS * 2);
+        assert_eq!(p.shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn oversharding_clamps_instead_of_leaving_empty_shards() {
+        let g = generators::path(3);
+        for strategy in PartitionStrategy::all() {
+            let p = Partition::new(&g, strategy, 16);
+            assert_eq!(p.shard_count(), 3);
+            for s in 0..3 {
+                assert_eq!(p.nodes_of(s).len(), 1, "one node per shard");
+            }
+            check_invariants(&g, &p);
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_are_fully_covered() {
+        // Two triangles plus two isolated nodes.
+        let g = Graph::from_edges(8, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        for strategy in PartitionStrategy::all() {
+            let p = Partition::new(&g, strategy, 3);
+            check_invariants(&g, &p);
+        }
+    }
+
+    #[test]
+    fn contiguous_ranges_are_contiguous_and_balanced() {
+        let g = Graph::empty(10);
+        let p = Partition::new(&g, PartitionStrategy::Contiguous, 3);
+        let sizes: Vec<usize> = (0..3).map(|s| p.nodes_of(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&c| (3..=4).contains(&c)), "{sizes:?}");
+        for s in 0..3 {
+            let nodes = p.nodes_of(s);
+            for w in nodes.windows(2) {
+                assert_eq!(w[1].index(), w[0].index() + 1, "contiguous ids");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_strides() {
+        let g = Graph::empty(7);
+        let p = Partition::new(&g, PartitionStrategy::RoundRobin, 3);
+        for v in g.nodes() {
+            assert_eq!(p.shard_of(v), v.index() % 3);
+        }
+    }
+
+    #[test]
+    fn bfs_beats_round_robin_on_grids() {
+        // The locality-aware partitioner must produce a dramatically
+        // smaller cut than the adversarial baseline on a mesh.
+        let g = generators::grid(16, 16);
+        let bfs = Partition::new(&g, PartitionStrategy::Bfs, 4);
+        let rr = Partition::new(&g, PartitionStrategy::RoundRobin, 4);
+        assert!(
+            bfs.cut_arc_count() * 3 < rr.cut_arc_count(),
+            "bfs cut {} vs round-robin cut {}",
+            bfs.cut_arc_count(),
+            rr.cut_arc_count()
+        );
+        assert!(bfs.cut_fraction() < 0.25);
+    }
+
+    #[test]
+    fn strategy_names_roundtrip() {
+        for s in PartitionStrategy::all() {
+            assert_eq!(s.name().parse::<PartitionStrategy>(), Ok(s));
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert_eq!(
+            "roundrobin".parse::<PartitionStrategy>(),
+            Ok(PartitionStrategy::RoundRobin)
+        );
+        assert!("metis".parse::<PartitionStrategy>().is_err());
+    }
+}

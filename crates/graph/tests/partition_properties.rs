@@ -1,0 +1,97 @@
+//! Property tests for [`af_graph::partition`]: on random graphs, every
+//! strategy and shard count must produce a partition where (1) every node
+//! lives in exactly one shard, (2) the cross-shard boundary map is
+//! symmetric, and (3) per-shard out-arc counts sum to `2m`.
+
+use af_graph::{generators, Graph, Partition, PartitionStrategy};
+use proptest::prelude::*;
+
+fn assert_partition_invariants(g: &Graph, p: &Partition) {
+    let k = p.shard_count();
+
+    // (1) Every node is owned by exactly one shard, consistently between
+    // the per-shard node lists and the node → shard map.
+    let mut owner_count = vec![0u32; g.node_count()];
+    for s in 0..k {
+        for &v in p.nodes_of(s) {
+            owner_count[v.index()] += 1;
+            assert_eq!(p.shard_of(v), s, "{v} listed in shard {s}");
+        }
+    }
+    assert!(
+        owner_count.iter().all(|&c| c == 1),
+        "every node in exactly one shard: {owner_count:?}"
+    );
+
+    // (2) The boundary map is symmetric off the diagonal: each cut edge
+    // contributes one arc in each direction.
+    for s in 0..k {
+        for t in (s + 1)..k {
+            assert_eq!(
+                p.boundary_arcs(s, t),
+                p.boundary_arcs(t, s),
+                "boundary({s}, {t}) symmetric"
+            );
+        }
+    }
+
+    // (3) Per-shard out-arc counts (local CSR sizes) partition the 2m arcs,
+    // and each shard's boundary row accounts for exactly its arcs.
+    let total_arcs: usize = (0..k).map(|s| p.arc_count_of(s)).sum();
+    assert_eq!(total_arcs, g.arc_count(), "arc counts sum to 2m");
+    for s in 0..k {
+        let row: u64 = (0..k).map(|t| p.boundary_arcs(s, t)).sum();
+        assert_eq!(row, p.arc_count_of(s) as u64, "row sum of shard {s}");
+    }
+
+    // The cut is the off-diagonal mass, bounded by all arcs.
+    assert!(p.cut_arc_count() <= g.arc_count() as u64);
+    assert!((0.0..=1.0).contains(&p.cut_fraction()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants on random connected graphs for every strategy and a
+    /// spread of shard counts including k = 1 and k > n.
+    #[test]
+    fn invariants_on_random_connected_graphs(
+        (n, extra_frac, seed) in (1usize..=256, 0usize..150, any::<u64>()),
+        k in 1usize..=12,
+    ) {
+        let extra = n * extra_frac / 100;
+        let g = generators::sparse_connected(n, extra, seed);
+        for strategy in PartitionStrategy::all() {
+            let p = Partition::new(&g, strategy, k);
+            prop_assert_eq!(p.shard_count(), k.min(g.node_count()));
+            assert_partition_invariants(&g, &p);
+        }
+    }
+
+    /// The same on random *disconnected* graphs (independent G(n, p) with
+    /// isolated nodes likely): partitioning must not assume connectivity.
+    #[test]
+    fn invariants_on_random_disconnected_graphs(
+        (a, b, seed) in (1usize..=64, 1usize..=64, any::<u64>()),
+        p_edge in 0.0f64..0.15,
+        k in 1usize..=9,
+    ) {
+        let g = generators::random_bipartite(a, b, p_edge, seed);
+        for strategy in PartitionStrategy::all() {
+            let p = Partition::new(&g, strategy, k);
+            assert_partition_invariants(&g, &p);
+        }
+    }
+
+    /// Oversharding: k far beyond n clamps to one node per shard and
+    /// never breaks the invariants.
+    #[test]
+    fn oversharding_is_harmless(n in 0usize..=8, k in 1usize..=40) {
+        let g = generators::sparse_connected(n.max(1), n, 3);
+        for strategy in PartitionStrategy::all() {
+            let p = Partition::new(&g, strategy, k);
+            prop_assert_eq!(p.shard_count(), k.min(g.node_count()));
+            assert_partition_invariants(&g, &p);
+        }
+    }
+}

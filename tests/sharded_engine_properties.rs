@@ -1,0 +1,165 @@
+//! Property tests pinning the sharded multicore engine to both independent
+//! implementations of the theory: on random graphs up to `n = 512`, for
+//! **every** partition strategy and shard counts `k ∈ {1, 2, 3, 8}`,
+//! [`ShardedFlooding`] must reproduce — bit for bit — the round-sets,
+//! per-node receive rounds, and message counts of the `theory::predict`
+//! double-cover oracle *and* of the serial [`FrontierFlooding`] engine.
+//!
+//! This is the determinism contract of the sharded subsystem: thread
+//! interleaving, partition shape, and shard count are not allowed to leak
+//! into any observable of a flood.
+
+use amnesiac_flooding::core::{theory, FloodBatch, FloodEngine, FrontierFlooding, ShardedFlooding};
+use amnesiac_flooding::graph::{generators, Graph, NodeId, PartitionStrategy};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Runs the sharded engine to termination and returns its full observable
+/// record: outcome, per-node receive rounds, per-round message counts.
+fn sharded_record(
+    g: &Graph,
+    sources: &[NodeId],
+    strategy: PartitionStrategy,
+    k: usize,
+) -> (Option<u32>, Vec<Vec<u32>>, Vec<u64>, u64) {
+    let mut sim = ShardedFlooding::with_strategy(g, strategy, k, sources.iter().copied());
+    let outcome = sim.run(2 * g.node_count() as u32 + 2);
+    let receipts = g.nodes().map(|v| sim.receipts(v).to_vec()).collect();
+    (
+        outcome.termination_round(),
+        receipts,
+        sim.messages_per_round().to_vec(),
+        sim.total_messages(),
+    )
+}
+
+fn check_against_both_references(
+    g: &Graph,
+    sources: &[NodeId],
+    strategy: PartitionStrategy,
+    k: usize,
+) -> Result<(), TestCaseError> {
+    // Reference 1: the serial frontier engine.
+    let mut frontier = FrontierFlooding::new(g, sources.iter().copied());
+    let frontier_outcome = frontier.run(2 * g.node_count() as u32 + 2);
+    prop_assert!(frontier_outcome.is_terminated(), "Theorem 3.1");
+
+    // Reference 2: the double-cover oracle (no simulation code shared).
+    let pred = theory::predict(g, sources.iter().copied());
+
+    let (term, receipts, per_round, total) = sharded_record(g, sources, strategy, k);
+
+    prop_assert_eq!(
+        term,
+        frontier_outcome.termination_round(),
+        "termination vs frontier ({} {} k={})",
+        g,
+        strategy,
+        k
+    );
+    prop_assert_eq!(
+        term,
+        Some(pred.termination_round()),
+        "termination vs oracle ({} {} k={})",
+        g,
+        strategy,
+        k
+    );
+    prop_assert_eq!(total, pred.total_messages(), "message count vs oracle");
+    prop_assert_eq!(
+        per_round.iter().sum::<u64>(),
+        total,
+        "per-round counts sum to the total"
+    );
+    prop_assert_eq!(
+        &per_round,
+        frontier.messages_per_round(),
+        "per-round counts vs frontier"
+    );
+    for v in g.nodes() {
+        prop_assert_eq!(
+            receipts[v.index()].as_slice(),
+            pred.receive_rounds(v),
+            "receive rounds of {} vs oracle",
+            v
+        );
+        prop_assert_eq!(
+            receipts[v.index()].as_slice(),
+            frontier.receipts(v),
+            "receive rounds of {} vs frontier",
+            v
+        );
+    }
+    Ok(())
+}
+
+prop_compose! {
+    /// Random connected graphs up to n = 512 with a random source.
+    fn connected_graph_and_source()(
+        (n, extra_frac, seed) in (2usize..=512, 0usize..200, any::<u64>()),
+        raw in any::<u32>()
+    ) -> (Graph, NodeId) {
+        let extra = n * extra_frac / 100;
+        let g = generators::sparse_connected(n, extra, seed);
+        let s = NodeId::new(raw as usize % g.node_count());
+        (g, s)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single-source floods: every partitioner and shard count reproduces
+    /// the oracle and the frontier engine exactly.
+    #[test]
+    fn sharded_matches_oracle_and_frontier((g, s) in connected_graph_and_source()) {
+        for strategy in PartitionStrategy::all() {
+            for k in SHARD_COUNTS {
+                check_against_both_references(&g, &[s], strategy, k)?;
+            }
+        }
+    }
+
+    /// Multi-source floods agree too.
+    #[test]
+    fn sharded_matches_references_multi_source(
+        (g, s) in connected_graph_and_source(),
+        raw2 in any::<u32>()
+    ) {
+        let s2 = NodeId::new(raw2 as usize % g.node_count());
+        for strategy in PartitionStrategy::all() {
+            check_against_both_references(&g, &[s, s2], strategy, 3)?;
+        }
+    }
+
+    /// The batched sharded backend reports exactly what the oracle
+    /// predicts, source after source — shard-state reuse must never leak
+    /// between floods.
+    #[test]
+    fn sharded_batch_matches_oracle_across_sources((g, _) in connected_graph_and_source()) {
+        let mut batch = FloodBatch::with_engine(
+            &g,
+            FloodEngine::Sharded { threads: 4, strategy: PartitionStrategy::Bfs },
+        );
+        let step = (g.node_count() / 8).max(1);
+        for s in g.nodes().step_by(step) {
+            let stats = batch.run_from([s]);
+            let pred = theory::predict(&g, [s]);
+            prop_assert_eq!(stats.termination_round(), Some(pred.termination_round()));
+            prop_assert_eq!(stats.total_messages(), pred.total_messages());
+        }
+    }
+
+    /// Repeating one flood at every shard count gives byte-identical
+    /// records — the shard count is pure implementation detail.
+    #[test]
+    fn shard_count_is_unobservable((g, s) in connected_graph_and_source()) {
+        let strategy = PartitionStrategy::RoundRobin;
+        let base = sharded_record(&g, &[s], strategy, 1);
+        for k in [2, 3, 8] {
+            let other = sharded_record(&g, &[s], strategy, k);
+            prop_assert_eq!(&base, &other, "k={} differs from k=1", k);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline shim for `crossbeam-channel`: the unbounded MPSC subset, backed
+//! by `std::sync::mpsc`.
+//!
+//! API differences from the real crate are kept invisible to this
+//! workspace's usage: [`Sender`] is `Clone + Send` and [`Receiver`] is
+//! `Send` (but, unlike crossbeam's, not `Clone` or `Sync` — each consumer
+//! owns its receiver, which is exactly the sharded-flooding topology of one
+//! inbox per worker).
+
+use std::sync::mpsc;
+
+/// The sending half of an unbounded channel. Mirror of
+/// `crossbeam_channel::Sender`.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+// Manual impl: a derive would needlessly require `T: Clone`.
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// The receiving half of an unbounded channel. Mirror of
+/// `crossbeam_channel::Receiver` (minus `Clone`/`Sync`; see the module
+/// docs).
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone. The
+/// unsent message is handed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> core::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: core::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl core::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders still exist).
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl core::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+impl<T> Sender<T> {
+    /// Sends a message, never blocking (the channel is unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if the receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(msg)
+            .map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the channel is empty and every sender was
+    /// dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+    }
+
+    /// Receives a message if one is immediately available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when nothing is queued and
+    /// [`TryRecvError::Disconnected`] when additionally every sender is
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Drains every currently queued message without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        core::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+/// Creates an unbounded channel. Mirror of `crossbeam_channel::unbounded`.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(41).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv(), Ok(41));
+        assert_eq!(rx.try_recv(), Ok(42));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn multiple_producers_one_consumer() {
+        let (tx, rx) = unbounded();
+        crate::scope(|scope| {
+            for i in 0..4u64 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+        })
+        .unwrap();
+        drop(tx);
+        let mut got: Vec<u64> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        assert!(SendError(7).to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(RecvError.to_string().contains("disconnected"));
+        assert!(TryRecvError::Empty.to_string().contains("empty"));
+        assert!(TryRecvError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+    }
+}

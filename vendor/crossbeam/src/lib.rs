@@ -1,5 +1,6 @@
 //! Offline shim for the `crossbeam` crate: scoped threads over
-//! `std::thread::scope`. See `vendor/README.md`.
+//! `std::thread::scope` and multi-producer channels over `std::sync::mpsc`.
+//! See `vendor/README.md`.
 //!
 //! Behavioral note: the real `crossbeam::scope` returns `Err` when a child
 //! thread panicked; `std::thread::scope` resumes the child's panic on the
@@ -7,6 +8,8 @@
 //! `.expect(..)` the result observe a panic either way).
 
 use std::thread;
+
+pub mod channel;
 
 /// A scope handle: spawn threads that may borrow from the enclosing stack
 /// frame. Mirror of `crossbeam_utils::thread::Scope`.
@@ -49,7 +52,7 @@ mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
         let hits = AtomicUsize::new(0);
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let out = super::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|_| {
