@@ -15,18 +15,20 @@
 //!   columns record the concurrency axis; the serial engines carry
 //!   `threads = 1`, `partitioner = "none"`).
 //!
-//! All engines flood the same deterministic source sample of every graph
-//! and must agree flood-for-flood on termination rounds and message counts
-//! (recorded as `engines_agree` / `all_engines_agree`; in smoke mode the
-//! [`af_core::theory`] oracle is checked too). CI runs the smoke
-//! configuration on every push and fails if the engines disagree or the
-//! JSON stops parsing.
+//! All engines flood the same deterministic **source sets** of every graph
+//! — size-1 sets reproduce the classic single-source sweep, `--sources k`
+//! floods from spread sets of `k` initiators — and must agree
+//! flood-for-flood on termination rounds and message counts (recorded as
+//! `engines_agree` / `all_engines_agree`; in smoke mode the
+//! [`af_core::theory`] multi-source oracle is checked too). CI runs the
+//! smoke configuration on every push and fails if the engines disagree or
+//! the JSON stops parsing.
 //!
-//! # `BENCH_flooding.json` schema (version 2)
+//! # `BENCH_flooding.json` schema (version 3)
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "benchmark": "flooding_throughput",
 //!   "mode": "full" | "smoke",
 //!   "all_engines_agree": true,
@@ -35,15 +37,17 @@
 //!       "family": "grid",
 //!       "spec": { "Grid": { "rows": 708, "cols": 708 } },
 //!       "nodes": 501264, "edges": 1001112,
-//!       "sources": [0, 250632, 501263],
+//!       "source_sets": [[0], [250632], [501263]],
 //!       "engines_agree": true,
 //!       "engines": [
-//!         { "engine": "frontier", "threads": 1, "partitioner": "none",
+//!         { "engine": "frontier", "threads": 1, "threads_requested": 1,
+//!           "partitioner": "none", "sources": 1,
 //!           "rounds_per_source": [1414, ...],
 //!           "total_messages": 3003336, "wall_ms": 123.4,
 //!           "edges_per_sec": 24340000.0 },
 //!         { "engine": "fast", ... },
-//!         { "engine": "sharded", "threads": 4, "partitioner": "bfs", ... }
+//!         { "engine": "sharded", "threads": 4, "threads_requested": 4,
+//!           "partitioner": "bfs", ... }
 //!       ]
 //!     }, ...
 //!   ]
@@ -52,10 +56,16 @@
 //!
 //! Field names and nesting are stable; extending the file means adding
 //! fields (or bumping `schema_version`), never renaming. Version 2 added
-//! the required `threads` and `partitioner` fields to every engine row
-//! together with the sharded engine — version-1 files (which lack them)
-//! do not deserialize as [`EngineStats`], hence the bump rather than a
-//! silent same-version shape change.
+//! the required `threads` / `partitioner` fields together with the sharded
+//! engine. Version 3 generalized the measured floods from single sources
+//! to source sets: the per-case `sources` list became `source_sets`
+//! (one inner list per measured flood), and every engine row gained
+//! `sources` (the size of each flood's source set) and
+//! `threads_requested` (the raw `--threads` request, so a row whose
+//! `threads` was clamped to `min(n, MAX_SHARDS)` records both what was
+//! asked and what actually ran). Older files do not deserialize as
+//! [`CaseResult`]/[`EngineStats`], hence the bump rather than a silent
+//! same-version shape change.
 
 use crate::spec::GraphSpec;
 use af_core::{theory, FastFlooding, FloodBatch, FloodEngine};
@@ -63,9 +73,10 @@ use af_graph::{Graph, NodeId, PartitionStrategy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Version stamp written into every report. Version 2 = version 1 plus
-/// the required per-engine `threads` / `partitioner` fields.
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version stamp written into every report. Version 3 = version 2 with
+/// source *sets* per flood (`source_sets`, per-engine `sources`) and the
+/// per-engine `threads_requested` clamp record.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The `partitioner` value recorded for engines that do not partition.
 pub const NO_PARTITIONER: &str = "none";
@@ -75,11 +86,19 @@ pub const NO_PARTITIONER: &str = "none";
 pub struct EngineStats {
     /// Engine name: `"frontier"`, `"fast"`, or `"sharded"`.
     pub engine: String,
-    /// Worker threads the engine used (1 for the serial engines).
+    /// Worker threads the engine actually used (1 for the serial engines;
+    /// the sharded engine's request is clamped into
+    /// `1 ..= min(n, MAX_SHARDS)` — see `threads_requested`).
     pub threads: usize,
+    /// The raw thread/shard request before clamping (equals `threads`
+    /// unless the clamp fired; 1 for the serial engines).
+    pub threads_requested: usize,
     /// Partition strategy name, or `"none"` for unpartitioned engines.
     pub partitioner: String,
-    /// Termination round of each measured flood, in source order.
+    /// Size of each measured flood's source set (1 = the classic
+    /// single-source sweep).
+    pub sources: usize,
+    /// Termination round of each measured flood, in source-set order.
     pub rounds_per_source: Vec<u32>,
     /// Messages delivered over all measured floods.
     pub total_messages: u64,
@@ -114,8 +133,9 @@ pub struct CaseResult {
     pub nodes: usize,
     /// Edge count of the built graph.
     pub edges: usize,
-    /// The measured source sample (node indices).
-    pub sources: Vec<usize>,
+    /// The measured source sets, one inner list (sorted node indices) per
+    /// flood. Size-1 sets are the classic single-source sweep.
+    pub source_sets: Vec<Vec<usize>>,
     /// Whether all engines agreed flood-for-flood on rounds and messages.
     pub engines_agree: bool,
     /// Per-engine measurements, `frontier` first.
@@ -153,10 +173,16 @@ impl ThroughputReport {
     pub fn to_summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let set_size = self
+            .cases
+            .first()
+            .and_then(|c| c.engines.first())
+            .map_or(1, |e| e.sources);
         let _ = writeln!(
             out,
-            "flooding throughput ({} mode) — {} cases, engines agree: {}",
+            "flooding throughput ({} mode, |S| = {}) — {} cases, engines agree: {}",
             self.mode,
+            set_size,
             self.cases.len(),
             self.all_engines_agree
         );
@@ -295,28 +321,48 @@ fn source_sample(n: usize, count: usize) -> Vec<usize> {
     sources
 }
 
-// All measurements time the engine's complete multi-source workflow,
-// setup included: the batch runners allocate once (for the sharded engine
-// that includes partitioning the graph) and reuse state across sources —
-// that amortization is part of what is being measured — while the scan
-// engine has no reset and must construct per source.
+/// Deterministic source *sets*: `floods` sets of `set_size` spread node
+/// indices each. Each set anchors at one [`source_sample`] index and adds
+/// `set_size - 1` further nodes at stride `n / set_size` (mod `n`), so
+/// sets stay well-separated, duplicate-free, and reproducible. `set_size`
+/// is clamped into `1 ..= n`.
+fn source_set_sample(n: usize, floods: usize, set_size: usize) -> Vec<Vec<usize>> {
+    let size = set_size.clamp(1, n.max(1));
+    source_sample(n, floods)
+        .into_iter()
+        .map(|anchor| {
+            let mut set: Vec<usize> = (0..size).map(|j| (anchor + j * n / size) % n).collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect()
+}
 
-fn measure_batch(g: &Graph, sources: &[usize], engine: FloodEngine) -> EngineStats {
-    let (name, threads, partitioner) = match engine {
-        FloodEngine::Frontier => ("frontier", 1, NO_PARTITIONER.to_string()),
+// All measurements time the engine's complete workflow over all source
+// sets, setup included: the batch runners allocate once (for the sharded
+// engine that includes partitioning the graph) and reuse state across
+// floods — that amortization is part of what is being measured — while
+// the scan engine has no reset and must construct per flood.
+
+fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> EngineStats {
+    let (name, threads, threads_requested, partitioner) = match engine {
+        FloodEngine::Frontier => ("frontier", 1, 1, NO_PARTITIONER.to_string()),
         FloodEngine::Sharded { threads, strategy } => (
             "sharded",
             // Record the shard count that actually runs, not the request
-            // (Partition::new clamps into 1 ..= min(n, MAX_SHARDS)).
+            // (Partition::new clamps into 1 ..= min(n, MAX_SHARDS)) —
+            // alongside the request itself, so clamped rows are visible.
             af_graph::partition::clamp_shard_count(g.node_count(), threads),
+            threads,
             strategy.name().to_string(),
         ),
     };
     let start = Instant::now();
     let mut batch = FloodBatch::with_engine(g, engine);
-    let stats: Vec<af_core::FloodStats> = sources
+    let stats: Vec<af_core::FloodStats> = source_sets
         .iter()
-        .map(|&s| batch.run_from([NodeId::new(s)]))
+        .map(|set| batch.run_from(set.iter().map(|&s| NodeId::new(s))))
         .collect();
     let wall = start.elapsed();
     let rounds = stats
@@ -330,20 +376,22 @@ fn measure_batch(g: &Graph, sources: &[usize], engine: FloodEngine) -> EngineSta
     finish_stats(
         name,
         threads,
+        threads_requested,
         partitioner,
+        source_sets,
         rounds,
         messages,
         wall.as_secs_f64(),
     )
 }
 
-fn measure_fast(g: &Graph, sources: &[usize]) -> EngineStats {
+fn measure_fast(g: &Graph, source_sets: &[Vec<usize>]) -> EngineStats {
     let cap = 2 * g.node_count() as u32 + 2;
     let start = Instant::now();
-    let per_source: Vec<(u32, u64)> = sources
+    let per_flood: Vec<(u32, u64)> = source_sets
         .iter()
-        .map(|&s| {
-            let mut sim = FastFlooding::new(g, [NodeId::new(s)]);
+        .map(|set| {
+            let mut sim = FastFlooding::new(g, set.iter().map(|&s| NodeId::new(s)));
             sim.set_record_receipts(false);
             let outcome = sim.run(cap);
             (
@@ -355,22 +403,27 @@ fn measure_fast(g: &Graph, sources: &[usize]) -> EngineStats {
         })
         .collect();
     let wall = start.elapsed();
-    let rounds = per_source.iter().map(|&(r, _)| r).collect();
-    let messages = per_source.iter().map(|&(_, m)| m).sum();
+    let rounds = per_flood.iter().map(|&(r, _)| r).collect();
+    let messages = per_flood.iter().map(|&(_, m)| m).sum();
     finish_stats(
         "fast",
         1,
+        1,
         NO_PARTITIONER.to_string(),
+        source_sets,
         rounds,
         messages,
         wall.as_secs_f64(),
     )
 }
 
+#[allow(clippy::too_many_arguments)] // internal assembly of one JSON row
 fn finish_stats(
     engine: &str,
     threads: usize,
+    threads_requested: usize,
     partitioner: String,
+    source_sets: &[Vec<usize>],
     rounds: Vec<u32>,
     messages: u64,
     secs: f64,
@@ -378,7 +431,9 @@ fn finish_stats(
     EngineStats {
         engine: engine.to_string(),
         threads,
+        threads_requested,
         partitioner,
+        sources: source_sets.first().map_or(1, Vec::len),
         rounds_per_source: rounds,
         total_messages: messages,
         wall_ms: secs * 1e3,
@@ -392,31 +447,34 @@ fn finish_stats(
     }
 }
 
-/// Runs one case: build the graph, sample sources, measure every engine
-/// (`frontier`, `fast`, and `sharded` with the given concurrency), and
-/// cross-check agreement (plus the oracle when `check_oracle`).
+/// Runs one case: build the graph, sample `floods_per_graph` source sets
+/// of `sources_per_flood` nodes each, measure every engine (`frontier`,
+/// `fast`, and `sharded` with the given concurrency), and cross-check
+/// agreement (plus the multi-source oracle when `check_oracle`).
 #[must_use]
 pub fn run_case(
     family: &str,
     spec: &GraphSpec,
-    sources_per_graph: usize,
+    floods_per_graph: usize,
+    sources_per_flood: usize,
     check_oracle: bool,
     threads: usize,
     strategy: PartitionStrategy,
 ) -> CaseResult {
     let g = spec.build();
-    let sources = source_sample(g.node_count(), sources_per_graph);
-    let frontier = measure_batch(&g, &sources, FloodEngine::Frontier);
-    let fast = measure_fast(&g, &sources);
-    let sharded = measure_batch(&g, &sources, FloodEngine::Sharded { threads, strategy });
+    let source_sets = source_set_sample(g.node_count(), floods_per_graph, sources_per_flood);
+    let frontier = measure_batch(&g, &source_sets, FloodEngine::Frontier);
+    let fast = measure_fast(&g, &source_sets);
+    let sharded = measure_batch(&g, &source_sets, FloodEngine::Sharded { threads, strategy });
 
     let mut agree = [&fast, &sharded].iter().all(|e| {
         e.rounds_per_source == frontier.rounds_per_source
             && e.total_messages == frontier.total_messages
     });
     if check_oracle {
-        for (&s, &r) in sources.iter().zip(&frontier.rounds_per_source) {
-            agree &= theory::predict(&g, [NodeId::new(s)]).termination_round() == r;
+        for (set, &r) in source_sets.iter().zip(&frontier.rounds_per_source) {
+            let pred = theory::predict(&g, set.iter().map(|&s| NodeId::new(s)));
+            agree &= pred.termination_round() == r;
         }
     }
 
@@ -425,28 +483,36 @@ pub fn run_case(
         spec: spec.clone(),
         nodes: g.node_count(),
         edges: g.edge_count(),
-        sources,
+        source_sets,
         engines_agree: agree,
         engines: vec![frontier, fast, sharded],
     }
 }
 
 /// Runs the whole benchmark grid with the default concurrency axis
-/// (`threads = 4`, BFS partitioner — what CI's perf-smoke job pins).
+/// (`threads = 4`, BFS partitioner — what CI's perf-smoke job pins) and
+/// classic single-source floods.
 ///
 /// `smoke` selects the small CI-friendly grid and additionally checks every
 /// measured flood against the exact-time oracle. Progress (one line per
 /// case) goes to stderr so stdout can stay machine-readable.
 #[must_use]
 pub fn run(smoke: bool) -> ThroughputReport {
-    run_with(smoke, 4, PartitionStrategy::Bfs)
+    run_with(smoke, 4, PartitionStrategy::Bfs, 1)
 }
 
-/// [`run`] with an explicit sharded-engine configuration (the CLI's
-/// `--threads` / `--partitioner` flags end up here).
+/// [`run`] with an explicit sharded-engine configuration and source-set
+/// size (the CLI's `--threads` / `--partitioner` / `--sources` flags end
+/// up here). `sources_per_flood = 1` is the classic single-source sweep;
+/// larger sizes measure multi-source floods end to end.
 #[must_use]
-pub fn run_with(smoke: bool, threads: usize, strategy: PartitionStrategy) -> ThroughputReport {
-    let sources_per_graph = if smoke { 2 } else { 3 };
+pub fn run_with(
+    smoke: bool,
+    threads: usize,
+    strategy: PartitionStrategy,
+    sources_per_flood: usize,
+) -> ThroughputReport {
+    let floods_per_graph = if smoke { 2 } else { 3 };
     let mut results = Vec::new();
     for (family, specs) in cases(smoke) {
         for spec in &specs {
@@ -454,7 +520,8 @@ pub fn run_with(smoke: bool, threads: usize, strategy: PartitionStrategy) -> Thr
             results.push(run_case(
                 family,
                 spec,
-                sources_per_graph,
+                floods_per_graph,
+                sources_per_flood,
                 smoke,
                 threads,
                 strategy,
@@ -485,6 +552,28 @@ mod tests {
     }
 
     #[test]
+    fn source_set_sample_is_sorted_spread_and_clamped() {
+        // Size-1 sets reproduce the single-source sample exactly.
+        assert_eq!(
+            source_set_sample(100, 3, 1),
+            vec![vec![0], vec![49], vec![99]]
+        );
+        // Larger sets are sorted, duplicate-free, in range, and of the
+        // requested size.
+        for set in source_set_sample(100, 3, 4) {
+            assert_eq!(set.len(), 4);
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "{set:?}");
+            assert!(set.iter().all(|&s| s < 100));
+        }
+        // set_size is clamped to n; sets never repeat a node.
+        for set in source_set_sample(3, 2, 10) {
+            assert_eq!(set, vec![0, 1, 2]);
+        }
+        // Degenerate single-node graph.
+        assert_eq!(source_set_sample(1, 2, 5), vec![vec![0]]);
+    }
+
+    #[test]
     fn smoke_grid_engines_agree_and_roundtrip() {
         let report = run(true);
         assert!(report.all_engines_agree, "{}", report.to_summary());
@@ -497,16 +586,23 @@ mod tests {
             assert_eq!(case.engines[1].engine, "fast");
             assert_eq!(case.engines[2].engine, "sharded");
             assert!(case.engines[0].total_messages > 0);
-            // The concurrency axis is recorded in every row: serial
-            // engines carry threads = 1 / "none", the sharded engine the
-            // configured shard count and partitioner.
+            // The concurrency and source axes are recorded in every row:
+            // serial engines carry threads = 1 / "none", the sharded
+            // engine the configured shard count and partitioner, and all
+            // rows the source-set size of the measured floods.
             for serial in &case.engines[..2] {
                 assert_eq!(serial.threads, 1);
+                assert_eq!(serial.threads_requested, 1);
                 assert_eq!(serial.partitioner, NO_PARTITIONER);
             }
             assert_eq!(case.engines[2].threads, 4);
+            assert_eq!(case.engines[2].threads_requested, 4);
             assert_eq!(case.engines[2].partitioner, "bfs");
             assert_eq!(case.engines[2].label(), "shardedx4(bfs)");
+            for e in &case.engines {
+                assert_eq!(e.sources, 1, "default run is single-source");
+            }
+            assert!(case.source_sets.iter().all(|s| s.len() == 1));
             // Rebuilding from the recorded spec gives the recorded size.
             let g = case.spec.build();
             assert_eq!(g.node_count(), case.nodes);
@@ -524,18 +620,45 @@ mod tests {
             "grid",
             &GraphSpec::Grid { rows: 9, cols: 7 },
             3,
+            1,
             true,
             3,
             PartitionStrategy::RoundRobin,
         );
         assert!(case.engines_agree);
-        // Bipartite grid: every flood delivers exactly m messages, on
-        // every engine.
-        let floods = case.sources.len() as u64;
+        // Bipartite grid, single source: every flood delivers exactly m
+        // messages, on every engine.
+        let floods = case.source_sets.len() as u64;
         for e in &case.engines {
             assert_eq!(e.total_messages, floods * case.edges as u64, "{}", e.engine);
         }
         assert_eq!(case.engines[2].partitioner, "round-robin");
+    }
+
+    #[test]
+    fn multi_source_case_agrees_with_the_oracle_and_records_the_axes() {
+        let case = run_case(
+            "grid",
+            &GraphSpec::Grid { rows: 8, cols: 8 },
+            2,
+            5,
+            true,
+            // Deliberately overshard: n = 64 clamps a 2000-thread request.
+            2000,
+            PartitionStrategy::Bfs,
+        );
+        assert!(case.engines_agree, "multi-source engines + oracle agree");
+        assert_eq!(case.source_sets.len(), 2);
+        for set in &case.source_sets {
+            assert_eq!(set.len(), 5);
+        }
+        for e in &case.engines {
+            assert_eq!(e.sources, 5, "{}", e.engine);
+        }
+        // The clamp is visible: request recorded next to what ran.
+        let sharded = &case.engines[2];
+        assert_eq!(sharded.threads_requested, 2000);
+        assert_eq!(sharded.threads, 64);
     }
 
     #[test]

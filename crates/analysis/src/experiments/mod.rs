@@ -16,6 +16,7 @@
 //! | E13 | (extension) termination-time scaling series | [`scaling::run`] |
 //! | E14 | (extension) robustness under message loss & crashes | [`faults::run`] |
 //! | E15 | (extension) the memory ladder (k-memory flooding) | [`memory::run`] |
+//! | E16 | multi-source termination times across the benchmark families | [`multisource::run_scale`] |
 
 pub mod arbitrary_config;
 pub mod asynchronous;

@@ -1,8 +1,12 @@
-//! E9: the multi-source extension (the full paper's generalization of
-//! Definition 1.1) — a set `I` of nodes starts the flood simultaneously.
+//! E9 and E16: the multi-source extension (the full paper's generalization
+//! of Definition 1.1) — a set `S` of nodes starts the flood simultaneously.
 //!
-//! Checks, per instance: termination, the double-cover oracle's exact
-//! receive schedule, the ≤ 2 receipts invariant, and empty `Re`.
+//! [`run`] (E9) checks, per instance: termination, the double-cover
+//! oracle's exact receive schedule, the ≤ 2 receipts invariant, and empty
+//! `Re`. [`run_scale`] (E16) is the termination-time table: random source
+//! sets of size 1, 2, `⌈√n⌉` and `n` across the five benchmark graph
+//! families, every row checked against the multi-source oracle and the
+//! `e(S) ≤ T ≤ e(S) + D + 1` window of [`theory::termination_bounds`].
 
 use crate::spec::GraphSpec;
 use crate::stats::ClaimCheck;
@@ -89,6 +93,147 @@ pub fn run(seed: u64) -> Table {
     t
 }
 
+/// The E16 family grid: one modest instance of each of the five benchmark
+/// families (the same families `af_analysis::bench` floods at scale).
+#[must_use]
+pub fn scale_grid() -> Vec<(&'static str, GraphSpec)> {
+    vec![
+        (
+            "sparse-random",
+            GraphSpec::SparseConnected {
+                n: 256,
+                extra: 256,
+                seed: 11,
+            },
+        ),
+        (
+            "pref-attach",
+            GraphSpec::PreferentialAttachment {
+                n: 256,
+                k: 4,
+                seed: 12,
+            },
+        ),
+        (
+            "geometric",
+            GraphSpec::RandomGeometric {
+                n: 225,
+                radius: 0.12,
+                seed: 13,
+            },
+        ),
+        (
+            "small-world",
+            GraphSpec::WattsStrogatz {
+                n: 225,
+                k: 8,
+                beta: 0.05,
+                seed: 14,
+            },
+        ),
+        ("grid", GraphSpec::Grid { rows: 15, cols: 15 }),
+    ]
+}
+
+/// The E16 source-set sizes for a graph with `n` nodes:
+/// `1, 2, ⌈√n⌉, n` (deduplicated, clamped to `n`).
+#[must_use]
+pub fn scale_set_sizes(n: usize) -> Vec<usize> {
+    let root = (n as f64).sqrt().ceil() as usize;
+    let mut sizes = vec![1, 2, root.max(1), n.max(1)];
+    sizes.retain(|&k| k <= n.max(1));
+    sizes.dedup();
+    sizes
+}
+
+/// Runs the E16 sweep: the multi-source termination-time table. Sources
+/// are drawn deterministically from `seed`; the `|S| = n` row floods from
+/// every node.
+///
+/// Hard per-row invariants (panicking on violation): the frontier engine
+/// matches the multi-source oracle's termination round and full receive
+/// schedule, no node receives more than twice, and — on connected
+/// instances — `T` lies inside the `termination_bounds` window (which
+/// collapses to `T = e(S)` for monochromatic-bipartite sets).
+#[must_use]
+pub fn run_scale(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E16 — multi-source termination times across the benchmark families",
+        [
+            "family",
+            "n",
+            "m",
+            "|S|",
+            "T",
+            "e(S)",
+            "window",
+            "in window",
+            "oracle",
+            "≤2 receipts",
+        ],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for (family, spec) in scale_grid() {
+        let g = spec.build();
+        let n = g.node_count();
+        for k in scale_set_sizes(n) {
+            let sources: Vec<NodeId> = if k == n {
+                g.nodes().collect()
+            } else {
+                let mut set = Vec::with_capacity(k);
+                while set.len() < k {
+                    let v = NodeId::new(rng.gen_range(0..n));
+                    if !set.contains(&v) {
+                        set.push(v);
+                    }
+                }
+                set
+            };
+
+            let run = AmnesiacFlooding::multi_source(&g, sources.iter().copied()).run();
+            let pred = theory::predict(&g, sources.iter().copied());
+            let mut oracle = ClaimCheck::new();
+            oracle.record(run.termination_round() == Some(pred.termination_round()));
+            for v in g.nodes() {
+                oracle.record(run.receive_rounds(v) == pred.receive_rounds(v));
+            }
+            let t_exact = pred.termination_round();
+            let ecc = theory::set_eccentricity(&g, sources.iter().copied());
+            let bounds = theory::termination_bounds(&g, sources.iter().copied());
+            let in_window = bounds.map(|(lo, hi)| lo <= t_exact && t_exact <= hi);
+            let twice_max = run.max_receive_count() <= 2;
+            assert!(oracle.holds(), "{family} |S|={k}: oracle mismatch");
+            assert!(twice_max, "{family} |S|={k}: > 2 receipts");
+            assert!(
+                in_window != Some(false),
+                "{family} |S|={k}: T = {t_exact} outside {bounds:?}"
+            );
+
+            t.push_row([
+                family.to_string(),
+                n.to_string(),
+                g.edge_count().to_string(),
+                k.to_string(),
+                t_exact.to_string(),
+                ecc.map_or("n/a".to_string(), |e| e.to_string()),
+                bounds.map_or("n/a".to_string(), |(lo, hi)| format!("{lo}..{hi}")),
+                in_window
+                    .map_or("n/a", |ok| if ok { "yes" } else { "NO" })
+                    .to_string(),
+                oracle.to_string(),
+                if twice_max { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.push_note(
+        "sources drawn from ChaCha8(seed) (|S| = n floods from every node); \
+         window is theory::termination_bounds — e(S) exactly for \
+         monochromatic-bipartite sets, (e(S)+1)..(e(S)+D+1) otherwise; \
+         n/a appears only on instances not fully reachable from S",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +262,57 @@ mod tests {
             for row in t.rows() {
                 assert_eq!(row[2], "yes", "seed {seed}: {}", row[0]);
             }
+        }
+    }
+
+    #[test]
+    fn scale_table_covers_all_families_and_sizes() {
+        let t = run_scale(42);
+        let expected: usize = scale_grid()
+            .iter()
+            .map(|(_, spec)| scale_set_sizes(spec.build().node_count()).len())
+            .sum();
+        assert_eq!(t.rows().len(), expected);
+        for (family, _) in scale_grid() {
+            assert!(t.rows().iter().any(|r| r[0] == family), "{family} missing");
+        }
+        for row in t.rows() {
+            // The in-window and correctness columns must never read NO
+            // (n/a is tolerated only for unreachable instances).
+            assert_ne!(row[7], "NO", "{}: T outside window", row[0]);
+            assert!(row[8].ends_with("ok"), "{}: oracle {}", row[0], row[8]);
+            assert_eq!(row[9], "yes", "{}", row[0]);
+        }
+        // |S| = 1, 2, and n all appear.
+        assert!(t.rows().iter().any(|r| r[3] == "1"));
+        assert!(t.rows().iter().any(|r| r[3] == "2"));
+        assert!(t.rows().iter().any(|r| r[3] == r[1]));
+    }
+
+    #[test]
+    fn scale_set_sizes_cover_the_ladder() {
+        assert_eq!(scale_set_sizes(225), vec![1, 2, 15, 225]);
+        assert_eq!(scale_set_sizes(256), vec![1, 2, 16, 256]);
+        assert_eq!(scale_set_sizes(2), vec![1, 2]);
+        assert_eq!(scale_set_sizes(1), vec![1]);
+    }
+
+    #[test]
+    fn more_sources_never_slow_a_grid_flood_down() {
+        // On the bipartite grid every random set is dominated by the
+        // single worst source: T(|S| = n) = 1 or 2 while T(|S| = 1) is
+        // within [radius, diameter]. The table's T column must reflect
+        // the monotone trend from |S| = 1 to |S| = n per family.
+        let t = run_scale(7);
+        for (family, _) in scale_grid() {
+            let rows: Vec<_> = t.rows().iter().filter(|r| r[0] == family).collect();
+            let first: u32 = rows.first().unwrap()[4].parse().unwrap();
+            let last: u32 = rows.last().unwrap()[4].parse().unwrap();
+            assert!(
+                last <= first,
+                "{family}: flooding from every node ({last}) should not be \
+                 slower than from one ({first})"
+            );
         }
     }
 

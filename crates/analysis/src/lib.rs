@@ -5,15 +5,16 @@
 //!
 //! * [`GraphSpec`] — serializable `(family, parameters, seed)` instance
 //!   descriptions; every EXPERIMENTS.md row cites one;
-//! * [`experiments`] — one module per paper artifact (E1–E11, see
-//!   DESIGN.md's experiment index), each producing [`Table`]s;
+//! * [`experiments`] — one module per paper artifact (E1–E16, see the
+//!   module's experiment index), each producing [`Table`]s;
 //! * [`exhaustive`] — verification of *every* paper claim on *every*
 //!   connected graph with up to 6 nodes, from every source;
 //! * [`Table`], [`Summary`], [`ClaimCheck`] — uniform reporting;
 //! * [`sweep`] — a small parallel runner for experiment grids;
 //! * [`mod@bench`] — the flooding throughput benchmark behind
-//!   `BENCH_flooding.json` (frontier engine vs the scan baseline over
-//!   graph families up to ~1e6 edges).
+//!   `BENCH_flooding.json`: the frontier engine vs the scan baseline vs
+//!   the sharded multicore engine over graph families up to ~1e6 edges,
+//!   flooding from deterministic source sets of any size.
 //!
 //! # Examples
 //!

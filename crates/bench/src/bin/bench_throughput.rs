@@ -19,6 +19,9 @@
 //!   (default 4);
 //! * `--partitioner <contiguous|round-robin|bfs>` — how the sharded
 //!   engine splits the graph (default bfs);
+//! * `--sources <K>` — flood from deterministic K-node source sets
+//!   instead of single sources (default 1); every engine row records the
+//!   set size in its `sources` field;
 //! * `--out <path>` — where to write the JSON. The default is
 //!   `BENCH_flooding.json` in the current directory for the full grid, and
 //!   `target/BENCH_flooding_smoke.json` for `--smoke`, so a casual smoke
@@ -37,7 +40,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: bench_throughput [--smoke] [--threads N] \
-             [--partitioner contiguous|round-robin|bfs] [--out <path>] [--stdout]\n\
+             [--partitioner contiguous|round-robin|bfs] [--sources K] \
+             [--out <path>] [--stdout]\n\
              writes the flooding-throughput report to BENCH_flooding.json"
         );
         return ExitCode::SUCCESS;
@@ -65,6 +69,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let sources_per_flood: usize = match option("--sources").map(|v| v.parse()) {
+        None => 1,
+        Some(Ok(k)) if k >= 1 => k,
+        Some(_) => {
+            eprintln!("error: --sources must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
     let default_out = if smoke {
         "target/BENCH_flooding_smoke.json"
     } else {
@@ -72,7 +84,7 @@ fn main() -> ExitCode {
     };
     let out_path = option("--out").map_or(default_out, String::as_str);
 
-    let report = af_analysis::bench::run_with(smoke, threads, strategy);
+    let report = af_analysis::bench::run_with(smoke, threads, strategy, sources_per_flood);
     eprint!("{}", report.to_summary());
 
     let json = report.to_json();

@@ -1,7 +1,13 @@
-//! E9: multi-source amnesiac flooding vs the double-cover oracle.
+//! E9 + E16: multi-source amnesiac flooding vs the double-cover oracle,
+//! and the multi-source termination-time table across the benchmark
+//! families.
 fn main() {
     println!(
         "{}",
         af_analysis::experiments::multisource::run(42).to_markdown()
+    );
+    println!(
+        "{}",
+        af_analysis::experiments::multisource::run_scale(42).to_markdown()
     );
 }

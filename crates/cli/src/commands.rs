@@ -445,21 +445,28 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
 }
 
 /// `amnesiac bench [--full] [--threads N]
-/// [--partitioner contiguous|round-robin|bfs] [--out <path>]` — the
-/// flooding throughput benchmark (frontier engine vs scan baseline vs the
-/// sharded multicore engine). The default is the smoke grid; `--full` runs
-/// the ~1e4..1e6-edge grid that produces the repository's
-/// `BENCH_flooding.json`. `--threads` (default 4) and `--partitioner`
-/// (default bfs) configure the sharded engine's concurrency axis.
+/// [--partitioner contiguous|round-robin|bfs] [--sources K]
+/// [--out <path>]` — the flooding throughput benchmark (frontier engine vs
+/// scan baseline vs the sharded multicore engine). The default is the
+/// smoke grid; `--full` runs the ~1e4..1e6-edge grid that produces the
+/// repository's `BENCH_flooding.json`. `--threads` (default 4) and
+/// `--partitioner` (default bfs) configure the sharded engine's
+/// concurrency axis; `--sources` (default 1) sets the size of every
+/// measured flood's source set.
 ///
 /// # Errors
 ///
-/// Returns I/O errors from `--out`, or an error if the engines disagree.
+/// Returns I/O errors from `--out`, bad `--sources` values, or an error if
+/// the engines disagree.
 pub fn cmd_bench(args: &Args) -> Result<String, CommandError> {
     let smoke = !args.flag("full");
     let threads: usize = args.parsed_or("threads", 4)?;
     let strategy: PartitionStrategy = args.parsed_or("partitioner", PartitionStrategy::Bfs)?;
-    let report = af_analysis::bench::run_with(smoke, threads, strategy);
+    let sources_per_flood: usize = args.parsed_or("sources", 1)?;
+    if sources_per_flood == 0 {
+        return Err("--sources must be at least 1".into());
+    }
+    let report = af_analysis::bench::run_with(smoke, threads, strategy, sources_per_flood);
     if let Some(path) = args.option("out") {
         std::fs::write(path, format!("{}\n", report.to_json()))?;
     }
@@ -496,9 +503,11 @@ commands:
                   pa N K SEED | rgg N R SEED | ws N K BETA SEED
   bench           flooding throughput benchmark [--full] [--out <path>]
                   [--threads N] [--partitioner contiguous|round-robin|bfs]
+                  [--sources K]
                   (frontier engine vs scan baseline vs sharded multicore
                   engine; --full is the BENCH_flooding.json grid,
-                  ~1e4..1e6 edges per family)
+                  ~1e4..1e6 edges per family; --sources floods from
+                  K-node source sets instead of single sources)
 
 graph files: edge-list format ('n <count>' header + 'u v' lines) or graph6
 "
@@ -605,6 +614,38 @@ mod tests {
         assert!(cmd_flood(&args).is_err());
         let args = Args::parse([path.as_str(), "--partitioner", "metis"]).unwrap();
         assert!(cmd_flood(&args).is_err());
+    }
+
+    #[test]
+    fn flood_and_predict_agree_on_source_sets() {
+        let path = petersen_file();
+        let flood_out =
+            cmd_flood(&Args::parse([path.as_str(), "--sources", "0,7,9", "--receipts"]).unwrap())
+                .unwrap();
+        let predict_out =
+            cmd_predict(&Args::parse([path.as_str(), "--sources", "0,7,9"]).unwrap()).unwrap();
+        // Extract "terminated after round T" vs "predicted termination
+        // round: T".
+        let t_flood = flood_out
+            .lines()
+            .find_map(|l| l.strip_prefix("terminated after round "))
+            .expect("terminates");
+        let t_pred = predict_out
+            .lines()
+            .find_map(|l| l.strip_prefix("predicted termination round: "))
+            .expect("prediction");
+        assert_eq!(t_flood, t_pred, "{flood_out}\n{predict_out}");
+        // All ten nodes hear a 3-source flood.
+        assert!(flood_out.contains("informed nodes: 10 / 10"), "{flood_out}");
+        // The sharded engine agrees on the same source set.
+        let sharded = cmd_flood(
+            &Args::parse([path.as_str(), "--sources", "0,7,9", "--threads", "3"]).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            sharded.contains(&format!("terminated after round {t_flood}")),
+            "{sharded}"
+        );
     }
 
     #[test]
@@ -730,15 +771,29 @@ mod tests {
         let dir = std::env::temp_dir().join("af-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("bench.json");
-        let args = Args::parse(["--out", out.to_str().unwrap(), "--threads", "2"]).unwrap();
+        let args = Args::parse([
+            "--out",
+            out.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--sources",
+            "2",
+        ])
+        .unwrap();
         let text = cmd_bench(&args).unwrap();
         assert!(text.contains("engines agree: true"), "{text}");
+        assert!(text.contains("|S| = 2"), "{text}");
         assert!(text.contains("shardedx2(bfs)"), "{text}");
         let written = std::fs::read_to_string(&out).unwrap();
         assert!(written.contains("\"flooding_throughput\""));
         assert!(written.contains("\"schema_version\""));
         assert!(written.contains("\"sharded\""));
         assert!(written.contains("\"partitioner\": \"bfs\""));
+        assert!(written.contains("\"sources\": 2"));
+        assert!(written.contains("\"source_sets\""));
+        // A zero-size source set is rejected up front.
+        let args = Args::parse(["--sources", "0"]).unwrap();
+        assert!(cmd_bench(&args).is_err());
     }
 
     #[test]

@@ -24,10 +24,13 @@
 //! * [`AmnesiacFlooding`] / [`flood`] — high-level drivers producing a
 //!   [`FloodingRun`] with the paper's round-sets `R_i`, per-node receive
 //!   rounds, termination round and message counts;
-//! * [`FloodBatch`] — the batched multi-source runner: floods a graph from
-//!   many sources while reusing one simulator's allocations;
+//! * [`FloodBatch`] — the batched runner: floods a graph from many source
+//!   sets while reusing one simulator's allocations;
 //! * [`theory`] — the exact-time oracle via the bipartite double cover,
-//!   plus the paper's bounds (`e(v)`, `D`, `2D + 1`);
+//!   the paper's single-source bounds (`e(v)`, `D`, `2D + 1`), and the
+//!   multi-source exact times the paper poses as the next step
+//!   (`T = e(S)` for monochromatic-bipartite source sets,
+//!   `e(S) < T ≤ e(S) + D + 1` otherwise);
 //! * [`roundsets`] — the Theorem 3.1 proof machinery (`R`, `Re`) checked
 //!   on concrete runs;
 //! * [`detect`] — the suggested application: bipartiteness testing by
@@ -38,6 +41,11 @@
 //!   classified;
 //! * [`spanning`] — first-receipt spanning trees (provably BFS trees);
 //! * [`trace`] — textual renderings of the paper's figures.
+//!
+//! Every simulator floods from an arbitrary **source set** `S ⊆ V` — a
+//! singleton reproduces the paper's main setting, and all engines and the
+//! oracle agree for any `S` (the property suites pin set sizes
+//! `1, 2, 3, ⌈√n⌉` across every engine, partitioner, and shard count).
 //!
 //! # Quickstart
 //!

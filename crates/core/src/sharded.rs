@@ -5,7 +5,16 @@
 //! the shards of an [`af_graph::Partition`]: each worker owns a shard's
 //! nodes and advances their frontier with the frontier engine's sparse
 //! bitset kernel, and workers exchange only the cross-shard activations in
-//! batches at a per-round barrier built from `crossbeam` channels.
+//! batches at a per-round barrier built from `crossbeam` channels. Floods
+//! start from an arbitrary **source set** — seeding routes every source's
+//! round-1 arcs to the shard owning each arc's head, so multi-source
+//! floods need no special casing anywhere in the round loop.
+//!
+//! Requested shard counts are clamped by [`af_graph::Partition::new`] into
+//! `1 ..= min(n, MAX_SHARDS)`; [`ShardedFlooding::threads`] reports the
+//! count that actually runs, and the throughput benchmark records both the
+//! request (`threads_requested`) and the effective value (`threads`) in
+//! every `BENCH_flooding.json` row.
 //!
 //! # Why sharding preserves the semantics exactly
 //!

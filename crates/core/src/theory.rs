@@ -33,6 +33,32 @@
 //! [`predict`] computes the full receive schedule this way — an
 //! implementation of the *theory* that shares no code with the two
 //! simulators, so the test suites can confront them.
+//!
+//! # Multi-source exact times
+//!
+//! The same lift answers the paper's open multi-source question exactly.
+//! Write `e(S) = max_u min_{s ∈ S} d(s, u)` for the **set eccentricity**
+//! ([`set_eccentricity`]). On a connected graph with a non-empty source
+//! set `S`:
+//!
+//! * node `u`'s *first* receipt is always at round `d(S, u)`, so
+//!   `T ≥ e(S)`;
+//! * if `G` is bipartite **and `S` is monochromatic** (each component's
+//!   sources in one of its colour classes — on a connected graph, simply
+//!   all sources in one class), the lifted sources land in components of
+//!   the (disconnected) cover that together contain exactly one lift per
+//!   node: every node receives exactly once, at `d(S, u)`, and `T = e(S)`
+//!   ([`bipartite_exact_set`] — the verbatim generalization of
+//!   Lemma 2.1);
+//! * otherwise — `G` non-bipartite, *or* bipartite with sources on both
+//!   sides — both lifts of some node are reached at rounds of opposite
+//!   parity, so `T ≥ e(S) + 1`, and the paper's odd-walk argument (taken
+//!   at the nearest source) still gives `T ≤ e(S) + D + 1`.
+//!
+//! [`termination_bounds`] packages that window, and
+//! [`exact_termination_set`] computes the exact value from the cover.
+//! Note the mixed-colour caveat is real, not defensive: on the path
+//! `0 – 1 – 2` with `S = {0, 1}`, `e(S) = 1` but the flood runs 2 rounds.
 
 use af_graph::algo::{self, double_cover, Parity};
 use af_graph::{Graph, NodeId};
@@ -246,6 +272,145 @@ pub fn exact_termination(graph: &Graph, source: NodeId) -> u32 {
     predict(graph, [source]).termination_round()
 }
 
+/// The set eccentricity `e(S) = max_u min_{s ∈ S} d(s, u)`: the largest
+/// multi-source BFS distance from `S`. This is the round of the *last
+/// first receipt* of a multi-source flood, and hence a lower bound on its
+/// termination time.
+///
+/// Returns `None` if `S` is empty or some node is unreachable from `S`
+/// (duplicate sources are collapsed).
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+#[must_use]
+pub fn set_eccentricity<I>(graph: &Graph, sources: I) -> Option<u32>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let bfs = algo::multi_bfs(graph, sources);
+    if bfs.sources().is_empty() || bfs.reachable_count() < graph.node_count() {
+        return None;
+    }
+    bfs.eccentricity()
+}
+
+/// Lemma 2.1 generalized to source sets: if `graph` is bipartite, every
+/// node is reachable from `S`, and **each component's sources lie in one
+/// colour class of that component**, every node receives exactly once —
+/// at `d(S, u)` — and the flood terminates at exactly the set
+/// eccentricity `e(S)`.
+///
+/// (The condition is per component because a 2-colouring's orientation is
+/// arbitrary component by component; on a connected graph it reduces to
+/// "all sources in one colour class".)
+///
+/// Returns `None` when the hypothesis fails: non-bipartite graphs, nodes
+/// unreachable from `S`, an empty source set, or a component flooded from
+/// both its sides (where `T > e(S)` strictly; see the [module docs](self)).
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use af_core::theory;
+/// use af_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(8);
+/// // 0 and 4 share a colour class on C8: exact time e({0, 4}) = 2.
+/// assert_eq!(theory::bipartite_exact_set(&g, [0.into(), 4.into()]), Some(2));
+/// // 0 and 3 do not: the lemma does not apply.
+/// assert_eq!(theory::bipartite_exact_set(&g, [0.into(), 3.into()]), None);
+/// ```
+#[must_use]
+pub fn bipartite_exact_set<I>(graph: &Graph, sources: I) -> Option<u32>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let sources: Vec<NodeId> = sources.into_iter().collect();
+    if !is_monochromatic_bipartite(graph, &sources) {
+        return None;
+    }
+    set_eccentricity(graph, sources)
+}
+
+/// The exactness hypothesis of [`bipartite_exact_set`], minus
+/// reachability: is `graph` bipartite with each component's sources in
+/// one of that component's colour classes? (False for empty `sources`.)
+fn is_monochromatic_bipartite(graph: &Graph, sources: &[NodeId]) -> bool {
+    if sources.is_empty() {
+        return false;
+    }
+    let coloring = match algo::bipartiteness(graph) {
+        algo::Bipartiteness::Bipartite(c) => c,
+        algo::Bipartiteness::OddCycle(_) => return false,
+    };
+    let components = algo::connected_components(graph);
+    let mut component_side: Vec<Option<algo::Side>> = vec![None; components.count()];
+    for &s in sources {
+        let slot = &mut component_side[components.component(s)];
+        match *slot {
+            None => *slot = Some(coloring.side(s)),
+            Some(side) if side != coloring.side(s) => return false,
+            Some(_) => {}
+        }
+    }
+    true
+}
+
+/// The multi-source termination-time window `(lo, hi)` with
+/// `lo ≤ T ≤ hi`:
+///
+/// * bipartite graph, per-component monochromatic `S` — `lo = hi = e(S)`
+///   (the window is the exact value, [`bipartite_exact_set`]);
+/// * every other connected case — `lo = e(S) + 1` (strict: a second
+///   parity must still be served after the last first receipt) and
+///   `hi = e(S) + D + 1` (the odd-walk bound taken at the nearest
+///   source).
+///
+/// Returns `None` for empty source sets, for graphs not entirely
+/// reachable from `S`, and — outside the exact bipartite case — for
+/// disconnected graphs (the upper bound needs a finite diameter, even
+/// when `S` touches every component).
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+#[must_use]
+pub fn termination_bounds<I>(graph: &Graph, sources: I) -> Option<(u32, u32)>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let sources: Vec<NodeId> = sources.into_iter().collect();
+    let ecc = set_eccentricity(graph, sources.iter().copied())?;
+    if is_monochromatic_bipartite(graph, &sources) {
+        return Some((ecc, ecc));
+    }
+    let d = algo::diameter(graph)?;
+    Some((ecc + 1, ecc + d + 1))
+}
+
+/// The exact termination time of a multi-source flood: the largest finite
+/// distance from the lifted source set `{(s, Even) : s ∈ S}` in the
+/// bipartite double cover. `0` for empty source sets.
+///
+/// Always lies inside [`termination_bounds`] when those are defined, and
+/// generalizes [`exact_termination`] (`sources = [v]`).
+///
+/// # Panics
+///
+/// Panics if a source is out of range.
+#[must_use]
+pub fn exact_termination_set<I>(graph: &Graph, sources: I) -> u32
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    predict(graph, sources).termination_round()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +552,163 @@ mod tests {
             if let [a, b] = *p.receive_rounds(v) {
                 assert_ne!(a % 2, b % 2, "two receipts always have opposite parity");
             }
+        }
+    }
+
+    #[test]
+    fn set_eccentricity_matches_definition() {
+        let g = generators::grid(4, 5);
+        let dm = af_graph::algo::distance_matrix(&g);
+        let sets: Vec<Vec<usize>> = vec![vec![0], vec![0, 19], vec![3, 7, 12], vec![5]];
+        for set in sets {
+            let srcs: Vec<NodeId> = set.iter().map(|&s| NodeId::new(s)).collect();
+            let want = g
+                .nodes()
+                .map(|u| srcs.iter().filter_map(|&s| dm.get(s, u)).min().unwrap())
+                .max()
+                .unwrap();
+            assert_eq!(set_eccentricity(&g, srcs), Some(want), "{set:?}");
+        }
+        // Empty source sets and unreachable nodes have no eccentricity.
+        assert_eq!(set_eccentricity(&g, []), None);
+        let disc = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(set_eccentricity(&disc, [0.into()]), None);
+        assert_eq!(
+            set_eccentricity(&disc, [0.into(), 2.into(), 3.into()]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn monochromatic_bipartite_sets_terminate_at_set_eccentricity() {
+        // Same-colour source sets on bipartite graphs: T = e(S) exactly,
+        // every node receives exactly once.
+        let cases: Vec<(Graph, Vec<usize>)> = vec![
+            (generators::cycle(8), vec![0, 4]),
+            (generators::cycle(8), vec![0, 2, 6]),
+            (generators::grid(4, 5), vec![0, 18]),
+            (generators::path(9), vec![0, 4, 8]),
+            (generators::hypercube(4), vec![0, 3, 5]),
+        ];
+        for (g, set) in cases {
+            let srcs: Vec<NodeId> = set.iter().map(|&s| NodeId::new(s)).collect();
+            let exact = bipartite_exact_set(&g, srcs.iter().copied())
+                .unwrap_or_else(|| panic!("{g} from {set:?} should be monochromatic"));
+            assert_eq!(exact, set_eccentricity(&g, srcs.iter().copied()).unwrap());
+            let run = crate::run::AmnesiacFlooding::multi_source(&g, srcs.iter().copied()).run();
+            assert_eq!(run.termination_round(), Some(exact), "{g} from {set:?}");
+            assert_eq!(run.max_receive_count(), 1, "{g} from {set:?}");
+            assert_eq!(termination_bounds(&g, srcs), Some((exact, exact)));
+        }
+    }
+
+    #[test]
+    fn mixed_colour_bipartite_sets_exceed_set_eccentricity() {
+        // The caveat the module docs call out: path 0-1-2 from {0, 1} has
+        // e(S) = 1 but runs 2 rounds — Lemma 2.1 does not lift to
+        // bichromatic source sets.
+        let g = generators::path(3);
+        let srcs = [NodeId::new(0), NodeId::new(1)];
+        assert_eq!(bipartite_exact_set(&g, srcs), None);
+        assert_eq!(set_eccentricity(&g, srcs), Some(1));
+        assert_eq!(exact_termination_set(&g, srcs), 2);
+        assert_eq!(termination_bounds(&g, srcs), Some((2, 4)));
+
+        // Strictness holds on every mixed set of the zoo.
+        let zoo: Vec<(Graph, Vec<usize>)> = vec![
+            (generators::cycle(8), vec![0, 3]),
+            (generators::grid(4, 5), vec![0, 1]),
+            (generators::path(6), vec![0, 1, 5]),
+        ];
+        for (g, set) in zoo {
+            let srcs: Vec<NodeId> = set.iter().map(|&s| NodeId::new(s)).collect();
+            assert_eq!(bipartite_exact_set(&g, srcs.iter().copied()), None);
+            let e = set_eccentricity(&g, srcs.iter().copied()).unwrap();
+            assert!(
+                exact_termination_set(&g, srcs) > e,
+                "{g} from {set:?}: T must exceed e(S)"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_bipartite_exactness_is_per_component_and_symmetric() {
+        // Two disjoint edges: the colour orientation of each component is
+        // arbitrary, so every one-source-per-component set is
+        // monochromatic per component and must get the same exact answer
+        // regardless of which endpoints are picked.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        for set in [[0usize, 2], [0, 3], [1, 2], [1, 3]] {
+            let srcs: Vec<NodeId> = set.iter().map(|&s| NodeId::new(s)).collect();
+            assert_eq!(
+                bipartite_exact_set(&g, srcs.iter().copied()),
+                Some(1),
+                "{set:?}"
+            );
+            assert_eq!(termination_bounds(&g, srcs.iter().copied()), Some((1, 1)));
+            assert_eq!(exact_termination_set(&g, srcs), 1, "{set:?}");
+        }
+        // Both sources inside one component (other unreachable): no claim.
+        assert_eq!(bipartite_exact_set(&g, [0.into(), 1.into()]), None);
+        // Both colours of one component used: mixed, no exactness claim —
+        // and the non-exact window has no finite diameter here either.
+        assert_eq!(
+            bipartite_exact_set(&g, [0.into(), 1.into(), 2.into()]),
+            None
+        );
+        assert_eq!(termination_bounds(&g, [0.into(), 1.into(), 2.into()]), None);
+    }
+
+    #[test]
+    fn termination_bounds_contain_exact_time_on_zoo() {
+        let zoo: Vec<(Graph, Vec<usize>)> = vec![
+            (generators::petersen(), vec![0]),
+            (generators::petersen(), vec![0, 7, 9]),
+            (generators::cycle(7), vec![2, 5]),
+            (generators::complete(6), vec![0, 1, 2]),
+            (generators::wheel(7), vec![1, 4]),
+            (generators::barbell(4), vec![0, 7]),
+            (generators::grid(4, 5), vec![0, 1, 19]),
+            (generators::friendship(3), vec![0, 2]),
+            (generators::lollipop(4, 5), vec![0, 8]),
+        ];
+        for (g, set) in zoo {
+            let srcs: Vec<NodeId> = set.iter().map(|&s| NodeId::new(s)).collect();
+            let (lo, hi) = termination_bounds(&g, srcs.iter().copied()).unwrap();
+            let t = exact_termination_set(&g, srcs.iter().copied());
+            assert!(
+                lo <= t && t <= hi,
+                "{g} from {set:?}: {t} not in [{lo}, {hi}]"
+            );
+            // The exact value agrees with a real multi-source run.
+            let run = crate::run::AmnesiacFlooding::multi_source(&g, srcs.iter().copied()).run();
+            assert_eq!(run.termination_round(), Some(t), "{g} from {set:?}");
+        }
+        // No bounds without reachability or sources.
+        assert_eq!(termination_bounds(&generators::cycle(5), []), None);
+        let disc = Graph::from_edges(4, [(0, 1)]).unwrap();
+        assert_eq!(termination_bounds(&disc, [0.into()]), None);
+    }
+
+    #[test]
+    fn whole_node_set_floods_for_one_or_two_rounds() {
+        // S = V: e(S) = 0, so the window pins T to {1, 2} on any connected
+        // graph with an edge (round 1 is the all-to-all exchange; a second
+        // round happens iff some arc's reverse was silent, which cannot
+        // recur).
+        for g in [
+            generators::complete(5),
+            generators::cycle(6),
+            generators::petersen(),
+            generators::path(4),
+        ] {
+            let t = exact_termination_set(&g, g.nodes());
+            assert!(
+                (1..=2).contains(&t),
+                "{g}: all-sources flood took {t} rounds"
+            );
+            let (lo, hi) = termination_bounds(&g, g.nodes()).unwrap();
+            assert!(lo <= t && t <= hi, "{g}");
         }
     }
 

@@ -240,4 +240,38 @@ proptest! {
         let b = AmnesiacFlooding::multi_source(&g, sources.iter().copied()).run();
         prop_assert_eq!(a, b);
     }
+
+    /// The multi-source window: `e(S) ≤ T ≤ e(S) + D + 1` on every
+    /// connected instance, with `T = e(S)` exactly iff the
+    /// monochromatic-bipartite lemma applies, and the last *first* receipt
+    /// landing at exactly `e(S)`.
+    #[test]
+    fn multi_source_window_is_exact((g, sources) in graph_and_sources()) {
+        let run = AmnesiacFlooding::multi_source(&g, sources.iter().copied()).run();
+        let t = run.termination_round().unwrap();
+        let ecc = theory::set_eccentricity(&g, sources.iter().copied()).unwrap();
+        let (lo, hi) = theory::termination_bounds(&g, sources.iter().copied()).unwrap();
+        prop_assert!(lo <= t && t <= hi, "{}: T = {} outside [{}, {}]", g, t, lo, hi);
+        match theory::bipartite_exact_set(&g, sources.iter().copied()) {
+            Some(exact) => prop_assert_eq!(t, exact, "{}: monochromatic-bipartite", g),
+            None if g.node_count() > 1 => prop_assert!(t > ecc, "{}: strictness", g),
+            None => {}
+        }
+        // First receipts of non-sources are multi-source BFS distances
+        // (sources themselves only hear the message back through their
+        // second parity, which can land far later than e(S)).
+        let bfs = algo::multi_bfs(&g, sources.iter().copied());
+        for v in g.nodes() {
+            if sources.contains(&v) {
+                continue;
+            }
+            prop_assert_eq!(
+                run.receive_rounds(v).first().copied(),
+                bfs.distance(v),
+                "{}: first receipt of {}",
+                g,
+                v
+            );
+        }
+    }
 }

@@ -49,6 +49,65 @@ fn assert_partition_invariants(g: &Graph, p: &Partition) {
     assert!((0.0..=1.0).contains(&p.cut_fraction()));
 }
 
+/// Deterministic edge cases for the BFS-locality strategy (and, where
+/// cheap, the other two): the empty graph, the single node, and shard
+/// requests far beyond the node count.
+#[test]
+fn bfs_strategy_edge_cases() {
+    // Empty graph: one (empty) shard regardless of the request.
+    for k in [0, 1, 2, 1_000] {
+        let g = Graph::empty(0);
+        let p = Partition::new(&g, PartitionStrategy::Bfs, k);
+        assert_eq!(p.shard_count(), 1, "k = {k}");
+        assert!(p.nodes_of(0).is_empty());
+        assert_eq!(p.arc_count_of(0), 0);
+        assert_eq!(p.cut_arc_count(), 0);
+        assert_partition_invariants(&g, &p);
+    }
+
+    // Single node: exactly one shard owning it, whatever was requested.
+    for k in [0, 1, 7] {
+        let g = Graph::empty(1);
+        let p = Partition::new(&g, PartitionStrategy::Bfs, k);
+        assert_eq!(p.shard_count(), 1, "k = {k}");
+        assert_eq!(p.nodes_of(0).len(), 1);
+        assert_eq!(p.local_index(0.into()), 0);
+        assert_partition_invariants(&g, &p);
+    }
+
+    // k > n on connected and disconnected inputs: one node per shard, and
+    // the BFS order still covers every component.
+    let connected = generators::cycle(5);
+    let p = Partition::new(&connected, PartitionStrategy::Bfs, 64);
+    assert_eq!(p.shard_count(), 5);
+    for s in 0..5 {
+        assert_eq!(p.nodes_of(s).len(), 1, "one node per shard");
+    }
+    assert_partition_invariants(&connected, &p);
+
+    let disconnected =
+        Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5)]).expect("valid edge list");
+    for k in [8, 40] {
+        let p = Partition::new(&disconnected, PartitionStrategy::Bfs, k);
+        assert_eq!(p.shard_count(), 7, "k = {k} clamps to n");
+        assert_partition_invariants(&disconnected, &p);
+    }
+
+    // The same extremes hold for the other strategies — including a
+    // genuinely empty graph, not just a clamped 1-node one.
+    for strategy in PartitionStrategy::all() {
+        for (g, k) in [
+            (Graph::empty(0), 16usize),
+            (Graph::empty(1), 16),
+            (generators::sparse_connected(5, 0, 9), 16),
+        ] {
+            let p = Partition::new(&g, strategy, k);
+            assert_eq!(p.shard_count(), g.node_count().max(1).min(k));
+            assert_partition_invariants(&g, &p);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

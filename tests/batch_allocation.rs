@@ -1,0 +1,87 @@
+//! Regression test for the batched flood runner's allocation contract:
+//! after a warm-up pass, [`FloodBatch`] must execute further floods —
+//! *including floods whose source-set sizes differ from each other and
+//! from the warm-up's* — without touching the global allocator. This is
+//! the property that makes per-flood cost the intrinsic `O(messages)`
+//! work in the throughput benchmark.
+//!
+//! The test installs a counting `#[global_allocator]` (this file is its
+//! own test binary, so the hook is invisible to every other suite) and
+//! asserts the allocation counter does not move across the second pass.
+
+use amnesiac_flooding::core::FloodBatch;
+use amnesiac_flooding::graph::{generators, NodeId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+mod common;
+use common::source_set_for;
+
+/// System allocator wrapper counting every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_flood_batch_is_allocation_free_across_mixed_set_sizes() {
+    let g = generators::sparse_connected(600, 900, 42);
+
+    // Mixed source-set sizes off the shared ladder: sqrt(n)-sized sets
+    // (selector 3) interleaved with singletons, triples, and pairs.
+    let source_sets: Vec<Vec<NodeId>> = [3usize, 0, 2, 3, 1, 0, 3]
+        .into_iter()
+        .enumerate()
+        .map(|(i, selector)| source_set_for(g.node_count(), selector, 42 ^ i as u64))
+        .collect();
+
+    let mut batch = FloodBatch::new(&g);
+
+    // Pass 1 (warm-up): grows every internal buffer to its high-water
+    // mark and records the expected per-flood results.
+    let mut expected = Vec::with_capacity(source_sets.len());
+    for set in &source_sets {
+        expected.push(batch.run_from(set.iter().copied()));
+    }
+
+    // Pass 2: identical floods, zero allocator traffic allowed.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut mismatches = 0usize;
+    for (set, want) in source_sets.iter().zip(&expected) {
+        let got = batch.run_from(set.iter().copied());
+        if got != *want {
+            mismatches += 1;
+        }
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    assert_eq!(mismatches, 0, "reused batch diverged from warm-up results");
+    assert_eq!(
+        delta, 0,
+        "FloodBatch::reset allocated {delta} times across mixed source-set sizes"
+    );
+
+    // Sanity: the floods did real work and the counter is live.
+    assert!(expected.iter().all(|s| s.terminated()));
+    assert!(expected.iter().all(|s| s.total_messages() > 0));
+    let probe: Vec<u8> = vec![1, 2, 3];
+    assert!(ALLOCATIONS.load(Ordering::SeqCst) > before, "{probe:?}");
+}

@@ -8,6 +8,9 @@ use amnesiac_flooding::core::{theory, FloodBatch, FrontierFlooding};
 use amnesiac_flooding::graph::{algo, generators, Graph, NodeId};
 use proptest::prelude::*;
 
+mod common;
+use common::source_set_for;
+
 /// Runs the frontier engine to termination and returns its round-sets
 /// `R_1..=R_T` as sorted node lists (index 0 = round 1).
 fn frontier_round_sets(g: &Graph, sources: &[NodeId]) -> Vec<Vec<NodeId>> {
@@ -104,6 +107,19 @@ proptest! {
         check_round_sets(&g, &[s, s2])?;
     }
 
+    /// The whole source-set size ladder `|S| ∈ {1, 2, 3, ⌈√n⌉}`: the
+    /// frontier engine reproduces the multi-source oracle's round-sets for
+    /// every size class.
+    #[test]
+    fn frontier_matches_oracle_on_source_set_ladder(
+        (g, _) in connected_graph_and_source(),
+        selector in 0usize..4,
+        set_seed in any::<u64>()
+    ) {
+        let sources = source_set_for(g.node_count(), selector, set_seed);
+        check_round_sets(&g, &sources)?;
+    }
+
     /// The batched runner reports exactly what the oracle predicts, source
     /// after source — allocation reuse must never leak state between
     /// floods.
@@ -115,6 +131,30 @@ proptest! {
             let stats = batch.run_from([s]);
             let pred = theory::predict(&g, [s]);
             prop_assert_eq!(stats.termination_round(), Some(pred.termination_round()));
+            prop_assert_eq!(stats.total_messages(), pred.total_messages());
+        }
+    }
+
+    /// One batch runner fed floods of *mixed* source-set sizes (√n-sized
+    /// sets interleaved with singletons) still matches the oracle flood
+    /// for flood: `reset` must fully erase larger previous seeds.
+    #[test]
+    fn flood_batch_matches_oracle_across_mixed_set_sizes(
+        (g, _) in connected_graph_and_source(),
+        set_seed in any::<u64>()
+    ) {
+        let mut batch = FloodBatch::new(&g);
+        for (i, selector) in [3usize, 0, 2, 1, 3, 0].into_iter().enumerate() {
+            let sources = source_set_for(g.node_count(), selector, set_seed ^ i as u64);
+            let stats = batch.run_from(sources.iter().copied());
+            let pred = theory::predict(&g, sources.iter().copied());
+            prop_assert_eq!(
+                stats.termination_round(),
+                Some(pred.termination_round()),
+                "flood {} (|S| = {})",
+                i,
+                sources.len()
+            );
             prop_assert_eq!(stats.total_messages(), pred.total_messages());
         }
     }

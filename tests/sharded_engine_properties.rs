@@ -13,6 +13,9 @@ use amnesiac_flooding::core::{theory, FloodBatch, FloodEngine, FrontierFlooding,
 use amnesiac_flooding::graph::{generators, Graph, NodeId, PartitionStrategy};
 use proptest::prelude::*;
 
+mod common;
+use common::source_set_for;
+
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
 /// Runs the sharded engine to termination and returns its full observable
@@ -130,6 +133,50 @@ proptest! {
         let s2 = NodeId::new(raw2 as usize % g.node_count());
         for strategy in PartitionStrategy::all() {
             check_against_both_references(&g, &[s, s2], strategy, 3)?;
+        }
+    }
+
+    /// The whole source-set size ladder `|S| ∈ {1, 2, 3, ⌈√n⌉}`, crossed
+    /// with every partitioner and `k ∈ {1, 2, 8}`: shard count and
+    /// partition shape must be unobservable for any source-set size.
+    #[test]
+    fn sharded_matches_references_on_source_set_ladder(
+        (g, _) in connected_graph_and_source(),
+        selector in 0usize..4,
+        set_seed in any::<u64>()
+    ) {
+        let sources = source_set_for(g.node_count(), selector, set_seed);
+        for strategy in PartitionStrategy::all() {
+            for k in [1, 2, 8] {
+                check_against_both_references(&g, &sources, strategy, k)?;
+            }
+        }
+    }
+
+    /// The batched sharded backend across *mixed* source-set sizes:
+    /// shard-state reset must fully erase a √n-sized seed before a
+    /// singleton flood and vice versa.
+    #[test]
+    fn sharded_batch_matches_oracle_across_mixed_set_sizes(
+        (g, _) in connected_graph_and_source(),
+        set_seed in any::<u64>()
+    ) {
+        let mut batch = FloodBatch::with_engine(
+            &g,
+            FloodEngine::Sharded { threads: 4, strategy: PartitionStrategy::Bfs },
+        );
+        for (i, selector) in [3usize, 0, 1, 3].into_iter().enumerate() {
+            let sources = source_set_for(g.node_count(), selector, set_seed ^ i as u64);
+            let stats = batch.run_from(sources.iter().copied());
+            let pred = theory::predict(&g, sources.iter().copied());
+            prop_assert_eq!(
+                stats.termination_round(),
+                Some(pred.termination_round()),
+                "flood {} (|S| = {})",
+                i,
+                sources.len()
+            );
+            prop_assert_eq!(stats.total_messages(), pred.total_messages());
         }
     }
 
