@@ -13,7 +13,15 @@
 //! * `sharded` — [`af_core::ShardedFlooding`]: the same floods split
 //!   across `threads` partition shards (the `threads` and `partitioner`
 //!   columns record the concurrency axis; the serial engines carry
-//!   `threads = 1`, `partitioner = "none"`).
+//!   `threads = 1`, `partitioner = "none"`);
+//! * `dynamic` — [`af_core::DynamicFlooding`]: the same floods executed
+//!   while the topology churns per the case's churn spec (the `churn`
+//!   column). With the default `"none"` spec the dynamic row must agree
+//!   bit-for-bit with `frontier` — a permanent cross-check of the
+//!   dynamic engine's zero-churn anchor; with a nonzero spec it measures
+//!   the churn workload and is excluded from the agreement conjunction
+//!   (its floods may legitimately cap out: termination is not a theorem
+//!   on dynamic graphs — `floods_terminated` records how many finished).
 //!
 //! All engines flood the same deterministic **source sets** of every graph
 //! — size-1 sets reproduce the classic single-source sweep, `--sources k`
@@ -24,11 +32,11 @@
 //! smoke configuration on every push and fails if the engines disagree or
 //! the JSON stops parsing.
 //!
-//! # `BENCH_flooding.json` schema (version 3)
+//! # `BENCH_flooding.json` schema (version 4)
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "benchmark": "flooding_throughput",
 //!   "mode": "full" | "smoke",
 //!   "all_engines_agree": true,
@@ -38,16 +46,18 @@
 //!       "spec": { "Grid": { "rows": 708, "cols": 708 } },
 //!       "nodes": 501264, "edges": 1001112,
 //!       "source_sets": [[0], [250632], [501263]],
+//!       "churn": "none",
 //!       "engines_agree": true,
 //!       "engines": [
 //!         { "engine": "frontier", "threads": 1, "threads_requested": 1,
-//!           "partitioner": "none", "sources": 1,
-//!           "rounds_per_source": [1414, ...],
+//!           "partitioner": "none", "sources": 1, "churn": "none",
+//!           "rounds_per_source": [1414, ...], "floods_terminated": 3,
 //!           "total_messages": 3003336, "wall_ms": 123.4,
 //!           "edges_per_sec": 24340000.0 },
 //!         { "engine": "fast", ... },
 //!         { "engine": "sharded", "threads": 4, "threads_requested": 4,
-//!           "partitioner": "bfs", ... }
+//!           "partitioner": "bfs", ... },
+//!         { "engine": "dynamic", "churn": "none", ... }
 //!       ]
 //!     }, ...
 //!   ]
@@ -63,28 +73,38 @@
 //! `sources` (the size of each flood's source set) and
 //! `threads_requested` (the raw `--threads` request, so a row whose
 //! `threads` was clamped to `min(n, MAX_SHARDS)` records both what was
-//! asked and what actually ran). Older files do not deserialize as
-//! [`CaseResult`]/[`EngineStats`], hence the bump rather than a silent
+//! asked and what actually ran). Version 4 added the dynamic-graph
+//! engine: the per-case `churn` spec (`"none"` or `kind:rate_pm:seed`),
+//! the same field on every engine row (always `"none"` on the static
+//! engines), the `dynamic` engine row itself, and `floods_terminated`
+//! (meaningful on the dynamic row, where churned floods may cap out;
+//! always the flood count on static rows). Older files do not deserialize
+//! as [`CaseResult`]/[`EngineStats`], hence the bump rather than a silent
 //! same-version shape change.
 
 use crate::spec::GraphSpec;
 use af_core::{theory, FastFlooding, FloodBatch, FloodEngine};
+use af_graph::dynamic::ChurnSpec;
 use af_graph::{Graph, NodeId, PartitionStrategy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Version stamp written into every report. Version 3 = version 2 with
-/// source *sets* per flood (`source_sets`, per-engine `sources`) and the
-/// per-engine `threads_requested` clamp record.
-pub const SCHEMA_VERSION: u32 = 3;
+/// Version stamp written into every report. Version 4 = version 3 with
+/// the dynamic-graph engine row and the churn axis (per-case and
+/// per-engine `churn`, per-engine `floods_terminated`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The `partitioner` value recorded for engines that do not partition.
 pub const NO_PARTITIONER: &str = "none";
 
+/// The `churn` value recorded for the static engines (and for dynamic
+/// rows measured without churn).
+pub const NO_CHURN: &str = "none";
+
 /// One engine's aggregate measurement over a case's source sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
-    /// Engine name: `"frontier"`, `"fast"`, or `"sharded"`.
+    /// Engine name: `"frontier"`, `"fast"`, `"sharded"`, or `"dynamic"`.
     pub engine: String,
     /// Worker threads the engine actually used (1 for the serial engines;
     /// the sharded engine's request is clamped into
@@ -98,8 +118,18 @@ pub struct EngineStats {
     /// Size of each measured flood's source set (1 = the classic
     /// single-source sweep).
     pub sources: usize,
+    /// The churn workload this row measured: `"none"` for the static
+    /// engines, the case's churn spec for the `dynamic` row.
+    pub churn: String,
     /// Termination round of each measured flood, in source-set order.
+    /// For a churned flood that capped out (termination is not a theorem
+    /// on dynamic graphs) this records the executed rounds — see
+    /// `floods_terminated`.
     pub rounds_per_source: Vec<u32>,
+    /// How many of the measured floods actually terminated (always the
+    /// flood count on static rows; on dynamic rows churn may prevent
+    /// termination within the cap).
+    pub floods_terminated: usize,
     /// Messages delivered over all measured floods.
     pub total_messages: u64,
     /// Wall-clock time for all measured floods, in milliseconds.
@@ -110,11 +140,14 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// A short human label: the engine name, annotated with the thread
-    /// count and partitioner when concurrency is in play.
+    /// count and partitioner when concurrency is in play, or with the
+    /// churn spec when churn is.
     #[must_use]
     pub fn label(&self) -> String {
         if self.threads > 1 {
             format!("{}x{}({})", self.engine, self.threads, self.partitioner)
+        } else if self.churn != NO_CHURN {
+            format!("{}({})", self.engine, self.churn)
         } else {
             self.engine.clone()
         }
@@ -136,7 +169,12 @@ pub struct CaseResult {
     /// The measured source sets, one inner list (sorted node indices) per
     /// flood. Size-1 sets are the classic single-source sweep.
     pub source_sets: Vec<Vec<usize>>,
-    /// Whether all engines agreed flood-for-flood on rounds and messages.
+    /// The case's churn spec (`"none"` or `kind:rate_pm:seed`) — what the
+    /// `dynamic` engine row floods under.
+    pub churn: String,
+    /// Whether all comparable engines agreed flood-for-flood on rounds
+    /// and messages (the `dynamic` row participates only when `churn` is
+    /// `"none"`, where it must match `frontier` exactly).
     pub engines_agree: bool,
     /// Per-engine measurements, `frontier` first.
     pub engines: Vec<EngineStats>,
@@ -321,33 +359,49 @@ fn source_sample(n: usize, count: usize) -> Vec<usize> {
     sources
 }
 
-/// Deterministic source *sets*: `floods` sets of `set_size` spread node
-/// indices each. Each set anchors at one [`source_sample`] index and adds
-/// `set_size - 1` further nodes at stride `n / set_size` (mod `n`), so
-/// sets stay well-separated, duplicate-free, and reproducible. `set_size`
-/// is clamped into `1 ..= n`.
+/// Deterministic source *sets*: `floods` sets of **exactly**
+/// `min(set_size, n)` spread node indices each. Each set anchors at one
+/// [`source_sample`] index and adds further nodes at stride
+/// `n / set_size` (mod `n`); stride collisions (small `n`, wrap-around)
+/// are topped up with the smallest unused indices, so every set has the
+/// exact requested size and the recorded `sources` field never overstates
+/// `|S|`. `set_size` is clamped into `1 ..= n`.
 fn source_set_sample(n: usize, floods: usize, set_size: usize) -> Vec<Vec<usize>> {
     let size = set_size.clamp(1, n.max(1));
     source_sample(n, floods)
         .into_iter()
         .map(|anchor| {
-            let mut set: Vec<usize> = (0..size).map(|j| (anchor + j * n / size) % n).collect();
-            set.sort_unstable();
-            set.dedup();
-            set
+            let mut set: std::collections::BTreeSet<usize> =
+                (0..size).map(|j| (anchor + j * n / size) % n).collect();
+            let mut filler = 0;
+            while set.len() < size {
+                set.insert(filler);
+                filler += 1;
+            }
+            set.into_iter().collect()
         })
         .collect()
 }
 
 // All measurements time the engine's complete workflow over all source
 // sets, setup included: the batch runners allocate once (for the sharded
-// engine that includes partitioning the graph) and reuse state across
-// floods — that amortization is part of what is being measured — while
-// the scan engine has no reset and must construct per flood.
+// engine that includes partitioning the graph; for the dynamic engine,
+// cloning the base graph and building the delta overlay) and reuse state
+// across floods — that amortization is part of what is being measured —
+// while the scan engine has no reset and must construct per flood. The
+// zero-churn dynamic row therefore reads as frontier throughput plus the
+// overlay's setup cost amortized over the case's floods, consistent with
+// how the sharded row carries its partitioning cost.
 
 fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> EngineStats {
-    let (name, threads, threads_requested, partitioner) = match engine {
-        FloodEngine::Frontier => ("frontier", 1, 1, NO_PARTITIONER.to_string()),
+    let (name, threads, threads_requested, partitioner, churn) = match engine {
+        FloodEngine::Frontier => (
+            "frontier",
+            1,
+            1,
+            NO_PARTITIONER.to_string(),
+            NO_CHURN.to_string(),
+        ),
         FloodEngine::Sharded { threads, strategy } => (
             "sharded",
             // Record the shard count that actually runs, not the request
@@ -356,8 +410,17 @@ fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> 
             af_graph::partition::clamp_shard_count(g.node_count(), threads),
             threads,
             strategy.name().to_string(),
+            NO_CHURN.to_string(),
+        ),
+        FloodEngine::Dynamic { churn } => (
+            "dynamic",
+            1,
+            1,
+            NO_PARTITIONER.to_string(),
+            churn.to_string(),
         ),
     };
+    let is_static = !matches!(engine, FloodEngine::Dynamic { .. });
     let start = Instant::now();
     let mut batch = FloodBatch::with_engine(g, engine);
     let stats: Vec<af_core::FloodStats> = source_sets
@@ -367,19 +430,27 @@ fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> 
     let wall = start.elapsed();
     let rounds = stats
         .iter()
-        .map(|s| {
-            s.termination_round()
-                .expect("Theorem 3.1: floods terminate")
+        .map(|s| match s.termination_round() {
+            Some(r) => r,
+            // Only churned floods may cap out; on a static graph
+            // non-termination would be a theorem violation.
+            None => {
+                assert!(!is_static, "Theorem 3.1: static floods terminate");
+                s.outcome().rounds_executed()
+            }
         })
         .collect();
+    let terminated = stats.iter().filter(|s| s.terminated()).count();
     let messages = stats.iter().map(af_core::FloodStats::total_messages).sum();
     finish_stats(
         name,
         threads,
         threads_requested,
         partitioner,
+        churn,
         source_sets,
         rounds,
+        terminated,
         messages,
         wall.as_secs_f64(),
     )
@@ -410,8 +481,10 @@ fn measure_fast(g: &Graph, source_sets: &[Vec<usize>]) -> EngineStats {
         1,
         1,
         NO_PARTITIONER.to_string(),
+        NO_CHURN.to_string(),
         source_sets,
         rounds,
+        source_sets.len(),
         messages,
         wall.as_secs_f64(),
     )
@@ -423,8 +496,10 @@ fn finish_stats(
     threads: usize,
     threads_requested: usize,
     partitioner: String,
+    churn: String,
     source_sets: &[Vec<usize>],
     rounds: Vec<u32>,
+    floods_terminated: usize,
     messages: u64,
     secs: f64,
 ) -> EngineStats {
@@ -434,7 +509,9 @@ fn finish_stats(
         threads_requested,
         partitioner,
         sources: source_sets.first().map_or(1, Vec::len),
+        churn,
         rounds_per_source: rounds,
+        floods_terminated,
         total_messages: messages,
         wall_ms: secs * 1e3,
         // 0.0 for an unmeasurably fast run: JSON has no Infinity, and the
@@ -449,9 +526,12 @@ fn finish_stats(
 
 /// Runs one case: build the graph, sample `floods_per_graph` source sets
 /// of `sources_per_flood` nodes each, measure every engine (`frontier`,
-/// `fast`, and `sharded` with the given concurrency), and cross-check
-/// agreement (plus the multi-source oracle when `check_oracle`).
+/// `fast`, `sharded` with the given concurrency, and `dynamic` under
+/// `churn`), and cross-check agreement (plus the multi-source oracle when
+/// `check_oracle`). The dynamic row joins the agreement conjunction only
+/// under the `"none"` churn spec, where it must match `frontier` exactly.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // one axis per benchmark dimension
 pub fn run_case(
     family: &str,
     spec: &GraphSpec,
@@ -460,17 +540,26 @@ pub fn run_case(
     check_oracle: bool,
     threads: usize,
     strategy: PartitionStrategy,
+    churn: ChurnSpec,
 ) -> CaseResult {
     let g = spec.build();
     let source_sets = source_set_sample(g.node_count(), floods_per_graph, sources_per_flood);
     let frontier = measure_batch(&g, &source_sets, FloodEngine::Frontier);
     let fast = measure_fast(&g, &source_sets);
     let sharded = measure_batch(&g, &source_sets, FloodEngine::Sharded { threads, strategy });
+    let dynamic = measure_batch(&g, &source_sets, FloodEngine::Dynamic { churn });
 
     let mut agree = [&fast, &sharded].iter().all(|e| {
         e.rounds_per_source == frontier.rounds_per_source
             && e.total_messages == frontier.total_messages
     });
+    if churn.is_none() {
+        // Zero-churn anchor: the dynamic engine must reproduce the static
+        // frontier record bit for bit.
+        agree &= dynamic.rounds_per_source == frontier.rounds_per_source
+            && dynamic.total_messages == frontier.total_messages
+            && dynamic.floods_terminated == source_sets.len();
+    }
     if check_oracle {
         for (set, &r) in source_sets.iter().zip(&frontier.rounds_per_source) {
             let pred = theory::predict(&g, set.iter().map(|&s| NodeId::new(s)));
@@ -484,8 +573,9 @@ pub fn run_case(
         nodes: g.node_count(),
         edges: g.edge_count(),
         source_sets,
+        churn: churn.to_string(),
         engines_agree: agree,
-        engines: vec![frontier, fast, sharded],
+        engines: vec![frontier, fast, sharded, dynamic],
     }
 }
 
@@ -498,19 +588,22 @@ pub fn run_case(
 /// case) goes to stderr so stdout can stay machine-readable.
 #[must_use]
 pub fn run(smoke: bool) -> ThroughputReport {
-    run_with(smoke, 4, PartitionStrategy::Bfs, 1)
+    run_with(smoke, 4, PartitionStrategy::Bfs, 1, ChurnSpec::NONE)
 }
 
-/// [`run`] with an explicit sharded-engine configuration and source-set
-/// size (the CLI's `--threads` / `--partitioner` / `--sources` flags end
-/// up here). `sources_per_flood = 1` is the classic single-source sweep;
-/// larger sizes measure multi-source floods end to end.
+/// [`run`] with an explicit sharded-engine configuration, source-set
+/// size, and churn spec (the CLI's `--threads` / `--partitioner` /
+/// `--sources` / `--churn` flags end up here). `sources_per_flood = 1` is
+/// the classic single-source sweep; larger sizes measure multi-source
+/// floods end to end. A non-`NONE` `churn` makes the `dynamic` engine row
+/// measure that workload (and drop out of the agreement conjunction).
 #[must_use]
 pub fn run_with(
     smoke: bool,
     threads: usize,
     strategy: PartitionStrategy,
     sources_per_flood: usize,
+    churn: ChurnSpec,
 ) -> ThroughputReport {
     let floods_per_graph = if smoke { 2 } else { 3 };
     let mut results = Vec::new();
@@ -525,6 +618,7 @@ pub fn run_with(
                 smoke,
                 threads,
                 strategy,
+                churn,
             ));
         }
     }
@@ -573,6 +667,29 @@ mod tests {
         assert_eq!(source_set_sample(1, 2, 5), vec![vec![0]]);
     }
 
+    proptest::proptest! {
+        /// The recorded `sources` field equals the actual set size: for
+        /// every small `n` / `floods` / `set_size`, each sampled set has
+        /// **exactly** `min(set_size, n)` distinct in-range nodes (the
+        /// top-up guards the stride arithmetic against ever under-filling
+        /// a set while the JSON still records the request).
+        #[test]
+        fn source_set_sample_fills_to_exact_size(
+            n in 1usize..64,
+            floods in 1usize..6,
+            set_size in 1usize..80,
+        ) {
+            let sets = source_set_sample(n, floods, set_size);
+            proptest::prop_assert!(!sets.is_empty());
+            proptest::prop_assert!(sets.len() <= floods);
+            for set in sets {
+                proptest::prop_assert_eq!(set.len(), set_size.min(n));
+                proptest::prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
+                proptest::prop_assert!(set.iter().all(|&s| s < n));
+            }
+        }
+    }
+
     #[test]
     fn smoke_grid_engines_agree_and_roundtrip() {
         let report = run(true);
@@ -581,16 +698,18 @@ mod tests {
         assert_eq!(report.schema_version, SCHEMA_VERSION);
         assert_eq!(report.mode, "smoke");
         for case in &report.cases {
-            assert_eq!(case.engines.len(), 3);
+            assert_eq!(case.engines.len(), 4);
             assert_eq!(case.engines[0].engine, "frontier");
             assert_eq!(case.engines[1].engine, "fast");
             assert_eq!(case.engines[2].engine, "sharded");
+            assert_eq!(case.engines[3].engine, "dynamic");
             assert!(case.engines[0].total_messages > 0);
-            // The concurrency and source axes are recorded in every row:
-            // serial engines carry threads = 1 / "none", the sharded
-            // engine the configured shard count and partitioner, and all
-            // rows the source-set size of the measured floods.
-            for serial in &case.engines[..2] {
+            // The concurrency, source, and churn axes are recorded in
+            // every row: serial engines carry threads = 1 / "none", the
+            // sharded engine the configured shard count and partitioner,
+            // and all rows the source-set size and churn spec of the
+            // measured floods.
+            for serial in [&case.engines[0], &case.engines[1], &case.engines[3]] {
                 assert_eq!(serial.threads, 1);
                 assert_eq!(serial.threads_requested, 1);
                 assert_eq!(serial.partitioner, NO_PARTITIONER);
@@ -601,7 +720,19 @@ mod tests {
             assert_eq!(case.engines[2].label(), "shardedx4(bfs)");
             for e in &case.engines {
                 assert_eq!(e.sources, 1, "default run is single-source");
+                assert_eq!(e.churn, NO_CHURN, "default run is churn-free");
+                assert_eq!(e.floods_terminated, case.source_sets.len());
             }
+            assert_eq!(case.churn, NO_CHURN);
+            // Zero-churn anchor: the dynamic row equals the frontier row.
+            assert_eq!(
+                case.engines[3].rounds_per_source,
+                case.engines[0].rounds_per_source
+            );
+            assert_eq!(
+                case.engines[3].total_messages,
+                case.engines[0].total_messages
+            );
             assert!(case.source_sets.iter().all(|s| s.len() == 1));
             // Rebuilding from the recorded spec gives the recorded size.
             let g = case.spec.build();
@@ -624,10 +755,11 @@ mod tests {
             true,
             3,
             PartitionStrategy::RoundRobin,
+            ChurnSpec::NONE,
         );
         assert!(case.engines_agree);
-        // Bipartite grid, single source: every flood delivers exactly m
-        // messages, on every engine.
+        // Bipartite grid, single source, no churn: every flood delivers
+        // exactly m messages, on every engine (the dynamic row included).
         let floods = case.source_sets.len() as u64;
         for e in &case.engines {
             assert_eq!(e.total_messages, floods * case.edges as u64, "{}", e.engine);
@@ -646,6 +778,7 @@ mod tests {
             // Deliberately overshard: n = 64 clamps a 2000-thread request.
             2000,
             PartitionStrategy::Bfs,
+            ChurnSpec::NONE,
         );
         assert!(case.engines_agree, "multi-source engines + oracle agree");
         assert_eq!(case.source_sets.len(), 2);
@@ -659,6 +792,52 @@ mod tests {
         let sharded = &case.engines[2];
         assert_eq!(sharded.threads_requested, 2000);
         assert_eq!(sharded.threads, 64);
+    }
+
+    #[test]
+    fn churned_case_records_the_axis_and_static_engines_still_agree() {
+        let churn: ChurnSpec = "mix:100:7".parse().unwrap();
+        let case = run_case(
+            "grid",
+            &GraphSpec::Grid { rows: 8, cols: 8 },
+            2,
+            1,
+            // No oracle check: the dynamic row is not oracle-predictable,
+            // and the static rows are checked in the other tests.
+            false,
+            2,
+            PartitionStrategy::Bfs,
+            churn,
+        );
+        // Static engines must still agree among themselves.
+        assert!(case.engines_agree, "static agreement is churn-independent");
+        assert_eq!(case.churn, "mix:100:7");
+        let dynamic = &case.engines[3];
+        assert_eq!(dynamic.engine, "dynamic");
+        assert_eq!(dynamic.churn, "mix:100:7");
+        assert_eq!(dynamic.label(), "dynamic(mix:100:7)");
+        assert_eq!(dynamic.rounds_per_source.len(), case.source_sets.len());
+        assert!(dynamic.floods_terminated <= case.source_sets.len());
+        assert!(dynamic.total_messages > 0);
+        for stat in &case.engines[..3] {
+            assert_eq!(stat.churn, NO_CHURN, "{}", stat.engine);
+        }
+        // Same spec, same measurement (determinism across runs).
+        let again = run_case(
+            "grid",
+            &GraphSpec::Grid { rows: 8, cols: 8 },
+            2,
+            1,
+            false,
+            2,
+            PartitionStrategy::Bfs,
+            churn,
+        );
+        assert_eq!(
+            again.engines[3].rounds_per_source,
+            dynamic.rounds_per_source
+        );
+        assert_eq!(again.engines[3].total_messages, dynamic.total_messages);
     }
 
     #[test]

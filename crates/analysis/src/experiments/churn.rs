@@ -1,0 +1,228 @@
+//! E17: amnesiac flooding under mid-flood topology churn — which of the
+//! paper's guarantees survive on a dynamic graph, and at what cost.
+//!
+//! The termination theorem (Theorem 3.1) is proved for a fixed graph. E17
+//! floods the five benchmark families while a seeded churn schedule edits
+//! the topology at round boundaries ([`af_graph::dynamic`]), in two
+//! regimes per nonzero rate:
+//!
+//! * **one-shot** — a single edit batch (sized by the rate) lands before
+//!   round 2, while the first wave is in flight, and the topology is
+//!   static afterwards: the minimal perturbation. The flood either
+//!   re-terminates (the `rounds` column then shows the inflation over the
+//!   static exact time `T₀`) or the single batch already left a
+//!   persistently cycling arc configuration;
+//! * **sustained** — a fresh batch every round for the whole run: the
+//!   adversarial regime, where each round's new edges keep re-exciting
+//!   the flood.
+//!
+//! The **zero-churn row is the anchor**: it runs the same
+//! [`DynamicFlooding`] engine under the empty schedule and is *hard
+//! asserted* (panicking on violation) to match both the exact-time
+//! double-cover oracle and the static frontier engine's full record — so
+//! any divergence in the nonzero rows is attributable to churn, not to
+//! the engine. Nonzero rates reach configurations the paper's
+//! node-initiated setting cannot: a mid-flood edit turns the in-flight
+//! state into an *arbitrary arc configuration* of the new graph, where
+//! synchronous non-termination is possible (the E12 census exhibits such
+//! configurations) — capped rows are therefore findings, not bugs.
+
+use crate::experiments::multisource::scale_grid;
+use crate::table::Table;
+use af_core::{theory, DynamicFlooding, FrontierFlooding};
+use af_graph::dynamic::{ChurnKind, ChurnSchedule, ChurnSpec};
+use af_graph::NodeId;
+
+/// The churn-rate ladder, in per mille of current edges edited per churn
+/// round: the oracle-checked zero-churn anchor plus three nonzero rates.
+#[must_use]
+pub fn rates_pm() -> [u32; 4] {
+    [0, 10, 50, 100]
+}
+
+/// The two nonzero-churn regimes: a single mid-flood edit batch (before
+/// round 2), or a fresh batch every round.
+const REGIMES: [&str; 2] = ["one-shot", "sustained"];
+
+/// Builds the schedule for one `(rate, regime)` cell: `None` for the
+/// zero-churn anchor, a single round-2 delta for `one-shot`, and a
+/// per-round schedule up to `cap` for `sustained`.
+fn schedule_for(g: &af_graph::Graph, churn: ChurnSpec, regime: &str, cap: u32) -> ChurnSchedule {
+    if churn.is_none() {
+        return ChurnSchedule::empty();
+    }
+    if regime == "one-shot" {
+        // Generate one batch against the base graph, then land it at the
+        // round-2 boundary — mid-flight, after the first wave moved. The
+        // batch stays valid: no other delta precedes it.
+        let mut schedule = ChurnSchedule::empty();
+        if let Some(delta) = ChurnSchedule::generate(g, churn, 1).delta_at(1) {
+            schedule.insert(2, delta.clone());
+        }
+        schedule
+    } else {
+        ChurnSchedule::generate(g, churn, cap)
+    }
+}
+
+/// Runs the E17 sweep: one flood from node 0 per `(family, rate, regime)`
+/// cell, under [`ChurnKind::Mix`] batches seeded with `seed` (edge flips
+/// plus probabilistic node joins/leaves), capped at the static `2n + 2`
+/// bound.
+///
+/// Hard invariants (panicking on violation): the zero-churn row matches
+/// the exact-time oracle *and* the static frontier engine's termination
+/// round, message total, and per-round message counts, and loses no
+/// messages.
+#[must_use]
+pub fn run(seed: u64) -> Table {
+    let mut t = Table::new(
+        "E17 — flooding under mid-flood churn across the benchmark families",
+        [
+            "family",
+            "n",
+            "m",
+            "churn ‰",
+            "regime",
+            "terminated",
+            "rounds",
+            "T/T0",
+            "messages",
+            "lost",
+        ],
+    );
+    for (family, spec) in scale_grid() {
+        let g = spec.build();
+        let cap = 2 * g.node_count() as u32 + 2;
+        let source = NodeId::new(0);
+        let t0 = theory::predict(&g, [source]).termination_round();
+        for rate_pm in rates_pm() {
+            let churn = ChurnSpec {
+                kind: ChurnKind::Mix,
+                rate_pm,
+                seed,
+            };
+            let regimes: &[&str] = if rate_pm == 0 { &[""] } else { &REGIMES };
+            for &regime in regimes {
+                let schedule = schedule_for(&g, churn, regime, cap);
+                let mut sim = DynamicFlooding::new(&g, [source], schedule);
+                let outcome = sim.run(cap);
+
+                if rate_pm == 0 {
+                    assert_eq!(
+                        outcome.termination_round(),
+                        Some(t0),
+                        "{family}: zero-churn column disagrees with the oracle"
+                    );
+                    let mut frontier = FrontierFlooding::new(&g, [source]);
+                    assert_eq!(outcome, frontier.run(cap), "{family}: engine mismatch");
+                    assert_eq!(sim.total_messages(), frontier.total_messages());
+                    assert_eq!(sim.messages_per_round(), frontier.messages_per_round());
+                    assert_eq!(sim.messages_lost(), 0);
+                }
+
+                let rounds = outcome.rounds_executed();
+                t.push_row([
+                    family.to_string(),
+                    g.node_count().to_string(),
+                    g.edge_count().to_string(),
+                    rate_pm.to_string(),
+                    if regime.is_empty() { "-" } else { regime }.to_string(),
+                    if outcome.is_terminated() {
+                        "yes"
+                    } else {
+                        "NO (cap)"
+                    }
+                    .to_string(),
+                    rounds.to_string(),
+                    format!("{:.2}", f64::from(rounds) / f64::from(t0)),
+                    sim.total_messages().to_string(),
+                    sim.messages_lost().to_string(),
+                ]);
+            }
+        }
+    }
+    t.push_note(
+        "one flood from node 0 per cell under mix:rate:seed churn batches \
+         (edge flips + probabilistic joins/leaves; round cap 2n + 2); \
+         one-shot = a single batch at the round-2 boundary, static \
+         afterwards; sustained = a fresh batch every round; T0 is the \
+         static exact time from theory::predict, hard-asserted on the \
+         churn = 0 rows together with bit-agreement against the frontier \
+         engine; NO (cap) rows carry a persistently cycling arc \
+         configuration (the E12 regime) — termination is not a theorem on \
+         dynamic graphs, and even one mid-flood batch can tip a flood into \
+         it",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rows per family: one zero-churn anchor plus two regimes per
+    /// nonzero rate.
+    fn rows_per_family() -> usize {
+        1 + (rates_pm().len() - 1) * REGIMES.len()
+    }
+
+    #[test]
+    fn covers_every_family_rate_and_regime() {
+        let t = run(42);
+        assert_eq!(t.rows().len(), scale_grid().len() * rows_per_family());
+        for (family, _) in scale_grid() {
+            assert!(
+                t.rows()
+                    .iter()
+                    .any(|r| r[0] == family && r[3] == "0" && r[4] == "-"),
+                "{family}: zero-churn anchor missing"
+            );
+            for rate in &rates_pm()[1..] {
+                for regime in REGIMES {
+                    assert!(
+                        t.rows()
+                            .iter()
+                            .any(|r| r[0] == family && r[3] == rate.to_string() && r[4] == regime),
+                        "{family} @ {rate}‰ {regime} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_churn_rows_are_exact_and_lossless() {
+        let t = run(42);
+        for row in t.rows().iter().filter(|r| r[3] == "0") {
+            assert_eq!(row[5], "yes", "{}: static flood must terminate", row[0]);
+            assert_eq!(row[7], "1.00", "{}: zero churn inflates nothing", row[0]);
+            assert_eq!(row[9], "0", "{}: no losses without churn", row[0]);
+        }
+    }
+
+    #[test]
+    fn rows_record_consistent_counters() {
+        let t = run(42);
+        for row in t.rows() {
+            let n: u32 = row[1].parse().unwrap();
+            let rounds: u32 = row[6].parse().unwrap();
+            let messages: u64 = row[8].parse().unwrap();
+            assert!(rounds <= 2 * n + 2, "{}: rounds within cap", row[0]);
+            assert!(messages > 0, "{}: some messages always flow", row[0]);
+            if row[5] == "NO (cap)" {
+                assert_eq!(rounds, 2 * n + 2, "{}: capped runs run to the cap", row[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_keep_the_anchor_rows() {
+        for seed in [7u64, 99] {
+            let t = run(seed);
+            for row in t.rows().iter().filter(|r| r[3] == "0") {
+                assert_eq!(row[5], "yes", "seed {seed}: {}", row[0]);
+            }
+        }
+    }
+}

@@ -17,10 +17,12 @@
 //! | E14 | (extension) robustness under message loss & crashes | [`faults::run`] |
 //! | E15 | (extension) the memory ladder (k-memory flooding) | [`memory::run`] |
 //! | E16 | multi-source termination times across the benchmark families | [`multisource::run_scale`] |
+//! | E17 | (extension) flooding under mid-flood topology churn | [`churn::run`] |
 
 pub mod arbitrary_config;
 pub mod asynchronous;
 pub mod bipartite;
+pub mod churn;
 pub mod comparison;
 pub mod detection;
 pub mod faults;

@@ -5,7 +5,7 @@
 //!
 //! * [`GraphSpec`] — serializable `(family, parameters, seed)` instance
 //!   descriptions; every EXPERIMENTS.md row cites one;
-//! * [`experiments`] — one module per paper artifact (E1–E16, see the
+//! * [`experiments`] — one module per paper artifact (E1–E17, see the
 //!   module's experiment index), each producing [`Table`]s;
 //! * [`exhaustive`] — verification of *every* paper claim on *every*
 //!   connected graph with up to 6 nodes, from every source;

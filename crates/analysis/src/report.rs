@@ -53,7 +53,7 @@ impl FullReport {
     }
 }
 
-/// Runs every experiment (E1–E16) and bundles the results.
+/// Runs every experiment (E1–E17) and bundles the results.
 ///
 /// `exhaustive_n` bounds the E6/E12 exhaustive layers (6 and 5 in the
 /// shipping regeneration; tests use smaller values for speed).
@@ -75,6 +75,7 @@ pub fn collect_all(exhaustive_n: usize) -> FullReport {
         experiments::faults::run(),
         experiments::memory::run(),
         experiments::multisource::run_scale(42),
+        experiments::churn::run(42),
     ];
     FullReport {
         tables,
@@ -91,13 +92,14 @@ mod tests {
         // exhaustive_n = 3 keeps this test quick while exercising the
         // whole pipeline.
         let report = collect_all(3);
-        assert_eq!(report.tables().len(), 15);
+        assert_eq!(report.tables().len(), 16);
         assert_eq!(report.figure_traces().len(), 3);
 
         let md = report.to_markdown();
         assert!(md.contains("E1–E3"));
         assert!(md.contains("E15"));
         assert!(md.contains("E16"));
+        assert!(md.contains("E17"));
         assert!(md.contains("#### Figure 1"));
 
         let json = report.to_json();

@@ -22,6 +22,15 @@
 //! * `--sources <K>` — flood from deterministic K-node source sets
 //!   instead of single sources (default 1); every engine row records the
 //!   set size in its `sources` field;
+//! * `--churn <kind:rate_pm:seed | none>` — the churn spec the `dynamic`
+//!   engine row floods under (default `none`, where the dynamic row must
+//!   agree bit-for-bit with the frontier engine); with a nonzero rate the
+//!   dynamic row measures the churn workload and leaves the agreement
+//!   conjunction. Deltas are streamed (`O(graph)` memory at any scale),
+//!   but sustained churn rebuilds the CSR every round and churned floods
+//!   typically run to the `2n + 2` cap — on the full grid's largest
+//!   cases expect hours, so pair nonzero `--churn` with `--smoke` unless
+//!   you mean it;
 //! * `--out <path>` — where to write the JSON. The default is
 //!   `BENCH_flooding.json` in the current directory for the full grid, and
 //!   `target/BENCH_flooding_smoke.json` for `--smoke`, so a casual smoke
@@ -32,6 +41,7 @@
 //! Exits non-zero if any engine pair (or the oracle, in smoke mode)
 //! disagrees — the CI perf-smoke job relies on this.
 
+use af_graph::dynamic::ChurnSpec;
 use af_graph::PartitionStrategy;
 use std::process::ExitCode;
 
@@ -41,7 +51,7 @@ fn main() -> ExitCode {
         println!(
             "usage: bench_throughput [--smoke] [--threads N] \
              [--partitioner contiguous|round-robin|bfs] [--sources K] \
-             [--out <path>] [--stdout]\n\
+             [--churn kind:rate_pm:seed|none] [--out <path>] [--stdout]\n\
              writes the flooding-throughput report to BENCH_flooding.json"
         );
         return ExitCode::SUCCESS;
@@ -77,6 +87,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let churn: ChurnSpec = match option("--churn").map(|v| v.parse()) {
+        None => ChurnSpec::NONE,
+        Some(Ok(c)) => c,
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let default_out = if smoke {
         "target/BENCH_flooding_smoke.json"
     } else {
@@ -84,7 +102,7 @@ fn main() -> ExitCode {
     };
     let out_path = option("--out").map_or(default_out, String::as_str);
 
-    let report = af_analysis::bench::run_with(smoke, threads, strategy, sources_per_flood);
+    let report = af_analysis::bench::run_with(smoke, threads, strategy, sources_per_flood, churn);
     eprint!("{}", report.to_summary());
 
     let json = report.to_json();

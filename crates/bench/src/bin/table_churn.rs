@@ -1,0 +1,6 @@
+//! E17: amnesiac flooding under mid-flood topology churn — termination,
+//! round-count inflation, and message loss across the benchmark families,
+//! with the zero-churn column hard-checked against the static oracle.
+fn main() {
+    println!("{}", af_analysis::experiments::churn::run(42).to_markdown());
+}

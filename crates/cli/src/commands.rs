@@ -8,6 +8,7 @@ use af_core::detect::TopologyVerdict;
 use af_core::{theory, trace, AmnesiacFlooding, AmnesiacFloodingProtocol, FloodEngine};
 use af_engine::adversary::{BoundedDelay, DeliverAll, OneAtATime, PerHeadThrottle};
 use af_engine::{certify, Certificate};
+use af_graph::dynamic::ChurnSpec;
 use af_graph::{algo, generators, io, Graph, NodeId, PartitionStrategy};
 use std::fmt::Write as _;
 
@@ -44,14 +45,25 @@ pub fn parse_graph(text: &str) -> Result<Graph, af_graph::GraphError> {
 }
 
 /// Parses the shared engine-selection options: `--engine frontier|sharded`,
-/// `--threads N`, `--partitioner contiguous|round-robin|bfs`. The default
-/// engine is `frontier`; `--threads`/`--partitioner` imply `sharded`, and
-/// combining them with an explicit `--engine frontier` is rejected rather
-/// than silently ignored.
+/// `--threads N`, `--partitioner contiguous|round-robin|bfs`, and
+/// `--churn kind:rate_pm:seed` (which selects the dynamic engine). The
+/// default engine is `frontier`; `--threads`/`--partitioner` imply
+/// `sharded`, and contradictory combinations — `--engine frontier` with
+/// sharding options, or `--churn` with any of the static-engine options —
+/// are rejected rather than silently ignored.
 fn engine_choice(args: &Args) -> Result<FloodEngine, CommandError> {
     let threads: usize = args.parsed_or::<usize>("threads", 4)?.max(1);
     let strategy: PartitionStrategy = args.parsed_or("partitioner", PartitionStrategy::Bfs)?;
     let implied = args.option("threads").is_some() || args.option("partitioner").is_some();
+    if let Some(spec) = args.option("churn") {
+        if implied || args.option("engine").is_some() {
+            return Err(
+                "--churn runs on the dynamic engine; drop --engine/--threads/--partitioner".into(),
+            );
+        }
+        let churn: ChurnSpec = spec.parse()?;
+        return Ok(FloodEngine::Dynamic { churn });
+    }
     match args.option("engine") {
         Some("frontier") if implied => Err(
             "--threads/--partitioner only apply to --engine sharded (drop --engine frontier)"
@@ -78,7 +90,12 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 
 /// `amnesiac flood <file> [--source N | --sources a,b,c] [--max-rounds N]
 /// [--engine frontier|sharded] [--threads N]
-/// [--partitioner contiguous|round-robin|bfs] [--trace] [--receipts]`
+/// [--partitioner contiguous|round-robin|bfs]
+/// [--churn kind:rate_pm:seed] [--trace] [--receipts]`
+///
+/// `--churn` floods on the dynamic engine while a deterministic schedule
+/// edits the topology at round boundaries; a capped run is then a finding
+/// (churn can prevent termination), not an error.
 ///
 /// # Errors
 ///
@@ -90,6 +107,11 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
     let graph = load_graph(path)?;
     let sources = source_set(args, &graph)?;
     let engine = engine_choice(args)?;
+    if matches!(engine, FloodEngine::Dynamic { .. }) && args.flag("trace") {
+        // render_run replays the rounds on the static input graph, which
+        // would contradict a churned run's record.
+        return Err("--trace replays rounds on the static graph; drop it or drop --churn".into());
+    }
     let mut builder =
         AmnesiacFlooding::multi_source(&graph, sources.iter().copied()).with_engine(engine);
     if let Some(cap) = args.option("max-rounds") {
@@ -102,9 +124,15 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         out.push_str(&trace::render_run(&graph, &run));
     } else {
         let _ = writeln!(out, "graph: {graph}");
-        if let FloodEngine::Sharded { threads, strategy } = engine {
-            let effective = af_graph::partition::clamp_shard_count(graph.node_count(), threads);
-            let _ = writeln!(out, "engine: sharded x{effective} ({strategy} partitioner)");
+        match engine {
+            FloodEngine::Sharded { threads, strategy } => {
+                let effective = af_graph::partition::clamp_shard_count(graph.node_count(), threads);
+                let _ = writeln!(out, "engine: sharded x{effective} ({strategy} partitioner)");
+            }
+            FloodEngine::Dynamic { churn } => {
+                let _ = writeln!(out, "engine: dynamic (churn {churn})");
+            }
+            FloodEngine::Frontier => {}
         }
         match run.termination_round() {
             Some(t) => {
@@ -120,11 +148,13 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         }
     }
     let _ = writeln!(out, "messages: {}", run.total_messages());
+    // The run's node count, not the input graph's: join churn can grow
+    // the node space mid-flood.
     let _ = writeln!(
         out,
         "informed nodes: {} / {}",
         run.informed_count(),
-        graph.node_count()
+        run.node_count()
     );
     let _ = writeln!(out, "max receipts per node: {}", run.max_receive_count());
     if args.flag("receipts") {
@@ -355,17 +385,26 @@ pub fn cmd_info(args: &Args) -> Result<String, CommandError> {
     );
     let _ = writeln!(out, "connected: {}", algo::is_connected(&graph));
     let _ = writeln!(out, "bipartite: {}", algo::is_bipartite(&graph));
+    // Diameter and radius each report their own `Option` — no arm relies
+    // on another function's connectivity check, so no input can panic.
     match algo::diameter(&graph) {
         Some(d) => {
             let _ = writeln!(out, "diameter: {d}");
-            let _ = writeln!(out, "radius: {}", algo::radius(&graph).expect("connected"));
-            if let Some(bound) = theory::upper_bound(&graph) {
-                let _ = writeln!(out, "flooding bound: {bound}");
-            }
         }
         None => {
             let _ = writeln!(out, "diameter: infinite (disconnected)");
         }
+    }
+    match algo::radius(&graph) {
+        Some(r) => {
+            let _ = writeln!(out, "radius: {r}");
+        }
+        None => {
+            let _ = writeln!(out, "radius: infinite (disconnected)");
+        }
+    }
+    if let Some(bound) = theory::upper_bound(&graph) {
+        let _ = writeln!(out, "flooding bound: {bound}");
     }
     if let Some(girth) = algo::girth(&graph) {
         let _ = writeln!(out, "girth: {girth}");
@@ -446,18 +485,20 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
 
 /// `amnesiac bench [--full] [--threads N]
 /// [--partitioner contiguous|round-robin|bfs] [--sources K]
-/// [--out <path>]` — the flooding throughput benchmark (frontier engine vs
-/// scan baseline vs the sharded multicore engine). The default is the
-/// smoke grid; `--full` runs the ~1e4..1e6-edge grid that produces the
-/// repository's `BENCH_flooding.json`. `--threads` (default 4) and
-/// `--partitioner` (default bfs) configure the sharded engine's
-/// concurrency axis; `--sources` (default 1) sets the size of every
-/// measured flood's source set.
+/// [--churn kind:rate_pm:seed] [--out <path>]` — the flooding throughput
+/// benchmark (frontier engine vs scan baseline vs the sharded multicore
+/// engine vs the dynamic-graph engine). The default is the smoke grid;
+/// `--full` runs the ~1e4..1e6-edge grid that produces the repository's
+/// `BENCH_flooding.json`. `--threads` (default 4) and `--partitioner`
+/// (default bfs) configure the sharded engine's concurrency axis;
+/// `--sources` (default 1) sets the size of every measured flood's source
+/// set; `--churn` (default none) sets the churn spec the dynamic engine
+/// row floods under.
 ///
 /// # Errors
 ///
-/// Returns I/O errors from `--out`, bad `--sources` values, or an error if
-/// the engines disagree.
+/// Returns I/O errors from `--out`, bad `--sources`/`--churn` values, or
+/// an error if the engines disagree.
 pub fn cmd_bench(args: &Args) -> Result<String, CommandError> {
     let smoke = !args.flag("full");
     let threads: usize = args.parsed_or("threads", 4)?;
@@ -466,7 +507,8 @@ pub fn cmd_bench(args: &Args) -> Result<String, CommandError> {
     if sources_per_flood == 0 {
         return Err("--sources must be at least 1".into());
     }
-    let report = af_analysis::bench::run_with(smoke, threads, strategy, sources_per_flood);
+    let churn: ChurnSpec = args.parsed_or("churn", ChurnSpec::NONE)?;
+    let report = af_analysis::bench::run_with(smoke, threads, strategy, sources_per_flood, churn);
     if let Some(path) = args.option("out") {
         std::fs::write(path, format!("{}\n", report.to_json()))?;
     }
@@ -488,6 +530,7 @@ commands:
                                        [--max-rounds N] [--trace] [--receipts]
                                        [--engine frontier|sharded] [--threads N]
                                        [--partitioner contiguous|round-robin|bfs]
+                                       [--churn edge|nodes|mix:rate_pm:seed]
   predict <file>  oracle, no simulation [--source N | --sources a,b,c]
   detect <file>   bipartiteness by flooding [--source N]
   certify <file>  async (non-)termination  [--adversary throttle|serial|
@@ -503,11 +546,12 @@ commands:
                   pa N K SEED | rgg N R SEED | ws N K BETA SEED
   bench           flooding throughput benchmark [--full] [--out <path>]
                   [--threads N] [--partitioner contiguous|round-robin|bfs]
-                  [--sources K]
+                  [--sources K] [--churn kind:rate_pm:seed]
                   (frontier engine vs scan baseline vs sharded multicore
-                  engine; --full is the BENCH_flooding.json grid,
-                  ~1e4..1e6 edges per family; --sources floods from
-                  K-node source sets instead of single sources)
+                  engine vs dynamic-graph engine; --full is the
+                  BENCH_flooding.json grid, ~1e4..1e6 edges per family;
+                  --sources floods from K-node source sets instead of
+                  single sources; --churn sets the dynamic row's workload)
 
 graph files: edge-list format ('n <count>' header + 'u v' lines) or graph6
 "
@@ -649,6 +693,44 @@ mod tests {
     }
 
     #[test]
+    fn flood_churn_runs_the_dynamic_engine() {
+        let path = petersen_file();
+        // Zero-churn via the dynamic engine must reproduce the static
+        // flood line for line after the engine banner.
+        let base = cmd_flood(&Args::parse([path.as_str(), "--source", "0"]).unwrap()).unwrap();
+        let out =
+            cmd_flood(&Args::parse([path.as_str(), "--source", "0", "--churn", "none"]).unwrap())
+                .unwrap();
+        assert!(out.contains("engine: dynamic (churn none)"), "{out}");
+        for line in base.lines() {
+            assert!(out.contains(line), "missing '{line}' in {out}");
+        }
+        // A nonzero spec is echoed and the run completes (terminated or
+        // capped — both are valid findings on a dynamic graph).
+        let out = cmd_flood(
+            &Args::parse([path.as_str(), "--source", "0", "--churn", "mix:200:7"]).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("engine: dynamic (churn mix:200:7)"), "{out}");
+        assert!(
+            out.contains("terminated after round") || out.contains("round cap reached"),
+            "{out}"
+        );
+        // Contradictory combinations and bad specs are rejected.
+        for bad in [
+            vec![path.as_str(), "--churn", "mix:50:1", "--threads", "2"],
+            vec![path.as_str(), "--churn", "mix:50:1", "--engine", "frontier"],
+            vec![path.as_str(), "--churn", "mix:50:1", "--partitioner", "bfs"],
+            vec![path.as_str(), "--churn", "mix:50:1", "--trace"],
+            vec![path.as_str(), "--churn", "warp:50:1"],
+            vec![path.as_str(), "--churn", "mix:2000:1"],
+        ] {
+            let args = Args::parse(bad.clone()).unwrap();
+            assert!(cmd_flood(&args).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
     fn flood_rejects_bad_source() {
         let path = triangle_edge_list_file();
         let args = Args::parse([path.as_str(), "--source", "9"]).unwrap();
@@ -732,9 +814,24 @@ mod tests {
         assert!(out.contains("nodes: 10"));
         assert!(out.contains("edges: 15"));
         assert!(out.contains("diameter: 2"));
+        assert!(out.contains("radius: 2"));
         assert!(out.contains("bipartite: false"));
         assert!(out.contains("girth: 5"));
         assert!(out.contains("flooding bound: 5"));
+    }
+
+    #[test]
+    fn info_on_disconnected_input_reports_instead_of_panicking() {
+        // Regression: `info` used to compute radius with
+        // `.expect("connected")` inside the diameter arm — adversarial
+        // (disconnected) input must print, never panic.
+        let path = write_temp("disconnected.txt", "n 4\n0 1\n2 3\n");
+        let args = Args::parse([path.as_str()]).unwrap();
+        let out = cmd_info(&args).unwrap();
+        assert!(out.contains("connected: false"), "{out}");
+        assert!(out.contains("diameter: infinite (disconnected)"), "{out}");
+        assert!(out.contains("radius: infinite (disconnected)"), "{out}");
+        assert!(!out.contains("flooding bound"), "{out}");
     }
 
     #[test]
@@ -786,13 +883,19 @@ mod tests {
         assert!(text.contains("shardedx2(bfs)"), "{text}");
         let written = std::fs::read_to_string(&out).unwrap();
         assert!(written.contains("\"flooding_throughput\""));
-        assert!(written.contains("\"schema_version\""));
+        assert!(written.contains("\"schema_version\": 4"));
         assert!(written.contains("\"sharded\""));
+        assert!(written.contains("\"dynamic\""));
         assert!(written.contains("\"partitioner\": \"bfs\""));
         assert!(written.contains("\"sources\": 2"));
         assert!(written.contains("\"source_sets\""));
+        assert!(written.contains("\"churn\": \"none\""));
+        assert!(written.contains("\"floods_terminated\""));
         // A zero-size source set is rejected up front.
         let args = Args::parse(["--sources", "0"]).unwrap();
+        assert!(cmd_bench(&args).is_err());
+        // A malformed churn spec too.
+        let args = Args::parse(["--churn", "warp:5:1"]).unwrap();
         assert!(cmd_bench(&args).is_err());
     }
 

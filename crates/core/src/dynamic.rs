@@ -1,0 +1,804 @@
+//! The dynamic-graph amnesiac-flooding engine: flooding while the
+//! topology changes between rounds.
+//!
+//! [`DynamicFlooding`] is the frontier-sparse engine
+//! ([`crate::FrontierFlooding`]) lifted onto an
+//! [`af_graph::dynamic::DeltaGraph`] overlay: at the boundary before round
+//! `r`, the [`ChurnSchedule`]'s delta for `r` (if any) is applied — edges
+//! appear and disappear, nodes join and leave — and only then does the
+//! round execute under the ordinary amnesiac local rule on the *new*
+//! topology. The engine's sparse per-round state is exactly what makes the
+//! boundary cheap: the in-flight arcs are an explicit list, so remapping
+//! them through a topology edit costs `O(active · log deg)`, not `O(m)`.
+//!
+//! # Semantics at a boundary
+//!
+//! * An in-flight message on an edge that is **deleted** (or whose
+//!   endpoint **leaves**) is *lost with the link*: it is dropped, counted
+//!   in [`DynamicFlooding::messages_lost`], and never delivered.
+//! * A **joining** node starts uninformed; it participates from its join
+//!   round onward (it can receive and forward like any other node).
+//! * A **leaving** node's id is retired, never reused (see
+//!   [`af_graph::dynamic`]), so per-node receipt logs stay valid across
+//!   arbitrary churn.
+//! * Deltas are applied only while messages are in flight. Once no arc
+//!   carries the message the flood has terminated — churn cannot revive
+//!   it, because new messages only ever arise from receipt. A boundary
+//!   delta that drops *every* in-flight arc therefore terminates the
+//!   flood at the previous round.
+//!
+//! # The zero-churn anchor
+//!
+//! Under an **empty** schedule the engine executes byte-for-byte the
+//! frontier engine's rounds on the never-rebuilt base snapshot, and the
+//! test suites pin the stronger property: round-sets, receive rounds, and
+//! per-round message counts are **bit-identical** to
+//! [`crate::FrontierFlooding`] on the static graph. That anchor is what
+//! makes nonzero-churn measurements interpretable — any divergence is the
+//! churn, not the engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_core::DynamicFlooding;
+//! use af_graph::dynamic::{ChurnSchedule, GraphDelta};
+//! use af_graph::generators;
+//!
+//! // Static behaviour under the empty schedule: C6 floods for D = 3.
+//! let g = generators::cycle(6);
+//! let mut sim = DynamicFlooding::new(&g, [0.into()], ChurnSchedule::empty());
+//! assert_eq!(sim.run(100).termination_round(), Some(3));
+//! assert_eq!(sim.total_messages(), 6);
+//!
+//! // Cut both round-2 links mid-flood: the messages die with them.
+//! let mut cut = ChurnSchedule::empty();
+//! cut.insert(2, GraphDelta {
+//!     delete_edges: vec![(1, 2), (4, 5)],
+//!     ..GraphDelta::default()
+//! });
+//! let mut sim = DynamicFlooding::new(&g, [0.into()], cut);
+//! assert_eq!(sim.run(100).termination_round(), Some(1));
+//! assert_eq!(sim.messages_lost(), 2);
+//! ```
+
+use crate::bitset::ArcSet;
+use af_engine::Outcome;
+use af_graph::dynamic::{ChurnSchedule, ChurnSpec, ChurnStream, DeltaGraph, GraphDelta};
+use af_graph::{ArcId, Graph, NodeId};
+
+/// Where a flood's boundary deltas come from: a fixed (hand-built or
+/// materialized) schedule, or a streaming generator that produces the
+/// deterministic per-round deltas on demand — `O(current graph)` memory
+/// however long the flood, which is what keeps full-scale benchmark
+/// graphs churnable.
+#[derive(Debug, Clone)]
+enum ChurnSource {
+    Fixed(ChurnSchedule),
+    Streamed(ChurnStream),
+}
+
+impl ChurnSource {
+    /// The delta to apply at the boundary before `round`, if any.
+    /// (Streamed sources advance their internal state; the engine only
+    /// ever asks in increasing round order.)
+    fn delta_before(&mut self, round: u32) -> Option<GraphDelta> {
+        match self {
+            ChurnSource::Fixed(schedule) => schedule.delta_at(round).cloned(),
+            ChurnSource::Streamed(stream) => stream.delta_before(round),
+        }
+    }
+}
+
+/// Frontier-driven amnesiac-flooding simulator over a churning topology.
+///
+/// Owns its graph state (a [`DeltaGraph`] overlay plus a pristine base
+/// copy for [`DynamicFlooding::reset`]) because the topology genuinely
+/// mutates mid-flood — unlike the borrowed-graph static engines. Under an
+/// empty [`ChurnSchedule`] it is bit-identical to
+/// [`crate::FrontierFlooding`]; under a nonzero schedule it measures what
+/// the paper's guarantees *become* on a dynamic graph (termination is no
+/// longer a theorem — use the round cap).
+#[derive(Debug, Clone)]
+pub struct DynamicFlooding {
+    /// Pristine copy of the construction-time graph, for `reset`.
+    base: Graph,
+    churn: ChurnSource,
+    dg: DeltaGraph,
+    /// Whether any boundary delta has been applied since construction or
+    /// the last reset — when false, `reset` skips the `O(m log m)`
+    /// overlay rebuild (the zero-churn batch hot path).
+    dirty: bool,
+    /// Membership bitset of the arcs carrying the message this round
+    /// (sized for the current snapshot; rebuilt at every boundary).
+    active: ArcSet,
+    active_list: Vec<ArcId>,
+    next_list: Vec<ArcId>,
+    received: Vec<bool>,
+    receivers: Vec<NodeId>,
+    /// Scratch for boundary remapping: in-flight arcs as endpoint pairs.
+    pair_scratch: Vec<(NodeId, NodeId)>,
+    round: u32,
+    total_messages: u64,
+    messages_lost: u64,
+    messages_per_round: Vec<u64>,
+    record_receipts: bool,
+    receipts: Vec<Vec<u32>>,
+    informed: Vec<NodeId>,
+}
+
+impl DynamicFlooding {
+    /// Creates a simulator flooding `graph` from `sources` under
+    /// `schedule`. Duplicate sources are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn new<I>(graph: &Graph, sources: I, schedule: ChurnSchedule) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        DynamicFlooding::with_source(graph, sources, ChurnSource::Fixed(schedule))
+    }
+
+    /// Creates a simulator whose boundary deltas are **streamed** from
+    /// `churn` (deterministically identical to flooding under
+    /// `ChurnSchedule::generate(graph, churn, horizon)`, but in
+    /// `O(current graph)` memory however large the horizon). This is the
+    /// constructor behind [`crate::FloodEngine::Dynamic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn with_spec<I>(graph: &Graph, sources: I, churn: ChurnSpec, horizon: u32) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let source = if churn.is_none() {
+            // No shadow state needed for a silent stream.
+            ChurnSource::Fixed(ChurnSchedule::empty())
+        } else {
+            ChurnSource::Streamed(ChurnStream::new(graph, churn, horizon))
+        };
+        DynamicFlooding::with_source(graph, sources, source)
+    }
+
+    fn with_source<I>(graph: &Graph, sources: I, churn: ChurnSource) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = graph.node_count();
+        let mut sim = DynamicFlooding {
+            base: graph.clone(),
+            dg: DeltaGraph::new(graph),
+            churn,
+            dirty: false,
+            active: ArcSet::new(graph.arc_count()),
+            active_list: Vec::new(),
+            next_list: Vec::new(),
+            received: vec![false; n],
+            receivers: Vec::new(),
+            pair_scratch: Vec::new(),
+            round: 0,
+            total_messages: 0,
+            messages_lost: 0,
+            messages_per_round: Vec::new(),
+            record_receipts: true,
+            receipts: vec![Vec::new(); n],
+            informed: Vec::new(),
+        };
+        sim.seed_sources(sources);
+        sim
+    }
+
+    /// Restores the simulator to round 0 on the **base** graph (undoing
+    /// all churn) with a fresh source set, keeping the same churn
+    /// schedule/spec (a streamed source restarts from its seed). When no
+    /// delta was ever applied (the zero-churn case) this reuses every
+    /// allocation like [`crate::FrontierFlooding::reset`]; otherwise it
+    /// rebuilds the overlay from the pristine base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range for the base graph.
+    pub fn reset<I>(&mut self, sources: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        for &v in &self.informed {
+            self.receipts[v.index()].clear();
+        }
+        self.informed.clear();
+        // A streamed source restarts from its seed regardless of whether
+        // its deltas ever applied — its internal state advances with the
+        // rounds it produced.
+        if let ChurnSource::Streamed(stream) = &self.churn {
+            self.churn = ChurnSource::Streamed(ChurnStream::new(
+                &self.base,
+                stream.spec(),
+                stream.horizon(),
+            ));
+        }
+        if self.dirty {
+            let n = self.base.node_count();
+            self.dg = DeltaGraph::new(&self.base);
+            self.active = ArcSet::new(self.base.arc_count());
+            self.active_list.clear();
+            // Joins may have grown the per-node state; shrink to base.
+            self.received.clear();
+            self.received.resize(n, false);
+            self.receipts.truncate(n);
+            self.dirty = false;
+        } else {
+            // Nothing was ever edited: clear sparsely, keep allocations —
+            // the zero-churn batch hot path.
+            for &a in &self.active_list {
+                self.active.remove(a);
+            }
+            self.active_list.clear();
+        }
+        self.next_list.clear();
+        self.receivers.clear();
+        self.pair_scratch.clear();
+        self.round = 0;
+        self.total_messages = 0;
+        self.messages_lost = 0;
+        self.messages_per_round.clear();
+        self.seed_sources(sources);
+    }
+
+    /// Inserts the round-1 arcs of `sources` (on the current = base
+    /// snapshot), deduplicating via the all-false `received` flags.
+    fn seed_sources<I>(&mut self, sources: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let n = self.dg.node_count();
+        debug_assert!(self.receivers.is_empty());
+        for v in sources {
+            assert!(v.index() < n, "source {v} out of range");
+            if !self.received[v.index()] {
+                self.received[v.index()] = true;
+                self.receivers.push(v);
+            }
+        }
+        for i in 0..self.receivers.len() {
+            let v = self.receivers[i];
+            self.received[v.index()] = false;
+            for (_, out) in self.dg.graph().incident_arcs(v) {
+                self.active.insert(out);
+                self.active_list.push(out);
+            }
+        }
+        self.receivers.clear();
+    }
+
+    /// Enables or disables per-node receipt recording (enabled by
+    /// default); [`crate::FloodBatch`] disables it.
+    pub fn set_record_receipts(&mut self, record: bool) {
+        self.record_receipts = record;
+    }
+
+    /// The **current** topology snapshot (changes at churn boundaries;
+    /// equals the base graph before the first nonzero delta).
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.dg.graph()
+    }
+
+    /// The pristine construction-time graph.
+    #[must_use]
+    pub fn base_graph(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The fixed churn schedule driving this flood, or `None` when the
+    /// deltas are streamed from a [`ChurnSpec`] (see
+    /// [`DynamicFlooding::with_spec`]).
+    #[must_use]
+    pub fn schedule(&self) -> Option<&ChurnSchedule> {
+        match &self.churn {
+            ChurnSource::Fixed(schedule) => Some(schedule),
+            ChurnSource::Streamed(_) => None,
+        }
+    }
+
+    /// The spec behind a streamed churn source, or `None` for a fixed
+    /// schedule.
+    #[must_use]
+    pub fn churn_spec(&self) -> Option<ChurnSpec> {
+        match &self.churn {
+            ChurnSource::Fixed(_) => None,
+            ChurnSource::Streamed(stream) => Some(stream.spec()),
+        }
+    }
+
+    /// Current node count (grows with joins; never shrinks).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dg.node_count()
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Returns `true` if no arc carries the message.
+    #[must_use]
+    pub fn is_terminated(&self) -> bool {
+        self.active_list.is_empty()
+    }
+
+    /// Total messages delivered so far.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    /// In-flight messages dropped because their link was deleted (or an
+    /// endpoint left) at a churn boundary before delivery.
+    #[must_use]
+    pub fn messages_lost(&self) -> u64 {
+        self.messages_lost
+    }
+
+    /// Messages delivered in each executed round (index 0 = round 1).
+    #[must_use]
+    pub fn messages_per_round(&self) -> &[u64] {
+        &self.messages_per_round
+    }
+
+    /// The arcs carrying the message into the next round, in increasing
+    /// arc order. Arc ids refer to the **current** snapshot.
+    #[must_use]
+    pub fn in_flight(&self) -> Vec<ArcId> {
+        let mut arcs = self.active_list.clone();
+        arcs.sort_unstable();
+        arcs
+    }
+
+    /// Rounds at which `v` received the message (empty if receipts are
+    /// not recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the current node count.
+    #[must_use]
+    pub fn receipts(&self, v: NodeId) -> &[u32] {
+        &self.receipts[v.index()]
+    }
+
+    /// Number of nodes that have received at least once (0 when receipts
+    /// are disabled).
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed.len()
+    }
+
+    /// Applies the boundary delta scheduled for `round`, remapping the
+    /// in-flight arcs onto the rebuilt snapshot and growing per-node state
+    /// for joins. Messages whose edge (or endpoint) vanished are dropped
+    /// and counted in `messages_lost`.
+    fn apply_boundary(&mut self, round: u32) {
+        let Some(delta) = self.churn.delta_before(round) else {
+            return;
+        };
+        let g_old = self.dg.graph();
+        self.pair_scratch.clear();
+        for &a in &self.active_list {
+            self.pair_scratch.push(g_old.arc_endpoints(a));
+        }
+        if self.dg.apply(&delta).is_noop() {
+            // Nothing changed: the snapshot, arc ids, and in-flight state
+            // are all still valid (and reset keeps its fast path).
+            return;
+        }
+        self.dirty = true;
+        let g = self.dg.graph();
+        let n = g.node_count();
+        if self.received.len() < n {
+            self.received.resize(n, false);
+            self.receipts.resize(n, Vec::new());
+        }
+        self.active = ArcSet::new(g.arc_count());
+        self.active_list.clear();
+        for i in 0..self.pair_scratch.len() {
+            let (tail, head) = self.pair_scratch[i];
+            if self.dg.is_departed(tail) || self.dg.is_departed(head) {
+                self.messages_lost += 1;
+                continue;
+            }
+            match g.arc_between(tail, head) {
+                Some(a) => {
+                    self.active.insert(a);
+                    self.active_list.push(a);
+                }
+                None => self.messages_lost += 1,
+            }
+        }
+    }
+
+    /// Executes one round (applying the boundary delta first); returns the
+    /// round number, or `None` if the flood is (or just became)
+    /// terminated.
+    pub fn step(&mut self) -> Option<u32> {
+        if self.active_list.is_empty() {
+            return None;
+        }
+        let round = self.round + 1;
+        self.apply_boundary(round);
+        if self.active_list.is_empty() {
+            // Churn dropped every in-flight message: the flood ended at
+            // the previous round; `round` never executes.
+            return None;
+        }
+        self.round = round;
+        let delivered = self.active_list.len() as u64;
+        self.total_messages += delivered;
+        self.messages_per_round.push(delivered);
+
+        let g = self.dg.graph();
+
+        // The frontier: each active arc's head, once.
+        self.receivers.clear();
+        for i in 0..self.active_list.len() {
+            let head = g.arc_head(self.active_list[i]);
+            if !self.received[head.index()] {
+                self.received[head.index()] = true;
+                self.receivers.push(head);
+            }
+        }
+
+        // Local rule: v→w active next iff v received and w→v not active.
+        self.next_list.clear();
+        for i in 0..self.receivers.len() {
+            let v = self.receivers[i];
+            if self.record_receipts {
+                if self.receipts[v.index()].is_empty() {
+                    self.informed.push(v);
+                }
+                self.receipts[v.index()].push(round);
+            }
+            for (_, out) in g.incident_arcs(v) {
+                if !self.active.contains(out.reversed()) {
+                    self.next_list.push(out);
+                }
+            }
+        }
+
+        // Swap generations with sparse bitset updates.
+        for &a in &self.active_list {
+            self.active.remove(a);
+        }
+        for &a in &self.next_list {
+            self.active.insert(a);
+        }
+        core::mem::swap(&mut self.active_list, &mut self.next_list);
+        for &v in &self.receivers {
+            self.received[v.index()] = false;
+        }
+        Some(round)
+    }
+
+    /// Runs until termination or `max_rounds`. Unlike the static engines,
+    /// hitting the cap is a *finding*, not a bug: on a churning topology
+    /// termination is no longer guaranteed.
+    pub fn run(&mut self, max_rounds: u32) -> Outcome {
+        while self.round < max_rounds {
+            if self.step().is_none() {
+                return Outcome::Terminated {
+                    last_active_round: self.round,
+                };
+            }
+        }
+        if self.active_list.is_empty() {
+            Outcome::Terminated {
+                last_active_round: self.round,
+            }
+        } else {
+            Outcome::CapReached {
+                rounds_executed: self.round,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::FrontierFlooding;
+    use af_graph::dynamic::{ChurnSpec, GraphDelta};
+    use af_graph::generators;
+
+    /// Lock-step bit-identity against the frontier engine: in-flight arcs,
+    /// step results, message counters, receipts.
+    fn assert_identical_to_frontier(g: &Graph, sources: &[NodeId]) {
+        let mut dynamic = DynamicFlooding::new(g, sources.iter().copied(), ChurnSchedule::empty());
+        let mut frontier = FrontierFlooding::new(g, sources.iter().copied());
+        loop {
+            assert_eq!(
+                dynamic.in_flight(),
+                frontier.in_flight(),
+                "round {}",
+                dynamic.round()
+            );
+            let a = dynamic.step();
+            let b = frontier.step();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+            assert!(dynamic.round() < 1000, "runaway");
+        }
+        assert_eq!(dynamic.total_messages(), frontier.total_messages());
+        assert_eq!(dynamic.messages_per_round(), frontier.messages_per_round());
+        assert_eq!(dynamic.messages_lost(), 0);
+        assert_eq!(dynamic.informed_count(), frontier.informed_count());
+        for v in g.nodes() {
+            assert_eq!(dynamic.receipts(v), frontier.receipts(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_frontier() {
+        for (g, s) in [
+            (generators::path(7), vec![0usize]),
+            (generators::cycle(9), vec![4]),
+            (generators::petersen(), vec![0, 7, 9]),
+            (generators::grid(3, 4), vec![5]),
+            (generators::complete(6), vec![1, 2]),
+            (generators::star(6), vec![3]),
+        ] {
+            let sources: Vec<NodeId> = s.into_iter().map(NodeId::new).collect();
+            assert_identical_to_frontier(&g, &sources);
+        }
+        for seed in 0..6 {
+            let g = generators::sparse_connected(30, (seed as usize) * 2, seed);
+            assert_identical_to_frontier(&g, &[NodeId::new(seed as usize % 30)]);
+        }
+    }
+
+    #[test]
+    fn deleting_the_only_link_kills_the_message() {
+        // Path 0-1-2, flood from 0, cut 1-2 before round 2: node 2 never
+        // hears, and the flood dies at round 1.
+        let g = generators::path(3);
+        let mut cut = ChurnSchedule::empty();
+        cut.insert(
+            2,
+            GraphDelta {
+                delete_edges: vec![(1, 2)],
+                ..GraphDelta::default()
+            },
+        );
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], cut);
+        assert_eq!(
+            sim.run(100),
+            Outcome::Terminated {
+                last_active_round: 1
+            }
+        );
+        assert_eq!(sim.messages_lost(), 1);
+        assert_eq!(sim.total_messages(), 1);
+        assert!(sim.receipts(NodeId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn inserted_edge_carries_the_flood_onward() {
+        // Disconnected pair {0-1}, {2-3}: a static flood from 0 informs
+        // only 1. Insert 1-2 before round 1 (i.e. before any message
+        // moves): the flood crosses the new bridge and reaches 3.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut bridge = ChurnSchedule::empty();
+        bridge.insert(
+            1,
+            GraphDelta {
+                insert_edges: vec![(1, 2)],
+                ..GraphDelta::default()
+            },
+        );
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], bridge);
+        let outcome = sim.run(100);
+        assert!(outcome.is_terminated());
+        assert!(!sim.receipts(NodeId::new(3)).is_empty(), "3 was reached");
+        assert_eq!(sim.messages_lost(), 0);
+    }
+
+    #[test]
+    fn joined_node_participates_from_its_round() {
+        // C4 flood from 0; a new node joins attached to 1 and 2 before
+        // round 2 and must be informed by the continuing flood. The join
+        // also creates the triangle 1-2-4 *mid-flood*, which turns the
+        // in-flight state into an arbitrary arc configuration of the new
+        // graph — and this particular one cycles forever (the paper's
+        // arbitrary-configuration non-termination, reached by churn): the
+        // run caps out rather than terminating.
+        let g = generators::cycle(4);
+        let mut join = ChurnSchedule::empty();
+        join.insert(
+            2,
+            GraphDelta {
+                join_nodes: vec![vec![1, 2]],
+                ..GraphDelta::default()
+            },
+        );
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], join);
+        let outcome = sim.run(100);
+        assert_eq!(
+            outcome,
+            Outcome::CapReached {
+                rounds_executed: 100
+            }
+        );
+        assert_eq!(sim.node_count(), 5);
+        assert!(!sim.receipts(NodeId::new(4)).is_empty(), "joiner informed");
+        assert_eq!(sim.receipts(NodeId::new(4)).first(), Some(&3));
+    }
+
+    #[test]
+    fn leaving_node_drops_its_in_flight_messages() {
+        // Star with hub 0: flood from a leaf; the hub leaves before round
+        // 2, so the messages it just emitted toward the other leaves die.
+        let g = generators::star(5);
+        let mut leave = ChurnSchedule::empty();
+        leave.insert(
+            2,
+            GraphDelta {
+                leave_nodes: vec![0],
+                ..GraphDelta::default()
+            },
+        );
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(1)], leave);
+        assert_eq!(
+            sim.run(100),
+            Outcome::Terminated {
+                last_active_round: 1
+            }
+        );
+        assert!(sim.messages_lost() > 0);
+        assert!(sim.receipts(NodeId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn delta_before_round_one_edits_the_seeded_arcs() {
+        // The round-1 delta applies before any message moves: cutting
+        // 0-1 after seeding from 0 drops that arc.
+        let g = generators::path(2);
+        let mut cut = ChurnSchedule::empty();
+        cut.insert(
+            1,
+            GraphDelta {
+                delete_edges: vec![(0, 1)],
+                ..GraphDelta::default()
+            },
+        );
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], cut);
+        assert_eq!(
+            sim.run(100),
+            Outcome::Terminated {
+                last_active_round: 0
+            }
+        );
+        assert_eq!(sim.total_messages(), 0);
+        assert_eq!(sim.messages_lost(), 1);
+    }
+
+    #[test]
+    fn churn_can_prevent_termination_within_the_static_cap() {
+        // A fresh edge appearing every round can keep re-exciting the
+        // flood: under aggressive mixed churn at least one seed runs past
+        // the static bound 2D + 1 on C8 (D = 4, bound 9).
+        let g = generators::cycle(8);
+        let mut exceeded = false;
+        for seed in 0..8 {
+            let spec = ChurnSpec {
+                kind: af_graph::dynamic::ChurnKind::Mix,
+                rate_pm: 300,
+                seed,
+            };
+            let schedule = ChurnSchedule::generate(&g, spec, 64);
+            let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], schedule);
+            let outcome = sim.run(64);
+            if outcome.rounds_executed() > 9 {
+                exceeded = true;
+                break;
+            }
+        }
+        assert!(exceeded, "aggressive churn never outlived the static bound");
+    }
+
+    #[test]
+    fn reset_restores_the_base_graph_and_state() {
+        let g = generators::petersen();
+        let spec = ChurnSpec {
+            kind: af_graph::dynamic::ChurnKind::Mix,
+            rate_pm: 200,
+            seed: 5,
+        };
+        let schedule = ChurnSchedule::generate(&g, spec, 32);
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], schedule.clone());
+        let first = sim.run(64);
+        // Reset mid-state: same schedule, fresh base ⇒ same record.
+        sim.reset([NodeId::new(0)]);
+        assert_eq!(sim.round(), 0);
+        assert_eq!(sim.total_messages(), 0);
+        assert_eq!(sim.messages_lost(), 0);
+        assert_eq!(sim.node_count(), g.node_count());
+        assert_eq!(sim.graph(), &g);
+        let second = sim.run(64);
+        assert_eq!(first, second, "reset + same schedule is deterministic");
+
+        // Reset to a different source still floods correctly (zero-churn
+        // comparison via a fresh simulator).
+        let mut zero = DynamicFlooding::new(&g, [NodeId::new(3)], ChurnSchedule::empty());
+        let mut fresh = FrontierFlooding::new(&g, [NodeId::new(3)]);
+        assert_eq!(zero.run(100), fresh.run(100));
+    }
+
+    #[test]
+    fn streamed_spec_floods_identically_to_the_materialized_schedule() {
+        for kind in [
+            af_graph::dynamic::ChurnKind::Edge,
+            af_graph::dynamic::ChurnKind::Nodes,
+            af_graph::dynamic::ChurnKind::Mix,
+        ] {
+            let g = generators::sparse_connected(32, 20, 9);
+            let spec = ChurnSpec {
+                kind,
+                rate_pm: 150,
+                seed: 6,
+            };
+            let cap = 2 * g.node_count() as u32 + 2;
+            let schedule = ChurnSchedule::generate(&g, spec, cap);
+            let mut fixed = DynamicFlooding::new(&g, [NodeId::new(0)], schedule);
+            let mut streamed = DynamicFlooding::with_spec(&g, [NodeId::new(0)], spec, cap);
+            assert_eq!(streamed.churn_spec(), Some(spec));
+            assert_eq!(streamed.schedule(), None);
+            let a = fixed.run(cap);
+            let b = streamed.run(cap);
+            assert_eq!(a, b, "{kind:?}");
+            assert_eq!(fixed.total_messages(), streamed.total_messages());
+            assert_eq!(fixed.messages_lost(), streamed.messages_lost());
+            assert_eq!(fixed.messages_per_round(), streamed.messages_per_round());
+
+            // Reset restarts the stream from its seed: the rerun matches.
+            streamed.reset([NodeId::new(0)]);
+            assert_eq!(streamed.run(cap), b, "{kind:?} replay after reset");
+        }
+
+        // The zero-rate spec is the empty fixed schedule (no shadow).
+        let g = generators::cycle(6);
+        let sim = DynamicFlooding::with_spec(&g, [NodeId::new(0)], ChurnSpec::NONE, 100);
+        assert!(sim.schedule().is_some_and(ChurnSchedule::is_empty));
+    }
+
+    #[test]
+    fn receipts_can_be_disabled() {
+        let g = generators::cycle(6);
+        let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], ChurnSchedule::empty());
+        sim.set_record_receipts(false);
+        sim.run(100);
+        assert!(sim.receipts(NodeId::new(1)).is_empty());
+        assert_eq!(sim.informed_count(), 0);
+        assert!(sim.total_messages() > 0);
+    }
+
+    #[test]
+    fn accessors_and_empty_sources() {
+        let g = generators::cycle(5);
+        let schedule = ChurnSchedule::empty();
+        let sim = DynamicFlooding::new(&g, [], schedule);
+        assert!(sim.is_terminated());
+        assert_eq!(sim.base_graph(), &g);
+        assert!(sim.schedule().is_some_and(ChurnSchedule::is_empty));
+        assert_eq!(sim.churn_spec(), None);
+        let mut sim = sim;
+        assert_eq!(
+            sim.run(10),
+            Outcome::Terminated {
+                last_active_round: 0
+            }
+        );
+    }
+}

@@ -21,6 +21,11 @@
 //!   bit-identical to the frontier engine for any shard count;
 //! * [`FastFlooding`] — the scan-all-arcs bitset simulator, an independent
 //!   implementation kept as the cross-check and benchmark baseline;
+//! * [`DynamicFlooding`] — the frontier engine lifted onto the
+//!   [`af_graph::dynamic`] delta-edit overlay: churn batches (edge
+//!   insert/delete, node join/leave) apply at round boundaries mid-flood,
+//!   and the empty-schedule flood is bit-identical to [`FrontierFlooding`]
+//!   — the zero-churn anchor behind experiment E17;
 //! * [`AmnesiacFlooding`] / [`flood`] — high-level drivers producing a
 //!   [`FloodingRun`] with the paper's round-sets `R_i`, per-node receive
 //!   rounds, termination round and message counts;
@@ -76,11 +81,13 @@ pub mod trace;
 pub mod spanning;
 
 mod bitset;
+mod dynamic;
 mod fast;
 mod frontier;
 mod protocol;
 mod run;
 
+pub use dynamic::DynamicFlooding;
 pub use fast::FastFlooding;
 pub use frontier::FrontierFlooding;
 pub use protocol::{AmnesiacFloodingProtocol, ClassicFloodingProtocol, KMemoryFlooding};

@@ -8,19 +8,27 @@
 //! and can be switched to the multicore [`crate::ShardedFlooding`] backend
 //! through [`FloodEngine`] — the two produce bit-identical records.
 
+use crate::dynamic::DynamicFlooding;
 use crate::frontier::FrontierFlooding;
 use crate::sharded::ShardedFlooding;
 use af_engine::Outcome;
+use af_graph::dynamic::{ChurnSchedule, ChurnSpec};
 use af_graph::{Graph, NodeId, Partition, PartitionStrategy};
 
 /// Which simulator a driver executes floods with.
 ///
-/// Every engine produces the same [`FloodingRun`] / [`FloodStats`] for the
-/// same inputs (the property suites enforce this); the choice is purely a
-/// performance matter. [`FloodEngine::Frontier`] is the single-threaded
-/// hot path; [`FloodEngine::Sharded`] splits each flood's rounds over
-/// worker threads and wins once per-round frontiers are large enough to
-/// amortize the round barrier (see the README's benchmarking notes).
+/// The static engines ([`FloodEngine::Frontier`], [`FloodEngine::Sharded`])
+/// produce the same [`FloodingRun`] / [`FloodStats`] for the same inputs
+/// (the property suites enforce this); between them the choice is purely a
+/// performance matter — `Frontier` is the single-threaded hot path,
+/// `Sharded` splits each flood's rounds over worker threads and wins once
+/// per-round frontiers are large enough to amortize the round barrier (see
+/// the README's benchmarking notes).
+///
+/// [`FloodEngine::Dynamic`] changes the *workload*, not just the runtime:
+/// it floods while the topology churns per its [`ChurnSpec`] (schedule
+/// generated deterministically per graph). With a zero-rate spec it is
+/// bit-identical to `Frontier` — the anchor the test suites pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FloodEngine {
     /// Single-threaded frontier-sparse engine ([`FrontierFlooding`]).
@@ -33,6 +41,16 @@ pub enum FloodEngine {
         threads: usize,
         /// How nodes are assigned to shards.
         strategy: PartitionStrategy,
+    },
+    /// Dynamic-graph engine ([`DynamicFlooding`]): the deterministic
+    /// per-round deltas described by `churn` are **streamed** to the
+    /// round boundaries mid-flood (identical to flooding under
+    /// [`ChurnSchedule::generate`] at the driver's round cap, but in
+    /// `O(graph)` memory at any scale). Termination is a *measurement*
+    /// here, not a theorem.
+    Dynamic {
+        /// The churn workload; `ChurnSpec::NONE` means an empty schedule.
+        churn: ChurnSpec,
     },
 }
 
@@ -58,6 +76,9 @@ pub struct AmnesiacFlooding<'g> {
     sources: Vec<NodeId>,
     max_rounds: Option<u32>,
     engine: FloodEngine,
+    /// Explicit churn schedule (replay / hand-built). Takes precedence
+    /// over a [`FloodEngine::Dynamic`] spec's generated schedule.
+    churn: Option<ChurnSchedule>,
 }
 
 impl<'g> AmnesiacFlooding<'g> {
@@ -70,6 +91,7 @@ impl<'g> AmnesiacFlooding<'g> {
             sources: vec![source],
             max_rounds: None,
             engine: FloodEngine::Frontier,
+            churn: None,
         }
     }
 
@@ -85,6 +107,7 @@ impl<'g> AmnesiacFlooding<'g> {
             sources: sources.into_iter().collect(),
             max_rounds: None,
             engine: FloodEngine::Frontier,
+            churn: None,
         }
     }
 
@@ -99,10 +122,29 @@ impl<'g> AmnesiacFlooding<'g> {
 
     /// Selects the simulator backend (the default is
     /// [`FloodEngine::Frontier`]). The produced [`FloodingRun`] is
-    /// engine-independent.
+    /// engine-independent for the static engines; [`FloodEngine::Dynamic`]
+    /// changes the workload itself (mid-flood churn).
     #[must_use]
     pub fn with_engine(mut self, engine: FloodEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Floods under an **explicit** churn schedule on the
+    /// [`DynamicFlooding`] engine (superseding a [`FloodEngine::Dynamic`]
+    /// spec's generated schedule). The empty schedule reproduces the
+    /// frontier engine's record bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// [`AmnesiacFlooding::run`] panics if a churn schedule is combined
+    /// with the [`FloodEngine::Sharded`] engine — churn floods run on the
+    /// dynamic engine only, and silently switching engines would
+    /// mislabel the record (the CLI rejects the same combination as an
+    /// argument error).
+    #[must_use]
+    pub fn with_churn(mut self, schedule: ChurnSchedule) -> Self {
+        self.churn = Some(schedule);
         self
     }
 
@@ -116,17 +158,48 @@ impl<'g> AmnesiacFlooding<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if a source is out of range.
+    /// Panics if a source is out of range, or if an explicit churn
+    /// schedule is combined with the sharded engine (see
+    /// [`AmnesiacFlooding::with_churn`]).
     #[must_use]
     pub fn run(&self) -> FloodingRun {
         let cap = self
             .max_rounds
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
+        let sources = self.sources.iter().copied();
+        let dynamic_sim = match (&self.churn, self.engine) {
+            (Some(_), FloodEngine::Sharded { .. }) => panic!(
+                "churn floods run on the dynamic engine; do not combine \
+                 with_churn with the sharded engine"
+            ),
+            (Some(schedule), _) => {
+                Some(DynamicFlooding::new(self.graph, sources, schedule.clone()))
+            }
+            (None, FloodEngine::Dynamic { churn }) => {
+                // Streamed: the per-round deltas are generated on demand,
+                // never materialized — O(graph) memory at any scale.
+                Some(DynamicFlooding::with_spec(self.graph, sources, churn, cap))
+            }
+            (None, _) => None,
+        };
+        if let Some(mut sim) = dynamic_sim {
+            let outcome = sim.run(cap);
+            // Joins may have grown the node space; the record covers the
+            // final node count.
+            return self.collect(
+                sim.node_count(),
+                outcome,
+                |v| sim.receipts(v),
+                sim.messages_per_round(),
+                sim.total_messages(),
+            );
+        }
         match self.engine {
             FloodEngine::Frontier => {
                 let mut sim = FrontierFlooding::new(self.graph, self.sources.iter().copied());
                 let outcome = sim.run(cap);
                 self.collect(
+                    self.graph.node_count(),
                     outcome,
                     |v| sim.receipts(v),
                     sim.messages_per_round(),
@@ -142,19 +215,23 @@ impl<'g> AmnesiacFlooding<'g> {
                 );
                 let outcome = sim.run(cap);
                 self.collect(
+                    self.graph.node_count(),
                     outcome,
                     |v| sim.receipts(v),
                     sim.messages_per_round(),
                     sim.total_messages(),
                 )
             }
+            FloodEngine::Dynamic { .. } => unreachable!("handled by the schedule path above"),
         }
     }
 
     /// Assembles the engine-independent run record from a finished
-    /// simulator's receipts and counters.
+    /// simulator's receipts and counters. `n` is the simulator's final
+    /// node count (it can exceed the input graph's under join churn).
     fn collect<'a, F>(
         &self,
+        n: usize,
         outcome: Outcome,
         receipts: F,
         messages_per_round: &[u64],
@@ -163,9 +240,8 @@ impl<'g> AmnesiacFlooding<'g> {
     where
         F: Fn(NodeId) -> &'a [u32],
     {
-        let n = self.graph.node_count();
         let mut receive_rounds = Vec::with_capacity(n);
-        for v in self.graph.nodes() {
+        for v in (0..n).map(NodeId::new) {
             receive_rounds.push(receipts(v).to_vec());
         }
         let rounds_executed = outcome.rounds_executed();
@@ -174,7 +250,7 @@ impl<'g> AmnesiacFlooding<'g> {
         sorted_sources.sort_unstable();
         sorted_sources.dedup();
         round_sets[0] = sorted_sources.clone();
-        for v in self.graph.nodes() {
+        for v in (0..n).map(NodeId::new) {
             for &r in receipts(v) {
                 round_sets[r as usize].push(v);
             }
@@ -390,6 +466,12 @@ impl FloodStats {
 pub struct FloodBatch<'g> {
     sim: BatchSim<'g>,
     max_rounds: Option<u32>,
+    /// The spec behind a *generated* dynamic schedule (None for the
+    /// static engines and for explicit [`FloodBatch::with_churn`]
+    /// schedules), kept so [`FloodBatch::with_max_rounds`] can regenerate
+    /// the schedule to match a new cap — churn must cover every round the
+    /// batch can execute.
+    churn_spec: Option<ChurnSpec>,
 }
 
 /// The reusable simulator inside a [`FloodBatch`].
@@ -397,6 +479,10 @@ pub struct FloodBatch<'g> {
 enum BatchSim<'g> {
     Frontier(FrontierFlooding<'g>),
     Sharded(ShardedFlooding<'g>),
+    /// Owns its (churning) graph state; `reset` restores the base graph.
+    /// Boxed: the owned graphs make it much larger than the borrowing
+    /// variants, and a batch holds exactly one simulator.
+    Dynamic(Box<DynamicFlooding>),
 }
 
 impl<'g> FloodBatch<'g> {
@@ -428,27 +514,66 @@ impl<'g> FloodBatch<'g> {
                 sim.set_record_receipts(false);
                 BatchSim::Sharded(sim)
             }
+            FloodEngine::Dynamic { churn } => {
+                // Streamed deltas: O(graph) memory at any horizon.
+                let horizon = 2 * graph.node_count() as u32 + 2;
+                let mut sim = DynamicFlooding::with_spec(graph, [], churn, horizon);
+                sim.set_record_receipts(false);
+                return FloodBatch {
+                    sim: BatchSim::Dynamic(Box::new(sim)),
+                    max_rounds: None,
+                    churn_spec: Some(churn),
+                };
+            }
         };
         FloodBatch {
             sim,
             max_rounds: None,
+            churn_spec: None,
+        }
+    }
+
+    /// Creates a batch runner on the [`DynamicFlooding`] engine with an
+    /// **explicit** churn schedule. Every flood of the batch starts from
+    /// the pristine base graph and replays the same schedule, so batches
+    /// stay deterministic and floods comparable. The empty schedule makes
+    /// every flood bit-identical to the frontier engine's.
+    #[must_use]
+    pub fn with_churn(graph: &'g Graph, schedule: ChurnSchedule) -> Self {
+        let mut sim = DynamicFlooding::new(graph, [], schedule);
+        sim.set_record_receipts(false);
+        FloodBatch {
+            sim: BatchSim::Dynamic(Box::new(sim)),
+            max_rounds: None,
+            churn_spec: None,
         }
     }
 
     /// Overrides the per-flood round cap (default `2n + 2`, strictly above
-    /// the paper's `2D + 1` bound).
+    /// the paper's `2D + 1` bound). On a [`FloodEngine::Dynamic`]-built
+    /// batch this also regenerates the churn schedule to the new horizon,
+    /// so every executable round stays covered by the spec'd churn
+    /// (explicit [`FloodBatch::with_churn`] schedules are kept verbatim).
     #[must_use]
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = Some(max_rounds);
+        if let (Some(churn), BatchSim::Dynamic(sim)) = (self.churn_spec, &mut self.sim) {
+            let base = sim.base_graph().clone();
+            let mut fresh = DynamicFlooding::with_spec(&base, [], churn, max_rounds);
+            fresh.set_record_receipts(false);
+            **sim = fresh;
+        }
         self
     }
 
-    /// The graph this batch floods.
+    /// The graph this batch floods (for the dynamic engine: the pristine
+    /// base graph every flood starts from, not the mid-churn snapshot).
     #[must_use]
     pub fn graph(&self) -> &Graph {
         match &self.sim {
             BatchSim::Frontier(sim) => sim.graph(),
             BatchSim::Sharded(sim) => sim.graph(),
+            BatchSim::Dynamic(sim) => sim.base_graph(),
         }
     }
 
@@ -473,6 +598,13 @@ impl<'g> FloodBatch<'g> {
                 }
             }
             BatchSim::Sharded(sim) => {
+                sim.reset(sources);
+                FloodStats {
+                    outcome: sim.run(cap),
+                    total_messages: sim.total_messages(),
+                }
+            }
+            BatchSim::Dynamic(sim) => {
                 sim.reset(sources);
                 FloodStats {
                     outcome: sim.run(cap),
@@ -696,6 +828,105 @@ mod tests {
     #[test]
     fn default_engine_is_frontier() {
         assert_eq!(FloodEngine::default(), FloodEngine::Frontier);
+    }
+
+    #[test]
+    fn dynamic_engine_with_no_churn_matches_frontier_record() {
+        let g = generators::petersen();
+        let base = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()]).run();
+        // Zero-rate spec through the engine enum.
+        let via_spec = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()])
+            .with_engine(FloodEngine::Dynamic {
+                churn: ChurnSpec::NONE,
+            })
+            .run();
+        assert_eq!(base, via_spec);
+        // Explicit empty schedule through the builder.
+        let via_schedule = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()])
+            .with_churn(ChurnSchedule::empty())
+            .run();
+        assert_eq!(base, via_schedule);
+    }
+
+    #[test]
+    fn dynamic_engine_runs_generated_churn_deterministically() {
+        let g = generators::grid(5, 5);
+        let churn: ChurnSpec = "mix:100:3".parse().unwrap();
+        let engine = FloodEngine::Dynamic { churn };
+        let a = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_engine(engine)
+            .run();
+        let b = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_engine(engine)
+            .run();
+        assert_eq!(a, b, "same spec, same record");
+        // The record stays well-formed even if churn grew the node space.
+        assert!(a.node_count() >= g.node_count());
+        assert!(a.total_messages() > 0);
+    }
+
+    #[test]
+    fn dynamic_batch_with_empty_schedule_matches_frontier_batch() {
+        let g = generators::lollipop(4, 5);
+        let mut frontier = FloodBatch::new(&g);
+        let mut dynamic = FloodBatch::with_churn(&g, ChurnSchedule::empty());
+        for v in g.nodes() {
+            assert_eq!(frontier.run_from([v]), dynamic.run_from([v]), "{v}");
+        }
+        assert_eq!(dynamic.graph().node_count(), g.node_count());
+
+        // The engine-enum construction path behaves identically.
+        let mut via_engine = FloodBatch::with_engine(
+            &g,
+            FloodEngine::Dynamic {
+                churn: ChurnSpec::NONE,
+            },
+        );
+        for v in g.nodes() {
+            assert_eq!(frontier.run_from([v]), via_engine.run_from([v]), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "churn floods run on the dynamic engine")]
+    fn churn_with_sharded_engine_is_rejected_not_silently_switched() {
+        let g = generators::cycle(6);
+        let _ = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_engine(FloodEngine::Sharded {
+                threads: 2,
+                strategy: PartitionStrategy::Bfs,
+            })
+            .with_churn(ChurnSchedule::empty())
+            .run();
+    }
+
+    #[test]
+    fn dynamic_batch_regenerates_the_schedule_for_a_larger_cap() {
+        let g = generators::petersen();
+        let churn: ChurnSpec = "edge:200:4".parse().unwrap();
+        // Raising the cap must extend the generated churn horizon to
+        // match: the batch behaves exactly like one whose schedule was
+        // generated at the new horizon in the first place.
+        let cap = 3 * (2 * g.node_count() as u32 + 2);
+        let mut via_engine =
+            FloodBatch::with_engine(&g, FloodEngine::Dynamic { churn }).with_max_rounds(cap);
+        let mut via_schedule = FloodBatch::with_churn(&g, ChurnSchedule::generate(&g, churn, cap))
+            .with_max_rounds(cap);
+        for v in g.nodes() {
+            assert_eq!(via_engine.run_from([v]), via_schedule.run_from([v]), "{v}");
+        }
+    }
+
+    #[test]
+    fn dynamic_batch_replays_the_same_schedule_per_flood() {
+        let g = generators::petersen();
+        let churn: ChurnSpec = "edge:150:9".parse().unwrap();
+        let mut batch = FloodBatch::with_engine(&g, FloodEngine::Dynamic { churn });
+        let first = batch.run_from([0.into()]);
+        let again = batch.run_from([0.into()]);
+        assert_eq!(first, again, "reset restores the base graph + schedule");
+        // graph() reports the pristine base even after churned floods.
+        assert_eq!(batch.graph().node_count(), g.node_count());
     }
 
     #[cfg(feature = "serde")]

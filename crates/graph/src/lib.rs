@@ -18,7 +18,11 @@
 //!   theorem checking;
 //! * [`partition`] — `k`-way node partitioning ([`Partition`],
 //!   [`PartitionStrategy`]) with per-shard local arc CSRs and cross-shard
-//!   boundary maps, the substrate of the sharded flooding engine.
+//!   boundary maps, the substrate of the sharded flooding engine;
+//! * [`dynamic`] — the delta-edit overlay ([`dynamic::DeltaGraph`]) and
+//!   deterministic churn schedules ([`dynamic::ChurnSchedule`],
+//!   [`dynamic::ChurnSpec`]) for flooding while the topology changes
+//!   between rounds.
 //!
 //! # Examples
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod algo;
+pub mod dynamic;
 pub mod enumerate;
 pub mod generators;
 pub mod io;

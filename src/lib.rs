@@ -16,7 +16,7 @@
 //!   extraction, arbitrary-configuration analysis, baselines and topology
 //!   detection.
 //! * [`analysis`] — the experiment harness ([`af_analysis`]), experiments
-//!   E1–E15.
+//!   E1–E17.
 //!
 //! The `amnesiac` command-line tool (crate `af-cli`) exposes the same
 //! functionality over edge-list and graph6 files.

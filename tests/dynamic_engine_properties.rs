@@ -1,0 +1,140 @@
+//! Property tests pinning the dynamic-graph engine's zero-churn anchor:
+//! under an **empty** churn schedule, [`DynamicFlooding`] must be
+//! **bit-identical** to [`FrontierFlooding`] on the static graph —
+//! round-sets, receive rounds, per-round and total message counts, for
+//! random connected graphs and the source-set ladder `{1, 2, 3, ⌈√n⌉}`.
+//! Plus determinism and sanity properties for nonzero churn, where
+//! termination is a measurement rather than a theorem.
+
+use amnesiac_flooding::core::{AmnesiacFlooding, DynamicFlooding, FloodEngine, FrontierFlooding};
+use amnesiac_flooding::graph::dynamic::{ChurnKind, ChurnSchedule, ChurnSpec};
+use amnesiac_flooding::graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+mod common;
+use common::source_set_for;
+
+/// Lock-step bit-identity: in-flight arc sets before every round, step
+/// results, per-round message counts, totals, and per-node receipt logs.
+fn assert_bit_identical(g: &Graph, sources: &[NodeId]) -> Result<(), TestCaseError> {
+    let mut dynamic = DynamicFlooding::new(g, sources.iter().copied(), ChurnSchedule::empty());
+    let mut frontier = FrontierFlooding::new(g, sources.iter().copied());
+    loop {
+        prop_assert_eq!(
+            dynamic.in_flight(),
+            frontier.in_flight(),
+            "in-flight arcs at round {}",
+            dynamic.round()
+        );
+        let a = dynamic.step();
+        let b = frontier.step();
+        prop_assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+        prop_assert!(dynamic.round() <= 2 * g.node_count() as u32 + 2, "runaway");
+    }
+    prop_assert_eq!(dynamic.total_messages(), frontier.total_messages());
+    prop_assert_eq!(dynamic.messages_per_round(), frontier.messages_per_round());
+    prop_assert_eq!(dynamic.messages_lost(), 0);
+    prop_assert_eq!(dynamic.informed_count(), frontier.informed_count());
+    for v in g.nodes() {
+        prop_assert_eq!(dynamic.receipts(v), frontier.receipts(v), "node {}", v);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance anchor: a dynamic flood under an empty schedule is
+    /// bit-identical to the static frontier engine, across random
+    /// connected graphs and the multi-source ladder.
+    #[test]
+    fn empty_schedule_is_bit_identical_to_frontier(
+        (n, extra_frac, seed) in (2usize..=192, 0usize..150, any::<u64>()),
+        selector in 0usize..4,
+        set_seed in any::<u64>(),
+    ) {
+        let g = generators::sparse_connected(n, n * extra_frac / 100, seed);
+        let sources = source_set_for(g.node_count(), selector, set_seed);
+        assert_bit_identical(&g, &sources)?;
+    }
+
+    /// The same anchor through the driver surface: a `FloodEngine::Dynamic`
+    /// run with the zero-rate spec produces the identical `FloodingRun`
+    /// record (round-sets, receive rounds, message counts) as the default
+    /// frontier engine.
+    #[test]
+    fn zero_rate_spec_reproduces_the_frontier_record(
+        (n, seed) in (2usize..=128, any::<u64>()),
+        selector in 0usize..4,
+        set_seed in any::<u64>(),
+    ) {
+        let g = generators::sparse_connected(n, n / 2, seed);
+        let sources = source_set_for(g.node_count(), selector, set_seed);
+        let frontier = AmnesiacFlooding::multi_source(&g, sources.iter().copied()).run();
+        let dynamic = AmnesiacFlooding::multi_source(&g, sources.iter().copied())
+            .with_engine(FloodEngine::Dynamic { churn: ChurnSpec::NONE })
+            .run();
+        prop_assert_eq!(&frontier, &dynamic);
+        prop_assert_eq!(frontier.round_sets(), dynamic.round_sets());
+    }
+
+    /// Churned floods are deterministic in the spec and internally
+    /// consistent: identical reruns, receipt rounds within the executed
+    /// range, message conservation per round, and a node count that only
+    /// ever grows.
+    #[test]
+    fn churned_floods_are_deterministic_and_consistent(
+        (n, seed) in (4usize..=96, any::<u64>()),
+        rate_pm in 1u32..=250,
+        kind_sel in 0usize..3,
+        churn_seed in any::<u64>(),
+    ) {
+        let g = generators::sparse_connected(n, n / 2, seed);
+        let kind = [ChurnKind::Edge, ChurnKind::Nodes, ChurnKind::Mix][kind_sel];
+        let churn = ChurnSpec { kind, rate_pm, seed: churn_seed };
+        let cap = 2 * g.node_count() as u32 + 2;
+        let schedule = ChurnSchedule::generate(&g, churn, cap);
+
+        let mut a = DynamicFlooding::new(&g, [NodeId::new(0)], schedule.clone());
+        let outcome_a = a.run(cap);
+        let mut b = DynamicFlooding::new(&g, [NodeId::new(0)], schedule);
+        let outcome_b = b.run(cap);
+        prop_assert_eq!(outcome_a, outcome_b);
+        prop_assert_eq!(a.total_messages(), b.total_messages());
+        prop_assert_eq!(a.messages_lost(), b.messages_lost());
+
+        // Internal consistency.
+        let rounds = outcome_a.rounds_executed();
+        prop_assert_eq!(a.messages_per_round().len(), rounds as usize);
+        let sum: u64 = a.messages_per_round().iter().sum();
+        prop_assert_eq!(sum, a.total_messages());
+        prop_assert!(a.node_count() >= g.node_count(), "ids never shrink");
+        for v in (0..a.node_count()).map(NodeId::new) {
+            for &r in a.receipts(v) {
+                prop_assert!(r >= 1 && r <= rounds, "{} received at {}", v, r);
+            }
+        }
+    }
+}
+
+#[test]
+fn reset_between_churned_floods_is_reproducible() {
+    // The batch contract: reset restores the pristine base graph, so the
+    // same schedule replays to the same record.
+    let g = generators::sparse_connected(48, 24, 11);
+    let churn = ChurnSpec {
+        kind: ChurnKind::Mix,
+        rate_pm: 120,
+        seed: 3,
+    };
+    let cap = 2 * g.node_count() as u32 + 2;
+    let schedule = ChurnSchedule::generate(&g, churn, cap);
+    let mut sim = DynamicFlooding::new(&g, [NodeId::new(0)], schedule);
+    let first = (sim.run(cap), sim.total_messages(), sim.messages_lost());
+    sim.reset([NodeId::new(0)]);
+    let second = (sim.run(cap), sim.total_messages(), sim.messages_lost());
+    assert_eq!(first, second);
+}
