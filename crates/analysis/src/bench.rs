@@ -5,7 +5,7 @@
 //! activates at most twice), so sustained throughput — delivered messages
 //! (edge crossings) per second — is the honest scalar to track. The
 //! benchmark floods a grid of graph families from roughly `1e4` up to
-//! `1e6` edges with three engines:
+//! `1e6` edges with five engines:
 //!
 //! * `frontier` — [`af_core::FrontierFlooding`] via the batched
 //!   [`af_core::FloodBatch`] runner (allocation reuse across sources);
@@ -21,7 +21,13 @@
 //!   dynamic engine's zero-churn anchor; with a nonzero spec it measures
 //!   the churn workload and is excluded from the agreement conjunction
 //!   (its floods may legitimately cap out: termination is not a theorem
-//!   on dynamic graphs — `floods_terminated` records how many finished).
+//!   on dynamic graphs — `floods_terminated` records how many finished);
+//! * `bitlane` — [`af_core::BitLaneFlooding`]: the same floods packed up
+//!   to 64 at a time into the bit lanes of one `u64` per arc and advanced
+//!   together, one CSR pass per round (the `lanes` column records the
+//!   packing width: `min(64, floods)` here, 1 on every other engine).
+//!   Always measured and always in the agreement conjunction — per-lane
+//!   records must be bit-identical to `frontier`'s.
 //!
 //! All engines flood the same deterministic **source sets** of every graph
 //! — size-1 sets reproduce the classic single-source sweep, `--sources k`
@@ -32,11 +38,11 @@
 //! smoke configuration on every push and fails if the engines disagree or
 //! the JSON stops parsing.
 //!
-//! # `BENCH_flooding.json` schema (version 4)
+//! # `BENCH_flooding.json` schema (version 5)
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "benchmark": "flooding_throughput",
 //!   "mode": "full" | "smoke",
 //!   "all_engines_agree": true,
@@ -45,19 +51,20 @@
 //!       "family": "grid",
 //!       "spec": { "Grid": { "rows": 708, "cols": 708 } },
 //!       "nodes": 501264, "edges": 1001112,
-//!       "source_sets": [[0], [250632], [501263]],
+//!       "source_sets": [[0], [7958], ...],
 //!       "churn": "none",
 //!       "engines_agree": true,
 //!       "engines": [
 //!         { "engine": "frontier", "threads": 1, "threads_requested": 1,
 //!           "partitioner": "none", "sources": 1, "churn": "none",
-//!           "rounds_per_source": [1414, ...], "floods_terminated": 3,
-//!           "total_messages": 3003336, "wall_ms": 123.4,
-//!           "edges_per_sec": 24340000.0 },
+//!           "lanes": 1, "rounds_per_source": [1414, ...],
+//!           "floods_terminated": 64, "total_messages": 64071168,
+//!           "wall_ms": 1234.5, "edges_per_sec": 51900000.0 },
 //!         { "engine": "fast", ... },
 //!         { "engine": "sharded", "threads": 4, "threads_requested": 4,
 //!           "partitioner": "bfs", ... },
-//!         { "engine": "dynamic", "churn": "none", ... }
+//!         { "engine": "dynamic", "churn": "none", ... },
+//!         { "engine": "bitlane", "lanes": 64, ... }
 //!       ]
 //!     }, ...
 //!   ]
@@ -78,21 +85,26 @@
 //! the same field on every engine row (always `"none"` on the static
 //! engines), the `dynamic` engine row itself, and `floods_terminated`
 //! (meaningful on the dynamic row, where churned floods may cap out;
-//! always the flood count on static rows). Older files do not deserialize
-//! as [`CaseResult`]/[`EngineStats`], hence the bump rather than a silent
-//! same-version shape change.
+//! always the flood count on static rows). Version 5 added the bit-parallel
+//! engine: the `bitlane` row and the required per-engine `lanes` field
+//! (how many floods advanced per simulator pass: `min(64, floods)` on the
+//! bitlane row, 1 everywhere else); full mode now measures 64 floods per
+//! case so the bitlane row exercises a complete 64-lane word. Older files
+//! do not deserialize as [`CaseResult`]/[`EngineStats`], hence the bump
+//! rather than a silent same-version shape change.
 
 use crate::spec::GraphSpec;
+use af_core::bitlane::LANES;
 use af_core::{theory, FastFlooding, FloodBatch, FloodEngine};
 use af_graph::dynamic::ChurnSpec;
 use af_graph::{Graph, NodeId, PartitionStrategy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Version stamp written into every report. Version 4 = version 3 with
-/// the dynamic-graph engine row and the churn axis (per-case and
-/// per-engine `churn`, per-engine `floods_terminated`).
-pub const SCHEMA_VERSION: u32 = 4;
+/// Version stamp written into every report. Version 5 = version 4 with
+/// the bit-parallel `bitlane` engine row and the per-engine `lanes`
+/// field (floods advanced per simulator pass).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The `partitioner` value recorded for engines that do not partition.
 pub const NO_PARTITIONER: &str = "none";
@@ -104,7 +116,8 @@ pub const NO_CHURN: &str = "none";
 /// One engine's aggregate measurement over a case's source sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
-    /// Engine name: `"frontier"`, `"fast"`, `"sharded"`, or `"dynamic"`.
+    /// Engine name: `"frontier"`, `"fast"`, `"sharded"`, `"dynamic"`, or
+    /// `"bitlane"`.
     pub engine: String,
     /// Worker threads the engine actually used (1 for the serial engines;
     /// the sharded engine's request is clamped into
@@ -121,6 +134,9 @@ pub struct EngineStats {
     /// The churn workload this row measured: `"none"` for the static
     /// engines, the case's churn spec for the `dynamic` row.
     pub churn: String,
+    /// Floods advanced per simulator pass: `min(64, floods)` on the
+    /// bit-parallel `bitlane` row, 1 on every other engine.
+    pub lanes: usize,
     /// Termination round of each measured flood, in source-set order.
     /// For a churned flood that capped out (termination is not a theorem
     /// on dynamic graphs) this records the executed rounds — see
@@ -140,14 +156,16 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// A short human label: the engine name, annotated with the thread
-    /// count and partitioner when concurrency is in play, or with the
-    /// churn spec when churn is.
+    /// count and partitioner when concurrency is in play, with the churn
+    /// spec when churn is, or with the lane width when bit-packing is.
     #[must_use]
     pub fn label(&self) -> String {
         if self.threads > 1 {
             format!("{}x{}({})", self.engine, self.threads, self.partitioner)
         } else if self.churn != NO_CHURN {
             format!("{}({})", self.engine, self.churn)
+        } else if self.lanes > 1 {
+            format!("{}x{}lanes", self.engine, self.lanes)
         } else {
             self.engine.clone()
         }
@@ -419,14 +437,29 @@ fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> 
             NO_PARTITIONER.to_string(),
             churn.to_string(),
         ),
+        FloodEngine::BitLane => (
+            "bitlane",
+            1,
+            1,
+            NO_PARTITIONER.to_string(),
+            NO_CHURN.to_string(),
+        ),
+    };
+    let lanes = match engine {
+        FloodEngine::BitLane => LANES.min(source_sets.len()).max(1),
+        _ => 1,
     };
     let is_static = !matches!(engine, FloodEngine::Dynamic { .. });
+    // NodeId conversion is input prep, outside the timed window.
+    let node_sets: Vec<Vec<NodeId>> = source_sets
+        .iter()
+        .map(|set| set.iter().map(|&s| NodeId::new(s)).collect())
+        .collect();
     let start = Instant::now();
     let mut batch = FloodBatch::with_engine(g, engine);
-    let stats: Vec<af_core::FloodStats> = source_sets
-        .iter()
-        .map(|set| batch.run_from(set.iter().map(|&s| NodeId::new(s))))
-        .collect();
+    // run_many floods set after set on the serial/sharded/dynamic engines
+    // and packs up to 64 sets per pass on the bitlane engine.
+    let stats: Vec<af_core::FloodStats> = batch.run_many(&node_sets);
     let wall = start.elapsed();
     let rounds = stats
         .iter()
@@ -448,6 +481,7 @@ fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> 
         threads_requested,
         partitioner,
         churn,
+        lanes,
         source_sets,
         rounds,
         terminated,
@@ -482,6 +516,7 @@ fn measure_fast(g: &Graph, source_sets: &[Vec<usize>]) -> EngineStats {
         1,
         NO_PARTITIONER.to_string(),
         NO_CHURN.to_string(),
+        1,
         source_sets,
         rounds,
         source_sets.len(),
@@ -497,6 +532,7 @@ fn finish_stats(
     threads_requested: usize,
     partitioner: String,
     churn: String,
+    lanes: usize,
     source_sets: &[Vec<usize>],
     rounds: Vec<u32>,
     floods_terminated: usize,
@@ -510,6 +546,7 @@ fn finish_stats(
         partitioner,
         sources: source_sets.first().map_or(1, Vec::len),
         churn,
+        lanes,
         rounds_per_source: rounds,
         floods_terminated,
         total_messages: messages,
@@ -526,10 +563,12 @@ fn finish_stats(
 
 /// Runs one case: build the graph, sample `floods_per_graph` source sets
 /// of `sources_per_flood` nodes each, measure every engine (`frontier`,
-/// `fast`, `sharded` with the given concurrency, and `dynamic` under
-/// `churn`), and cross-check agreement (plus the multi-source oracle when
-/// `check_oracle`). The dynamic row joins the agreement conjunction only
-/// under the `"none"` churn spec, where it must match `frontier` exactly.
+/// `fast`, `sharded` with the given concurrency, `dynamic` under `churn`,
+/// and the bit-parallel `bitlane`), and cross-check agreement (plus the
+/// multi-source oracle when `check_oracle`). The dynamic row joins the
+/// agreement conjunction only under the `"none"` churn spec, where it
+/// must match `frontier` exactly; the `fast`, `sharded`, and `bitlane`
+/// rows are always in it.
 #[must_use]
 #[allow(clippy::too_many_arguments)] // one axis per benchmark dimension
 pub fn run_case(
@@ -548,8 +587,9 @@ pub fn run_case(
     let fast = measure_fast(&g, &source_sets);
     let sharded = measure_batch(&g, &source_sets, FloodEngine::Sharded { threads, strategy });
     let dynamic = measure_batch(&g, &source_sets, FloodEngine::Dynamic { churn });
+    let bitlane = measure_batch(&g, &source_sets, FloodEngine::BitLane);
 
-    let mut agree = [&fast, &sharded].iter().all(|e| {
+    let mut agree = [&fast, &sharded, &bitlane].iter().all(|e| {
         e.rounds_per_source == frontier.rounds_per_source
             && e.total_messages == frontier.total_messages
     });
@@ -575,7 +615,7 @@ pub fn run_case(
         source_sets,
         churn: churn.to_string(),
         engines_agree: agree,
-        engines: vec![frontier, fast, sharded, dynamic],
+        engines: vec![frontier, fast, sharded, dynamic, bitlane],
     }
 }
 
@@ -605,7 +645,12 @@ pub fn run_with(
     sources_per_flood: usize,
     churn: ChurnSpec,
 ) -> ThroughputReport {
-    let floods_per_graph = if smoke { 2 } else { 3 };
+    // Full mode floods each graph 64 times so the bitlane row advances a
+    // complete 64-lane word per case (the other engines run the same 64
+    // floods sequentially — that contrast is the point of the row).
+    // Smoke mode stays at 2 floods, small enough for CI; its bitlane row
+    // packs 2 lanes.
+    let floods_per_graph = if smoke { 2 } else { 64 };
     let mut results = Vec::new();
     for (family, specs) in cases(smoke) {
         for spec in &specs {
@@ -698,18 +743,24 @@ mod tests {
         assert_eq!(report.schema_version, SCHEMA_VERSION);
         assert_eq!(report.mode, "smoke");
         for case in &report.cases {
-            assert_eq!(case.engines.len(), 4);
+            assert_eq!(case.engines.len(), 5);
             assert_eq!(case.engines[0].engine, "frontier");
             assert_eq!(case.engines[1].engine, "fast");
             assert_eq!(case.engines[2].engine, "sharded");
             assert_eq!(case.engines[3].engine, "dynamic");
+            assert_eq!(case.engines[4].engine, "bitlane");
             assert!(case.engines[0].total_messages > 0);
             // The concurrency, source, and churn axes are recorded in
             // every row: serial engines carry threads = 1 / "none", the
             // sharded engine the configured shard count and partitioner,
             // and all rows the source-set size and churn spec of the
             // measured floods.
-            for serial in [&case.engines[0], &case.engines[1], &case.engines[3]] {
+            for serial in [
+                &case.engines[0],
+                &case.engines[1],
+                &case.engines[3],
+                &case.engines[4],
+            ] {
                 assert_eq!(serial.threads, 1);
                 assert_eq!(serial.threads_requested, 1);
                 assert_eq!(serial.partitioner, NO_PARTITIONER);
@@ -724,6 +775,16 @@ mod tests {
                 assert_eq!(e.floods_terminated, case.source_sets.len());
             }
             assert_eq!(case.churn, NO_CHURN);
+            // The lane axis: only the bitlane row packs floods.
+            for e in &case.engines[..4] {
+                assert_eq!(e.lanes, 1, "{}", e.engine);
+            }
+            assert_eq!(
+                case.engines[4].lanes,
+                case.source_sets.len().min(64),
+                "bitlane packs one lane per flood"
+            );
+            assert_eq!(case.engines[4].label(), "bitlanex2lanes");
             // Zero-churn anchor: the dynamic row equals the frontier row.
             assert_eq!(
                 case.engines[3].rounds_per_source,
@@ -731,6 +792,15 @@ mod tests {
             );
             assert_eq!(
                 case.engines[3].total_messages,
+                case.engines[0].total_messages
+            );
+            // Lane-exactness: the bitlane row equals the frontier row.
+            assert_eq!(
+                case.engines[4].rounds_per_source,
+                case.engines[0].rounds_per_source
+            );
+            assert_eq!(
+                case.engines[4].total_messages,
                 case.engines[0].total_messages
             );
             assert!(case.source_sets.iter().all(|s| s.len() == 1));
@@ -819,7 +889,7 @@ mod tests {
         assert_eq!(dynamic.rounds_per_source.len(), case.source_sets.len());
         assert!(dynamic.floods_terminated <= case.source_sets.len());
         assert!(dynamic.total_messages > 0);
-        for stat in &case.engines[..3] {
+        for stat in case.engines[..3].iter().chain([&case.engines[4]]) {
             assert_eq!(stat.churn, NO_CHURN, "{}", stat.engine);
         }
         // Same spec, same measurement (determinism across runs).

@@ -16,8 +16,14 @@
 //! 6. the proof's **`Re` is empty** (no even-duration round-set
 //!    recurrences);
 //! 7. **message complexity** is exactly `m` (bipartite) / `2m` (else).
+//!
+//! [`verify_bitlane`] extends the sweep to the bit-parallel engine: all
+//! `n ≤ 64` sources of a graph packed as lanes of **one**
+//! [`af_core::BitLaneFlooding`] word, every lane checked against the
+//! oracle's exact receive schedule — so the exhaustive theorem coverage is
+//! not a frontier-only privilege.
 
-use af_core::{roundsets, theory, AmnesiacFlooding};
+use af_core::{roundsets, theory, AmnesiacFlooding, BitLaneFlooding};
 use af_graph::enumerate::connected_graphs;
 use af_graph::{algo, Graph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -173,6 +179,54 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
     violations
 }
 
+/// Checks the bit-parallel engine on one graph: every source `s` becomes
+/// bit lane `s` of a **single** [`BitLaneFlooding`] word (so the graph
+/// must have at most 64 nodes), and each lane's termination round, receive
+/// rounds, and message count are compared against the exact-time oracle
+/// for that source. Returns violation descriptions (normally empty).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 nodes (the lane width).
+#[must_use]
+pub fn verify_bitlane(graph: &Graph) -> Vec<String> {
+    let mut violations = Vec::new();
+    let cap = 2 * graph.node_count() as u32 + 2;
+    let mut sim = BitLaneFlooding::new(graph, graph.nodes().map(|s| [s]));
+    let outcome = sim.run(cap);
+    if !outcome.is_terminated() {
+        violations.push(format!("{graph}: bitlane batch did not terminate"));
+        return violations;
+    }
+    for (lane, source) in graph.nodes().enumerate() {
+        let pred = theory::predict(graph, [source]);
+        let t = sim.lane_outcome(lane).termination_round();
+        if t != Some(pred.termination_round()) {
+            violations.push(format!(
+                "{graph} from {source}: bitlane T = {t:?} != oracle {}",
+                pred.termination_round()
+            ));
+        }
+        if sim.lane_messages(lane) != pred.total_messages() {
+            violations.push(format!(
+                "{graph} from {source}: bitlane {} messages != oracle {}",
+                sim.lane_messages(lane),
+                pred.total_messages()
+            ));
+        }
+        for v in graph.nodes() {
+            if sim.lane_receipts(v, lane) != pred.receive_rounds(v) {
+                violations.push(format!(
+                    "{graph} from {source}: node {v} bitlane {:?} != oracle {:?}",
+                    sim.lane_receipts(v, lane),
+                    pred.receive_rounds(v)
+                ));
+            }
+        }
+    }
+    violations
+}
+
 /// Verifies every claim on every connected labelled graph with `n` nodes,
 /// from every source.
 ///
@@ -239,6 +293,21 @@ mod tests {
         for v in g.nodes() {
             assert!(verify_one(&g, v).is_empty());
         }
+    }
+
+    #[test]
+    fn verify_bitlane_flags_nothing_on_good_instances() {
+        for g in [
+            af_graph::generators::petersen(),
+            af_graph::generators::grid(5, 6),
+            af_graph::generators::cycle(9),
+            af_graph::generators::complete(7),
+        ] {
+            assert!(verify_bitlane(&g).is_empty(), "{g}");
+        }
+        // A 64-node graph fills the word exactly.
+        let g = af_graph::generators::grid(8, 8);
+        assert!(verify_bitlane(&g).is_empty());
     }
 
     #[test]

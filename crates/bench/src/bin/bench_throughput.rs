@@ -2,8 +2,10 @@
 //!
 //! Floods a grid of graph families (sparse random, preferential
 //! attachment, random geometric, small world, grid) from ~1e4 up to ~1e6
-//! edges with the frontier-sparse engine, the scan-all-arcs baseline, and
-//! the sharded multicore engine, then writes the schema-stable
+//! edges with the frontier-sparse engine, the scan-all-arcs baseline, the
+//! sharded multicore engine, the dynamic-graph engine, and the 64-lane
+//! bit-parallel engine (the full grid floods 64 source sets per case so
+//! the bitlane row measures a full word), then writes the schema-stable
 //! `BENCH_flooding.json` (see [`af_analysis::bench`] for the schema).
 //!
 //! ```text

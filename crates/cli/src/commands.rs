@@ -44,13 +44,14 @@ pub fn parse_graph(text: &str) -> Result<Graph, af_graph::GraphError> {
     }
 }
 
-/// Parses the shared engine-selection options: `--engine frontier|sharded`,
-/// `--threads N`, `--partitioner contiguous|round-robin|bfs`, and
+/// Parses the shared engine-selection options:
+/// `--engine frontier|sharded|bitlane`, `--threads N`,
+/// `--partitioner contiguous|round-robin|bfs`, and
 /// `--churn kind:rate_pm:seed` (which selects the dynamic engine). The
 /// default engine is `frontier`; `--threads`/`--partitioner` imply
-/// `sharded`, and contradictory combinations — `--engine frontier` with
-/// sharding options, or `--churn` with any of the static-engine options —
-/// are rejected rather than silently ignored.
+/// `sharded`, and contradictory combinations — `--engine frontier` or
+/// `--engine bitlane` with sharding options, or `--churn` with any of the
+/// static-engine options — are rejected rather than silently ignored.
 fn engine_choice(args: &Args) -> Result<FloodEngine, CommandError> {
     let threads: usize = args.parsed_or::<usize>("threads", 4)?.max(1);
     let strategy: PartitionStrategy = args.parsed_or("partitioner", PartitionStrategy::Bfs)?;
@@ -71,7 +72,13 @@ fn engine_choice(args: &Args) -> Result<FloodEngine, CommandError> {
         ),
         Some("frontier") => Ok(FloodEngine::Frontier),
         Some("sharded") => Ok(FloodEngine::Sharded { threads, strategy }),
-        Some(other) => Err(format!("unknown engine '{other}' (use frontier or sharded)").into()),
+        Some("bitlane") if implied => Err(
+            "--threads/--partitioner only apply to --engine sharded (drop --engine bitlane)".into(),
+        ),
+        Some("bitlane") => Ok(FloodEngine::BitLane),
+        Some(other) => {
+            Err(format!("unknown engine '{other}' (use frontier, sharded, or bitlane)").into())
+        }
         None if implied => Ok(FloodEngine::Sharded { threads, strategy }),
         None => Ok(FloodEngine::Frontier),
     }
@@ -89,7 +96,7 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 }
 
 /// `amnesiac flood <file> [--source N | --sources a,b,c] [--max-rounds N]
-/// [--engine frontier|sharded] [--threads N]
+/// [--engine frontier|sharded|bitlane] [--threads N]
 /// [--partitioner contiguous|round-robin|bfs]
 /// [--churn kind:rate_pm:seed] [--trace] [--receipts]`
 ///
@@ -131,6 +138,11 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
             }
             FloodEngine::Dynamic { churn } => {
                 let _ = writeln!(out, "engine: dynamic (churn {churn})");
+            }
+            FloodEngine::BitLane => {
+                // One flood occupies one of the 64 bit lanes; the engine
+                // earns its keep in batches, but stays lane-exact solo.
+                let _ = writeln!(out, "engine: bitlane (bit-parallel, 1 of 64 lanes)");
             }
             FloodEngine::Frontier => {}
         }
@@ -487,7 +499,8 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
 /// [--partitioner contiguous|round-robin|bfs] [--sources K]
 /// [--churn kind:rate_pm:seed] [--out <path>]` — the flooding throughput
 /// benchmark (frontier engine vs scan baseline vs the sharded multicore
-/// engine vs the dynamic-graph engine). The default is the smoke grid;
+/// engine vs the dynamic-graph engine vs the 64-lane bit-parallel
+/// engine). The default is the smoke grid;
 /// `--full` runs the ~1e4..1e6-edge grid that produces the repository's
 /// `BENCH_flooding.json`. `--threads` (default 4) and `--partitioner`
 /// (default bfs) configure the sharded engine's concurrency axis;
@@ -528,7 +541,8 @@ usage: amnesiac <command> [args]
 commands:
   flood <file>    run a flood          [--source N | --sources a,b,c]
                                        [--max-rounds N] [--trace] [--receipts]
-                                       [--engine frontier|sharded] [--threads N]
+                                       [--engine frontier|sharded|bitlane]
+                                       [--threads N]
                                        [--partitioner contiguous|round-robin|bfs]
                                        [--churn edge|nodes|mix:rate_pm:seed]
   predict <file>  oracle, no simulation [--source N | --sources a,b,c]
@@ -548,7 +562,8 @@ commands:
                   [--threads N] [--partitioner contiguous|round-robin|bfs]
                   [--sources K] [--churn kind:rate_pm:seed]
                   (frontier engine vs scan baseline vs sharded multicore
-                  engine vs dynamic-graph engine; --full is the
+                  engine vs dynamic-graph engine vs 64-lane bit-parallel
+                  engine; --full is the
                   BENCH_flooding.json grid, ~1e4..1e6 edges per family;
                   --sources floods from K-node source sets instead of
                   single sources; --churn sets the dynamic row's workload)
@@ -658,6 +673,49 @@ mod tests {
         assert!(cmd_flood(&args).is_err());
         let args = Args::parse([path.as_str(), "--partitioner", "metis"]).unwrap();
         assert!(cmd_flood(&args).is_err());
+    }
+
+    #[test]
+    fn flood_bitlane_engine_matches_frontier() {
+        let path = petersen_file();
+        let base = cmd_flood(&Args::parse([path.as_str(), "--source", "0"]).unwrap()).unwrap();
+        let args = Args::parse([path.as_str(), "--source", "0", "--engine", "bitlane"]).unwrap();
+        let out = cmd_flood(&args).unwrap();
+        assert!(out.contains("engine: bitlane"), "{out}");
+        // Identical record, line for line after the engine banner.
+        for line in base.lines() {
+            assert!(out.contains(line), "missing '{line}' in {out}");
+        }
+        // Multi-source and --receipts go through the same lane.
+        let with_receipts = cmd_flood(
+            &Args::parse([
+                path.as_str(),
+                "--sources",
+                "0,7,9",
+                "--engine",
+                "bitlane",
+                "--receipts",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(
+            with_receipts.contains("receive schedule"),
+            "{with_receipts}"
+        );
+        assert!(
+            with_receipts.contains("informed nodes: 10 / 10"),
+            "{with_receipts}"
+        );
+        // Contradictory combinations are rejected, not silently ignored.
+        for bad in [
+            vec![path.as_str(), "--engine", "bitlane", "--threads", "2"],
+            vec![path.as_str(), "--engine", "bitlane", "--partitioner", "bfs"],
+            vec![path.as_str(), "--engine", "bitlane", "--churn", "mix:50:1"],
+        ] {
+            let args = Args::parse(bad.clone()).unwrap();
+            assert!(cmd_flood(&args).is_err(), "{bad:?}");
+        }
     }
 
     #[test]
@@ -883,9 +941,11 @@ mod tests {
         assert!(text.contains("shardedx2(bfs)"), "{text}");
         let written = std::fs::read_to_string(&out).unwrap();
         assert!(written.contains("\"flooding_throughput\""));
-        assert!(written.contains("\"schema_version\": 4"));
+        assert!(written.contains("\"schema_version\": 5"));
         assert!(written.contains("\"sharded\""));
         assert!(written.contains("\"dynamic\""));
+        assert!(written.contains("\"bitlane\""));
+        assert!(written.contains("\"lanes\": 2"));
         assert!(written.contains("\"partitioner\": \"bfs\""));
         assert!(written.contains("\"sources\": 2"));
         assert!(written.contains("\"source_sets\""));

@@ -21,6 +21,11 @@
 //!   bit-identical to the frontier engine for any shard count;
 //! * [`FastFlooding`] — the scan-all-arcs bitset simulator, an independent
 //!   implementation kept as the cross-check and benchmark baseline;
+//! * [`BitLaneFlooding`] (module [`bitlane`]) — the bit-parallel engine:
+//!   up to 64 **independent** floods packed into the bit lanes of one
+//!   `u64` per arc, all advanced by a single CSR pass per round with
+//!   word-wide `AND`/`OR`/`ANDNOT` and per-lane termination masks — every
+//!   lane bit-identical to [`FrontierFlooding`] on its own source set;
 //! * [`DynamicFlooding`] — the frontier engine lifted onto the
 //!   [`af_graph::dynamic`] delta-edit overlay: churn batches (edge
 //!   insert/delete, node join/leave) apply at round boundaries mid-flood,
@@ -72,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arbitrary;
+pub mod bitlane;
 pub mod detect;
 pub mod roundsets;
 pub mod sharded;
@@ -87,6 +93,7 @@ mod frontier;
 mod protocol;
 mod run;
 
+pub use bitlane::BitLaneFlooding;
 pub use dynamic::DynamicFlooding;
 pub use fast::FastFlooding;
 pub use frontier::FrontierFlooding;

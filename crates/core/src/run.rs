@@ -8,6 +8,7 @@
 //! and can be switched to the multicore [`crate::ShardedFlooding`] backend
 //! through [`FloodEngine`] — the two produce bit-identical records.
 
+use crate::bitlane::{BitLaneFlooding, LANES};
 use crate::dynamic::DynamicFlooding;
 use crate::frontier::FrontierFlooding;
 use crate::sharded::ShardedFlooding;
@@ -52,6 +53,13 @@ pub enum FloodEngine {
         /// The churn workload; `ChurnSpec::NONE` means an empty schedule.
         churn: ChurnSpec,
     },
+    /// Bit-parallel engine ([`BitLaneFlooding`]): packs up to 64
+    /// independent floods into the bit lanes of one `u64` per arc and
+    /// advances them all in a single CSR pass per round. A single flood
+    /// occupies lane 0 alone; the engine pays off through
+    /// [`FloodBatch::run_many`], which chunks a flood list into 64-lane
+    /// groups.
+    BitLane,
 }
 
 /// Builder for an amnesiac-flooding execution ([C-BUILDER]).
@@ -138,10 +146,10 @@ impl<'g> AmnesiacFlooding<'g> {
     /// # Panics
     ///
     /// [`AmnesiacFlooding::run`] panics if a churn schedule is combined
-    /// with the [`FloodEngine::Sharded`] engine — churn floods run on the
-    /// dynamic engine only, and silently switching engines would
-    /// mislabel the record (the CLI rejects the same combination as an
-    /// argument error).
+    /// with the [`FloodEngine::Sharded`] or [`FloodEngine::BitLane`]
+    /// engines — churn floods run on the dynamic engine only, and silently
+    /// switching engines would mislabel the record (the CLI rejects the
+    /// same combinations as argument errors).
     #[must_use]
     pub fn with_churn(mut self, schedule: ChurnSchedule) -> Self {
         self.churn = Some(schedule);
@@ -168,9 +176,9 @@ impl<'g> AmnesiacFlooding<'g> {
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
         let sources = self.sources.iter().copied();
         let dynamic_sim = match (&self.churn, self.engine) {
-            (Some(_), FloodEngine::Sharded { .. }) => panic!(
+            (Some(_), FloodEngine::Sharded { .. } | FloodEngine::BitLane) => panic!(
                 "churn floods run on the dynamic engine; do not combine \
-                 with_churn with the sharded engine"
+                 with_churn with the sharded or bitlane engines"
             ),
             (Some(schedule), _) => {
                 Some(DynamicFlooding::new(self.graph, sources, schedule.clone()))
@@ -218,6 +226,23 @@ impl<'g> AmnesiacFlooding<'g> {
                     self.graph.node_count(),
                     outcome,
                     |v| sim.receipts(v),
+                    sim.messages_per_round(),
+                    sim.total_messages(),
+                )
+            }
+            FloodEngine::BitLane => {
+                let mut sim = BitLaneFlooding::new(self.graph, [self.sources.iter().copied()]);
+                let outcome = sim.run(cap);
+                let n = self.graph.node_count();
+                // Unpack lane 0's receipts from the (round, lane mask)
+                // pairs into the per-node round lists `collect` consumes.
+                let receipts: Vec<Vec<u32>> = (0..n)
+                    .map(|i| sim.lane_receipts(NodeId::new(i), 0))
+                    .collect();
+                self.collect(
+                    n,
+                    outcome,
+                    |v| receipts[v.index()].as_slice(),
                     sim.messages_per_round(),
                     sim.total_messages(),
                 )
@@ -439,9 +464,11 @@ impl FloodStats {
 
 /// Batched multi-source flood runner: executes many floods on one graph
 /// through a single reusable simulator ([`FrontierFlooding`] by default,
-/// [`crate::ShardedFlooding`] via [`FloodBatch::with_engine`]), so
-/// per-flood cost is the intrinsic `O(messages)` work with **no per-source
-/// allocation**.
+/// [`crate::ShardedFlooding`] or the bit-parallel [`BitLaneFlooding`] via
+/// [`FloodBatch::with_engine`]), so per-flood cost is the intrinsic
+/// `O(messages)` work with **no per-source allocation**. On the bitlane
+/// engine, [`FloodBatch::run_many`] additionally advances up to 64 floods
+/// per simulator pass.
 ///
 /// Receipt recording is off (the batch reports [`FloodStats`], not full
 /// schedules), which is what makes [`FrontierFlooding::reset`] constant
@@ -483,6 +510,9 @@ enum BatchSim<'g> {
     /// Boxed: the owned graphs make it much larger than the borrowing
     /// variants, and a batch holds exactly one simulator.
     Dynamic(Box<DynamicFlooding>),
+    /// Boxed for the same reason: the inline per-lane termination and
+    /// message arrays (64 lanes each) dwarf the borrowing variants.
+    BitLane(Box<BitLaneFlooding<'g>>),
 }
 
 impl<'g> FloodBatch<'g> {
@@ -524,6 +554,11 @@ impl<'g> FloodBatch<'g> {
                     max_rounds: None,
                     churn_spec: Some(churn),
                 };
+            }
+            FloodEngine::BitLane => {
+                let mut sim = BitLaneFlooding::new(graph, core::iter::empty::<[NodeId; 0]>());
+                sim.set_record_receipts(false);
+                BatchSim::BitLane(Box::new(sim))
             }
         };
         FloodBatch {
@@ -574,6 +609,7 @@ impl<'g> FloodBatch<'g> {
             BatchSim::Frontier(sim) => sim.graph(),
             BatchSim::Sharded(sim) => sim.graph(),
             BatchSim::Dynamic(sim) => sim.base_graph(),
+            BatchSim::BitLane(sim) => sim.graph(),
         }
     }
 
@@ -611,18 +647,72 @@ impl<'g> FloodBatch<'g> {
                     total_messages: sim.total_messages(),
                 }
             }
+            // A single flood occupies lane 0 alone; with one lane the
+            // all-lane outcome and message total are the lane's own.
+            BatchSim::BitLane(sim) => {
+                sim.reset([sources]);
+                FloodStats {
+                    outcome: sim.run(cap),
+                    total_messages: sim.total_messages(),
+                }
+            }
+        }
+    }
+
+    /// Runs one flood per source set, in order, and returns one
+    /// [`FloodStats`] per set (see [`FloodBatch::run_many_into`]).
+    pub fn run_many(&mut self, source_sets: &[Vec<NodeId>]) -> Vec<FloodStats> {
+        let mut out = Vec::with_capacity(source_sets.len());
+        self.run_many_into(source_sets, &mut out);
+        out
+    }
+
+    /// Runs one flood per source set, in order, appending one
+    /// [`FloodStats`] per set to `out`. On the [`FloodEngine::BitLane`]
+    /// engine the sets are chunked into groups of up to 64 bit lanes and
+    /// each group floods in one bit-parallel run — `chunks` leaves the
+    /// final partial group exactly `len % 64` lanes wide (or a full 64
+    /// when the count divides evenly), so no lane is ever padded or
+    /// dropped. Every other engine floods the sets one by one via
+    /// [`FloodBatch::run_from`]. A warm batch appends into spare `out`
+    /// capacity without touching the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn run_many_into(&mut self, source_sets: &[Vec<NodeId>], out: &mut Vec<FloodStats>) {
+        if !matches!(self.sim, BatchSim::BitLane(_)) {
+            for set in source_sets {
+                let stats = self.run_from(set.iter().copied());
+                out.push(stats);
+            }
+            return;
+        }
+        let cap = self
+            .max_rounds
+            .unwrap_or_else(|| 2 * self.graph().node_count() as u32 + 2);
+        let BatchSim::BitLane(sim) = &mut self.sim else {
+            unreachable!("checked above");
+        };
+        for chunk in source_sets.chunks(LANES) {
+            sim.reset(chunk.iter().map(|set| set.iter().copied()));
+            sim.run(cap);
+            debug_assert_eq!(sim.lane_count(), chunk.len());
+            for lane in 0..chunk.len() {
+                out.push(FloodStats {
+                    outcome: sim.lane_outcome(lane),
+                    total_messages: sim.lane_messages(lane),
+                });
+            }
         }
     }
 
     /// Runs one single-source flood from every node of the graph, in node
-    /// order — `n` floods, one simulator, zero reallocations.
+    /// order — `n` floods, one simulator, zero *per-flood* reallocations
+    /// (on the bitlane engine: `⌈n / 64⌉` bit-parallel runs).
     pub fn run_all_single_sources(&mut self) -> Vec<FloodStats> {
-        self.graph()
-            .nodes()
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|s| self.run_from([s]))
-            .collect()
+        let sets: Vec<Vec<NodeId>> = self.graph().nodes().map(|s| vec![s]).collect();
+        self.run_many(&sets)
     }
 }
 
@@ -828,6 +918,100 @@ mod tests {
     #[test]
     fn default_engine_is_frontier() {
         assert_eq!(FloodEngine::default(), FloodEngine::Frontier);
+    }
+
+    #[test]
+    fn bitlane_engine_does_not_change_the_record() {
+        let g = generators::petersen();
+        let base = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()]).run();
+        let bitlane = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()])
+            .with_engine(FloodEngine::BitLane)
+            .run();
+        assert_eq!(base, bitlane);
+
+        // Cap behaviour is engine-independent too.
+        let g = generators::cycle(3);
+        let capped = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_engine(FloodEngine::BitLane)
+            .with_max_rounds(2)
+            .run();
+        assert!(!capped.terminated());
+        assert_eq!(capped.rounds_executed(), 2);
+    }
+
+    #[test]
+    fn bitlane_batch_matches_frontier_batch() {
+        let g = generators::lollipop(4, 5);
+        let mut frontier = FloodBatch::new(&g);
+        let mut bitlane = FloodBatch::with_engine(&g, FloodEngine::BitLane);
+        for v in g.nodes() {
+            assert_eq!(frontier.run_from([v]), bitlane.run_from([v]), "{v}");
+        }
+        assert_eq!(
+            frontier.run_all_single_sources(),
+            bitlane.run_all_single_sources()
+        );
+    }
+
+    #[test]
+    fn run_many_chunking_boundaries_match_run_from() {
+        // The classic partial-word boundaries: under one word (n < 64),
+        // exactly one word, one over, and a multi-word tail (% 64 != 0).
+        let g = generators::petersen();
+        let mut frontier = FloodBatch::new(&g);
+        let mut bitlane = FloodBatch::with_engine(&g, FloodEngine::BitLane);
+        for floods in [1usize, 2, 63, 64, 65, 128, 130] {
+            let sets: Vec<Vec<NodeId>> = (0..floods)
+                .map(|i| vec![NodeId::new(i % g.node_count())])
+                .collect();
+            let want: Vec<FloodStats> = sets
+                .iter()
+                .map(|s| frontier.run_from(s.iter().copied()))
+                .collect();
+            let got = bitlane.run_many(&sets);
+            assert_eq!(got, want, "{floods} floods");
+            // The generic path chunks identically from a warm batch.
+            let mut again = Vec::new();
+            bitlane.run_many_into(&sets, &mut again);
+            assert_eq!(again, want, "{floods} floods (into)");
+        }
+    }
+
+    #[test]
+    fn run_many_on_frontier_engine_matches_run_from() {
+        let g = generators::petersen();
+        let sets: Vec<Vec<NodeId>> = vec![
+            vec![0.into()],
+            vec![3.into(), 7.into()],
+            vec![1.into(), 2.into(), 9.into()],
+        ];
+        let mut batch = FloodBatch::new(&g);
+        let via_many = batch.run_many(&sets);
+        let via_from: Vec<FloodStats> = sets
+            .iter()
+            .map(|s| batch.run_from(s.iter().copied()))
+            .collect();
+        assert_eq!(via_many, via_from);
+    }
+
+    #[test]
+    fn bitlane_batch_respects_the_cap_per_flood() {
+        let g = generators::cycle(3);
+        let mut batch = FloodBatch::with_engine(&g, FloodEngine::BitLane).with_max_rounds(2);
+        let stats = batch.run_from([0.into()]);
+        assert!(!stats.terminated());
+        let many = batch.run_many(&[vec![0.into()], vec![1.into()]]);
+        assert!(many.iter().all(|s| !s.terminated()));
+    }
+
+    #[test]
+    #[should_panic(expected = "churn floods run on the dynamic engine")]
+    fn churn_with_bitlane_engine_is_rejected_not_silently_switched() {
+        let g = generators::cycle(6);
+        let _ = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_engine(FloodEngine::BitLane)
+            .with_churn(ChurnSchedule::empty())
+            .run();
     }
 
     #[test]

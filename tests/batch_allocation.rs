@@ -9,7 +9,7 @@
 //! own test binary, so the hook is invisible to every other suite) and
 //! asserts the allocation counter does not move across the second pass.
 
-use amnesiac_flooding::core::FloodBatch;
+use amnesiac_flooding::core::{FloodBatch, FloodEngine};
 use amnesiac_flooding::graph::{generators, NodeId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,4 +84,44 @@ fn warm_flood_batch_is_allocation_free_across_mixed_set_sizes() {
     assert!(expected.iter().all(|s| s.total_messages() > 0));
     let probe: Vec<u8> = vec![1, 2, 3];
     assert!(ALLOCATIONS.load(Ordering::SeqCst) > before, "{probe:?}");
+}
+
+#[test]
+fn warm_bitlane_batch_is_allocation_free_across_mixed_set_sizes() {
+    let g = generators::sparse_connected(600, 900, 42);
+
+    // 70 mixed-size sets: more than one 64-lane word, so the second pass
+    // exercises a full chunk AND the 6-lane tail through the chunked
+    // bit-parallel runner.
+    let source_sets: Vec<Vec<NodeId>> = (0..70)
+        .map(|i| source_set_for(g.node_count(), [3usize, 0, 2, 1][i % 4], 42 ^ i as u64))
+        .collect();
+
+    let mut batch = FloodBatch::with_engine(&g, FloodEngine::BitLane);
+
+    // Pass 1 (warm-up): grows every internal buffer — lane words, active
+    // lists, receipt scratch — to its high-water mark.
+    let mut expected = Vec::with_capacity(source_sets.len());
+    batch.run_many_into(&source_sets, &mut expected);
+
+    // Pass 2: identical floods into a pre-sized output vector, zero
+    // allocator traffic allowed.
+    let mut got = Vec::with_capacity(source_sets.len());
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    batch.run_many_into(&source_sets, &mut got);
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    assert_eq!(got, expected, "reused bitlane batch diverged from warm-up");
+    assert_eq!(
+        delta, 0,
+        "bitlane FloodBatch allocated {delta} times across mixed source-set sizes"
+    );
+
+    // Sanity: real floods, and the bitlane engine agrees with the
+    // frontier engine on every one of them.
+    assert!(expected.iter().all(|s| s.terminated()));
+    assert!(expected.iter().all(|s| s.total_messages() > 0));
+    let mut frontier = FloodBatch::new(&g);
+    let reference: Vec<_> = frontier.run_many(&source_sets);
+    assert_eq!(expected, reference);
 }

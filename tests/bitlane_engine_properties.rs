@@ -1,0 +1,227 @@
+//! Differential property suite for the bit-parallel engine: every bit
+//! lane of a [`BitLaneFlooding`] batch must be **bit-identical** to a
+//! standalone [`FrontierFlooding`] run of the same source set — per-lane
+//! round sets, receive rounds, message counts, and termination round —
+//! and every lane's termination must sit inside the multi-source oracle
+//! window `e(S) < T ≤ e(S) + D + 1` (with equality `T = e(S)` for
+//! monochromatic-bipartite sets, which `theory::termination_bounds`
+//! folds into its interval). Bit-packing is exactly the kind of
+//! optimisation that fails silently on one lane in a million; this suite
+//! is the reason it can't.
+
+use amnesiac_flooding::core::{theory, BitLaneFlooding, FrontierFlooding};
+use amnesiac_flooding::graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+mod common;
+use common::source_set_for;
+
+/// The lane counts the suite pins: a lone lane, a mid-word count, and the
+/// two partial-word classics (63 = one short of full, 64 = exactly full).
+const LANE_COUNTS: [usize; 4] = [1, 17, 63, 64];
+
+/// Builds `lanes` source sets off the shared ladder, cycling the set-size
+/// selector through |S| ∈ {1, 2, ⌈√n⌉} so one word mixes sizes.
+fn lane_sources(n: usize, lanes: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    (0..lanes)
+        .map(|l| {
+            let selector = [0usize, 1, 3][l % 3];
+            source_set_for(
+                n,
+                selector,
+                seed ^ (l as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+        })
+        .collect()
+}
+
+/// Asserts every lane of one bit-parallel batch equals a standalone
+/// frontier flood of the same set, in every observable the engines share.
+fn check_lanes_against_frontier(g: &Graph, sets: &[Vec<NodeId>]) -> Result<(), TestCaseError> {
+    let cap = 2 * g.node_count() as u32 + 2;
+    let mut batch = BitLaneFlooding::new(g, sets.iter().map(|s| s.iter().copied()));
+    let outcome = batch.run(cap);
+    prop_assert!(outcome.is_terminated(), "Theorem 3.1: floods terminate");
+    prop_assert_eq!(batch.lane_count(), sets.len());
+    prop_assert_eq!(batch.live_lanes(), 0, "terminated batch has no live lane");
+
+    let mut max_lane_round = 0;
+    for (lane, set) in sets.iter().enumerate() {
+        let mut solo = FrontierFlooding::new(g, set.iter().copied());
+        let solo_outcome = solo.run(cap);
+        // Termination round, bit-identical.
+        prop_assert_eq!(
+            batch.lane_outcome(lane),
+            solo_outcome,
+            "lane {} of {}: outcome",
+            lane,
+            sets.len()
+        );
+        // Message count, bit-identical.
+        prop_assert_eq!(
+            batch.lane_messages(lane),
+            solo.total_messages(),
+            "lane {} of {}: messages",
+            lane,
+            sets.len()
+        );
+        // Receive rounds (and hence the round sets R_1..R_T), node for node.
+        for v in g.nodes() {
+            prop_assert_eq!(
+                batch.lane_receipts(v, lane),
+                solo.receipts(v).to_vec(),
+                "lane {} of {}: receipts at {}",
+                lane,
+                sets.len(),
+                v
+            );
+        }
+        max_lane_round = max_lane_round.max(solo_outcome.rounds_executed());
+    }
+    // The all-lane outcome is the max over the per-lane rounds.
+    prop_assert_eq!(outcome.termination_round(), Some(max_lane_round));
+    Ok(())
+}
+
+/// Asserts each lane's termination round lies in the oracle window
+/// returned by `theory::termination_bounds` (equality for
+/// monochromatic-bipartite sets, `e(S) < T ≤ e(S) + D + 1` otherwise).
+fn check_lanes_against_oracle_window(g: &Graph, sets: &[Vec<NodeId>]) -> Result<(), TestCaseError> {
+    let cap = 2 * g.node_count() as u32 + 2;
+    let mut batch = BitLaneFlooding::new(g, sets.iter().map(|s| s.iter().copied()));
+    batch.run(cap);
+    for (lane, set) in sets.iter().enumerate() {
+        let (lo, hi) = theory::termination_bounds(g, set.iter().copied())
+            .expect("connected graph: bounds exist");
+        let t = batch
+            .lane_outcome(lane)
+            .termination_round()
+            .expect("terminated");
+        prop_assert!(
+            (lo..=hi).contains(&t),
+            "lane {}: T = {} outside oracle window [{}, {}] for |S| = {}",
+            lane,
+            t,
+            lo,
+            hi,
+            set.len()
+        );
+    }
+    Ok(())
+}
+
+prop_compose! {
+    /// Random connected graphs up to n = 192 (the per-case work is
+    /// `lanes` standalone frontier floods, so the suite stays quick).
+    fn connected_graph()(
+        (n, extra_frac, seed) in (2usize..=192, 0usize..200, any::<u64>())
+    ) -> Graph {
+        let extra = n * extra_frac / 100;
+        generators::sparse_connected(n, extra, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline differential: random graph × the lane-count ladder
+    /// {1, 17, 63, 64} × mixed |S| ∈ {1, 2, ⌈√n⌉} sets — every lane
+    /// bit-identical to the frontier engine.
+    #[test]
+    fn every_lane_matches_a_standalone_frontier_flood(
+        g in connected_graph(),
+        lane_idx in 0usize..4,
+        seed in any::<u64>()
+    ) {
+        let lanes = LANE_COUNTS[lane_idx];
+        let sets = lane_sources(g.node_count(), lanes, seed);
+        check_lanes_against_frontier(&g, &sets)?;
+    }
+
+    /// Every lane's termination round sits in the multi-source oracle
+    /// window `e(S) < T ≤ e(S) + D + 1`.
+    #[test]
+    fn every_lane_terminates_inside_the_oracle_window(
+        g in connected_graph(),
+        lane_idx in 0usize..4,
+        seed in any::<u64>()
+    ) {
+        let lanes = LANE_COUNTS[lane_idx];
+        let sets = lane_sources(g.node_count(), lanes, seed);
+        check_lanes_against_oracle_window(&g, &sets)?;
+    }
+
+    /// Partially-terminated batches: lanes sourced in a bipartite
+    /// component (terminates at e(S)) share their word with lanes in an
+    /// odd-cycle component (2D + 1 > e(S)), so some lanes go silent
+    /// rounds before others — the per-lane termination-mask path must
+    /// keep every surviving lane exact.
+    #[test]
+    fn mixed_bipartite_and_odd_cycle_lanes_terminate_independently(
+        path_len in 2usize..40,
+        half_cycle in 1usize..20,
+        lane_idx in 0usize..4,
+        seed in any::<u64>()
+    ) {
+        // Disconnected graph: an even path P ∪ an odd cycle C.
+        let cycle_len = 2 * half_cycle + 1;
+        let mut edges: Vec<(usize, usize)> =
+            (0..path_len - 1).map(|i| (i, i + 1)).collect();
+        for i in 0..cycle_len {
+            edges.push((path_len + i, path_len + (i + 1) % cycle_len));
+        }
+        let n = path_len + cycle_len;
+        let g = Graph::from_edges(n, edges.iter().copied()).unwrap();
+
+        // Alternate lanes between the two components, walking the seed.
+        let lanes = LANE_COUNTS[lane_idx];
+        let mut x = seed;
+        let sets: Vec<Vec<NodeId>> = (0..lanes)
+            .map(|l| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = (x >> 33) as usize;
+                if l % 2 == 0 {
+                    vec![NodeId::new(r % path_len)]
+                } else {
+                    vec![NodeId::new(path_len + r % cycle_len)]
+                }
+            })
+            .collect();
+        check_lanes_against_frontier(&g, &sets)?;
+
+        // The bipartite-path lanes really do die earlier than a
+        // still-running odd-cycle flood when the cycle is the larger
+        // component — the case that exercises the lane mask.
+        if lanes >= 2 {
+            let mut batch = BitLaneFlooding::new(&g, sets.iter().map(|s| s.iter().copied()));
+            batch.run(2 * n as u32 + 2);
+            let t_path = batch.lane_outcome(0).termination_round().unwrap();
+            let t_cycle = batch.lane_outcome(1).termination_round().unwrap();
+            prop_assert!(t_path <= (path_len - 1) as u32, "bipartite lane ≤ e(S) bound");
+            prop_assert_eq!(u64::from(t_cycle), cycle_len as u64, "odd cycle: T = 2D + 1");
+        }
+    }
+
+    /// A reused (reset) batch behaves exactly like a fresh one — the
+    /// chunked runner depends on this.
+    #[test]
+    fn reset_batches_stay_lane_exact(
+        g in connected_graph(),
+        seed in any::<u64>()
+    ) {
+        let n = g.node_count();
+        let mut batch = BitLaneFlooding::new(&g, [vec![NodeId::new(0)]]);
+        batch.run(2 * n as u32 + 2);
+        for (round, lanes) in [(1usize, 64usize), (2, 17), (3, 1), (4, 63)] {
+            let sets = lane_sources(n, lanes, seed ^ round as u64);
+            batch.reset(sets.iter().map(|s| s.iter().copied()));
+            batch.run(2 * n as u32 + 2);
+            for (lane, set) in sets.iter().enumerate() {
+                let mut solo = FrontierFlooding::new(&g, set.iter().copied());
+                let solo_outcome = solo.run(2 * n as u32 + 2);
+                prop_assert_eq!(batch.lane_outcome(lane), solo_outcome);
+                prop_assert_eq!(batch.lane_messages(lane), solo.total_messages());
+            }
+        }
+    }
+}

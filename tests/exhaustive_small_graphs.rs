@@ -7,7 +7,7 @@
 //! of the reproduction. `n = 7` is available behind `--ignored` for
 //! release-mode sessions.
 
-use amnesiac_flooding::analysis::exhaustive::{verify_all_connected, verify_one};
+use amnesiac_flooding::analysis::exhaustive::{verify_all_connected, verify_bitlane, verify_one};
 use amnesiac_flooding::graph::enumerate::{connected_graph_count, connected_graphs};
 use amnesiac_flooding::graph::generators;
 
@@ -36,6 +36,32 @@ fn all_26704_connected_six_node_graphs_satisfy_all_claims() {
     );
     // The slowest 6-node flood: C5 plus a pendant... in any case ≤ 2D+1 ≤ 11.
     assert!(report.max_termination_round() <= 11);
+}
+
+/// The same exhaustive sweep through the bit-parallel engine: for every
+/// connected graph on `n ≤ 6` nodes, ALL sources flood at once as lanes
+/// of one `u64` word, and every lane must reproduce the oracle's exact
+/// receive schedule. This closes the gap where only the baseline/frontier
+/// engines got exhaustive coverage.
+#[test]
+fn bitlane_engine_is_lane_exact_on_all_graphs_up_to_n6() {
+    let mut graphs = 0u64;
+    for n in 1..=6 {
+        for g in connected_graphs(n) {
+            graphs += 1;
+            let violations = verify_bitlane(&g);
+            assert!(
+                violations.is_empty(),
+                "n = {n}: {:?}",
+                &violations[..violations.len().min(3)]
+            );
+        }
+    }
+    // The sweep saw every enumerated graph (26 704 of them at n = 6).
+    let expected: u64 = (1..=6)
+        .map(|n| connected_graph_count(n).expect("tabulated"))
+        .sum();
+    assert_eq!(graphs, expected);
 }
 
 #[test]
