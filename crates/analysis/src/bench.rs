@@ -38,11 +38,17 @@
 //! smoke configuration on every push and fails if the engines disagree or
 //! the JSON stops parsing.
 //!
-//! # `BENCH_flooding.json` schema (version 5)
+//! Every row is measured through the shared [`af_core::api`] request
+//! path — [`af_core::api::FloodRequest::execute`] — the same code the
+//! CLI's `flood` command and the `af-serve` daemon run, so the recorded
+//! numbers are by construction the numbers every other entry point
+//! reports for the same request.
+//!
+//! # `BENCH_flooding.json` schema (version 6)
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "benchmark": "flooding_throughput",
 //!   "mode": "full" | "smoke",
 //!   "all_engines_agree": true,
@@ -55,16 +61,20 @@
 //!       "churn": "none",
 //!       "engines_agree": true,
 //!       "engines": [
-//!         { "engine": "frontier", "threads": 1, "threads_requested": 1,
+//!         { "engine": "frontier", "engine_spec": "frontier",
+//!           "threads": 1, "threads_requested": 1,
 //!           "partitioner": "none", "sources": 1, "churn": "none",
 //!           "lanes": 1, "rounds_per_source": [1414, ...],
 //!           "floods_terminated": 64, "total_messages": 64071168,
 //!           "wall_ms": 1234.5, "edges_per_sec": 51900000.0 },
-//!         { "engine": "fast", ... },
-//!         { "engine": "sharded", "threads": 4, "threads_requested": 4,
+//!         { "engine": "fast", "engine_spec": "fast", ... },
+//!         { "engine": "sharded", "engine_spec": "sharded:4:bfs",
+//!           "threads": 4, "threads_requested": 4,
 //!           "partitioner": "bfs", ... },
-//!         { "engine": "dynamic", "churn": "none", ... },
-//!         { "engine": "bitlane", "lanes": 64, ... }
+//!         { "engine": "dynamic", "engine_spec": "dynamic:none",
+//!           "churn": "none", ... },
+//!         { "engine": "bitlane", "engine_spec": "bitlane",
+//!           "lanes": 64, ... }
 //!       ]
 //!     }, ...
 //!   ]
@@ -89,22 +99,29 @@
 //! engine: the `bitlane` row and the required per-engine `lanes` field
 //! (how many floods advanced per simulator pass: `min(64, floods)` on the
 //! bitlane row, 1 everywhere else); full mode now measures 64 floods per
-//! case so the bitlane row exercises a complete 64-lane word. Older files
+//! case so the bitlane row exercises a complete 64-lane word. Version 6
+//! routed every row through the shared [`af_core::api`] request path and
+//! added the required `engine_spec` field: the canonical engine string
+//! (the [`FloodEngine`] `Display`/`FromStr` round-trip) that reproduces
+//! the row verbatim via the CLI's `--engine` flag or the daemon's wire
+//! protocol — it records the *request* (`sharded:2000:bfs` even when the
+//! clamp fired; the `threads` column still records what ran). Older files
 //! do not deserialize as [`CaseResult`]/[`EngineStats`], hence the bump
 //! rather than a silent same-version shape change.
 
 use crate::spec::GraphSpec;
+use af_core::api::FloodRequest;
 use af_core::bitlane::LANES;
-use af_core::{theory, FastFlooding, FloodBatch, FloodEngine};
+use af_core::{theory, FloodEngine};
 use af_graph::dynamic::ChurnSpec;
 use af_graph::{Graph, NodeId, PartitionStrategy};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Version stamp written into every report. Version 5 = version 4 with
-/// the bit-parallel `bitlane` engine row and the per-engine `lanes`
-/// field (floods advanced per simulator pass).
-pub const SCHEMA_VERSION: u32 = 5;
+/// Version stamp written into every report. Version 6 = version 5 with
+/// every engine row measured through [`af_core::api::FloodRequest`] and
+/// stamped with its canonical `engine_spec` string.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// The `partitioner` value recorded for engines that do not partition.
 pub const NO_PARTITIONER: &str = "none";
@@ -119,6 +136,13 @@ pub struct EngineStats {
     /// Engine name: `"frontier"`, `"fast"`, `"sharded"`, `"dynamic"`, or
     /// `"bitlane"`.
     pub engine: String,
+    /// The canonical engine string that reproduces this row through any
+    /// entry point (`--engine`, the wire protocol, [`FloodRequest`]):
+    /// the [`FloodEngine`] `Display` form, e.g. `"sharded:4:bfs"` or
+    /// `"dynamic:mix:100:7"`. Records the *request* — an oversharded
+    /// `"sharded:2000:bfs"` row keeps that spec while `threads` records
+    /// the clamped count that actually ran.
+    pub engine_spec: String,
     /// Worker threads the engine actually used (1 for the serial engines;
     /// the sharded engine's request is clamped into
     /// `1 ..= min(n, MAX_SHARDS)` — see `threads_requested`).
@@ -409,12 +433,23 @@ fn source_set_sample(n: usize, floods: usize, set_size: usize) -> Vec<Vec<usize>
 // while the scan engine has no reset and must construct per flood. The
 // zero-churn dynamic row therefore reads as frontier throughput plus the
 // overlay's setup cost amortized over the case's floods, consistent with
-// how the sharded row carries its partitioning cost.
+// how the sharded row carries its partitioning cost. The timed window is
+// FloodRequest::execute — validation and NodeId conversion included, a
+// few nanoseconds per source against milliseconds of flooding — so the
+// row measures exactly what a CLI or wire client of the same request
+// experiences.
 
 fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> EngineStats {
     let (name, threads, threads_requested, partitioner, churn) = match engine {
         FloodEngine::Frontier => (
             "frontier",
+            1,
+            1,
+            NO_PARTITIONER.to_string(),
+            NO_CHURN.to_string(),
+        ),
+        FloodEngine::Fast => (
+            "fast",
             1,
             1,
             NO_PARTITIONER.to_string(),
@@ -450,97 +485,34 @@ fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> 
         _ => 1,
     };
     let is_static = !matches!(engine, FloodEngine::Dynamic { .. });
-    // NodeId conversion is input prep, outside the timed window.
-    let node_sets: Vec<Vec<NodeId>> = source_sets
-        .iter()
-        .map(|set| set.iter().map(|&s| NodeId::new(s)).collect())
-        .collect();
+    // Building the request clones the source sets — input prep, outside
+    // the timed window. Executing it is the timed window.
+    let request = FloodRequest::new(source_sets.to_vec(), engine);
     let start = Instant::now();
-    let mut batch = FloodBatch::with_engine(g, engine);
-    // run_many floods set after set on the serial/sharded/dynamic engines
-    // and packs up to 64 sets per pass on the bitlane engine.
-    let stats: Vec<af_core::FloodStats> = batch.run_many(&node_sets);
+    // execute() floods set after set on the serial/sharded/dynamic
+    // engines and packs up to 64 sets per pass on the bitlane engine.
+    let response = request
+        .execute(g)
+        .expect("benchmark requests are well-formed");
     let wall = start.elapsed();
-    let rounds = stats
+    let rounds = response
+        .floods
         .iter()
-        .map(|s| match s.termination_round() {
-            Some(r) => r,
+        .map(|f| {
             // Only churned floods may cap out; on a static graph
             // non-termination would be a theorem violation.
-            None => {
-                assert!(!is_static, "Theorem 3.1: static floods terminate");
-                s.outcome().rounds_executed()
-            }
+            assert!(
+                f.terminated || !is_static,
+                "Theorem 3.1: static floods terminate"
+            );
+            f.rounds
         })
         .collect();
-    let terminated = stats.iter().filter(|s| s.terminated()).count();
-    let messages = stats.iter().map(af_core::FloodStats::total_messages).sum();
-    finish_stats(
-        name,
-        threads,
-        threads_requested,
-        partitioner,
-        churn,
-        lanes,
-        source_sets,
-        rounds,
-        terminated,
-        messages,
-        wall.as_secs_f64(),
-    )
-}
-
-fn measure_fast(g: &Graph, source_sets: &[Vec<usize>]) -> EngineStats {
-    let cap = 2 * g.node_count() as u32 + 2;
-    let start = Instant::now();
-    let per_flood: Vec<(u32, u64)> = source_sets
-        .iter()
-        .map(|set| {
-            let mut sim = FastFlooding::new(g, set.iter().map(|&s| NodeId::new(s)));
-            sim.set_record_receipts(false);
-            let outcome = sim.run(cap);
-            (
-                outcome
-                    .termination_round()
-                    .expect("Theorem 3.1: floods terminate"),
-                sim.total_messages(),
-            )
-        })
-        .collect();
-    let wall = start.elapsed();
-    let rounds = per_flood.iter().map(|&(r, _)| r).collect();
-    let messages = per_flood.iter().map(|&(_, m)| m).sum();
-    finish_stats(
-        "fast",
-        1,
-        1,
-        NO_PARTITIONER.to_string(),
-        NO_CHURN.to_string(),
-        1,
-        source_sets,
-        rounds,
-        source_sets.len(),
-        messages,
-        wall.as_secs_f64(),
-    )
-}
-
-#[allow(clippy::too_many_arguments)] // internal assembly of one JSON row
-fn finish_stats(
-    engine: &str,
-    threads: usize,
-    threads_requested: usize,
-    partitioner: String,
-    churn: String,
-    lanes: usize,
-    source_sets: &[Vec<usize>],
-    rounds: Vec<u32>,
-    floods_terminated: usize,
-    messages: u64,
-    secs: f64,
-) -> EngineStats {
+    let terminated = response.floods.iter().filter(|f| f.terminated).count();
+    let messages = response.floods.iter().map(|f| f.messages).sum();
     EngineStats {
-        engine: engine.to_string(),
+        engine: name.to_string(),
+        engine_spec: request.engine,
         threads,
         threads_requested,
         partitioner,
@@ -548,13 +520,13 @@ fn finish_stats(
         churn,
         lanes,
         rounds_per_source: rounds,
-        floods_terminated,
+        floods_terminated: terminated,
         total_messages: messages,
-        wall_ms: secs * 1e3,
+        wall_ms: wall.as_secs_f64() * 1e3,
         // 0.0 for an unmeasurably fast run: JSON has no Infinity, and the
         // vendored serializer rejects non-finite floats.
-        edges_per_sec: if secs > 0.0 {
-            messages as f64 / secs
+        edges_per_sec: if wall.as_secs_f64() > 0.0 {
+            messages as f64 / wall.as_secs_f64()
         } else {
             0.0
         },
@@ -584,7 +556,7 @@ pub fn run_case(
     let g = spec.build();
     let source_sets = source_set_sample(g.node_count(), floods_per_graph, sources_per_flood);
     let frontier = measure_batch(&g, &source_sets, FloodEngine::Frontier);
-    let fast = measure_fast(&g, &source_sets);
+    let fast = measure_batch(&g, &source_sets, FloodEngine::Fast);
     let sharded = measure_batch(&g, &source_sets, FloodEngine::Sharded { threads, strategy });
     let dynamic = measure_batch(&g, &source_sets, FloodEngine::Dynamic { churn });
     let bitlane = measure_batch(&g, &source_sets, FloodEngine::BitLane);
@@ -749,6 +721,19 @@ mod tests {
             assert_eq!(case.engines[2].engine, "sharded");
             assert_eq!(case.engines[3].engine, "dynamic");
             assert_eq!(case.engines[4].engine, "bitlane");
+            // Every row carries the canonical engine string that replays
+            // it (`--engine <spec>` / the wire `engine` field), and the
+            // string round-trips through FromStr back onto the same
+            // engine family.
+            assert_eq!(case.engines[0].engine_spec, "frontier");
+            assert_eq!(case.engines[1].engine_spec, "fast");
+            assert_eq!(case.engines[2].engine_spec, "sharded:4:bfs");
+            assert_eq!(case.engines[3].engine_spec, "dynamic:none");
+            assert_eq!(case.engines[4].engine_spec, "bitlane");
+            for e in &case.engines {
+                let parsed: FloodEngine = e.engine_spec.parse().unwrap();
+                assert_eq!(parsed.family(), e.engine, "{}", e.engine_spec);
+            }
             assert!(case.engines[0].total_messages > 0);
             // The concurrency, source, and churn axes are recorded in
             // every row: serial engines carry threads = 1 / "none", the
@@ -858,10 +843,12 @@ mod tests {
         for e in &case.engines {
             assert_eq!(e.sources, 5, "{}", e.engine);
         }
-        // The clamp is visible: request recorded next to what ran.
+        // The clamp is visible: request recorded next to what ran, and
+        // the engine_spec replays the *request*, not the clamp.
         let sharded = &case.engines[2];
         assert_eq!(sharded.threads_requested, 2000);
         assert_eq!(sharded.threads, 64);
+        assert_eq!(sharded.engine_spec, "sharded:2000:bfs");
     }
 
     #[test]
@@ -884,6 +871,7 @@ mod tests {
         assert_eq!(case.churn, "mix:100:7");
         let dynamic = &case.engines[3];
         assert_eq!(dynamic.engine, "dynamic");
+        assert_eq!(dynamic.engine_spec, "dynamic:mix:100:7");
         assert_eq!(dynamic.churn, "mix:100:7");
         assert_eq!(dynamic.label(), "dynamic(mix:100:7)");
         assert_eq!(dynamic.rounds_per_source.len(), case.source_sets.len());

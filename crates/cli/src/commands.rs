@@ -26,34 +26,32 @@ pub fn load_graph(path: &str) -> Result<Graph, CommandError> {
     Ok(parse_graph(&text)?)
 }
 
-/// Parses graph text in either supported format.
+/// Parses graph text in either supported format (delegates to the shared
+/// sniffing rule in [`af_graph::io::from_text`], which the daemon's
+/// `Load` verb also uses).
 ///
 /// # Errors
 ///
 /// Returns the parse error of the format that was attempted.
 pub fn parse_graph(text: &str) -> Result<Graph, af_graph::GraphError> {
-    let looks_like_edge_list = text
-        .lines()
-        .map(str::trim)
-        .find(|l| !l.is_empty() && !l.starts_with('#'))
-        .is_some_and(|l| l.starts_with("n ") || l == "n");
-    if looks_like_edge_list {
-        io::from_edge_list(text)
-    } else {
-        io::from_graph6(text)
-    }
+    io::from_text(text)
 }
 
-/// Parses the shared engine-selection options:
-/// `--engine frontier|sharded|bitlane`, `--threads N`,
-/// `--partitioner contiguous|round-robin|bfs`, and
-/// `--churn kind:rate_pm:seed` (which selects the dynamic engine). The
-/// default engine is `frontier`; `--threads`/`--partitioner` imply
-/// `sharded`, and contradictory combinations — `--engine frontier` or
-/// `--engine bitlane` with sharding options, or `--churn` with any of the
-/// static-engine options — are rejected rather than silently ignored.
+/// Parses the shared engine-selection options: `--engine <spec>` (any
+/// canonical [`FloodEngine`] string — `frontier`, `fast`,
+/// `sharded[:k[:partitioner]]`, `dynamic[:churn]`, `bitlane` — exactly
+/// what the bench JSON's `engine_spec` column and the wire protocol's
+/// `engine` field accept), plus the legacy flag spellings `--threads N`,
+/// `--partitioner contiguous|round-robin|bfs` (which imply and configure
+/// a bare `--engine sharded`) and `--churn kind:rate_pm:seed` (which
+/// selects the dynamic engine). The default engine is `frontier`;
+/// contradictory combinations — sharding flags with a non-sharded or
+/// already-parameterized engine spec, or `--churn` with any other engine
+/// option — are rejected rather than silently ignored.
 fn engine_choice(args: &Args) -> Result<FloodEngine, CommandError> {
-    let threads: usize = args.parsed_or::<usize>("threads", 4)?.max(1);
+    let threads: usize = args
+        .parsed_or::<usize>("threads", af_core::DEFAULT_SHARD_THREADS)?
+        .max(1);
     let strategy: PartitionStrategy = args.parsed_or("partitioner", PartitionStrategy::Bfs)?;
     let implied = args.option("threads").is_some() || args.option("partitioner").is_some();
     if let Some(spec) = args.option("churn") {
@@ -66,18 +64,24 @@ fn engine_choice(args: &Args) -> Result<FloodEngine, CommandError> {
         return Ok(FloodEngine::Dynamic { churn });
     }
     match args.option("engine") {
-        Some("frontier") if implied => Err(
-            "--threads/--partitioner only apply to --engine sharded (drop --engine frontier)"
-                .into(),
-        ),
-        Some("frontier") => Ok(FloodEngine::Frontier),
+        // Bare `sharded` takes its configuration from the flags.
         Some("sharded") => Ok(FloodEngine::Sharded { threads, strategy }),
-        Some("bitlane") if implied => Err(
-            "--threads/--partitioner only apply to --engine sharded (drop --engine bitlane)".into(),
-        ),
-        Some("bitlane") => Ok(FloodEngine::BitLane),
-        Some(other) => {
-            Err(format!("unknown engine '{other}' (use frontier, sharded, or bitlane)").into())
+        Some(spec) => {
+            let engine: FloodEngine = spec.parse()?;
+            if implied {
+                return Err(match engine {
+                    FloodEngine::Sharded { .. } => format!(
+                        "--engine {spec} already fixes the shard configuration; \
+                         drop --threads/--partitioner or use bare --engine sharded"
+                    ),
+                    _ => format!(
+                        "--threads/--partitioner only apply to --engine sharded \
+                         (drop --engine {spec})"
+                    ),
+                }
+                .into());
+            }
+            Ok(engine)
         }
         None if implied => Ok(FloodEngine::Sharded { threads, strategy }),
         None => Ok(FloodEngine::Frontier),
@@ -96,9 +100,14 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 }
 
 /// `amnesiac flood <file> [--source N | --sources a,b,c] [--max-rounds N]
-/// [--engine frontier|sharded|bitlane] [--threads N]
+/// [--engine <spec>] [--threads N]
 /// [--partitioner contiguous|round-robin|bfs]
 /// [--churn kind:rate_pm:seed] [--trace] [--receipts]`
+///
+/// `--engine` takes any canonical engine spec (`frontier`, `fast`,
+/// `sharded[:k[:partitioner]]`, `dynamic[:churn]`, `bitlane`) — the same
+/// strings the bench JSON records as `engine_spec` and the daemon accepts
+/// on the wire, so a benchmark row replays verbatim.
 ///
 /// `--churn` floods on the dynamic engine while a deterministic schedule
 /// edits the topology at round boundaries; a capped run is then a finding
@@ -143,6 +152,9 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
                 // One flood occupies one of the 64 bit lanes; the engine
                 // earns its keep in batches, but stays lane-exact solo.
                 let _ = writeln!(out, "engine: bitlane (bit-parallel, 1 of 64 lanes)");
+            }
+            FloodEngine::Fast => {
+                let _ = writeln!(out, "engine: fast (scan-all-arcs baseline)");
             }
             FloodEngine::Frontier => {}
         }
@@ -541,7 +553,9 @@ usage: amnesiac <command> [args]
 commands:
   flood <file>    run a flood          [--source N | --sources a,b,c]
                                        [--max-rounds N] [--trace] [--receipts]
-                                       [--engine frontier|sharded|bitlane]
+                                       [--engine frontier|fast|
+                                        sharded[:k[:partitioner]]|
+                                        dynamic[:churn]|bitlane]
                                        [--threads N]
                                        [--partitioner contiguous|round-robin|bfs]
                                        [--churn edge|nodes|mix:rate_pm:seed]
@@ -716,6 +730,58 @@ mod tests {
             let args = Args::parse(bad.clone()).unwrap();
             assert!(cmd_flood(&args).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn flood_accepts_canonical_engine_specs() {
+        // `--engine` takes the same canonical strings the bench JSON
+        // records and the wire protocol accepts, so any recorded
+        // `engine_spec` replays verbatim.
+        let path = petersen_file();
+        let base = cmd_flood(&Args::parse([path.as_str(), "--source", "0"]).unwrap()).unwrap();
+        let args = Args::parse([
+            path.as_str(),
+            "--source",
+            "0",
+            "--engine",
+            "sharded:3:round-robin",
+        ])
+        .unwrap();
+        let out = cmd_flood(&args).unwrap();
+        assert!(
+            out.contains("engine: sharded x3 (round-robin partitioner)"),
+            "{out}"
+        );
+        let args = Args::parse([path.as_str(), "--source", "0", "--engine", "fast"]).unwrap();
+        let out = cmd_flood(&args).unwrap();
+        assert!(
+            out.contains("engine: fast (scan-all-arcs baseline)"),
+            "{out}"
+        );
+        let args =
+            Args::parse([path.as_str(), "--source", "0", "--engine", "dynamic:none"]).unwrap();
+        let out = cmd_flood(&args).unwrap();
+        assert!(out.contains("engine: dynamic (churn none)"), "{out}");
+        // All of them reproduce the frontier record line for line after
+        // the engine banner.
+        for engine in ["sharded:3:round-robin", "fast", "dynamic:none"] {
+            let out = cmd_flood(
+                &Args::parse([path.as_str(), "--source", "0", "--engine", engine]).unwrap(),
+            )
+            .unwrap();
+            for line in base.lines() {
+                assert!(out.contains(line), "{engine}: missing '{line}' in {out}");
+            }
+        }
+        // A parameterized sharded spec contradicts the legacy flags.
+        let args = Args::parse([path.as_str(), "--engine", "sharded:3", "--threads", "2"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
+        // Flags on a non-sharded spec are still rejected.
+        let args = Args::parse([path.as_str(), "--engine", "fast", "--threads", "2"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
+        // Malformed specs surface the parser's error.
+        let args = Args::parse([path.as_str(), "--engine", "sharded:x"]).unwrap();
+        assert!(cmd_flood(&args).is_err());
     }
 
     #[test]
@@ -941,7 +1007,8 @@ mod tests {
         assert!(text.contains("shardedx2(bfs)"), "{text}");
         let written = std::fs::read_to_string(&out).unwrap();
         assert!(written.contains("\"flooding_throughput\""));
-        assert!(written.contains("\"schema_version\": 5"));
+        assert!(written.contains("\"schema_version\": 6"));
+        assert!(written.contains("\"engine_spec\": \"sharded:2:bfs\""));
         assert!(written.contains("\"sharded\""));
         assert!(written.contains("\"dynamic\""));
         assert!(written.contains("\"bitlane\""));

@@ -1,0 +1,356 @@
+//! The sealed [`Flooder`] trait: one object-safe surface over the five
+//! simulator engines (fast, frontier, sharded, dynamic, bitlane).
+//!
+//! Every engine grew the same informal contract — `reset(sources)` +
+//! `run(max_rounds) -> Outcome` + the receipt/message accessors — and the
+//! drivers in the `run` module used to re-dispatch over a `match` per call
+//! site. `Flooder` makes the contract a type: [`crate::AmnesiacFlooding`]
+//! and [`crate::FloodBatch`] hold a `Box<dyn Flooder>` built once by
+//! [`crate::FloodEngine::flooder`], and engine-specific shapes (the 64
+//! bit lanes of [`BitLaneFlooding`]) surface through the lane methods
+//! instead of leaking enum variants into the drivers.
+//!
+//! The trait is **sealed**: downstream crates program against it (any
+//! `Box<dyn Flooder>` runs anywhere a driver runs) but cannot implement it
+//! — the engine equivalence theorems the test suites pin (static engines
+//! produce bit-identical records) quantify over exactly these five types.
+
+use crate::bitlane::{BitLaneFlooding, LANES};
+use crate::dynamic::DynamicFlooding;
+use crate::fast::FastFlooding;
+use crate::frontier::FrontierFlooding;
+use crate::sharded::ShardedFlooding;
+use af_engine::Outcome;
+use af_graph::NodeId;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for crate::FastFlooding<'_> {}
+    impl Sealed for crate::FrontierFlooding<'_> {}
+    impl Sealed for crate::ShardedFlooding<'_> {}
+    impl Sealed for crate::DynamicFlooding {}
+    impl Sealed for crate::BitLaneFlooding<'_> {}
+}
+
+/// A resettable amnesiac-flooding simulator (sealed; see the module docs).
+///
+/// The `&mut dyn Iterator` source parameters keep the trait object-safe
+/// *and* allocation-free: a warm [`crate::FloodBatch`] re-seeds floods
+/// through this interface without collecting sources into a buffer — the
+/// counting-allocator suite (`tests/batch_allocation.rs`) holds across the
+/// trait boundary.
+pub trait Flooder: sealed::Sealed + std::fmt::Debug {
+    /// Restores the simulator to round 0 seeded from `sources`, reusing
+    /// its allocations. Duplicates are collapsed; on multi-lane engines
+    /// the flood occupies lane 0 alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    fn reset(&mut self, sources: &mut dyn Iterator<Item = NodeId>);
+
+    /// Executes rounds until no arc carries the message or `max_rounds`
+    /// is reached.
+    fn run(&mut self, max_rounds: u32) -> Outcome;
+
+    /// Enables or disables per-node receipt recording (engines default to
+    /// enabled; batch drivers disable it for raw speed).
+    fn set_record_receipts(&mut self, record: bool);
+
+    /// Node count of the flooded graph. For [`DynamicFlooding`] this is
+    /// the **final** count — join churn can grow the node space mid-flood.
+    fn node_count(&self) -> usize;
+
+    /// The full receive-round table, node id → rounds received, covering
+    /// `0..self.node_count()`. Empty per-node lists unless receipts were
+    /// recorded. On multi-lane engines this reads lane 0.
+    fn receive_rounds(&self) -> Vec<Vec<u32>>;
+
+    /// Messages delivered in each executed round (index 0 = round 1). On
+    /// multi-lane engines: summed across lanes.
+    fn messages_per_round(&self) -> &[u64];
+
+    /// Total messages delivered over the run (summed across lanes).
+    fn total_messages(&self) -> u64;
+
+    /// How many independent floods one [`Flooder::run`] can carry —
+    /// [`LANES`] (64) for the bit-parallel engine, 1 for the rest. Drivers
+    /// chunk multi-flood workloads to this width and read per-flood results
+    /// back through [`Flooder::lane_outcome`] / [`Flooder::lane_messages`].
+    fn lane_capacity(&self) -> usize {
+        1
+    }
+
+    /// Restores the simulator to round 0 carrying one flood per source
+    /// set, one lane each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets.len() > self.lane_capacity()` or a source is out of
+    /// range.
+    fn reset_lanes(&mut self, sets: &[Vec<NodeId>]) {
+        assert!(
+            sets.len() <= self.lane_capacity(),
+            "{} source sets exceed the engine's {} lane(s)",
+            sets.len(),
+            self.lane_capacity()
+        );
+        match sets {
+            [] => self.reset(&mut core::iter::empty()),
+            [set] => self.reset(&mut set.iter().copied()),
+            _ => unreachable!("single-lane engines take at most one set"),
+        }
+    }
+
+    /// Per-flood outcome of lane `lane` after a [`Flooder::reset_lanes`] +
+    /// [`Flooder::run`] pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not a live lane of the current run.
+    fn lane_outcome(&self, lane: usize) -> Outcome;
+
+    /// Messages delivered by lane `lane`'s flood alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not a live lane of the current run.
+    fn lane_messages(&self, lane: usize) -> u64;
+}
+
+/// Builds the full receive-round table from a per-node slice accessor —
+/// the shared shape of every single-lane engine's `receive_rounds`.
+fn table<'a>(n: usize, receipts: impl Fn(NodeId) -> &'a [u32]) -> Vec<Vec<u32>> {
+    (0..n).map(|i| receipts(NodeId::new(i)).to_vec()).collect()
+}
+
+impl Flooder for FastFlooding<'_> {
+    fn reset(&mut self, sources: &mut dyn Iterator<Item = NodeId>) {
+        FastFlooding::reset(self, sources);
+    }
+    fn run(&mut self, max_rounds: u32) -> Outcome {
+        FastFlooding::run(self, max_rounds)
+    }
+    fn set_record_receipts(&mut self, record: bool) {
+        FastFlooding::set_record_receipts(self, record);
+    }
+    fn node_count(&self) -> usize {
+        self.graph().node_count()
+    }
+    fn receive_rounds(&self) -> Vec<Vec<u32>> {
+        table(self.graph().node_count(), |v| self.receipts(v))
+    }
+    fn messages_per_round(&self) -> &[u64] {
+        FastFlooding::messages_per_round(self)
+    }
+    fn total_messages(&self) -> u64 {
+        FastFlooding::total_messages(self)
+    }
+    fn lane_outcome(&self, _lane: usize) -> Outcome {
+        unreachable!("single-lane engine: use the outcome returned by run")
+    }
+    fn lane_messages(&self, _lane: usize) -> u64 {
+        unreachable!("single-lane engine: use total_messages")
+    }
+}
+
+impl Flooder for FrontierFlooding<'_> {
+    fn reset(&mut self, sources: &mut dyn Iterator<Item = NodeId>) {
+        FrontierFlooding::reset(self, sources);
+    }
+    fn run(&mut self, max_rounds: u32) -> Outcome {
+        FrontierFlooding::run(self, max_rounds)
+    }
+    fn set_record_receipts(&mut self, record: bool) {
+        FrontierFlooding::set_record_receipts(self, record);
+    }
+    fn node_count(&self) -> usize {
+        self.graph().node_count()
+    }
+    fn receive_rounds(&self) -> Vec<Vec<u32>> {
+        table(self.graph().node_count(), |v| self.receipts(v))
+    }
+    fn messages_per_round(&self) -> &[u64] {
+        FrontierFlooding::messages_per_round(self)
+    }
+    fn total_messages(&self) -> u64 {
+        FrontierFlooding::total_messages(self)
+    }
+    fn lane_outcome(&self, _lane: usize) -> Outcome {
+        unreachable!("single-lane engine: use the outcome returned by run")
+    }
+    fn lane_messages(&self, _lane: usize) -> u64 {
+        unreachable!("single-lane engine: use total_messages")
+    }
+}
+
+impl Flooder for ShardedFlooding<'_> {
+    fn reset(&mut self, sources: &mut dyn Iterator<Item = NodeId>) {
+        ShardedFlooding::reset(self, sources);
+    }
+    fn run(&mut self, max_rounds: u32) -> Outcome {
+        ShardedFlooding::run(self, max_rounds)
+    }
+    fn set_record_receipts(&mut self, record: bool) {
+        ShardedFlooding::set_record_receipts(self, record);
+    }
+    fn node_count(&self) -> usize {
+        self.graph().node_count()
+    }
+    fn receive_rounds(&self) -> Vec<Vec<u32>> {
+        table(self.graph().node_count(), |v| self.receipts(v))
+    }
+    fn messages_per_round(&self) -> &[u64] {
+        ShardedFlooding::messages_per_round(self)
+    }
+    fn total_messages(&self) -> u64 {
+        ShardedFlooding::total_messages(self)
+    }
+    fn lane_outcome(&self, _lane: usize) -> Outcome {
+        unreachable!("single-lane engine: use the outcome returned by run")
+    }
+    fn lane_messages(&self, _lane: usize) -> u64 {
+        unreachable!("single-lane engine: use total_messages")
+    }
+}
+
+impl Flooder for DynamicFlooding {
+    fn reset(&mut self, sources: &mut dyn Iterator<Item = NodeId>) {
+        DynamicFlooding::reset(self, sources);
+    }
+    fn run(&mut self, max_rounds: u32) -> Outcome {
+        DynamicFlooding::run(self, max_rounds)
+    }
+    fn set_record_receipts(&mut self, record: bool) {
+        DynamicFlooding::set_record_receipts(self, record);
+    }
+    fn node_count(&self) -> usize {
+        DynamicFlooding::node_count(self)
+    }
+    fn receive_rounds(&self) -> Vec<Vec<u32>> {
+        table(DynamicFlooding::node_count(self), |v| self.receipts(v))
+    }
+    fn messages_per_round(&self) -> &[u64] {
+        DynamicFlooding::messages_per_round(self)
+    }
+    fn total_messages(&self) -> u64 {
+        DynamicFlooding::total_messages(self)
+    }
+    fn lane_outcome(&self, _lane: usize) -> Outcome {
+        unreachable!("single-lane engine: use the outcome returned by run")
+    }
+    fn lane_messages(&self, _lane: usize) -> u64 {
+        unreachable!("single-lane engine: use total_messages")
+    }
+}
+
+impl Flooder for BitLaneFlooding<'_> {
+    fn reset(&mut self, sources: &mut dyn Iterator<Item = NodeId>) {
+        BitLaneFlooding::reset(self, [sources]);
+    }
+    fn run(&mut self, max_rounds: u32) -> Outcome {
+        BitLaneFlooding::run(self, max_rounds)
+    }
+    fn set_record_receipts(&mut self, record: bool) {
+        BitLaneFlooding::set_record_receipts(self, record);
+    }
+    fn node_count(&self) -> usize {
+        self.graph().node_count()
+    }
+    fn receive_rounds(&self) -> Vec<Vec<u32>> {
+        (0..self.graph().node_count())
+            .map(|i| self.lane_receipts(NodeId::new(i), 0))
+            .collect()
+    }
+    fn messages_per_round(&self) -> &[u64] {
+        BitLaneFlooding::messages_per_round(self)
+    }
+    fn total_messages(&self) -> u64 {
+        BitLaneFlooding::total_messages(self)
+    }
+    fn lane_capacity(&self) -> usize {
+        LANES
+    }
+    fn reset_lanes(&mut self, sets: &[Vec<NodeId>]) {
+        BitLaneFlooding::reset(self, sets.iter().map(|set| set.iter().copied()));
+    }
+    fn lane_outcome(&self, lane: usize) -> Outcome {
+        BitLaneFlooding::lane_outcome(self, lane)
+    }
+    fn lane_messages(&self, lane: usize) -> u64 {
+        BitLaneFlooding::lane_messages(self, lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_graph::generators;
+
+    /// One flood through the trait surface must reproduce the inherent
+    /// API's record exactly, engine by engine.
+    #[test]
+    fn trait_surface_matches_inherent_api() {
+        let g = generators::petersen();
+        let sources = [NodeId::new(0), NodeId::new(6)];
+        let mut want = FrontierFlooding::new(&g, sources);
+        let want_outcome = want.run(100);
+
+        let mut sims: Vec<Box<dyn Flooder + '_>> = vec![
+            Box::new(FastFlooding::new(&g, [])),
+            Box::new(FrontierFlooding::new(&g, [])),
+            Box::new(ShardedFlooding::with_strategy(
+                &g,
+                af_graph::PartitionStrategy::Bfs,
+                3,
+                [],
+            )),
+            Box::new(DynamicFlooding::new(
+                &g,
+                [],
+                af_graph::dynamic::ChurnSchedule::empty(),
+            )),
+            Box::new(BitLaneFlooding::new(&g, core::iter::empty::<[NodeId; 0]>())),
+        ];
+        for sim in &mut sims {
+            sim.reset(&mut sources.iter().copied());
+            let outcome = sim.run(100);
+            assert_eq!(outcome, want_outcome, "{sim:?}");
+            assert_eq!(sim.node_count(), g.node_count());
+            assert_eq!(sim.total_messages(), want.total_messages());
+            assert_eq!(sim.messages_per_round(), want.messages_per_round());
+            let table = sim.receive_rounds();
+            for v in g.nodes() {
+                assert_eq!(table[v.index()], want.receipts(v), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_capacity_is_64_only_for_bitlane() {
+        let g = generators::cycle(5);
+        let bitlane: Box<dyn Flooder + '_> =
+            Box::new(BitLaneFlooding::new(&g, core::iter::empty::<[NodeId; 0]>()));
+        assert_eq!(bitlane.lane_capacity(), LANES);
+        let frontier: Box<dyn Flooder + '_> = Box::new(FrontierFlooding::new(&g, []));
+        assert_eq!(frontier.lane_capacity(), 1);
+    }
+
+    #[test]
+    fn default_reset_lanes_seeds_a_single_flood() {
+        let g = generators::cycle(6);
+        let mut sim: Box<dyn Flooder + '_> = Box::new(FrontierFlooding::new(&g, []));
+        sim.reset_lanes(&[vec![NodeId::new(0)]]);
+        let outcome = sim.run(100);
+        let mut want = FrontierFlooding::new(&g, [NodeId::new(0)]);
+        assert_eq!(outcome, want.run(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the engine's")]
+    fn default_reset_lanes_rejects_overflow() {
+        let g = generators::cycle(6);
+        let mut sim: Box<dyn Flooder + '_> = Box::new(FrontierFlooding::new(&g, []));
+        sim.reset_lanes(&[vec![NodeId::new(0)], vec![NodeId::new(1)]]);
+    }
+}

@@ -86,6 +86,10 @@ pub mod trace;
 
 pub mod spanning;
 
+#[cfg(feature = "serde")]
+pub mod api;
+pub mod flooder;
+
 mod bitset;
 mod dynamic;
 mod fast;
@@ -96,7 +100,11 @@ mod run;
 pub use bitlane::BitLaneFlooding;
 pub use dynamic::DynamicFlooding;
 pub use fast::FastFlooding;
+pub use flooder::Flooder;
 pub use frontier::FrontierFlooding;
 pub use protocol::{AmnesiacFloodingProtocol, ClassicFloodingProtocol, KMemoryFlooding};
-pub use run::{flood, AmnesiacFlooding, FloodBatch, FloodEngine, FloodStats, FloodingRun};
+pub use run::{
+    flood, AmnesiacFlooding, FloodBatch, FloodEngine, FloodStats, FloodingRun, ParseEngineError,
+    DEFAULT_SHARD_THREADS,
+};
 pub use sharded::ShardedFlooding;

@@ -8,13 +8,21 @@
 //! and can be switched to the multicore [`crate::ShardedFlooding`] backend
 //! through [`FloodEngine`] — the two produce bit-identical records.
 
-use crate::bitlane::{BitLaneFlooding, LANES};
+use crate::bitlane::BitLaneFlooding;
 use crate::dynamic::DynamicFlooding;
+use crate::fast::FastFlooding;
+use crate::flooder::Flooder;
 use crate::frontier::FrontierFlooding;
 use crate::sharded::ShardedFlooding;
 use af_engine::Outcome;
 use af_graph::dynamic::{ChurnSchedule, ChurnSpec};
 use af_graph::{Graph, NodeId, Partition, PartitionStrategy};
+use std::fmt;
+use std::str::FromStr;
+
+/// Thread count [`FloodEngine::from_str`] assumes for a bare `"sharded"`
+/// (no `:k`) — the same default the CLI's `--threads` flag documents.
+pub const DEFAULT_SHARD_THREADS: usize = 4;
 
 /// Which simulator a driver executes floods with.
 ///
@@ -35,6 +43,11 @@ pub enum FloodEngine {
     /// Single-threaded frontier-sparse engine ([`FrontierFlooding`]).
     #[default]
     Frontier,
+    /// Scan-all-arcs baseline engine ([`FastFlooding`]): `O(m)` bitset
+    /// sweep per round. Exists as the reference the sparse engines are
+    /// benchmarked against; same record as `Frontier`, always slower on
+    /// sparse frontiers.
+    Fast,
     /// Sharded multicore engine ([`crate::ShardedFlooding`]): one flood
     /// across `threads` worker shards.
     Sharded {
@@ -60,6 +73,146 @@ pub enum FloodEngine {
     /// [`FloodBatch::run_many`], which chunks a flood list into 64-lane
     /// groups.
     BitLane,
+}
+
+impl FloodEngine {
+    /// The engine's family name — the bare head of its canonical string
+    /// (`"frontier"`, `"fast"`, `"sharded"`, `"dynamic"`, `"bitlane"`),
+    /// without the per-variant configuration.
+    #[must_use]
+    pub fn family(self) -> &'static str {
+        match self {
+            FloodEngine::Frontier => "frontier",
+            FloodEngine::Fast => "fast",
+            FloodEngine::Sharded { .. } => "sharded",
+            FloodEngine::Dynamic { .. } => "dynamic",
+            FloodEngine::BitLane => "bitlane",
+        }
+    }
+
+    /// Constructs a boxed source-less simulator for `graph` — the one
+    /// construction path behind [`AmnesiacFlooding::run`] and
+    /// [`FloodBatch`]. Seed it with [`Flooder::reset`] (or
+    /// [`Flooder::reset_lanes`]) before running.
+    ///
+    /// `horizon` is the round cap the caller will run with; the dynamic
+    /// engine generates its churn schedule out to that horizon (the other
+    /// engines ignore it).
+    #[must_use]
+    pub fn flooder<'g>(self, graph: &'g Graph, horizon: u32) -> Box<dyn Flooder + 'g> {
+        match self {
+            FloodEngine::Frontier => Box::new(FrontierFlooding::new(graph, [])),
+            FloodEngine::Fast => Box::new(FastFlooding::new(graph, [])),
+            FloodEngine::Sharded { threads, strategy } => Box::new(ShardedFlooding::new(
+                graph,
+                Partition::new(graph, strategy, threads),
+                [],
+            )),
+            // Streamed deltas: O(graph) memory at any horizon.
+            FloodEngine::Dynamic { churn } => {
+                Box::new(DynamicFlooding::with_spec(graph, [], churn, horizon))
+            }
+            FloodEngine::BitLane => Box::new(BitLaneFlooding::new(
+                graph,
+                core::iter::empty::<[NodeId; 0]>(),
+            )),
+        }
+    }
+}
+
+/// The canonical engine string: `frontier`, `fast`, `bitlane`,
+/// `sharded:<threads>:<partitioner>`, or `dynamic:<churn>` (with
+/// [`ChurnSpec`]'s own `kind:rate_pm:seed` / `none` syntax). This is the
+/// **one** spelling shared by `--engine`, the benchmark JSON's
+/// `engine_spec` rows, and the wire protocol — [`FloodEngine::from_str`]
+/// parses every string this emits back to an equal value (property-tested).
+impl fmt::Display for FloodEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloodEngine::Frontier => f.write_str("frontier"),
+            FloodEngine::Fast => f.write_str("fast"),
+            FloodEngine::BitLane => f.write_str("bitlane"),
+            FloodEngine::Sharded { threads, strategy } => {
+                write!(f, "sharded:{threads}:{}", strategy.name())
+            }
+            FloodEngine::Dynamic { churn } => write!(f, "dynamic:{churn}"),
+        }
+    }
+}
+
+/// Error from parsing a [`FloodEngine`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineError(String);
+
+impl fmt::Display for ParseEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseEngineError {}
+
+/// Parses the canonical engine syntax (see the [`fmt::Display`] impl),
+/// plus the obvious shorthands: bare `sharded` (= [`DEFAULT_SHARD_THREADS`]
+/// threads, `bfs` partitioner), `sharded:<k>` (= `bfs`), and bare
+/// `dynamic` (= zero churn).
+impl FromStr for FloodEngine {
+    type Err = ParseEngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (head, config) = match s.split_once(':') {
+            Some((head, config)) => (head, Some(config)),
+            None => (s, None),
+        };
+        match (head, config) {
+            ("frontier", None) => Ok(FloodEngine::Frontier),
+            ("fast", None) => Ok(FloodEngine::Fast),
+            ("bitlane", None) => Ok(FloodEngine::BitLane),
+            ("frontier" | "fast" | "bitlane", Some(_)) => Err(ParseEngineError(format!(
+                "engine '{head}' takes no ':' parameters (got '{s}')"
+            ))),
+            ("sharded", config) => {
+                let (threads, strategy) = match config {
+                    None => (DEFAULT_SHARD_THREADS, PartitionStrategy::Bfs),
+                    Some(config) => {
+                        let (threads, strategy) = match config.split_once(':') {
+                            None => (config, None),
+                            Some((threads, strategy)) => (threads, Some(strategy)),
+                        };
+                        let threads = threads.parse().map_err(|_| {
+                            ParseEngineError(format!(
+                                "bad thread count '{threads}' in engine '{s}'"
+                            ))
+                        })?;
+                        let strategy = match strategy {
+                            None => PartitionStrategy::Bfs,
+                            Some(name) => name.parse().map_err(|_| {
+                                ParseEngineError(format!(
+                                    "bad partitioner '{name}' in engine '{s}' \
+                                     (use contiguous, round-robin, or bfs)"
+                                ))
+                            })?,
+                        };
+                        (threads, strategy)
+                    }
+                };
+                Ok(FloodEngine::Sharded { threads, strategy })
+            }
+            ("dynamic", config) => {
+                let churn = match config {
+                    None => ChurnSpec::NONE,
+                    Some(config) => config.parse().map_err(|e| {
+                        ParseEngineError(format!("bad churn spec in engine '{s}': {e}"))
+                    })?,
+                };
+                Ok(FloodEngine::Dynamic { churn })
+            }
+            _ => Err(ParseEngineError(format!(
+                "unknown engine '{s}' (use frontier, fast, sharded[:k[:partitioner]], \
+                 dynamic[:churn], or bitlane)"
+            ))),
+        }
+    }
 }
 
 /// Builder for an amnesiac-flooding execution ([C-BUILDER]).
@@ -146,10 +299,10 @@ impl<'g> AmnesiacFlooding<'g> {
     /// # Panics
     ///
     /// [`AmnesiacFlooding::run`] panics if a churn schedule is combined
-    /// with the [`FloodEngine::Sharded`] or [`FloodEngine::BitLane`]
-    /// engines — churn floods run on the dynamic engine only, and silently
-    /// switching engines would mislabel the record (the CLI rejects the
-    /// same combinations as argument errors).
+    /// with the [`FloodEngine::Fast`], [`FloodEngine::Sharded`], or
+    /// [`FloodEngine::BitLane`] engines — churn floods run on the dynamic
+    /// engine only, and silently switching engines would mislabel the
+    /// record (the CLI rejects the same combinations as argument errors).
     #[must_use]
     pub fn with_churn(mut self, schedule: ChurnSchedule) -> Self {
         self.churn = Some(schedule);
@@ -174,110 +327,39 @@ impl<'g> AmnesiacFlooding<'g> {
         let cap = self
             .max_rounds
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
-        let sources = self.sources.iter().copied();
-        let dynamic_sim = match (&self.churn, self.engine) {
-            (Some(_), FloodEngine::Sharded { .. } | FloodEngine::BitLane) => panic!(
-                "churn floods run on the dynamic engine; do not combine \
-                 with_churn with the sharded or bitlane engines"
-            ),
-            (Some(schedule), _) => {
-                Some(DynamicFlooding::new(self.graph, sources, schedule.clone()))
+        let mut sim: Box<dyn Flooder + '_> = match (&self.churn, self.engine) {
+            (Some(_), FloodEngine::Fast | FloodEngine::Sharded { .. } | FloodEngine::BitLane) => {
+                panic!(
+                    "churn floods run on the dynamic engine; do not combine \
+                 with_churn with the fast, sharded, or bitlane engines"
+                )
             }
-            (None, FloodEngine::Dynamic { churn }) => {
-                // Streamed: the per-round deltas are generated on demand,
-                // never materialized — O(graph) memory at any scale.
-                Some(DynamicFlooding::with_spec(self.graph, sources, churn, cap))
-            }
-            (None, _) => None,
+            // Explicit schedule (replay / hand-built) supersedes the
+            // engine choice; the empty schedule is bit-identical to
+            // frontier, so nothing is mislabeled.
+            (Some(schedule), _) => Box::new(DynamicFlooding::new(self.graph, [], schedule.clone())),
+            (None, engine) => engine.flooder(self.graph, cap),
         };
-        if let Some(mut sim) = dynamic_sim {
-            let outcome = sim.run(cap);
-            // Joins may have grown the node space; the record covers the
-            // final node count.
-            return self.collect(
-                sim.node_count(),
-                outcome,
-                |v| sim.receipts(v),
-                sim.messages_per_round(),
-                sim.total_messages(),
-            );
-        }
-        match self.engine {
-            FloodEngine::Frontier => {
-                let mut sim = FrontierFlooding::new(self.graph, self.sources.iter().copied());
-                let outcome = sim.run(cap);
-                self.collect(
-                    self.graph.node_count(),
-                    outcome,
-                    |v| sim.receipts(v),
-                    sim.messages_per_round(),
-                    sim.total_messages(),
-                )
-            }
-            FloodEngine::Sharded { threads, strategy } => {
-                let mut sim = ShardedFlooding::with_strategy(
-                    self.graph,
-                    strategy,
-                    threads,
-                    self.sources.iter().copied(),
-                );
-                let outcome = sim.run(cap);
-                self.collect(
-                    self.graph.node_count(),
-                    outcome,
-                    |v| sim.receipts(v),
-                    sim.messages_per_round(),
-                    sim.total_messages(),
-                )
-            }
-            FloodEngine::BitLane => {
-                let mut sim = BitLaneFlooding::new(self.graph, [self.sources.iter().copied()]);
-                let outcome = sim.run(cap);
-                let n = self.graph.node_count();
-                // Unpack lane 0's receipts from the (round, lane mask)
-                // pairs into the per-node round lists `collect` consumes.
-                let receipts: Vec<Vec<u32>> = (0..n)
-                    .map(|i| sim.lane_receipts(NodeId::new(i), 0))
-                    .collect();
-                self.collect(
-                    n,
-                    outcome,
-                    |v| receipts[v.index()].as_slice(),
-                    sim.messages_per_round(),
-                    sim.total_messages(),
-                )
-            }
-            FloodEngine::Dynamic { .. } => unreachable!("handled by the schedule path above"),
-        }
+        sim.reset(&mut self.sources.iter().copied());
+        let outcome = sim.run(cap);
+        self.collect(&*sim, outcome)
     }
 
     /// Assembles the engine-independent run record from a finished
-    /// simulator's receipts and counters. `n` is the simulator's final
-    /// node count (it can exceed the input graph's under join churn).
-    fn collect<'a, F>(
-        &self,
-        n: usize,
-        outcome: Outcome,
-        receipts: F,
-        messages_per_round: &[u64],
-        total_messages: u64,
-    ) -> FloodingRun
-    where
-        F: Fn(NodeId) -> &'a [u32],
-    {
-        let mut receive_rounds = Vec::with_capacity(n);
-        for v in (0..n).map(NodeId::new) {
-            receive_rounds.push(receipts(v).to_vec());
-        }
+    /// simulator's receipts and counters. The record covers the
+    /// simulator's **final** node count — join churn can grow the node
+    /// space past the input graph's mid-flood.
+    fn collect(&self, sim: &dyn Flooder, outcome: Outcome) -> FloodingRun {
+        let receive_rounds = sim.receive_rounds();
         let rounds_executed = outcome.rounds_executed();
         let mut round_sets: Vec<Vec<NodeId>> = vec![Vec::new(); rounds_executed as usize + 1];
         let mut sorted_sources = self.sources.clone();
         sorted_sources.sort_unstable();
         sorted_sources.dedup();
         round_sets[0] = sorted_sources.clone();
-        for v in (0..n).map(NodeId::new) {
-            for &r in receipts(v) {
-                round_sets[r as usize].push(v);
+        for (i, rounds) in receive_rounds.iter().enumerate() {
+            for &r in rounds {
+                round_sets[r as usize].push(NodeId::new(i));
             }
         }
 
@@ -286,8 +368,8 @@ impl<'g> AmnesiacFlooding<'g> {
             sorted_sources,
             receive_rounds,
             round_sets,
-            messages_per_round.to_vec(),
-            total_messages,
+            sim.messages_per_round().to_vec(),
+            sim.total_messages(),
         )
     }
 }
@@ -491,7 +573,10 @@ impl FloodStats {
 /// ```
 #[derive(Debug)]
 pub struct FloodBatch<'g> {
-    sim: BatchSim<'g>,
+    /// The batch's graph (for the dynamic engine: the pristine base graph
+    /// every flood restarts from, not the mid-churn snapshot).
+    graph: &'g Graph,
+    sim: Box<dyn Flooder + 'g>,
     max_rounds: Option<u32>,
     /// The spec behind a *generated* dynamic schedule (None for the
     /// static engines and for explicit [`FloodBatch::with_churn`]
@@ -499,20 +584,6 @@ pub struct FloodBatch<'g> {
     /// the schedule to match a new cap — churn must cover every round the
     /// batch can execute.
     churn_spec: Option<ChurnSpec>,
-}
-
-/// The reusable simulator inside a [`FloodBatch`].
-#[derive(Debug)]
-enum BatchSim<'g> {
-    Frontier(FrontierFlooding<'g>),
-    Sharded(ShardedFlooding<'g>),
-    /// Owns its (churning) graph state; `reset` restores the base graph.
-    /// Boxed: the owned graphs make it much larger than the borrowing
-    /// variants, and a batch holds exactly one simulator.
-    Dynamic(Box<DynamicFlooding>),
-    /// Boxed for the same reason: the inline per-lane termination and
-    /// message arrays (64 lanes each) dwarf the borrowing variants.
-    BitLane(Box<BitLaneFlooding<'g>>),
 }
 
 impl<'g> FloodBatch<'g> {
@@ -532,39 +603,18 @@ impl<'g> FloodBatch<'g> {
     /// keep on floods whose rounds carry real work.
     #[must_use]
     pub fn with_engine(graph: &'g Graph, engine: FloodEngine) -> Self {
-        let sim = match engine {
-            FloodEngine::Frontier => {
-                let mut sim = FrontierFlooding::new(graph, []);
-                sim.set_record_receipts(false);
-                BatchSim::Frontier(sim)
-            }
-            FloodEngine::Sharded { threads, strategy } => {
-                let mut sim =
-                    ShardedFlooding::new(graph, Partition::new(graph, strategy, threads), []);
-                sim.set_record_receipts(false);
-                BatchSim::Sharded(sim)
-            }
-            FloodEngine::Dynamic { churn } => {
-                // Streamed deltas: O(graph) memory at any horizon.
-                let horizon = 2 * graph.node_count() as u32 + 2;
-                let mut sim = DynamicFlooding::with_spec(graph, [], churn, horizon);
-                sim.set_record_receipts(false);
-                return FloodBatch {
-                    sim: BatchSim::Dynamic(Box::new(sim)),
-                    max_rounds: None,
-                    churn_spec: Some(churn),
-                };
-            }
-            FloodEngine::BitLane => {
-                let mut sim = BitLaneFlooding::new(graph, core::iter::empty::<[NodeId; 0]>());
-                sim.set_record_receipts(false);
-                BatchSim::BitLane(Box::new(sim))
-            }
-        };
+        // Streamed dynamic deltas: O(graph) memory at this horizon.
+        let horizon = 2 * graph.node_count() as u32 + 2;
+        let mut sim = engine.flooder(graph, horizon);
+        sim.set_record_receipts(false);
         FloodBatch {
+            graph,
             sim,
             max_rounds: None,
-            churn_spec: None,
+            churn_spec: match engine {
+                FloodEngine::Dynamic { churn } => Some(churn),
+                _ => None,
+            },
         }
     }
 
@@ -578,7 +628,8 @@ impl<'g> FloodBatch<'g> {
         let mut sim = DynamicFlooding::new(graph, [], schedule);
         sim.set_record_receipts(false);
         FloodBatch {
-            sim: BatchSim::Dynamic(Box::new(sim)),
+            graph,
+            sim: Box::new(sim),
             max_rounds: None,
             churn_spec: None,
         }
@@ -592,11 +643,10 @@ impl<'g> FloodBatch<'g> {
     #[must_use]
     pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = Some(max_rounds);
-        if let (Some(churn), BatchSim::Dynamic(sim)) = (self.churn_spec, &mut self.sim) {
-            let base = sim.base_graph().clone();
-            let mut fresh = DynamicFlooding::with_spec(&base, [], churn, max_rounds);
+        if let Some(churn) = self.churn_spec {
+            let mut fresh = DynamicFlooding::with_spec(self.graph, [], churn, max_rounds);
             fresh.set_record_receipts(false);
-            **sim = fresh;
+            self.sim = Box::new(fresh);
         }
         self
     }
@@ -605,12 +655,13 @@ impl<'g> FloodBatch<'g> {
     /// base graph every flood starts from, not the mid-churn snapshot).
     #[must_use]
     pub fn graph(&self) -> &Graph {
-        match &self.sim {
-            BatchSim::Frontier(sim) => sim.graph(),
-            BatchSim::Sharded(sim) => sim.graph(),
-            BatchSim::Dynamic(sim) => sim.base_graph(),
-            BatchSim::BitLane(sim) => sim.graph(),
-        }
+        self.graph
+    }
+
+    /// The per-flood round cap currently in force.
+    fn cap(&self) -> u32 {
+        self.max_rounds
+            .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2)
     }
 
     /// Runs one flood from `sources`, reusing the simulator's allocations.
@@ -622,40 +673,13 @@ impl<'g> FloodBatch<'g> {
     where
         I: IntoIterator<Item = NodeId>,
     {
-        let cap = self
-            .max_rounds
-            .unwrap_or_else(|| 2 * self.graph().node_count() as u32 + 2);
-        match &mut self.sim {
-            BatchSim::Frontier(sim) => {
-                sim.reset(sources);
-                FloodStats {
-                    outcome: sim.run(cap),
-                    total_messages: sim.total_messages(),
-                }
-            }
-            BatchSim::Sharded(sim) => {
-                sim.reset(sources);
-                FloodStats {
-                    outcome: sim.run(cap),
-                    total_messages: sim.total_messages(),
-                }
-            }
-            BatchSim::Dynamic(sim) => {
-                sim.reset(sources);
-                FloodStats {
-                    outcome: sim.run(cap),
-                    total_messages: sim.total_messages(),
-                }
-            }
-            // A single flood occupies lane 0 alone; with one lane the
-            // all-lane outcome and message total are the lane's own.
-            BatchSim::BitLane(sim) => {
-                sim.reset([sources]);
-                FloodStats {
-                    outcome: sim.run(cap),
-                    total_messages: sim.total_messages(),
-                }
-            }
+        let cap = self.cap();
+        self.sim.reset(&mut sources.into_iter());
+        FloodStats {
+            outcome: self.sim.run(cap),
+            // One flood at a time: the all-lane total is the flood's own
+            // even on the (single-lane-occupied) bitlane engine.
+            total_messages: self.sim.total_messages(),
         }
     }
 
@@ -668,40 +692,36 @@ impl<'g> FloodBatch<'g> {
     }
 
     /// Runs one flood per source set, in order, appending one
-    /// [`FloodStats`] per set to `out`. On the [`FloodEngine::BitLane`]
-    /// engine the sets are chunked into groups of up to 64 bit lanes and
-    /// each group floods in one bit-parallel run — `chunks` leaves the
-    /// final partial group exactly `len % 64` lanes wide (or a full 64
-    /// when the count divides evenly), so no lane is ever padded or
-    /// dropped. Every other engine floods the sets one by one via
-    /// [`FloodBatch::run_from`]. A warm batch appends into spare `out`
-    /// capacity without touching the allocator.
+    /// [`FloodStats`] per set to `out`. On a multi-lane engine (the
+    /// [`FloodEngine::BitLane`] engine's [`Flooder::lane_capacity`] is 64)
+    /// the sets are chunked into full-width lane groups and each group
+    /// floods in one bit-parallel run — `chunks` leaves the final partial
+    /// group exactly `len % 64` lanes wide (or a full 64 when the count
+    /// divides evenly), so no lane is ever padded or dropped. Single-lane
+    /// engines flood the sets one by one via [`FloodBatch::run_from`]. A
+    /// warm batch appends into spare `out` capacity without touching the
+    /// allocator.
     ///
     /// # Panics
     ///
     /// Panics if a source is out of range.
     pub fn run_many_into(&mut self, source_sets: &[Vec<NodeId>], out: &mut Vec<FloodStats>) {
-        if !matches!(self.sim, BatchSim::BitLane(_)) {
+        let lanes = self.sim.lane_capacity();
+        if lanes == 1 {
             for set in source_sets {
                 let stats = self.run_from(set.iter().copied());
                 out.push(stats);
             }
             return;
         }
-        let cap = self
-            .max_rounds
-            .unwrap_or_else(|| 2 * self.graph().node_count() as u32 + 2);
-        let BatchSim::BitLane(sim) = &mut self.sim else {
-            unreachable!("checked above");
-        };
-        for chunk in source_sets.chunks(LANES) {
-            sim.reset(chunk.iter().map(|set| set.iter().copied()));
-            sim.run(cap);
-            debug_assert_eq!(sim.lane_count(), chunk.len());
+        let cap = self.cap();
+        for chunk in source_sets.chunks(lanes) {
+            self.sim.reset_lanes(chunk);
+            self.sim.run(cap);
             for lane in 0..chunk.len() {
                 out.push(FloodStats {
-                    outcome: sim.lane_outcome(lane),
-                    total_messages: sim.lane_messages(lane),
+                    outcome: self.sim.lane_outcome(lane),
+                    total_messages: self.sim.lane_messages(lane),
                 });
             }
         }
@@ -918,6 +938,145 @@ mod tests {
     #[test]
     fn default_engine_is_frontier() {
         assert_eq!(FloodEngine::default(), FloodEngine::Frontier);
+    }
+
+    #[test]
+    fn fast_engine_does_not_change_the_record() {
+        let g = generators::petersen();
+        let base = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()]).run();
+        let fast = AmnesiacFlooding::multi_source(&g, [0.into(), 6.into()])
+            .with_engine(FloodEngine::Fast)
+            .run();
+        assert_eq!(base, fast);
+
+        let mut frontier = FloodBatch::new(&g);
+        let mut fast = FloodBatch::with_engine(&g, FloodEngine::Fast);
+        for v in g.nodes() {
+            assert_eq!(frontier.run_from([v]), fast.run_from([v]), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "churn floods run on the dynamic engine")]
+    fn churn_with_fast_engine_is_rejected_not_silently_switched() {
+        let g = generators::cycle(6);
+        let _ = AmnesiacFlooding::single_source(&g, 0.into())
+            .with_engine(FloodEngine::Fast)
+            .with_churn(ChurnSchedule::empty())
+            .run();
+    }
+
+    #[test]
+    fn engine_display_is_canonical() {
+        assert_eq!(FloodEngine::Frontier.to_string(), "frontier");
+        assert_eq!(FloodEngine::Fast.to_string(), "fast");
+        assert_eq!(FloodEngine::BitLane.to_string(), "bitlane");
+        assert_eq!(
+            FloodEngine::Sharded {
+                threads: 3,
+                strategy: PartitionStrategy::RoundRobin,
+            }
+            .to_string(),
+            "sharded:3:round-robin"
+        );
+        assert_eq!(
+            FloodEngine::Dynamic {
+                churn: ChurnSpec::NONE,
+            }
+            .to_string(),
+            "dynamic:none"
+        );
+        assert_eq!(
+            FloodEngine::Dynamic {
+                churn: "mix:50:7".parse().unwrap(),
+            }
+            .to_string(),
+            "dynamic:mix:50:7"
+        );
+    }
+
+    #[test]
+    fn engine_from_str_accepts_shorthands() {
+        assert_eq!("frontier".parse(), Ok(FloodEngine::Frontier));
+        assert_eq!("fast".parse(), Ok(FloodEngine::Fast));
+        assert_eq!("bitlane".parse(), Ok(FloodEngine::BitLane));
+        assert_eq!(
+            "sharded".parse(),
+            Ok(FloodEngine::Sharded {
+                threads: DEFAULT_SHARD_THREADS,
+                strategy: PartitionStrategy::Bfs,
+            })
+        );
+        assert_eq!(
+            "sharded:7".parse(),
+            Ok(FloodEngine::Sharded {
+                threads: 7,
+                strategy: PartitionStrategy::Bfs,
+            })
+        );
+        assert_eq!(
+            "sharded:2:contiguous".parse(),
+            Ok(FloodEngine::Sharded {
+                threads: 2,
+                strategy: PartitionStrategy::Contiguous,
+            })
+        );
+        assert_eq!(
+            "dynamic".parse(),
+            Ok(FloodEngine::Dynamic {
+                churn: ChurnSpec::NONE,
+            })
+        );
+        assert_eq!(
+            "dynamic:edge:200:4".parse::<FloodEngine>().unwrap(),
+            FloodEngine::Dynamic {
+                churn: "edge:200:4".parse().unwrap(),
+            }
+        );
+    }
+
+    #[test]
+    fn engine_from_str_rejects_malformed_strings() {
+        for bad in [
+            "",
+            "warp",
+            "frontier:2",
+            "fast:1",
+            "bitlane:64",
+            "sharded:x",
+            "sharded:2:zigzag",
+            "dynamic:mix:50", // churn needs kind:rate:seed
+            "dynamic:mix:50:7:9",
+            "Frontier", // case-sensitive: one canonical spelling
+        ] {
+            assert!(bad.parse::<FloodEngine>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn engine_string_roundtrip_on_named_cases() {
+        let engines = [
+            FloodEngine::Frontier,
+            FloodEngine::Fast,
+            FloodEngine::BitLane,
+            FloodEngine::Sharded {
+                threads: 0,
+                strategy: PartitionStrategy::Bfs,
+            },
+            FloodEngine::Sharded {
+                threads: 16,
+                strategy: PartitionStrategy::Contiguous,
+            },
+            FloodEngine::Dynamic {
+                churn: ChurnSpec::NONE,
+            },
+            FloodEngine::Dynamic {
+                churn: "nodes:1000:0".parse().unwrap(),
+            },
+        ];
+        for engine in engines {
+            assert_eq!(engine.to_string().parse(), Ok(engine), "{engine}");
+        }
     }
 
     #[test]

@@ -168,6 +168,200 @@ where
     }
 }
 
+/// A reusable exact-time oracle for one graph: the bipartite double cover
+/// is built **once**, and every query after that is a multi-source BFS
+/// over the cached cover using epoch-stamped scratch buffers — zero
+/// allocation per warm [`PredictIndex::summary`] query, `O(n + m)` time.
+///
+/// This is the index `af-serve` caches per registered graph: the
+/// cold path (rebuild the cover per query, as the CLI one-shot does) pays
+/// the cover construction and fresh BFS allocations on every call; the
+/// warm path amortizes them across millions of predictions.
+/// [`PredictIndex::predict`] is **bit-identical** to the free-standing
+/// [`predict`] — a unit test below confronts them on the zoo.
+#[derive(Debug)]
+pub struct PredictIndex {
+    cover: algo::DoubleCover,
+    /// BFS distance per cover node; valid iff `mark` carries this query's
+    /// epoch (the stamp trick makes reset O(1) instead of O(2n)).
+    dist: Vec<u32>,
+    mark: Vec<u32>,
+    epoch: u32,
+    queue: Vec<NodeId>,
+}
+
+/// The scalar slice of a [`Prediction`], for callers that do not need the
+/// per-node receive schedule (the serve hot path). With the `serde`
+/// feature it serializes field-for-field, so `af-serve` returns it on the
+/// wire directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PredictSummary {
+    /// Predicted termination round (0 when nothing is ever sent).
+    pub termination_round: u32,
+    /// Predicted total message count.
+    pub total_messages: u64,
+    /// Predicted number of distinct informed nodes.
+    pub informed_count: usize,
+}
+
+impl PredictIndex {
+    /// Builds the index for `graph` (one double-cover construction).
+    #[must_use]
+    pub fn new(graph: &Graph) -> Self {
+        let cover = double_cover(graph);
+        let cover_n = cover.graph().node_count();
+        PredictIndex {
+            cover,
+            dist: vec![0; cover_n],
+            mark: vec![0; cover_n],
+            epoch: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Node count of the base graph this index answers for.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.cover.base_node_count()
+    }
+
+    /// Multi-source BFS over the cached cover from the even lifts of
+    /// `sources`. After this, `self.reached(x)` / `self.dist[x]` describe
+    /// the query.
+    fn bfs<I>(&mut self, sources: I)
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wraparound: old stamps could alias the new epoch.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+        let n = self.node_count();
+        for v in sources {
+            assert!(v.index() < n, "source {v} out of range");
+            let x = self.cover.lift(v, Parity::Even);
+            if self.mark[x.index()] != self.epoch {
+                self.mark[x.index()] = self.epoch;
+                self.dist[x.index()] = 0;
+                self.queue.push(x);
+            }
+        }
+        let mut head = 0;
+        while let Some(&x) = self.queue.get(head) {
+            head += 1;
+            let d = self.dist[x.index()] + 1;
+            for &y in self.cover.graph().neighbors(x) {
+                if self.mark[y.index()] != self.epoch {
+                    self.mark[y.index()] = self.epoch;
+                    self.dist[y.index()] = d;
+                    self.queue.push(y);
+                }
+            }
+        }
+    }
+
+    /// Was cover node `x` reached by the current query's BFS?
+    fn reached(&self, x: NodeId) -> bool {
+        self.mark[x.index()] == self.epoch
+    }
+
+    /// The round at which the current query reaches `(u, p)`, if it does
+    /// and the round is positive (round 0 is the send, not a receipt).
+    fn receive_round(&self, u: NodeId, p: Parity) -> Option<u32> {
+        let x = self.cover.lift(u, p);
+        match self.reached(x) {
+            true if self.dist[x.index()] > 0 => Some(self.dist[x.index()]),
+            _ => None,
+        }
+    }
+
+    /// Messages of the current query: one per cover edge with both
+    /// endpoints reached (see [`predict`]).
+    fn messages(&self) -> u64 {
+        self.cover
+            .graph()
+            .edge_list()
+            .filter(|&(a, b)| self.reached(a) && self.reached(b))
+            .count() as u64
+    }
+
+    /// The complete receive schedule — bit-identical to [`predict`] on the
+    /// same graph and sources, with the cover construction amortized away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn predict<I>(&mut self, sources: I) -> Prediction
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.bfs(sources);
+        let n = self.node_count();
+        let mut receive_rounds = vec![Vec::new(); n];
+        let mut termination = 0u32;
+        for u in (0..n).map(NodeId::new) {
+            let mut rounds = Vec::new();
+            for p in [Parity::Even, Parity::Odd] {
+                if let Some(d) = self.receive_round(u, p) {
+                    rounds.push(d);
+                }
+            }
+            rounds.sort_unstable();
+            termination = termination.max(rounds.last().copied().unwrap_or(0));
+            receive_rounds[u.index()] = rounds;
+        }
+        Prediction {
+            receive_rounds,
+            termination_round: termination,
+            messages: self.messages(),
+        }
+    }
+
+    /// The scalar prediction only — termination round, message count,
+    /// informed nodes — with **zero allocation** on a warm index. The
+    /// fields agree exactly with [`PredictIndex::predict`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is out of range.
+    pub fn summary<I>(&mut self, sources: I) -> PredictSummary
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.bfs(sources);
+        let n = self.node_count();
+        let mut termination = 0u32;
+        let mut informed = 0usize;
+        for u in (0..n).map(NodeId::new) {
+            let mut any = false;
+            for p in [Parity::Even, Parity::Odd] {
+                if let Some(d) = self.receive_round(u, p) {
+                    termination = termination.max(d);
+                    any = true;
+                }
+            }
+            informed += usize::from(any);
+        }
+        // Messages without the O(m) cover-edge scan [`Self::messages`]
+        // does: BFS reaches every neighbor of a reached node, so a cover
+        // edge with one reached endpoint has both reached — the counted
+        // edge set is exactly the one induced by the reached nodes, i.e.
+        // half the degree sum over the BFS queue. O(reached) per query,
+        // and bit-equal to the edge filter (the cross-check tests pin it).
+        let cover = self.cover.graph();
+        let degree_sum: u64 = self.queue.iter().map(|&x| cover.degree(x) as u64).sum();
+        PredictSummary {
+            termination_round: termination,
+            total_messages: degree_sum / 2,
+            informed_count: informed,
+        }
+    }
+}
+
 /// The same prediction as [`predict`], computed by parity-constrained BFS
 /// on the base graph instead of materializing the double cover.
 ///
@@ -710,6 +904,69 @@ mod tests {
             let (lo, hi) = termination_bounds(&g, g.nodes()).unwrap();
             assert!(lo <= t && t <= hi, "{g}");
         }
+    }
+
+    #[test]
+    fn predict_index_is_bit_identical_to_predict() {
+        let zoo: Vec<(Graph, Vec<usize>)> = vec![
+            (generators::petersen(), vec![0]),
+            (generators::petersen(), vec![0, 7, 9]),
+            (generators::cycle(7), vec![2]),
+            (generators::cycle(8), vec![0, 4]),
+            (generators::grid(4, 5), vec![0, 19]),
+            (generators::complete(6), vec![1, 2, 3]),
+            (generators::barbell(4), vec![0]),
+            (generators::path(9), vec![0, 8]),
+            (generators::lollipop(4, 5), vec![8]),
+        ];
+        for (g, set) in zoo {
+            let srcs: Vec<NodeId> = set.iter().map(|&s| NodeId::new(s)).collect();
+            let mut index = PredictIndex::new(&g);
+            assert_eq!(index.node_count(), g.node_count());
+            let want = predict(&g, srcs.iter().copied());
+            let got = index.predict(srcs.iter().copied());
+            assert_eq!(got, want, "{g} from {set:?}");
+            let summary = index.summary(srcs.iter().copied());
+            assert_eq!(summary.termination_round, want.termination_round());
+            assert_eq!(summary.total_messages, want.total_messages());
+            assert_eq!(summary.informed_count, want.informed_count());
+        }
+
+        // One index, many queries: warm queries must stay exact — the
+        // whole point of the epoch-stamped scratch.
+        let g = generators::petersen();
+        let mut index = PredictIndex::new(&g);
+        let sets: Vec<Vec<NodeId>> = vec![
+            vec![0.into()],
+            vec![0.into(), 7.into(), 9.into()],
+            vec![3.into()],
+            g.nodes().collect(),
+            vec![0.into()], // repeat: first query must be reproducible
+        ];
+        for srcs in sets {
+            let want = predict(&g, srcs.iter().copied());
+            assert_eq!(index.predict(srcs.iter().copied()), want, "{srcs:?}");
+        }
+    }
+
+    #[test]
+    fn predict_index_handles_empty_and_repeated_sources() {
+        let g = generators::cycle(6);
+        let mut index = PredictIndex::new(&g);
+        let empty = index.summary([]);
+        assert_eq!(empty.termination_round, 0);
+        assert_eq!(empty.total_messages, 0);
+        assert_eq!(empty.informed_count, 0);
+        // Duplicates collapse, and a query after the empty one is unpolluted.
+        let dup = index.predict([0.into(), 0.into()]);
+        assert_eq!(dup, predict(&g, [0.into()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn predict_index_rejects_out_of_range_sources() {
+        let g = generators::cycle(4);
+        let _ = PredictIndex::new(&g).summary([9.into()]);
     }
 
     #[test]

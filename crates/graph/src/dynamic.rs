@@ -71,6 +71,7 @@ use std::collections::BTreeSet;
 /// nodes joined earlier in the same batch, since ids are allocated in
 /// order).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphDelta {
     /// Nodes that leave: each is marked departed and loses every incident
     /// edge. Departed ids are retired, never reused.
@@ -109,6 +110,7 @@ impl GraphDelta {
 /// invalid at application time (see the skip rules on `apply`) are counted
 /// in `edits_skipped` instead of being applied.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AppliedDelta {
     /// Edges removed (including those removed by a leave's incident sweep).
     pub edges_deleted: usize,

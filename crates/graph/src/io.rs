@@ -39,6 +39,41 @@ pub fn to_edge_list(graph: &Graph) -> String {
     out
 }
 
+/// Parses graph text in either supported format, auto-detected.
+///
+/// A first non-comment, non-blank line starting with the `n` node-count
+/// header selects the edge-list format; anything else is parsed as
+/// graph6. This is the sniffing rule every text entry point shares — the
+/// CLI's file loader and the `af-serve` daemon's `Load` verb both call
+/// it, so a file that loads in one loads in the other.
+///
+/// # Errors
+///
+/// Returns the parse error of the format that was attempted.
+///
+/// # Examples
+///
+/// ```
+/// use af_graph::{generators, io};
+///
+/// let g = generators::cycle(3);
+/// assert_eq!(io::from_text(&io::to_edge_list(&g))?, g);
+/// assert_eq!(io::from_text("Bw")?, g); // graph6 C_3
+/// # Ok::<(), af_graph::GraphError>(())
+/// ```
+pub fn from_text(text: &str) -> Result<Graph, GraphError> {
+    let looks_like_edge_list = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| l.starts_with("n ") || l == "n");
+    if looks_like_edge_list {
+        from_edge_list(text)
+    } else {
+        from_graph6(text)
+    }
+}
+
 /// Parses the edge-list text format produced by [`to_edge_list`].
 ///
 /// # Errors

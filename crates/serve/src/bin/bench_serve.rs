@@ -1,0 +1,188 @@
+//! Measures what the daemon exists for: warm-index predict throughput
+//! versus paying the cold per-query cost (re-parse the graph text, build
+//! the double cover, BFS) that a process-per-query workflow pays.
+//!
+//! ```text
+//! bench_serve             # full grid (~1e6-edge instance per family)
+//! bench_serve --smoke     # CI-sized instances
+//! bench_serve --out PATH  # write the report somewhere else
+//! ```
+//!
+//! Writes `BENCH_serve.json` (schema below). Every warm answer is
+//! cross-checked against the cold oracle before timing is trusted: a
+//! speedup over wrong answers would be worthless.
+//!
+//! Report schema (`schema_version` 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "benchmark": "serve_predict",
+//!   "mode": "full",
+//!   "cases": [
+//!     {
+//!       "family": "grid",
+//!       "spec": "grid(708x708)",
+//!       "nodes": 501264,
+//!       "edges": 1001112,
+//!       "cold_queries": 2,
+//!       "warm_queries": 64,
+//!       "cold_ms_per_predict": 1234.5,
+//!       "warm_ms_per_predict": 56.7,
+//!       "warm_predictions_per_sec": 17.6,
+//!       "speedup": 21.8
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use af_core::theory;
+use af_graph::{io, NodeId};
+use af_serve::{Request, Response, Server};
+use serde::Serialize;
+
+/// One family's cold-versus-warm measurement.
+#[derive(Debug, Serialize)]
+struct ServeCase {
+    family: String,
+    spec: String,
+    nodes: usize,
+    edges: usize,
+    cold_queries: usize,
+    warm_queries: usize,
+    cold_ms_per_predict: f64,
+    warm_ms_per_predict: f64,
+    warm_predictions_per_sec: f64,
+    speedup: f64,
+}
+
+/// The whole report, as written to `BENCH_serve.json`.
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    schema_version: u32,
+    benchmark: String,
+    mode: String,
+    cases: Vec<ServeCase>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => return fail("--out needs a path"),
+            },
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let report = run(smoke);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        return fail(&format!("writing {out}: {e}"));
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("bench_serve: {message}");
+    ExitCode::FAILURE
+}
+
+fn run(smoke: bool) -> ServeReport {
+    let (cold_queries, warm_queries) = if smoke { (4, 64) } else { (2, 64) };
+    let mut cases = Vec::new();
+    for (family, specs) in af_analysis::bench::cases(smoke) {
+        let spec = specs.last().expect("every family has specs").clone();
+        eprintln!("[{family}] building {spec} ...");
+        let graph = spec.build();
+        let text = io::to_edge_list(&graph);
+        let (nodes, edges) = (graph.node_count(), graph.edge_count());
+
+        // The served path: load once, predict many.
+        let server = Server::default();
+        let loaded = server.registry().execute(&Request::Load {
+            name: family.to_owned(),
+            graph: text.clone(),
+        });
+        assert!(matches!(loaded, Response::Registered { .. }), "{loaded:?}");
+
+        let sources = spread_sources(nodes, warm_queries.max(cold_queries));
+        let predict = |set: Vec<usize>| Request::Predict {
+            graph: family.to_owned(),
+            source_sets: vec![set],
+        };
+
+        // Untimed first query builds the index; its answer (and a few
+        // more) are cross-checked against the free oracle.
+        for &src in sources.iter().take(3) {
+            let resp = server.registry().execute(&predict(vec![src]));
+            let Response::Predicted { predictions } = resp else {
+                panic!("predict failed: {resp:?}");
+            };
+            let oracle = theory::predict(&graph, [NodeId::new(src)]);
+            assert_eq!(predictions[0].termination_round, oracle.termination_round());
+            assert_eq!(predictions[0].total_messages, oracle.total_messages());
+        }
+
+        let start = Instant::now();
+        for q in 0..warm_queries {
+            let resp = server
+                .registry()
+                .execute(&predict(vec![sources[q % sources.len()]]));
+            assert!(matches!(resp, Response::Predicted { .. }), "{resp:?}");
+        }
+        let warm = start.elapsed();
+
+        // The cold path a daemon-less workflow pays per query: re-parse
+        // the graph text, rebuild the double cover, BFS once.
+        let start = Instant::now();
+        for q in 0..cold_queries {
+            let g = io::from_text(&text).expect("round-trips");
+            let p = theory::predict(&g, [NodeId::new(sources[q % sources.len()])]);
+            std::hint::black_box(p.termination_round());
+        }
+        let cold = start.elapsed();
+
+        let cold_ms = cold.as_secs_f64() * 1e3 / cold_queries as f64;
+        let warm_ms = warm.as_secs_f64() * 1e3 / warm_queries as f64;
+        eprintln!(
+            "[{family}] n={nodes} m={edges}: cold {cold_ms:.2} ms/predict, \
+             warm {warm_ms:.3} ms/predict ({:.1}x)",
+            cold_ms / warm_ms
+        );
+        cases.push(ServeCase {
+            family: family.to_owned(),
+            spec: spec.label(),
+            nodes,
+            edges,
+            cold_queries,
+            warm_queries,
+            cold_ms_per_predict: cold_ms,
+            warm_ms_per_predict: warm_ms,
+            warm_predictions_per_sec: 1e3 / warm_ms,
+            speedup: cold_ms / warm_ms,
+        });
+    }
+    ServeReport {
+        schema_version: 1,
+        benchmark: "serve_predict".to_owned(),
+        mode: if smoke { "smoke" } else { "full" }.to_owned(),
+        cases,
+    }
+}
+
+/// `count` well-spread node ids (first, stride steps, last).
+fn spread_sources(n: usize, count: usize) -> Vec<usize> {
+    let count = count.min(n).max(1);
+    (0..count).map(|i| i * (n - 1) / count.max(1)).collect()
+}

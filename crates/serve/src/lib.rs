@@ -1,0 +1,34 @@
+//! `af-serve`: amnesiac flooding as a long-lived service.
+//!
+//! The other binaries in this workspace pay graph-construction and
+//! double-cover costs per invocation. This crate keeps them: a daemon
+//! loads graphs **once** into a named [`registry`], answers concurrent
+//! requests over newline-delimited JSON — one [`protocol::Request`] per
+//! line in, one [`protocol::Response`] per line out — on TCP and on
+//! stdio, and caches the per-graph double-cover
+//! [`af_core::theory::PredictIndex`] so every exact-time prediction
+//! after the first is a zero-allocation BFS on a warm index
+//! (`BENCH_serve.json` quantifies the win).
+//!
+//! The daemon adds **no third execution semantics**: floods run through
+//! [`af_core::api::FloodRequest::execute`], the same call the CLI's
+//! `flood` command and the benchmark harness make, so a response over
+//! the wire is bit-identical to the in-process answer (the loopback
+//! integration test pins this). Errors are
+//! [`af_core::api::ErrorResponse`] values with stable codes; a
+//! malformed line never kills a connection, let alone the daemon.
+//!
+//! See PROTOCOL.md for the wire format, verb by verb, and the
+//! "Serving" section of the README for a transcript.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use protocol::{Request, Response};
+pub use registry::Registry;
+pub use server::Server;

@@ -1,0 +1,78 @@
+//! The `af-serve` daemon binary.
+//!
+//! ```text
+//! af-serve                     # serve stdin/stdout (one JSON line each way)
+//! af-serve --listen 127.0.0.1:7171   # serve TCP, thread per connection
+//! af-serve --line-cap 1048576  # override the per-line byte cap
+//! ```
+//!
+//! Diagnostics go to stderr; the protocol stream is never polluted. On
+//! TCP the daemon prints `listening on <addr>` to stderr once the
+//! socket is bound (with `--listen 127.0.0.1:0` the line reveals the
+//! picked port). A `Shutdown` request on any connection drains and
+//! stops the daemon; so does EOF on stdin in stdio mode.
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use af_serve::server::DEFAULT_LINE_CAP;
+use af_serve::Server;
+
+const USAGE: &str = "usage: af-serve [--listen ADDR] [--line-cap BYTES]
+
+Serve the flooding protocol (PROTOCOL.md) as newline-delimited JSON.
+Default transport is stdio; --listen ADDR serves TCP instead.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen: Option<String> = None;
+    let mut line_cap = DEFAULT_LINE_CAP;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => match iter.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => return usage_error("--listen needs an address"),
+            },
+            "--line-cap" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(cap)) if cap > 0 => line_cap = cap,
+                _ => return usage_error("--line-cap needs a positive byte count"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let server = Server::new(line_cap);
+    let outcome = match listen {
+        Some(addr) => serve_tcp(&server, &addr),
+        None => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            server.serve_stdio(BufReader::new(stdin.lock()), stdout.lock())
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("af-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_tcp(server: &Server, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("listening on {}", listener.local_addr()?);
+    io::stderr().flush()?;
+    server.serve_tcp(&listener)
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("af-serve: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,268 @@
+//! The wire protocol: one JSON value per line, request in, response out.
+//!
+//! Every request line deserializes to a [`Request`] and every response
+//! line serializes from a [`Response`], both in serde's externally-tagged
+//! form — a one-entry object keyed by the verb (`{"Load": {...}}`), or a
+//! bare string for the verbs that carry no payload (`"Stats"`,
+//! `"Shutdown"`). This is the same representation every other serialized
+//! enum in the workspace uses (`GraphSpec` in the benchmark JSON, for
+//! one), so a recorded `spec` pastes straight into a `Gen` request.
+//!
+//! The flood payload is [`af_core::api::FloodRequest`] — the exact struct
+//! the CLI and the benchmark harness execute — and failures are
+//! [`af_core::api::ErrorResponse`] values with stable codes from
+//! [`af_core::api::code`]. PROTOCOL.md documents every verb, field, and
+//! code; `tests/doc_links.rs` keeps that file reachable from the README.
+
+use af_analysis::GraphSpec;
+use af_core::api::{ErrorResponse, FloodRequest, FloodResponse};
+use af_core::theory::PredictSummary;
+use af_graph::dynamic::GraphDelta;
+use serde::{Deserialize, Serialize};
+
+/// One client request: the verb and its payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Register (or replace) a graph under `name` from graph text —
+    /// edge-list format (`n <count>` header + `u v` lines) or graph6.
+    Load {
+        /// Registry name; reusing a name replaces the previous graph.
+        name: String,
+        /// The graph text, both formats auto-detected.
+        graph: String,
+    },
+    /// Register (or replace) a graph under `name` built from a
+    /// [`GraphSpec`] — the same serialized spec the benchmark records,
+    /// so any `BENCH_flooding.json` case is loadable verbatim.
+    Gen {
+        /// Registry name; reusing a name replaces the previous graph.
+        name: String,
+        /// The generator instance to build.
+        spec: GraphSpec,
+    },
+    /// Exact-time oracle predictions for source sets on a registered
+    /// graph — answered from the cached per-graph double-cover index
+    /// (built lazily on the first `Predict`, reused until a `Mutate`).
+    Predict {
+        /// The registered graph to query.
+        graph: String,
+        /// One prediction per set of source node ids.
+        source_sets: Vec<Vec<usize>>,
+    },
+    /// Run one flood on a registered graph: a single source set on the
+    /// chosen engine. Sugar for a one-set [`Request::Batch`].
+    Flood {
+        /// The registered graph to flood.
+        graph: String,
+        /// The flood's source node ids.
+        sources: Vec<usize>,
+        /// Canonical engine string (empty = default engine).
+        engine: String,
+        /// Per-flood round cap (`0` = the default `2n + 2`).
+        max_rounds: u32,
+    },
+    /// Run a batch of floods on a registered graph — the full
+    /// [`FloodRequest`] surface: many source sets, any engine
+    /// (bitlane-chunked 64 sets per pass), a round cap.
+    Batch {
+        /// The registered graph to flood.
+        graph: String,
+        /// The workload, exactly as the CLI and benchmark execute it.
+        request: FloodRequest,
+    },
+    /// Apply topology edits to a registered graph, in batch order. The
+    /// graph's node-id space evolves exactly as
+    /// [`af_graph::dynamic::DeltaGraph::apply`] documents (departed ids
+    /// retire, joins append); the cached predict index is invalidated.
+    Mutate {
+        /// The registered graph to edit.
+        graph: String,
+        /// Edit batches, applied atomically one after another.
+        deltas: Vec<GraphDelta>,
+    },
+    /// Server and registry counters. No payload: the wire form is the
+    /// bare string `"Stats"`.
+    Stats,
+    /// Drain in-flight requests, then stop the server. No payload: the
+    /// wire form is the bare string `"Shutdown"`.
+    Shutdown,
+}
+
+/// One server response: the outcome keyed by what happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A `Load`/`Gen` succeeded: the registered graph's shape.
+    Registered {
+        /// The name the graph is registered under.
+        name: String,
+        /// Node count of the registered graph.
+        nodes: usize,
+        /// Edge count of the registered graph.
+        edges: usize,
+    },
+    /// A `Predict` succeeded: one summary per requested source set, in
+    /// order.
+    Predicted {
+        /// Termination round, total messages, informed count — per set.
+        predictions: Vec<PredictSummary>,
+    },
+    /// A `Flood` or `Batch` succeeded: the engine that ran (canonical
+    /// string, defaults resolved) and one summary per source set.
+    Flooded(FloodResponse),
+    /// A `Mutate` succeeded: what the batches did and the graph's new
+    /// shape.
+    Mutated {
+        /// The mutated graph's name.
+        name: String,
+        /// Node count after all batches (departed ids still count —
+        /// ids are never reused).
+        nodes: usize,
+        /// Edge count after all batches.
+        edges: usize,
+        /// Total edits applied across all batches.
+        edits_applied: usize,
+        /// Total requested edits skipped as invalid (see
+        /// [`af_graph::dynamic::AppliedDelta::edits_skipped`]).
+        edits_skipped: usize,
+    },
+    /// A `Stats` succeeded.
+    Stats(ServerStats),
+    /// Acknowledges a `Shutdown`: the server stops accepting new work
+    /// and exits once in-flight requests drain.
+    ShuttingDown,
+    /// The request failed; `code` is stable, `message` is diagnostic.
+    Error(ErrorResponse),
+}
+
+/// Registry-wide counters returned by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests answered so far (this one included), errors included.
+    pub requests: u64,
+    /// How many of those answered with [`Response::Error`].
+    pub errors: u64,
+    /// Every registered graph, in name order.
+    pub graphs: Vec<GraphInfo>,
+}
+
+/// One registered graph's row in [`ServerStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphInfo {
+    /// Registry name.
+    pub name: String,
+    /// Current node count.
+    pub nodes: usize,
+    /// Current edge count.
+    pub edges: usize,
+    /// Whether the double-cover predict index is currently built (it
+    /// appears on the first `Predict` and disappears on `Mutate`).
+    pub indexed: bool,
+    /// `Mutate` batches applied over the graph's lifetime.
+    pub mutations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_as_json() {
+        let requests = vec![
+            Request::Load {
+                name: "g".into(),
+                graph: "n 2\n0 1\n".into(),
+            },
+            Request::Gen {
+                name: "grid".into(),
+                spec: GraphSpec::Grid { rows: 3, cols: 4 },
+            },
+            Request::Predict {
+                graph: "g".into(),
+                source_sets: vec![vec![0], vec![0, 1]],
+            },
+            Request::Flood {
+                graph: "g".into(),
+                sources: vec![0],
+                engine: String::new(),
+                max_rounds: 0,
+            },
+            Request::Batch {
+                graph: "g".into(),
+                request: FloodRequest::single(vec![1]),
+            },
+            Request::Mutate {
+                graph: "g".into(),
+                deltas: vec![GraphDelta {
+                    insert_edges: vec![(0, 1)],
+                    ..GraphDelta::default()
+                }],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let line = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req, "{line}");
+        }
+    }
+
+    #[test]
+    fn payload_free_verbs_are_bare_strings() {
+        assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+        assert_eq!(
+            serde_json::to_string(&Request::Shutdown).unwrap(),
+            "\"Shutdown\""
+        );
+        assert_eq!(
+            serde_json::to_string(&Response::ShuttingDown).unwrap(),
+            "\"ShuttingDown\""
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip_as_json() {
+        let responses = vec![
+            Response::Registered {
+                name: "g".into(),
+                nodes: 10,
+                edges: 15,
+            },
+            Response::Predicted {
+                predictions: vec![PredictSummary {
+                    termination_round: 5,
+                    total_messages: 30,
+                    informed_count: 10,
+                }],
+            },
+            Response::Mutated {
+                name: "g".into(),
+                nodes: 11,
+                edges: 14,
+                edits_applied: 3,
+                edits_skipped: 1,
+            },
+            Response::Stats(ServerStats {
+                requests: 7,
+                errors: 1,
+                graphs: vec![GraphInfo {
+                    name: "g".into(),
+                    nodes: 10,
+                    edges: 15,
+                    indexed: true,
+                    mutations: 2,
+                }],
+            }),
+            Response::ShuttingDown,
+            Response::Error(ErrorResponse::new(
+                af_core::api::code::UNKNOWN_GRAPH,
+                "no graph named 'g'",
+            )),
+        ];
+        for resp in responses {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp, "{line}");
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! The graph registry: named graphs loaded once, shared by every
+//! connection, mutated in place, with a lazily built predict index per
+//! graph.
+//!
+//! Locking layout, coarsest to finest:
+//!
+//! - [`Registry`] holds the name → entry map behind a `RwLock`; request
+//!   handlers take a read lock just long enough to clone the entry's
+//!   `Arc`, so `Load`/`Gen` (the only writers) never block in-flight
+//!   floods.
+//! - Each [`GraphEntry`] keeps an `Arc<Graph>` **snapshot** behind its
+//!   own `RwLock`. Floods and predictions clone the `Arc` and drop the
+//!   lock before doing any work, so arbitrarily slow floods never hold a
+//!   lock; `Mutate` builds the next snapshot under the entry's
+//!   [`DeltaGraph`] mutex and swaps it in atomically.
+//! - The per-graph [`PredictIndex`] sits behind a mutex: the double
+//!   cover is built once on the first `Predict` and every later query is
+//!   a zero-allocation BFS on the warm index, until a `Mutate`
+//!   invalidates it. Queries on one graph serialize (the index's scratch
+//!   is reused); queries on different graphs run concurrently.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use af_core::api::{code, ErrorResponse};
+use af_core::theory::{PredictIndex, PredictSummary};
+use af_graph::dynamic::{DeltaGraph, GraphDelta};
+use af_graph::{Graph, NodeId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::protocol::{GraphInfo, Request, Response, ServerStats};
+
+/// One registered graph and its cached derived state.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// The evolving topology; `Mutate` applies batches under this lock.
+    delta: Mutex<DeltaGraph>,
+    /// Immutable snapshot of the current topology, swapped after each
+    /// mutation. Readers clone the `Arc` and work lock-free.
+    snapshot: RwLock<Arc<Graph>>,
+    /// Lazily built double-cover oracle over the current snapshot;
+    /// `None` until the first `Predict` and again after every `Mutate`.
+    index: Mutex<Option<PredictIndex>>,
+    /// `Mutate` batches applied over this graph's lifetime.
+    mutations: AtomicU64,
+}
+
+impl GraphEntry {
+    fn new(graph: Graph) -> Self {
+        GraphEntry {
+            delta: Mutex::new(DeltaGraph::new(&graph)),
+            snapshot: RwLock::new(Arc::new(graph)),
+            index: Mutex::new(None),
+            mutations: AtomicU64::new(0),
+        }
+    }
+
+    /// The current topology as a cheap shared handle.
+    pub fn snapshot(&self) -> Arc<Graph> {
+        Arc::clone(&self.snapshot.read())
+    }
+}
+
+/// The daemon's shared state: the graph map plus request counters.
+///
+/// Every verb funnels through [`Registry::execute`], which returns the
+/// wire [`Response`] and keeps the counters honest (errors included).
+/// The registry is transport-agnostic — the TCP server, the stdio
+/// server, and the in-process tests all drive the same object.
+#[derive(Debug, Default)]
+pub struct Registry {
+    graphs: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Executes one request and returns its response, counting both.
+    ///
+    /// [`Request::Shutdown`] is answered with
+    /// [`Response::ShuttingDown`]; actually stopping the transport is
+    /// the server's job (the registry has no connections to close).
+    pub fn execute(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = match request {
+            Request::Load { name, graph } => self.load(name, graph),
+            Request::Gen { name, spec } => Ok(self.register(name, spec.build())),
+            Request::Predict { graph, source_sets } => self.predict(graph, source_sets),
+            Request::Flood {
+                graph,
+                sources,
+                engine,
+                max_rounds,
+            } => {
+                let request = af_core::api::FloodRequest {
+                    source_sets: vec![sources.clone()],
+                    engine: engine.clone(),
+                    max_rounds: *max_rounds,
+                };
+                self.batch(graph, &request)
+            }
+            Request::Batch { graph, request } => self.batch(graph, request),
+            Request::Mutate { graph, deltas } => self.mutate(graph, deltas),
+            Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Shutdown => Ok(Response::ShuttingDown),
+        };
+        result.unwrap_or_else(|e| self.reject(e))
+    }
+
+    /// Wraps a failure as a [`Response::Error`], counting it — also used
+    /// by the server for failures that never reach a handler (unparsable
+    /// or oversized lines, requests after shutdown began).
+    pub fn reject(&self, error: ErrorResponse) -> Response {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        Response::Error(error)
+    }
+
+    /// Counts a request the server answered without a handler (the
+    /// post-shutdown error path calls [`Self::reject`] right after).
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up a registered graph's entry.
+    ///
+    /// # Errors
+    ///
+    /// [`code::UNKNOWN_GRAPH`] if no graph has that name.
+    pub fn entry(&self, name: &str) -> Result<Arc<GraphEntry>, ErrorResponse> {
+        self.graphs.read().get(name).map(Arc::clone).ok_or_else(|| {
+            ErrorResponse::new(code::UNKNOWN_GRAPH, format!("no graph named '{name}'"))
+        })
+    }
+
+    fn load(&self, name: &str, text: &str) -> Result<Response, ErrorResponse> {
+        let graph = af_graph::io::from_text(text)
+            .map_err(|e| ErrorResponse::new(code::BAD_GRAPH, format!("{e}")))?;
+        Ok(self.register(name, graph))
+    }
+
+    fn register(&self, name: &str, graph: Graph) -> Response {
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let entry = Arc::new(GraphEntry::new(graph));
+        self.graphs.write().insert(name.to_owned(), entry);
+        Response::Registered {
+            name: name.to_owned(),
+            nodes,
+            edges,
+        }
+    }
+
+    fn predict(&self, name: &str, source_sets: &[Vec<usize>]) -> Result<Response, ErrorResponse> {
+        let entry = self.entry(name)?;
+        // The oracle itself panics on out-of-range ids, so validate
+        // against the snapshot first — a malformed request must come
+        // back as an error, not kill the connection.
+        let n = entry.snapshot().node_count();
+        for (i, set) in source_sets.iter().enumerate() {
+            if let Some(&v) = set.iter().find(|&&v| v >= n) {
+                return Err(ErrorResponse::new(
+                    code::BAD_SOURCE,
+                    format!("source {v} in set {i} out of range for {n} nodes"),
+                ));
+            }
+        }
+        let mut guard = entry.index.lock();
+        let index = guard.get_or_insert_with(|| PredictIndex::new(&entry.snapshot()));
+        let predictions: Vec<PredictSummary> = source_sets
+            .iter()
+            .map(|set| index.summary(set.iter().copied().map(NodeId::new)))
+            .collect();
+        Ok(Response::Predicted { predictions })
+    }
+
+    fn batch(
+        &self,
+        name: &str,
+        request: &af_core::api::FloodRequest,
+    ) -> Result<Response, ErrorResponse> {
+        let snapshot = self.entry(name)?.snapshot();
+        request.execute(&snapshot).map(Response::Flooded)
+    }
+
+    fn mutate(&self, name: &str, deltas: &[GraphDelta]) -> Result<Response, ErrorResponse> {
+        let entry = self.entry(name)?;
+        let mut delta = entry.delta.lock();
+        let mut edits_applied = 0;
+        let mut edits_skipped = 0;
+        for batch in deltas {
+            let applied = delta.apply(batch);
+            edits_applied += applied.edges_deleted
+                + applied.edges_inserted
+                + applied.nodes_left
+                + applied.nodes_joined;
+            edits_skipped += applied.edits_skipped;
+        }
+        entry
+            .mutations
+            .fetch_add(deltas.len() as u64, Ordering::Relaxed);
+        // Publish the new topology and drop the stale oracle while still
+        // holding the delta lock, so a racing Predict can never cache an
+        // index over the old snapshot after the swap.
+        let nodes = delta.node_count();
+        let edges = delta.edge_count();
+        *entry.snapshot.write() = Arc::new(delta.graph().clone());
+        *entry.index.lock() = None;
+        Ok(Response::Mutated {
+            name: name.to_owned(),
+            nodes,
+            edges,
+            edits_applied,
+            edits_skipped,
+        })
+    }
+
+    fn stats(&self) -> ServerStats {
+        let graphs = self
+            .graphs
+            .read()
+            .iter()
+            .map(|(name, entry)| {
+                let snapshot = entry.snapshot();
+                GraphInfo {
+                    name: name.clone(),
+                    nodes: snapshot.node_count(),
+                    edges: snapshot.edge_count(),
+                    indexed: entry.index.lock().is_some(),
+                    mutations: entry.mutations.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            graphs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_analysis::GraphSpec;
+    use af_core::api::FloodRequest;
+    use af_graph::generators;
+
+    fn registry_with(name: &str, spec: GraphSpec) -> Registry {
+        let registry = Registry::new();
+        let resp = registry.execute(&Request::Gen {
+            name: name.into(),
+            spec,
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        registry
+    }
+
+    #[test]
+    fn load_accepts_both_text_formats() {
+        let registry = Registry::new();
+        let resp = registry.execute(&Request::Load {
+            name: "el".into(),
+            graph: af_graph::io::to_edge_list(&generators::petersen()),
+        });
+        assert_eq!(
+            resp,
+            Response::Registered {
+                name: "el".into(),
+                nodes: 10,
+                edges: 15,
+            }
+        );
+        let resp = registry.execute(&Request::Load {
+            name: "g6".into(),
+            graph: "Bw".into(), // graph6 C_3
+        });
+        assert_eq!(
+            resp,
+            Response::Registered {
+                name: "g6".into(),
+                nodes: 3,
+                edges: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_graph_are_stable_codes() {
+        let registry = Registry::new();
+        let resp = registry.execute(&Request::Predict {
+            graph: "ghost".into(),
+            source_sets: vec![vec![0]],
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::UNKNOWN_GRAPH);
+
+        let resp = registry.execute(&Request::Load {
+            name: "bad".into(),
+            graph: "n 2\n0 7\n".into(),
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::BAD_GRAPH);
+
+        let stats = registry.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 2);
+        assert!(stats.graphs.is_empty());
+    }
+
+    #[test]
+    fn predict_matches_the_free_oracle_and_caches_the_index() {
+        let registry = registry_with("g", GraphSpec::Grid { rows: 4, cols: 5 });
+        let g = GraphSpec::Grid { rows: 4, cols: 5 }.build();
+        let sets = vec![vec![0], vec![3, 17], vec![0, 1, 2]];
+        let resp = registry.execute(&Request::Predict {
+            graph: "g".into(),
+            source_sets: sets.clone(),
+        });
+        let Response::Predicted { predictions } = resp else {
+            panic!("expected predictions, got {resp:?}");
+        };
+        for (set, summary) in sets.iter().zip(&predictions) {
+            let free = af_core::theory::predict(&g, set.iter().copied().map(NodeId::new));
+            assert_eq!(summary.termination_round, free.termination_round());
+            assert_eq!(summary.total_messages, free.total_messages());
+        }
+        let stats = registry.stats();
+        assert!(stats.graphs[0].indexed, "index caches after first predict");
+    }
+
+    #[test]
+    fn predict_rejects_out_of_range_sources_without_panicking() {
+        let registry = registry_with("g", GraphSpec::Cycle { n: 5 });
+        let resp = registry.execute(&Request::Predict {
+            graph: "g".into(),
+            source_sets: vec![vec![0], vec![5]],
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::BAD_SOURCE);
+        assert!(err.message.contains("set 1"), "{err}");
+    }
+
+    #[test]
+    fn flood_is_sugar_for_a_one_set_batch() {
+        let registry = registry_with("g", GraphSpec::Petersen);
+        let flood = registry.execute(&Request::Flood {
+            graph: "g".into(),
+            sources: vec![0],
+            engine: "bitlane".into(),
+            max_rounds: 0,
+        });
+        let batch = registry.execute(&Request::Batch {
+            graph: "g".into(),
+            request: FloodRequest {
+                source_sets: vec![vec![0]],
+                engine: "bitlane".into(),
+                max_rounds: 0,
+            },
+        });
+        assert_eq!(flood, batch);
+        let Response::Flooded(resp) = flood else {
+            panic!("expected flood response, got {flood:?}");
+        };
+        assert_eq!(resp.engine, "bitlane");
+        assert!(resp.floods[0].terminated);
+    }
+
+    #[test]
+    fn mutate_updates_topology_and_invalidates_the_index() {
+        let registry = registry_with("g", GraphSpec::Cycle { n: 4 });
+        let before = registry.execute(&Request::Predict {
+            graph: "g".into(),
+            source_sets: vec![vec![0]],
+        });
+        assert!(registry.stats().graphs[0].indexed);
+
+        // Delete one cycle edge: C_4 becomes P_4, eccentricity grows.
+        let resp = registry.execute(&Request::Mutate {
+            graph: "g".into(),
+            deltas: vec![GraphDelta {
+                delete_edges: vec![(0, 3)],
+                ..GraphDelta::default()
+            }],
+        });
+        assert_eq!(
+            resp,
+            Response::Mutated {
+                name: "g".into(),
+                nodes: 4,
+                edges: 3,
+                edits_applied: 1,
+                edits_skipped: 0,
+            }
+        );
+        let stats = registry.stats();
+        assert!(!stats.graphs[0].indexed, "mutation drops the index");
+        assert_eq!(stats.graphs[0].mutations, 1);
+
+        let after = registry.execute(&Request::Predict {
+            graph: "g".into(),
+            source_sets: vec![vec![0]],
+        });
+        assert_ne!(before, after, "prediction reflects the new topology");
+        let expected = af_core::theory::predict(&generators::path(4), [NodeId::new(0)]);
+        let Response::Predicted { predictions } = after else {
+            panic!("expected predictions, got {after:?}");
+        };
+        assert_eq!(
+            predictions[0].termination_round,
+            expected.termination_round()
+        );
+    }
+
+    #[test]
+    fn mutate_counts_skipped_edits() {
+        let registry = registry_with("g", GraphSpec::Path { n: 3 });
+        let resp = registry.execute(&Request::Mutate {
+            graph: "g".into(),
+            deltas: vec![GraphDelta {
+                delete_edges: vec![(0, 2)],         // not an edge of P_3
+                insert_edges: vec![(0, 2), (1, 1)], // second is a self-loop
+                ..GraphDelta::default()
+            }],
+        });
+        assert_eq!(
+            resp,
+            Response::Mutated {
+                name: "g".into(),
+                nodes: 3,
+                edges: 3,
+                edits_applied: 1,
+                edits_skipped: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn reloading_a_name_replaces_the_graph() {
+        let registry = registry_with("g", GraphSpec::Cycle { n: 3 });
+        let resp = registry.execute(&Request::Gen {
+            name: "g".into(),
+            spec: GraphSpec::Complete { n: 5 },
+        });
+        assert_eq!(
+            resp,
+            Response::Registered {
+                name: "g".into(),
+                nodes: 5,
+                edges: 10,
+            }
+        );
+        let stats = registry.stats();
+        assert_eq!(stats.graphs.len(), 1);
+        assert_eq!(stats.graphs[0].edges, 10);
+    }
+}

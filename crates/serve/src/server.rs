@@ -1,0 +1,421 @@
+//! The transports: newline-delimited JSON over TCP (thread per
+//! connection) and over stdio (single-threaded), both driving the same
+//! [`Registry`] through the same [`Server::handle_line`] — so anything
+//! the integration tests prove about one transport holds for the other.
+//!
+//! Robustness contract (PROTOCOL.md, "Errors"): a malformed line —
+//! garbage bytes, truncated JSON, an unknown verb, a line over the cap —
+//! produces a structured [`Response::Error`] on that line's slot and the
+//! connection survives. The only things that end a connection are EOF,
+//! an I/O error on the socket, and server shutdown. `Shutdown` flips a
+//! flag: the listener stops accepting, in-flight requests finish and
+//! their responses are written, later requests get a `shutting_down`
+//! error, and `serve_tcp` returns once every connection thread drains.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use af_core::api::{code, ErrorResponse};
+
+use crate::protocol::{Request, Response};
+use crate::registry::Registry;
+
+/// Default cap on one request line, in bytes (64 MiB — a `Load` of a
+/// million-edge edge-list text is ~14 MiB, so real workloads fit with
+/// room; a missing-newline stream cannot buffer unboundedly).
+pub const DEFAULT_LINE_CAP: usize = 64 << 20;
+
+/// How long a connection thread blocks in a read before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The shared server state: one registry plus the shutdown latch.
+///
+/// Transport-free by itself — [`Server::handle_line`] maps one request
+/// line to one response, and [`Server::serve_tcp`] /
+/// [`Server::serve_stdio`] wrap it in a transport. Tests drive
+/// `handle_line` directly to pin wire behavior without sockets.
+#[derive(Debug)]
+pub struct Server {
+    registry: Registry,
+    shutting_down: AtomicBool,
+    line_cap: usize,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new(DEFAULT_LINE_CAP)
+    }
+}
+
+impl Server {
+    /// A server with an empty registry and the given per-line byte cap.
+    #[must_use]
+    pub fn new(line_cap: usize) -> Self {
+        Server {
+            registry: Registry::new(),
+            shutting_down: AtomicBool::new(false),
+            line_cap,
+        }
+    }
+
+    /// The graph registry (shared by every connection).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Has a `Shutdown` request been accepted?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Begins the drain: no new work is accepted, the TCP accept loop
+    /// stops, connection threads exit after their current request.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Answers one request line: parse, execute, and return the
+    /// [`Response`] — never panicking and never killing the caller's
+    /// connection. Every error path is a structured [`Response::Error`].
+    pub fn handle_line(&self, line: &str) -> Response {
+        if self.is_shutting_down() {
+            self.registry.count_request();
+            return self.registry.reject(ErrorResponse::new(
+                code::SHUTTING_DOWN,
+                "server is draining for shutdown",
+            ));
+        }
+        let request: Request = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => {
+                self.registry.count_request();
+                return self
+                    .registry
+                    .reject(ErrorResponse::new(code::BAD_REQUEST, format!("{e}")));
+            }
+        };
+        if matches!(request, Request::Shutdown) {
+            self.begin_shutdown();
+        }
+        self.registry.execute(&request)
+    }
+
+    /// [`Self::handle_line`], serialized back to one response line
+    /// (without the trailing newline).
+    #[must_use]
+    pub fn handle_json(&self, line: &str) -> String {
+        serialize(&self.handle_line(line))
+    }
+
+    /// The response for a line that exceeded the cap (counted).
+    fn oversized(&self) -> Response {
+        self.registry.count_request();
+        self.registry.reject(ErrorResponse::new(
+            code::OVERSIZED,
+            format!("request line exceeds the {}-byte cap", self.line_cap),
+        ))
+    }
+
+    /// Serves newline-delimited JSON on stdin/stdout until EOF or a
+    /// `Shutdown` request. Single-threaded: one request, one response,
+    /// in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors on the two streams.
+    pub fn serve_stdio(&self, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
+        let mut lines = LineReader::new(input, self.line_cap);
+        loop {
+            let response = match lines.next_line()? {
+                LineRead::Eof => return Ok(()),
+                LineRead::Blank => continue,
+                LineRead::Oversized => self.oversized(),
+                LineRead::Line(line) => self.handle_line(&line),
+            };
+            output.write_all(serialize(&response).as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if self.is_shutting_down() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves newline-delimited JSON on a TCP listener, one thread per
+    /// connection, until a `Shutdown` request on any connection. Returns
+    /// after the drain: every connection thread has exited and every
+    /// in-flight response has been written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection I/O errors only
+    /// end that connection.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let outcome = crossbeam::scope(|scope| -> io::Result<()> {
+            while !self.is_shutting_down() {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        scope.spawn(move |_| {
+                            // A dropped client is that client's problem.
+                            let _ = self.serve_connection(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        });
+        outcome.expect("connection threads do not panic")
+    }
+
+    /// One connection's request/response loop.
+    fn serve_connection(&self, stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut lines = LineReader::new(reader, self.line_cap);
+        let mut stream = stream;
+        loop {
+            let response = match lines.next_line() {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Read timeout: no data right now. Keep waiting
+                    // unless the server is draining.
+                    if self.is_shutting_down() {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+                Ok(LineRead::Eof) => return Ok(()),
+                Ok(LineRead::Blank) => continue,
+                Ok(LineRead::Oversized) => self.oversized(),
+                Ok(LineRead::Line(line)) => self.handle_line(&line),
+            };
+            stream.write_all(serialize(&response).as_bytes())?;
+            stream.write_all(b"\n")?;
+            stream.flush()?;
+            if self.is_shutting_down() {
+                // Either this client asked for shutdown (it just got its
+                // `ShuttingDown` ack) or another did (this one just got
+                // its final response); close the connection so the
+                // accept loop's scope can drain.
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn serialize(response: &Response) -> String {
+    serde_json::to_string(response).expect("responses always serialize")
+}
+
+/// One read outcome from [`LineReader`].
+enum LineRead {
+    /// The stream ended cleanly.
+    Eof,
+    /// A whitespace-only line (ignored by both transports).
+    Blank,
+    /// One complete line within the cap.
+    Line(String),
+    /// A line exceeded the cap; its bytes were discarded through the
+    /// next newline (or EOF) and the stream is positioned after it.
+    Oversized,
+}
+
+/// A byte-capped, *resumable* line reader: if the underlying reader
+/// returns a timeout error mid-line (TCP read timeouts, used to poll the
+/// shutdown flag), the partial line is kept and the next call continues
+/// it — `BufRead::read_line` would lose that property.
+struct LineReader<R> {
+    reader: R,
+    cap: usize,
+    buf: Vec<u8>,
+    overflow: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(reader: R, cap: usize) -> Self {
+        LineReader {
+            reader,
+            cap,
+            buf: Vec::new(),
+            overflow: false,
+        }
+    }
+
+    fn next_line(&mut self) -> io::Result<LineRead> {
+        loop {
+            let available = self.reader.fill_buf()?;
+            if available.is_empty() {
+                // EOF. A partial unterminated line still gets answered.
+                return Ok(if self.overflow {
+                    self.overflow = false;
+                    LineRead::Oversized
+                } else if self.buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    self.take_line()
+                });
+            }
+            let (chunk, terminated, consumed) = match available.iter().position(|&b| b == b'\n') {
+                Some(i) => (&available[..i], true, i + 1),
+                None => (available, false, available.len()),
+            };
+            if !self.overflow {
+                self.buf.extend_from_slice(chunk);
+                if self.buf.len() > self.cap {
+                    self.overflow = true;
+                    self.buf.clear();
+                }
+            }
+            self.reader.consume(consumed);
+            if terminated {
+                return Ok(if self.overflow {
+                    self.overflow = false;
+                    LineRead::Oversized
+                } else {
+                    self.take_line()
+                });
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> LineRead {
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        if line.trim().is_empty() {
+            LineRead::Blank
+        } else {
+            LineRead::Line(line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_analysis::GraphSpec;
+
+    fn gen_line(name: &str, spec: &GraphSpec) -> String {
+        serde_json::to_string(&Request::Gen {
+            name: name.into(),
+            spec: spec.clone(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn malformed_lines_answer_with_errors_and_the_server_survives() {
+        let server = Server::default();
+        for garbage in [
+            "not json at all",
+            "{\"Load\": {\"name\": \"g\"",   // truncated
+            "{\"Warp\": {}}",                // unknown verb
+            "{\"Load\": {\"name\": \"g\"}}", // missing field
+            "[1, 2, 3]",                     // wrong shape
+            "\"Load\"",                      // payload verb as unit
+        ] {
+            let resp = server.handle_line(garbage);
+            let Response::Error(err) = resp else {
+                panic!("expected error for {garbage:?}, got {resp:?}");
+            };
+            assert_eq!(err.code, code::BAD_REQUEST, "{garbage:?}");
+        }
+        // The server still works after all that garbage.
+        let resp = server.handle_line(&gen_line("g", &GraphSpec::Petersen));
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let Response::Stats(stats) = server.handle_line("\"Stats\"") else {
+            panic!("stats");
+        };
+        assert_eq!(stats.errors, 6);
+        assert_eq!(stats.requests, 8);
+    }
+
+    #[test]
+    fn stdio_session_runs_and_shutdown_stops_it() {
+        let server = Server::default();
+        let input = format!(
+            "{}\n{}\n\n\"Shutdown\"\n{}\n",
+            gen_line("g", &GraphSpec::Cycle { n: 5 }),
+            "{\"Predict\": {\"graph\": \"g\", \"source_sets\": [[0]]}}",
+            "\"Stats\"", // never answered: the server stopped at Shutdown
+        );
+        let mut output = Vec::new();
+        server.serve_stdio(input.as_bytes(), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].starts_with("{\"Registered\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"Predicted\""), "{}", lines[1]);
+        assert_eq!(lines[2], "\"ShuttingDown\"");
+        assert!(server.is_shutting_down());
+        // Post-shutdown lines are refused, not executed.
+        let Response::Error(err) = server.handle_line("\"Stats\"") else {
+            panic!("expected shutting_down error");
+        };
+        assert_eq!(err.code, code::SHUTTING_DOWN);
+    }
+
+    #[test]
+    fn oversized_lines_error_and_the_session_continues() {
+        let server = Server::new(256);
+        let big = format!(
+            "{{\"Load\": {{\"name\": \"big\", \"graph\": \"{}\"}}}}",
+            "x".repeat(512)
+        );
+        let input = format!("{big}\n{}\n", gen_line("g", &GraphSpec::Petersen));
+        let mut output = Vec::new();
+        server.serve_stdio(input.as_bytes(), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"oversized\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"Registered\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline_still_answers() {
+        let server = Server::new(16);
+        let mut output = Vec::new();
+        server
+            .serve_stdio("x".repeat(64).as_bytes(), &mut output)
+            .unwrap();
+        let text = std::str::from_utf8(&output).unwrap();
+        assert!(text.contains("\"oversized\""), "{text}");
+    }
+
+    #[test]
+    fn line_reader_resumes_across_split_chunks() {
+        // A reader that yields one byte per fill_buf models a slow
+        // socket; the capped reader must reassemble the line.
+        struct OneByte<'a>(&'a [u8]);
+        impl io::Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                let n = usize::from(!self.0.is_empty() && !out.is_empty());
+                if n == 1 {
+                    out[0] = self.0[0];
+                    self.0 = &self.0[1..];
+                }
+                Ok(n)
+            }
+        }
+        let reader = BufReader::with_capacity(1, OneByte(b"\"Stats\"\nrest\n"));
+        let mut lines = LineReader::new(reader, 64);
+        let LineRead::Line(first) = lines.next_line().unwrap() else {
+            panic!("line");
+        };
+        assert_eq!(first, "\"Stats\"");
+        let LineRead::Line(second) = lines.next_line().unwrap() else {
+            panic!("line");
+        };
+        assert_eq!(second, "rest");
+        assert!(matches!(lines.next_line().unwrap(), LineRead::Eof));
+    }
+}

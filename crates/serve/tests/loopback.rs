@@ -1,0 +1,218 @@
+//! End-to-end TCP: a real daemon on a loopback socket, concurrent
+//! clients, and the tentpole guarantee — every byte a client reads back
+//! is **bit-identical** to serializing the in-process answer, because
+//! the wire adds no third execution semantics on top of
+//! `FloodRequest::execute` and the registry.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use af_analysis::GraphSpec;
+use af_core::api::{code, FloodRequest};
+use af_graph::dynamic::GraphDelta;
+use af_serve::{Registry, Request, Response, Server};
+
+/// A blocking NDJSON client: one request line out, one response line in.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn send_raw(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        self.stream.flush().expect("flush");
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read");
+        assert!(n > 0, "server closed the connection after {line:?}");
+        response.trim_end().to_owned()
+    }
+
+    fn send(&mut self, request: &Request) -> String {
+        self.send_raw(&serde_json::to_string(request).expect("serialize"))
+    }
+}
+
+/// One client's scripted session: register a private graph, predict,
+/// flood on several engines, mutate, and predict again.
+fn script(name: &str, spec: GraphSpec) -> Vec<Request> {
+    vec![
+        Request::Gen {
+            name: name.into(),
+            spec,
+        },
+        Request::Predict {
+            graph: name.into(),
+            source_sets: vec![vec![0], vec![0, 1]],
+        },
+        Request::Flood {
+            graph: name.into(),
+            sources: vec![0],
+            engine: String::new(),
+            max_rounds: 0,
+        },
+        Request::Batch {
+            graph: name.into(),
+            request: FloodRequest {
+                source_sets: vec![vec![0], vec![1], vec![0, 2]],
+                engine: "bitlane".into(),
+                max_rounds: 0,
+            },
+        },
+        Request::Mutate {
+            graph: name.into(),
+            deltas: vec![GraphDelta {
+                insert_edges: vec![(0, 2)],
+                ..GraphDelta::default()
+            }],
+        },
+        Request::Predict {
+            graph: name.into(),
+            source_sets: vec![vec![0]],
+        },
+        Request::Batch {
+            graph: name.into(),
+            request: FloodRequest {
+                source_sets: vec![vec![0]],
+                engine: "sharded:2:bfs".into(),
+                max_rounds: 0,
+            },
+        },
+    ]
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers_and_shutdown_drains() {
+    let server = Server::new(4096);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve_tcp(&listener));
+
+        // Four concurrent clients, each on its own graph so the mutate
+        // interleavings cannot affect each other's answers.
+        let specs = [
+            GraphSpec::Grid { rows: 12, cols: 13 },
+            GraphSpec::Cycle { n: 200 },
+            GraphSpec::Lollipop { k: 9, p: 30 },
+            GraphSpec::SparseConnected {
+                n: 150,
+                extra: 80,
+                seed: 11,
+            },
+        ];
+        let workers: Vec<_> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                scope.spawn(move || {
+                    let name = format!("g{i}");
+                    // The in-process reference: the same requests against
+                    // a private registry, no sockets involved.
+                    let reference = Registry::new();
+                    let mut client = Client::connect(addr);
+                    for request in script(&name, spec) {
+                        let expected =
+                            serde_json::to_string(&reference.execute(&request)).expect("serialize");
+                        let wire = client.send(&request);
+                        assert_eq!(wire, expected, "{request:?}");
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("client");
+        }
+
+        // Robustness on a live connection: garbage, truncated JSON, an
+        // oversized line — each answered with a structured error, and
+        // the same connection keeps working afterwards.
+        let mut client = Client::connect(addr);
+        for (garbage, want) in [
+            ("not json", code::BAD_REQUEST),
+            ("{\"Predict\": {\"graph\": \"g0\"", code::BAD_REQUEST),
+            (&"x".repeat(5000), code::OVERSIZED),
+        ] {
+            let resp: Response = serde_json::from_str(&client.send_raw(garbage)).expect("parse");
+            let Response::Error(err) = resp else {
+                panic!(
+                    "expected error for {:?}..., got {resp:?}",
+                    &garbage[..16.min(garbage.len())]
+                );
+            };
+            assert_eq!(err.code, want);
+        }
+        let resp: Response = serde_json::from_str(&client.send(&Request::Predict {
+            graph: "g2".into(),
+            source_sets: vec![vec![3]],
+        }))
+        .expect("parse");
+        assert!(
+            matches!(resp, Response::Predicted { .. }),
+            "connection survives garbage: {resp:?}"
+        );
+
+        // Stats sees all four graphs and a live error count.
+        let resp: Response = serde_json::from_str(&client.send(&Request::Stats)).expect("parse");
+        let Response::Stats(stats) = resp else {
+            panic!("expected stats, got {resp:?}");
+        };
+        let names: Vec<&str> = stats.graphs.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(names, ["g0", "g1", "g2", "g3"]);
+        assert_eq!(stats.errors, 3);
+        assert!(stats.graphs.iter().all(|g| g.mutations == 1));
+
+        // Shutdown: acknowledged, drained, and the accept loop returns.
+        let ack = client.send(&Request::Shutdown);
+        assert_eq!(ack, "\"ShuttingDown\"");
+        // The drain is the real proof of shutdown: serve_tcp only
+        // returns once the accept loop stopped AND every connection
+        // thread (this client's included) has exited.
+        serving.join().expect("server thread").expect("serve_tcp");
+        assert!(server.is_shutting_down());
+    });
+}
+
+#[test]
+fn post_shutdown_requests_on_open_connections_are_refused() {
+    let server = Server::default();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve_tcp(&listener));
+        let mut early = Client::connect(addr);
+        let resp = early.send(&Request::Gen {
+            name: "g".into(),
+            spec: GraphSpec::Petersen,
+        });
+        assert!(resp.starts_with("{\"Registered\""), "{resp}");
+
+        let mut closer = Client::connect(addr);
+        assert_eq!(closer.send(&Request::Shutdown), "\"ShuttingDown\"");
+
+        // The still-open first connection either gets a structured
+        // shutting_down refusal or a clean close — never a hang and
+        // never a served request.
+        early.stream.write_all(b"\"Stats\"\n").expect("write");
+        early.stream.flush().expect("flush");
+        let mut line = String::new();
+        let n = early.reader.read_line(&mut line).expect("read");
+        if n > 0 {
+            let resp: Response = serde_json::from_str(line.trim_end()).expect("parse");
+            let Response::Error(err) = resp else {
+                panic!("expected refusal, got {resp:?}");
+            };
+            assert_eq!(err.code, code::SHUTTING_DOWN);
+        }
+        serving.join().expect("server thread").expect("serve_tcp");
+    });
+}

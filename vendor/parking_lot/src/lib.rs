@@ -1,7 +1,8 @@
-//! Offline shim for the `parking_lot` crate: a `Mutex` with the
-//! poison-free API, backed by `std::sync::Mutex`. See `vendor/README.md`.
+//! Offline shim for the `parking_lot` crate: `Mutex` and `RwLock` with the
+//! poison-free API, backed by their `std::sync` counterparts. See
+//! `vendor/README.md`.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock` does not return a poison `Result`.
 #[derive(Debug, Default)]
@@ -29,6 +30,41 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read`/`write` do not return poison `Result`s.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access, blocking until no writer holds the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (parking_lot is poison-free;
+    /// the std backing makes poisoning observable only as this panic).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("rwlock poisoned")
+    }
+
+    /// Acquires exclusive write access, blocking until the lock is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (see [`RwLock::read`]).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("rwlock poisoned")
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("rwlock poisoned")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,5 +74,35 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_shared_across_threads() {
+        let l = std::sync::Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = std::sync::Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                        let _ = *l.read();
+                    }
+                });
+            }
+        });
+        assert_eq!(*l.read(), 400);
     }
 }
