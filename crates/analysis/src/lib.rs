@@ -14,7 +14,10 @@
 //! * [`mod@bench`] — the flooding throughput benchmark behind
 //!   `BENCH_flooding.json`: the frontier engine vs the scan baseline vs
 //!   the sharded multicore engine over graph families up to ~1e6 edges,
-//!   flooding from deterministic source sets of any size.
+//!   flooding from deterministic source sets of any size;
+//! * [`tracecheck`] — the NDJSON trace-replay checker: re-derives
+//!   round-sets and receive rounds from an [`af_core::obs`] trace and
+//!   asserts them equal to the engine's own record.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod exhaustive;
 pub mod experiments;
 pub mod report;
 pub mod sweep;
+pub mod tracecheck;
 
 mod spec;
 mod stats;

@@ -1,0 +1,502 @@
+//! Trace-replay verification: re-derive a flood's record from its NDJSON
+//! trace and assert it equal to the engine's own [`FloodingRun`].
+//!
+//! The observability layer ([`af_core::obs`]) makes each engine emit one
+//! JSON line per round, carrying the receiver set — which is exactly the
+//! paper's round-set `R_i`. That makes a trace *replayable*: the
+//! round-sets, per-node receive rounds, per-round message counts, and the
+//! termination round of the flood are all derivable from the trace alone,
+//! with no engine in the loop. This module does that derivation
+//! ([`parse_trace`], [`ParsedTrace::round_sets`],
+//! [`ParsedTrace::receive_rounds`]) and checks it against the live record
+//! ([`verify`]) — the cross-check behind `flood --trace-out`'s "replay
+//! verified" line and the CI obs-smoke job.
+//!
+//! Parsing is schema-checked: every line must carry the supported version
+//! ([`af_core::obs::TRACE_SCHEMA_VERSION`]), the first line must be a
+//! `start` event, round numbers must increase by exactly one, each round's
+//! `frontier` must equal its receiver count, and the trace must close with
+//! an `end` event. Unknown JSON fields are ignored, per the schema's
+//! compatibility rule.
+
+use af_core::FloodingRun;
+use af_graph::NodeId;
+use serde::Value;
+use std::fmt;
+
+/// A malformed or inconsistent trace: where it went wrong and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based trace line the error was detected at (0 when the error is
+    /// about the trace as a whole, e.g. a record mismatch).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl TraceError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        TraceError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn whole(message: impl Into<String>) -> Self {
+        TraceError::at(0, message)
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One `round` event from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRound {
+    /// 1-based round number.
+    pub round: u32,
+    /// Messages delivered this round.
+    pub delivered: u64,
+    /// Messages sent onward for the next round.
+    pub sent: u64,
+    /// In-flight messages lost to churn at this round's boundary.
+    pub lost: u64,
+    /// The receiver set — the paper's round-set `R_round` (sorted here,
+    /// whatever order the engine emitted).
+    pub receivers: Vec<NodeId>,
+    /// Engine-specific note (`"dense"`, `"sparse"`, `"exchange"`,
+    /// `"churn"`), if any.
+    pub note: Option<String>,
+}
+
+/// One `end` event from a trace (one per engine `run` call — a capped
+/// flood resumed by a second call reports twice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEnd {
+    /// Whether the flood had terminated when the `run` call returned.
+    pub terminated: bool,
+    /// Rounds executed in total at that point.
+    pub rounds: u32,
+    /// Messages delivered in total at that point.
+    pub messages: u64,
+}
+
+/// A fully parsed and schema-checked NDJSON flood trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedTrace {
+    /// Engine family that produced the trace.
+    pub engine: String,
+    /// Node count of the flooded graph at seeding time.
+    pub nodes: usize,
+    /// The seeded sources, sorted and deduplicated.
+    pub sources: Vec<NodeId>,
+    /// Every executed round, in order (round `i` at index `i - 1`).
+    pub rounds: Vec<TraceRound>,
+    /// Every `end` event, in order; the last one describes the final
+    /// state.
+    pub ends: Vec<TraceEnd>,
+}
+
+impl ParsedTrace {
+    /// The final `end` event (the trace grammar guarantees at least one).
+    #[must_use]
+    pub fn end(&self) -> TraceEnd {
+        *self.ends.last().expect("parse_trace requires an end event")
+    }
+
+    /// Re-derives the paper's round-sets from the trace alone: `R_0` is
+    /// the source set, `R_i` the sorted receiver set of round `i`.
+    #[must_use]
+    pub fn round_sets(&self) -> Vec<Vec<NodeId>> {
+        let mut sets = Vec::with_capacity(self.rounds.len() + 1);
+        sets.push(self.sources.clone());
+        for r in &self.rounds {
+            sets.push(r.receivers.clone());
+        }
+        sets
+    }
+
+    /// Re-derives the per-node receive-round table from the trace alone.
+    /// The table covers every node id the trace mentions (join churn can
+    /// grow the node space past the seeding-time count).
+    #[must_use]
+    pub fn receive_rounds(&self) -> Vec<Vec<u32>> {
+        let max_id = self
+            .rounds
+            .iter()
+            .flat_map(|r| r.receivers.iter())
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut table = vec![Vec::new(); self.nodes.max(max_id)];
+        for r in &self.rounds {
+            for &v in &r.receivers {
+                table[v.index()].push(r.round);
+            }
+        }
+        table
+    }
+
+    /// Per-round delivered-message counts (index 0 = round 1), the
+    /// trace-side mirror of [`FloodingRun::messages_per_round`].
+    #[must_use]
+    pub fn messages_per_round(&self) -> Vec<u64> {
+        self.rounds.iter().map(|r| r.delivered).collect()
+    }
+}
+
+/// Looks up an object field by key (the shim's `Value` keeps objects as
+/// ordered key-value lists).
+fn get<'v>(obj: &'v Value, key: &str) -> Option<&'v Value> {
+    obj.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The value as a non-negative integer, if it is one.
+fn as_u64(v: &Value) -> Option<u64> {
+    match *v {
+        Value::U64(x) => Some(x),
+        _ => None,
+    }
+}
+
+/// The value as a string, if it is one.
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Reads a required integer field as `u64`.
+fn field_u64(obj: &Value, key: &str, line: usize) -> Result<u64, TraceError> {
+    get(obj, key)
+        .and_then(as_u64)
+        .ok_or_else(|| TraceError::at(line, format!("missing or non-integer field '{key}'")))
+}
+
+/// Reads a required node-id array field.
+fn field_nodes(obj: &Value, key: &str, line: usize) -> Result<Vec<NodeId>, TraceError> {
+    let arr = get(obj, key)
+        .and_then(Value::as_seq)
+        .ok_or_else(|| TraceError::at(line, format!("missing or non-array field '{key}'")))?;
+    arr.iter()
+        .map(|v| {
+            as_u64(v)
+                .map(|id| NodeId::new(id as usize))
+                .ok_or_else(|| TraceError::at(line, format!("non-integer node id in '{key}'")))
+        })
+        .collect()
+}
+
+/// Parses and schema-checks one NDJSON flood trace.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] naming the offending line if the trace is not
+/// valid JSON-per-line, carries an unsupported schema version, opens with
+/// anything but a `start` event, has non-contiguous round numbers, reports
+/// a `frontier` unequal to its receiver count, or does not close with an
+/// `end` event.
+pub fn parse_trace(text: &str) -> Result<ParsedTrace, TraceError> {
+    let mut engine = None;
+    let mut nodes = 0usize;
+    let mut sources: Vec<NodeId> = Vec::new();
+    let mut rounds: Vec<TraceRound> = Vec::new();
+    let mut ends: Vec<TraceEnd> = Vec::new();
+    let mut last_event_was_end = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let obj: Value = serde_json::from_str(raw)
+            .map_err(|e| TraceError::at(line, format!("invalid JSON: {e}")))?;
+        let v = field_u64(&obj, "v", line)?;
+        if v != u64::from(af_core::obs::TRACE_SCHEMA_VERSION) {
+            return Err(TraceError::at(
+                line,
+                format!(
+                    "unsupported schema version {v} (expected {})",
+                    af_core::obs::TRACE_SCHEMA_VERSION
+                ),
+            ));
+        }
+        let event = get(&obj, "event")
+            .and_then(as_str)
+            .ok_or_else(|| TraceError::at(line, "missing 'event' field"))?;
+        if engine.is_none() && event != "start" {
+            return Err(TraceError::at(
+                line,
+                format!("trace must open with a 'start' event, found '{event}'"),
+            ));
+        }
+        last_event_was_end = false;
+        match event {
+            "start" => {
+                if engine.is_some() {
+                    return Err(TraceError::at(line, "second 'start' event in one trace"));
+                }
+                engine = Some(
+                    get(&obj, "engine")
+                        .and_then(as_str)
+                        .ok_or_else(|| TraceError::at(line, "missing 'engine' field"))?
+                        .to_owned(),
+                );
+                nodes = field_u64(&obj, "nodes", line)? as usize;
+                sources = field_nodes(&obj, "sources", line)?;
+                sources.sort_unstable();
+                sources.dedup();
+            }
+            "round" => {
+                let round = field_u64(&obj, "round", line)? as u32;
+                let expected = rounds.len() as u32 + 1;
+                if round != expected {
+                    return Err(TraceError::at(
+                        line,
+                        format!("round {round} out of order (expected {expected})"),
+                    ));
+                }
+                let mut receivers = field_nodes(&obj, "receivers", line)?;
+                let frontier = field_u64(&obj, "frontier", line)? as usize;
+                if frontier != receivers.len() {
+                    return Err(TraceError::at(
+                        line,
+                        format!(
+                            "frontier {frontier} disagrees with {} receivers",
+                            receivers.len()
+                        ),
+                    ));
+                }
+                receivers.sort_unstable();
+                rounds.push(TraceRound {
+                    round,
+                    delivered: field_u64(&obj, "delivered", line)?,
+                    sent: field_u64(&obj, "sent", line)?,
+                    lost: field_u64(&obj, "lost", line)?,
+                    receivers,
+                    note: get(&obj, "note").and_then(as_str).map(str::to_owned),
+                });
+            }
+            "end" => {
+                ends.push(TraceEnd {
+                    terminated: match get(&obj, "terminated") {
+                        Some(&Value::Bool(b)) => b,
+                        _ => return Err(TraceError::at(line, "missing 'terminated' field")),
+                    },
+                    rounds: field_u64(&obj, "rounds", line)? as u32,
+                    messages: field_u64(&obj, "messages", line)?,
+                });
+                last_event_was_end = true;
+            }
+            other => {
+                return Err(TraceError::at(line, format!("unknown event '{other}'")));
+            }
+        }
+    }
+
+    let engine = engine.ok_or_else(|| TraceError::whole("empty trace (no 'start' event)"))?;
+    if !last_event_was_end {
+        return Err(TraceError::whole(
+            "trace does not close with an 'end' event",
+        ));
+    }
+    if let Some(end) = ends.last() {
+        if end.rounds as usize != rounds.len() {
+            return Err(TraceError::whole(format!(
+                "final 'end' reports {} rounds but the trace carries {} round events",
+                end.rounds,
+                rounds.len()
+            )));
+        }
+    }
+    Ok(ParsedTrace {
+        engine,
+        nodes,
+        sources,
+        rounds,
+        ends,
+    })
+}
+
+/// One field's mismatch check, for uniform error text.
+fn expect_eq<T: PartialEq + fmt::Debug>(what: &str, trace: T, run: T) -> Result<(), TraceError> {
+    if trace == run {
+        Ok(())
+    } else {
+        Err(TraceError::whole(format!(
+            "replay mismatch in {what}: trace says {trace:?}, run says {run:?}"
+        )))
+    }
+}
+
+/// Asserts that replaying `trace` reproduces `run` exactly: same
+/// round-sets, same per-node receive rounds, same per-round and total
+/// message counts, same termination state and round.
+///
+/// The comparison normalises order only (trace receivers and sources are
+/// sorted; a [`FloodingRun`]'s are already sorted) — any disagreement in
+/// content is an error.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] describing the first field that disagrees.
+pub fn verify(trace: &ParsedTrace, run: &FloodingRun) -> Result<(), TraceError> {
+    let end = trace.end();
+    expect_eq("terminated", end.terminated, run.terminated())?;
+    expect_eq("rounds executed", end.rounds, run.rounds_executed())?;
+    expect_eq("total messages", end.messages, run.total_messages())?;
+    expect_eq("sources", &trace.sources[..], run.sources())?;
+    expect_eq(
+        "messages per round",
+        &trace.messages_per_round()[..],
+        run.messages_per_round(),
+    )?;
+
+    let trace_sets = trace.round_sets();
+    let run_sets = run.round_sets();
+    expect_eq("round-set count", trace_sets.len(), run_sets.len())?;
+    for (i, (t, r)) in trace_sets.iter().zip(run_sets).enumerate() {
+        expect_eq(&format!("round-set R_{i}"), &t[..], &r[..])?;
+    }
+
+    let trace_table = trace.receive_rounds();
+    expect_eq("node count", trace_table.len().max(trace.nodes), {
+        // A trace of a flood that never reaches some tail of the node
+        // space still covers it with empty rows; compare against the
+        // run's full table size.
+        run.node_count()
+    })?;
+    for (i, rounds) in trace_table.iter().enumerate() {
+        expect_eq(
+            &format!("receive rounds of node {i}"),
+            &rounds[..],
+            run.receive_rounds(NodeId::new(i)),
+        )?;
+    }
+    // Nodes past the trace's max id received nothing — the run must agree.
+    for i in trace_table.len()..run.node_count() {
+        expect_eq(
+            &format!("receive rounds of node {i}"),
+            &[][..],
+            run.receive_rounds(NodeId::new(i)),
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses `text` and [`verify`]s it against `run` in one call, returning
+/// the parsed trace for further inspection.
+///
+/// # Errors
+///
+/// Returns the first parse or replay error.
+pub fn check_trace(text: &str, run: &FloodingRun) -> Result<ParsedTrace, TraceError> {
+    let trace = parse_trace(text)?;
+    verify(&trace, run)?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_core::obs::NdjsonTraceWriter;
+    use af_core::AmnesiacFlooding;
+    use af_graph::generators;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Floods `g` with a trace attached and returns (trace text, run).
+    fn traced_flood(g: &af_graph::Graph, sources: &[NodeId]) -> (String, FloodingRun) {
+        let writer = Rc::new(RefCell::new(NdjsonTraceWriter::new(Vec::new())));
+        let run = AmnesiacFlooding::multi_source(g, sources.iter().copied())
+            .with_probe(writer.clone())
+            .run();
+        let text = String::from_utf8(writer.borrow_mut().take_sink()).unwrap();
+        (text, run)
+    }
+
+    #[test]
+    fn roundtrip_on_cycle() {
+        let g = generators::cycle(6);
+        let (text, run) = traced_flood(&g, &[NodeId::new(0)]);
+        let trace = check_trace(&text, &run).unwrap();
+        assert_eq!(trace.engine, "frontier");
+        assert_eq!(trace.nodes, 6);
+        assert_eq!(trace.rounds.len(), 3);
+        assert!(trace.end().terminated);
+        assert_eq!(trace.round_sets(), run.round_sets());
+    }
+
+    #[test]
+    fn tampered_receiver_is_caught() {
+        let g = generators::cycle(6);
+        let (text, run) = traced_flood(&g, &[NodeId::new(0)]);
+        // Swap a receiver id in the round-2 line: replay must notice.
+        let tampered = text.replacen("\"receivers\":[2,4]", "\"receivers\":[2,3]", 1);
+        assert_ne!(text, tampered, "test must actually tamper");
+        let trace = parse_trace(&tampered).unwrap();
+        let err = verify(&trace, &run).unwrap_err();
+        assert!(err.message.contains("replay mismatch"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_rounds_are_rejected() {
+        let g = generators::cycle(6);
+        let (text, _) = traced_flood(&g, &[NodeId::new(0)]);
+        let reordered: Vec<&str> = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.swap(1, 2); // two round lines out of order
+            lines
+        };
+        let err = parse_trace(&reordered.join("\n")).unwrap_err();
+        assert!(err.message.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let err = parse_trace("{\"v\":99,\"event\":\"start\"}").unwrap_err();
+        assert!(err.message.contains("unsupported schema version"), "{err}");
+    }
+
+    #[test]
+    fn missing_end_is_rejected() {
+        let g = generators::cycle(6);
+        let (text, _) = traced_flood(&g, &[NodeId::new(0)]);
+        let truncated: String = {
+            let lines: Vec<&str> = text.lines().collect();
+            lines[..lines.len() - 1].join("\n")
+        };
+        let err = parse_trace(&truncated).unwrap_err();
+        assert!(err.message.contains("'end' event"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let g = generators::cycle(6);
+        let (text, run) = traced_flood(&g, &[NodeId::new(0)]);
+        // Forward compatibility: inject an extra field on every line.
+        let extended: String = text
+            .lines()
+            .map(|l| l.replacen('{', "{\"future_field\":\"x\",", 1))
+            .collect::<Vec<_>>()
+            .join("\n");
+        check_trace(&extended, &run).unwrap();
+    }
+
+    #[test]
+    fn duplicate_sources_normalise() {
+        let g = generators::petersen();
+        let (text, run) = traced_flood(&g, &[NodeId::new(3), NodeId::new(3), NodeId::new(1)]);
+        check_trace(&text, &run).unwrap();
+    }
+}

@@ -102,7 +102,8 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 /// `amnesiac flood <file> [--source N | --sources a,b,c] [--max-rounds N]
 /// [--engine <spec>] [--threads N]
 /// [--partitioner contiguous|round-robin|bfs]
-/// [--churn kind:rate_pm:seed] [--trace] [--receipts]`
+/// [--churn kind:rate_pm:seed] [--trace] [--trace-out FILE.jsonl]
+/// [--receipts]`
 ///
 /// `--engine` takes any canonical engine spec (`frontier`, `fast`,
 /// `sharded[:k[:partitioner]]`, `dynamic[:churn]`, `bitlane`) — the same
@@ -113,9 +114,15 @@ fn source_set(args: &Args, graph: &Graph) -> Result<Vec<NodeId>, CommandError> {
 /// edits the topology at round boundaries; a capped run is then a finding
 /// (churn can prevent termination), not an error.
 ///
+/// `--trace-out FILE.jsonl` attaches an [`af_core::obs::NdjsonTraceWriter`]
+/// and exports one schema-versioned JSON line per round. Before the file
+/// is written the trace is **replayed** through
+/// [`af_analysis::tracecheck`] and asserted equal to the run's own record
+/// — a failing self-check is an error, not a warning.
+///
 /// # Errors
 ///
-/// Returns file, parse, or argument errors.
+/// Returns file, parse, or argument errors, or a trace replay mismatch.
 pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
     let path = args
         .positional(0)
@@ -132,6 +139,15 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         AmnesiacFlooding::multi_source(&graph, sources.iter().copied()).with_engine(engine);
     if let Some(cap) = args.option("max-rounds") {
         builder = builder.with_max_rounds(cap.parse().map_err(|_| "invalid --max-rounds")?);
+    }
+    let trace_path = args.option("trace-out");
+    let trace_writer = trace_path.map(|_| {
+        std::rc::Rc::new(std::cell::RefCell::new(
+            af_core::obs::NdjsonTraceWriter::new(Vec::new()),
+        ))
+    });
+    if let Some(writer) = &trace_writer {
+        builder = builder.with_probe(writer.clone());
     }
     let run = builder.run();
 
@@ -181,6 +197,21 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         run.node_count()
     );
     let _ = writeln!(out, "max receipts per node: {}", run.max_receive_count());
+    if let (Some(trace_path), Some(writer)) = (trace_path, trace_writer) {
+        // Self-verify before writing: replay the NDJSON trace and assert
+        // it reproduces the run's record exactly (round-sets, receive
+        // rounds, message counts, termination).
+        let bytes = writer.borrow_mut().take_sink();
+        let text = String::from_utf8(bytes).expect("trace writer emits UTF-8");
+        af_analysis::tracecheck::check_trace(&text, &run)
+            .map_err(|e| format!("trace self-check failed: {e}"))?;
+        std::fs::write(trace_path, &text)?;
+        let _ = writeln!(
+            out,
+            "trace: {} lines -> {trace_path} (replay verified)",
+            text.lines().count()
+        );
+    }
     if args.flag("receipts") {
         out.push_str("receive schedule:\n");
         out.push_str(&trace::render_receipts(&graph, &run));
@@ -553,6 +584,7 @@ usage: amnesiac <command> [args]
 commands:
   flood <file>    run a flood          [--source N | --sources a,b,c]
                                        [--max-rounds N] [--trace] [--receipts]
+                                       [--trace-out FILE.jsonl]
                                        [--engine frontier|fast|
                                         sharded[:k[:partitioner]]|
                                         dynamic[:churn]|bitlane]

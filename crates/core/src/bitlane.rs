@@ -32,6 +32,7 @@
 //! an arbitrary flood list into groups of up to 64 lanes — the raw-speed
 //! substrate for whole-graph `T(s)` sweeps and set-eccentricity scans.
 
+use crate::obs::{FloodEnd, FloodStart, RoundNote, RoundRecord, SharedProbe};
 use af_engine::Outcome;
 use af_graph::{ArcId, Graph, NodeId};
 
@@ -138,6 +139,10 @@ pub struct BitLaneFlooding<'g> {
     receipts: Vec<Vec<(u32, u64)>>,
     /// Nodes with non-empty `receipts`, for sparse reset.
     informed: Vec<NodeId>,
+    /// Round-level observer (shared by clones); `None` costs one predicted
+    /// branch per round and nothing else. Records report **union**
+    /// dynamics across lanes; the note says which kernel the round ran.
+    probe: Option<SharedProbe>,
 }
 
 impl<'g> BitLaneFlooding<'g> {
@@ -180,6 +185,7 @@ impl<'g> BitLaneFlooding<'g> {
             record_receipts: true,
             receipts: vec![Vec::new(); n],
             informed: Vec::new(),
+            probe: None,
         };
         sim.seed_lanes(lane_sources);
         sim
@@ -234,12 +240,19 @@ impl<'g> BitLaneFlooding<'g> {
         I::Item: IntoIterator<Item = NodeId>,
     {
         let n = self.graph.node_count();
+        let probing = self.probe.is_some();
         let mut lane = 0usize;
         for set in lane_sources {
             assert!(lane < LANES, "at most {LANES} lanes per batch");
             let bit = 1u64 << lane;
             for v in set {
                 assert!(v.index() < n, "source {v} out of range");
+                if probing {
+                    // Scratch-collect all lanes' sources for the probe
+                    // announcement (union view, like every other record
+                    // this engine reports).
+                    self.receivers.push(v);
+                }
                 for (_, out) in self.graph.incident_arcs(v) {
                     let w = &mut self.cur[out.index()];
                     if *w == 0 {
@@ -249,6 +262,14 @@ impl<'g> BitLaneFlooding<'g> {
                 }
             }
             lane += 1;
+        }
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_started(&FloodStart {
+                engine: "bitlane",
+                nodes: n,
+                sources: &self.receivers,
+            });
+            self.receivers.clear();
         }
         self.lane_count = lane;
         // Snapshot the final words (several lanes may share an arc) and
@@ -272,6 +293,15 @@ impl<'g> BitLaneFlooding<'g> {
     /// does.
     pub fn set_record_receipts(&mut self, record: bool) {
         self.record_receipts = record;
+    }
+
+    /// Attaches (or with `None`, detaches) a round-level observer. Records
+    /// describe the **union** wavefront across all lanes — delivered
+    /// message counts sum over lanes, receivers are nodes reached in any
+    /// lane — and each round's note says which kernel executed it
+    /// ([`RoundNote::DenseSweep`] or [`RoundNote::SparseWalk`]).
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     /// The graph being simulated.
@@ -416,7 +446,11 @@ impl<'g> BitLaneFlooding<'g> {
         }
         self.round += 1;
         let round = self.round;
-        let live_next = if self.active_count >= self.cur.len() / DENSE_ACTIVITY_DIVISOR {
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_started(round);
+        }
+        let dense = self.active_count >= self.cur.len() / DENSE_ACTIVITY_DIVISOR;
+        let live_next = if dense {
             self.step_dense(round)
         } else {
             if !self.active_listed {
@@ -433,6 +467,21 @@ impl<'g> BitLaneFlooding<'g> {
             died &= died - 1;
         }
         self.live = live_next;
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_finished(&RoundRecord {
+                round,
+                delivered: *self.messages_per_round.last().unwrap_or(&0),
+                frontier: self.receivers.len(),
+                sent: self.active_count as u64,
+                lost: 0,
+                receivers: &self.receivers,
+                note: if dense {
+                    RoundNote::DenseSweep
+                } else {
+                    RoundNote::SparseWalk
+                },
+            });
+        }
         Some(round)
     }
 
@@ -582,22 +631,32 @@ impl<'g> BitLaneFlooding<'g> {
     /// all-lane outcome's termination round is the **maximum** over the
     /// per-lane rounds (see [`BitLaneFlooding::lane_outcome`]).
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
-        while self.round < max_rounds {
+        let outcome = loop {
+            if self.round >= max_rounds {
+                break if self.active_count == 0 {
+                    Outcome::Terminated {
+                        last_active_round: self.round,
+                    }
+                } else {
+                    Outcome::CapReached {
+                        rounds_executed: self.round,
+                    }
+                };
+            }
             if self.step().is_none() {
-                return Outcome::Terminated {
+                break Outcome::Terminated {
                     last_active_round: self.round,
                 };
             }
+        };
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_finished(&FloodEnd {
+                terminated: outcome.is_terminated(),
+                rounds: self.round,
+                total_messages: self.total_messages,
+            });
         }
-        if self.active_count == 0 {
-            Outcome::Terminated {
-                last_active_round: self.round,
-            }
-        } else {
-            Outcome::CapReached {
-                rounds_executed: self.round,
-            }
-        }
+        outcome
     }
 }
 

@@ -62,6 +62,7 @@
 //! ```
 
 use crate::bitset::ArcSet;
+use crate::obs::{FloodEnd, FloodStart, RoundNote, RoundRecord, SharedProbe};
 use af_engine::Outcome;
 use af_graph::dynamic::{ChurnSchedule, ChurnSpec, ChurnStream, DeltaGraph, GraphDelta};
 use af_graph::{ArcId, Graph, NodeId};
@@ -124,6 +125,9 @@ pub struct DynamicFlooding {
     record_receipts: bool,
     receipts: Vec<Vec<u32>>,
     informed: Vec<NodeId>,
+    /// Round-level observer (shared by clones); `None` costs one predicted
+    /// branch per round and nothing else.
+    probe: Option<SharedProbe>,
 }
 
 impl DynamicFlooding {
@@ -185,6 +189,7 @@ impl DynamicFlooding {
             record_receipts: true,
             receipts: vec![Vec::new(); n],
             informed: Vec::new(),
+            probe: None,
         };
         sim.seed_sources(sources);
         sim
@@ -269,6 +274,13 @@ impl DynamicFlooding {
                 self.active_list.push(out);
             }
         }
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_started(&FloodStart {
+                engine: "dynamic",
+                nodes: n,
+                sources: &self.receivers,
+            });
+        }
         self.receivers.clear();
     }
 
@@ -276,6 +288,14 @@ impl DynamicFlooding {
     /// default); [`crate::FloodBatch`] disables it.
     pub fn set_record_receipts(&mut self, record: bool) {
         self.record_receipts = record;
+    }
+
+    /// Attaches (or with `None` detaches) a round-level observer; see
+    /// [`crate::obs`]. The next [`DynamicFlooding::reset`] announces the
+    /// flood to it; churn boundaries surface as
+    /// [`RoundNote::Churn`] on the affected rounds.
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     /// The **current** topology snapshot (changes at churn boundaries;
@@ -379,11 +399,18 @@ impl DynamicFlooding {
     /// Applies the boundary delta scheduled for `round`, remapping the
     /// in-flight arcs onto the rebuilt snapshot and growing per-node state
     /// for joins. Messages whose edge (or endpoint) vanished are dropped
-    /// and counted in `messages_lost`.
-    fn apply_boundary(&mut self, round: u32) {
+    /// and counted in `messages_lost`. Returns the probe annotation for
+    /// the round: [`RoundNote::Churn`] when a delta was scheduled (even a
+    /// fully-skipped one), [`RoundNote::None`] otherwise.
+    fn apply_boundary(&mut self, round: u32) -> RoundNote {
         let Some(delta) = self.churn.delta_before(round) else {
-            return;
+            return RoundNote::None;
         };
+        let edits = (delta.leave_nodes.len()
+            + delta.delete_edges.len()
+            + delta.insert_edges.len()
+            + delta.join_nodes.len()) as u64;
+        let lost_before = self.messages_lost;
         let g_old = self.dg.graph();
         self.pair_scratch.clear();
         for &a in &self.active_list {
@@ -392,7 +419,7 @@ impl DynamicFlooding {
         if self.dg.apply(&delta).is_noop() {
             // Nothing changed: the snapshot, arc ids, and in-flight state
             // are all still valid (and reset keeps its fast path).
-            return;
+            return RoundNote::Churn { edits, lost: 0 };
         }
         self.dirty = true;
         let g = self.dg.graph();
@@ -417,6 +444,10 @@ impl DynamicFlooding {
                 None => self.messages_lost += 1,
             }
         }
+        RoundNote::Churn {
+            edits,
+            lost: self.messages_lost - lost_before,
+        }
     }
 
     /// Executes one round (applying the boundary delta first); returns the
@@ -427,13 +458,16 @@ impl DynamicFlooding {
             return None;
         }
         let round = self.round + 1;
-        self.apply_boundary(round);
+        let note = self.apply_boundary(round);
         if self.active_list.is_empty() {
             // Churn dropped every in-flight message: the flood ended at
             // the previous round; `round` never executes.
             return None;
         }
         self.round = round;
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_started(round);
+        }
         let delivered = self.active_list.len() as u64;
         self.total_messages += delivered;
         self.messages_per_round.push(delivered);
@@ -478,6 +512,21 @@ impl DynamicFlooding {
         for &v in &self.receivers {
             self.received[v.index()] = false;
         }
+        if let Some(probe) = &self.probe {
+            let lost = match note {
+                RoundNote::Churn { lost, .. } => lost,
+                _ => 0,
+            };
+            probe.borrow_mut().round_finished(&RoundRecord {
+                round,
+                delivered,
+                frontier: self.receivers.len(),
+                sent: self.active_list.len() as u64,
+                lost,
+                receivers: &self.receivers,
+                note,
+            });
+        }
         Some(round)
     }
 
@@ -485,22 +534,32 @@ impl DynamicFlooding {
     /// hitting the cap is a *finding*, not a bug: on a churning topology
     /// termination is no longer guaranteed.
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
-        while self.round < max_rounds {
+        let outcome = loop {
+            if self.round >= max_rounds {
+                break if self.active_list.is_empty() {
+                    Outcome::Terminated {
+                        last_active_round: self.round,
+                    }
+                } else {
+                    Outcome::CapReached {
+                        rounds_executed: self.round,
+                    }
+                };
+            }
             if self.step().is_none() {
-                return Outcome::Terminated {
+                break Outcome::Terminated {
                     last_active_round: self.round,
                 };
             }
+        };
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_finished(&FloodEnd {
+                terminated: self.active_list.is_empty(),
+                rounds: self.round,
+                total_messages: self.total_messages,
+            });
         }
-        if self.active_list.is_empty() {
-            Outcome::Terminated {
-                last_active_round: self.round,
-            }
-        } else {
-            Outcome::CapReached {
-                rounds_executed: self.round,
-            }
-        }
+        outcome
     }
 }
 

@@ -17,6 +17,7 @@
 //! scan-based simulator is the benchmark baseline it is measured against).
 
 use crate::bitset::ArcSet;
+use crate::obs::{FloodEnd, FloodStart, RoundNote, RoundRecord, SharedProbe};
 use af_engine::Outcome;
 use af_graph::{ArcId, Graph, NodeId};
 
@@ -50,6 +51,9 @@ pub struct FastFlooding<'g> {
     messages_per_round: Vec<u64>,
     record_receipts: bool,
     receipts: Vec<Vec<u32>>,
+    /// Round-level observer (shared by clones); `None` costs one predicted
+    /// branch per round and nothing else.
+    probe: Option<SharedProbe>,
 }
 
 impl<'g> FastFlooding<'g> {
@@ -116,6 +120,7 @@ impl<'g> FastFlooding<'g> {
             messages_per_round: Vec::new(),
             record_receipts: true,
             receipts: vec![Vec::new(); n],
+            probe: None,
         }
     }
 
@@ -150,18 +155,39 @@ impl<'g> FastFlooding<'g> {
             rounds.clear();
         }
         let n = self.graph.node_count();
+        let probing = self.probe.is_some();
         for v in sources {
             assert!(v.index() < n, "source {v} out of range");
+            if probing {
+                // Scratch-collect the sources for the probe announcement
+                // (this engine otherwise never materialises them).
+                self.receivers.push(v);
+            }
             for &w in self.graph.neighbors(v) {
                 let arc = self.graph.arc_between(v, w).expect("neighbour edge exists");
                 self.active.insert(arc);
             }
+        }
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_started(&FloodStart {
+                engine: "fast",
+                nodes: n,
+                sources: &self.receivers,
+            });
+            self.receivers.clear();
         }
     }
 
     /// Enables or disables per-node receipt recording (enabled by default).
     pub fn set_record_receipts(&mut self, record: bool) {
         self.record_receipts = record;
+    }
+
+    /// Attaches (or with `None` detaches) a round-level observer; see
+    /// [`crate::obs`]. The next [`FastFlooding::reset`] announces the
+    /// flood to it.
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     /// The graph being simulated.
@@ -220,6 +246,9 @@ impl<'g> FastFlooding<'g> {
         }
         self.round += 1;
         let round = self.round;
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_started(round);
+        }
         let delivered = self.active.count() as u64;
         self.total_messages += delivered;
         self.messages_per_round.push(delivered);
@@ -252,27 +281,50 @@ impl<'g> FastFlooding<'g> {
         for &v in &self.receivers {
             self.received[v.index()] = false;
         }
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_finished(&RoundRecord {
+                round,
+                delivered,
+                frontier: self.receivers.len(),
+                // The bitset count is an extra `O(m/64)` sweep, paid only
+                // when someone is listening.
+                sent: self.active.count() as u64,
+                lost: 0,
+                receivers: &self.receivers,
+                note: RoundNote::None,
+            });
+        }
         Some(round)
     }
 
     /// Runs until termination or `max_rounds`.
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
-        while self.round < max_rounds {
+        let outcome = loop {
+            if self.round >= max_rounds {
+                break if self.active.is_empty() {
+                    Outcome::Terminated {
+                        last_active_round: self.round,
+                    }
+                } else {
+                    Outcome::CapReached {
+                        rounds_executed: self.round,
+                    }
+                };
+            }
             if self.step().is_none() {
-                return Outcome::Terminated {
+                break Outcome::Terminated {
                     last_active_round: self.round,
                 };
             }
+        };
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_finished(&FloodEnd {
+                terminated: self.active.is_empty(),
+                rounds: self.round,
+                total_messages: self.total_messages,
+            });
         }
-        if self.active.is_empty() {
-            Outcome::Terminated {
-                last_active_round: self.round,
-            }
-        } else {
-            Outcome::CapReached {
-                rounds_executed: self.round,
-            }
-        }
+        outcome
     }
 }
 

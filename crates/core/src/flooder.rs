@@ -19,6 +19,7 @@ use crate::bitlane::{BitLaneFlooding, LANES};
 use crate::dynamic::DynamicFlooding;
 use crate::fast::FastFlooding;
 use crate::frontier::FrontierFlooding;
+use crate::obs::SharedProbe;
 use crate::sharded::ShardedFlooding;
 use af_engine::Outcome;
 use af_graph::NodeId;
@@ -56,6 +57,12 @@ pub trait Flooder: sealed::Sealed + std::fmt::Debug {
     /// Enables or disables per-node receipt recording (engines default to
     /// enabled; batch drivers disable it for raw speed).
     fn set_record_receipts(&mut self, record: bool);
+
+    /// Attaches (or with `None`, detaches) a round-level observer (see
+    /// [`crate::obs::FloodProbe`]). Engines default to no probe, which
+    /// costs one predicted branch per round; attach **before**
+    /// [`Flooder::reset`] so the probe sees the flood-start record.
+    fn set_probe(&mut self, probe: Option<SharedProbe>);
 
     /// Node count of the flooded graph. For [`DynamicFlooding`] this is
     /// the **final** count — join churn can grow the node space mid-flood.
@@ -134,6 +141,9 @@ impl Flooder for FastFlooding<'_> {
     fn set_record_receipts(&mut self, record: bool) {
         FastFlooding::set_record_receipts(self, record);
     }
+    fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        FastFlooding::set_probe(self, probe);
+    }
     fn node_count(&self) -> usize {
         self.graph().node_count()
     }
@@ -163,6 +173,9 @@ impl Flooder for FrontierFlooding<'_> {
     }
     fn set_record_receipts(&mut self, record: bool) {
         FrontierFlooding::set_record_receipts(self, record);
+    }
+    fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        FrontierFlooding::set_probe(self, probe);
     }
     fn node_count(&self) -> usize {
         self.graph().node_count()
@@ -194,6 +207,9 @@ impl Flooder for ShardedFlooding<'_> {
     fn set_record_receipts(&mut self, record: bool) {
         ShardedFlooding::set_record_receipts(self, record);
     }
+    fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        ShardedFlooding::set_probe(self, probe);
+    }
     fn node_count(&self) -> usize {
         self.graph().node_count()
     }
@@ -224,6 +240,9 @@ impl Flooder for DynamicFlooding {
     fn set_record_receipts(&mut self, record: bool) {
         DynamicFlooding::set_record_receipts(self, record);
     }
+    fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        DynamicFlooding::set_probe(self, probe);
+    }
     fn node_count(&self) -> usize {
         DynamicFlooding::node_count(self)
     }
@@ -253,6 +272,9 @@ impl Flooder for BitLaneFlooding<'_> {
     }
     fn set_record_receipts(&mut self, record: bool) {
         BitLaneFlooding::set_record_receipts(self, record);
+    }
+    fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        BitLaneFlooding::set_probe(self, probe);
     }
     fn node_count(&self) -> usize {
         self.graph().node_count()

@@ -28,6 +28,7 @@
 //! from many sources of one graph without reallocating.
 
 use crate::bitset::ArcSet;
+use crate::obs::{FloodEnd, FloodStart, RoundNote, RoundRecord, SharedProbe};
 use af_engine::Outcome;
 use af_graph::{ArcId, Graph, NodeId};
 
@@ -76,6 +77,9 @@ pub struct FrontierFlooding<'g> {
     /// Nodes with non-empty `receipts`, so [`FrontierFlooding::reset`] can
     /// clear them without an `O(n)` sweep.
     informed: Vec<NodeId>,
+    /// Round-level observer (shared by clones); `None` costs one predicted
+    /// branch per round and nothing else.
+    probe: Option<SharedProbe>,
 }
 
 impl<'g> FrontierFlooding<'g> {
@@ -103,6 +107,7 @@ impl<'g> FrontierFlooding<'g> {
             record_receipts: true,
             receipts: vec![Vec::new(); n],
             informed: Vec::new(),
+            probe: None,
         };
         sim.seed_sources(sources);
         sim
@@ -180,6 +185,13 @@ impl<'g> FrontierFlooding<'g> {
                 self.active_list.push(out);
             }
         }
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_started(&FloodStart {
+                engine: "frontier",
+                nodes: n,
+                sources: &self.receivers,
+            });
+        }
         self.receivers.clear();
     }
 
@@ -187,6 +199,13 @@ impl<'g> FrontierFlooding<'g> {
     /// Disable for raw benchmark speed; [`crate::FloodBatch`] does.
     pub fn set_record_receipts(&mut self, record: bool) {
         self.record_receipts = record;
+    }
+
+    /// Attaches (or with `None` detaches) a round-level observer; see
+    /// [`crate::obs`]. The next [`FrontierFlooding::reset`] announces the
+    /// flood to it.
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     /// The graph being simulated.
@@ -254,6 +273,9 @@ impl<'g> FrontierFlooding<'g> {
         }
         self.round += 1;
         let round = self.round;
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_started(round);
+        }
         let delivered = self.active_list.len() as u64;
         self.total_messages += delivered;
         self.messages_per_round.push(delivered);
@@ -299,27 +321,48 @@ impl<'g> FrontierFlooding<'g> {
         for &v in &self.receivers {
             self.received[v.index()] = false;
         }
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().round_finished(&RoundRecord {
+                round,
+                delivered,
+                frontier: self.receivers.len(),
+                sent: self.active_list.len() as u64,
+                lost: 0,
+                receivers: &self.receivers,
+                note: RoundNote::None,
+            });
+        }
         Some(round)
     }
 
     /// Runs until termination or `max_rounds`.
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
-        while self.round < max_rounds {
+        let outcome = loop {
+            if self.round >= max_rounds {
+                break if self.active_list.is_empty() {
+                    Outcome::Terminated {
+                        last_active_round: self.round,
+                    }
+                } else {
+                    Outcome::CapReached {
+                        rounds_executed: self.round,
+                    }
+                };
+            }
             if self.step().is_none() {
-                return Outcome::Terminated {
+                break Outcome::Terminated {
                     last_active_round: self.round,
                 };
             }
+        };
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_finished(&FloodEnd {
+                terminated: self.active_list.is_empty(),
+                rounds: self.round,
+                total_messages: self.total_messages,
+            });
         }
-        if self.active_list.is_empty() {
-            Outcome::Terminated {
-                last_active_round: self.round,
-            }
-        } else {
-            Outcome::CapReached {
-                rounds_executed: self.round,
-            }
-        }
+        outcome
     }
 }
 

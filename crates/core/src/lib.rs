@@ -50,7 +50,11 @@
 //!   setting) synchronous non-termination is possible and exhaustively
 //!   classified;
 //! * [`spanning`] — first-receipt spanning trees (provably BFS trees);
-//! * [`trace`] — textual renderings of the paper's figures.
+//! * [`trace`] — textual renderings of the paper's figures;
+//! * [`obs`] — the observability layer: per-round [`obs::FloodProbe`]
+//!   callbacks wired through every engine (free when no probe is
+//!   attached), NDJSON trace export, and the lock-free metrics primitives
+//!   the serving daemon reports through.
 //!
 //! Every simulator floods from an arbitrary **source set** `S ⊆ V` — a
 //! singleton reproduces the paper's main setting, and all engines and the
@@ -79,6 +83,7 @@
 pub mod arbitrary;
 pub mod bitlane;
 pub mod detect;
+pub mod obs;
 pub mod roundsets;
 pub mod sharded;
 pub mod theory;

@@ -1,0 +1,514 @@
+//! Zero-overhead observability for flooding runs: round-level probes and
+//! machine-readable NDJSON traces.
+//!
+//! The paper's whole argument is about *round-by-round dynamics* — the
+//! round-sets `R_i`, the `e(S) < T ≤ e(S) + D + 1` termination window,
+//! echo waves meeting on odd cycles — yet a [`crate::FloodingRun`] records
+//! only the aggregate outcome. This module adds a [`FloodProbe`]: a
+//! per-round callback surface every engine honours, carrying the active-arc
+//! count, the frontier width, the messages sent and lost, the receiver set,
+//! and engine-specific notes (bitlane sparse↔dense dispatch, sharded
+//! boundary traffic, dynamic churn applications).
+//!
+//! Probes are **opt-in and free when absent**: an engine holds an
+//! `Option<SharedProbe>` that defaults to `None`, and the entire
+//! observation path sits behind one well-predicted `is_some()` branch per
+//! round — the counting-allocator suite (`tests/batch_allocation.rs`)
+//! additionally pins that a warm flood stays allocation-free both with no
+//! probe and with a warm [`NdjsonTraceWriter`] attached.
+//!
+//! Traces are a *correctness artifact*, not just logs: the NDJSON schema
+//! (version [`TRACE_SCHEMA_VERSION`]) carries enough per round — the
+//! receiver set — for `af_analysis`'s trace-replay checker to re-derive
+//! the round-sets and receive rounds of the flood and assert them equal to
+//! the engine's own record, for all five engines.
+//!
+//! # Examples
+//!
+//! ```
+//! use af_core::obs::NdjsonTraceWriter;
+//! use af_core::AmnesiacFlooding;
+//! use af_graph::generators;
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let g = generators::cycle(6);
+//! // Keep a typed handle; a clone coerces into the `SharedProbe` the
+//! // driver takes, and the handle reads the trace back afterwards.
+//! let writer = Rc::new(RefCell::new(NdjsonTraceWriter::new(Vec::new())));
+//! let run = AmnesiacFlooding::single_source(&g, 0.into())
+//!     .with_probe(writer.clone())
+//!     .run();
+//! assert_eq!(run.termination_round(), Some(3));
+//! // One start line, one line per executed round, one end line.
+//! let trace = writer.borrow_mut().take_sink();
+//! let text = String::from_utf8(trace).unwrap();
+//! assert_eq!(text.lines().count(), 3 + 2);
+//! assert!(text.starts_with("{\"v\":1,\"event\":\"start\""));
+//! ```
+
+use af_graph::NodeId;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+pub mod metrics;
+
+/// Version stamped into every NDJSON trace line (`"v"`); bumped whenever a
+/// field is renamed, removed, or changes meaning. Adding fields is not a
+/// version bump — consumers must ignore unknown keys.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// What an engine announces when a (re-)seeded flood begins: emitted from
+/// the seeding path, before round 1 executes.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodStart<'a> {
+    /// Engine family name, the same word [`crate::FloodEngine::family`]
+    /// reports (`"frontier"`, `"fast"`, `"sharded"`, `"dynamic"`,
+    /// `"bitlane"`).
+    pub engine: &'static str,
+    /// Node count of the flooded graph at seeding time.
+    pub nodes: usize,
+    /// The seeded sources, in seeding order. May contain duplicates when
+    /// the caller passed duplicates (consumers normalise); on a multi-lane
+    /// engine this is the concatenation over all seeded lanes.
+    pub sources: &'a [NodeId],
+}
+
+/// Engine-specific annotation attached to a finished round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundNote {
+    /// Nothing engine-specific happened (static single-threaded engines).
+    #[default]
+    None,
+    /// The bit-parallel engine ran this round as a sequential whole-array
+    /// sweep (the wide-wavefront regime).
+    DenseSweep,
+    /// The bit-parallel engine ran this round over its sparse active list
+    /// (the narrow-wavefront regime).
+    SparseWalk,
+    /// The sharded engine's barrier exchange: how many of this round's
+    /// produced arcs crossed a shard boundary.
+    ShardExchange {
+        /// Arcs routed to a different shard than the one that emitted them.
+        crossing: u64,
+    },
+    /// The dynamic engine applied a churn delta at this round's boundary.
+    Churn {
+        /// Edits the boundary delta carried (applied or skipped).
+        edits: u64,
+        /// In-flight messages dropped by this boundary alone.
+        lost: u64,
+    },
+}
+
+/// One executed round, as reported to [`FloodProbe::round_finished`].
+///
+/// `receivers` is the round-set `R_round` of the paper (union across lanes
+/// on the bit-parallel engine): every node that received the message this
+/// round, in engine-discovery order. The slice borrows engine scratch and
+/// is only valid for the duration of the callback.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundRecord<'a> {
+    /// 1-based round number.
+    pub round: u32,
+    /// Messages delivered this round (= arcs that carried the message in,
+    /// summed across lanes on the bit-parallel engine).
+    pub delivered: u64,
+    /// Frontier width: `receivers.len()`.
+    pub frontier: usize,
+    /// Messages sent onward for the next round (arcs activated by this
+    /// round's deliveries; 0 exactly when the flood just terminated).
+    pub sent: u64,
+    /// In-flight messages lost to topology churn at this round's boundary
+    /// (always 0 on static engines).
+    pub lost: u64,
+    /// The nodes that received this round — the paper's round-set.
+    pub receivers: &'a [NodeId],
+    /// Engine-specific annotation.
+    pub note: RoundNote,
+}
+
+/// What an engine announces when a [`run`](crate::Flooder::run) call
+/// returns (one per `run` call: a capped flood resumed by a second `run`
+/// reports twice).
+#[derive(Debug, Clone, Copy)]
+pub struct FloodEnd {
+    /// Whether the flood terminated (no arc carries the message).
+    pub terminated: bool,
+    /// Rounds executed in total (since seeding, not since this `run`).
+    pub rounds: u32,
+    /// Messages delivered in total, summed across lanes.
+    pub total_messages: u64,
+}
+
+/// Per-round observer of a flooding execution.
+///
+/// Every callback has a no-op default, so a probe implements only what it
+/// needs; engines invoke the callbacks through a [`SharedProbe`] handle
+/// behind a single `Option` check per round. The sharded engine buffers
+/// per-round data inside its workers and replays the callbacks in round
+/// order when `run` returns — ordering is preserved, timing is not.
+pub trait FloodProbe: std::fmt::Debug {
+    /// A freshly seeded flood is about to execute (round 0 state known).
+    fn flood_started(&mut self, start: &FloodStart<'_>) {
+        let _ = start;
+    }
+    /// Round `round` is about to execute.
+    fn round_started(&mut self, round: u32) {
+        let _ = round;
+    }
+    /// Round `record.round` finished executing.
+    fn round_finished(&mut self, record: &RoundRecord<'_>) {
+        let _ = record;
+    }
+    /// A `run` call returned.
+    fn flood_finished(&mut self, end: &FloodEnd) {
+        let _ = end;
+    }
+}
+
+/// The clonable probe handle engines hold: shared, interior-mutable, and
+/// deliberately **not** `Send` — a probe observes from the coordinating
+/// thread only (the sharded engine's workers never touch it).
+pub type SharedProbe = Rc<RefCell<dyn FloodProbe>>;
+
+/// Wraps a probe into the [`SharedProbe`] handle the drivers and engines
+/// accept. Keep a clone to read the probe back after the run.
+pub fn shared<P: FloodProbe + 'static>(probe: P) -> SharedProbe {
+    Rc::new(RefCell::new(probe))
+}
+
+/// The do-nothing probe: attaching it exercises the full observation path
+/// (every callback fires) without observable effect — the overhead
+/// baseline the allocation suite measures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl FloodProbe for NoopProbe {}
+
+/// A [`FloodProbe`] that writes one schema-versioned JSON line per event
+/// to an [`io::Write`] sink: a `start` line carrying the engine and
+/// sources, a `round` line per executed round carrying the full
+/// [`RoundRecord`] (receivers included — the line set is replayable), and
+/// an `end` line per `run` call.
+///
+/// Formatting goes through one reusable line buffer, so a **warm** writer
+/// over a pre-grown sink allocates nothing per flood (pinned by
+/// `tests/batch_allocation.rs`). I/O errors are sticky: the first error is
+/// kept, later events are dropped, and [`NdjsonTraceWriter::finish`]
+/// surfaces it.
+#[derive(Debug)]
+pub struct NdjsonTraceWriter<W: Write + std::fmt::Debug> {
+    sink: W,
+    line: String,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + std::fmt::Debug> NdjsonTraceWriter<W> {
+    /// Creates a trace writer over an open sink (a file, a `Vec<u8>`, a
+    /// buffered writer — anything [`io::Write`]).
+    pub fn new(sink: W) -> Self {
+        NdjsonTraceWriter {
+            sink,
+            line: String::new(),
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Mutable access to the sink (for tests that truncate a `Vec<u8>`
+    /// sink between floods while keeping its capacity warm).
+    pub fn sink_mut(&mut self) -> &mut W {
+        &mut self.sink
+    }
+
+    /// Flushes and returns the sink, or the first I/O error the writer
+    /// swallowed during callbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write or flush error encountered.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Writes the pending line to the sink, recording the first error.
+    fn commit(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.push('\n');
+        match self.sink.write_all(self.line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Starts a line with the schema version and event tag.
+    fn open_line(&mut self, event: &str) {
+        self.line.clear();
+        let _ = write!(
+            self.line,
+            "{{\"v\":{TRACE_SCHEMA_VERSION},\"event\":\"{event}\""
+        );
+    }
+
+    /// Appends `,"key":[a,b,c]` for a node-id list.
+    fn push_nodes(&mut self, key: &str, nodes: &[NodeId]) {
+        let _ = write!(self.line, ",\"{key}\":[");
+        for (i, v) in nodes.iter().enumerate() {
+            if i > 0 {
+                self.line.push(',');
+            }
+            let _ = write!(self.line, "{}", v.index());
+        }
+        self.line.push(']');
+    }
+}
+
+impl NdjsonTraceWriter<Vec<u8>> {
+    /// Takes the accumulated bytes out of a `Vec<u8>`-sinked writer,
+    /// leaving it empty (capacity moves out with the bytes).
+    pub fn take_sink(&mut self) -> Vec<u8> {
+        core::mem::take(&mut self.sink)
+    }
+}
+
+impl<W: Write + std::fmt::Debug> FloodProbe for NdjsonTraceWriter<W> {
+    fn flood_started(&mut self, start: &FloodStart<'_>) {
+        self.open_line("start");
+        let _ = write!(
+            self.line,
+            ",\"engine\":\"{}\",\"nodes\":{}",
+            start.engine, start.nodes
+        );
+        self.push_nodes("sources", start.sources);
+        self.line.push('}');
+        self.commit();
+    }
+
+    fn round_finished(&mut self, r: &RoundRecord<'_>) {
+        self.open_line("round");
+        let _ = write!(
+            self.line,
+            ",\"round\":{},\"delivered\":{},\"frontier\":{},\"sent\":{},\"lost\":{}",
+            r.round, r.delivered, r.frontier, r.sent, r.lost
+        );
+        self.push_nodes("receivers", r.receivers);
+        match r.note {
+            RoundNote::None => {}
+            RoundNote::DenseSweep => self.line.push_str(",\"note\":\"dense\""),
+            RoundNote::SparseWalk => self.line.push_str(",\"note\":\"sparse\""),
+            RoundNote::ShardExchange { crossing } => {
+                let _ = write!(self.line, ",\"note\":\"exchange\",\"crossing\":{crossing}");
+            }
+            RoundNote::Churn { edits, lost } => {
+                let _ = write!(
+                    self.line,
+                    ",\"note\":\"churn\",\"edits\":{edits},\"churn_lost\":{lost}"
+                );
+            }
+        }
+        self.line.push('}');
+        self.commit();
+    }
+
+    fn flood_finished(&mut self, end: &FloodEnd) {
+        self.open_line("end");
+        let _ = write!(
+            self.line,
+            ",\"terminated\":{},\"rounds\":{},\"messages\":{}}}",
+            end.terminated, end.rounds, end.total_messages
+        );
+        self.commit();
+    }
+}
+
+/// A probe that counts callback invocations — handy for asserting that an
+/// engine drives the probe surface correctly (and cheap enough to attach
+/// anywhere).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingProbe {
+    /// `flood_started` calls seen.
+    pub starts: u64,
+    /// `round_started` calls seen.
+    pub rounds_started: u64,
+    /// `round_finished` calls seen.
+    pub rounds_finished: u64,
+    /// `flood_finished` calls seen.
+    pub ends: u64,
+    /// Sum of `delivered` over all finished rounds.
+    pub delivered: u64,
+    /// Sum of `lost` over all finished rounds.
+    pub lost: u64,
+}
+
+impl FloodProbe for CountingProbe {
+    fn flood_started(&mut self, _start: &FloodStart<'_>) {
+        self.starts += 1;
+    }
+    fn round_started(&mut self, _round: u32) {
+        self.rounds_started += 1;
+    }
+    fn round_finished(&mut self, record: &RoundRecord<'_>) {
+        self.rounds_finished += 1;
+        self.delivered += record.delivered;
+        self.lost += record.lost;
+    }
+    fn flood_finished(&mut self, _end: &FloodEnd) {
+        self.ends += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_lines_are_valid_and_versioned() {
+        let mut w = NdjsonTraceWriter::new(Vec::new());
+        w.flood_started(&FloodStart {
+            engine: "frontier",
+            nodes: 4,
+            sources: &[NodeId::new(1)],
+        });
+        w.round_finished(&RoundRecord {
+            round: 1,
+            delivered: 2,
+            frontier: 2,
+            sent: 2,
+            lost: 0,
+            receivers: &[NodeId::new(0), NodeId::new(2)],
+            note: RoundNote::None,
+        });
+        w.round_finished(&RoundRecord {
+            round: 2,
+            delivered: 2,
+            frontier: 1,
+            sent: 0,
+            lost: 1,
+            receivers: &[NodeId::new(3)],
+            note: RoundNote::Churn { edits: 3, lost: 1 },
+        });
+        w.flood_finished(&FloodEnd {
+            terminated: true,
+            rounds: 2,
+            total_messages: 4,
+        });
+        assert_eq!(w.lines(), 4);
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"v\":1,\"event\":\"start\",\"engine\":\"frontier\",\"nodes\":4,\"sources\":[1]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"v\":1,\"event\":\"round\",\"round\":1,\"delivered\":2,\"frontier\":2,\
+             \"sent\":2,\"lost\":0,\"receivers\":[0,2]}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"v\":1,\"event\":\"round\",\"round\":2,\"delivered\":2,\"frontier\":1,\
+             \"sent\":0,\"lost\":1,\"receivers\":[3],\"note\":\"churn\",\"edits\":3,\
+             \"churn_lost\":1}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"v\":1,\"event\":\"end\",\"terminated\":true,\"rounds\":2,\"messages\":4}"
+        );
+    }
+
+    #[test]
+    fn engine_notes_render() {
+        let mut w = NdjsonTraceWriter::new(Vec::new());
+        for note in [
+            RoundNote::DenseSweep,
+            RoundNote::SparseWalk,
+            RoundNote::ShardExchange { crossing: 7 },
+        ] {
+            w.round_finished(&RoundRecord {
+                round: 1,
+                delivered: 1,
+                frontier: 1,
+                sent: 1,
+                lost: 0,
+                receivers: &[NodeId::new(0)],
+                note,
+            });
+        }
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert!(text.contains("\"note\":\"dense\""));
+        assert!(text.contains("\"note\":\"sparse\""));
+        assert!(text.contains("\"note\":\"exchange\",\"crossing\":7"));
+    }
+
+    #[test]
+    fn io_errors_are_sticky_and_surface_in_finish() {
+        /// A sink that fails every write.
+        #[derive(Debug)]
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = NdjsonTraceWriter::new(Broken);
+        w.round_started(1);
+        w.flood_finished(&FloodEnd {
+            terminated: true,
+            rounds: 0,
+            total_messages: 0,
+        });
+        assert_eq!(w.lines(), 0);
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn counting_probe_counts() {
+        let mut p = CountingProbe::default();
+        p.flood_started(&FloodStart {
+            engine: "fast",
+            nodes: 1,
+            sources: &[],
+        });
+        p.round_started(1);
+        p.round_finished(&RoundRecord {
+            round: 1,
+            delivered: 5,
+            frontier: 1,
+            sent: 0,
+            lost: 2,
+            receivers: &[NodeId::new(0)],
+            note: RoundNote::None,
+        });
+        p.flood_finished(&FloodEnd {
+            terminated: true,
+            rounds: 1,
+            total_messages: 5,
+        });
+        assert_eq!(p.starts, 1);
+        assert_eq!(p.rounds_started, 1);
+        assert_eq!(p.rounds_finished, 1);
+        assert_eq!(p.ends, 1);
+        assert_eq!(p.delivered, 5);
+        assert_eq!(p.lost, 2);
+    }
+}

@@ -13,6 +13,7 @@ use crate::dynamic::DynamicFlooding;
 use crate::fast::FastFlooding;
 use crate::flooder::Flooder;
 use crate::frontier::FrontierFlooding;
+use crate::obs::SharedProbe;
 use crate::sharded::ShardedFlooding;
 use af_engine::Outcome;
 use af_graph::dynamic::{ChurnSchedule, ChurnSpec};
@@ -240,6 +241,9 @@ pub struct AmnesiacFlooding<'g> {
     /// Explicit churn schedule (replay / hand-built). Takes precedence
     /// over a [`FloodEngine::Dynamic`] spec's generated schedule.
     churn: Option<ChurnSchedule>,
+    /// Round-level observer handed to the engine before seeding, so it
+    /// sees the flood-start record and every round.
+    probe: Option<SharedProbe>,
 }
 
 impl<'g> AmnesiacFlooding<'g> {
@@ -253,6 +257,7 @@ impl<'g> AmnesiacFlooding<'g> {
             max_rounds: None,
             engine: FloodEngine::Frontier,
             churn: None,
+            probe: None,
         }
     }
 
@@ -269,6 +274,7 @@ impl<'g> AmnesiacFlooding<'g> {
             max_rounds: None,
             engine: FloodEngine::Frontier,
             churn: None,
+            probe: None,
         }
     }
 
@@ -309,6 +315,38 @@ impl<'g> AmnesiacFlooding<'g> {
         self
     }
 
+    /// Attaches a round-level observer (see [`crate::obs::FloodProbe`]).
+    /// The probe is handed to the engine **before** seeding, so it
+    /// receives the flood-start record, one start/finish pair per round,
+    /// and the flood-end record. Attaching an
+    /// [`crate::obs::NdjsonTraceWriter`] here is how
+    /// `flood --trace-out` produces its NDJSON trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use af_core::obs::NdjsonTraceWriter;
+    /// use af_core::AmnesiacFlooding;
+    /// use af_graph::generators;
+    /// use std::cell::RefCell;
+    /// use std::rc::Rc;
+    ///
+    /// let g = generators::cycle(6);
+    /// let writer = Rc::new(RefCell::new(NdjsonTraceWriter::new(Vec::new())));
+    /// let run = AmnesiacFlooding::single_source(&g, 0.into())
+    ///     .with_probe(writer.clone())
+    ///     .run();
+    /// assert_eq!(run.termination_round(), Some(3));
+    /// let trace = writer.borrow_mut().take_sink();
+    /// // start + 3 rounds + end = 5 NDJSON lines.
+    /// assert_eq!(trace.iter().filter(|&&b| b == b'\n').count(), 5);
+    /// ```
+    #[must_use]
+    pub fn with_probe(mut self, probe: SharedProbe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// The sources this flood will start from.
     #[must_use]
     pub fn sources(&self) -> &[NodeId] {
@@ -340,6 +378,9 @@ impl<'g> AmnesiacFlooding<'g> {
             (Some(schedule), _) => Box::new(DynamicFlooding::new(self.graph, [], schedule.clone())),
             (None, engine) => engine.flooder(self.graph, cap),
         };
+        if let Some(probe) = &self.probe {
+            sim.set_probe(Some(probe.clone()));
+        }
         sim.reset(&mut self.sources.iter().copied());
         let outcome = sim.run(cap);
         self.collect(&*sim, outcome)
@@ -649,6 +690,16 @@ impl<'g> FloodBatch<'g> {
             self.sim = Box::new(fresh);
         }
         self
+    }
+
+    /// Attaches (or with `None`, detaches) a round-level observer on the
+    /// batch's simulator (see [`crate::obs::FloodProbe`]): every
+    /// subsequent flood of the batch reports its start, rounds, and end
+    /// through the probe. Attach **after** the builder methods —
+    /// [`FloodBatch::with_max_rounds`] can rebuild the simulator on the
+    /// dynamic engine, dropping an earlier probe.
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.sim.set_probe(probe);
     }
 
     /// The graph this batch floods (for the dynamic engine: the pristine

@@ -58,6 +58,7 @@
 //! ```
 
 use crate::bitset::ArcSet;
+use crate::obs::{FloodEnd, FloodStart, RoundNote, RoundRecord, SharedProbe};
 use af_engine::Outcome;
 use af_graph::{ArcId, Graph, NodeId, Partition, PartitionStrategy};
 use crossbeam::channel::{Receiver, Sender};
@@ -123,6 +124,16 @@ impl ShardState {
     }
 }
 
+/// One executed round's probe material from one worker: collected on the
+/// worker thread (the probe itself is `!Send` and stays with the
+/// coordinator), merged across shards and replayed after the run.
+struct ProbeRound {
+    /// The shard-owned nodes that received this round.
+    receivers: Vec<NodeId>,
+    /// Arcs this worker emitted whose heads another shard owns.
+    crossing: u64,
+}
+
 /// What a worker hands back after a run: enough to reconstruct the global
 /// per-round message counts (identical across workers; worker 0's copy is
 /// kept) and the final loop state.
@@ -132,6 +143,9 @@ struct WorkerResult {
     per_round: Vec<u64>,
     final_round: u32,
     final_active: u64,
+    /// Per-executed-round probe material (empty unless a probe is
+    /// attached); same length as `per_round` when probing.
+    probe_rounds: Vec<ProbeRound>,
 }
 
 /// Sharded amnesiac-flooding simulator: one flood across `k` worker
@@ -162,6 +176,12 @@ pub struct ShardedFlooding<'g> {
     receipts: Vec<Vec<u32>>,
     /// Nodes with non-empty `receipts`, so reset avoids an `O(n)` sweep.
     informed: Vec<NodeId>,
+    /// Round-level observer. The probe never crosses a thread boundary:
+    /// workers record raw per-round material and the coordinator replays
+    /// the callbacks in round order once the run returns, each round
+    /// annotated with its cross-shard arc count
+    /// ([`RoundNote::ShardExchange`]).
+    probe: Option<SharedProbe>,
 }
 
 impl<'g> ShardedFlooding<'g> {
@@ -197,6 +217,7 @@ impl<'g> ShardedFlooding<'g> {
             messages_per_round: Vec::new(),
             receipts: vec![Vec::new(); n],
             informed: Vec::new(),
+            probe: None,
         };
         sim.seed_sources(sources);
         sim
@@ -262,6 +283,13 @@ impl<'g> ShardedFlooding<'g> {
         }
         seen_sources.sort_unstable();
         seen_sources.dedup();
+        if let Some(probe) = &self.probe {
+            probe.borrow_mut().flood_started(&FloodStart {
+                engine: "sharded",
+                nodes: n,
+                sources: &seen_sources,
+            });
+        }
         let mut total = 0u64;
         for &v in &seen_sources {
             for (w, out) in self.graph.incident_arcs(v) {
@@ -277,6 +305,15 @@ impl<'g> ShardedFlooding<'g> {
     /// default). Disable for raw speed; the batched backend does.
     pub fn set_record_receipts(&mut self, record: bool) {
         self.record_receipts = record;
+    }
+
+    /// Attaches (or with `None`, detaches) a round-level observer. Worker
+    /// threads never see the probe: they collect per-round receiver lists
+    /// and boundary-crossing counts, and this coordinator replays every
+    /// callback in round order after [`run`](Self::run) joins the workers
+    /// — so all callbacks fire on the caller's thread, after the fact.
+    pub fn set_probe(&mut self, probe: Option<SharedProbe>) {
+        self.probe = probe;
     }
 
     /// The graph being simulated.
@@ -361,6 +398,7 @@ impl<'g> ShardedFlooding<'g> {
     pub fn run(&mut self, max_rounds: u32) -> Outcome {
         let k = self.partition.shard_count();
         let record = self.record_receipts;
+        let probing = self.probe.is_some();
         let start_round = self.round;
         let start_active = self.pending_active;
 
@@ -371,6 +409,7 @@ impl<'g> ShardedFlooding<'g> {
                 self.graph,
                 &self.partition,
                 record,
+                probing,
                 max_rounds,
                 start_round,
                 start_active,
@@ -405,6 +444,7 @@ impl<'g> ShardedFlooding<'g> {
                                     graph,
                                     partition,
                                     record,
+                                    probing,
                                     max_rounds,
                                     start_round,
                                     start_active,
@@ -445,9 +485,23 @@ impl<'g> ShardedFlooding<'g> {
                     .collect::<Vec<WorkerResult>>()
             })
             .expect("sharded scope");
-            let first = results.remove(0);
+            let mut first = results.remove(0);
             // Lockstep invariant: every worker took identical decisions.
             debug_assert!(results.iter().all(|r| r.outcome == first.outcome));
+            // Fold every other shard's probe material into worker 0's: a
+            // round's receivers are the union over shards (each node is
+            // owned by exactly one shard, so no dedup is needed) and its
+            // crossing count the sum.
+            for other in &mut results {
+                for (dst, src) in first
+                    .probe_rounds
+                    .iter_mut()
+                    .zip(other.probe_rounds.drain(..))
+                {
+                    dst.receivers.extend_from_slice(&src.receivers);
+                    dst.crossing += src.crossing;
+                }
+            }
             first
         };
 
@@ -457,6 +511,37 @@ impl<'g> ShardedFlooding<'g> {
         self.messages_per_round.extend_from_slice(&result.per_round);
         if record {
             self.merge_logs();
+        }
+        if let Some(probe) = &self.probe {
+            // Replay the run's rounds into the probe, in order, on this
+            // thread. A round's `sent` count is the next round's delivery
+            // count — for the last executed round that is whatever is
+            // still pending for a future `run` call.
+            let mut probe = probe.borrow_mut();
+            for (i, pr) in result.probe_rounds.iter().enumerate() {
+                let round = start_round + 1 + i as u32;
+                probe.round_started(round);
+                probe.round_finished(&RoundRecord {
+                    round,
+                    delivered: result.per_round[i],
+                    frontier: pr.receivers.len(),
+                    sent: result
+                        .per_round
+                        .get(i + 1)
+                        .copied()
+                        .unwrap_or(result.final_active),
+                    lost: 0,
+                    receivers: &pr.receivers,
+                    note: RoundNote::ShardExchange {
+                        crossing: pr.crossing,
+                    },
+                });
+            }
+            probe.flood_finished(&FloodEnd {
+                terminated: result.outcome.is_terminated(),
+                rounds: result.final_round,
+                total_messages: self.total_messages,
+            });
         }
         result.outcome
     }
@@ -490,6 +575,7 @@ fn run_worker(
     graph: &Graph,
     partition: &Partition,
     record: bool,
+    probing: bool,
     max_rounds: u32,
     start_round: u32,
     start_active: u64,
@@ -499,6 +585,7 @@ fn run_worker(
     let mut global_active = start_active;
     let mut round = start_round;
     let mut per_round = Vec::new();
+    let mut probe_rounds: Vec<ProbeRound> = Vec::new();
     let mut stash: Vec<RoundMsg> = Vec::new();
     // Emptied batch Vecs from absorbed peer messages, recycled as next
     // round's outbound buffers so the exchange phase stops allocating
@@ -574,6 +661,16 @@ fn run_worker(
             }
         }
 
+        if probing {
+            // Snapshot this round's probe material before the scratch is
+            // recycled; everything routed anywhere but `next_local`
+            // crossed a shard boundary.
+            probe_rounds.push(ProbeRound {
+                receivers: receivers.clone(),
+                crossing: produced - next_local.len() as u64,
+            });
+        }
+
         // Sparse cleanup: clear exactly the bits and flags that were set.
         for &a in inbox.iter() {
             active.remove(a);
@@ -633,6 +730,7 @@ fn run_worker(
         per_round,
         final_round: round,
         final_active: global_active,
+        probe_rounds,
     }
 }
 

@@ -213,6 +213,37 @@ mod tests {
     }
 
     #[test]
+    fn label_fallback_switches_exactly_at_27_nodes() {
+        // 26 nodes: the full letter alphabet, no numerals anywhere.
+        assert_eq!(node_label(NodeId::new(0), 26), "a");
+        assert_eq!(node_label(NodeId::new(25), 26), "z");
+        // 27 nodes: every node goes numeric, including the low ids that
+        // would have fit in letters — labels within one figure never mix.
+        assert_eq!(node_label(NodeId::new(0), 27), "0");
+        assert_eq!(node_label(NodeId::new(25), 27), "25");
+        assert_eq!(node_label(NodeId::new(26), 27), "26");
+    }
+
+    #[test]
+    fn numeric_fallback_covers_every_renderer() {
+        let g = generators::cycle(27);
+        let run = flood(&g, NodeId::new(26));
+        let text = render_run(&g, &run);
+        assert!(text.contains("from {26}"), "{text}");
+        assert!(text.contains("26->0"), "{text}");
+        let table = render_receipts(&g, &run);
+        assert!(table.contains("  0: receives at rounds ["), "{table}");
+        assert!(table.contains("  26: receives at rounds ["), "{table}");
+        assert!(
+            !table.contains("  a: "),
+            "no letter labels above 26 nodes: {table}"
+        );
+        let a = g.arc_between(NodeId::new(26), NodeId::new(0)).unwrap();
+        let s = render_configuration(&g, &[InFlightMessage { arc: a, age: 1 }]);
+        assert!(s.contains("26->0 (held 1)"), "{s}");
+    }
+
+    #[test]
     fn receipts_table_lists_every_node() {
         let g = generators::path(3);
         let run = flood(&g, 0.into());

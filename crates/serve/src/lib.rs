@@ -18,6 +18,13 @@
 //! [`af_core::api::ErrorResponse`] values with stable codes; a
 //! malformed line never kills a connection, let alone the daemon.
 //!
+//! The daemon watches itself: every request is timed into the
+//! lock-free [`metrics`] block (per-verb counts and latency
+//! histograms, connection/byte counters, registry footprint gauges),
+//! the `Metrics` verb serves the snapshot over the wire, and a final
+//! snapshot line goes to stderr when the daemon drains — see the
+//! "Observability" section of the README.
+//!
 //! See PROTOCOL.md for the wire format, verb by verb, and the
 //! "Serving" section of the README for a transcript.
 
@@ -25,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;

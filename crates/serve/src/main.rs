@@ -4,30 +4,42 @@
 //! af-serve                     # serve stdin/stdout (one JSON line each way)
 //! af-serve --listen 127.0.0.1:7171   # serve TCP, thread per connection
 //! af-serve --line-cap 1048576  # override the per-line byte cap
+//! af-serve --metrics-interval 30     # metrics snapshot to stderr every 30s
 //! ```
 //!
 //! Diagnostics go to stderr; the protocol stream is never polluted. On
 //! TCP the daemon prints `listening on <addr>` to stderr once the
 //! socket is bound (with `--listen 127.0.0.1:0` the line reveals the
 //! picked port). A `Shutdown` request on any connection drains and
-//! stops the daemon; so does EOF on stdin in stdio mode.
+//! stops the daemon; so does EOF on stdin in stdio mode. Either way the
+//! final stderr line is a full metrics snapshot (`af-serve: final
+//! metrics {...}`); `--metrics-interval SECS` additionally emits the
+//! same snapshot periodically while serving.
 
 use std::io::{self, BufReader, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use af_serve::server::DEFAULT_LINE_CAP;
 use af_serve::Server;
 
-const USAGE: &str = "usage: af-serve [--listen ADDR] [--line-cap BYTES]
+const USAGE: &str = "usage: af-serve [--listen ADDR] [--line-cap BYTES] [--metrics-interval SECS]
 
 Serve the flooding protocol (PROTOCOL.md) as newline-delimited JSON.
-Default transport is stdio; --listen ADDR serves TCP instead.";
+Default transport is stdio; --listen ADDR serves TCP instead.
+--metrics-interval SECS prints a metrics snapshot line to stderr every
+SECS seconds (a final snapshot is always printed on drain).";
+
+/// How often the metrics ticker re-checks the shutdown flag while
+/// waiting out its interval.
+const TICK: Duration = Duration::from_millis(100);
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen: Option<String> = None;
     let mut line_cap = DEFAULT_LINE_CAP;
+    let mut metrics_interval: Option<Duration> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -39,6 +51,10 @@ fn main() -> ExitCode {
                 Some(Ok(cap)) if cap > 0 => line_cap = cap,
                 _ => return usage_error("--line-cap needs a positive byte count"),
             },
+            "--metrics-interval" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(secs)) if secs > 0 => metrics_interval = Some(Duration::from_secs(secs)),
+                _ => return usage_error("--metrics-interval needs a positive second count"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -48,19 +64,46 @@ fn main() -> ExitCode {
     }
 
     let server = Server::new(line_cap);
-    let outcome = match listen {
-        Some(addr) => serve_tcp(&server, &addr),
-        None => {
-            let stdin = io::stdin();
-            let stdout = io::stdout();
-            server.serve_stdio(BufReader::new(stdin.lock()), stdout.lock())
+    let outcome = std::thread::scope(|scope| {
+        if let Some(interval) = metrics_interval {
+            let server = &server;
+            scope.spawn(move || metrics_ticker(server, interval));
         }
-    };
+        let outcome = match listen {
+            Some(addr) => serve_tcp(&server, &addr),
+            None => {
+                let stdin = io::stdin();
+                let stdout = io::stdout();
+                server.serve_stdio(BufReader::new(stdin.lock()), stdout.lock())
+            }
+        };
+        // Release the ticker even when the transport ended without a
+        // Shutdown request (EOF on stdin, a listener error).
+        server.begin_shutdown();
+        outcome
+    });
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("af-serve: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints a metrics snapshot line to stderr every `interval` until the
+/// server starts draining, polling the flag so shutdown never waits out
+/// a long interval.
+fn metrics_ticker(server: &Server, interval: Duration) {
+    let mut waited = Duration::ZERO;
+    while !server.is_shutting_down() {
+        std::thread::sleep(TICK);
+        waited += TICK;
+        if waited >= interval {
+            waited = Duration::ZERO;
+            if !server.is_shutting_down() {
+                eprintln!("af-serve: {}", server.metrics_line());
+            }
         }
     }
 }

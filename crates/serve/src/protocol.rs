@@ -83,6 +83,10 @@ pub enum Request {
     /// Server and registry counters. No payload: the wire form is the
     /// bare string `"Stats"`.
     Stats,
+    /// Full daemon metrics: per-verb latency histograms, transport
+    /// counters, registry footprint gauges. No payload: the wire form
+    /// is the bare string `"Metrics"`.
+    Metrics,
     /// Drain in-flight requests, then stop the server. No payload: the
     /// wire form is the bare string `"Shutdown"`.
     Shutdown,
@@ -127,6 +131,8 @@ pub enum Response {
     },
     /// A `Stats` succeeded.
     Stats(ServerStats),
+    /// A `Metrics` succeeded.
+    Metrics(MetricsReport),
     /// Acknowledges a `Shutdown`: the server stops accepting new work
     /// and exits once in-flight requests drain.
     ShuttingDown,
@@ -141,8 +147,71 @@ pub struct ServerStats {
     pub requests: u64,
     /// How many of those answered with [`Response::Error`].
     pub errors: u64,
+    /// Whole seconds since the daemon's registry came up.
+    pub uptime_secs: u64,
+    /// Same total as `requests`, under the name the `Metrics` report
+    /// uses — `requests` predates the metrics layer and is kept for
+    /// wire compatibility.
+    pub requests_total: u64,
+    /// Parsed requests answered per verb, in wire-documentation order
+    /// (unparsable lines count only in `errors`).
+    pub verbs: Vec<VerbCount>,
     /// Every registered graph, in name order.
     pub graphs: Vec<GraphInfo>,
+}
+
+/// One verb's request count in [`ServerStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerbCount {
+    /// The verb's wire name (`"Load"`, `"Predict"`, ...).
+    pub verb: String,
+    /// Requests answered under that verb (errors included).
+    pub count: u64,
+}
+
+/// The full daemon metrics snapshot returned by [`Request::Metrics`]
+/// and flushed to stderr as the final line when the daemon drains.
+///
+/// Latency quantiles are upper bounds of power-of-two buckets (within
+/// 2× of the true value); `max_us` is exact. Gauges are recomputed at
+/// report time from the live registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Whole seconds since the daemon's registry came up.
+    pub uptime_secs: u64,
+    /// Requests answered so far, errors and unparsable lines included.
+    pub requests_total: u64,
+    /// How many answered with [`Response::Error`].
+    pub errors_total: u64,
+    /// Transport sessions opened (a stdio session counts as one).
+    pub connections: u64,
+    /// Request-line bytes consumed, newlines included.
+    pub bytes_read: u64,
+    /// Response-line bytes written, newlines included.
+    pub bytes_written: u64,
+    /// Approximate resident bytes of all registered graph snapshots.
+    pub registry_bytes: u64,
+    /// Graphs currently holding a built double-cover predict index.
+    pub predict_indexes: u64,
+    /// Per-verb counts and latency, in wire-documentation order.
+    pub verbs: Vec<VerbStat>,
+}
+
+/// One verb's count and latency row in [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerbStat {
+    /// The verb's wire name.
+    pub verb: String,
+    /// Requests answered under that verb (errors included).
+    pub count: u64,
+    /// Median latency, µs (bucket upper bound; 0 when unused).
+    pub p50_us: u64,
+    /// 90th-percentile latency, µs (bucket upper bound).
+    pub p90_us: u64,
+    /// 99th-percentile latency, µs (bucket upper bound).
+    pub p99_us: u64,
+    /// Largest observed latency, µs (exact).
+    pub max_us: u64,
 }
 
 /// One registered graph's row in [`ServerStats`].
@@ -198,6 +267,7 @@ mod tests {
                 }],
             },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in requests {
@@ -210,6 +280,10 @@ mod tests {
     #[test]
     fn payload_free_verbs_are_bare_strings() {
         assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+        assert_eq!(
+            serde_json::to_string(&Request::Metrics).unwrap(),
+            "\"Metrics\""
+        );
         assert_eq!(
             serde_json::to_string(&Request::Shutdown).unwrap(),
             "\"Shutdown\""
@@ -245,12 +319,36 @@ mod tests {
             Response::Stats(ServerStats {
                 requests: 7,
                 errors: 1,
+                uptime_secs: 12,
+                requests_total: 7,
+                verbs: vec![VerbCount {
+                    verb: "Predict".into(),
+                    count: 4,
+                }],
                 graphs: vec![GraphInfo {
                     name: "g".into(),
                     nodes: 10,
                     edges: 15,
                     indexed: true,
                     mutations: 2,
+                }],
+            }),
+            Response::Metrics(MetricsReport {
+                uptime_secs: 12,
+                requests_total: 7,
+                errors_total: 1,
+                connections: 2,
+                bytes_read: 900,
+                bytes_written: 1800,
+                registry_bytes: 4096,
+                predict_indexes: 1,
+                verbs: vec![VerbStat {
+                    verb: "Predict".into(),
+                    count: 4,
+                    p50_us: 127,
+                    p90_us: 255,
+                    p99_us: 255,
+                    max_us: 201,
                 }],
             }),
             Response::ShuttingDown,

@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use af_core::api::{code, ErrorResponse};
 use af_core::theory::{PredictIndex, PredictSummary};
@@ -29,7 +30,8 @@ use af_graph::dynamic::{DeltaGraph, GraphDelta};
 use af_graph::{Graph, NodeId};
 use parking_lot::{Mutex, RwLock};
 
-use crate::protocol::{GraphInfo, Request, Response, ServerStats};
+use crate::metrics::{ServeMetrics, Verb};
+use crate::protocol::{GraphInfo, MetricsReport, Request, Response, ServerStats};
 
 /// One registered graph and its cached derived state.
 #[derive(Debug)]
@@ -73,6 +75,7 @@ pub struct Registry {
     graphs: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
     requests: AtomicU64,
     errors: AtomicU64,
+    metrics: ServeMetrics,
 }
 
 impl Registry {
@@ -89,6 +92,8 @@ impl Registry {
     /// the server's job (the registry has no connections to close).
     pub fn execute(&self, request: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let verb = Verb::of(request);
+        let started = Instant::now();
         let result = match request {
             Request::Load { name, graph } => self.load(name, graph),
             Request::Gen { name, spec } => Ok(self.register(name, spec.build())),
@@ -109,9 +114,13 @@ impl Registry {
             Request::Batch { graph, request } => self.batch(graph, request),
             Request::Mutate { graph, deltas } => self.mutate(graph, deltas),
             Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Metrics => Ok(Response::Metrics(self.metrics_report())),
             Request::Shutdown => Ok(Response::ShuttingDown),
         };
-        result.unwrap_or_else(|e| self.reject(e))
+        let response = result.unwrap_or_else(|e| self.reject(e));
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.observe(verb, micros);
+        response
     }
 
     /// Wraps a failure as a [`Response::Error`], counting it — also used
@@ -126,6 +135,29 @@ impl Registry {
     /// post-shutdown error path calls [`Self::reject`] right after).
     pub fn count_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The daemon's metric block — the transports record connection and
+    /// byte counts here; [`Self::execute`] records verbs and latency.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The full metrics snapshot behind the `Metrics` verb and the
+    /// final stderr flush. Recomputes the registry footprint gauges
+    /// from the live graph map first, so the report is never stale.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let mut bytes = 0u64;
+        let mut indexes = 0u64;
+        for entry in self.graphs.read().values() {
+            bytes += approx_graph_bytes(&entry.snapshot());
+            indexes += u64::from(entry.index.lock().is_some());
+        }
+        self.metrics.set_registry_footprint(bytes, indexes);
+        self.metrics.report(
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
     }
 
     /// Looks up a registered graph's entry.
@@ -237,12 +269,24 @@ impl Registry {
                 }
             })
             .collect();
+        let requests = self.requests.load(Ordering::Relaxed);
         ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
+            requests,
             errors: self.errors.load(Ordering::Relaxed),
+            uptime_secs: self.metrics.uptime_secs(),
+            requests_total: requests,
+            verbs: self.metrics.verb_counts(),
             graphs,
         }
     }
+}
+
+/// Approximate resident bytes of one graph snapshot: the CSR adjacency
+/// is two directed arcs per edge plus an offset per node, each a
+/// machine word. A monitoring estimate, not an allocator audit.
+fn approx_graph_bytes(graph: &Graph) -> u64 {
+    let word = std::mem::size_of::<usize>() as u64;
+    (2 * graph.edge_count() as u64 + graph.node_count() as u64 + 1) * word
 }
 
 #[cfg(test)]
@@ -444,6 +488,47 @@ mod tests {
                 edits_applied: 1,
                 edits_skipped: 2,
             }
+        );
+    }
+
+    #[test]
+    fn metrics_verb_reports_per_verb_counts_and_gauges() {
+        let registry = registry_with("g", GraphSpec::Cycle { n: 6 });
+        for _ in 0..2 {
+            let resp = registry.execute(&Request::Predict {
+                graph: "g".into(),
+                source_sets: vec![vec![0]],
+            });
+            assert!(matches!(resp, Response::Predicted { .. }), "{resp:?}");
+        }
+        let resp = registry.execute(&Request::Predict {
+            graph: "ghost".into(),
+            source_sets: vec![vec![0]],
+        });
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+
+        let resp = registry.execute(&Request::Metrics);
+        let Response::Metrics(report) = resp else {
+            panic!("expected metrics, got {resp:?}");
+        };
+        // Gen + 3 Predicts + this Metrics.
+        assert_eq!(report.requests_total, 5);
+        assert_eq!(report.errors_total, 1);
+        assert_eq!(report.predict_indexes, 1, "the predicts built g's index");
+        assert!(report.registry_bytes > 0);
+        let count = |name: &str| report.verbs.iter().find(|v| v.verb == name).unwrap().count;
+        assert_eq!(count("Gen"), 1);
+        assert_eq!(count("Predict"), 3, "the failed predict still counts");
+        assert_eq!(count("Flood"), 0);
+        // The report is taken before its own request is observed.
+        assert_eq!(count("Metrics"), 0);
+
+        let stats = registry.stats();
+        assert_eq!(stats.requests_total, stats.requests);
+        let verb_sum: u64 = stats.verbs.iter().map(|v| v.count).sum();
+        assert_eq!(
+            verb_sum, stats.requests,
+            "every parsed request has a verb row"
         );
     }
 

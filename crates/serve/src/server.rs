@@ -41,6 +41,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 pub struct Server {
     registry: Registry,
     shutting_down: AtomicBool,
+    metrics_flushed: AtomicBool,
     line_cap: usize,
 }
 
@@ -57,6 +58,7 @@ impl Server {
         Server {
             registry: Registry::new(),
             shutting_down: AtomicBool::new(false),
+            metrics_flushed: AtomicBool::new(false),
             line_cap,
         }
     }
@@ -110,6 +112,28 @@ impl Server {
         serialize(&self.handle_line(line))
     }
 
+    /// The current metrics snapshot as the daemon's stderr line form:
+    /// `metrics {json}`, where the JSON is a
+    /// [`crate::protocol::MetricsReport`].
+    #[must_use]
+    pub fn metrics_line(&self) -> String {
+        let report = self.registry.metrics_report();
+        format!(
+            "metrics {}",
+            serde_json::to_string(&report).expect("reports always serialize")
+        )
+    }
+
+    /// Writes the final metrics snapshot line to stderr, at most once
+    /// per server — called when a transport loop drains (`Shutdown` or
+    /// EOF), so even a daemon killed right after the drain leaves
+    /// evidence of what it served.
+    pub fn flush_final_metrics(&self) {
+        if !self.metrics_flushed.swap(true, Ordering::SeqCst) {
+            eprintln!("af-serve: final {}", self.metrics_line());
+        }
+    }
+
     /// The response for a line that exceeded the cap (counted).
     fn oversized(&self) -> Response {
         self.registry.count_request();
@@ -127,21 +151,41 @@ impl Server {
     ///
     /// Propagates I/O errors on the two streams.
     pub fn serve_stdio(&self, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
-        let mut lines = LineReader::new(input, self.line_cap);
-        loop {
-            let response = match lines.next_line()? {
-                LineRead::Eof => return Ok(()),
-                LineRead::Blank => continue,
-                LineRead::Oversized => self.oversized(),
-                LineRead::Line(line) => self.handle_line(&line),
-            };
-            output.write_all(serialize(&response).as_bytes())?;
-            output.write_all(b"\n")?;
-            output.flush()?;
-            if self.is_shutting_down() {
-                return Ok(());
+        self.registry.metrics().connection_opened();
+        let result = (|| {
+            let mut lines = LineReader::new(input, self.line_cap);
+            loop {
+                let response = match lines.next_line()? {
+                    LineRead::Eof => return Ok(()),
+                    LineRead::Blank => continue,
+                    LineRead::Oversized => self.oversized(),
+                    LineRead::Line(line) => {
+                        self.registry
+                            .metrics()
+                            .add_bytes_read(line.len() as u64 + 1);
+                        self.handle_line(&line)
+                    }
+                };
+                self.write_response(&mut output, &response)?;
+                if self.is_shutting_down() {
+                    return Ok(());
+                }
             }
-        }
+        })();
+        self.flush_final_metrics();
+        result
+    }
+
+    /// Writes one response line and counts its bytes.
+    fn write_response(&self, output: &mut impl Write, response: &Response) -> io::Result<()> {
+        let line = serialize(response);
+        output.write_all(line.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        self.registry
+            .metrics()
+            .add_bytes_written(line.len() as u64 + 1);
+        Ok(())
     }
 
     /// Serves newline-delimited JSON on a TCP listener, one thread per
@@ -172,11 +216,14 @@ impl Server {
             }
             Ok(())
         });
-        outcome.expect("connection threads do not panic")
+        let result = outcome.expect("connection threads do not panic");
+        self.flush_final_metrics();
+        result
     }
 
     /// One connection's request/response loop.
     fn serve_connection(&self, stream: TcpStream) -> io::Result<()> {
+        self.registry.metrics().connection_opened();
         stream.set_read_timeout(Some(POLL_INTERVAL))?;
         let reader = BufReader::new(stream.try_clone()?);
         let mut lines = LineReader::new(reader, self.line_cap);
@@ -198,11 +245,14 @@ impl Server {
                 Ok(LineRead::Eof) => return Ok(()),
                 Ok(LineRead::Blank) => continue,
                 Ok(LineRead::Oversized) => self.oversized(),
-                Ok(LineRead::Line(line)) => self.handle_line(&line),
+                Ok(LineRead::Line(line)) => {
+                    self.registry
+                        .metrics()
+                        .add_bytes_read(line.len() as u64 + 1);
+                    self.handle_line(&line)
+                }
             };
-            stream.write_all(serialize(&response).as_bytes())?;
-            stream.write_all(b"\n")?;
-            stream.flush()?;
+            self.write_response(&mut stream, &response)?;
             if self.is_shutting_down() {
                 // Either this client asked for shutdown (it just got its
                 // `ShuttingDown` ack) or another did (this one just got

@@ -169,6 +169,38 @@ fn concurrent_clients_get_bit_identical_answers_and_shutdown_drains() {
         assert_eq!(names, ["g0", "g1", "g2", "g3"]);
         assert_eq!(stats.errors, 3);
         assert!(stats.graphs.iter().all(|g| g.mutations == 1));
+        // The PR-8 stats extension: totals and per-verb counts ride
+        // along without disturbing the original fields above.
+        assert_eq!(stats.requests_total, stats.requests);
+        let verb_count = |name: &str| {
+            stats
+                .verbs
+                .iter()
+                .find(|v| v.verb == name)
+                .expect("every verb has a row")
+                .count
+        };
+        assert_eq!(verb_count("Gen"), 4, "one Gen per worker");
+        assert_eq!(
+            verb_count("Predict"),
+            9,
+            "two per worker, plus one after garbage"
+        );
+        assert_eq!(verb_count("Batch"), 8);
+        assert_eq!(verb_count("Shutdown"), 0);
+
+        // Metrics: the full snapshot, over the same connection.
+        let resp: Response = serde_json::from_str(&client.send(&Request::Metrics)).expect("parse");
+        let Response::Metrics(report) = resp else {
+            panic!("expected metrics, got {resp:?}");
+        };
+        assert_eq!(report.errors_total, 3);
+        assert!(report.connections >= 5, "four workers plus this client");
+        assert!(report.bytes_read > 0 && report.bytes_written > 0);
+        assert!(report.registry_bytes > 0, "four graphs are resident");
+        let predict = report.verbs.iter().find(|v| v.verb == "Predict").unwrap();
+        assert_eq!(predict.count, 9);
+        assert!(predict.max_us > 0, "index builds take measurable time");
 
         // Shutdown: acknowledged, drained, and the accept loop returns.
         let ack = client.send(&Request::Shutdown);

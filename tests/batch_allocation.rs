@@ -9,9 +9,12 @@
 //! own test binary, so the hook is invisible to every other suite) and
 //! asserts the allocation counter does not move across the second pass.
 
+use amnesiac_flooding::core::obs::{NdjsonTraceWriter, NoopProbe, SharedProbe};
 use amnesiac_flooding::core::{FloodBatch, FloodEngine};
 use amnesiac_flooding::graph::{generators, NodeId};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 mod common;
@@ -84,6 +87,86 @@ fn warm_flood_batch_is_allocation_free_across_mixed_set_sizes() {
     assert!(expected.iter().all(|s| s.total_messages() > 0));
     let probe: Vec<u8> = vec![1, 2, 3];
     assert!(ALLOCATIONS.load(Ordering::SeqCst) > before, "{probe:?}");
+}
+
+/// PR-8 observability contract: attaching a probe must not change the
+/// allocation story. A warm flood with the no-op probe — the "probe
+/// slot occupied but nobody listening" configuration — stays
+/// allocation-free.
+#[test]
+fn warm_flood_with_noop_probe_is_allocation_free() {
+    let g = generators::sparse_connected(600, 900, 42);
+    let source_sets: Vec<Vec<NodeId>> = [3usize, 0, 2, 1]
+        .into_iter()
+        .enumerate()
+        .map(|(i, selector)| source_set_for(g.node_count(), selector, 7 ^ i as u64))
+        .collect();
+
+    let mut batch = FloodBatch::new(&g);
+    let probe: SharedProbe = Rc::new(RefCell::new(NoopProbe));
+    batch.set_probe(Some(probe));
+
+    // Pass 1 (warm-up) with the probe attached throughout.
+    let mut expected = Vec::with_capacity(source_sets.len());
+    for set in &source_sets {
+        expected.push(batch.run_from(set.iter().copied()));
+    }
+
+    // Pass 2: zero allocator traffic allowed.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for (set, want) in source_sets.iter().zip(&expected) {
+        let got = batch.run_from(set.iter().copied());
+        assert_eq!(&got, want, "probed batch diverged from warm-up");
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(delta, 0, "no-op probe allocated {delta} times when warm");
+}
+
+/// The full tracing configuration: a warm flood writing complete NDJSON
+/// traces into a pre-opened `Vec<u8>` sink allocates nothing — the sink
+/// and the writer's line buffer reach their high-water marks during
+/// warm-up and are reused byte-for-byte afterwards.
+#[test]
+fn warm_traced_flood_is_allocation_free_and_deterministic() {
+    let g = generators::sparse_connected(600, 900, 42);
+    let source_sets: Vec<Vec<NodeId>> = [3usize, 0, 2, 1]
+        .into_iter()
+        .enumerate()
+        .map(|(i, selector)| source_set_for(g.node_count(), selector, 9 ^ i as u64))
+        .collect();
+
+    let mut batch = FloodBatch::new(&g);
+    let writer = Rc::new(RefCell::new(NdjsonTraceWriter::new(Vec::new())));
+    batch.set_probe(Some(writer.clone()));
+
+    // Pass 1 (warm-up): floods trace into the growing sink.
+    let mut expected = Vec::with_capacity(source_sets.len());
+    for set in &source_sets {
+        expected.push(batch.run_from(set.iter().copied()));
+    }
+    let warm_trace = {
+        let mut w = writer.borrow_mut();
+        let bytes = w.sink_mut().clone();
+        // Keep the sink's capacity, drop its contents: the "pre-opened
+        // sink" a long-lived tracing session reuses.
+        w.sink_mut().clear();
+        bytes
+    };
+    assert!(!warm_trace.is_empty(), "warm-up floods produced traces");
+
+    // Pass 2: identical floods, identical trace bytes, zero allocations.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for (set, want) in source_sets.iter().zip(&expected) {
+        let got = batch.run_from(set.iter().copied());
+        assert_eq!(&got, want, "traced batch diverged from warm-up");
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(delta, 0, "warm traced flood allocated {delta} times");
+    assert_eq!(
+        writer.borrow_mut().sink_mut().as_slice(),
+        warm_trace.as_slice(),
+        "the second pass traced byte-identically"
+    );
 }
 
 #[test]

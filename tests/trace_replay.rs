@@ -1,0 +1,141 @@
+//! Differential suite for the observability layer: an NDJSON trace
+//! captured by [`NdjsonTraceWriter`] must replay — through the
+//! `af_analysis::tracecheck` checker, which re-derives round-sets,
+//! receive rounds, per-round message counts, and the termination round
+//! from nothing but the trace text — to **exactly** the engine's own
+//! [`FloodingRun`] record, for all five engines across the shared
+//! source-set ladder. This is what makes traces a correctness artifact
+//! rather than best-effort logging: any drift between what an engine
+//! does and what it reports is a hard failure here.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use amnesiac_flooding::analysis::tracecheck::{check_trace, parse_trace};
+use amnesiac_flooding::core::obs::NdjsonTraceWriter;
+use amnesiac_flooding::core::{AmnesiacFlooding, FloodEngine, FloodingRun};
+use amnesiac_flooding::graph::dynamic::ChurnSpec;
+use amnesiac_flooding::graph::{generators, Graph, NodeId, PartitionStrategy};
+use proptest::prelude::*;
+
+mod common;
+use common::source_set_for;
+
+/// All five engines, in a configuration that exercises each one's
+/// distinct probe path (multi-shard exchange, churn-capable overlay,
+/// bit-lane sweep).
+fn all_engines() -> [FloodEngine; 5] {
+    [
+        FloodEngine::Frontier,
+        FloodEngine::Fast,
+        FloodEngine::Sharded {
+            threads: 3,
+            strategy: PartitionStrategy::Bfs,
+        },
+        FloodEngine::Dynamic {
+            churn: ChurnSpec::NONE,
+        },
+        FloodEngine::BitLane,
+    ]
+}
+
+/// Runs one flood with a trace writer attached and returns the run
+/// record together with the captured NDJSON text.
+fn traced_run(g: &Graph, engine: FloodEngine, sources: &[NodeId]) -> (FloodingRun, String) {
+    let writer = Rc::new(RefCell::new(NdjsonTraceWriter::new(Vec::new())));
+    let run = AmnesiacFlooding::multi_source(g, sources.iter().copied())
+        .with_engine(engine)
+        .with_probe(writer.clone())
+        .run();
+    let text = String::from_utf8(writer.borrow_mut().take_sink()).expect("traces are UTF-8");
+    (run, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property: for every engine and every rung of the
+    /// source-set ladder (1, 2, 3, ⌈√n⌉ sources), the NDJSON trace
+    /// replays to the engine's exact round-sets, receive rounds,
+    /// message counts, and termination round.
+    #[test]
+    fn traces_replay_to_the_exact_run_record(
+        (n, extra, seed) in (2usize..40, 0usize..50, any::<u64>()),
+        selector in 0usize..4,
+    ) {
+        let g = generators::sparse_connected(n, extra, seed);
+        let sources = source_set_for(g.node_count(), selector, seed ^ 0x9e37);
+        for engine in all_engines() {
+            let (run, text) = traced_run(&g, engine, &sources);
+            let parsed = check_trace(&text, &run)
+                .map_err(|e| TestCaseError::fail(format!("{} failed: {e}", engine.family())))?;
+            prop_assert_eq!(parsed.engine.as_str(), engine.family());
+            prop_assert_eq!(parsed.nodes, g.node_count());
+        }
+    }
+
+    /// Engines differ in notes and internals but must agree on the
+    /// physics: the five traces of the same flood parse to identical
+    /// round-sets and receive rounds, trace-to-trace.
+    #[test]
+    fn all_five_traces_of_one_flood_agree(
+        (n, extra, seed) in (2usize..32, 0usize..40, any::<u64>()),
+        selector in 0usize..4,
+    ) {
+        let g = generators::sparse_connected(n, extra, seed);
+        let sources = source_set_for(g.node_count(), selector, seed);
+        let reference = {
+            let (_, text) = traced_run(&g, FloodEngine::Frontier, &sources);
+            parse_trace(&text).expect("frontier trace parses")
+        };
+        for engine in all_engines().into_iter().skip(1) {
+            let (_, text) = traced_run(&g, engine, &sources);
+            let parsed = parse_trace(&text).expect("trace parses");
+            prop_assert_eq!(parsed.round_sets(), reference.round_sets(), "{}", engine.family());
+            prop_assert_eq!(
+                parsed.receive_rounds(),
+                reference.receive_rounds(),
+                "{}",
+                engine.family()
+            );
+            prop_assert_eq!(parsed.end(), reference.end(), "{}", engine.family());
+        }
+    }
+}
+
+/// The dynamic engine under *real* churn still traces honestly: lost
+/// deliveries and churn edits appear in the round lines, and the trace
+/// replays to the run record exactly.
+#[test]
+fn dynamic_churn_traces_replay_and_note_the_edits() {
+    let g = generators::sparse_connected(120, 200, 9);
+    let spec: ChurnSpec = "mix:80:3".parse().expect("valid churn spec");
+    let sources = source_set_for(g.node_count(), 3, 17);
+    let (run, text) = traced_run(&g, FloodEngine::Dynamic { churn: spec }, &sources);
+    let parsed = check_trace(&text, &run).expect("churned trace replays");
+    assert_eq!(parsed.engine, "dynamic");
+    assert!(
+        text.lines().any(|l| l.contains("\"note\":\"churn\"")),
+        "an 80‰ mix schedule must edit at least one round: {text}"
+    );
+}
+
+/// The sharded engine's exchange notes account for every message that
+/// crossed a shard boundary, and shard count never changes the trace.
+#[test]
+fn sharded_traces_are_shard_count_invariant() {
+    let g = generators::sparse_connected(300, 450, 5);
+    let sources = source_set_for(g.node_count(), 3, 23);
+    let mut round_sets = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let engine = FloodEngine::Sharded {
+            threads,
+            strategy: PartitionStrategy::Bfs,
+        };
+        let (run, text) = traced_run(&g, engine, &sources);
+        let parsed = check_trace(&text, &run).expect("sharded trace replays");
+        round_sets.push(parsed.round_sets());
+    }
+    assert_eq!(round_sets[0], round_sets[1]);
+    assert_eq!(round_sets[0], round_sets[2]);
+}

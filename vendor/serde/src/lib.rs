@@ -238,6 +238,20 @@ macro_rules! impl_serde_uint {
 
 impl_serde_uint!(u8, u16, u32, u64, usize);
 
+// A `Value` (de)serializes as itself — what `serde_json::from_str::<Value>`
+// needs to hand callers the raw parsed tree.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
@@ -408,7 +422,7 @@ mod tests {
         assert_eq!(usize::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
         assert_eq!(f64::from_value(&Value::U64(7)).unwrap(), 7.0);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_value()).unwrap(),
             "hi".to_string()
