@@ -439,6 +439,41 @@ fn source_set_sample(n: usize, floods: usize, set_size: usize) -> Vec<Vec<usize>
 // row measures exactly what a CLI or wire client of the same request
 // experiences.
 
+/// Measures one [`FloodRequest`] on `g` exactly the way the committed
+/// benchmark rows are measured — same timed window, same per-flood
+/// termination audit — and returns the [`EngineStats`] row. This is the
+/// entry point behind the daemon's `Bench` verb, so a self-recorded row
+/// is the row this harness would have recorded for the same request.
+///
+/// # Errors
+///
+/// Rejects what [`FloodRequest::validate`] rejects (unknown engine,
+/// out-of-range source), plus `bad_request` for an empty source-set list
+/// (a row must measure something) and for a nonzero `max_rounds`: the
+/// benchmark path always floods uncapped, because a capped static flood
+/// would trip the Theorem 3.1 termination audit instead of producing a
+/// comparable row.
+pub fn measure_request(
+    g: &Graph,
+    request: &FloodRequest,
+) -> Result<EngineStats, af_core::api::ErrorResponse> {
+    use af_core::api::{code, ErrorResponse};
+    if request.source_sets.is_empty() {
+        return Err(ErrorResponse::new(
+            code::BAD_REQUEST,
+            "a bench request needs at least one source set",
+        ));
+    }
+    if request.max_rounds != 0 {
+        return Err(ErrorResponse::new(
+            code::BAD_REQUEST,
+            "bench rows are measured uncapped; max_rounds must be 0",
+        ));
+    }
+    let engine = request.validate(g)?;
+    Ok(measure_batch(g, &request.source_sets, engine))
+}
+
 fn measure_batch(g: &Graph, source_sets: &[Vec<usize>], engine: FloodEngine) -> EngineStats {
     let (name, threads, threads_requested, partitioner, churn) = match engine {
         FloodEngine::Frontier => (

@@ -40,6 +40,15 @@ pub mod code {
     pub const UNKNOWN_GRAPH: &str = "unknown_graph";
     /// A graph mutation (`GraphDelta`) could not be applied.
     pub const BAD_DELTA: &str = "bad_delta";
+    /// The named graph *was* registered but has since been evicted from
+    /// a byte-budgeted registry (re-`Load`/`Gen` restores it). Distinct
+    /// from [`UNKNOWN_GRAPH`] so clients can tell "never existed" from
+    /// "fell out of the LRU".
+    pub const NOT_FOUND: &str = "not_found";
+    /// The request would exceed the registry's byte budget even after
+    /// evicting everything else (one graph or index bigger than the
+    /// whole budget).
+    pub const OVER_BUDGET: &str = "over_budget";
     /// The server is draining for shutdown and not accepting new work.
     pub const SHUTTING_DOWN: &str = "shutting_down";
 }

@@ -80,6 +80,28 @@ impl Gauge {
         self.0.store(v, Relaxed);
     }
 
+    /// Adds `n` — for gauges maintained transactionally (charge on
+    /// acquire, [`Gauge::sub`] on release) instead of recomputed.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero: a release racing a concurrent
+    /// reset can at worst under-report, never wrap to `u64::MAX`.
+    pub fn sub(&self, n: u64) {
+        let mut current = self.0.load(Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Relaxed, Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
@@ -229,6 +251,12 @@ mod tests {
         g.set(7);
         g.set(3);
         assert_eq!(g.get(), 3);
+        g.add(10);
+        assert_eq!(g.get(), 13);
+        g.sub(5);
+        assert_eq!(g.get(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
     }
 
     #[test]

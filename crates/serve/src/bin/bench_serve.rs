@@ -12,11 +12,11 @@
 //! cross-checked against the cold oracle before timing is trusted: a
 //! speedup over wrong answers would be worthless.
 //!
-//! Report schema (`schema_version` 1):
+//! Report schema (`schema_version` 2):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "benchmark": "serve_predict",
 //!   "mode": "full",
 //!   "cases": [
@@ -32,16 +32,39 @@
 //!       "warm_predictions_per_sec": 17.6,
 //!       "speedup": 21.8
 //!     }
-//!   ]
+//!   ],
+//!   "daemon": {
+//!     "transport": "tcp",
+//!     "pool": 4,
+//!     "background_clients": 2,
+//!     "background_predicts": 96,
+//!     "graph": "grid(200x200)",
+//!     "nodes": 40000,
+//!     "edges": 79600,
+//!     "runs": [ ...af_analysis::bench::EngineStats rows... ]
+//!   }
 //! }
 //! ```
+//!
+//! The `daemon` section is **self-recorded**: the rows come back over a
+//! real TCP connection as `Bench` verb responses — the daemon runs the
+//! `af_analysis::bench` measurement harness in-process — while
+//! background clients hammer the same worker pool with id-enveloped
+//! `Predict` bursts. The numbers therefore describe a *live, loaded*
+//! daemon, not a quiet library call.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use af_analysis::bench::EngineStats;
+use af_analysis::GraphSpec;
+use af_core::api::FloodRequest;
 use af_core::theory;
 use af_graph::{io, NodeId};
-use af_serve::{Request, Response, Server};
+use af_serve::{Envelope, Request, Response, Server, ServerConfig, TaggedResponse};
 use serde::Serialize;
 
 /// One family's cold-versus-warm measurement.
@@ -59,6 +82,20 @@ struct ServeCase {
     speedup: f64,
 }
 
+/// The daemon-self-recorded section: `Bench` verb rows measured by a
+/// live TCP daemon while background clients load its worker pool.
+#[derive(Debug, Serialize)]
+struct DaemonSection {
+    transport: String,
+    pool: usize,
+    background_clients: usize,
+    background_predicts: usize,
+    graph: String,
+    nodes: usize,
+    edges: usize,
+    runs: Vec<EngineStats>,
+}
+
 /// The whole report, as written to `BENCH_serve.json`.
 #[derive(Debug, Serialize)]
 struct ServeReport {
@@ -66,6 +103,7 @@ struct ServeReport {
     benchmark: String,
     mode: String,
     cases: Vec<ServeCase>,
+    daemon: DaemonSection,
 }
 
 fn main() -> ExitCode {
@@ -174,10 +212,167 @@ fn run(smoke: bool) -> ServeReport {
         });
     }
     ServeReport {
-        schema_version: 1,
+        schema_version: 2,
         benchmark: "serve_predict".to_owned(),
         mode: if smoke { "smoke" } else { "full" }.to_owned(),
         cases,
+        daemon: daemon_section(smoke),
+    }
+}
+
+/// A pipelining NDJSON client for the daemon section (std only; the
+/// integration tests have their own richer twin).
+struct WireClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl WireClient {
+    fn connect(addr: SocketAddr) -> WireClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        WireClient { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        self.stream.flush().expect("flush");
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end().to_owned()
+    }
+}
+
+/// Runs a real TCP daemon, loads one grid, and has it measure its own
+/// engines through the `Bench` verb while background clients keep the
+/// worker pool busy with enveloped `Predict` bursts.
+fn daemon_section(smoke: bool) -> DaemonSection {
+    const POOL: usize = 4;
+    const BACKGROUND_CLIENTS: usize = 2;
+    let spec = if smoke {
+        GraphSpec::Grid { rows: 30, cols: 30 }
+    } else {
+        GraphSpec::Grid {
+            rows: 200,
+            cols: 200,
+        }
+    };
+    let graph = spec.build();
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    eprintln!("[daemon] serving {} on TCP ...", spec.label());
+
+    let server = Server::with_config(&ServerConfig {
+        pool: POOL,
+        ..ServerConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let stop = AtomicBool::new(false);
+    let mut runs = Vec::new();
+    let mut background_predicts = 0usize;
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve_tcp(&listener));
+
+        // Load over the wire, like any client would.
+        let mut bencher = WireClient::connect(addr);
+        let load = Request::Load {
+            name: "bench".into(),
+            graph: io::to_edge_list(&graph),
+        };
+        bencher.send(&serde_json::to_string(&load).expect("serialize"));
+        let loaded = bencher.read_line();
+        assert!(loaded.starts_with("{\"Registered\""), "{loaded}");
+
+        // Background load: enveloped Predict bursts against the same
+        // pool until the bench rows are in.
+        let background: Vec<_> = (0..BACKGROUND_CLIENTS)
+            .map(|c| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(addr);
+                    let mut sent = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        for i in 0..8usize {
+                            let envelope = Envelope {
+                                id: (c * 1000 + sent + i) as u64,
+                                request: Request::Predict {
+                                    graph: "bench".into(),
+                                    source_sets: vec![vec![(i * 97) % nodes]],
+                                },
+                            };
+                            client.send(&serde_json::to_string(&envelope).expect("serialize"));
+                        }
+                        for _ in 0..8 {
+                            let line = client.read_line();
+                            assert!(line.contains("\"Predicted\""), "{line}");
+                        }
+                        sent += 8;
+                    }
+                    sent
+                })
+            })
+            .collect();
+
+        // The daemon measures itself: one Bench request per engine,
+        // enveloped so the measurement also rides the pool.
+        let sources = spread_sources(nodes, 4);
+        for (i, engine) in ["frontier", "fast", "bitlane", "sharded:2:bfs"]
+            .into_iter()
+            .enumerate()
+        {
+            let envelope = Envelope {
+                id: 9000 + i as u64,
+                request: Request::Bench {
+                    graph: "bench".into(),
+                    request: FloodRequest {
+                        source_sets: sources.iter().map(|&s| vec![s]).collect(),
+                        engine: engine.into(),
+                        max_rounds: 0,
+                    },
+                    repeat: 2,
+                },
+            };
+            bencher.send(&serde_json::to_string(&envelope).expect("serialize"));
+            let line = bencher.read_line();
+            let tagged: TaggedResponse =
+                serde_json::from_str(&line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            let Response::Benched { runs: rows, .. } = tagged.response else {
+                panic!("bench failed for {engine}: {:?}", tagged.response);
+            };
+            for row in &rows {
+                eprintln!(
+                    "[daemon] {}: {:.1} ms, {:.0} edges/s under load",
+                    row.engine, row.wall_ms, row.edges_per_sec
+                );
+            }
+            runs.extend(rows);
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for worker in background {
+            background_predicts += worker.join().expect("background client");
+        }
+        let shutdown = serde_json::to_string(&Request::Shutdown).expect("serialize");
+        bencher.send(&shutdown);
+        assert_eq!(bencher.read_line(), "\"ShuttingDown\"");
+        serving.join().expect("server thread").expect("serve_tcp");
+    });
+
+    DaemonSection {
+        transport: "tcp".into(),
+        pool: POOL,
+        background_clients: BACKGROUND_CLIENTS,
+        background_predicts,
+        graph: spec.label(),
+        nodes,
+        edges,
+        runs,
     }
 }
 

@@ -18,6 +18,18 @@
 //! [`af_core::api::ErrorResponse`] values with stable codes; a
 //! malformed line never kills a connection, let alone the daemon.
 //!
+//! Scale features, all opt-in (PROTOCOL.md documents each): wrapping a
+//! request in an id [`protocol::Envelope`] routes it to a shared worker
+//! pool, so heavy floods stop serializing behind each other — responses
+//! come back as [`protocol::TaggedResponse`] lines, possibly out of
+//! order, while bare requests keep their strict in-order semantics. A
+//! registry byte budget ([`Registry::with_budget`], `--registry-budget`)
+//! bounds resident graphs plus cached predict indexes by evicting the
+//! least-recently-used graph; `Evict` does the same by hand.
+//! `--registry-dir` pre-loads a directory of edge lists at boot, and the
+//! `Bench` verb runs the measurement harness in-process so a live
+//! daemon can record its own benchmark rows.
+//!
 //! The daemon watches itself: every request is timed into the
 //! lock-free [`metrics`] block (per-verb counts and latency
 //! histograms, connection/byte counters, registry footprint gauges),
@@ -37,6 +49,6 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use protocol::{Request, Response};
+pub use protocol::{Envelope, Request, Response, TaggedResponse};
 pub use registry::Registry;
-pub use server::Server;
+pub use server::{Server, ServerConfig};

@@ -5,6 +5,9 @@
 //! af-serve --listen 127.0.0.1:7171   # serve TCP, thread per connection
 //! af-serve --line-cap 1048576  # override the per-line byte cap
 //! af-serve --metrics-interval 30     # metrics snapshot to stderr every 30s
+//! af-serve --pool 8            # workers for id-enveloped (out-of-order) requests
+//! af-serve --registry-budget 268435456  # LRU-evict graphs past 256 MiB
+//! af-serve --registry-dir graphs/       # pre-load every edge list in graphs/
 //! ```
 //!
 //! Diagnostics go to stderr; the protocol stream is never polluted. On
@@ -18,18 +21,26 @@
 
 use std::io::{self, BufReader, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use af_serve::server::DEFAULT_LINE_CAP;
+use af_serve::server::{ServerConfig, DEFAULT_LINE_CAP, DEFAULT_POOL};
 use af_serve::Server;
 
 const USAGE: &str = "usage: af-serve [--listen ADDR] [--line-cap BYTES] [--metrics-interval SECS]
+                [--pool N] [--registry-budget BYTES] [--registry-dir DIR]
 
 Serve the flooding protocol (PROTOCOL.md) as newline-delimited JSON.
 Default transport is stdio; --listen ADDR serves TCP instead.
---metrics-interval SECS prints a metrics snapshot line to stderr every
-SECS seconds (a final snapshot is always printed on drain).";
+--pool N sizes the worker pool that runs id-enveloped requests out of
+order (default 4). --registry-budget BYTES caps the bytes held by
+registered graphs plus cached predict indexes, evicting least-recently
+used graphs past the cap (default 0 = unbounded). --registry-dir DIR
+pre-loads every edge-list file in DIR (graph name = file stem) before
+serving. --metrics-interval SECS prints a metrics snapshot line to
+stderr every SECS seconds (a final snapshot is always printed on
+drain).";
 
 /// How often the metrics ticker re-checks the shutdown flag while
 /// waiting out its interval.
@@ -39,6 +50,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen: Option<String> = None;
     let mut line_cap = DEFAULT_LINE_CAP;
+    let mut pool = DEFAULT_POOL;
+    let mut registry_budget = 0u64;
+    let mut registry_dir: Option<PathBuf> = None;
     let mut metrics_interval: Option<Duration> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -50,6 +64,18 @@ fn main() -> ExitCode {
             "--line-cap" => match iter.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(cap)) if cap > 0 => line_cap = cap,
                 _ => return usage_error("--line-cap needs a positive byte count"),
+            },
+            "--pool" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => pool = n,
+                _ => return usage_error("--pool needs a positive worker count"),
+            },
+            "--registry-budget" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(bytes)) if bytes > 0 => registry_budget = bytes,
+                _ => return usage_error("--registry-budget needs a positive byte count"),
+            },
+            "--registry-dir" => match iter.next() {
+                Some(dir) => registry_dir = Some(PathBuf::from(dir)),
+                None => return usage_error("--registry-dir needs a directory"),
             },
             "--metrics-interval" => match iter.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(secs)) if secs > 0 => metrics_interval = Some(Duration::from_secs(secs)),
@@ -63,7 +89,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let server = Server::new(line_cap);
+    let server = Server::with_config(&ServerConfig {
+        line_cap,
+        pool,
+        registry_budget,
+    });
+    if let Some(dir) = registry_dir {
+        match server.load_registry_dir(&dir) {
+            Ok(loaded) => eprintln!("af-serve: registry-dir loaded {loaded} graph(s)"),
+            Err(e) => {
+                eprintln!("af-serve: --registry-dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = std::thread::scope(|scope| {
         if let Some(interval) = metrics_interval {
             let server = &server;
@@ -73,8 +112,9 @@ fn main() -> ExitCode {
             Some(addr) => serve_tcp(&server, &addr),
             None => {
                 let stdin = io::stdin();
-                let stdout = io::stdout();
-                server.serve_stdio(BufReader::new(stdin.lock()), stdout.lock())
+                // `io::stdout()` (not its lock): the pool workers need a
+                // `Send` writer to answer enveloped requests.
+                server.serve_stdio(BufReader::new(stdin.lock()), io::stdout())
             }
         };
         // Release the ticker even when the transport ended without a

@@ -18,11 +18,10 @@ use af_core::obs::metrics::{Counter, Gauge, Histogram};
 
 use crate::protocol::{MetricsReport, Request, VerbCount, VerbStat};
 
-/// Every wire verb, as an instrumentation row index.
-///
-/// Unparsable lines never reach a verb row — they are visible in
-/// `errors_total` (and the oversized/bad-request error codes) instead,
-/// so the verb counts sum to the *parsed* request count.
+/// Every wire verb, as an instrumentation row index — plus the
+/// [`Verb::Rejected`] row for lines answered without reaching a verb
+/// handler, so `requests_total` always equals the sum of the rows (the
+/// balance the fault-injection battery pins).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verb {
     /// `Load` — register a graph from text.
@@ -35,18 +34,25 @@ pub enum Verb {
     Flood,
     /// `Batch` — a full `FloodRequest`.
     Batch,
+    /// `Bench` — measure a `FloodRequest` through the benchmark harness.
+    Bench,
     /// `Mutate` — topology edits.
     Mutate,
+    /// `Evict` — drop a graph from the registry.
+    Evict,
     /// `Stats` — registry counters.
     Stats,
     /// `Metrics` — this module's report.
     Metrics,
     /// `Shutdown` — drain and stop.
     Shutdown,
+    /// Any line answered without reaching a verb handler: unparsable,
+    /// oversized, or refused during the shutdown drain.
+    Rejected,
 }
 
 /// How many verbs there are (the instrumentation array length).
-const VERBS: usize = 9;
+const VERBS: usize = 12;
 
 impl Verb {
     /// Every verb, in wire-documentation order.
@@ -56,10 +62,13 @@ impl Verb {
         Verb::Predict,
         Verb::Flood,
         Verb::Batch,
+        Verb::Bench,
         Verb::Mutate,
+        Verb::Evict,
         Verb::Stats,
         Verb::Metrics,
         Verb::Shutdown,
+        Verb::Rejected,
     ];
 
     /// The verb's wire name — exactly the JSON tag on the request line.
@@ -71,10 +80,13 @@ impl Verb {
             Verb::Predict => "Predict",
             Verb::Flood => "Flood",
             Verb::Batch => "Batch",
+            Verb::Bench => "Bench",
             Verb::Mutate => "Mutate",
+            Verb::Evict => "Evict",
             Verb::Stats => "Stats",
             Verb::Metrics => "Metrics",
             Verb::Shutdown => "Shutdown",
+            Verb::Rejected => "Rejected",
         }
     }
 
@@ -87,7 +99,9 @@ impl Verb {
             Request::Predict { .. } => Verb::Predict,
             Request::Flood { .. } => Verb::Flood,
             Request::Batch { .. } => Verb::Batch,
+            Request::Bench { .. } => Verb::Bench,
             Request::Mutate { .. } => Verb::Mutate,
+            Request::Evict { .. } => Verb::Evict,
             Request::Stats => Verb::Stats,
             Request::Metrics => Verb::Metrics,
             Request::Shutdown => Verb::Shutdown,
@@ -116,11 +130,24 @@ pub struct ServeMetrics {
     bytes_read: Counter,
     /// Response-line bytes written, newlines included.
     bytes_written: Counter,
-    /// Approximate resident bytes of all registered graph snapshots.
+    /// Approximate resident bytes of all registered graph snapshots and
+    /// cached predict indexes — the byte-budget charge, maintained
+    /// *eagerly* by the registry (charged on register/index build,
+    /// released on evict/mutate), never recomputed at report time.
     registry_bytes: Gauge,
     /// How many graphs currently hold a built double-cover predict
-    /// index.
+    /// index (eager, like `registry_bytes`).
     predict_indexes: Gauge,
+    /// The registry byte budget; 0 = unbounded.
+    registry_budget: Gauge,
+    /// Graphs evicted (LRU pressure and explicit `Evict` both count).
+    evictions: Counter,
+    /// Worker threads in the shared pool.
+    pool_workers: Gauge,
+    /// Enveloped requests currently queued or executing on the pool.
+    pool_depth: Gauge,
+    /// Enveloped requests ever dispatched to the pool.
+    pool_jobs: Counter,
 }
 
 impl Default for ServeMetrics {
@@ -142,6 +169,11 @@ impl ServeMetrics {
             bytes_written: Counter::new(),
             registry_bytes: Gauge::new(),
             predict_indexes: Gauge::new(),
+            registry_budget: Gauge::new(),
+            evictions: Counter::new(),
+            pool_workers: Gauge::new(),
+            pool_depth: Gauge::new(),
+            pool_jobs: Counter::new(),
         }
     }
 
@@ -178,12 +210,72 @@ impl ServeMetrics {
         self.bytes_written.add(n);
     }
 
-    /// Overwrites the registry footprint gauges (recomputed by the
-    /// registry whenever a report is taken — gauges are read-time
-    /// state, not hot-path increments).
-    pub fn set_registry_footprint(&self, bytes: u64, indexes: u64) {
-        self.registry_bytes.set(bytes);
-        self.predict_indexes.set(indexes);
+    /// Charges `bytes` of graph/index footprint against the registry
+    /// gauge — called when a snapshot is registered or an index built.
+    pub fn charge_registry(&self, bytes: u64) {
+        self.registry_bytes.add(bytes);
+    }
+
+    /// Releases `bytes` of footprint — called on evict and on the old
+    /// snapshot of a mutate. Saturates at zero.
+    pub fn uncharge_registry(&self, bytes: u64) {
+        self.registry_bytes.sub(bytes);
+    }
+
+    /// Approximate resident bytes currently charged.
+    #[must_use]
+    pub fn registry_bytes(&self) -> u64 {
+        self.registry_bytes.get()
+    }
+
+    /// Counts one predict index built.
+    pub fn index_built(&self) {
+        self.predict_indexes.add(1);
+    }
+
+    /// Counts one predict index dropped (mutate or eviction).
+    pub fn index_dropped(&self) {
+        self.predict_indexes.sub(1);
+    }
+
+    /// Records the configured byte budget (0 = unbounded) so reports
+    /// carry it.
+    pub fn set_registry_budget(&self, budget: u64) {
+        self.registry_budget.set(budget);
+    }
+
+    /// Counts one graph evicted from the registry.
+    pub fn eviction(&self) {
+        self.evictions.inc();
+    }
+
+    /// Graphs evicted so far.
+    #[must_use]
+    pub fn evictions_total(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Records the pool size once at transport start, so reports can
+    /// tell a pool-less daemon (0) from a busy one.
+    pub fn set_pool_workers(&self, workers: u64) {
+        self.pool_workers.set(workers);
+    }
+
+    /// Counts one enveloped request handed to the pool (depth rises).
+    pub fn job_enqueued(&self) {
+        self.pool_jobs.inc();
+        self.pool_depth.add(1);
+    }
+
+    /// Counts one pool job finished (depth falls).
+    pub fn job_finished(&self) {
+        self.pool_depth.sub(1);
+    }
+
+    /// Enveloped requests currently queued or executing on the pool.
+    #[must_use]
+    pub fn pool_depth(&self) -> u64 {
+        self.pool_depth.get()
     }
 
     /// Per-verb counts in [`Verb::ALL`] order — the light rows
@@ -227,6 +319,11 @@ impl ServeMetrics {
             bytes_written: self.bytes_written.get(),
             registry_bytes: self.registry_bytes.get(),
             predict_indexes: self.predict_indexes.get(),
+            registry_budget_bytes: self.registry_budget.get(),
+            evictions_total: self.evictions.get(),
+            pool_workers: self.pool_workers.get(),
+            pool_depth: self.pool_depth.get(),
+            pool_jobs_total: self.pool_jobs.get(),
             verbs,
         }
     }
@@ -280,12 +377,37 @@ mod tests {
         metrics.add_bytes_read(100);
         metrics.add_bytes_written(40);
         metrics.add_bytes_written(2);
-        metrics.set_registry_footprint(4096, 3);
+        metrics.charge_registry(4096);
+        metrics.charge_registry(1024);
+        metrics.uncharge_registry(1024);
+        metrics.index_built();
+        metrics.index_built();
+        metrics.index_built();
+        metrics.index_dropped();
         let report = metrics.report(0, 0);
         assert_eq!(report.connections, 2);
         assert_eq!(report.bytes_read, 100);
         assert_eq!(report.bytes_written, 42);
         assert_eq!(report.registry_bytes, 4096);
-        assert_eq!(report.predict_indexes, 3);
+        assert_eq!(report.predict_indexes, 2);
+    }
+
+    #[test]
+    fn pool_and_eviction_instrumentation_balances() {
+        let metrics = ServeMetrics::new();
+        metrics.set_pool_workers(4);
+        metrics.set_registry_budget(1 << 20);
+        metrics.job_enqueued();
+        metrics.job_enqueued();
+        metrics.job_enqueued();
+        assert_eq!(metrics.pool_depth(), 3);
+        metrics.job_finished();
+        metrics.eviction();
+        let report = metrics.report(0, 0);
+        assert_eq!(report.pool_workers, 4);
+        assert_eq!(report.registry_budget_bytes, 1 << 20);
+        assert_eq!(report.pool_jobs_total, 3);
+        assert_eq!(report.pool_depth, 2);
+        assert_eq!(report.evictions_total, 1);
     }
 }

@@ -14,11 +14,39 @@
 //! [`af_core::api::code`]. PROTOCOL.md documents every verb, field, and
 //! code; `tests/doc_links.rs` keeps that file reachable from the README.
 
+use af_analysis::bench::EngineStats;
 use af_analysis::GraphSpec;
 use af_core::api::{ErrorResponse, FloodRequest, FloodResponse};
 use af_core::theory::PredictSummary;
 use af_graph::dynamic::GraphDelta;
 use serde::{Deserialize, Serialize};
+
+/// An id-correlated request line: `{"id": N, "request": <Request>}`.
+///
+/// A bare [`Request`] line keeps strict in-order semantics on its
+/// connection. Wrapping it in an envelope opts that request into the
+/// worker pool: the response comes back as a [`TaggedResponse`] echoing
+/// `id`, possibly out of order relative to other enveloped requests on
+/// the same connection. Clients pick ids; the server never interprets
+/// them beyond echoing (duplicates are legal and echoed as sent). The
+/// two line shapes cannot collide: a request enum line is a bare string
+/// or a one-entry object, an envelope is a two-entry object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// The wrapped request, executed exactly as its bare form would be.
+    pub request: Request,
+}
+
+/// The response line for an [`Envelope`]: `{"id": N, "response": ...}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedResponse {
+    /// The id of the envelope this answers.
+    pub id: u64,
+    /// The response, exactly what the bare request would have answered.
+    pub response: Response,
+}
 
 /// One client request: the verb and its payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,6 +98,21 @@ pub enum Request {
         /// The workload, exactly as the CLI and benchmark execute it.
         request: FloodRequest,
     },
+    /// Measure a [`FloodRequest`] on a registered graph through the
+    /// committed benchmark harness
+    /// ([`af_analysis::bench::measure_request`]) and return the
+    /// [`EngineStats`] rows — so the daemon can self-record
+    /// `BENCH_serve.json` sections under live concurrent load.
+    Bench {
+        /// The registered graph to measure on.
+        graph: String,
+        /// The workload to measure (`max_rounds` must be 0: bench rows
+        /// are always measured uncapped).
+        request: FloodRequest,
+        /// How many times to measure the request (≥ 1); one
+        /// [`EngineStats`] row per repeat, in run order.
+        repeat: u32,
+    },
     /// Apply topology edits to a registered graph, in batch order. The
     /// graph's node-id space evolves exactly as
     /// [`af_graph::dynamic::DeltaGraph::apply`] documents (departed ids
@@ -79,6 +122,14 @@ pub enum Request {
         graph: String,
         /// Edit batches, applied atomically one after another.
         deltas: Vec<GraphDelta>,
+    },
+    /// Explicitly remove a registered graph (and its cached predict
+    /// index) from the registry, freeing its budget charge. Later
+    /// requests for the name answer the stable `not_found` code until a
+    /// re-`Load`/`Gen`.
+    Evict {
+        /// The registered graph to remove.
+        graph: String,
     },
     /// Server and registry counters. No payload: the wire form is the
     /// bare string `"Stats"`.
@@ -113,6 +164,30 @@ pub enum Response {
     /// A `Flood` or `Batch` succeeded: the engine that ran (canonical
     /// string, defaults resolved) and one summary per source set.
     Flooded(FloodResponse),
+    /// A `Bench` succeeded: one measured [`EngineStats`] row per
+    /// requested repeat, in run order — the exact rows
+    /// `BENCH_flooding.json` would record for the same request.
+    Benched {
+        /// The measured graph's name.
+        graph: String,
+        /// Node count of the measured snapshot.
+        nodes: usize,
+        /// Edge count of the measured snapshot.
+        edges: usize,
+        /// One benchmark row per repeat.
+        runs: Vec<EngineStats>,
+    },
+    /// An `Evict` succeeded: what was removed.
+    Evicted {
+        /// The evicted graph's name.
+        name: String,
+        /// Approximate bytes released (graph snapshot plus any cached
+        /// predict index), as charged against the registry budget.
+        bytes_freed: u64,
+        /// Whether a cached predict index was dropped along with the
+        /// graph.
+        index_dropped: bool,
+    },
     /// A `Mutate` succeeded: what the batches did and the graph's new
     /// shape.
     Mutated {
@@ -173,8 +248,9 @@ pub struct VerbCount {
 /// and flushed to stderr as the final line when the daemon drains.
 ///
 /// Latency quantiles are upper bounds of power-of-two buckets (within
-/// 2× of the true value); `max_us` is exact. Gauges are recomputed at
-/// report time from the live registry.
+/// 2× of the true value); `max_us` is exact. The footprint gauges are
+/// maintained eagerly by every register / index build / mutate / evict,
+/// so a report is a pure read — it never walks the registry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsReport {
     /// Whole seconds since the daemon's registry came up.
@@ -189,10 +265,24 @@ pub struct MetricsReport {
     pub bytes_read: u64,
     /// Response-line bytes written, newlines included.
     pub bytes_written: u64,
-    /// Approximate resident bytes of all registered graph snapshots.
+    /// Approximate resident bytes of all registered graph snapshots
+    /// *and* their cached predict indexes — the charge the byte budget
+    /// compares against, maintained eagerly on every register / index
+    /// build / mutate / evict.
     pub registry_bytes: u64,
     /// Graphs currently holding a built double-cover predict index.
     pub predict_indexes: u64,
+    /// The registry byte budget (`--registry-budget`); 0 = unbounded.
+    pub registry_budget_bytes: u64,
+    /// Graphs evicted over the daemon's lifetime (LRU and explicit
+    /// `Evict` both count).
+    pub evictions_total: u64,
+    /// Worker threads in the shared pool (`--pool`).
+    pub pool_workers: u64,
+    /// Enveloped requests currently queued or executing on the pool.
+    pub pool_depth: u64,
+    /// Enveloped requests ever dispatched to the pool.
+    pub pool_jobs_total: u64,
     /// Per-verb counts and latency, in wire-documentation order.
     pub verbs: Vec<VerbStat>,
 }
@@ -259,6 +349,11 @@ mod tests {
                 graph: "g".into(),
                 request: FloodRequest::single(vec![1]),
             },
+            Request::Bench {
+                graph: "g".into(),
+                request: FloodRequest::single(vec![0]),
+                repeat: 3,
+            },
             Request::Mutate {
                 graph: "g".into(),
                 deltas: vec![GraphDelta {
@@ -266,6 +361,7 @@ mod tests {
                     ..GraphDelta::default()
                 }],
             },
+            Request::Evict { graph: "g".into() },
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
@@ -274,6 +370,20 @@ mod tests {
             let line = serde_json::to_string(&req).unwrap();
             let back: Request = serde_json::from_str(&line).unwrap();
             assert_eq!(back, req, "{line}");
+            // The same request inside an envelope: round-trips with its
+            // id, and the envelope line never parses as a bare request
+            // (the two shapes are disjoint).
+            let env = Envelope {
+                id: 42,
+                request: req,
+            };
+            let line = serde_json::to_string(&env).unwrap();
+            let back: Envelope = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, env, "{line}");
+            assert!(
+                serde_json::from_str::<Request>(&line).is_err(),
+                "envelope must not parse as a bare request: {line}"
+            );
         }
     }
 
@@ -333,6 +443,11 @@ mod tests {
                     mutations: 2,
                 }],
             }),
+            Response::Evicted {
+                name: "g".into(),
+                bytes_freed: 4096,
+                index_dropped: true,
+            },
             Response::Metrics(MetricsReport {
                 uptime_secs: 12,
                 requests_total: 7,
@@ -342,6 +457,11 @@ mod tests {
                 bytes_written: 1800,
                 registry_bytes: 4096,
                 predict_indexes: 1,
+                registry_budget_bytes: 1 << 20,
+                evictions_total: 2,
+                pool_workers: 4,
+                pool_depth: 1,
+                pool_jobs_total: 9,
                 verbs: vec![VerbStat {
                     verb: "Predict".into(),
                     count: 4,
@@ -361,6 +481,36 @@ mod tests {
             let line = serde_json::to_string(&resp).unwrap();
             let back: Response = serde_json::from_str(&line).unwrap();
             assert_eq!(back, resp, "{line}");
+            let tagged = TaggedResponse {
+                id: 7,
+                response: resp,
+            };
+            let line = serde_json::to_string(&tagged).unwrap();
+            let back: TaggedResponse = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, tagged, "{line}");
         }
+    }
+
+    #[test]
+    fn benched_roundtrips_with_real_measured_rows() {
+        // A real measured row, not a hand-built literal, so the response
+        // carries exactly what `measure_request` produces (f64 fields
+        // included).
+        let g = af_graph::generators::petersen();
+        let row = af_analysis::bench::measure_request(&g, &FloodRequest::single(vec![0])).unwrap();
+        let resp = Response::Benched {
+            graph: "g".into(),
+            nodes: 10,
+            edges: 15,
+            runs: vec![row],
+        };
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        let Response::Benched { runs, .. } = back else {
+            panic!("expected Benched, got {back:?}");
+        };
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].engine, "frontier");
+        assert_eq!(runs[0].floods_terminated, 1);
     }
 }

@@ -1,6 +1,7 @@
 //! The graph registry: named graphs loaded once, shared by every
 //! connection, mutated in place, with a lazily built predict index per
-//! graph.
+//! graph — and, when a byte budget is configured, a least-recently-used
+//! eviction policy that keeps the total charged footprint under it.
 //!
 //! Locking layout, coarsest to finest:
 //!
@@ -18,9 +19,26 @@
 //!   a zero-allocation BFS on the warm index, until a `Mutate`
 //!   invalidates it. Queries on one graph serialize (the index's scratch
 //!   is reused); queries on different graphs run concurrently.
+//!
+//! Lock-order rule for the budget machinery: a thread holding an
+//! entry-level lock (`delta`, `index`) must **release it before**
+//! touching the registry map — eviction walks the map under the write
+//! lock and then takes victims' entry locks, so the opposite nesting
+//! would be an ABBA deadlock. Handlers therefore finish their entry-level
+//! work, drop the guards, and only then call `Registry::enforce_budget`.
+//!
+//! Byte accounting is **eager and transactional**: every snapshot and
+//! index charges its approximate footprint
+//! ([`approx_graph_bytes`]/[`approx_index_bytes`]) into the shared
+//! [`ServeMetrics`] gauge when it is created and releases it when it is
+//! dropped, so a `Metrics` report is a pure read. An entry evicted while
+//! another thread still holds its `Arc` is flagged `dead`; whichever side
+//! charges last (the in-flight index build, the mutate recharge) observes
+//! the flag and takes its own charge back, so the gauge balances under
+//! any interleaving.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,6 +64,16 @@ pub struct GraphEntry {
     index: Mutex<Option<PredictIndex>>,
     /// `Mutate` batches applied over this graph's lifetime.
     mutations: AtomicU64,
+    /// LRU timestamp: the registry clock value of the last touch.
+    last_used: AtomicU64,
+    /// Bytes currently charged for the snapshot (0 after release).
+    charged_graph: AtomicU64,
+    /// Bytes currently charged for the predict index (0 when unbuilt or
+    /// released).
+    charged_index: AtomicU64,
+    /// Set when the entry leaves the map (eviction or replacement);
+    /// in-flight charges observe it and take themselves back.
+    dead: AtomicBool,
 }
 
 impl GraphEntry {
@@ -55,6 +83,10 @@ impl GraphEntry {
             snapshot: RwLock::new(Arc::new(graph)),
             index: Mutex::new(None),
             mutations: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
+            charged_graph: AtomicU64::new(0),
+            charged_index: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
         }
     }
 
@@ -73,16 +105,46 @@ impl GraphEntry {
 #[derive(Debug, Default)]
 pub struct Registry {
     graphs: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+    /// Byte budget for snapshots + indexes; 0 = unbounded.
+    budget: u64,
+    /// Monotonic LRU clock; every touch takes the next tick.
+    clock: AtomicU64,
+    /// Names that were registered and then evicted (cleared by
+    /// re-registration) — they answer [`code::NOT_FOUND`] instead of
+    /// [`code::UNKNOWN_GRAPH`].
+    evicted: Mutex<BTreeSet<String>>,
     requests: AtomicU64,
     errors: AtomicU64,
     metrics: ServeMetrics,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty, unbounded registry.
     #[must_use]
     pub fn new() -> Self {
-        Registry::default()
+        Registry::with_budget(0)
+    }
+
+    /// An empty registry with a byte budget for graph snapshots plus
+    /// predict indexes (`0` = unbounded). When an admission would push
+    /// the charged total over the budget, least-recently-used graphs
+    /// are evicted until it fits; a single graph (or graph + its own
+    /// index) larger than the whole budget is rejected with
+    /// [`code::OVER_BUDGET`].
+    #[must_use]
+    pub fn with_budget(budget: u64) -> Self {
+        let registry = Registry {
+            budget,
+            ..Registry::default()
+        };
+        registry.metrics.set_registry_budget(budget);
+        registry
+    }
+
+    /// The configured byte budget (0 = unbounded).
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
     }
 
     /// Executes one request and returns its response, counting both.
@@ -96,7 +158,7 @@ impl Registry {
         let started = Instant::now();
         let result = match request {
             Request::Load { name, graph } => self.load(name, graph),
-            Request::Gen { name, spec } => Ok(self.register(name, spec.build())),
+            Request::Gen { name, spec } => self.register(name, spec.build()),
             Request::Predict { graph, source_sets } => self.predict(graph, source_sets),
             Request::Flood {
                 graph,
@@ -112,7 +174,13 @@ impl Registry {
                 self.batch(graph, &request)
             }
             Request::Batch { graph, request } => self.batch(graph, request),
+            Request::Bench {
+                graph,
+                request,
+                repeat,
+            } => self.bench(graph, request, *repeat),
             Request::Mutate { graph, deltas } => self.mutate(graph, deltas),
+            Request::Evict { graph } => self.evict(graph),
             Request::Stats => Ok(Response::Stats(self.stats())),
             Request::Metrics => Ok(Response::Metrics(self.metrics_report())),
             Request::Shutdown => Ok(Response::ShuttingDown),
@@ -131,10 +199,14 @@ impl Registry {
         Response::Error(error)
     }
 
-    /// Counts a request the server answered without a handler (the
-    /// post-shutdown error path calls [`Self::reject`] right after).
+    /// Counts a request the server answered without a handler —
+    /// unparsable or oversized lines, refusals during shutdown (the
+    /// caller pairs this with [`Self::reject`]). These land on the
+    /// `Rejected` verb row, so `requests_total` stays equal to the sum
+    /// of the per-verb counts no matter what a client throws at us.
     pub fn count_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.observe(Verb::Rejected, 0);
     }
 
     /// The daemon's metric block — the transports record connection and
@@ -144,16 +216,10 @@ impl Registry {
     }
 
     /// The full metrics snapshot behind the `Metrics` verb and the
-    /// final stderr flush. Recomputes the registry footprint gauges
-    /// from the live graph map first, so the report is never stale.
+    /// final stderr flush. A pure read: the footprint gauges are
+    /// maintained eagerly by every register / index build / mutate /
+    /// evict, so nothing walks the registry here.
     pub fn metrics_report(&self) -> MetricsReport {
-        let mut bytes = 0u64;
-        let mut indexes = 0u64;
-        for entry in self.graphs.read().values() {
-            bytes += approx_graph_bytes(&entry.snapshot());
-            indexes += u64::from(entry.index.lock().is_some());
-        }
-        self.metrics.set_registry_footprint(bytes, indexes);
         self.metrics.report(
             self.requests.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
@@ -164,37 +230,147 @@ impl Registry {
     ///
     /// # Errors
     ///
-    /// [`code::UNKNOWN_GRAPH`] if no graph has that name.
+    /// [`code::NOT_FOUND`] if the name was registered but has been
+    /// evicted since; [`code::UNKNOWN_GRAPH`] if it never was.
     pub fn entry(&self, name: &str) -> Result<Arc<GraphEntry>, ErrorResponse> {
-        self.graphs.read().get(name).map(Arc::clone).ok_or_else(|| {
-            ErrorResponse::new(code::UNKNOWN_GRAPH, format!("no graph named '{name}'"))
-        })
+        if let Some(entry) = self.graphs.read().get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        if self.evicted.lock().contains(name) {
+            Err(ErrorResponse::new(
+                code::NOT_FOUND,
+                format!("graph '{name}' was evicted; re-Load or re-Gen it"),
+            ))
+        } else {
+            Err(ErrorResponse::new(
+                code::UNKNOWN_GRAPH,
+                format!("no graph named '{name}'"),
+            ))
+        }
+    }
+
+    /// Marks an entry as just-used for LRU ordering.
+    fn touch(&self, entry: &GraphEntry) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    /// Registers a graph parsed from text — the boot path behind
+    /// `--registry-dir`. Identical to a `Load` request except that it
+    /// does **not** count as a wire request (boot loads would otherwise
+    /// skew `requests_total` against the per-verb counts).
+    ///
+    /// # Errors
+    ///
+    /// [`code::BAD_GRAPH`] if the text parses as neither edge list nor
+    /// graph6; [`code::OVER_BUDGET`] if the graph alone exceeds the
+    /// registry budget.
+    pub fn register_from_text(&self, name: &str, text: &str) -> Result<Response, ErrorResponse> {
+        self.load(name, text)
     }
 
     fn load(&self, name: &str, text: &str) -> Result<Response, ErrorResponse> {
         let graph = af_graph::io::from_text(text)
             .map_err(|e| ErrorResponse::new(code::BAD_GRAPH, format!("{e}")))?;
-        Ok(self.register(name, graph))
+        self.register(name, graph)
     }
 
-    fn register(&self, name: &str, graph: Graph) -> Response {
+    fn register(&self, name: &str, graph: Graph) -> Result<Response, ErrorResponse> {
+        let bytes = approx_graph_bytes(&graph);
+        if self.budget > 0 && bytes > self.budget {
+            return Err(ErrorResponse::new(
+                code::OVER_BUDGET,
+                format!(
+                    "graph '{name}' needs ~{bytes} bytes, over the {}-byte registry budget",
+                    self.budget
+                ),
+            ));
+        }
         let nodes = graph.node_count();
         let edges = graph.edge_count();
         let entry = Arc::new(GraphEntry::new(graph));
-        self.graphs.write().insert(name.to_owned(), entry);
-        Response::Registered {
+        entry.charged_graph.store(bytes, Ordering::SeqCst);
+        self.metrics.charge_registry(bytes);
+        self.touch(&entry);
+        let replaced = self.graphs.write().insert(name.to_owned(), entry);
+        if let Some(old) = replaced {
+            // Same-name replacement releases the old charge but is not
+            // an eviction: the name stays resident.
+            self.release_entry(&old);
+        }
+        self.evicted.lock().remove(name);
+        self.enforce_budget(name);
+        Ok(Response::Registered {
             name: name.to_owned(),
             nodes,
             edges,
+        })
+    }
+
+    /// Flags `entry` dead, takes back its outstanding charges, and drops
+    /// its index. Safe against in-flight charge races: each charge is
+    /// `swap`ped out exactly once, by whichever side gets there last.
+    fn release_entry(&self, entry: &GraphEntry) -> (u64, bool) {
+        entry.dead.store(true, Ordering::SeqCst);
+        let graph_bytes = entry.charged_graph.swap(0, Ordering::SeqCst);
+        let index_bytes = entry.charged_index.swap(0, Ordering::SeqCst);
+        let index_dropped = entry.index.lock().take().is_some();
+        if index_bytes > 0 {
+            self.metrics.index_dropped();
         }
+        self.metrics.uncharge_registry(graph_bytes + index_bytes);
+        (graph_bytes + index_bytes, index_dropped)
+    }
+
+    /// Evicts least-recently-used graphs (never `keep`) until the
+    /// charged footprint fits the budget. No-op when unbounded.
+    fn enforce_budget(&self, keep: &str) {
+        if self.budget == 0 {
+            return;
+        }
+        let mut graphs = self.graphs.write();
+        while self.metrics.registry_bytes() > self.budget {
+            let victim = graphs
+                .iter()
+                .filter(|(name, _)| name.as_str() != keep)
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(name, _)| name.clone());
+            let Some(name) = victim else {
+                // Only `keep` is left; Mutate may legitimately leave it
+                // over budget (the documented escape hatch).
+                break;
+            };
+            let entry = graphs.remove(&name).expect("victim came from this map");
+            self.release_entry(&entry);
+            self.metrics.eviction();
+            self.evicted.lock().insert(name);
+        }
+    }
+
+    fn evict(&self, name: &str) -> Result<Response, ErrorResponse> {
+        let removed = self.graphs.write().remove(name);
+        let Some(entry) = removed else {
+            // Reuse the entry() error split: evicted-before vs never.
+            return Err(self.entry(name).expect_err("name is not in the map"));
+        };
+        let (bytes_freed, index_dropped) = self.release_entry(&entry);
+        self.metrics.eviction();
+        self.evicted.lock().insert(name.to_owned());
+        Ok(Response::Evicted {
+            name: name.to_owned(),
+            bytes_freed,
+            index_dropped,
+        })
     }
 
     fn predict(&self, name: &str, source_sets: &[Vec<usize>]) -> Result<Response, ErrorResponse> {
         let entry = self.entry(name)?;
+        self.touch(&entry);
+        let snapshot = entry.snapshot();
         // The oracle itself panics on out-of-range ids, so validate
         // against the snapshot first — a malformed request must come
         // back as an error, not kill the connection.
-        let n = entry.snapshot().node_count();
+        let n = snapshot.node_count();
         for (i, set) in source_sets.iter().enumerate() {
             if let Some(&v) = set.iter().find(|&&v| v >= n) {
                 return Err(ErrorResponse::new(
@@ -203,12 +379,48 @@ impl Registry {
                 ));
             }
         }
-        let mut guard = entry.index.lock();
-        let index = guard.get_or_insert_with(|| PredictIndex::new(&entry.snapshot()));
-        let predictions: Vec<PredictSummary> = source_sets
-            .iter()
-            .map(|set| index.summary(set.iter().copied().map(NodeId::new)))
-            .collect();
+        let predictions = {
+            let mut guard = entry.index.lock();
+            if guard.is_none() {
+                let cost = approx_index_bytes(&snapshot);
+                let own = entry.charged_graph.load(Ordering::SeqCst);
+                if self.budget > 0 && own + cost > self.budget {
+                    return Err(ErrorResponse::new(
+                        code::OVER_BUDGET,
+                        format!(
+                            "graph '{name}' plus its predict index needs ~{} bytes, \
+                             over the {}-byte registry budget",
+                            own + cost,
+                            self.budget
+                        ),
+                    ));
+                }
+                *guard = Some(PredictIndex::new(&snapshot));
+                entry.charged_index.store(cost, Ordering::SeqCst);
+                self.metrics.charge_registry(cost);
+                self.metrics.index_built();
+            }
+            let index = guard.as_mut().expect("just ensured");
+            let predictions: Vec<PredictSummary> = source_sets
+                .iter()
+                .map(|set| index.summary(set.iter().copied().map(NodeId::new)))
+                .collect();
+            // The entry may have been evicted while we were building;
+            // take our charge back (and the now-orphaned index with it)
+            // so the gauge balances. The answer itself is still valid —
+            // it was computed on a consistent snapshot.
+            if entry.dead.load(Ordering::SeqCst) {
+                let charged = entry.charged_index.swap(0, Ordering::SeqCst);
+                if charged > 0 {
+                    self.metrics.uncharge_registry(charged);
+                    self.metrics.index_dropped();
+                }
+                *guard = None;
+            }
+            predictions
+        };
+        // Entry locks are released; now it is safe to take the map lock.
+        self.enforce_budget(name);
         Ok(Response::Predicted { predictions })
     }
 
@@ -217,33 +429,90 @@ impl Registry {
         name: &str,
         request: &af_core::api::FloodRequest,
     ) -> Result<Response, ErrorResponse> {
-        let snapshot = self.entry(name)?.snapshot();
+        let entry = self.entry(name)?;
+        self.touch(&entry);
+        let snapshot = entry.snapshot();
         request.execute(&snapshot).map(Response::Flooded)
+    }
+
+    fn bench(
+        &self,
+        name: &str,
+        request: &af_core::api::FloodRequest,
+        repeat: u32,
+    ) -> Result<Response, ErrorResponse> {
+        if repeat == 0 {
+            return Err(ErrorResponse::new(
+                code::BAD_REQUEST,
+                "bench repeat must be at least 1",
+            ));
+        }
+        let entry = self.entry(name)?;
+        self.touch(&entry);
+        let snapshot = entry.snapshot();
+        let mut runs = Vec::with_capacity(repeat as usize);
+        for _ in 0..repeat {
+            runs.push(af_analysis::bench::measure_request(&snapshot, request)?);
+        }
+        Ok(Response::Benched {
+            graph: name.to_owned(),
+            nodes: snapshot.node_count(),
+            edges: snapshot.edge_count(),
+            runs,
+        })
     }
 
     fn mutate(&self, name: &str, deltas: &[GraphDelta]) -> Result<Response, ErrorResponse> {
         let entry = self.entry(name)?;
-        let mut delta = entry.delta.lock();
-        let mut edits_applied = 0;
-        let mut edits_skipped = 0;
-        for batch in deltas {
-            let applied = delta.apply(batch);
-            edits_applied += applied.edges_deleted
-                + applied.edges_inserted
-                + applied.nodes_left
-                + applied.nodes_joined;
-            edits_skipped += applied.edits_skipped;
-        }
-        entry
-            .mutations
-            .fetch_add(deltas.len() as u64, Ordering::Relaxed);
-        // Publish the new topology and drop the stale oracle while still
-        // holding the delta lock, so a racing Predict can never cache an
-        // index over the old snapshot after the swap.
-        let nodes = delta.node_count();
-        let edges = delta.edge_count();
-        *entry.snapshot.write() = Arc::new(delta.graph().clone());
-        *entry.index.lock() = None;
+        self.touch(&entry);
+        let (nodes, edges, edits_applied, edits_skipped) = {
+            let mut delta = entry.delta.lock();
+            let mut edits_applied = 0;
+            let mut edits_skipped = 0;
+            for batch in deltas {
+                let applied = delta.apply(batch);
+                edits_applied += applied.edges_deleted
+                    + applied.edges_inserted
+                    + applied.nodes_left
+                    + applied.nodes_joined;
+                edits_skipped += applied.edits_skipped;
+            }
+            entry
+                .mutations
+                .fetch_add(deltas.len() as u64, Ordering::Relaxed);
+            // Publish the new topology and drop the stale oracle while
+            // still holding the delta lock, so a racing Predict can never
+            // cache an index over the old snapshot after the swap.
+            let nodes = delta.node_count();
+            let edges = delta.edge_count();
+            let new_snapshot = Arc::new(delta.graph().clone());
+            let new_bytes = approx_graph_bytes(&new_snapshot);
+            *entry.snapshot.write() = new_snapshot;
+            {
+                let mut guard = entry.index.lock();
+                if guard.take().is_some() {
+                    self.metrics.index_dropped();
+                }
+                let stale = entry.charged_index.swap(0, Ordering::SeqCst);
+                self.metrics.uncharge_registry(stale);
+            }
+            // Recharge the snapshot at its new size. Mutate never
+            // rejects on budget (clients grow graphs in place); if the
+            // result alone exceeds the budget it stays resident as the
+            // documented escape hatch — everything else gets evicted.
+            let old = entry.charged_graph.swap(0, Ordering::SeqCst);
+            self.metrics.uncharge_registry(old);
+            entry.charged_graph.store(new_bytes, Ordering::SeqCst);
+            self.metrics.charge_registry(new_bytes);
+            if entry.dead.load(Ordering::SeqCst) {
+                // Evicted while we were mutating: take the charge back.
+                let charged = entry.charged_graph.swap(0, Ordering::SeqCst);
+                self.metrics.uncharge_registry(charged);
+            }
+            (nodes, edges, edits_applied, edits_skipped)
+        };
+        // Entry locks are released; now it is safe to take the map lock.
+        self.enforce_budget(name);
         Ok(Response::Mutated {
             name: name.to_owned(),
             nodes,
@@ -254,14 +523,22 @@ impl Registry {
     }
 
     fn stats(&self) -> ServerStats {
-        let graphs = self
+        // Clone the entries out under the read lock, then inspect them
+        // unlocked: taking entry locks while holding the map lock is the
+        // evictor's nesting order, and holding the map lock through
+        // per-entry mutex waits would stall every other request.
+        let entries: Vec<(String, Arc<GraphEntry>)> = self
             .graphs
             .read()
             .iter()
+            .map(|(name, entry)| (name.clone(), Arc::clone(entry)))
+            .collect();
+        let graphs = entries
+            .into_iter()
             .map(|(name, entry)| {
                 let snapshot = entry.snapshot();
                 GraphInfo {
-                    name: name.clone(),
+                    name,
                     nodes: snapshot.node_count(),
                     edges: snapshot.edge_count(),
                     indexed: entry.index.lock().is_some(),
@@ -283,10 +560,23 @@ impl Registry {
 
 /// Approximate resident bytes of one graph snapshot: the CSR adjacency
 /// is two directed arcs per edge plus an offset per node, each a
-/// machine word. A monitoring estimate, not an allocator audit.
-fn approx_graph_bytes(graph: &Graph) -> u64 {
+/// machine word. A monitoring estimate, not an allocator audit — but a
+/// *deterministic* one, so tests can recompute the budget charge.
+#[must_use]
+pub fn approx_graph_bytes(graph: &Graph) -> u64 {
     let word = std::mem::size_of::<usize>() as u64;
     (2 * graph.edge_count() as u64 + graph.node_count() as u64 + 1) * word
+}
+
+/// Approximate resident bytes of one graph's predict index: the double
+/// cover is itself a CSR graph over `2n` nodes and `2m` edges, plus two
+/// `u32` scratch arrays (`dist`, `mark`) over the cover's nodes.
+#[must_use]
+pub fn approx_index_bytes(graph: &Graph) -> u64 {
+    let word = std::mem::size_of::<usize>() as u64;
+    let n = graph.node_count() as u64;
+    let m = graph.edge_count() as u64;
+    (4 * m + 2 * n + 1) * word + 16 * n
 }
 
 #[cfg(test)]
@@ -515,7 +805,15 @@ mod tests {
         assert_eq!(report.requests_total, 5);
         assert_eq!(report.errors_total, 1);
         assert_eq!(report.predict_indexes, 1, "the predicts built g's index");
-        assert!(report.registry_bytes > 0);
+        // Eager accounting: the gauge carries exactly the graph charge
+        // plus the index charge, no report-time recompute involved.
+        let g = GraphSpec::Cycle { n: 6 }.build();
+        assert_eq!(
+            report.registry_bytes,
+            approx_graph_bytes(&g) + approx_index_bytes(&g)
+        );
+        assert_eq!(report.registry_budget_bytes, 0, "unbounded by default");
+        assert_eq!(report.evictions_total, 0);
         let count = |name: &str| report.verbs.iter().find(|v| v.verb == name).unwrap().count;
         assert_eq!(count("Gen"), 1);
         assert_eq!(count("Predict"), 3, "the failed predict still counts");
@@ -550,5 +848,231 @@ mod tests {
         let stats = registry.stats();
         assert_eq!(stats.graphs.len(), 1);
         assert_eq!(stats.graphs[0].edges, 10);
+        // The replaced graph's charge was released, the new one charged.
+        let k5 = GraphSpec::Complete { n: 5 }.build();
+        assert_eq!(registry.metrics().registry_bytes(), approx_graph_bytes(&k5));
+    }
+
+    #[test]
+    fn evict_frees_the_charge_and_answers_not_found_after() {
+        let registry = registry_with("g", GraphSpec::Grid { rows: 3, cols: 3 });
+        let g = GraphSpec::Grid { rows: 3, cols: 3 }.build();
+        let resp = registry.execute(&Request::Predict {
+            graph: "g".into(),
+            source_sets: vec![vec![0]],
+        });
+        assert!(matches!(resp, Response::Predicted { .. }), "{resp:?}");
+
+        let resp = registry.execute(&Request::Evict { graph: "g".into() });
+        assert_eq!(
+            resp,
+            Response::Evicted {
+                name: "g".into(),
+                bytes_freed: approx_graph_bytes(&g) + approx_index_bytes(&g),
+                index_dropped: true,
+            }
+        );
+        assert_eq!(registry.metrics().registry_bytes(), 0);
+        assert_eq!(registry.metrics().evictions_total(), 1);
+        let report = registry.metrics_report();
+        assert_eq!(report.predict_indexes, 0, "the index gauge fell eagerly");
+
+        // Evicted names are distinguishable from never-registered ones.
+        let resp = registry.execute(&Request::Flood {
+            graph: "g".into(),
+            sources: vec![0],
+            engine: String::new(),
+            max_rounds: 0,
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::NOT_FOUND);
+        let resp = registry.execute(&Request::Evict { graph: "g".into() });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::NOT_FOUND, "double evict is not_found");
+        let resp = registry.execute(&Request::Evict {
+            graph: "ghost".into(),
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::UNKNOWN_GRAPH);
+
+        // Re-registering clears the tombstone and serves again.
+        let resp = registry.execute(&Request::Gen {
+            name: "g".into(),
+            spec: GraphSpec::Grid { rows: 3, cols: 3 },
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let resp = registry.execute(&Request::Predict {
+            graph: "g".into(),
+            source_sets: vec![vec![0]],
+        });
+        assert!(matches!(resp, Response::Predicted { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_graphs() {
+        let spec = GraphSpec::Cycle { n: 50 };
+        let one = approx_graph_bytes(&spec.build());
+        // Room for two cycles but not three.
+        let registry = Registry::with_budget(2 * one + one / 2);
+        for name in ["a", "b", "c"] {
+            let resp = registry.execute(&Request::Gen {
+                name: name.into(),
+                spec: spec.clone(),
+            });
+            assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        }
+        // "a" was least recently used; it fell out.
+        let names: Vec<String> = registry
+            .stats()
+            .graphs
+            .iter()
+            .map(|g| g.name.clone())
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+        assert!(registry.metrics().registry_bytes() <= registry.budget());
+        assert_eq!(registry.metrics().evictions_total(), 1);
+
+        // Touching "b" (a flood) makes "c" the next victim.
+        let resp = registry.execute(&Request::Flood {
+            graph: "b".into(),
+            sources: vec![0],
+            engine: String::new(),
+            max_rounds: 0,
+        });
+        assert!(matches!(resp, Response::Flooded(_)), "{resp:?}");
+        let resp = registry.execute(&Request::Gen {
+            name: "d".into(),
+            spec: spec.clone(),
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let names: Vec<String> = registry
+            .stats()
+            .graphs
+            .iter()
+            .map(|g| g.name.clone())
+            .collect();
+        assert_eq!(names, ["b", "d"], "the flood-touched graph survived");
+    }
+
+    #[test]
+    fn over_budget_admissions_are_rejected_with_the_stable_code() {
+        let small = approx_graph_bytes(&GraphSpec::Cycle { n: 10 }.build());
+        let registry = Registry::with_budget(small);
+        // A graph bigger than the whole budget is rejected outright.
+        let resp = registry.execute(&Request::Gen {
+            name: "big".into(),
+            spec: GraphSpec::Cycle { n: 1000 },
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::OVER_BUDGET);
+        assert_eq!(registry.metrics().registry_bytes(), 0);
+
+        // A graph that fits alone but cannot fit its own index rejects
+        // the Predict (the graph stays resident).
+        let resp = registry.execute(&Request::Gen {
+            name: "tight".into(),
+            spec: GraphSpec::Cycle { n: 10 },
+        });
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let resp = registry.execute(&Request::Predict {
+            graph: "tight".into(),
+            source_sets: vec![vec![0]],
+        });
+        let Response::Error(err) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(err.code, code::OVER_BUDGET);
+        assert_eq!(registry.stats().graphs.len(), 1, "the graph survived");
+        assert!(!registry.stats().graphs[0].indexed);
+    }
+
+    #[test]
+    fn bench_measures_real_rows_and_rejects_malformed_requests() {
+        let registry = registry_with("g", GraphSpec::Grid { rows: 4, cols: 4 });
+        let resp = registry.execute(&Request::Bench {
+            graph: "g".into(),
+            request: FloodRequest {
+                source_sets: vec![vec![0], vec![5]],
+                engine: "bitlane".into(),
+                max_rounds: 0,
+            },
+            repeat: 2,
+        });
+        let Response::Benched {
+            graph,
+            nodes,
+            edges,
+            runs,
+        } = resp
+        else {
+            panic!("expected Benched, got {resp:?}");
+        };
+        assert_eq!((graph.as_str(), nodes, edges), ("g", 16, 24));
+        assert_eq!(runs.len(), 2, "one row per repeat");
+        for row in &runs {
+            assert_eq!(row.engine, "bitlane");
+            assert_eq!(row.floods_terminated, 2);
+            assert!(row.total_messages > 0);
+            // Repeats measure the same floods: identical round vectors.
+            assert_eq!(row.rounds_per_source, runs[0].rounds_per_source);
+        }
+
+        for (request, repeat) in [
+            // repeat 0 measures nothing.
+            (FloodRequest::single(vec![0]), 0),
+            // A capped flood cannot produce a comparable bench row.
+            (
+                FloodRequest {
+                    source_sets: vec![vec![0]],
+                    engine: String::new(),
+                    max_rounds: 3,
+                },
+                1,
+            ),
+            // An empty workload measures nothing.
+            (
+                FloodRequest {
+                    source_sets: vec![],
+                    engine: String::new(),
+                    max_rounds: 0,
+                },
+                1,
+            ),
+        ] {
+            let resp = registry.execute(&Request::Bench {
+                graph: "g".into(),
+                request,
+                repeat,
+            });
+            let Response::Error(err) = resp else {
+                panic!("expected error, got {resp:?}");
+            };
+            assert_eq!(err.code, code::BAD_REQUEST);
+        }
+    }
+
+    #[test]
+    fn register_from_text_skips_the_request_counters() {
+        let registry = Registry::new();
+        let text = af_graph::io::to_edge_list(&generators::petersen());
+        let resp = registry.register_from_text("boot", &text).unwrap();
+        assert!(matches!(resp, Response::Registered { .. }), "{resp:?}");
+        let stats = registry.stats();
+        assert_eq!(stats.graphs.len(), 1);
+        // Boot loads are not wire requests: the counters stay at zero,
+        // so requests_total keeps equalling the sum of per-verb counts.
+        assert_eq!(stats.requests, 0);
+        let verb_sum: u64 = stats.verbs.iter().map(|v| v.count).sum();
+        assert_eq!(verb_sum, 0);
+        // The footprint is still charged, though.
+        assert!(registry.metrics().registry_bytes() > 0);
     }
 }

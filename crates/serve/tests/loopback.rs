@@ -201,6 +201,54 @@ fn concurrent_clients_get_bit_identical_answers_and_shutdown_drains() {
         let predict = report.verbs.iter().find(|v| v.verb == "Predict").unwrap();
         assert_eq!(predict.count, 9);
         assert!(predict.max_us > 0, "index builds take measurable time");
+        // The PR-9 fields: this server is unbounded, bare requests never
+        // touch the pool, and nothing has been evicted yet.
+        assert_eq!(report.registry_budget_bytes, 0);
+        assert_eq!(report.evictions_total, 0);
+        assert_eq!(report.pool_workers, 4, "the default pool");
+        assert_eq!(report.pool_depth, 0);
+        assert_eq!(report.pool_jobs_total, 0);
+        assert_eq!(report.predict_indexes, 4, "every graph ends indexed");
+
+        // Eviction updates the gauges *eagerly*: `Metrics` is a pure
+        // read of the counters, so the numbers must already be right the
+        // instant `Evict` answers — no report-time registry walk to
+        // paper over a stale gauge (the PR-9 regression).
+        let before = report;
+        let resp: Response =
+            serde_json::from_str(&client.send(&Request::Evict { graph: "g3".into() }))
+                .expect("parse");
+        let Response::Evicted {
+            name,
+            bytes_freed,
+            index_dropped,
+        } = resp
+        else {
+            panic!("expected Evicted, got {resp:?}");
+        };
+        assert_eq!(name, "g3");
+        assert!(index_dropped, "g3's post-mutate Predict left an index");
+        assert!(bytes_freed > 0);
+        let resp: Response = serde_json::from_str(&client.send(&Request::Metrics)).expect("parse");
+        let Response::Metrics(after) = resp else {
+            panic!("expected metrics, got {resp:?}");
+        };
+        assert_eq!(after.registry_bytes, before.registry_bytes - bytes_freed);
+        assert_eq!(after.evictions_total, 1);
+        assert_eq!(after.predict_indexes, 3);
+        // A registered-then-evicted name is `not_found`, distinct from
+        // the never-registered `unknown_graph`.
+        let resp: Response = serde_json::from_str(&client.send(&Request::Flood {
+            graph: "g3".into(),
+            sources: vec![0],
+            engine: String::new(),
+            max_rounds: 0,
+        }))
+        .expect("parse");
+        let Response::Error(err) = resp else {
+            panic!("expected not_found, got {resp:?}");
+        };
+        assert_eq!(err.code, code::NOT_FOUND);
 
         // Shutdown: acknowledged, drained, and the accept loop returns.
         let ack = client.send(&Request::Shutdown);
