@@ -93,6 +93,7 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
     };
 
     // (2) Corollary 2.2 / Theorem 3.3.
+    // af-audit: allow(no-unwrap-in-lib): the enumerator only yields connected graphs
     let bound = theory::upper_bound(graph).expect("enumerated graphs are connected");
     if t > bound {
         violations.push(format!(
@@ -103,6 +104,7 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
     let bipartite = algo::is_bipartite(graph);
     if bipartite {
         // (3) Lemma 2.1.
+        // af-audit: allow(no-unwrap-in-lib): the enumerator only yields connected graphs
         let ecc = algo::eccentricity(graph, source).expect("connected");
         if t != ecc {
             violations.push(format!(
@@ -114,6 +116,7 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
             let want: &[u32] = if v == source {
                 &[]
             } else {
+                // af-audit: allow(no-unwrap-in-lib): BFS on a connected graph reaches v
                 core::slice::from_ref(bfs.distances()[v.index()].as_ref().expect("connected"))
             };
             if run.receive_rounds(v) != want {
@@ -191,6 +194,7 @@ pub fn verify_one(graph: &Graph, source: NodeId) -> Vec<String> {
 #[must_use]
 pub fn verify_bitlane(graph: &Graph) -> Vec<String> {
     let mut violations = Vec::new();
+    // af-audit: allow(no-lossy-id-cast): bitlane graphs have at most 64 nodes
     let cap = 2 * graph.node_count() as u32 + 2;
     let mut sim = BitLaneFlooding::new(graph, graph.nodes().map(|s| [s]));
     let outcome = sim.run(cap);

@@ -6,7 +6,7 @@
 //! diameter bound.
 
 use crate::spec::GraphSpec;
-use crate::stats::{ClaimCheck, Summary};
+use crate::stats::ClaimCheck;
 use crate::table::Table;
 use af_core::AmnesiacFlooding;
 use af_graph::{algo, NodeId};
@@ -56,20 +56,20 @@ pub fn run() -> Table {
     for spec in specs() {
         let g = spec.build();
         assert!(algo::is_bipartite(&g), "{spec} must be bipartite");
-        let d = algo::diameter(&g).expect("sweep graphs are connected");
+        let d = super::connected_diameter(&g);
         let sources: Vec<NodeId> = sample_sources(g.node_count());
         let mut exact = ClaimCheck::new();
         let mut bounded = ClaimCheck::new();
         let mut rounds = Vec::new();
         for &s in &sources {
             let run = AmnesiacFlooding::single_source(&g, s).run();
-            let tr = run.termination_round().expect("Theorem 3.1");
-            let ecc = algo::eccentricity(&g, s).expect("connected");
+            let tr = super::must_terminate(run.termination_round());
+            let ecc = super::connected_ecc(&g, s);
             exact.record(tr == ecc);
             bounded.record(tr <= d);
             rounds.push(u64::from(tr));
         }
-        let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
+        let summary = super::nonempty_summary(rounds.iter().copied());
         t.push_row([
             spec.label(),
             g.node_count().to_string(),

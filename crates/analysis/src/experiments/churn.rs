@@ -93,6 +93,7 @@ pub fn run(seed: u64) -> Table {
     );
     for (family, spec) in scale_grid() {
         let g = spec.build();
+        // af-audit: allow(no-lossy-id-cast): node counts are bounded by u32::MAX
         let cap = 2 * g.node_count() as u32 + 2;
         let source = NodeId::new(0);
         let t0 = theory::predict(&g, [source]).termination_round();

@@ -51,9 +51,7 @@ fn run_classic(g: &Graph, s: NodeId) -> (u32, u64) {
     e.set_trace_enabled(false);
     let outcome = e.run(10_000);
     (
-        outcome
-            .termination_round()
-            .expect("classic flooding always terminates"),
+        super::must_terminate(outcome.termination_round()),
         e.total_messages(),
     )
 }
@@ -80,7 +78,7 @@ pub fn run() -> Table {
         let bip = algo::is_bipartite(&g);
         let m = g.edge_count() as u64;
         let af = AmnesiacFlooding::single_source(&g, 0.into()).run();
-        let af_rounds = af.termination_round().expect("Theorem 3.1");
+        let af_rounds = super::must_terminate(af.termination_round());
         let (cl_rounds, cl_msgs) = run_classic(&g, 0.into());
         let expected = if bip { m } else { 2 * m };
         t.push_row([

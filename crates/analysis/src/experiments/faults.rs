@@ -18,7 +18,7 @@
 use crate::spec::GraphSpec;
 use crate::stats::Summary;
 use crate::table::Table;
-use af_core::{theory, AmnesiacFloodingProtocol};
+use af_core::AmnesiacFloodingProtocol;
 use af_engine::faults::FaultySyncEngine;
 use af_graph::NodeId;
 
@@ -74,7 +74,7 @@ pub fn run() -> Table {
         let g = spec.build();
         let n = g.node_count();
         let is_tree = g.edge_count() == n - 1;
-        let bound = theory::upper_bound(&g).expect("sweep graphs are connected");
+        let bound = super::connected_bound(&g);
         for &rate in &LOSS_RATES {
             let mut terminated = 0u64;
             let mut within_bound = 0u64;
@@ -88,6 +88,7 @@ pub fn run() -> Table {
                     rate,
                     trial,
                 );
+                // af-audit: allow(no-lossy-id-cast): n is bounded by u32::MAX nodes
                 let out = e.run(CAP_FACTOR * n as u32 + 10);
                 if let Some(r) = out.termination_round() {
                     terminated += 1;
@@ -98,7 +99,7 @@ pub fn run() -> Table {
                 }
                 informed.push((e.informed_count() as u64 * 100) / n as u64);
             }
-            let inf = Summary::of(informed.iter().copied()).expect("non-empty");
+            let inf = super::nonempty_summary(informed.iter().copied());
             let rounds_cell = Summary::of(rounds.iter().copied()).map_or("-".to_string(), |s| {
                 format!("{}/{:.0}/{}", s.min(), s.mean(), s.max())
             });

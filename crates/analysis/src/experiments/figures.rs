@@ -9,7 +9,6 @@
 
 use crate::table::Table;
 use af_core::{flood, trace};
-use af_graph::algo;
 use af_graph::generators;
 
 /// Expected (figure, termination round) pairs asserted by the integration
@@ -40,10 +39,10 @@ pub fn run() -> Table {
         "Figure 1".to_string(),
         "path(4)".into(),
         "b".into(),
-        algo::diameter(&g).unwrap().to_string(),
-        algo::eccentricity(&g, 1.into()).unwrap().to_string(),
+        super::connected_diameter(&g).to_string(),
+        super::connected_ecc(&g, 1.into()).to_string(),
         "D = 3".into(),
-        r.termination_round().unwrap().to_string(),
+        super::must_terminate(r.termination_round()).to_string(),
         "2".into(),
     ]);
 
@@ -54,10 +53,10 @@ pub fn run() -> Table {
         "Figure 2".to_string(),
         "cycle(3)".into(),
         "b".into(),
-        algo::diameter(&g).unwrap().to_string(),
-        algo::eccentricity(&g, 1.into()).unwrap().to_string(),
+        super::connected_diameter(&g).to_string(),
+        super::connected_ecc(&g, 1.into()).to_string(),
         "2D+1 = 3".into(),
-        r.termination_round().unwrap().to_string(),
+        super::must_terminate(r.termination_round()).to_string(),
         "3".into(),
     ]);
 
@@ -68,10 +67,10 @@ pub fn run() -> Table {
         "Figure 3".to_string(),
         "cycle(6)".into(),
         "a".into(),
-        algo::diameter(&g).unwrap().to_string(),
-        algo::eccentricity(&g, 0.into()).unwrap().to_string(),
+        super::connected_diameter(&g).to_string(),
+        super::connected_ecc(&g, 0.into()).to_string(),
         "D = 3".into(),
-        r.termination_round().unwrap().to_string(),
+        super::must_terminate(r.termination_round()).to_string(),
         "3".into(),
     ]);
 

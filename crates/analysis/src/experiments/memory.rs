@@ -79,7 +79,7 @@ pub fn run() -> Table {
         let out = classic.run(500);
         cells.push(format!(
             "T={}, {} msgs",
-            out.termination_round().expect("classic terminates"),
+            super::must_terminate(out.termination_round()),
             classic.total_messages()
         ));
         t.push_row(cells);

@@ -19,6 +19,45 @@
 //! | E16 | multi-source termination times across the benchmark families | [`multisource::run_scale`] |
 //! | E17 | (extension) flooding under mid-flood topology churn | [`churn::run`] |
 
+use crate::stats::Summary;
+use af_graph::{algo, Graph, NodeId};
+
+/// Diameter of an experiment graph. Every registered experiment builds
+/// connected graphs, so the invariant is asserted in exactly one place.
+pub(crate) fn connected_diameter(g: &Graph) -> u32 {
+    // af-audit: allow(no-unwrap-in-lib): experiment graphs are connected
+    algo::diameter(g).expect("experiment graphs are connected")
+}
+
+/// Eccentricity of a node in an experiment graph (connected, see above).
+pub(crate) fn connected_ecc(g: &Graph, v: NodeId) -> u32 {
+    // af-audit: allow(no-unwrap-in-lib): experiment graphs are connected
+    algo::eccentricity(g, v).expect("experiment graphs are connected")
+}
+
+/// The paper's termination bound for an experiment graph (connected, see
+/// above).
+pub(crate) fn connected_bound(g: &Graph) -> u32 {
+    // af-audit: allow(no-unwrap-in-lib): experiment graphs are connected
+    af_core::theory::upper_bound(g).expect("experiment graphs are connected")
+}
+
+/// Unwraps a termination round the paper guarantees to exist: Theorem 3.1
+/// for amnesiac flooding, the classic argument for flag flooding. Every
+/// experiment runs with a cap at or above the proven bound, so `None`
+/// would falsify the theorem — worth a panic in an experiment driver.
+pub(crate) fn must_terminate(round: Option<u32>) -> u32 {
+    // af-audit: allow(no-unwrap-in-lib): the paper's termination theorems
+    // guarantee the flood ends within every experiment's round cap
+    round.expect("flood terminates within the proven bound")
+}
+
+/// Summarises a sample set every experiment constructs non-empty.
+pub(crate) fn nonempty_summary<I: IntoIterator<Item = u64>>(samples: I) -> Summary {
+    // af-audit: allow(no-unwrap-in-lib): experiments always record >= 1 sample
+    Summary::of(samples).expect("at least one sample")
+}
+
 pub mod arbitrary_config;
 pub mod asynchronous;
 pub mod bipartite;

@@ -3,7 +3,7 @@
 //! and strictly after `D` from a maximum-eccentricity source.
 
 use crate::spec::GraphSpec;
-use crate::stats::{ClaimCheck, Summary};
+use crate::stats::ClaimCheck;
 use crate::table::Table;
 use af_core::AmnesiacFlooding;
 use af_graph::{algo, NodeId};
@@ -62,27 +62,29 @@ pub fn run() -> Table {
             // instances (they belong to E4/E5).
             continue;
         }
-        let d = algo::diameter(&g).expect("connected");
+        let d = super::connected_diameter(&g);
         let sources: Vec<NodeId> = super::bipartite::sample_sources(g.node_count());
         let mut in_range = ClaimCheck::new();
         let mut rounds = Vec::new();
         for &s in &sources {
             let run = AmnesiacFlooding::single_source(&g, s).run();
-            let tr = run.termination_round().expect("Theorem 3.1");
-            let ecc = algo::eccentricity(&g, s).expect("connected");
+            let tr = super::must_terminate(run.termination_round());
+            let ecc = super::connected_ecc(&g, s);
             in_range.record(tr > ecc && tr <= 2 * d + 1);
             rounds.push(u64::from(tr));
         }
         // Worst-case source: eccentricity = D forces T > D.
         let worst = g
             .nodes()
-            .max_by_key(|&v| algo::eccentricity(&g, v).expect("connected"))
+            .max_by_key(|&v| super::connected_ecc(&g, v))
+            // af-audit: allow(no-unwrap-in-lib): experiment graphs are non-empty
             .expect("non-empty");
-        let t_worst = AmnesiacFlooding::single_source(&g, worst)
-            .run()
-            .termination_round()
-            .expect("Theorem 3.1");
-        let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
+        let t_worst = super::must_terminate(
+            AmnesiacFlooding::single_source(&g, worst)
+                .run()
+                .termination_round(),
+        );
+        let summary = super::nonempty_summary(rounds.iter().copied());
         t.push_row([
             spec.label(),
             g.node_count().to_string(),

@@ -11,7 +11,6 @@
 //! non-bipartite families sit strictly above `D` but never above `2D + 1`;
 //! odd cycles attain `2D + 1` exactly.
 
-use crate::stats::Summary;
 use crate::table::Table;
 use af_core::{FloodBatch, FloodEngine};
 use af_graph::{algo, Graph, NodeId, PartitionStrategy};
@@ -37,6 +36,7 @@ pub fn series() -> Vec<Series> {
             af_graph::generators::grid(k, k)
         }),
         ("hypercube Q_d", vec![3, 4, 5, 6, 7, 8], |d| {
+            // af-audit: allow(no-lossy-id-cast): d <= 8 in this series
             af_graph::generators::hypercube(d as u32)
         }),
         ("complete K_n", vec![4, 8, 16, 32, 64, 128], |n| {
@@ -76,7 +76,7 @@ pub fn run() -> Table {
     for (family, sizes, build) in series() {
         for param in sizes {
             let g = build(param);
-            let d = algo::diameter(&g).expect("series graphs are connected");
+            let d = super::connected_diameter(&g);
             let bip = algo::is_bipartite(&g);
             let bound = if bip { d } else { 2 * d + 1 };
             let mut sources = super::bipartite::sample_sources(g.node_count());
@@ -87,7 +87,8 @@ pub fn run() -> Table {
             // them on irregular families, so add one explicitly.
             let peripheral = g
                 .nodes()
-                .max_by_key(|&v| algo::eccentricity(&g, v).expect("connected"))
+                .max_by_key(|&v| super::connected_ecc(&g, v))
+                // af-audit: allow(no-unwrap-in-lib): series graphs are non-empty
                 .expect("series graphs are non-empty");
             sources.push(peripheral);
             // One batched simulator floods every sampled source, reusing
@@ -96,15 +97,12 @@ pub fn run() -> Table {
             let rounds: Vec<u64> = sources
                 .iter()
                 .map(|&s| {
-                    u64::from(
-                        batch
-                            .run_from([s])
-                            .termination_round()
-                            .expect("Theorem 3.1"),
-                    )
+                    u64::from(super::must_terminate(
+                        batch.run_from([s]).termination_round(),
+                    ))
                 })
                 .collect();
-            let summary = Summary::of(rounds.iter().copied()).expect("non-empty");
+            let summary = super::nonempty_summary(rounds.iter().copied());
             assert!(
                 summary.max() <= u64::from(bound),
                 "{family}({param}) exceeded bound"

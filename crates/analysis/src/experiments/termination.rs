@@ -14,7 +14,7 @@ use crate::spec::GraphSpec;
 use crate::stats::ClaimCheck;
 use crate::sweep::{default_threads, run_parallel};
 use crate::table::Table;
-use af_core::{theory, AmnesiacFlooding};
+use af_core::AmnesiacFlooding;
 
 /// The random-family grid for the at-scale layer.
 #[must_use]
@@ -110,7 +110,7 @@ pub fn run_random() -> Table {
     );
     let results = run_parallel(specs(), default_threads(), |spec| {
         let g = spec.build();
-        let bound = theory::upper_bound(&g).expect("connected by construction");
+        let bound = super::connected_bound(&g);
         let bip = af_graph::algo::is_bipartite(&g);
         let run = AmnesiacFlooding::single_source(&g, 0.into()).run();
         let mut check = ClaimCheck::new();
@@ -144,6 +144,7 @@ pub fn run_random() -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use af_core::theory;
 
     #[test]
     fn exhaustive_layer_holds_to_n4() {

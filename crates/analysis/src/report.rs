@@ -49,6 +49,7 @@ impl FullReport {
     /// Never panics in practice: the report contains only strings.
     #[must_use]
     pub fn to_json(&self) -> String {
+        // af-audit: allow(no-unwrap-in-lib): plain data, no fallible Serialize impls
         serde_json::to_string_pretty(self).expect("report serializes")
     }
 }

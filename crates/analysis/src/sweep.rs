@@ -46,10 +46,14 @@ where
             });
         }
     })
+    // af-audit: allow(no-unwrap-in-lib): the vendored scope only errors when a
+    // scoped worker panicked; re-raising beats returning partial results
     .expect("sweep worker panicked");
 
     slots
         .into_iter()
+        // af-audit: allow(no-unwrap-in-lib): the counter hands every index to
+        // exactly one worker, and workers fill their slot before exiting
         .map(|slot| slot.into_inner().expect("every slot was filled"))
         .collect()
 }
@@ -59,8 +63,7 @@ where
 #[must_use]
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZeroUsize::get)
         .min(8)
 }
 

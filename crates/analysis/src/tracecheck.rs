@@ -110,6 +110,8 @@ impl ParsedTrace {
     /// The final `end` event (the trace grammar guarantees at least one).
     #[must_use]
     pub fn end(&self) -> TraceEnd {
+        // af-audit: allow(no-unwrap-in-lib): parse_trace rejects traces with no
+        // end event, so every constructed ParsedTrace has one
         *self.ends.last().expect("parse_trace requires an end event")
     }
 
@@ -181,6 +183,14 @@ fn field_u64(obj: &Value, key: &str, line: usize) -> Result<u64, TraceError> {
     get(obj, key)
         .and_then(as_u64)
         .ok_or_else(|| TraceError::at(line, format!("missing or non-integer field '{key}'")))
+}
+
+/// Like [`field_u64`], but rejects values a round counter cannot hold
+/// instead of truncating them.
+fn field_u32(obj: &Value, key: &str, line: usize) -> Result<u32, TraceError> {
+    let raw = field_u64(obj, key, line)?;
+    u32::try_from(raw)
+        .map_err(|_| TraceError::at(line, format!("field '{key}' value {raw} exceeds u32")))
 }
 
 /// Reads a required node-id array field.
@@ -258,8 +268,9 @@ pub fn parse_trace(text: &str) -> Result<ParsedTrace, TraceError> {
                 sources.dedup();
             }
             "round" => {
-                let round = field_u64(&obj, "round", line)? as u32;
-                let expected = rounds.len() as u32 + 1;
+                let round = field_u32(&obj, "round", line)?;
+                let expected = u32::try_from(rounds.len() + 1)
+                    .map_err(|_| TraceError::at(line, "too many rounds"))?;
                 if round != expected {
                     return Err(TraceError::at(
                         line,
@@ -293,7 +304,7 @@ pub fn parse_trace(text: &str) -> Result<ParsedTrace, TraceError> {
                         Some(&Value::Bool(b)) => b,
                         _ => return Err(TraceError::at(line, "missing 'terminated' field")),
                     },
-                    rounds: field_u64(&obj, "rounds", line)? as u32,
+                    rounds: field_u32(&obj, "rounds", line)?,
                     messages: field_u64(&obj, "messages", line)?,
                 });
                 last_event_was_end = true;

@@ -1,0 +1,7 @@
+//! Pragma fixture: the `.unwrap()` carries a justification pragma, so
+//! the audit must report nothing for this file.
+
+fn fixture() -> usize {
+    // af-audit: allow(no-unwrap-in-lib): fixture demonstrating suppression
+    "7".parse::<usize>().unwrap()
+}

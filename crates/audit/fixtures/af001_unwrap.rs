@@ -1,0 +1,6 @@
+//! Seeded violation fixture: AF001 `no-unwrap-in-lib`.
+//! The `.unwrap()` below must be reported on line 5, and nothing else.
+
+fn fixture() -> usize {
+    "7".parse::<usize>().unwrap()
+}

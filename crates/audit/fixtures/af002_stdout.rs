@@ -1,0 +1,6 @@
+//! Seeded violation fixture: AF002 `no-stdout-in-lib`.
+//! The `println!` below must be reported on line 5, and nothing else.
+
+fn fixture() {
+    println!("this would pollute the NDJSON wire");
+}

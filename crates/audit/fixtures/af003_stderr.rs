@@ -1,0 +1,6 @@
+//! Seeded violation fixture: AF003 `stderr-via-log-sink`.
+//! Linted under a synthetic `crates/serve/src/` path; the `eprintln!`
+//! below must be reported on line 5, and nothing else.
+fn fixture() {
+    eprintln!("bypasses the single log sink");
+}

@@ -1,0 +1,6 @@
+//! Seeded violation fixture: AF004 `no-bare-spawn`.
+//! The detached `thread::spawn` below must be reported on line 5.
+
+fn fixture() {
+    std::thread::spawn(|| {});
+}

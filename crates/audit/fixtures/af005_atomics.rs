@@ -1,0 +1,9 @@
+//! Seeded violation fixture: AF005 `explicit-atomic-ordering`.
+//! Two findings: the `SeqCst` load on line 6 and the `fetch_add` with
+//! no `Ordering::` argument on line 7.
+use std::sync::atomic::{AtomicU64, Ordering};
+fn fixture(a: &AtomicU64) -> u64 {
+    let v = a.load(Ordering::SeqCst);
+    a.fetch_add(1);
+    v
+}

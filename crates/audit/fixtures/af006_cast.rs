@@ -1,0 +1,6 @@
+//! Seeded violation fixture: AF006 `no-lossy-id-cast`.
+//! The narrowing `as u32` below must be reported on line 5.
+
+fn fixture(n: usize) -> u32 {
+    n as u32
+}

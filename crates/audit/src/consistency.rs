@@ -1,0 +1,720 @@
+//! Cross-artifact consistency: the wire surface is declared once in source
+//! and mirrored by hand in PROTOCOL.md, README.md, ARCHITECTURE.md, and the
+//! CI validators. This module parses the source of truth out of the code —
+//! the `Request` / `Verb` enums, the `api::code` error constants, and the
+//! `*SCHEMA_VERSION` literals — and asserts every mirror agrees, so drift
+//! is a test failure instead of a stale document.
+//!
+//! Finding codes: `AF101` (PROTOCOL.md verb sections), `AF102` (PROTOCOL.md
+//! error table), `AF103` (schema-version drift), `AF104` (metrics verb-row
+//! identity). A parse failure — the marker an extractor anchors on has
+//! moved — is itself a finding, never a silent pass.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::scrub;
+use crate::rules::Finding;
+
+/// Relative paths of every artifact the checker reads.
+pub const ARTIFACT_PATHS: &[&str] = &[
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/core/src/api.rs",
+    "crates/analysis/src/bench.rs",
+    "crates/core/src/obs.rs",
+    "crates/serve/src/bin/bench_serve.rs",
+    "PROTOCOL.md",
+    "README.md",
+    "ARCHITECTURE.md",
+    ".github/workflows/ci.yml",
+];
+
+/// The loaded artifact texts, in [`ARTIFACT_PATHS`] order. Kept as plain
+/// strings so tests can check doctored copies without touching disk.
+pub struct Artifacts {
+    pub protocol_rs: String,
+    pub metrics_rs: String,
+    pub api_rs: String,
+    pub bench_rs: String,
+    pub obs_rs: String,
+    pub bench_serve_rs: String,
+    pub protocol_md: String,
+    pub readme_md: String,
+    pub architecture_md: String,
+    pub ci_yml: String,
+}
+
+impl Artifacts {
+    /// Reads every artifact under `root`.
+    ///
+    /// # Errors
+    /// Fails if any artifact file is missing or unreadable.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let read = |rel: &str| fs::read_to_string(root.join(rel));
+        Ok(Self {
+            protocol_rs: read(ARTIFACT_PATHS[0])?,
+            metrics_rs: read(ARTIFACT_PATHS[1])?,
+            api_rs: read(ARTIFACT_PATHS[2])?,
+            bench_rs: read(ARTIFACT_PATHS[3])?,
+            obs_rs: read(ARTIFACT_PATHS[4])?,
+            bench_serve_rs: read(ARTIFACT_PATHS[5])?,
+            protocol_md: read(ARTIFACT_PATHS[6])?,
+            readme_md: read(ARTIFACT_PATHS[7])?,
+            architecture_md: read(ARTIFACT_PATHS[8])?,
+            ci_yml: read(ARTIFACT_PATHS[9])?,
+        })
+    }
+}
+
+/// Runs every consistency check, returning one finding per disagreement.
+#[must_use]
+pub fn check(a: &Artifacts) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let requests = enum_variants(&a.protocol_rs, "pub enum Request");
+    let verbs = enum_variants(&a.metrics_rs, "pub enum Verb");
+    check_verb_rows(a, &requests, &verbs, &mut out);
+    check_protocol_md(a, &requests, &mut out);
+    check_error_codes(a, &mut out);
+    check_schema_versions(a, &mut out);
+    out
+}
+
+fn finding(code: &'static str, rule: &'static str, path: &str, message: String) -> Finding {
+    Finding {
+        code,
+        rule,
+        path: path.to_owned(),
+        line: 0,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Variant names of the first enum whose declaration line contains
+/// `marker`, via brace matching on scrubbed text (comments and string
+/// literals cannot confuse it). Empty if the marker is gone.
+fn enum_variants(src: &str, marker: &str) -> Vec<String> {
+    let scrubbed = scrub(src);
+    let Some((start, end)) = region(&scrubbed.lines, marker) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    for line in &scrubbed.lines[start..=end] {
+        let trimmed = line.trim();
+        // Variants sit at brace depth 1 (inside the enum body only).
+        if depth == 1 && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            let name: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.chars().next().is_some_and(char::is_uppercase) {
+                variants.push(name);
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+/// 0-based `[start, end]` line range of the brace block opened on (or
+/// after) the first line containing `marker`.
+fn region(lines: &[String], marker: &str) -> Option<(usize, usize)> {
+    let start = lines.iter().position(|l| l.contains(marker))?;
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (idx, line) in lines.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return Some((start, idx));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// `Verb::X` identifiers listed in the `pub const ALL` array.
+fn verb_all_entries(metrics_rs: &str) -> Vec<String> {
+    let scrubbed = scrub(metrics_rs);
+    let Some(start) = scrubbed
+        .lines
+        .iter()
+        .position(|l| l.contains("pub const ALL"))
+    else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in &scrubbed.lines[start..] {
+        let mut rest = line.as_str();
+        while let Some(pos) = rest.find("Verb::") {
+            rest = &rest[pos + "Verb::".len()..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                entries.push(name);
+            }
+        }
+        if line.contains("];") {
+            break;
+        }
+    }
+    entries
+}
+
+/// `(variant, wire name)` pairs from the `Verb::name()` match arms, parsed
+/// from raw lines (the wire names are string literals, which scrubbing
+/// blanks) inside the scrub-located `fn name` region.
+fn verb_wire_names(metrics_rs: &str) -> Vec<(String, String)> {
+    let scrubbed = scrub(metrics_rs);
+    let Some((start, end)) = region(&scrubbed.lines, "fn name") else {
+        return Vec::new();
+    };
+    let raw: Vec<&str> = metrics_rs.split('\n').collect();
+    let mut pairs = Vec::new();
+    let last = end.min(raw.len().saturating_sub(1));
+    for (idx, &line) in raw.iter().enumerate().take(last + 1).skip(start) {
+        // Only lines that are code (not comment text) can declare an arm.
+        if !scrubbed.lines[idx].contains("Verb::") {
+            continue;
+        }
+        let Some(pos) = line.find("Verb::") else {
+            continue;
+        };
+        let variant: String = line[pos + "Verb::".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let Some(q1) = line.find('"') else { continue };
+        let Some(q2) = line[q1 + 1..].find('"') else {
+            continue;
+        };
+        pairs.push((variant, line[q1 + 1..q1 + 1 + q2].to_owned()));
+    }
+    pairs
+}
+
+/// `(CONST_NAME, "wire string")` pairs from `pub mod code` in api.rs.
+fn error_codes(api_rs: &str) -> Vec<(String, String)> {
+    let scrubbed = scrub(api_rs);
+    let Some((start, end)) = region(&scrubbed.lines, "pub mod code") else {
+        return Vec::new();
+    };
+    let raw: Vec<&str> = api_rs.split('\n').collect();
+    let mut codes = Vec::new();
+    let last = end.min(raw.len().saturating_sub(1));
+    for (idx, &line) in raw.iter().enumerate().take(last + 1).skip(start) {
+        if !scrubbed.lines[idx].contains("pub const ") {
+            continue;
+        }
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("pub const ") else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let Some(q1) = line.find('"') else { continue };
+        let Some(q2) = line[q1 + 1..].find('"') else {
+            continue;
+        };
+        codes.push((name, line[q1 + 1..q1 + 1 + q2].to_owned()));
+    }
+    codes
+}
+
+/// The integer assigned to `marker` (e.g. `SCHEMA_VERSION: u32 =`) on a
+/// code line of `src`, if present.
+fn const_u32(src: &str, marker: &str) -> Option<u32> {
+    let scrubbed = scrub(src);
+    for line in &scrubbed.lines {
+        if let Some(pos) = line.find(marker) {
+            let digits: String = line[pos + marker.len()..]
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(char::is_ascii_digit)
+                .collect();
+            return digits.parse().ok();
+        }
+    }
+    None
+}
+
+/// Every `N` appearing as `needle` + integer in `text` (e.g. all values of
+/// `["schema_version"] == N` in ci.yml).
+fn ints_after(text: &str, needle: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(needle) {
+        rest = &rest[pos + needle.len()..];
+        let digits: String = rest
+            .chars()
+            .skip_while(|c| *c == ' ')
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(n) = digits.parse() {
+            out.push(n);
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------- checks
+
+/// The PR-9 `requests_total == Σ per-verb` identity, checked statically:
+/// every `Request` variant has a `Verb` row, `Rejected` covers the rest,
+/// `ALL` / `VERBS` / the wire-name arms cover the enum exactly, and the CI
+/// validators pin the same row count.
+fn check_verb_rows(a: &Artifacts, requests: &[String], verbs: &[String], out: &mut Vec<Finding>) {
+    const PATH: &str = "crates/serve/src/metrics.rs";
+    const RULE: &str = "metrics-verb-rows";
+    if requests.is_empty() {
+        out.push(finding(
+            "AF104",
+            RULE,
+            "crates/serve/src/protocol.rs",
+            "could not parse `pub enum Request` variants".to_owned(),
+        ));
+        return;
+    }
+    if verbs.is_empty() {
+        out.push(finding(
+            "AF104",
+            RULE,
+            PATH,
+            "could not parse `pub enum Verb` variants".to_owned(),
+        ));
+        return;
+    }
+    let verb_set: BTreeSet<&str> = verbs.iter().map(String::as_str).collect();
+    for r in requests {
+        if !verb_set.contains(r.as_str()) {
+            out.push(finding(
+                "AF104",
+                RULE,
+                PATH,
+                format!("Request variant `{r}` has no Verb metrics row — requests_total would exceed the per-verb sum"),
+            ));
+        }
+    }
+    if !verb_set.contains("Rejected") {
+        out.push(finding(
+            "AF104",
+            RULE,
+            PATH,
+            "Verb enum lost the `Rejected` row that makes the per-verb sum unconditional"
+                .to_owned(),
+        ));
+    }
+    let request_set: BTreeSet<&str> = requests.iter().map(String::as_str).collect();
+    for v in verbs {
+        if v != "Rejected" && !request_set.contains(v.as_str()) {
+            out.push(finding(
+                "AF104",
+                RULE,
+                PATH,
+                format!("Verb `{v}` has no matching Request variant (stale row)"),
+            ));
+        }
+    }
+    match const_u32(&a.metrics_rs, "const VERBS: usize =") {
+        Some(n) if n as usize == verbs.len() => {}
+        got => out.push(finding(
+            "AF104",
+            RULE,
+            PATH,
+            format!(
+                "`const VERBS` is {got:?} but the Verb enum has {} variants",
+                verbs.len()
+            ),
+        )),
+    }
+    let all = verb_all_entries(&a.metrics_rs);
+    let all_set: BTreeSet<&str> = all.iter().map(String::as_str).collect();
+    if all.len() != verbs.len() || all_set != verb_set {
+        out.push(finding(
+            "AF104",
+            RULE,
+            PATH,
+            format!("`Verb::ALL` lists {all:?} but the enum declares {verbs:?}"),
+        ));
+    }
+    let names = verb_wire_names(&a.metrics_rs);
+    let named: BTreeSet<&str> = names.iter().map(|(v, _)| v.as_str()).collect();
+    if named != verb_set {
+        out.push(finding(
+            "AF104",
+            RULE,
+            PATH,
+            format!("`Verb::name()` covers {named:?} but the enum declares {verb_set:?}"),
+        ));
+    }
+    let wires: BTreeSet<&str> = names.iter().map(|(_, w)| w.as_str()).collect();
+    if wires.len() != names.len() {
+        out.push(finding(
+            "AF104",
+            RULE,
+            PATH,
+            "duplicate wire names in `Verb::name()`".to_owned(),
+        ));
+    }
+    // CI validators pin the row count end-to-end.
+    for needle in ["len(names) ==", "len(report[\"verbs\"]) =="] {
+        for n in ints_after(&a.ci_yml, needle) {
+            if n as usize != verbs.len() {
+                out.push(finding(
+                    "AF104",
+                    RULE,
+                    ".github/workflows/ci.yml",
+                    format!(
+                        "CI asserts `{needle} {n}` but the Verb enum has {} rows",
+                        verbs.len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// PROTOCOL.md documents every verb as a `### `Name`` section.
+fn check_protocol_md(a: &Artifacts, requests: &[String], out: &mut Vec<Finding>) {
+    for r in requests {
+        let heading = format!("### `{r}`");
+        if !a.protocol_md.contains(&heading) {
+            out.push(finding(
+                "AF101",
+                "protocol-verb-docs",
+                "PROTOCOL.md",
+                format!("verb `{r}` has no `{heading}` section"),
+            ));
+        }
+    }
+}
+
+/// PROTOCOL.md's error table documents exactly the `api::code` constants.
+fn check_error_codes(a: &Artifacts, out: &mut Vec<Finding>) {
+    const RULE: &str = "protocol-error-docs";
+    let codes = error_codes(&a.api_rs);
+    if codes.is_empty() {
+        out.push(finding(
+            "AF102",
+            RULE,
+            "crates/core/src/api.rs",
+            "could not parse `pub mod code` error constants".to_owned(),
+        ));
+        return;
+    }
+    for (name, wire) in &codes {
+        let row = format!("| `{wire}` |");
+        if !a.protocol_md.contains(&row) {
+            out.push(finding(
+                "AF102",
+                RULE,
+                "PROTOCOL.md",
+                format!("error code `{wire}` (api::code::{name}) has no row in the Errors table"),
+            ));
+        }
+    }
+    // Reverse direction: every documented code must still exist in source.
+    let wire_set: BTreeSet<&str> = codes.iter().map(|(_, w)| w.as_str()).collect();
+    let in_errors = a
+        .protocol_md
+        .split("## Errors")
+        .nth(1)
+        .unwrap_or("")
+        .split("\n## ")
+        .next()
+        .unwrap_or("");
+    for line in in_errors.split('\n') {
+        let Some(rest) = line.trim().strip_prefix("| `") else {
+            continue;
+        };
+        let Some(code) = rest.split('`').next() else {
+            continue;
+        };
+        if code.contains(' ') {
+            continue; // table header or prose, not a code row
+        }
+        if !wire_set.contains(code) {
+            out.push(finding(
+                "AF102",
+                RULE,
+                "PROTOCOL.md",
+                format!("Errors table documents `{code}`, which is not an api::code constant"),
+            ));
+        }
+    }
+}
+
+/// Schema-version literals cited in README / ARCHITECTURE / CI match the
+/// constants in source.
+fn check_schema_versions(a: &Artifacts, out: &mut Vec<Finding>) {
+    const RULE: &str = "schema-version-drift";
+    let bench = const_u32(&a.bench_rs, "pub const SCHEMA_VERSION: u32 =");
+    let trace = const_u32(&a.obs_rs, "pub const TRACE_SCHEMA_VERSION: u32 =");
+    let serve = const_u32(&a.bench_serve_rs, "const SERVE_BENCH_SCHEMA_VERSION: u32 =");
+    let mut missing = |what: &str, path: &str| {
+        out.push(finding(
+            "AF103",
+            RULE,
+            path,
+            format!("could not parse `{what}`"),
+        ));
+    };
+    let (Some(bench), Some(trace), Some(serve)) = (bench, trace, serve) else {
+        if bench.is_none() {
+            missing("SCHEMA_VERSION", "crates/analysis/src/bench.rs");
+        }
+        if trace.is_none() {
+            missing("TRACE_SCHEMA_VERSION", "crates/core/src/obs.rs");
+        }
+        if serve.is_none() {
+            missing(
+                "SERVE_BENCH_SCHEMA_VERSION",
+                "crates/serve/src/bin/bench_serve.rs",
+            );
+        }
+        return;
+    };
+
+    // README: the schema heading and the top-level field table both cite it.
+    for needle in ["schema (version ", "| `schema_version` | `"] {
+        for n in ints_after(&a.readme_md, needle) {
+            if n != bench {
+                out.push(finding(
+                    "AF103",
+                    RULE,
+                    "README.md",
+                    format!("README cites bench schema {n} but SCHEMA_VERSION is {bench}"),
+                ));
+            }
+        }
+    }
+    // ARCHITECTURE + PROTOCOL-adjacent docs cite the trace schema as `"v":N`.
+    for n in ints_after(&a.architecture_md, "`\"v\":") {
+        if n != trace {
+            out.push(finding(
+                "AF103",
+                RULE,
+                "ARCHITECTURE.md",
+                format!("ARCHITECTURE cites trace schema {n} but TRACE_SCHEMA_VERSION is {trace}"),
+            ));
+        }
+    }
+    // CI: every `schema_version` assert must match one of the two bench
+    // schemas, every `"v"` assert the trace schema — and each constant must
+    // be pinned by at least one assert so deleting the check also fails.
+    let ci_schema = ints_after(&a.ci_yml, "[\"schema_version\"] ==");
+    for &n in &ci_schema {
+        if n != bench && n != serve {
+            out.push(finding(
+                "AF103",
+                RULE,
+                ".github/workflows/ci.yml",
+                format!("CI asserts schema_version == {n}, matching neither SCHEMA_VERSION ({bench}) nor SERVE_BENCH_SCHEMA_VERSION ({serve})"),
+            ));
+        }
+    }
+    for (version, name) in [
+        (bench, "SCHEMA_VERSION"),
+        (serve, "SERVE_BENCH_SCHEMA_VERSION"),
+    ] {
+        if !ci_schema.contains(&version) {
+            out.push(finding(
+                "AF103",
+                RULE,
+                ".github/workflows/ci.yml",
+                format!("no CI validator asserts schema_version == {version} ({name})"),
+            ));
+        }
+    }
+    let ci_trace = ints_after(&a.ci_yml, "[\"v\"] ==");
+    if ci_trace.is_empty() {
+        out.push(finding(
+            "AF103",
+            RULE,
+            ".github/workflows/ci.yml",
+            "no CI validator asserts the trace schema version".to_owned(),
+        ));
+    }
+    for n in ci_trace {
+        if n != trace {
+            out.push(finding(
+                "AF103",
+                RULE,
+                ".github/workflows/ci.yml",
+                format!("CI asserts trace v == {n} but TRACE_SCHEMA_VERSION is {trace}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_artifacts() -> Artifacts {
+        Artifacts {
+            protocol_rs: "pub enum Request {\n    #[serde(rename_all = \"x\")]\n    Load { name: String },\n    Flood(u32),\n    Shutdown,\n}\n".to_owned(),
+            metrics_rs: "pub enum Verb {\n    Load,\n    Flood,\n    Shutdown,\n    Rejected,\n}\nconst VERBS: usize = 4;\nimpl Verb {\n    pub const ALL: [Verb; VERBS] = [Verb::Load, Verb::Flood, Verb::Shutdown, Verb::Rejected];\n    pub fn name(self) -> &'static str {\n        match self {\n            Verb::Load => \"load\",\n            Verb::Flood => \"flood\",\n            Verb::Shutdown => \"shutdown\",\n            Verb::Rejected => \"rejected\",\n        }\n    }\n}\n".to_owned(),
+            api_rs: "pub mod code {\n    pub const BAD_REQUEST: &str = \"bad_request\";\n    pub const NOT_FOUND: &str = \"not_found\";\n}\n".to_owned(),
+            bench_rs: "pub const SCHEMA_VERSION: u32 = 6;\n".to_owned(),
+            obs_rs: "pub const TRACE_SCHEMA_VERSION: u32 = 1;\n".to_owned(),
+            bench_serve_rs: "const SERVE_BENCH_SCHEMA_VERSION: u32 = 2;\n".to_owned(),
+            protocol_md: "## Verbs\n### `Load` — x\n### `Flood` — y\n### `Shutdown` — z\n## Errors\n| code | meaning |\n| `bad_request` | b |\n| `not_found` | n |\n## Next\n".to_owned(),
+            readme_md: "### The schema (version 6)\n| `schema_version` | `6` |\n".to_owned(),
+            architecture_md: "trace (`\"v\":1`)\n".to_owned(),
+            ci_yml: "assert report[\"schema_version\"] == 6\nassert report[\"schema_version\"] == 2\nassert all(l[\"v\"] == 1 for l in lines)\nassert len(names) == 4\nassert len(report[\"verbs\"]) == 4\n".to_owned(),
+        }
+    }
+
+    #[test]
+    fn clean_artifacts_pass() {
+        let f = check(&fake_artifacts());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn removed_verb_section_fails() {
+        let mut a = fake_artifacts();
+        a.protocol_md = a.protocol_md.replace("### `Flood` — y\n", "");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF101" && f.message.contains("Flood")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn undocumented_error_code_fails() {
+        let mut a = fake_artifacts();
+        a.protocol_md = a.protocol_md.replace("| `not_found` | n |\n", "");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF102" && f.message.contains("not_found")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn stale_documented_error_code_fails() {
+        let mut a = fake_artifacts();
+        a.protocol_md.push_str("| `gone_code` | stale |\n");
+        // The extra row lands in `## Next`, outside the Errors section.
+        a.protocol_md = a.protocol_md.replace("## Next\n", "");
+        a.protocol_md.push_str("| `gone_code` | stale |\n");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF102" && f.message.contains("gone_code")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn schema_bump_without_docs_fails() {
+        let mut a = fake_artifacts();
+        a.bench_rs = "pub const SCHEMA_VERSION: u32 = 7;\n".to_owned();
+        let f = check(&a);
+        assert!(
+            f.iter().any(|f| f.code == "AF103" && f.path == "README.md"),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF103" && f.path.ends_with("ci.yml")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn ci_trace_version_drift_fails() {
+        let mut a = fake_artifacts();
+        a.ci_yml = a.ci_yml.replace("l[\"v\"] == 1", "l[\"v\"] == 3");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF103" && f.message.contains("trace v == 3")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn request_variant_without_verb_row_fails() {
+        let mut a = fake_artifacts();
+        a.protocol_rs = a
+            .protocol_rs
+            .replace("    Shutdown,\n", "    Shutdown,\n    Freeze,\n");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF104" && f.message.contains("Freeze")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn verbs_const_drift_fails() {
+        let mut a = fake_artifacts();
+        a.metrics_rs = a
+            .metrics_rs
+            .replace("const VERBS: usize = 4;", "const VERBS: usize = 5;");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF104" && f.message.contains("VERBS")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn missing_name_arm_fails() {
+        let mut a = fake_artifacts();
+        a.metrics_rs = a
+            .metrics_rs
+            .replace("            Verb::Rejected => \"rejected\",\n", "");
+        let f = check(&a);
+        // The now-unparseable arm shows up as name() coverage drift.
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF104" && f.message.contains("name()")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn ci_verb_row_count_drift_fails() {
+        let mut a = fake_artifacts();
+        a.ci_yml = a.ci_yml.replace("len(names) == 4", "len(names) == 3");
+        let f = check(&a);
+        assert!(
+            f.iter()
+                .any(|f| f.code == "AF104" && f.path.ends_with("ci.yml")),
+            "{f:?}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Markdown link and anchor checking, folded in from the former
+//! `tests/doc_links.rs` so links, anchors, verbs, error codes, and schema
+//! versions are all validated by one pass with one report (`AF105`). The
+//! root integration test now delegates here.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::Finding;
+
+/// Top-level Markdown files under link checking (vendor/README.md rides
+/// along because the root README points at it).
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(root)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    files.push(root.join("vendor/README.md"));
+    files.sort();
+    files.retain(|p| p.is_file());
+    files
+}
+
+/// Extracts `[label](target)` links outside fenced code blocks.
+#[must_use]
+pub fn extract_links(markdown: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            links.push(tail[..close].trim().to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    links
+}
+
+/// GitHub-style anchor slug of a Markdown heading.
+#[must_use]
+pub fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .trim_start_matches('#')
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors of a Markdown file (fenced blocks excluded).
+#[must_use]
+pub fn anchors(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            out.push(slug(line));
+        }
+    }
+    out
+}
+
+/// Checks every relative link and `#anchor` in the top-level docs, one
+/// `AF105` finding per breakage.
+#[must_use]
+pub fn check_links(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let files = doc_files(root);
+    if files.len() < 5 {
+        out.push(Finding {
+            code: "AF105",
+            rule: "doc-links",
+            path: ".".to_owned(),
+            line: 0,
+            message: format!("expected at least 5 top-level docs, found {}", files.len()),
+        });
+    }
+    for file in files {
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let dir = file.parent().unwrap_or(Path::new(".")).to_path_buf();
+        for link in extract_links(&text) {
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+                || link.is_empty()
+            {
+                continue;
+            }
+            let (path_part, anchor) = match link.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (link.as_str(), None),
+            };
+            let target = if path_part.is_empty() {
+                file.clone()
+            } else {
+                dir.join(path_part)
+            };
+            if !target.exists() {
+                out.push(Finding {
+                    code: "AF105",
+                    rule: "doc-links",
+                    path: rel.clone(),
+                    line: 0,
+                    message: format!("broken link '{link}'"),
+                });
+                continue;
+            }
+            if let Some(a) = anchor {
+                let target_text = if path_part.is_empty() {
+                    text.clone()
+                } else {
+                    fs::read_to_string(&target).unwrap_or_default()
+                };
+                if target.extension().is_some_and(|e| e == "md")
+                    && !anchors(&target_text).contains(&a)
+                {
+                    out.push(Finding {
+                        code: "AF105",
+                        rule: "doc-links",
+                        path: rel.clone(),
+                        line: 0,
+                        message: format!("anchor '#{a}' not found in '{path_part}'"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_follow_github_rules() {
+        assert_eq!(
+            slug("## The three engines, and when each wins"),
+            "the-three-engines-and-when-each-wins"
+        );
+        assert_eq!(slug("# Quickstart"), "quickstart");
+        assert_eq!(
+            slug("### The `BENCH_flooding.json` schema (version 3)"),
+            "the-bench_floodingjson-schema-version-3"
+        );
+    }
+
+    #[test]
+    fn links_inside_fences_are_ignored() {
+        let md = "[real](a.md)\n```\n[fenced](b.md)\n```\n";
+        assert_eq!(extract_links(md), vec!["a.md".to_string()]);
+    }
+}

@@ -1,0 +1,542 @@
+//! A small string/comment-aware scanner for Rust source.
+//!
+//! The lint rules in this crate only need to know which bytes of a file are
+//! *code* (as opposed to comment or literal text), which lines sit inside a
+//! `#[cfg(test)]`-gated item, and where `// af-audit: allow(...)` pragmas
+//! point. That is far less than a parser: a single forward pass that blanks
+//! out comments and string/char literals — preserving line and column
+//! structure exactly — is enough, and keeps the vendor tree free of `syn`.
+//!
+//! Handled literal forms: line comments, nested block comments, doc
+//! comments, `"…"` strings with escapes, raw strings `r"…"` / `r#"…"#` (any
+//! hash depth), byte strings `b"…"` / `br#"…"#`, char literals `'x'` /
+//! `'\n'` / `'\u{1F600}'`, byte chars `b'x'`, and the lifetime-vs-char
+//! ambiguity (`'a` in `<'a>` is not a literal).
+
+use std::collections::BTreeSet;
+
+/// One file after scrubbing: `lines[i]` is line `i` (0-based) with every
+/// comment and literal replaced by spaces, so rule scans see only code
+/// tokens at their original columns.
+pub struct Scrubbed {
+    /// Code-only text, one entry per source line.
+    pub lines: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]`-gated brace region.
+    pub in_test: Vec<bool>,
+    /// Per line, the set of rule names suppressed by an `allow` pragma.
+    pub allows: Vec<BTreeSet<String>>,
+}
+
+impl Scrubbed {
+    /// `true` if `rule` is suppressed on 0-based line `idx`.
+    #[must_use]
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        self.allows.get(idx).is_some_and(|set| set.contains(rule))
+    }
+}
+
+/// Is `c` a character that can continue an identifier? Used to decide
+/// whether `r` / `b` before a quote are a literal prefix or the tail of a
+/// plain identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scrubs `src`: blanks comments and literals, collects comment text for
+/// pragma extraction, and marks `#[cfg(test)]` regions.
+#[must_use]
+pub fn scrub(src: &str) -> Scrubbed {
+    let chars: Vec<char> = src.chars().collect();
+    let len = chars.len();
+    let mut out = String::with_capacity(src.len());
+    // (0-based line of the `//`, full comment text) for pragma extraction.
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let mut prev_ident = false; // previous emitted code char continues an identifier
+
+    macro_rules! blank {
+        () => {
+            out.push(' ')
+        };
+    }
+
+    while i < len {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+                prev_ident = false;
+            }
+            '/' if next == Some('/') => {
+                let start = i;
+                while i < len && chars[i] != '\n' {
+                    blank!();
+                    i += 1;
+                }
+                comments.push((line, chars[start..i].iter().collect()));
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1usize;
+                blank!();
+                blank!();
+                i += 2;
+                while i < len && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        blank!();
+                        blank!();
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        blank!();
+                        blank!();
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            out.push('\n');
+                            line += 1;
+                        } else {
+                            blank!();
+                        }
+                        i += 1;
+                    }
+                }
+                prev_ident = false;
+            }
+            '"' => {
+                i = scrub_string(&chars, i, &mut out, &mut line);
+                prev_ident = false;
+            }
+            'r' | 'b' if !prev_ident => {
+                if let Some(end) = raw_or_prefixed_start(&chars, i) {
+                    i = end(&chars, i, &mut out, &mut line);
+                    prev_ident = false;
+                } else {
+                    out.push(c);
+                    prev_ident = true;
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i = scrub_char_or_lifetime(&chars, i, &mut out);
+                prev_ident = false;
+            }
+            _ => {
+                out.push(c);
+                prev_ident = is_ident(c);
+                i += 1;
+            }
+        }
+    }
+
+    let lines: Vec<String> = out.split('\n').map(str::to_owned).collect();
+    let in_test = mark_test_regions(&lines);
+    let allows = attach_pragmas(&lines, &comments);
+    Scrubbed {
+        lines,
+        in_test,
+        allows,
+    }
+}
+
+/// Kind of literal starting at an `r`/`b` prefix, if any. Returns the
+/// scrubbing continuation to apply, or `None` when the letter is plain code.
+#[allow(clippy::type_complexity)]
+fn raw_or_prefixed_start(
+    chars: &[char],
+    i: usize,
+) -> Option<fn(&[char], usize, &mut String, &mut usize) -> usize> {
+    match chars[i] {
+        'r' => match chars.get(i + 1) {
+            Some('"' | '#') if raw_has_quote(chars, i + 1) => Some(scrub_raw),
+            _ => None,
+        },
+        'b' => match chars.get(i + 1) {
+            Some('"') => Some(scrub_prefixed_string),
+            Some('\'') => Some(scrub_byte_char),
+            Some('r') if raw_has_quote(chars, i + 2) => Some(scrub_prefixed_raw),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// After a raw-string prefix, checks that `#…#"` actually leads to a quote
+/// (distinguishes `r#"…"#` from the raw identifier `r#match`).
+fn raw_has_quote(chars: &[char], mut j: usize) -> bool {
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Scrubs `"…"` with backslash escapes, starting at the opening quote.
+/// Returns the index just past the closing quote.
+fn scrub_string(chars: &[char], mut i: usize, out: &mut String, line: &mut usize) -> usize {
+    out.push(' '); // opening quote
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                out.push(' ');
+                if chars.get(i + 1).is_some() {
+                    if chars[i + 1] == '\n' {
+                        out.push('\n');
+                        *line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                return i + 1;
+            }
+            '\n' => {
+                out.push('\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Scrubs `b"…"`: blanks the `b` then defers to the string scanner.
+fn scrub_prefixed_string(chars: &[char], i: usize, out: &mut String, line: &mut usize) -> usize {
+    out.push(' ');
+    scrub_string(chars, i + 1, out, line)
+}
+
+/// Scrubs `br#"…"#`: blanks the `b` then defers to the raw scanner.
+fn scrub_prefixed_raw(chars: &[char], i: usize, out: &mut String, line: &mut usize) -> usize {
+    out.push(' ');
+    scrub_raw(chars, i + 1, out, line)
+}
+
+/// Scrubs `r"…"` / `r#"…"#` with any hash depth, starting at the `r`.
+fn scrub_raw(chars: &[char], mut i: usize, out: &mut String, line: &mut usize) -> usize {
+    out.push(' '); // the `r`
+    i += 1;
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        out.push(' ');
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(chars.get(i), Some(&'"'));
+    out.push(' ');
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            for _ in 0..=hashes {
+                out.push(' ');
+            }
+            return i + 1 + hashes;
+        }
+        if chars[i] == '\n' {
+            out.push('\n');
+            *line += 1;
+        } else {
+            out.push(' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scrubs `b'…'`, starting at the `b`.
+fn scrub_byte_char(chars: &[char], i: usize, out: &mut String, _line: &mut usize) -> usize {
+    out.push(' ');
+    scrub_char_literal(chars, i + 1, out)
+}
+
+/// At a `'`: decides char literal vs lifetime. A lifetime (`'a`, `'static`,
+/// `'_`, loop labels) is an identifier-ish run *not* closed by another `'`.
+fn scrub_char_or_lifetime(chars: &[char], i: usize, out: &mut String) -> usize {
+    let next = chars.get(i + 1).copied();
+    match next {
+        Some('\\') => scrub_char_literal(chars, i, out),
+        Some(c) if chars.get(i + 2) == Some(&'\'') && c != '\'' => {
+            scrub_char_literal(chars, i, out)
+        }
+        _ => {
+            // Lifetime or label: keep the quote (it is punctuation, not text).
+            out.push('\'');
+            i + 1
+        }
+    }
+}
+
+/// Scrubs a char literal starting at the opening `'`, scanning escapes until
+/// the closing `'`. Returns the index just past it.
+fn scrub_char_literal(chars: &[char], mut i: usize, out: &mut String) -> usize {
+    out.push(' '); // opening quote
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                out.push(' ');
+                if chars.get(i + 1).is_some() {
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                out.push(' ');
+                return i + 1;
+            }
+            _ => {
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated brace region. The
+/// attribute's item (a `mod tests { … }` or a gated `fn`/`impl`) is found by
+/// brace matching on the scrubbed text, so braces in strings cannot confuse
+/// it. `#[cfg(not(test))]` does not match.
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    for (start, text) in lines.iter().enumerate() {
+        if !(text.contains("#[cfg(test)]") || text.contains("#[cfg(all(test")) {
+            continue;
+        }
+        // From the attribute, scan forward for the first `{`, then match.
+        let mut depth = 0usize;
+        let mut opened = false;
+        'scan: for (idx, l) in lines.iter().enumerate().skip(start) {
+            for c in l.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            for flag in &mut in_test[start..=idx] {
+                                *flag = true;
+                            }
+                            break 'scan;
+                        }
+                    }
+                    // A gated `use`/`const` ends at `;` before any brace.
+                    ';' if !opened => {
+                        for flag in &mut in_test[start..=idx] {
+                            *flag = true;
+                        }
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    in_test
+}
+
+/// Parses `// af-audit: allow(rule-a, rule-b)` pragmas out of the collected
+/// comments and attaches them: a trailing pragma suppresses on its own line;
+/// a standalone comment line suppresses on the next line that has code.
+fn attach_pragmas(lines: &[String], comments: &[(usize, String)]) -> Vec<BTreeSet<String>> {
+    let mut allows: Vec<BTreeSet<String>> = vec![BTreeSet::new(); lines.len()];
+    for &(line, ref text) in comments {
+        let Some(rules) = parse_pragma(text) else {
+            continue;
+        };
+        let own_line_has_code = lines.get(line).is_some_and(|l| !l.trim().is_empty());
+        let target = if own_line_has_code {
+            Some(line)
+        } else {
+            // Standalone comment: next line containing code.
+            (line + 1..lines.len()).find(|&j| !lines[j].trim().is_empty())
+        };
+        if let Some(t) = target {
+            allows[t].extend(rules.iter().cloned());
+            // Also cover the pragma's own line so `allow` on the comment
+            // line of a multi-line statement still works.
+            allows[line].extend(rules);
+        }
+    }
+    allows
+}
+
+/// Extracts the rule list from a comment, if it is an allow pragma.
+fn parse_pragma(comment: &str) -> Option<Vec<String>> {
+    let rest = comment.split("af-audit:").nth(1)?;
+    let inner = rest.trim().strip_prefix("allow(")?;
+    let inner = inner.split(')').next()?;
+    Some(
+        inner
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> String {
+        scrub(src).lines.join("\n")
+    }
+
+    #[test]
+    fn strings_are_blanked_but_code_kept() {
+        let s = code(r#"let x = "a.unwrap()"; y.unwrap();"#);
+        assert!(!s[..s.find(';').unwrap()].contains("unwrap"));
+        assert!(s.contains("y.unwrap();"));
+        // Columns are preserved exactly.
+        assert_eq!(s.len(), r#"let x = "a.unwrap()"; y.unwrap();"#.len());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = code(r#"let x = "she said \"hi\".unwrap()"; z();"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("z();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = code(r##"let x = r#"println!("wire")"#; real();"##);
+        assert!(!s.contains("println"));
+        assert!(s.contains("real();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let s = code(r##"let x = b"println!"; let y = br#"print!"#; go();"##);
+        assert!(!s.contains("print"));
+        assert!(s.contains("go();"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_structure() {
+        let scrubbed = scrub("let x = \"line one\nline .unwrap() two\";\nafter();\n");
+        assert_eq!(scrubbed.lines.len(), 4); // 3 lines + trailing empty
+        assert!(!scrubbed.lines[1].contains("unwrap"));
+        assert!(scrubbed.lines[2].contains("after();"));
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = code("real(); // but .unwrap() in a comment is fine");
+        assert!(s.contains("real();"));
+        assert!(!s.contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = code("a(); /* outer /* inner .unwrap() */ still comment */ b();");
+        assert!(s.contains("a();"));
+        assert!(s.contains("b();"));
+        assert!(!s.contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comment_spanning_lines() {
+        let scrubbed = scrub("before();\n/* one\ntwo .expect( three\n*/\nafter();\n");
+        assert!(scrubbed.lines[0].contains("before"));
+        assert!(!scrubbed.lines.join("\n").contains("expect"));
+        assert!(scrubbed.lines[4].contains("after"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = code("fn f<'a>(x: &'a str) -> &'a str { 'l: loop { break 'l; } }");
+        // If the scanner misread `'a` as an unterminated char literal the
+        // rest of the line would be blanked.
+        assert!(s.contains("loop"));
+        assert!(s.contains("break"));
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let s = code(r"let a = '}'; let b = '\n'; let c = '\u{1F600}'; done();");
+        assert!(!s.contains('}')); // the brace lived inside a char literal
+        assert!(s.contains("done();"));
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let s = code(r"let a = b'x'; let q = b'\''; done();");
+        assert!(s.contains("done();"));
+        assert!(!s.contains('x'));
+    }
+
+    #[test]
+    fn ident_ending_in_r_or_b_is_not_a_prefix() {
+        let s = code(r#"var"text".len(); grab"more";"#);
+        // `var` and `grab` end with r/b but are identifiers, so the quotes
+        // right after them are ordinary strings.
+        assert!(s.contains("var"));
+        assert!(s.contains("grab"));
+        assert!(!s.contains("text"));
+        assert!(!s.contains("more"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = scrub(src);
+        assert!(!s.in_test[0]);
+        assert!(s.in_test[1] && s.in_test[2] && s.in_test[3] && s.in_test[4]);
+        assert!(!s.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let s = scrub("#[cfg(not(test))]\nfn shipped() { x.unwrap(); }\n");
+        assert!(!s.in_test[1]);
+    }
+
+    #[test]
+    fn trailing_pragma_applies_to_its_line() {
+        let s = scrub("x.unwrap(); // af-audit: allow(no-unwrap-in-lib)\ny.unwrap();\n");
+        assert!(s.allowed(0, "no-unwrap-in-lib"));
+        assert!(!s.allowed(1, "no-unwrap-in-lib"));
+    }
+
+    #[test]
+    fn standalone_pragma_applies_to_next_code_line() {
+        let s = scrub(
+            "// af-audit: allow(no-unwrap-in-lib, no-stdout-in-lib)\n\nx.unwrap();\ny.unwrap();\n",
+        );
+        assert!(s.allowed(2, "no-unwrap-in-lib"));
+        assert!(s.allowed(2, "no-stdout-in-lib"));
+        assert!(!s.allowed(3, "no-unwrap-in-lib"));
+    }
+
+    #[test]
+    fn non_pragma_comments_are_ignored() {
+        let s = scrub("// plain comment about allow(things)\nx.unwrap();\n");
+        assert!(!s.allowed(1, "no-unwrap-in-lib"));
+    }
+}

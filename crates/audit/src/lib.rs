@@ -1,0 +1,56 @@
+//! `af-audit`: workspace static analysis for the amnesiac-flooding repo.
+//!
+//! Two analyzers, one report:
+//!
+//! * **Source lints** ([`rules`], backed by the [`lexer`] scanner): repo
+//!   invariants — no panics or stray stdout in library code, scoped
+//!   threads only, explicit atomic orderings, no lossy id casts — enforced
+//!   as named rules with stable `AF0xx` codes and
+//!   `// af-audit: allow(rule)` suppression pragmas.
+//! * **Cross-artifact consistency** ([`consistency`] + [`docs`]): the
+//!   `Request`/`Verb` enums, `api::code` constants, and schema-version
+//!   literals are parsed out of source and checked against PROTOCOL.md,
+//!   README.md, ARCHITECTURE.md, and the CI validators, alongside the
+//!   Markdown link/anchor check (`AF1xx` codes).
+//!
+//! The workspace self-audit test asserts zero findings, so every invariant
+//! here fails `cargo test` the moment a change violates it.
+
+pub mod consistency;
+pub mod docs;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use rules::Finding;
+
+/// Runs source lints over every workspace `.rs` file under `root`.
+///
+/// # Errors
+/// Propagates filesystem errors from the walk or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace::discover(root)? {
+        let src = fs::read_to_string(&file.abs)?;
+        findings.extend(rules::lint_file(&file.rel, file.kind, &src));
+    }
+    Ok(findings)
+}
+
+/// Runs the full audit: source lints, cross-artifact consistency, and doc
+/// links. Zero findings means the workspace holds every invariant.
+///
+/// # Errors
+/// Propagates filesystem errors; a *parse* failure inside an artifact is a
+/// finding, not an error.
+pub fn audit(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = lint_workspace(root)?;
+    let artifacts = consistency::Artifacts::load(root)?;
+    findings.extend(consistency::check(&artifacts));
+    findings.extend(docs::check_links(root));
+    Ok(findings)
+}

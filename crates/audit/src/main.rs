@@ -1,0 +1,91 @@
+//! `af-audit` CLI: run the workspace audit and print findings.
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+af-audit — workspace static analysis (lints + cross-artifact consistency)
+
+USAGE:
+    af-audit [--root DIR] [--format ndjson|text]
+
+OPTIONS:
+    --root DIR        workspace root (default: nearest [workspace] manifest)
+    --format FORMAT   `text` (default) or `ndjson` (one finding per line)
+    -h, --help        show this help
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut ndjson = false;
+    let mut argv = env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--format" => match argv.next().as_deref() {
+                Some("ndjson") => ndjson = true,
+                Some("text") => ndjson = false,
+                other => return usage_error(&format!("unknown format {other:?}")),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match af_audit::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "af-audit: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match af_audit::audit(&root) {
+        Ok(findings) if findings.is_empty() => {
+            if !ndjson {
+                println!("af-audit: clean");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                if ndjson {
+                    println!("{}", f.to_ndjson());
+                } else {
+                    println!("{}", f.to_text());
+                }
+            }
+            if !ndjson {
+                println!("af-audit: {} finding(s)", findings.len());
+            }
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("af-audit: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("af-audit: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

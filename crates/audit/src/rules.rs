@@ -1,0 +1,392 @@
+//! The source-lint rules.
+//!
+//! Each rule has a stable code (`AF001`…), a kebab-case name usable in
+//! `// af-audit: allow(name)` pragmas, and a lexical check that runs over
+//! the scrubbed (comment/string-blanked) text from [`crate::lexer`], so
+//! tokens inside literals or comments never fire.
+//!
+//! | code  | rule                      | invariant                                            |
+//! |-------|---------------------------|------------------------------------------------------|
+//! | AF001 | `no-unwrap-in-lib`        | no `.unwrap()` / `.expect(` outside tests            |
+//! | AF002 | `no-stdout-in-lib`        | no `println!` / `print!` in library paths (the wire) |
+//! | AF003 | `stderr-via-log-sink`     | serve crate writes stderr only through `log_line`    |
+//! | AF004 | `no-bare-spawn`           | no `thread::spawn`; scoped threads only              |
+//! | AF005 | `explicit-atomic-ordering`| atomics name an `Ordering::`; `SeqCst` banned        |
+//! | AF006 | `no-lossy-id-cast`        | no narrowing `as` casts in library paths             |
+
+use crate::lexer::{scrub, Scrubbed};
+use crate::workspace::PathKind;
+
+/// One lint or consistency finding. Serialized as one NDJSON object per
+/// line by [`Finding::to_ndjson`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable code, e.g. `AF001`.
+    pub code: &'static str,
+    /// Rule name, e.g. `no-unwrap-in-lib` (valid in allow pragmas).
+    pub rule: &'static str,
+    /// Repo-relative `/`-separated path (or artifact name for consistency
+    /// findings).
+    pub path: String,
+    /// 1-based line number; 0 when the finding is not line-anchored.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            self.code,
+            self.rule,
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+
+    /// Renders the finding as a human-readable single line.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        format!(
+            "{}:{}: {} [{} {}]",
+            self.path, self.line, self.message, self.code, self.rule
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints one file's source text. `rel` is the repo-relative path used both
+/// for scoping and reporting; the caller supplies the classification so
+/// fixture tests can lint arbitrary content under a synthetic path.
+#[must_use]
+pub fn lint_file(rel: &str, kind: PathKind, src: &str) -> Vec<Finding> {
+    // Integration tests, benches, and examples are exempt from every rule.
+    if kind == PathKind::Test {
+        return Vec::new();
+    }
+    let scrubbed = scrub(src);
+    let mut findings = Vec::new();
+    let serve_src = rel.starts_with("crates/serve/src/");
+    let mentions_atomics = src.contains("Atomic") || src.contains("sync::atomic");
+
+    for (idx, line) in scrubbed.lines.iter().enumerate() {
+        if scrubbed.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut emit = |code, rule: &'static str, message: String| {
+            if !scrubbed.allowed(idx, rule) {
+                findings.push(Finding {
+                    code,
+                    rule,
+                    path: rel.to_owned(),
+                    line: lineno,
+                    message,
+                });
+            }
+        };
+
+        if kind == PathKind::Lib {
+            if line.contains(".unwrap()") || line.contains(".expect(") {
+                emit(
+                    "AF001",
+                    "no-unwrap-in-lib",
+                    "panicking `.unwrap()`/`.expect(` in library code; return a Result or justify with a pragma".to_owned(),
+                );
+            }
+            if has_macro(line, "println") || has_macro(line, "print") {
+                emit(
+                    "AF002",
+                    "no-stdout-in-lib",
+                    "`println!`/`print!` in library code: stdout is the NDJSON wire".to_owned(),
+                );
+            }
+            if let Some(ty) = narrowing_cast(line) {
+                emit(
+                    "AF006",
+                    "no-lossy-id-cast",
+                    format!("narrowing `as {ty}` cast can truncate; use `try_from` or a checked id accessor"),
+                );
+            }
+        }
+
+        if serve_src && (has_macro(line, "eprintln") || has_macro(line, "eprint")) {
+            emit(
+                "AF003",
+                "stderr-via-log-sink",
+                "serve crate writes stderr directly; route it through `log_line`".to_owned(),
+            );
+        }
+
+        if line.contains("thread::spawn") {
+            emit(
+                "AF004",
+                "no-bare-spawn",
+                "bare `thread::spawn` breaks the structural-drain proof; use scoped threads"
+                    .to_owned(),
+            );
+        }
+
+        if mentions_atomics {
+            if line.contains("SeqCst") {
+                emit(
+                    "AF005",
+                    "explicit-atomic-ordering",
+                    "`SeqCst` is banned: use the documented Relaxed/Acquire/Release conventions or a lock".to_owned(),
+                );
+            }
+            for op in ATOMIC_OPS {
+                for col in token_positions(line, op) {
+                    if !call_names_ordering(&scrubbed, idx, col + op.len() - 1) {
+                        emit(
+                            "AF005",
+                            "explicit-atomic-ordering",
+                            format!(
+                                "atomic `{}` without an explicit `Ordering::`",
+                                &op[1..op.len() - 1]
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Atomic method tokens checked by AF005 (each includes the leading dot and
+/// the opening paren).
+const ATOMIC_OPS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+/// `true` if `name!` occurs in `line` as a macro invocation (not as the
+/// suffix of a longer identifier, so `print!` does not match `eprint!`).
+fn has_macro(line: &str, name: &str) -> bool {
+    let needle = format!("{name}!");
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(&needle) {
+        let at = from + pos;
+        let prev = line[..at].chars().next_back();
+        if !prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Byte offsets of every occurrence of `tok` in `line`.
+fn token_positions(line: &str, tok: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(tok) {
+        out.push(from + pos);
+        from += pos + tok.len();
+    }
+    out
+}
+
+/// Starting at the `(` at `(line_idx, col)`, scans forward (across up to 20
+/// lines) to the balancing `)` and reports whether the call's argument text
+/// names an `Ordering::`.
+fn call_names_ordering(scrubbed: &Scrubbed, line_idx: usize, col: usize) -> bool {
+    let mut depth = 0i32;
+    let mut text = String::new();
+    for (n, line) in scrubbed.lines.iter().enumerate().skip(line_idx).take(20) {
+        let start = if n == line_idx { col } else { 0 };
+        for (i, c) in line.char_indices() {
+            if i < start {
+                continue;
+            }
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return text.contains("Ordering::");
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        text.push('\n');
+    }
+    // Unbalanced within the window: be conservative and report a finding.
+    false
+}
+
+/// If `line` contains a narrowing `as <int>` cast, returns the target type.
+fn narrowing_cast(line: &str) -> Option<&'static str> {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    for col in token_positions(line, "as") {
+        let prev_ok = line[..col]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if !prev_ok {
+            continue;
+        }
+        let rest = &line[col + 2..];
+        let trimmed = rest.trim_start();
+        if trimmed.len() == rest.len() && !rest.is_empty() {
+            continue; // `as` glued to something: part of an identifier
+        }
+        let word: String = trimmed
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(ty) = NARROW.iter().find(|t| **t == word) {
+            return Some(ty);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> Vec<Finding> {
+        lint_file("crates/fake/src/lib.rs", PathKind::Lib, src)
+    }
+
+    #[test]
+    fn unwrap_flagged_expect_err_not() {
+        let f = lib("fn f() { a.unwrap(); b.expect_err(\"e\"); c.unwrap_or(3); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "AF001");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn print_does_not_match_eprint() {
+        let f = lib("fn f() { eprintln!(\"ok\"); }\n");
+        assert!(f.iter().all(|f| f.code != "AF002"), "{f:?}");
+    }
+
+    #[test]
+    fn serve_eprintln_flagged() {
+        let f = lint_file(
+            "crates/serve/src/server.rs",
+            PathKind::Lib,
+            "fn f() { eprintln!(\"x\"); }\n",
+        );
+        assert!(f.iter().any(|f| f.code == "AF003"));
+    }
+
+    #[test]
+    fn atomic_without_ordering() {
+        let src = "use std::sync::atomic::AtomicU64;\nfn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); a.fetch_sub(1); }\n";
+        let f = lib(src);
+        assert_eq!(f.iter().filter(|f| f.code == "AF005").count(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn seqcst_banned() {
+        let src = "use std::sync::atomic::Ordering;\nfn f(a: &std::sync::atomic::AtomicBool) { a.fetch_or(true, Ordering::SeqCst); }\n";
+        let f = lib(src);
+        assert!(f
+            .iter()
+            .any(|f| f.code == "AF005" && f.message.contains("SeqCst")));
+    }
+
+    #[test]
+    fn multiline_atomic_call_sees_ordering() {
+        let src = "use std::sync::atomic::AtomicU64;\nfn f(a: &AtomicU64) {\n    a.compare_exchange(\n        0,\n        1,\n        Ordering::AcqRel,\n        Ordering::Acquire,\n    );\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_widening_not() {
+        let f = lib("fn f(n: usize) -> u32 { let _ = n as u64; n as u32 }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "AF006");
+        assert!(f[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn cast_in_string_not_flagged() {
+        assert!(lib("fn f() -> &'static str { \"n as u32\" }\n").is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses() {
+        let f = lib("fn f() { a.unwrap(); } // af-audit: allow(no-unwrap-in-lib)\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tests_and_bins_are_scoped_out() {
+        let src = "fn f() { a.unwrap(); println!(\"x\"); }\n";
+        assert!(lint_file("crates/x/tests/t.rs", PathKind::Test, src).is_empty());
+        let bin = lint_file("crates/x/src/main.rs", PathKind::Bin, src);
+        assert!(
+            bin.is_empty(),
+            "bins may print usage and exit on error: {bin:?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_exempt() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { a.unwrap(); }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn spawn_flagged_scoped_not() {
+        let f = lib("fn f() { std::thread::spawn(|| {}); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "AF004");
+        assert!(lib("fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n").is_empty());
+    }
+
+    #[test]
+    fn ndjson_escapes() {
+        let f = Finding {
+            code: "AF001",
+            rule: "no-unwrap-in-lib",
+            path: "a\"b.rs".to_owned(),
+            line: 3,
+            message: "x\ny".to_owned(),
+        };
+        assert_eq!(
+            f.to_ndjson(),
+            "{\"code\":\"AF001\",\"rule\":\"no-unwrap-in-lib\",\"path\":\"a\\\"b.rs\",\"line\":3,\"message\":\"x\\ny\"}"
+        );
+    }
+}

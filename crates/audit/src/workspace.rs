@@ -1,0 +1,144 @@
+//! Workspace file discovery and path classification.
+//!
+//! The walker finds every `.rs` file under the repo root, skipping build
+//! output (`target/`), the vendored dependency shims (`vendor/` — external
+//! code held to its own standards), seeded-violation fixtures
+//! (`fixtures/`), and VCS internals. Classification is purely lexical on
+//! the repo-relative path; rules decide applicability from it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A discovered source file with its repo-relative path (always
+/// `/`-separated) and classification.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated (stable across platforms).
+    pub rel: String,
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    pub kind: PathKind,
+}
+
+/// Where in the workspace a file sits, for rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Library code: `crates/*/src/**` or root `src/**`, minus binaries.
+    Lib,
+    /// Binary entry points: `src/main.rs` or `src/bin/**`.
+    Bin,
+    /// Integration tests, benches, examples, build scripts.
+    Test,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".github"];
+
+/// Walks `root` and returns every classified `.rs` file, sorted by path.
+///
+/// # Errors
+/// Propagates filesystem errors from the walk.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let kind = classify(&rel);
+            files.push(SourceFile {
+                rel,
+                abs: path,
+                kind,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Classifies a repo-relative `/`-separated path.
+#[must_use]
+pub fn classify(rel: &str) -> PathKind {
+    let in_tree = |marker: &str| rel.starts_with(marker) || rel.contains(&format!("/{marker}"));
+    if in_tree("tests/") || in_tree("benches/") || in_tree("examples/") || rel.ends_with("build.rs")
+    {
+        return PathKind::Test;
+    }
+    if rel.ends_with("src/main.rs") || rel.contains("src/bin/") {
+        return PathKind::Bin;
+    }
+    PathKind::Lib
+}
+
+/// The crate a path belongs to (`"graph"` for `crates/graph/...`), or the
+/// root package.
+#[must_use]
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("amnesiac-flooding")
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/graph/src/graph.rs"), PathKind::Lib);
+        assert_eq!(classify("src/lib.rs"), PathKind::Lib);
+        assert_eq!(classify("crates/serve/src/main.rs"), PathKind::Bin);
+        assert_eq!(
+            classify("crates/serve/src/bin/bench_serve.rs"),
+            PathKind::Bin
+        );
+        assert_eq!(classify("crates/serve/tests/stress.rs"), PathKind::Test);
+        assert_eq!(classify("tests/doc_links.rs"), PathKind::Test);
+        assert_eq!(classify("examples/figure1.rs"), PathKind::Test);
+        assert_eq!(classify("crates/bench/benches/flooding.rs"), PathKind::Test);
+    }
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_of("crates/graph/src/graph.rs"), "graph");
+        assert_eq!(crate_of("src/lib.rs"), "amnesiac-flooding");
+        assert_eq!(crate_of("tests/doc_links.rs"), "amnesiac-flooding");
+    }
+}

@@ -1,0 +1,101 @@
+//! Every rule is pinned to a seeded-violation fixture: the file under
+//! `fixtures/` trips exactly the findings named in its doc comment, with
+//! the expected rule code on the expected line. A rule that silently
+//! stops firing (or starts firing elsewhere) fails here.
+
+use af_audit::rules::{lint_file, Finding};
+use af_audit::workspace::PathKind;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lints a fixture as library code of an ordinary crate.
+fn lint_as_lib(name: &str) -> Vec<Finding> {
+    lint_file("crates/fixture/src/lib.rs", PathKind::Lib, &fixture(name))
+}
+
+/// Asserts the findings are exactly `(code, rule, line)`, in order.
+fn assert_findings(found: &[Finding], expected: &[(&str, &str, usize)]) {
+    let got: Vec<(&str, &str, usize)> = found.iter().map(|f| (f.code, f.rule, f.line)).collect();
+    assert_eq!(got, expected, "full findings: {found:#?}");
+}
+
+#[test]
+fn af001_unwrap_detected_at_line() {
+    assert_findings(
+        &lint_as_lib("af001_unwrap.rs"),
+        &[("AF001", "no-unwrap-in-lib", 5)],
+    );
+}
+
+#[test]
+fn af002_stdout_detected_at_line() {
+    assert_findings(
+        &lint_as_lib("af002_stdout.rs"),
+        &[("AF002", "no-stdout-in-lib", 5)],
+    );
+}
+
+#[test]
+fn af003_stderr_detected_only_under_serve_path() {
+    let src = fixture("af003_stderr.rs");
+    assert_findings(
+        &lint_file("crates/serve/src/fixture.rs", PathKind::Lib, &src),
+        &[("AF003", "stderr-via-log-sink", 5)],
+    );
+    // The same text in any other crate is fine: stderr is only funneled
+    // through the log sink where CI parses the daemon's stderr stream.
+    assert_findings(
+        &lint_file("crates/core/src/fixture.rs", PathKind::Lib, &src),
+        &[],
+    );
+}
+
+#[test]
+fn af004_spawn_detected_at_line() {
+    assert_findings(
+        &lint_as_lib("af004_spawn.rs"),
+        &[("AF004", "no-bare-spawn", 5)],
+    );
+}
+
+#[test]
+fn af005_atomics_detected_at_lines() {
+    assert_findings(
+        &lint_as_lib("af005_atomics.rs"),
+        &[
+            ("AF005", "explicit-atomic-ordering", 6),
+            ("AF005", "explicit-atomic-ordering", 7),
+        ],
+    );
+}
+
+#[test]
+fn af006_cast_detected_at_line() {
+    assert_findings(
+        &lint_as_lib("af006_cast.rs"),
+        &[("AF006", "no-lossy-id-cast", 5)],
+    );
+}
+
+#[test]
+fn pragma_fixture_is_clean() {
+    assert_findings(&lint_as_lib("af001_allowed.rs"), &[]);
+}
+
+#[test]
+fn bins_are_exempt_from_lib_only_rules() {
+    for name in ["af001_unwrap.rs", "af002_stdout.rs", "af006_cast.rs"] {
+        let f = lint_file("crates/fixture/src/main.rs", PathKind::Bin, &fixture(name));
+        assert!(f.is_empty(), "{name} flagged in a bin: {f:?}");
+    }
+    // AF004 applies everywhere outside tests, binaries included.
+    let f = lint_file(
+        "crates/fixture/src/main.rs",
+        PathKind::Bin,
+        &fixture("af004_spawn.rs"),
+    );
+    assert_findings(&f, &[("AF004", "no-bare-spawn", 5)]);
+}

@@ -1,0 +1,23 @@
+//! The workspace self-audit: `cargo test` fails the moment any crate
+//! violates a source lint or any artifact (PROTOCOL.md, README.md,
+//! ARCHITECTURE.md, CI) drifts from the source of truth. This is the
+//! tier-1 enforcement point; CI additionally runs the `af-audit` binary
+//! so findings are published as an artifact.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let findings = af_audit::audit(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace audit found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(af_audit::Finding::to_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

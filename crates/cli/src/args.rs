@@ -43,6 +43,7 @@ impl Args {
                     return Err(ArgError("empty option name '--'".into()));
                 }
                 let value = match iter.peek() {
+                    // af-audit: allow(no-unwrap-in-lib): peek returned Some just above
                     Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
                     _ => "true".to_string(),
                 };

@@ -202,6 +202,8 @@ pub fn cmd_flood(args: &Args) -> Result<String, CommandError> {
         // it reproduces the run's record exactly (round-sets, receive
         // rounds, message counts, termination).
         let bytes = writer.borrow_mut().take_sink();
+        // af-audit: allow(no-unwrap-in-lib): the trace writer only emits
+        // NDJSON built from String fragments, so the sink is valid UTF-8
         let text = String::from_utf8(bytes).expect("trace writer emits UTF-8");
         af_analysis::tracecheck::check_trace(&text, &run)
             .map_err(|e| format!("trace self-check failed: {e}"))?;
@@ -492,7 +494,10 @@ pub fn cmd_gen(args: &Args) -> Result<String, CommandError> {
         "cycle" => generators::cycle(p(1)?),
         "complete" => generators::complete(p(1)?),
         "grid" => generators::grid(p(1)?, p(2)?),
-        "hypercube" => generators::hypercube(p(1)? as u32),
+        "hypercube" => {
+            let d = p(1)?;
+            generators::hypercube(u32::try_from(d).map_err(|_| format!("bad parameter: {d}"))?)
+        }
         "petersen" => generators::petersen(),
         "wheel" => generators::wheel(p(1)?),
         "barbell" => generators::barbell(p(1)?),

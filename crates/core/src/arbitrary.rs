@@ -218,6 +218,7 @@ pub fn classify_all_configurations(graph: &Graph) -> ConfigurationCensus {
             let sources = (0..n).filter(|&i| node_mask >> i & 1 == 1).map(NodeId::new);
             let mut sim = FastFlooding::new(graph, sources);
             sim.set_record_receipts(false);
+            // af-audit: allow(no-lossy-id-cast): n <= 20 in this branch
             if !sim.run(4 * n as u32 + 4).is_terminated() {
                 node_ok = false;
             }

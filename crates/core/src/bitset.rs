@@ -81,7 +81,7 @@ mod tests {
         s.remove(ArcId::from_index(63));
         assert!(!s.contains(ArcId::from_index(63)));
         assert_eq!(s.count(), 3);
-        let ids: Vec<usize> = s.iter().map(|a| a.index()).collect();
+        let ids: Vec<usize> = s.iter().map(ArcId::index).collect();
         assert_eq!(ids, vec![0, 64, 129]);
         s.clear();
         assert!(s.is_empty());

@@ -74,8 +74,7 @@ impl<'g> FastFlooding<'g> {
         srcs.dedup();
         for &v in &srcs {
             assert!(v.index() < n, "source {v} out of range");
-            for &w in graph.neighbors(v) {
-                let arc = graph.arc_between(v, w).expect("neighbour edge exists");
+            for (_, arc) in graph.incident_arcs(v) {
                 active.insert(arc);
             }
         }
@@ -163,8 +162,7 @@ impl<'g> FastFlooding<'g> {
                 // (this engine otherwise never materialises them).
                 self.receivers.push(v);
             }
-            for &w in self.graph.neighbors(v) {
-                let arc = self.graph.arc_between(v, w).expect("neighbour edge exists");
+            for (_, arc) in self.graph.incident_arcs(v) {
                 self.active.insert(arc);
             }
         }
@@ -269,8 +267,7 @@ impl<'g> FastFlooding<'g> {
             if self.record_receipts {
                 self.receipts[v.index()].push(round);
             }
-            for &w in self.graph.neighbors(v) {
-                let out = self.graph.arc_between(v, w).expect("neighbour edge exists");
+            for (_, out) in self.graph.incident_arcs(v) {
                 if !self.active.contains(out.reversed()) {
                     self.next.insert(out);
                 }

@@ -30,7 +30,7 @@
 //! assert!(latency.snapshot().p99 >= 130);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of histogram buckets: bucket 63 absorbs everything from `2^62`
 /// up, so any `u64` value records without range checks beyond a `min`.
@@ -49,18 +49,18 @@ impl Counter {
 
     /// Adds one.
     pub fn inc(&self) {
-        self.0.fetch_add(1, Relaxed);
+        self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.0.load(Relaxed)
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -77,24 +77,24 @@ impl Gauge {
 
     /// Overwrites the value.
     pub fn set(&self, v: u64) {
-        self.0.store(v, Relaxed);
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` — for gauges maintained transactionally (charge on
     /// acquire, [`Gauge::sub`] on release) instead of recomputed.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Subtracts `n`, saturating at zero: a release racing a concurrent
     /// reset can at worst under-report, never wrap to `u64::MAX`.
     pub fn sub(&self, n: u64) {
-        let mut current = self.0.load(Relaxed);
+        let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = current.saturating_sub(n);
             match self
                 .0
-                .compare_exchange_weak(current, next, Relaxed, Relaxed)
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(seen) => current = seen,
@@ -105,7 +105,7 @@ impl Gauge {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.0.load(Relaxed)
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -163,16 +163,16 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        self.count.fetch_add(1, Relaxed);
-        self.sum.fetch_add(v, Relaxed);
-        self.max.fetch_max(v, Relaxed);
-        self.buckets[Self::bucket(v).min(BUCKETS - 1)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket(v).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Samples recorded so far.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.count.load(Relaxed)
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Upper bound of bucket `i`: the largest value that buckets there
@@ -197,13 +197,13 @@ impl Histogram {
         let mut counts = [0u64; BUCKETS];
         let mut total = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            counts[i] = bucket.load(Relaxed);
+            counts[i] = bucket.load(Ordering::Relaxed);
             total += counts[i];
         }
         let mut snap = HistogramSnapshot {
             count: total,
-            sum: self.sum.load(Relaxed),
-            max: self.max.load(Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
             p50: 0,
             p90: 0,
             p99: 0,

@@ -107,6 +107,8 @@ pub fn analyze(run: &FloodingRun) -> RoundSetAnalysis {
         std::collections::HashMap::new();
     for (r, set) in sets.iter().enumerate() {
         for &v in set {
+            // af-audit: allow(no-lossy-id-cast): round indexes are bounded by the
+            // u32 round cap that produced the sets
             occurrences.entry(v).or_default().push(r as u32);
         }
     }

@@ -364,6 +364,7 @@ impl<'g> AmnesiacFlooding<'g> {
     pub fn run(&self) -> FloodingRun {
         let cap = self
             .max_rounds
+            // af-audit: allow(no-lossy-id-cast): node counts are bounded by u32::MAX
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2);
         let mut sim: Box<dyn Flooder + '_> = match (&self.churn, self.engine) {
             (Some(_), FloodEngine::Fast | FloodEngine::Sharded { .. } | FloodEngine::BitLane) => {
@@ -645,6 +646,7 @@ impl<'g> FloodBatch<'g> {
     #[must_use]
     pub fn with_engine(graph: &'g Graph, engine: FloodEngine) -> Self {
         // Streamed dynamic deltas: O(graph) memory at this horizon.
+        // af-audit: allow(no-lossy-id-cast): node counts are bounded by u32::MAX
         let horizon = 2 * graph.node_count() as u32 + 2;
         let mut sim = engine.flooder(graph, horizon);
         sim.set_record_receipts(false);
@@ -712,6 +714,7 @@ impl<'g> FloodBatch<'g> {
     /// The per-flood round cap currently in force.
     fn cap(&self) -> u32 {
         self.max_rounds
+            // af-audit: allow(no-lossy-id-cast): node counts are bounded by u32::MAX
             .unwrap_or_else(|| 2 * self.graph.node_count() as u32 + 2)
     }
 

@@ -481,9 +481,13 @@ impl<'g> ShardedFlooding<'g> {
                 drop(txs);
                 handles
                     .into_iter()
+                    // af-audit: allow(no-unwrap-in-lib): a worker panic is already a
+                    // bug; re-raising it beats silently dropping a shard
                     .map(|h| h.join().expect("sharded worker panicked"))
                     .collect::<Vec<WorkerResult>>()
             })
+            // af-audit: allow(no-unwrap-in-lib): the vendored scope only errors when
+            // a scoped thread panicked, which the join above already surfaces
             .expect("sharded scope");
             let mut first = results.remove(0);
             // Lockstep invariant: every worker took identical decisions.
@@ -519,6 +523,8 @@ impl<'g> ShardedFlooding<'g> {
             // still pending for a future `run` call.
             let mut probe = probe.borrow_mut();
             for (i, pr) in result.probe_rounds.iter().enumerate() {
+                // af-audit: allow(no-lossy-id-cast): i indexes rounds below the
+                // u32 round cap
                 let round = start_round + 1 + i as u32;
                 probe.round_started(round);
                 probe.round_finished(&RoundRecord {
@@ -692,6 +698,8 @@ fn run_worker(
                 produced,
                 batch: core::mem::take(&mut outbound[dest]),
             };
+            // af-audit: allow(no-unwrap-in-lib): a disconnected peer means a
+            // worker panicked; propagating the panic is the recovery
             tx.send(msg).expect("peer worker alive");
         }
         if let Some(rx) = rx {
@@ -709,6 +717,8 @@ fn run_worker(
                 }
             }
             while absorbed < peers.len() {
+                // af-audit: allow(no-unwrap-in-lib): disconnection means a peer
+                // panicked; propagating the panic is the recovery
                 let msg = rx.recv().expect("peer worker alive");
                 assert_ne!(msg.round, POISON_ROUND, "sharded peer worker failed");
                 if msg.round == round {

@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn node_label(v: NodeId, n: usize) -> String {
     if n <= 26 {
+        // af-audit: allow(no-lossy-id-cast): v.index() < n <= 26 in this branch
         char::from(b'a' + v.index() as u8).to_string()
     } else {
         v.index().to_string()

@@ -107,7 +107,7 @@ pub(crate) mod test_protocols {
     impl Protocol for TestAmnesiacFlooding {
         type State = ();
 
-        fn initiate(&self, node: NodeId, _: &mut (), graph: &Graph) -> Vec<NodeId> {
+        fn initiate(&self, node: NodeId, (): &mut (), graph: &Graph) -> Vec<NodeId> {
             graph.neighbors(node).to_vec()
         }
 
@@ -115,7 +115,7 @@ pub(crate) mod test_protocols {
             &self,
             node: NodeId,
             from: &[NodeId],
-            _: &mut (),
+            (): &mut (),
             graph: &Graph,
         ) -> Vec<NodeId> {
             graph

@@ -153,6 +153,7 @@ where
     }
 
     while let Some(u) = queue.pop_front() {
+        // af-audit: allow(no-unwrap-in-lib): BFS sets dist before enqueueing
         let du = dist[u.index()].expect("queued nodes have distances");
         for &w in graph.neighbors(u) {
             if dist[w.index()].is_none() {

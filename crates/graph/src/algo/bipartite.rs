@@ -138,6 +138,7 @@ pub fn bipartiteness(graph: &Graph) -> Bipartiteness {
         side[s] = Some(Side::Left);
         queue.push_back(NodeId::new(s));
         while let Some(u) = queue.pop_front() {
+            // af-audit: allow(no-unwrap-in-lib): BFS colours before enqueueing
             let su = side[u.index()].expect("queued nodes are coloured");
             for &w in graph.neighbors(u) {
                 match side[w.index()] {
@@ -174,15 +175,21 @@ fn odd_cycle_witness(
     let mut left = vec![a];
     let mut right = vec![b];
     while depth[a.index()] > depth[b.index()] {
+        // af-audit: allow(no-unwrap-in-lib): only the root has no parent, and
+        // the root is never the deeper endpoint
         a = parent[a.index()].expect("deeper node has parent");
         left.push(a);
     }
     while depth[b.index()] > depth[a.index()] {
+        // af-audit: allow(no-unwrap-in-lib): same bound, other side
         b = parent[b.index()].expect("deeper node has parent");
         right.push(b);
     }
     while a != b {
+        // af-audit: allow(no-unwrap-in-lib): equal depths in one BFS tree meet
+        // at or before the root, so neither walk steps past it
         a = parent[a.index()].expect("nodes in same tree");
+        // af-audit: allow(no-unwrap-in-lib): same walk, other side
         b = parent[b.index()].expect("nodes in same tree");
         left.push(a);
         right.push(b);

@@ -87,11 +87,13 @@ pub fn connected_components(graph: &Graph) -> Components {
         if comp[s] != u32::MAX {
             continue;
         }
+        // af-audit: allow(no-lossy-id-cast): count < n, and node ids fit u32
         comp[s] = count as u32;
         queue.push_back(NodeId::new(s));
         while let Some(u) = queue.pop_front() {
             for &w in graph.neighbors(u) {
                 if comp[w.index()] == u32::MAX {
+                    // af-audit: allow(no-lossy-id-cast): count < n, and node ids fit u32
                     comp[w.index()] = count as u32;
                     queue.push_back(w);
                 }

@@ -124,9 +124,11 @@ pub fn double_cover(graph: &Graph) -> DoubleCover {
     for (u, w) in graph.edge_list() {
         builder
             .add_edge(u.index(), w.index() + n)
+            // af-audit: allow(no-unwrap-in-lib): the builder was sized to 2n
             .expect("lifted endpoints are in range");
         builder
             .add_edge(u.index() + n, w.index())
+            // af-audit: allow(no-unwrap-in-lib): the builder was sized to 2n
             .expect("lifted endpoints are in range");
     }
     DoubleCover {

@@ -114,6 +114,7 @@ where
         } else {
             even[u.index()]
         }
+        // af-audit: allow(no-unwrap-in-lib): BFS sets the distance before enqueueing
         .expect("queued states have distances");
         for &w in graph.neighbors(u) {
             let slot = if is_odd {

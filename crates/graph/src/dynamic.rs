@@ -177,6 +177,7 @@ impl DeltaGraph {
             departed: vec![false; base.node_count()],
             edges: base
                 .edge_list()
+                // af-audit: allow(no-lossy-id-cast): node ids are stored as u32
                 .map(|(u, v)| (u.index() as u32, v.index() as u32))
                 .collect(),
             snapshot: base.clone(),
@@ -260,6 +261,8 @@ impl DeltaGraph {
         }
 
         for &(u, v) in &delta.delete_edges {
+            // af-audit: allow(no-lossy-id-cast): endpoints index `departed`,
+            // which is sized by the node count, itself bounded by u32::MAX
             let key = (u.min(v) as u32, u.max(v) as u32);
             if self.edges.remove(&key) {
                 applied.edges_deleted += 1;
@@ -301,6 +304,8 @@ impl DeltaGraph {
         if u == v || !self.is_alive(u) || !self.is_alive(v) {
             return false;
         }
+        // af-audit: allow(no-lossy-id-cast): is_alive bounds both endpoints
+        // by the node count, itself bounded by u32::MAX
         self.edges.insert((u.min(v) as u32, u.max(v) as u32))
     }
 
@@ -309,6 +314,8 @@ impl DeltaGraph {
         let mut b = GraphBuilder::new(self.departed.len());
         for &(u, v) in &self.edges {
             b.add_edge(u as usize, v as usize)
+                // af-audit: allow(no-unwrap-in-lib): every insert path validates
+                // endpoints against the same node count the builder is sized to
                 .expect("overlay edges are valid by construction");
         }
         self.snapshot = b.build();
@@ -610,10 +617,12 @@ impl Shadow {
     fn new(base: &Graph) -> Self {
         let edge_vec: Vec<(u32, u32)> = base
             .edge_list()
+            // af-audit: allow(no-lossy-id-cast): node ids are stored as u32
             .map(|(u, v)| (u.index() as u32, v.index() as u32))
             .collect();
         Shadow {
             n: base.node_count(),
+            // af-audit: allow(no-lossy-id-cast): node counts are bounded by u32::MAX
             alive: (0..base.node_count() as u32).collect(),
             edge_set: edge_vec.iter().copied().collect(),
             edge_vec,
@@ -729,6 +738,7 @@ impl Shadow {
         if self.alive.is_empty() {
             return;
         }
+        // af-audit: allow(no-lossy-id-cast): node counts are bounded by u32::MAX
         let new = self.n as u32;
         self.n += 1;
         let mut attach: Vec<u32> = Vec::new();

@@ -74,6 +74,7 @@ impl ConnectedGraphs {
             .enumerate()
             .filter(|(k, _)| mask >> k & 1 == 1)
             .map(|(_, &p)| p);
+        // af-audit: allow(no-unwrap-in-lib): pairs came from 0..n without loops
         Graph::from_edges(self.n, edges).expect("enumerated edges are valid")
     }
 

@@ -5,6 +5,7 @@
 //! and bipartite families, plus standard shapes used by the experiment
 //! sweeps.
 
+use super::edge;
 use crate::graph::{Graph, GraphBuilder};
 
 /// The path (line) graph `P_n`: nodes `0..n`, edges `i — i+1`.
@@ -23,7 +24,7 @@ use crate::graph::{Graph, GraphBuilder};
 pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
-        b.add_edge(i - 1, i).expect("path endpoints in range");
+        edge(&mut b, i - 1, i);
     }
     b.build()
 }
@@ -41,8 +42,7 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3, got {n}");
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
-        b.add_edge(i, (i + 1) % n)
-            .expect("cycle endpoints in range");
+        edge(&mut b, i, (i + 1) % n);
     }
     b.build()
 }
@@ -55,7 +55,7 @@ pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(u, v).expect("complete endpoints in range");
+            edge(&mut b, u, v);
         }
     }
     b.build()
@@ -68,9 +68,7 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let mut builder = GraphBuilder::new(a + b);
     for u in 0..a {
         for v in 0..b {
-            builder
-                .add_edge(u, a + v)
-                .expect("bipartite endpoints in range");
+            edge(&mut builder, u, a + v);
         }
     }
     builder.build()
@@ -86,7 +84,7 @@ pub fn star(n: usize) -> Graph {
     assert!(n >= 1, "star requires at least the hub node");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge(0, v).expect("star endpoints in range");
+        edge(&mut b, 0, v);
     }
     b.build()
 }
@@ -102,9 +100,8 @@ pub fn wheel(k: usize) -> Graph {
     assert!(k >= 3, "wheel requires a rim of at least 3 nodes, got {k}");
     let mut b = GraphBuilder::new(k + 1);
     for i in 0..k {
-        b.add_edge(0, 1 + i).expect("wheel endpoints in range");
-        b.add_edge(1 + i, 1 + (i + 1) % k)
-            .expect("wheel endpoints in range");
+        edge(&mut b, 0, 1 + i);
+        edge(&mut b, 1 + i, 1 + (i + 1) % k);
     }
     b.build()
 }
@@ -118,7 +115,7 @@ pub fn binary_tree(h: u32) -> Graph {
     for i in 0..n {
         for c in [2 * i + 1, 2 * i + 2] {
             if c < n {
-                b.add_edge(i, c).expect("tree endpoints in range");
+                edge(&mut b, i, c);
             }
         }
     }
@@ -135,10 +132,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
         for c in 0..cols {
             let v = r * cols + c;
             if c + 1 < cols {
-                b.add_edge(v, v + 1).expect("grid endpoints in range");
+                edge(&mut b, v, v + 1);
             }
             if r + 1 < rows {
-                b.add_edge(v, v + cols).expect("grid endpoints in range");
+                edge(&mut b, v, v + cols);
             }
         }
     }
@@ -162,8 +159,8 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
             let v = r * cols + c;
             let right = r * cols + (c + 1) % cols;
             let down = ((r + 1) % rows) * cols + c;
-            b.add_edge(v, right).expect("torus endpoints in range");
-            b.add_edge(v, down).expect("torus endpoints in range");
+            edge(&mut b, v, right);
+            edge(&mut b, v, down);
         }
     }
     b.build()
@@ -180,7 +177,7 @@ pub fn hypercube(d: u32) -> Graph {
         for bit in 0..d {
             let w = v ^ (1 << bit);
             if w > v {
-                b.add_edge(v, w).expect("hypercube endpoints in range");
+                edge(&mut b, v, w);
             }
         }
     }
@@ -193,9 +190,9 @@ pub fn hypercube(d: u32) -> Graph {
 pub fn petersen() -> Graph {
     let mut b = GraphBuilder::new(10);
     for i in 0..5 {
-        b.add_edge(i, (i + 1) % 5).expect("outer cycle");
-        b.add_edge(5 + i, 5 + (i + 2) % 5).expect("inner pentagram");
-        b.add_edge(i, 5 + i).expect("spokes");
+        edge(&mut b, i, (i + 1) % 5);
+        edge(&mut b, 5 + i, 5 + (i + 2) % 5);
+        edge(&mut b, i, 5 + i);
     }
     b.build()
 }
@@ -213,11 +210,11 @@ pub fn barbell(k: usize) -> Graph {
     let mut b = GraphBuilder::new(2 * k);
     for u in 0..k {
         for v in (u + 1)..k {
-            b.add_edge(u, v).expect("left clique");
-            b.add_edge(k + u, k + v).expect("right clique");
+            edge(&mut b, u, v);
+            edge(&mut b, k + u, k + v);
         }
     }
-    b.add_edge(k - 1, k).expect("bridge");
+    edge(&mut b, k - 1, k);
     b.build()
 }
 
@@ -233,11 +230,11 @@ pub fn lollipop(k: usize, p: usize) -> Graph {
     let mut b = GraphBuilder::new(k + p);
     for u in 0..k {
         for v in (u + 1)..k {
-            b.add_edge(u, v).expect("clique");
+            edge(&mut b, u, v);
         }
     }
     for i in 0..p {
-        b.add_edge(k + i - 1, k + i).expect("stick");
+        edge(&mut b, k + i - 1, k + i);
     }
     b.build()
 }
@@ -262,8 +259,7 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
             if o == 0 {
                 continue;
             }
-            b.add_edge(v, (v + o) % n)
-                .expect("circulant endpoints in range");
+            edge(&mut b, v, (v + o) % n);
         }
     }
     b.build()
@@ -283,9 +279,9 @@ pub fn friendship(k: usize) -> Graph {
     let mut b = GraphBuilder::new(2 * k + 1);
     for i in 0..k {
         let (u, v) = (1 + 2 * i, 2 + 2 * i);
-        b.add_edge(0, u).expect("spoke");
-        b.add_edge(0, v).expect("spoke");
-        b.add_edge(u, v).expect("blade");
+        edge(&mut b, 0, u);
+        edge(&mut b, 0, v);
+        edge(&mut b, u, v);
     }
     b.build()
 }
@@ -310,7 +306,7 @@ pub fn complete_multipartite(parts: &[usize]) -> Graph {
         for (j, &pj) in parts.iter().enumerate().skip(i + 1) {
             for u in starts[i]..starts[i] + pi {
                 for v in starts[j]..starts[j] + pj {
-                    b.add_edge(u, v).expect("multipartite endpoints in range");
+                    edge(&mut b, u, v);
                 }
             }
         }
@@ -330,11 +326,11 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (1 + legs);
     let mut b = GraphBuilder::new(n);
     for i in 1..spine {
-        b.add_edge(i - 1, i).expect("spine");
+        edge(&mut b, i - 1, i);
     }
     for i in 0..spine {
         for l in 0..legs {
-            b.add_edge(i, spine + i * legs + l).expect("leg");
+            edge(&mut b, i, spine + i * legs + l);
         }
     }
     b.build()

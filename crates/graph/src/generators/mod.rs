@@ -10,6 +10,17 @@
 mod deterministic;
 mod random;
 
+use crate::graph::GraphBuilder;
+
+/// Adds one edge whose endpoints the calling generator constructed to be
+/// in range of the builder it just sized. Every family funnels through
+/// here, so the in-range invariant is asserted in exactly one place.
+fn edge(b: &mut GraphBuilder, u: usize, v: usize) {
+    // af-audit: allow(no-unwrap-in-lib): generators size the builder themselves,
+    // so endpoints are in range by construction; a failure is a generator bug.
+    b.add_edge(u, v).expect("generator endpoints in range");
+}
+
 pub use deterministic::{
     barbell, binary_tree, caterpillar, circulant, complete, complete_bipartite,
     complete_multipartite, cycle, friendship, grid, hypercube, lollipop, path, petersen, star,

@@ -4,6 +4,7 @@
 //! [`ChaCha8Rng`], so a `(family, parameters, seed)` triple pins down the
 //! graph exactly — experiment tables in the reproduction cite these triples.
 
+use super::edge;
 use crate::algo::{connected_components, is_connected};
 use crate::graph::{Graph, GraphBuilder};
 use rand::seq::SliceRandom;
@@ -27,7 +28,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
-                b.add_edge(u, v).expect("endpoints in range");
+                edge(&mut b, u, v);
             }
         }
     }
@@ -55,10 +56,12 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
         }
         last = Some(g);
     }
+    // af-audit: allow(no-unwrap-in-lib): the 64-iteration loop above always sets it
     let g = last.expect("at least one sample was drawn");
     let comps = connected_components(&g);
     let mut b = GraphBuilder::new(n);
     b.add_edges(g.edge_list().map(|(u, v)| (u.index(), v.index())))
+        // af-audit: allow(no-unwrap-in-lib): copying edges of a same-size valid graph
         .expect("existing edges are valid");
     // Chain a random representative of each component to one of the
     // previous components, yielding a connected supergraph.
@@ -67,12 +70,14 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
         reps[comps.component(v)].push(v.index());
     }
     for c in 1..reps.len() {
+        // af-audit: allow(no-unwrap-in-lib): every component has a representative
         let u = *reps[c].choose(&mut rng).expect("components are non-empty");
         let prev = rng.gen_range(0..c);
         let w = *reps[prev]
             .choose(&mut rng)
+            // af-audit: allow(no-unwrap-in-lib): every component has a representative
             .expect("components are non-empty");
-        b.add_edge(u, w).expect("endpoints in range");
+        edge(&mut b, u, w);
     }
     b.build()
 }
@@ -89,6 +94,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
         return Graph::empty(1);
     }
     if n == 2 {
+        // af-audit: allow(no-unwrap-in-lib): a fixed in-range literal edge
         return Graph::from_edges(2, [(0, 1)]).expect("valid edge");
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -107,7 +113,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     }
     let mut leaf = ptr;
     for &x in &prufer {
-        b.add_edge(leaf, x).expect("endpoints in range");
+        edge(&mut b, leaf, x);
         degree[x] -= 1;
         if degree[x] == 1 && x < ptr {
             leaf = x;
@@ -121,7 +127,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     }
     // After consuming the Prüfer sequence exactly two nodes of degree 1
     // remain: `leaf` and node n-1 (the largest label is never removed).
-    b.add_edge(leaf, n - 1).expect("endpoints in range");
+    edge(&mut b, leaf, n - 1);
     b.build()
 }
 
@@ -142,6 +148,7 @@ pub fn sparse_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
     let tree = random_tree(n, rng.gen());
     let mut b = GraphBuilder::new(n);
     b.add_edges(tree.edge_list().map(|(u, v)| (u.index(), v.index())))
+        // af-audit: allow(no-unwrap-in-lib): copying edges of a same-size valid tree
         .expect("tree edges are valid");
     let max_m = n * (n - 1) / 2;
     let target = (tree.edge_count() + extra_edges).min(max_m);
@@ -150,7 +157,7 @@ pub fn sparse_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);
         if u != v {
-            let _ = b.add_edge(u, v).expect("endpoints in range");
+            edge(&mut b, u, v);
         }
         guard += 1;
     }
@@ -175,7 +182,7 @@ pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
     for u in 0..a {
         for v in 0..b {
             if rng.gen_bool(p) {
-                builder.add_edge(u, a + v).expect("endpoints in range");
+                edge(&mut builder, u, a + v);
             }
         }
     }
@@ -240,7 +247,7 @@ pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
     let mut endpoints: Vec<usize> = Vec::new();
     for u in 0..=k {
         for v in (u + 1)..=k {
-            b.add_edge(u, v).expect("seed clique");
+            edge(&mut b, u, v);
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -264,7 +271,7 @@ pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
             next += 1;
         }
         for &t in &targets {
-            b.add_edge(v, t).expect("endpoints in range");
+            edge(&mut b, v, t);
             endpoints.push(v);
             endpoints.push(t);
         }
@@ -302,6 +309,8 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
     for (i, &(x, y)) in pts.iter().enumerate() {
+        // af-audit: allow(no-lossy-id-cast): i < n, and the builder rejects graphs
+        // with more than u32::MAX nodes, so the point index always fits
         buckets[cell_of(y) * cells + cell_of(x)].push(i as u32);
     }
 
@@ -320,7 +329,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
             for (a, &i) in here.iter().enumerate() {
                 for &j in &here[a + 1..] {
                     if close(i, j) {
-                        b.add_edge(i as usize, j as usize).expect("in range");
+                        edge(&mut b, i as usize, j as usize);
                     }
                 }
             }
@@ -333,7 +342,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
                 for &i in here {
                     for &j in there {
                         if close(i, j) {
-                            b.add_edge(i as usize, j as usize).expect("in range");
+                            edge(&mut b, i as usize, j as usize);
                         }
                     }
                 }
@@ -378,16 +387,16 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
                 for _ in 0..32 {
                     let w = rng.gen_range(0..n);
                     if w != u && !b.contains_edge(u, w) {
-                        b.add_edge(u, w).expect("in range");
+                        edge(&mut b, u, w);
                         rewired = true;
                         break;
                     }
                 }
                 if !rewired {
-                    let _ = b.add_edge(u, lattice).expect("in range");
+                    edge(&mut b, u, lattice);
                 }
             } else {
-                let _ = b.add_edge(u, lattice).expect("in range");
+                edge(&mut b, u, lattice);
             }
         }
     }

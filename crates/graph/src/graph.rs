@@ -436,6 +436,8 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
+        // af-audit: allow(no-lossy-id-cast): u, v < n, checked just above, and
+        // GraphBuilder::new rejects n > u32::MAX
         let key = (u.min(v) as u32, u.max(v) as u32);
         Ok(self.edges.insert(key))
     }
@@ -458,6 +460,8 @@ impl GraphBuilder {
     /// Returns `true` if the edge `{u, v}` has been added.
     #[must_use]
     pub fn contains_edge(&self, u: usize, v: usize) -> bool {
+        // af-audit: allow(no-lossy-id-cast): out-of-range endpoints simply miss,
+        // since no stored key can exceed n
         let key = (u.min(v) as u32, u.max(v) as u32);
         self.edges.contains(&key)
     }

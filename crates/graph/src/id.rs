@@ -37,6 +37,7 @@ impl NodeId {
     #[inline]
     #[must_use]
     pub fn new(index: usize) -> Self {
+        // af-audit: allow(no-unwrap-in-lib): documented panic (see # Panics)
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 
@@ -96,6 +97,7 @@ impl EdgeId {
     #[inline]
     #[must_use]
     pub fn new(index: usize) -> Self {
+        // af-audit: allow(no-unwrap-in-lib): documented panic (see # Panics)
         EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
     }
 
@@ -190,6 +192,8 @@ impl ArcId {
             Direction::Forward => 0,
             Direction::Reverse => 1,
         };
+        // af-audit: allow(no-lossy-id-cast): edge ids are stored as u32, so
+        // the round-trip through usize is lossless
         ArcId((edge.index() as u32) * 2 + bit)
     }
 
@@ -201,6 +205,7 @@ impl ArcId {
     #[inline]
     #[must_use]
     pub fn from_index(index: usize) -> Self {
+        // af-audit: allow(no-unwrap-in-lib): documented panic (see # Panics)
         ArcId(u32::try_from(index).expect("arc index exceeds u32::MAX"))
     }
 

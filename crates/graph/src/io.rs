@@ -90,6 +90,7 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
+        // af-audit: allow(no-unwrap-in-lib): the line was checked non-empty above
         let first = tokens.next().expect("non-empty line has a token");
         if first == "n" {
             if builder.is_some() {
@@ -203,11 +204,15 @@ pub fn to_graph6(graph: &Graph) -> String {
     );
     let mut bytes: Vec<u8> = Vec::new();
     if n <= 62 {
+        // af-audit: allow(no-lossy-id-cast): n <= 62 here
         bytes.push(63 + n as u8);
     } else {
         bytes.push(126);
+        // af-audit: allow(no-lossy-id-cast): masked to 6 bits
         bytes.push(63 + ((n >> 12) & 0x3f) as u8);
+        // af-audit: allow(no-lossy-id-cast): masked to 6 bits
         bytes.push(63 + ((n >> 6) & 0x3f) as u8);
+        // af-audit: allow(no-lossy-id-cast): masked to 6 bits
         bytes.push(63 + (n & 0x3f) as u8);
     }
     // Upper-triangle bits, column-major: (0,1), (0,2), (1,2), (0,3), ...
@@ -229,6 +234,7 @@ pub fn to_graph6(graph: &Graph) -> String {
         acc <<= 6 - filled;
         bytes.push(63 + acc);
     }
+    // af-audit: allow(no-unwrap-in-lib): every pushed byte is 63..=126
     String::from_utf8(bytes).expect("graph6 bytes are printable ASCII")
 }
 

@@ -158,6 +158,7 @@ impl Partition {
         let k = clamp_shard_count(n, k);
         let shard_of = match strategy {
             PartitionStrategy::Contiguous => assign_chunked(&(0..n).collect::<Vec<_>>(), k),
+            // af-audit: allow(no-lossy-id-cast): v % k < k <= n, bounded by u32::MAX
             PartitionStrategy::RoundRobin => (0..n).map(|v| (v % k) as u32).collect(),
             PartitionStrategy::Bfs => assign_chunked(&bfs_order(graph), k),
         };
@@ -188,6 +189,7 @@ impl Partition {
         for v in graph.nodes() {
             let s = shard_of[v.index()] as usize;
             let shard = &mut shards[s];
+            // af-audit: allow(no-unwrap-in-lib): a shard holds at most n <= u32::MAX nodes
             local_index[v.index()] = u32::try_from(shard.nodes.len()).expect("node count fits u32");
             shard.nodes.push(v);
             for (w, out) in graph.incident_arcs(v) {
@@ -195,6 +197,7 @@ impl Partition {
                 shard.arcs.push((out, t));
                 boundary[s * k + t as usize] += 1;
             }
+            // af-audit: allow(no-unwrap-in-lib): a shard holds at most 2m <= u32::MAX arcs
             let end = u32::try_from(shard.arcs.len()).expect("arc count fits u32");
             shard.offsets.push(end);
         }
@@ -347,6 +350,7 @@ fn assign_chunked(order: &[usize], k: usize) -> Vec<u32> {
     let mut shard_of = vec![0u32; n];
     for (pos, &v) in order.iter().enumerate() {
         // Chunk boundaries at floor(i * n / k): sizes differ by at most one.
+        // af-audit: allow(no-unwrap-in-lib): the quotient is < k <= n <= u32::MAX
         shard_of[v] = u32::try_from(pos * k / n.max(1)).expect("shard fits u32");
     }
     shard_of

@@ -64,8 +64,13 @@ use af_analysis::GraphSpec;
 use af_core::api::FloodRequest;
 use af_core::theory;
 use af_graph::{io, NodeId};
+use af_serve::log_line;
 use af_serve::{Envelope, Request, Response, Server, ServerConfig, TaggedResponse};
 use serde::Serialize;
+
+/// The `BENCH_serve.json` schema version — bump when the report shape
+/// changes, together with its citations (module doc above, README, CI).
+const SERVE_BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One family's cold-versus-warm measurement.
 #[derive(Debug, Serialize)]
@@ -127,12 +132,12 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&out, json + "\n") {
         return fail(&format!("writing {out}: {e}"));
     }
-    eprintln!("wrote {out}");
+    log_line!("wrote {out}");
     ExitCode::SUCCESS
 }
 
 fn fail(message: &str) -> ExitCode {
-    eprintln!("bench_serve: {message}");
+    log_line!("bench_serve: {message}");
     ExitCode::FAILURE
 }
 
@@ -141,7 +146,7 @@ fn run(smoke: bool) -> ServeReport {
     let mut cases = Vec::new();
     for (family, specs) in af_analysis::bench::cases(smoke) {
         let spec = specs.last().expect("every family has specs").clone();
-        eprintln!("[{family}] building {spec} ...");
+        log_line!("[{family}] building {spec} ...");
         let graph = spec.build();
         let text = io::to_edge_list(&graph);
         let (nodes, edges) = (graph.node_count(), graph.edge_count());
@@ -193,7 +198,7 @@ fn run(smoke: bool) -> ServeReport {
 
         let cold_ms = cold.as_secs_f64() * 1e3 / cold_queries as f64;
         let warm_ms = warm.as_secs_f64() * 1e3 / warm_queries as f64;
-        eprintln!(
+        log_line!(
             "[{family}] n={nodes} m={edges}: cold {cold_ms:.2} ms/predict, \
              warm {warm_ms:.3} ms/predict ({:.1}x)",
             cold_ms / warm_ms
@@ -212,7 +217,7 @@ fn run(smoke: bool) -> ServeReport {
         });
     }
     ServeReport {
-        schema_version: 2,
+        schema_version: SERVE_BENCH_SCHEMA_VERSION,
         benchmark: "serve_predict".to_owned(),
         mode: if smoke { "smoke" } else { "full" }.to_owned(),
         cases,
@@ -264,7 +269,7 @@ fn daemon_section(smoke: bool) -> DaemonSection {
     };
     let graph = spec.build();
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
-    eprintln!("[daemon] serving {} on TCP ...", spec.label());
+    log_line!("[daemon] serving {} on TCP ...", spec.label());
 
     let server = Server::with_config(&ServerConfig {
         pool: POOL,
@@ -346,9 +351,11 @@ fn daemon_section(smoke: bool) -> DaemonSection {
                 panic!("bench failed for {engine}: {:?}", tagged.response);
             };
             for row in &rows {
-                eprintln!(
+                log_line!(
                     "[daemon] {}: {:.1} ms, {:.0} edges/s under load",
-                    row.engine, row.wall_ms, row.edges_per_sec
+                    row.engine,
+                    row.wall_ms,
+                    row.edges_per_sec
                 );
             }
             runs.extend(rows);

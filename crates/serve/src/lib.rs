@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod log;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;

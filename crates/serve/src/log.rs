@@ -1,0 +1,26 @@
+//! The serve crate's single stderr sink.
+//!
+//! Stdout is the wire — one NDJSON response per line — so every human-
+//! or validator-facing diagnostic goes to stderr, and all of it funnels
+//! through [`line`], the one place in the crate allowed to write there
+//! (`af-audit` rule `AF003 stderr-via-log-sink` enforces this). The sink
+//! deliberately adds no prefix or timestamp: several stderr lines
+//! (`listening on <addr>`, `af-serve: final metrics {...}`) are parsed
+//! verbatim by the CI smoke validators, so call sites own their text
+//! byte for byte.
+
+use std::fmt;
+
+/// Writes one diagnostic line to stderr. Use via [`crate::log_line!`].
+pub fn line(args: fmt::Arguments<'_>) {
+    eprintln!("{args}"); // af-audit: allow(stderr-via-log-sink): the one designated sink
+}
+
+/// Drop-in `eprintln!` replacement that routes through the crate's one
+/// stderr sink, [`line`].
+#[macro_export]
+macro_rules! log_line {
+    ($($arg:tt)*) => {
+        $crate::log::line(core::format_args!($($arg)*))
+    };
+}

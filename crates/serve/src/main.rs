@@ -25,6 +25,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use af_serve::log_line;
 use af_serve::server::{ServerConfig, DEFAULT_LINE_CAP, DEFAULT_POOL};
 use af_serve::Server;
 
@@ -96,9 +97,9 @@ fn main() -> ExitCode {
     });
     if let Some(dir) = registry_dir {
         match server.load_registry_dir(&dir) {
-            Ok(loaded) => eprintln!("af-serve: registry-dir loaded {loaded} graph(s)"),
+            Ok(loaded) => log_line!("af-serve: registry-dir loaded {loaded} graph(s)"),
             Err(e) => {
-                eprintln!("af-serve: --registry-dir {}: {e}", dir.display());
+                log_line!("af-serve: --registry-dir {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         }
@@ -125,7 +126,7 @@ fn main() -> ExitCode {
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("af-serve: {e}");
+            log_line!("af-serve: {e}");
             ExitCode::FAILURE
         }
     }
@@ -142,7 +143,7 @@ fn metrics_ticker(server: &Server, interval: Duration) {
         if waited >= interval {
             waited = Duration::ZERO;
             if !server.is_shutting_down() {
-                eprintln!("af-serve: {}", server.metrics_line());
+                log_line!("af-serve: {}", server.metrics_line());
             }
         }
     }
@@ -150,12 +151,12 @@ fn metrics_ticker(server: &Server, interval: Duration) {
 
 fn serve_tcp(server: &Server, addr: &str) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
-    eprintln!("listening on {}", listener.local_addr()?);
+    log_line!("listening on {}", listener.local_addr()?);
     io::stderr().flush()?;
     server.serve_tcp(&listener)
 }
 
 fn usage_error(message: &str) -> ExitCode {
-    eprintln!("af-serve: {message}\n{USAGE}");
+    log_line!("af-serve: {message}\n{USAGE}");
     ExitCode::FAILURE
 }

@@ -26,19 +26,25 @@
 //! lock and then takes victims' entry locks, so the opposite nesting
 //! would be an ABBA deadlock. Handlers therefore finish their entry-level
 //! work, drop the guards, and only then call `Registry::enforce_budget`.
+//! The per-entry [`Charges`] mutex is the innermost leaf of the order
+//! (`index` → `charges` is allowed; `charges` is never held while taking
+//! any other lock).
 //!
 //! Byte accounting is **eager and transactional**: every snapshot and
 //! index charges its approximate footprint
 //! ([`approx_graph_bytes`]/[`approx_index_bytes`]) into the shared
 //! [`ServeMetrics`] gauge when it is created and releases it when it is
-//! dropped, so a `Metrics` report is a pure read. An entry evicted while
-//! another thread still holds its `Arc` is flagged `dead`; whichever side
-//! charges last (the in-flight index build, the mutate recharge) observes
-//! the flag and takes its own charge back, so the gauge balances under
-//! any interleaving.
+//! dropped, so a `Metrics` report is a pure read. Each entry's charges
+//! and its `dead` flag live in one [`Charges`] ledger behind one mutex,
+//! so every charge/release pair is observed atomically: an entry evicted
+//! while another thread still holds its `Arc` is flagged dead under the
+//! lock, and whichever side charges afterwards (the in-flight index
+//! build, the mutate recharge) sees the flag in the same critical
+//! section and takes its own charge back — every interleaving is a total
+//! order, and the gauge balances.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -66,14 +72,26 @@ pub struct GraphEntry {
     mutations: AtomicU64,
     /// LRU timestamp: the registry clock value of the last touch.
     last_used: AtomicU64,
+    /// Budget ledger for this entry — see [`Charges`].
+    charges: Mutex<Charges>,
+}
+
+/// One entry's budget-accounting ledger. A single mutex guards both
+/// charges and the `dead` flag, so "am I still resident?" and "what do
+/// I owe?" are always answered together — the guarantee the previous
+/// lock-free version needed `SeqCst` store-load fences for. The mutex
+/// is the innermost leaf of the lock order: held for a few word-sized
+/// reads and writes, never while acquiring any other lock.
+#[derive(Debug, Default)]
+struct Charges {
     /// Bytes currently charged for the snapshot (0 after release).
-    charged_graph: AtomicU64,
+    graph: u64,
     /// Bytes currently charged for the predict index (0 when unbuilt or
     /// released).
-    charged_index: AtomicU64,
+    index: u64,
     /// Set when the entry leaves the map (eviction or replacement);
-    /// in-flight charges observe it and take themselves back.
-    dead: AtomicBool,
+    /// in-flight work observes it and takes its own charge back.
+    dead: bool,
 }
 
 impl GraphEntry {
@@ -84,9 +102,7 @@ impl GraphEntry {
             index: Mutex::new(None),
             mutations: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
-            charged_graph: AtomicU64::new(0),
-            charged_index: AtomicU64::new(0),
-            dead: AtomicBool::new(false),
+            charges: Mutex::new(Charges::default()),
         }
     }
 
@@ -157,6 +173,7 @@ impl Registry {
         let verb = Verb::of(request);
         let started = Instant::now();
         let result = match request {
+            // af-audit: allow(explicit-atomic-ordering): Registry::load is not an atomic
             Request::Load { name, graph } => self.load(name, graph),
             Request::Gen { name, spec } => self.register(name, spec.build()),
             Request::Predict { graph, source_sets } => self.predict(graph, source_sets),
@@ -236,16 +253,20 @@ impl Registry {
         if let Some(entry) = self.graphs.read().get(name) {
             return Ok(Arc::clone(entry));
         }
+        Err(self.missing_error(name))
+    }
+
+    /// The error for a name that is not in the map right now:
+    /// [`code::NOT_FOUND`] if it was registered and evicted since,
+    /// [`code::UNKNOWN_GRAPH`] if it never was.
+    fn missing_error(&self, name: &str) -> ErrorResponse {
         if self.evicted.lock().contains(name) {
-            Err(ErrorResponse::new(
+            ErrorResponse::new(
                 code::NOT_FOUND,
                 format!("graph '{name}' was evicted; re-Load or re-Gen it"),
-            ))
+            )
         } else {
-            Err(ErrorResponse::new(
-                code::UNKNOWN_GRAPH,
-                format!("no graph named '{name}'"),
-            ))
+            ErrorResponse::new(code::UNKNOWN_GRAPH, format!("no graph named '{name}'"))
         }
     }
 
@@ -266,6 +287,7 @@ impl Registry {
     /// graph6; [`code::OVER_BUDGET`] if the graph alone exceeds the
     /// registry budget.
     pub fn register_from_text(&self, name: &str, text: &str) -> Result<Response, ErrorResponse> {
+        // af-audit: allow(explicit-atomic-ordering): Registry::load is not an atomic
         self.load(name, text)
     }
 
@@ -289,7 +311,7 @@ impl Registry {
         let nodes = graph.node_count();
         let edges = graph.edge_count();
         let entry = Arc::new(GraphEntry::new(graph));
-        entry.charged_graph.store(bytes, Ordering::SeqCst);
+        entry.charges.lock().graph = bytes;
         self.metrics.charge_registry(bytes);
         self.touch(&entry);
         let replaced = self.graphs.write().insert(name.to_owned(), entry);
@@ -307,13 +329,21 @@ impl Registry {
         })
     }
 
-    /// Flags `entry` dead, takes back its outstanding charges, and drops
-    /// its index. Safe against in-flight charge races: each charge is
-    /// `swap`ped out exactly once, by whichever side gets there last.
+    /// Flags `entry` dead and takes back its outstanding charges in one
+    /// critical section, then drops its index. In-flight work that
+    /// charges after this observes the flag under the same lock and
+    /// takes its own charge back, so each charge is released exactly
+    /// once. (The charges lock is released before taking the index
+    /// lock — the ledger is the innermost leaf of the lock order.)
     fn release_entry(&self, entry: &GraphEntry) -> (u64, bool) {
-        entry.dead.store(true, Ordering::SeqCst);
-        let graph_bytes = entry.charged_graph.swap(0, Ordering::SeqCst);
-        let index_bytes = entry.charged_index.swap(0, Ordering::SeqCst);
+        let (graph_bytes, index_bytes) = {
+            let mut charges = entry.charges.lock();
+            charges.dead = true;
+            (
+                std::mem::take(&mut charges.graph),
+                std::mem::take(&mut charges.index),
+            )
+        };
         let index_dropped = entry.index.lock().take().is_some();
         if index_bytes > 0 {
             self.metrics.index_dropped();
@@ -340,7 +370,12 @@ impl Registry {
                 // over budget (the documented escape hatch).
                 break;
             };
-            let entry = graphs.remove(&name).expect("victim came from this map");
+            let Some(entry) = graphs.remove(&name) else {
+                // Unreachable — the victim name came from this very map
+                // under the same write lock — but breaking beats both a
+                // panic and a spin.
+                break;
+            };
             self.release_entry(&entry);
             self.metrics.eviction();
             self.evicted.lock().insert(name);
@@ -350,8 +385,8 @@ impl Registry {
     fn evict(&self, name: &str) -> Result<Response, ErrorResponse> {
         let removed = self.graphs.write().remove(name);
         let Some(entry) = removed else {
-            // Reuse the entry() error split: evicted-before vs never.
-            return Err(self.entry(name).expect_err("name is not in the map"));
+            // Same error split as entry(): evicted-before vs never.
+            return Err(self.missing_error(name));
         };
         let (bytes_freed, index_dropped) = self.release_entry(&entry);
         self.metrics.eviction();
@@ -383,7 +418,7 @@ impl Registry {
             let mut guard = entry.index.lock();
             if guard.is_none() {
                 let cost = approx_index_bytes(&snapshot);
-                let own = entry.charged_graph.load(Ordering::SeqCst);
+                let own = entry.charges.lock().graph;
                 if self.budget > 0 && own + cost > self.budget {
                     return Err(ErrorResponse::new(
                         code::OVER_BUDGET,
@@ -396,11 +431,13 @@ impl Registry {
                     ));
                 }
                 *guard = Some(PredictIndex::new(&snapshot));
-                entry.charged_index.store(cost, Ordering::SeqCst);
+                entry.charges.lock().index = cost;
                 self.metrics.charge_registry(cost);
                 self.metrics.index_built();
             }
-            let index = guard.as_mut().expect("just ensured");
+            // Ensured `Some` just above, so the closure never runs —
+            // it only keeps this lookup panic-free.
+            let index = guard.get_or_insert_with(|| PredictIndex::new(&snapshot));
             let predictions: Vec<PredictSummary> = source_sets
                 .iter()
                 .map(|set| index.summary(set.iter().copied().map(NodeId::new)))
@@ -409,8 +446,10 @@ impl Registry {
             // take our charge back (and the now-orphaned index with it)
             // so the gauge balances. The answer itself is still valid —
             // it was computed on a consistent snapshot.
-            if entry.dead.load(Ordering::SeqCst) {
-                let charged = entry.charged_index.swap(0, Ordering::SeqCst);
+            let mut charges = entry.charges.lock();
+            if charges.dead {
+                let charged = std::mem::take(&mut charges.index);
+                drop(charges);
                 if charged > 0 {
                     self.metrics.uncharge_registry(charged);
                     self.metrics.index_dropped();
@@ -493,21 +532,28 @@ impl Registry {
                 if guard.take().is_some() {
                     self.metrics.index_dropped();
                 }
-                let stale = entry.charged_index.swap(0, Ordering::SeqCst);
+                let stale = std::mem::take(&mut entry.charges.lock().index);
                 self.metrics.uncharge_registry(stale);
             }
             // Recharge the snapshot at its new size. Mutate never
             // rejects on budget (clients grow graphs in place); if the
             // result alone exceeds the budget it stays resident as the
             // documented escape hatch — everything else gets evicted.
-            let old = entry.charged_graph.swap(0, Ordering::SeqCst);
+            // One critical section decides old charge, new charge, and
+            // the eviction race: a dead entry simply stays uncharged.
+            let (old, recharged) = {
+                let mut charges = entry.charges.lock();
+                let old = std::mem::take(&mut charges.graph);
+                if charges.dead {
+                    (old, 0)
+                } else {
+                    charges.graph = new_bytes;
+                    (old, new_bytes)
+                }
+            };
             self.metrics.uncharge_registry(old);
-            entry.charged_graph.store(new_bytes, Ordering::SeqCst);
-            self.metrics.charge_registry(new_bytes);
-            if entry.dead.load(Ordering::SeqCst) {
-                // Evicted while we were mutating: take the charge back.
-                let charged = entry.charged_graph.swap(0, Ordering::SeqCst);
-                self.metrics.uncharge_registry(charged);
+            if recharged > 0 {
+                self.metrics.charge_registry(recharged);
             }
             (nodes, edges, edits_applied, edits_skipped)
         };

@@ -28,7 +28,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Duration;
 
 use af_core::api::{code, ErrorResponse};
@@ -132,14 +132,19 @@ impl Server {
     }
 
     /// Has a `Shutdown` request been accepted?
+    ///
+    /// Relaxed suffices: the flag is monotonic (false → true, once) and
+    /// only gates *when* a loop notices the drain — the drain's
+    /// correctness is structural (scope joins, then queue close), not
+    /// ordering-dependent.
     pub fn is_shutting_down(&self) -> bool {
-        self.shutting_down.load(Ordering::SeqCst)
+        self.shutting_down.load(Ordering::Relaxed)
     }
 
     /// Begins the drain: no new work is accepted, the TCP accept loop
     /// stops, connection threads exit after their current request.
     pub fn begin_shutdown(&self) {
-        self.shutting_down.store(true, Ordering::SeqCst);
+        self.shutting_down.store(true, Ordering::Relaxed);
     }
 
     /// Registers every file in `dir` (sorted by path, name = file stem)
@@ -162,26 +167,26 @@ impl Server {
         let mut loaded = 0;
         for path in paths {
             let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
-                eprintln!("af-serve: skipping {} (unusable file name)", path.display());
+                crate::log_line!("af-serve: skipping {} (unusable file name)", path.display());
                 continue;
             };
             let text = match std::fs::read_to_string(&path) {
                 Ok(text) => text,
                 Err(e) => {
-                    eprintln!("af-serve: skipping {}: {e}", path.display());
+                    crate::log_line!("af-serve: skipping {}: {e}", path.display());
                     continue;
                 }
             };
             match self.registry.register_from_text(name, &text) {
                 Ok(Response::Registered { nodes, edges, .. }) => {
-                    eprintln!(
+                    crate::log_line!(
                         "af-serve: loaded '{name}' ({nodes} nodes, {edges} edges) from {}",
                         path.display()
                     );
                     loaded += 1;
                 }
                 Ok(other) => unreachable!("register answers Registered, got {other:?}"),
-                Err(e) => eprintln!("af-serve: skipping {}: {e}", path.display()),
+                Err(e) => crate::log_line!("af-serve: skipping {}: {e}", path.display()),
             }
         }
         Ok(loaded)
@@ -228,19 +233,17 @@ impl Server {
     #[must_use]
     pub fn metrics_line(&self) -> String {
         let report = self.registry.metrics_report();
-        format!(
-            "metrics {}",
-            serde_json::to_string(&report).expect("reports always serialize")
-        )
+        format!("metrics {}", serialize(&report))
     }
 
     /// Writes the final metrics snapshot line to stderr, at most once
     /// per server — called when a transport loop drains (`Shutdown` or
     /// EOF), so even a daemon killed right after the drain leaves
-    /// evidence of what it served.
+    /// evidence of what it served. (Relaxed: the swap alone decides the
+    /// unique winner; nothing else is published through this flag.)
     pub fn flush_final_metrics(&self) {
-        if !self.metrics_flushed.swap(true, Ordering::SeqCst) {
-            eprintln!("af-serve: final {}", self.metrics_line());
+        if !self.metrics_flushed.swap(true, Ordering::Relaxed) {
+            crate::log_line!("af-serve: final {}", self.metrics_line());
         }
     }
 
@@ -277,7 +280,10 @@ impl Server {
             queue.close();
             result
         })
-        .expect("pool workers do not panic");
+        // The scope errors only if a worker panicked; surface that as
+        // an I/O error instead of propagating the panic.
+        .map_err(|_| io::Error::other("a pool worker panicked"))
+        .and_then(|r| r);
         self.flush_final_metrics();
         result
     }
@@ -350,11 +356,14 @@ impl Server {
                 }
                 Ok(())
             })
-            .expect("connection threads do not panic");
+            .map_err(|_| io::Error::other("a connection thread panicked"))
+            .and_then(|r| r);
             queue.close();
             result
         });
-        let result = outcome.expect("pool workers do not panic");
+        let result = outcome
+            .map_err(|_| io::Error::other("a pool worker panicked"))
+            .and_then(|r| r);
         self.flush_final_metrics();
         result
     }
@@ -483,7 +492,7 @@ impl Server {
 
     /// Serializes and writes one tagged response line.
     fn write_tagged<W: Write>(&self, out: &Mutex<W>, tagged: TaggedResponse) -> io::Result<()> {
-        let line = serde_json::to_string(&tagged).expect("responses always serialize");
+        let line = serialize(&tagged);
         self.write_line(out, &line)
     }
 
@@ -503,8 +512,14 @@ impl Server {
     }
 }
 
-fn serialize(response: &Response) -> String {
-    serde_json::to_string(response).expect("responses always serialize")
+/// Serializes one wire value to its single-line JSON form. Our response
+/// and report types always serialize; if that invariant ever breaks the
+/// client gets a structured error line, not a panicking daemon.
+fn serialize<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| {
+        let msg = format!("serialization failed: {e}").replace(['"', '\\'], "'");
+        format!("{{\"Error\":{{\"code\":\"bad_request\",\"message\":\"{msg}\"}}}}")
+    })
 }
 
 /// How one request line parsed.
@@ -577,8 +592,13 @@ impl<W> JobQueue<W> {
         }
     }
 
+    // Poison recovery is sound for this queue: every critical section
+    // is a single deque/flag operation that cannot be observed half
+    // done, so a panic elsewhere while holding the lock leaves a
+    // consistent state worth continuing the drain with.
+
     fn push(&self, job: Job<W>) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(!state.closed, "push after close");
         state.jobs.push_back(job);
         drop(state);
@@ -586,13 +606,16 @@ impl<W> JobQueue<W> {
     }
 
     fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
     }
 
     /// Blocks for the next job; `None` once closed and drained.
     fn pop(&self) -> Option<Job<W>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -600,7 +623,10 @@ impl<W> JobQueue<W> {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue lock");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }

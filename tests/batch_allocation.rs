@@ -10,7 +10,7 @@
 //! asserts the allocation counter does not move across the second pass.
 
 use amnesiac_flooding::core::obs::{NdjsonTraceWriter, NoopProbe, SharedProbe};
-use amnesiac_flooding::core::{FloodBatch, FloodEngine};
+use amnesiac_flooding::core::{FloodBatch, FloodEngine, FloodStats};
 use amnesiac_flooding::graph::{generators, NodeId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::RefCell;
@@ -83,7 +83,7 @@ fn warm_flood_batch_is_allocation_free_across_mixed_set_sizes() {
     );
 
     // Sanity: the floods did real work and the counter is live.
-    assert!(expected.iter().all(|s| s.terminated()));
+    assert!(expected.iter().all(FloodStats::terminated));
     assert!(expected.iter().all(|s| s.total_messages() > 0));
     let probe: Vec<u8> = vec![1, 2, 3];
     assert!(ALLOCATIONS.load(Ordering::SeqCst) > before, "{probe:?}");
@@ -202,7 +202,7 @@ fn warm_bitlane_batch_is_allocation_free_across_mixed_set_sizes() {
 
     // Sanity: real floods, and the bitlane engine agrees with the
     // frontier engine on every one of them.
-    assert!(expected.iter().all(|s| s.terminated()));
+    assert!(expected.iter().all(FloodStats::terminated));
     assert!(expected.iter().all(|s| s.total_messages() > 0));
     let mut frontier = FloodBatch::new(&g);
     let reference: Vec<_> = frontier.run_many(&source_sets);

@@ -1,12 +1,13 @@
-//! Documentation link check: every relative Markdown link in the
-//! repository's top-level docs (README.md, ARCHITECTURE.md, PAPER.md, …)
+//! Documentation link check, delegated to `af-audit`'s consistency layer
+//! (`af_audit::docs`): every relative Markdown link in the top-level docs
 //! must point at a file that exists, and every `#anchor` fragment at a
-//! heading that exists in the target file. This is what keeps the
-//! README ⇄ ARCHITECTURE.md cross-references from rotting; CI runs it in
-//! the dedicated docs job.
+//! heading that exists in the target file. The same pass runs inside the
+//! full `af-audit` binary and the workspace self-audit test; keeping this
+//! thin delegate preserves the historical tier-1 entry point (CI's docs
+//! job invokes this test by name).
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// The repository root (this integration test runs with the workspace
 /// root as its working directory via CARGO_MANIFEST_DIR).
@@ -14,129 +15,17 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
 }
 
-/// Top-level Markdown files under link checking (vendor/README.md rides
-/// along because the root README points at it).
-fn doc_files() -> Vec<PathBuf> {
-    let root = repo_root();
-    let mut files: Vec<PathBuf> = fs::read_dir(&root)
-        .expect("repo root readable")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|e| e == "md"))
-        .collect();
-    files.push(root.join("vendor/README.md"));
-    files.sort();
-    files.retain(|p| p.is_file());
-    assert!(files.len() >= 5, "expected the top-level docs: {files:?}");
-    files
-}
-
-/// Extracts `[label](target)` links outside fenced code blocks.
-fn extract_links(markdown: &str) -> Vec<String> {
-    let mut links = Vec::new();
-    let mut in_fence = false;
-    for line in markdown.lines() {
-        if line.trim_start().starts_with("```") {
-            in_fence = !in_fence;
-            continue;
-        }
-        if in_fence {
-            continue;
-        }
-        let mut rest = line;
-        while let Some(open) = rest.find("](") {
-            let tail = &rest[open + 2..];
-            let Some(close) = tail.find(')') else { break };
-            links.push(tail[..close].trim().to_string());
-            rest = &tail[close + 1..];
-        }
-    }
-    links
-}
-
-/// GitHub-style anchor slug of a Markdown heading.
-fn slug(heading: &str) -> String {
-    heading
-        .trim()
-        .trim_start_matches('#')
-        .trim()
-        .chars()
-        .filter_map(|c| {
-            if c.is_alphanumeric() || c == '_' || c == '-' {
-                Some(c.to_ascii_lowercase())
-            } else if c == ' ' {
-                Some('-')
-            } else {
-                None
-            }
-        })
-        .collect()
-}
-
-/// All heading anchors of a Markdown file (fenced blocks excluded).
-fn anchors(markdown: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut in_fence = false;
-    for line in markdown.lines() {
-        if line.trim_start().starts_with("```") {
-            in_fence = !in_fence;
-            continue;
-        }
-        if !in_fence && line.starts_with('#') {
-            out.push(slug(line));
-        }
-    }
-    out
-}
-
 #[test]
 fn relative_markdown_links_resolve() {
-    let mut failures = Vec::new();
-    for file in doc_files() {
-        let text = fs::read_to_string(&file).expect("doc file readable");
-        let dir = file.parent().unwrap_or(Path::new(".")).to_path_buf();
-        for link in extract_links(&text) {
-            if link.starts_with("http://")
-                || link.starts_with("https://")
-                || link.starts_with("mailto:")
-                || link.is_empty()
-            {
-                continue;
-            }
-            let (path_part, anchor) = match link.split_once('#') {
-                Some((p, a)) => (p, Some(a.to_string())),
-                None => (link.as_str(), None),
-            };
-            let target = if path_part.is_empty() {
-                file.clone()
-            } else {
-                dir.join(path_part)
-            };
-            if !target.exists() {
-                failures.push(format!("{}: broken link '{link}'", file.display()));
-                continue;
-            }
-            if let Some(a) = anchor {
-                let target_text = if path_part.is_empty() {
-                    text.clone()
-                } else {
-                    fs::read_to_string(&target).unwrap_or_default()
-                };
-                if target.extension().is_some_and(|e| e == "md")
-                    && !anchors(&target_text).contains(&a)
-                {
-                    failures.push(format!(
-                        "{}: anchor '#{a}' not found in {}",
-                        file.display(),
-                        target.display()
-                    ));
-                }
-            }
-        }
-    }
+    let findings = af_audit::docs::check_links(&repo_root());
     assert!(
-        failures.is_empty(),
+        findings.is_empty(),
         "broken doc links:\n{}",
-        failures.join("\n")
+        findings
+            .iter()
+            .map(af_audit::Finding::to_text)
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
@@ -160,6 +49,7 @@ fn readme_points_at_architecture() {
 
 #[test]
 fn slugs_follow_github_rules() {
+    use af_audit::docs::slug;
     assert_eq!(
         slug("## The three engines, and when each wins"),
         "the-three-engines-and-when-each-wins"
